@@ -1,0 +1,492 @@
+(* Benchmark harness: regenerates every table and figure of
+   "Compile-Time Analysis of Compiler Frameworks for Query Compilation"
+   (CGO 2024). See DESIGN.md for the experiment index and EXPERIMENTS.md
+   for recorded paper-vs-measured results.
+
+   Usage:  bench/main.exe [table1|fig2|fig3|table2|fig4|fig5|table3|fig6|
+                           fig7|fallbacks|ablation-struct|ablation-codemodel|
+                           ablation-tm|bechamel|all]
+
+   Scale factors are chosen so the full suite completes in minutes; the
+   mapping to the paper's SF10/SF100 is documented in EXPERIMENTS.md. *)
+
+open Qcomp_engine
+open Qcomp_support
+module Target = Qcomp_vm.Target
+module Orc = Qcomp_llvm.Orc
+
+let sf_compile = 2 (* compile-time breakdowns over all 103 DS queries *)
+let sf_exec = 2 (* execution measurements *)
+let sf_tpch_small = 2 (* the paper's SF10 analogue *)
+let sf_tpch_big = 100 (* the paper's SF100 analogue *)
+
+let line () = print_endline (String.make 72 '-')
+
+let header title =
+  line ();
+  print_endline title;
+  line ()
+
+let pct part total = if total > 0.0 then 100.0 *. part /. total else 0.0
+
+let print_breakdown (timing : Timing.t) =
+  (* top-level phases with nested sub-phases indented (-ftime-report style) *)
+  let total = Timing.total timing in
+  List.iter
+    (fun (path, secs, _count) ->
+      let depth = String.fold_left (fun n c -> if c = '/' then n + 1 else n) 0 path in
+      let leaf =
+        match String.rindex_opt path '/' with
+        | None -> path
+        | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+      in
+      Printf.printf "  %-28s %8.3f s  %5.1f%%\n"
+        (String.make (2 * depth) ' ' ^ leaf)
+        secs (pct secs total))
+    (Timing.entries timing);
+  Printf.printf "  %-28s %8.3f s   (~%.3f s instrumentation overhead)\n" "total"
+    total (Timing.overhead timing)
+
+(* ---------------- Table I ---------------- *)
+
+let table1 () =
+  header "Table I: compile-time breakdown of the GCC back-end (TPC-DS-like, x86-64)";
+  (* warm-up pass so allocator and code caches do not skew the comparison *)
+  ignore
+    (Experiments.measure ~execute:false ~timing_enabled:false Target.x64
+       Experiments.Tpcds ~sf:sf_compile Engine.gcc);
+  let r0 =
+    Experiments.measure ~execute:false ~timing_enabled:false Target.x64
+      Experiments.Tpcds ~sf:sf_compile Engine.gcc
+  in
+  let r1 =
+    Experiments.measure ~execute:false ~timing_enabled:true Target.x64
+      Experiments.Tpcds ~sf:sf_compile Engine.gcc
+  in
+  Printf.printf "functions compiled: %d (%d queries)\n" r1.Experiments.wr_functions
+    (List.length r1.Experiments.wr_queries);
+  print_breakdown r1.Experiments.wr_timing;
+  Printf.printf "plain compile time (-ftime): %.3f s\n" r0.Experiments.wr_compile_s;
+  Printf.printf "instrumented (-ftime-report): %.3f s (overhead %.1f%%)\n"
+    r1.Experiments.wr_compile_s
+    (pct (r1.Experiments.wr_compile_s -. r0.Experiments.wr_compile_s)
+       r0.Experiments.wr_compile_s)
+
+(* ---------------- Fig. 2 ---------------- *)
+
+let llvm_breakdown target name backend =
+  let r =
+    Experiments.measure ~execute:false ~timing_enabled:true target
+      Experiments.Tpcds ~sf:sf_compile backend
+  in
+  Printf.printf "%s (%d functions):\n" name r.Experiments.wr_functions;
+  print_breakdown r.Experiments.wr_timing;
+  List.iter
+    (fun (k, v) -> if v > 0 then Printf.printf "    stat %-28s %d\n" k v)
+    r.Experiments.wr_stats;
+  r
+
+let fig2 () =
+  header "Fig. 2: compile-time breakdown of LLVM on x86-64 (cheap vs optimized)";
+  ignore (llvm_breakdown Target.x64 "LLVM-cheap (-O0, FastISel)" Engine.llvm_cheap);
+  print_newline ();
+  ignore (llvm_breakdown Target.x64 "LLVM-opt (-O2, SelectionDAG)" Engine.llvm_opt)
+
+(* ---------------- Fig. 3 ---------------- *)
+
+let fig3 () =
+  header "Fig. 3: LLVM instruction selectors on AArch64 (cheap and optimized)";
+  let with_cheap name cfg =
+    Orc.cheap_override := Some cfg;
+    let r = llvm_breakdown Target.a64 name Engine.llvm_cheap in
+    Orc.cheap_override := None;
+    print_newline ();
+    r
+  in
+  let with_opt name cfg =
+    Orc.opt_override := Some cfg;
+    let r = llvm_breakdown Target.a64 name Engine.llvm_opt in
+    Orc.opt_override := None;
+    print_newline ();
+    r
+  in
+  let fast = with_cheap "FastISel (cheap)" Orc.cheap_config in
+  let gisel_cheap =
+    with_cheap "GlobalISel (cheap)" { Orc.cheap_config with Orc.isel = Orc.Isel_gisel }
+  in
+  let dag_opt = with_opt "SelectionDAG (optimized)" Orc.opt_config in
+  let gisel_opt =
+    with_opt "GlobalISel (optimized)" { Orc.opt_config with Orc.isel = Orc.Isel_gisel }
+  in
+  let isel_time (r : Experiments.workload_result) =
+    List.fold_left
+      (fun acc (p, s) -> if p = "ISel" then acc +. s else acc)
+      0.0
+      (Timing.flat r.Experiments.wr_timing)
+  in
+  Printf.printf "ISel-phase ratios: GlobalISel/FastISel (cheap) = %.2fx; \
+SelectionDAG/GlobalISel (opt) = %.2fx\n"
+    (isel_time gisel_cheap /. isel_time fast)
+    (isel_time dag_opt /. isel_time gisel_opt);
+  Printf.printf
+    "total compile: fastisel %.3fs gisel-cheap %.3fs dag-opt %.3fs gisel-opt %.3fs\n"
+    fast.Experiments.wr_compile_s gisel_cheap.Experiments.wr_compile_s
+    dag_opt.Experiments.wr_compile_s gisel_opt.Experiments.wr_compile_s
+
+(* ---------------- Table II ---------------- *)
+
+let table2 () =
+  header
+    "Table II: execution speedup of the custom CIR instructions (TPC-DS-like, x86-64)";
+  let exec_with features =
+    Qcomp_clif.Clif.default_features := features;
+    let r =
+      Experiments.measure ~execute:true ~timing_enabled:false Target.x64
+        Experiments.Tpcds ~sf:sf_exec Engine.cranelift
+    in
+    Qcomp_clif.Clif.default_features := Qcomp_clif.Frontend.all_features;
+    List.map
+      (fun q -> (q.Experiments.qr_name, q.Experiments.qr_exec_cycles))
+      r.Experiments.wr_queries
+  in
+  let base = exec_with Qcomp_clif.Frontend.no_features in
+  let variants =
+    [
+      ("+crc32", { Qcomp_clif.Frontend.no_features with Qcomp_clif.Frontend.native_crc32 = true });
+      ("+overflow", { Qcomp_clif.Frontend.no_features with Qcomp_clif.Frontend.native_overflow = true });
+      ("+mul-full", { Qcomp_clif.Frontend.no_features with Qcomp_clif.Frontend.native_mulfull = true });
+      ("all", Qcomp_clif.Frontend.all_features);
+    ]
+  in
+  Printf.printf "%-12s %10s %10s\n" "variant" "avg spd" "max spd";
+  List.iter
+    (fun (name, features) ->
+      let v = exec_with features in
+      let speedups =
+        List.map2 (fun (_, b) (_, x) -> float_of_int b /. float_of_int (max 1 x)) base v
+      in
+      let avg =
+        exp
+          (List.fold_left (fun a s -> a +. log s) 0.0 speedups
+          /. float_of_int (List.length speedups))
+      in
+      let mx = List.fold_left max 0.0 speedups in
+      Printf.printf "%-12s %9.3fx %9.3fx\n" name avg mx)
+    variants
+
+(* ---------------- Fig. 4 / Fig. 5 ---------------- *)
+
+let fig4 () =
+  header "Fig. 4: compile-time breakdown of Cranelift on x86-64";
+  let r =
+    Experiments.measure ~execute:false ~timing_enabled:true Target.x64
+      Experiments.Tpcds ~sf:sf_compile Engine.cranelift
+  in
+  Printf.printf "functions compiled: %d\n" r.Experiments.wr_functions;
+  print_breakdown r.Experiments.wr_timing;
+  List.iter (fun (k, v) -> Printf.printf "  stat %-28s %d\n" k v) r.Experiments.wr_stats
+
+let fig5 () =
+  header "Fig. 5: compile-time breakdown of DirectEmit on x86-64";
+  let r =
+    Experiments.measure ~execute:false ~timing_enabled:true Target.x64
+      Experiments.Tpcds ~sf:sf_compile Engine.directemit
+  in
+  Printf.printf "functions compiled: %d\n" r.Experiments.wr_functions;
+  print_breakdown r.Experiments.wr_timing
+
+(* ---------------- Table III / Fig. 6 ---------------- *)
+
+let backends_for target =
+  [ ("Interpreter", Engine.interpreter) ]
+  @ (if target.Target.arch = Target.X64 then [ ("DirectEmit", Engine.directemit) ]
+     else [])
+  @ [
+      ("Cranelift", Engine.cranelift);
+      ("LLVM-cheap", Engine.llvm_cheap);
+      ("LLVM-opt", Engine.llvm_opt);
+      ("GCC", Engine.gcc);
+    ]
+
+let table3_target target label =
+  Printf.printf "\n%s (TPC-DS-like, sf=%d):\n" label sf_exec;
+  Printf.printf "%-12s %12s %12s %10s\n" "back-end" "compile [s]" "exec [s]" "functions";
+  List.map
+    (fun (name, b) ->
+      let r =
+        Experiments.measure ~execute:true ~timing_enabled:false target
+          Experiments.Tpcds ~sf:sf_exec b
+      in
+      Printf.printf "%-12s %12.3f %12.3f %10d\n" name r.Experiments.wr_compile_s
+        (Experiments.cycles_to_seconds r.Experiments.wr_exec_cycles)
+        r.Experiments.wr_functions;
+      (name, r))
+    (backends_for target)
+
+let table3 () =
+  header "Table III: compile-time and execution performance of all back-ends";
+  ignore (table3_target Target.x64 "x86-64");
+  ignore (table3_target Target.a64 "AArch64")
+
+let fig6 () =
+  header "Fig. 6: per-query compile and execution times (TPC-DS-like, x86-64; CSV)";
+  let results = table3_target Target.x64 "x86-64" in
+  print_newline ();
+  print_string "query";
+  List.iter (fun (name, _) -> Printf.printf ",%s_comp,%s_exec" name name) results;
+  print_newline ();
+  let queries =
+    match results with
+    | (_, r) :: _ -> List.map (fun q -> q.Experiments.qr_name) r.Experiments.wr_queries
+    | [] -> []
+  in
+  List.iteri
+    (fun i qname ->
+      print_string qname;
+      List.iter
+        (fun (_, r) ->
+          let q = List.nth r.Experiments.wr_queries i in
+          Printf.printf ",%.6f,%.6f" q.Experiments.qr_compile_s
+            (Experiments.cycles_to_seconds q.Experiments.qr_exec_cycles))
+        results;
+      print_newline ())
+    queries
+
+(* ---------------- Fig. 7 ---------------- *)
+
+let fig7_at sf label =
+  Printf.printf "\n%s (TPC-H-like, sf=%d): best back-end by compile+execute\n" label sf;
+  let results =
+    List.map
+      (fun (name, b) ->
+        let r =
+          Experiments.measure ~execute:true ~timing_enabled:false Target.x64
+            Experiments.Tpch ~sf b
+        in
+        (name, r))
+      (List.filter (fun (n, _) -> n <> "Interpreter") (backends_for Target.x64))
+  in
+  let queries =
+    match results with
+    | (_, r) :: _ -> List.map (fun q -> q.Experiments.qr_name) r.Experiments.wr_queries
+    | [] -> []
+  in
+  let wins = Hashtbl.create 8 in
+  List.iteri
+    (fun i qname ->
+      let best =
+        List.fold_left
+          (fun acc (name, r) ->
+            let q = List.nth r.Experiments.wr_queries i in
+            let total =
+              q.Experiments.qr_compile_s
+              +. Experiments.cycles_to_seconds q.Experiments.qr_exec_cycles
+            in
+            match acc with
+            | Some (_, t) when t <= total -> acc
+            | _ -> Some (name, total))
+          None results
+      in
+      match best with
+      | Some (name, total) ->
+          Hashtbl.replace wins name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt wins name));
+          Printf.printf "  %-5s -> %-12s (%.6f s)\n" qname name total
+      | None -> ())
+    queries;
+  print_string "wins:";
+  Hashtbl.iter (fun k v -> Printf.printf " %s=%d" k v) wins;
+  print_newline ()
+
+let fig7 () =
+  header "Fig. 7: back-end selection minimizing compile+execution time";
+  fig7_at sf_tpch_small "small data (paper: SF10)";
+  fig7_at sf_tpch_big "large data (paper: SF100)"
+
+(* ---------------- ablations ---------------- *)
+
+let total_fallbacks stats =
+  List.fold_left
+    (fun a (k, v) ->
+      if String.length k > 9 && String.sub k 0 9 = "fallback_" then a + v else a)
+    0 stats
+
+(* one unmeasured pass so allocator warm-up does not skew A/B comparisons *)
+let warmup_cheap () =
+  ignore
+    (Experiments.measure ~execute:false ~timing_enabled:false Target.x64
+       Experiments.Tpcds ~sf:sf_compile Engine.llvm_cheap)
+
+let compile_cheap_with name cfg =
+  Orc.cheap_override := Some cfg;
+  let r =
+    Experiments.measure ~execute:false ~timing_enabled:false Target.x64
+      Experiments.Tpcds ~sf:sf_compile Engine.llvm_cheap
+  in
+  Orc.cheap_override := None;
+  Printf.printf "%-34s compile %8.3f s  fallbacks %6d\n" name
+    r.Experiments.wr_compile_s
+    (total_fallbacks r.Experiments.wr_stats);
+  r
+
+let ablation_struct () =
+  header "Ablation A (Sec. V-A2): {i64,i64} struct pairs vs split values";
+  warmup_cheap ();
+  ignore (compile_cheap_with "split values (default)" Orc.cheap_config);
+  ignore
+    (compile_cheap_with "pairs as struct"
+       { Orc.cheap_config with Orc.pairs_as_struct = true });
+  Orc.opt_override := Some { Orc.opt_config with Orc.pairs_as_struct = true };
+  let r1 =
+    Experiments.measure ~execute:false ~timing_enabled:false Target.x64
+      Experiments.Tpcds ~sf:sf_compile Engine.llvm_opt
+  in
+  Orc.opt_override := None;
+  let r0 =
+    Experiments.measure ~execute:false ~timing_enabled:false Target.x64
+      Experiments.Tpcds ~sf:sf_compile Engine.llvm_opt
+  in
+  Printf.printf "optimized mode: split %.3fs, struct %.3fs (%.1f%% slower)\n"
+    r0.Experiments.wr_compile_s r1.Experiments.wr_compile_s
+    (pct (r1.Experiments.wr_compile_s -. r0.Experiments.wr_compile_s)
+       r0.Experiments.wr_compile_s)
+
+let ablation_codemodel () =
+  header "Ablation B (Sec. V-A2): Small-PIC vs Large code model";
+  warmup_cheap ();
+  ignore (compile_cheap_with "Small-PIC (default)" Orc.cheap_config);
+  ignore
+    (compile_cheap_with "Large code model"
+       { Orc.cheap_config with Orc.code_model_large = true });
+  let exec cfg =
+    Orc.cheap_override := cfg;
+    let r =
+      Experiments.measure ~execute:true ~timing_enabled:false Target.x64
+        Experiments.Tpcds ~sf:sf_exec Engine.llvm_cheap
+    in
+    Orc.cheap_override := None;
+    r.Experiments.wr_exec_cycles
+  in
+  let small = exec None in
+  let large = exec (Some { Orc.cheap_config with Orc.code_model_large = true }) in
+  Printf.printf "execution cycles: small-pic %d, large %d (%.2f%% difference)\n" small
+    large
+    (100.0 *. (float_of_int large -. float_of_int small) /. float_of_int small)
+
+let ablation_tm () =
+  header "Ablation C (Sec. V-A2): TargetMachine caching";
+  warmup_cheap ();
+  ignore (compile_cheap_with "cached (default)" Orc.cheap_config);
+  ignore
+    (compile_cheap_with "constructed per compilation"
+       { Orc.cheap_config with Orc.cache_target_machine = false })
+
+let fallbacks () =
+  header "Ablation D (Sec. V-B3b): FastISel fallback statistics (TPC-DS-like, x86-64)";
+  let show (r : Experiments.workload_result) =
+    List.iter
+      (fun (k, v) ->
+        if String.length k > 9 && String.sub k 0 9 = "fallback_" then
+          Printf.printf "  %-28s %6d\n" k v)
+      r.Experiments.wr_stats
+  in
+  let r =
+    Experiments.measure ~execute:false ~timing_enabled:false Target.x64
+      Experiments.Tpcds ~sf:sf_compile Engine.llvm_cheap
+  in
+  Printf.printf "with FastISel CRC32 support (default):\n";
+  show r;
+  Orc.cheap_override := Some { Orc.cheap_config with Orc.fastisel_crc32 = false };
+  let r2 =
+    Experiments.measure ~execute:false ~timing_enabled:false Target.x64
+      Experiments.Tpcds ~sf:sf_compile Engine.llvm_cheap
+  in
+  Orc.cheap_override := None;
+  Printf.printf "without FastISel CRC32 support (pre-upstream):\n";
+  show r2
+
+(* ---------------- Bechamel micro-suite ---------------- *)
+
+(* One Test.make per table/figure: each benchmark runs the compile-time
+   kernel behind the corresponding result on a 3-query sample. *)
+let bechamel_suite () =
+  header "Bechamel micro-benchmarks (one per table/figure)";
+  let open Bechamel in
+  let queries =
+    List.filteri (fun i _ -> i < 3) (Experiments.queries_of Experiments.Tpcds)
+  in
+  (* one database per target, built outside the measured closure so the
+     benchmark isolates compilation *)
+  let db_x64 =
+    Experiments.make_db ~mem_size:(64 * 1024 * 1024) Target.x64 Experiments.Tpcds ~sf:1
+  in
+  let db_a64 =
+    Experiments.make_db ~mem_size:(64 * 1024 * 1024) Target.a64 Experiments.Tpcds ~sf:1
+  in
+  let kernel target backend () =
+    let db = if target.Target.arch = Target.X64 then db_x64 else db_a64 in
+    ignore
+      (Experiments.run_workload ~execute:false ~timing_enabled:false db backend queries)
+  in
+  let tests =
+    [
+      Test.make ~name:"table1_gcc" (Staged.stage (kernel Target.x64 Engine.gcc));
+      Test.make ~name:"fig2_llvm_cheap" (Staged.stage (kernel Target.x64 Engine.llvm_cheap));
+      Test.make ~name:"fig2_llvm_opt" (Staged.stage (kernel Target.x64 Engine.llvm_opt));
+      Test.make ~name:"fig3_llvm_cheap_a64" (Staged.stage (kernel Target.a64 Engine.llvm_cheap));
+      Test.make ~name:"table2_fig4_cranelift" (Staged.stage (kernel Target.x64 Engine.cranelift));
+      Test.make ~name:"fig5_directemit" (Staged.stage (kernel Target.x64 Engine.directemit));
+      Test.make ~name:"table3_fig6_interpreter" (Staged.stage (kernel Target.x64 Engine.interpreter));
+      Test.make ~name:"fig7_tpch_llvm_opt" (Staged.stage (kernel Target.x64 Engine.llvm_opt));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:12 ~quota:(Time.second 1.5) () in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"qcomp" ~fmt:"%s %s" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "  %-34s %14s\n" "benchmark" "time/run";
+  Hashtbl.iter
+    (fun name v ->
+      match Analyze.OLS.estimates v with
+      | Some (e :: _) -> Printf.printf "  %-34s %11.3f ms\n" name (e /. 1e6)
+      | _ -> Printf.printf "  %-34s %14s\n" name "n/a")
+    results
+
+(* ---------------- driver ---------------- *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("table2", table2);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("table3", table3);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fallbacks", fallbacks);
+    ("ablation-struct", ablation_struct);
+    ("ablation-codemodel", ablation_codemodel);
+    ("ablation-tm", ablation_tm);
+    ("bechamel", bechamel_suite);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = if args = [] || args = [ "all" ] then List.map fst experiments else args in
+  List.iter
+    (fun a ->
+      match List.assoc_opt a experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s; available: %s all\n" a
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    args

@@ -1,0 +1,91 @@
+(* differential bisection: interp vs llvm backends on micro plans *)
+open Qcomp_engine
+open Qcomp_plan
+open Qcomp_storage
+
+let target =
+  if Array.length Sys.argv > 2 && Sys.argv.(2) = "a64" then Qcomp_vm.Target.a64
+  else Qcomp_vm.Target.x64
+
+let make_db () =
+  let db = Engine.create_db target in
+  let t = Schema.make "t" [ ("id", Schema.Int64); ("grp", Schema.Int32); ("amt", Schema.Decimal 2); ("tag", Schema.Str) ] in
+  let _ = Engine.add_table db t ~rows:500 ~seed:3L
+    [| Datagen.Serial 0; Datagen.Uniform (0, 7); Datagen.DecimalRange (1, 9999); Datagen.Words (Datagen.word_pool, 1) |] in
+  db
+
+let plans =
+  [ ("scan_filter_int", Algebra.Filter { input = Algebra.Scan { table = "t"; filter = None }; pred = Expr.(col 1 >% int32 3) });
+    ("filter_dec", Algebra.Filter { input = Algebra.Scan { table = "t"; filter = None }; pred = Expr.(col 2 >% dec ~scale:2 5000) });
+    ("proj_arith", Algebra.Project { input = Algebra.Scan { table = "t"; filter = None }; exprs = Expr.[ col 0 +% int64 7L; col 2 *% int32 3; col 2 +% col 2 ] });
+    ("count_grp", Algebra.Group_by { input = Algebra.Scan { table = "t"; filter = None }; keys = [ Expr.col 1 ]; aggs = [ Algebra.Count_star ] });
+    ("sum_int", Algebra.Group_by { input = Algebra.Scan { table = "t"; filter = None }; keys = [ Expr.col 1 ]; aggs = [ Algebra.Sum (Expr.col 0) ] });
+    ("key_int64", Algebra.Group_by { input = Algebra.Scan { table = "t"; filter = None }; keys = [ Expr.Cast (Expr.col 1, Sqlty.Int64) ]; aggs = [ Algebra.Count_star ] });
+    ("key_dec", Algebra.Group_by { input = Algebra.Scan { table = "t"; filter = None }; keys = [ Expr.col 2 ]; aggs = [ Algebra.Count_star ] });
+    ("sum_dec", Algebra.Group_by { input = Algebra.Scan { table = "t"; filter = None }; keys = [ Expr.col 1 ]; aggs = [ Algebra.Sum (Expr.col 2) ] });
+    ("avg_dec", Algebra.Group_by { input = Algebra.Scan { table = "t"; filter = None }; keys = [ Expr.col 1 ]; aggs = [ Algebra.Avg (Expr.col 2) ] });
+    ("minmax", Algebra.Group_by { input = Algebra.Scan { table = "t"; filter = None }; keys = [ Expr.col 1 ]; aggs = [ Algebra.Min (Expr.col 0); Algebra.Max (Expr.col 2) ] });
+    ("strkey", Algebra.Group_by { input = Algebra.Scan { table = "t"; filter = None }; keys = [ Expr.col 3 ]; aggs = [ Algebra.Count_star ] });
+    ("orderby", Algebra.Order_by { input = Algebra.Scan { table = "t"; filter = Some Expr.(col 1 =% int32 2) }; keys = [ (Expr.col 2, Algebra.Desc) ]; limit = Some 7 });
+    ("like", Algebra.Filter { input = Algebra.Scan { table = "t"; filter = None }; pred = Expr.(Like (col 3, "%a%")) });
+    ("case", Algebra.Project { input = Algebra.Scan { table = "t"; filter = None }; exprs = [ Expr.Case ([ (Expr.(col 1 <% int32 4), Expr.(col 2 *% int32 2)) ], Expr.dec ~scale:2 0) ] });
+  ]
+
+let () =
+  let backend_name = try Sys.argv.(1) with _ -> "llvm-cheap" in
+  let backend = match backend_name with
+    | "llvm-cheap" -> Engine.llvm_cheap
+    | "llvm-opt" -> Engine.llvm_opt
+    | "llvm-dag-fastra" ->
+        Qcomp_llvm.Orc.opt_override :=
+          Some { Qcomp_llvm.Orc.opt_config with Qcomp_llvm.Orc.optimize = false;
+                 greedy_ra = false; isel = Qcomp_llvm.Orc.Isel_dag };
+        Engine.llvm_opt
+    | "llvm-dag-greedy" ->
+        Qcomp_llvm.Orc.opt_override :=
+          Some { Qcomp_llvm.Orc.opt_config with Qcomp_llvm.Orc.optimize = false };
+        Engine.llvm_opt
+    | "llvm-o2-fastra" ->
+        Qcomp_llvm.Orc.opt_override :=
+          Some { Qcomp_llvm.Orc.opt_config with Qcomp_llvm.Orc.greedy_ra = false };
+        Engine.llvm_opt
+    | "gisel-cheap" ->
+        Qcomp_llvm.Orc.cheap_override :=
+          Some { Qcomp_llvm.Orc.cheap_config with Qcomp_llvm.Orc.isel = Qcomp_llvm.Orc.Isel_gisel };
+        Engine.llvm_cheap
+    | "gisel-opt" ->
+        Qcomp_llvm.Orc.opt_override :=
+          Some { Qcomp_llvm.Orc.opt_config with Qcomp_llvm.Orc.isel = Qcomp_llvm.Orc.Isel_gisel };
+        Engine.llvm_opt
+    | "pairs" ->
+        Qcomp_llvm.Orc.cheap_override :=
+          Some { Qcomp_llvm.Orc.cheap_config with Qcomp_llvm.Orc.pairs_as_struct = true };
+        Engine.llvm_cheap
+    | "large-cm" ->
+        Qcomp_llvm.Orc.cheap_override :=
+          Some { Qcomp_llvm.Orc.cheap_config with Qcomp_llvm.Orc.code_model_large = true };
+        Engine.llvm_cheap
+    | "no-fi-crc" ->
+        Qcomp_llvm.Orc.cheap_override :=
+          Some { Qcomp_llvm.Orc.cheap_config with Qcomp_llvm.Orc.fastisel_crc32 = false };
+        Engine.llvm_cheap
+    | "cranelift" -> Engine.cranelift
+    | "gcc" -> Engine.gcc
+    | "directemit" -> Engine.directemit
+    | _ -> failwith "?" in
+  List.iter
+    (fun (nm, plan) ->
+      let db = make_db () in
+      let timing = Qcomp_support.Timing.create ~enabled:false () in
+      let r1, _, _ = Engine.run_plan db ~backend:Engine.interpreter ~timing ~name:(nm ^ "_i") plan in
+      let c1 = Engine.checksum r1.Engine.rows in
+      (try
+        Printexc.record_backtrace true;
+        let r2, _, _ = Engine.run_plan db ~backend ~timing ~name:(nm ^ "_x") plan in
+        let c2 = Engine.checksum r2.Engine.rows in
+        Printf.printf "%-16s %s (%d vs %d rows)\n%!" nm
+          (if Int64.equal c1 c2 then "ok" else "WRONG") r1.Engine.output_count r2.Engine.output_count
+      with e ->
+        Printf.printf "%-16s EXN %s\n%s\n%!" nm (Printexc.to_string e)
+          (Printexc.get_backtrace ())))
+    plans

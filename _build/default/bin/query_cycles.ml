@@ -1,0 +1,22 @@
+open Qcomp_engine
+module Spec = Qcomp_workloads.Spec
+let () =
+  let target = Qcomp_vm.Target.x64 in
+  let qname = if Array.length Sys.argv > 1 then Sys.argv.(1) else "ds001" in
+  let wl = if String.length qname >= 2 && String.sub qname 0 2 = "ds" then Experiments.Tpcds else Experiments.Tpch in
+  List.iter
+    (fun (bname, b) ->
+      let db = Experiments.make_db target wl ~sf:2 in
+      let q = List.find (fun (q : Spec.query) -> q.Spec.q_name = qname) (Experiments.queries_of wl) in
+      let cq = Engine.plan_to_ir db ~name:q.Spec.q_name q.Spec.q_plan in
+      let timing = Qcomp_support.Timing.create ~enabled:false () in
+      let cm = Qcomp_backend.Backend.compile_module b ~timing ~emu:db.Engine.emu
+          ~registry:db.Engine.registry ~unwind:db.Engine.unwind cq.Qcomp_codegen.Codegen.modul in
+      Qcomp_vm.Emu.reset_counters db.Engine.emu;
+      let r = Engine.execute db cq cm in
+      Printf.printf "%-12s cycles=%10d insts=%10d code=%7d rows=%d\n%!" bname
+        r.Engine.exec_cycles (Qcomp_vm.Emu.instructions_executed db.Engine.emu)
+        cm.Qcomp_backend.Backend.cm_code_size r.Engine.output_count)
+    [ ("interp", Engine.interpreter); ("directemit", Engine.directemit);
+      ("cranelift", Engine.cranelift); ("llvm-cheap", Engine.llvm_cheap);
+      ("llvm-opt", Engine.llvm_opt); ("gcc", Engine.gcc) ]

@@ -1,0 +1,68 @@
+(* Development smoke test: runs a small aggregation query through every
+   available back-end and checks that results agree. *)
+
+open Qcomp_engine
+open Qcomp_plan
+open Qcomp_storage
+
+let () =
+  let db = Engine.create_db Qcomp_vm.Target.x64 in
+  let schema =
+    Schema.make "items"
+      [
+        ("id", Schema.Int64);
+        ("grp", Schema.Int32);
+        ("price", Schema.Decimal 2);
+        ("name", Schema.Str);
+      ]
+  in
+  let _ =
+    Engine.add_table db schema ~rows:1000 ~seed:42L
+      [|
+        Datagen.Serial 0;
+        Datagen.Uniform (0, 4);
+        Datagen.DecimalRange (100, 99999);
+        Datagen.Words (Datagen.word_pool, 2);
+      |]
+  in
+  let plan =
+    Algebra.Order_by
+      {
+        input =
+          Algebra.Group_by
+            {
+              input =
+                Algebra.Filter
+                  {
+                    input = Algebra.Scan { table = "items"; filter = None };
+                    pred = Expr.(col 2 >% dec ~scale:2 5000);
+                  };
+              keys = [ Expr.col 1 ];
+              aggs =
+                [
+                  Algebra.Count_star;
+                  Algebra.Sum (Expr.col 2);
+                  Algebra.Avg (Expr.col 2);
+                ];
+            };
+        keys = [ (Expr.col 0, Algebra.Asc) ];
+        limit = None;
+      }
+  in
+  let run backend tag =
+    let timing = Qcomp_support.Timing.create () in
+    let result, secs, _ =
+      Engine.run_plan db ~backend ~timing ~name:tag plan
+    in
+    Format.printf "%-12s compile %.4f s   exec %8d cycles   rows %d   checksum %Ld@."
+      tag secs result.Engine.exec_cycles result.Engine.output_count
+      (Engine.checksum result.Engine.rows);
+    Engine.checksum result.Engine.rows
+  in
+  let c1 = run Engine.interpreter "interp" in
+  let c2 = run Engine.directemit "directemit" in
+  if Int64.equal c1 c2 then print_endline "MATCH"
+  else begin
+    print_endline "MISMATCH";
+    exit 1
+  end

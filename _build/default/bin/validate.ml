@@ -1,0 +1,28 @@
+(* Differential validation tool: every back-end must reproduce the
+   interpreter's (order-sensitive) result checksum on every query of a
+   workload.  Usage: validate [tpch|tpcds] *)
+open Qcomp_engine
+module Spec = Qcomp_workloads.Spec
+let () =
+  let target = Qcomp_vm.Target.x64 in
+  let wl = if Array.length Sys.argv > 1 && Sys.argv.(1) = "tpch" then Experiments.Tpch else Experiments.Tpcds in
+  let sf = 2 in
+  let queries = Experiments.queries_of wl in
+  let refr = Experiments.measure target wl ~sf Engine.interpreter in
+  let refsums = List.map (fun q -> (q.Experiments.qr_name, q.Experiments.qr_checksum)) refr.Experiments.wr_queries in
+  List.iter
+    (fun (bname, b) ->
+      List.iter
+        (fun (q : Spec.query) ->
+          let db = Experiments.make_db target wl ~sf in
+          try
+            let r = Experiments.run_workload ~timing_enabled:false db b [ q ] in
+            let qr = List.hd r.Experiments.wr_queries in
+            let expect = List.assoc q.Spec.q_name refsums in
+            if not (Int64.equal qr.Experiments.qr_checksum expect) then
+              Printf.printf "%s %s WRONG\n%!" bname q.Spec.q_name
+          with e -> Printf.printf "%s %s EXN %s\n%!" bname q.Spec.q_name (Printexc.to_string e))
+        queries;
+      Printf.printf "%s done\n%!" bname)
+    [ ("directemit", Engine.directemit); ("cranelift", Engine.cranelift);
+      ("llvm-cheap", Engine.llvm_cheap); ("llvm-opt", Engine.llvm_opt); ("gcc", Engine.gcc) ]

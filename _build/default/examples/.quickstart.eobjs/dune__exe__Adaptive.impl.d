@@ -1,0 +1,1 @@
+examples/adaptive.ml: Algebra Datagen Engine Expr List Printf Qcomp_engine Qcomp_plan Qcomp_storage Qcomp_support Qcomp_vm Schema Sqlty

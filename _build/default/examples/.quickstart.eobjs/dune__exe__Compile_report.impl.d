@@ -1,0 +1,1 @@
+examples/compile_report.ml: Algebra Array Datagen Engine Expr Format List Printf Qcomp_backend Qcomp_codegen Qcomp_engine Qcomp_plan Qcomp_storage Qcomp_support Qcomp_vm Schema Sys

@@ -1,0 +1,1 @@
+examples/compile_report.mli:

@@ -1,0 +1,1 @@
+examples/interactive_exploration.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algebra Array Datagen Engine Expr Format List Printf Qcomp_backend Qcomp_engine Qcomp_plan Qcomp_storage Qcomp_support Qcomp_vm Schema Sys

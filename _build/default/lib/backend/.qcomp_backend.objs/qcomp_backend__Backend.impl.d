@@ -1,0 +1,1 @@
+lib/backend/backend.ml: Emu List Qcomp_ir Qcomp_runtime Qcomp_support Qcomp_vm Registry Timing Unwind

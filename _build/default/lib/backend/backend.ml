@@ -1,0 +1,44 @@
+(** Common interface of the execution back-ends.
+
+    A back-end compiles an Umbra IR module into callable addresses —
+    machine code registered with the emulator, or (for the interpreter)
+    host dispatch slots. All back-ends report phase timings through the
+    supplied {!Qcomp_support.Timing.t} collector; those timings are the
+    compile-time data behind every table and figure. *)
+
+open Qcomp_support
+open Qcomp_vm
+open Qcomp_runtime
+
+type compiled_module = {
+  cm_functions : (string * int64) list;  (** function name -> address *)
+  cm_code_size : int;  (** emitted code bytes (0 for the interpreter) *)
+  cm_stats : (string * int) list;  (** back-end specific counters *)
+}
+
+let find_fn cm name =
+  match List.assoc_opt name cm.cm_functions with
+  | Some a -> a
+  | None -> invalid_arg ("compiled module has no function " ^ name)
+
+module type S = sig
+  val name : string
+
+  val compile_module :
+    timing:Timing.t ->
+    emu:Emu.t ->
+    registry:Registry.t ->
+    unwind:Unwind.t ->
+    Qcomp_ir.Func.modul ->
+    compiled_module
+end
+
+type t = (module S)
+
+let name (b : t) =
+  let module B = (val b) in
+  B.name
+
+let compile_module (b : t) ~timing ~emu ~registry ~unwind m =
+  let module B = (val b) in
+  B.compile_module ~timing ~emu ~registry ~unwind m

@@ -1,0 +1,1 @@
+lib/clif_backend/cemit.ml: Array Asm Bitset Hashtbl Int64 List Minst Qcomp_support Qcomp_vm Regalloc Target Unwind Vcode Vec

@@ -1,0 +1,1 @@
+lib/clif_backend/cir.ml: Array List Qcomp_ir Qcomp_support Qcomp_vm Vec

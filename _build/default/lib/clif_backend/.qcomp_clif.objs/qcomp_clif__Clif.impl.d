@@ -1,0 +1,1 @@
+lib/clif_backend/clif.ml: Asm Bytes Cemit Cir Emu Frontend Func Graph Int64 Isel List Qcomp_backend Qcomp_ir Qcomp_runtime Qcomp_support Qcomp_vm Regalloc Registry Timing Unwind Vcode Vec

@@ -1,0 +1,1 @@
+lib/clif_backend/frontend.ml: Array Cir Func Hashtbl Int64 List Op Printf Qcomp_ir Qcomp_support Ty

@@ -1,0 +1,1 @@
+lib/clif_backend/isel.ml: Array Cir Format Frontend Int64 List Minst Qcomp_vm Target Vcode

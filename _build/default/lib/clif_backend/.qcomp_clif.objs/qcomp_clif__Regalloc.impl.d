@@ -1,0 +1,1 @@
+lib/clif_backend/regalloc.ml: Array Bitset Btree Hashtbl List Minst Option Qcomp_support Qcomp_vm Target Vcode Vec

@@ -1,0 +1,1 @@
+lib/clif_backend/vcode.ml: Array Minst Qcomp_support Qcomp_vm Target Vec

@@ -1,0 +1,87 @@
+(** The Cranelift-like back-end (Sec. VI), assembled from the front-end,
+    the ISel-prepare passes, tree-matching instruction selection, the
+    linear-scan/B-tree register allocator and the emitter. Phase names
+    match Fig. 4: IRGen, IRPasses, ISelPrepare, ISel, RegAlloc, Emit,
+    Link. *)
+
+open Qcomp_support
+open Qcomp_ir
+open Qcomp_vm
+open Qcomp_runtime
+
+let name = "cranelift"
+
+(* Table II feature control (mutable default, overridable per module). *)
+let default_features = ref Frontend.all_features
+
+let compile_module_with ~features ~timing ~emu ~registry ~unwind
+    (m : Func.modul) : Qcomp_backend.Backend.compiled_module =
+  let target = Emu.target_of emu in
+  let extern_addr sym =
+    let e = Func.extern m sym in
+    Registry.addr registry e.Func.ext_name
+  in
+  let rt_addr nm = Registry.addr registry nm in
+  let asm = Asm.create target in
+  let fns = ref [] in
+  let spills = ref 0 in
+  let btree_ops = ref 0 in
+  Vec.iter
+    (fun f ->
+      (* IRGen: Umbra IR -> CIR (one function at a time, as in Cranelift) *)
+      let cir =
+        Timing.scope timing "IRGen" (fun () ->
+            Frontend.translate ~features ~extern_addr ~rt_addr f)
+      in
+      (* IRPasses: CFG/domtree computation on CIR *)
+      Timing.scope timing "IRPasses" (fun () ->
+          let module G = struct
+            type t = Cir.func
+
+            let num_nodes (c : t) = c.Cir.nblocks
+            let entry (_ : t) = 0
+            let iter_succs c b k = List.iter k (Cir.succs c b)
+          end in
+          let module A = Graph.Make (G) in
+          let dt = A.dominators cir in
+          ignore (A.natural_loops cir dt));
+      let vc = Vcode.create target cir.Cir.nblocks in
+      (* ISelPrepare: the three metadata passes *)
+      let prep =
+        Timing.scope timing "ISelPrepare" (fun () -> Isel.prepare cir vc ~target)
+      in
+      (* ISel: tree-matching lowering *)
+      Timing.scope timing "ISel" (fun () -> Isel.lower cir ~target ~rt_addr ~prep vc);
+      (* RegAlloc *)
+      let ra = Timing.scope timing "RegAlloc" (fun () -> Regalloc.run vc) in
+      (* Emit *)
+      let fr = Timing.scope timing "Emit" (fun () -> Cemit.emit ~asm vc ra) in
+      spills := !spills + fr.Cemit.fr_spills;
+      btree_ops := !btree_ops + fr.Cemit.fr_btree_ops;
+      fns := (f.Func.name, fr) :: !fns)
+    m.Func.funcs;
+  (* Link: copy to executable memory, apply (absolute-only) relocations,
+     and register the manually generated CFI *)
+  let code, base =
+    Timing.scope timing "Link" (fun () ->
+        let code = Asm.finish asm in
+        (code, Emu.register_code emu code))
+  in
+  Timing.scope timing "Link" (fun () ->
+      List.iter
+        (fun (_, fr) ->
+          Unwind.register unwind ~start:(base + fr.Cemit.fr_start)
+            ~size:fr.Cemit.fr_size ~sync_only:false fr.Cemit.fr_rows)
+        !fns);
+  {
+    Qcomp_backend.Backend.cm_functions =
+      List.rev_map
+        (fun (n, fr) -> (n, Int64.of_int (base + fr.Cemit.fr_start)))
+        !fns;
+    cm_code_size = Bytes.length code;
+    cm_stats = [ ("spilled_bundles", !spills); ("btree_ops", !btree_ops) ];
+  }
+
+let compile_module ~timing ~emu ~registry ~unwind m =
+  compile_module_with ~features:!default_features ~timing ~emu ~registry
+    ~unwind m

@@ -1,0 +1,67 @@
+(** VCode: machine instructions over virtual registers, the output of
+    instruction selection and the input of register allocation.
+
+    Instructions reuse {!Qcomp_vm.Minst}; register fields below
+    [vreg_base] are physical (precolored), fields at or above it are
+    virtual. Branch targets hold VCode *block ids* until emission rewrites
+    them into labels. *)
+
+open Qcomp_support
+open Qcomp_vm
+
+let vreg_base = 32
+
+type t = {
+  target : Target.t;
+  mutable nblocks : int;
+  mutable insts : Minst.t Vec.t array;  (** per block *)
+  mutable succs : int list array;
+  mutable num_vregs : int;
+  mutable reservations : (int * int * int * int) list;
+      (** (block, from pos, to pos inclusive, preg): RA must keep the preg
+          free over this span (fixed-register sequences, call arguments) *)
+  mutable call_positions : (int * int) list;  (** (block, pos) clobber sites *)
+}
+
+let create target nblocks =
+  {
+    target;
+    nblocks;
+    insts = Array.init nblocks (fun _ -> Vec.create ~dummy:Minst.Nop ());
+    succs = Array.make nblocks [];
+    num_vregs = 0;
+    reservations = [];
+    call_positions = [];
+  }
+
+let add_block vc =
+  let b = vc.nblocks in
+  vc.nblocks <- b + 1;
+  let insts' = Array.make vc.nblocks (Vec.create ~dummy:Minst.Nop ()) in
+  Array.blit vc.insts 0 insts' 0 b;
+  insts'.(b) <- Vec.create ~dummy:Minst.Nop ();
+  vc.insts <- insts';
+  let succs' = Array.make vc.nblocks [] in
+  Array.blit vc.succs 0 succs' 0 b;
+  vc.succs <- succs';
+  b
+
+let new_vreg vc =
+  let v = vreg_base + vc.num_vregs in
+  vc.num_vregs <- vc.num_vregs + 1;
+  v
+
+let push vc b (i : Minst.t) = ignore (Vec.push vc.insts.(b) i)
+let block_len vc b = Vec.length vc.insts.(b)
+
+let reserve vc ~block ~from_pos ~to_pos preg =
+  vc.reservations <- (block, from_pos, to_pos, preg) :: vc.reservations
+
+let record_call vc ~block ~pos =
+  vc.call_positions <- (block, pos) :: vc.call_positions
+
+let is_vreg r = r >= vreg_base
+
+let defs_uses = Minst.defs_uses
+let map_regs = Minst.map_regs
+let is_call = Minst.is_call

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Algebra Array Builder Expr Format Func Hashtbl Int Int64 Layout List Op Printf Qcomp_ir Qcomp_plan Qcomp_runtime Qcomp_storage Qcomp_support Qcomp_vm Set Sqlty Ty

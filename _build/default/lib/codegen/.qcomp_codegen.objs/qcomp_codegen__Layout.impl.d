@@ -1,0 +1,1 @@
+lib/codegen/layout.ml: Array List Qcomp_plan Sqlty

@@ -1,0 +1,27 @@
+(** Tuple layouts for materialized rows (hash-table payloads, sort buffers,
+    output rows). Fields are aligned to their natural alignment; total size
+    is rounded up to 8 bytes. *)
+
+open Qcomp_plan
+
+type field = { f_ty : Sqlty.t; f_off : int }
+
+type t = { fields : field array; size : int }
+
+let of_tys (tys : Sqlty.t list) =
+  let off = ref 0 in
+  let fields =
+    List.map
+      (fun ty ->
+        let align = Sqlty.tuple_align ty in
+        off := (!off + align - 1) land lnot (align - 1);
+        let f = { f_ty = ty; f_off = !off } in
+        off := !off + Sqlty.tuple_size ty;
+        f)
+      tys
+  in
+  { fields = Array.of_list fields; size = (!off + 7) land lnot 7 }
+
+let field t i = t.fields.(i)
+let num_fields t = Array.length t.fields
+let size t = max 8 t.size

@@ -1,0 +1,1 @@
+lib/directemit/analysis.ml: Array Bitset Func Graph List Liveness Op Qcomp_ir Qcomp_support Ty Vec

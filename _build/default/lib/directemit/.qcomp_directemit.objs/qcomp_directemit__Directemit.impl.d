@@ -1,0 +1,1 @@
+lib/directemit/directemit.ml: Analysis Array Asm Bytes Emit Emu Func Int64 List Minst Qcomp_backend Qcomp_ir Qcomp_runtime Qcomp_support Qcomp_vm Registry Target Timing Ty Unwind Vec

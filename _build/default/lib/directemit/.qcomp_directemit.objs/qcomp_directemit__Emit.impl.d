@@ -1,0 +1,1 @@
+lib/directemit/emit.ml: Analysis Array Asm Format Func Graph Int64 List Minst Op Qcomp_ir Qcomp_support Qcomp_vm Target Ty Vec

@@ -1,0 +1,109 @@
+(** The DirectEmit back-end (Sec. VII): a single analysis pass plus a single
+    code-generation pass per function, x86-64 only, with synchronous-only
+    DWARF CFI written alongside the code. *)
+
+open Qcomp_support
+open Qcomp_ir
+open Qcomp_vm
+open Qcomp_runtime
+
+let name = "directemit"
+
+let compile_func ~asm ~target ~extern_addr ~rt_addr ~timing (f : Func.t) =
+  let an = Timing.scope timing "Analysis" (fun () -> Analysis.compute f) in
+  Timing.scope timing "CodeGen" (fun () ->
+      (* align function starts *)
+      while Asm.offset asm land 15 <> 0 do
+        Asm.emit asm Minst.Nop
+      done;
+      let start = Asm.offset asm in
+      let st = Emit.create asm f target an extern_addr rt_addr in
+      (* prologue: frame allocation, patched once the frame size is known *)
+      let frame_patch = Asm.offset asm + 2 in
+      Asm.emit asm (Minst.Alu_ri (Minst.Sub, target.Target.sp, 0x7FFFFFFFL));
+      let after_prologue = Asm.offset asm - start in
+      (* incoming arguments *)
+      let argk = ref 0 in
+      for a = 0 to Func.n_args f - 1 do
+        Emit.attach st target.Target.arg_regs.(!argk) a 0;
+        incr argk;
+        if Func.ty f a = Ty.I128 then begin
+          Emit.attach st target.Target.arg_regs.(!argk) a 1;
+          incr argk
+        end;
+        if an.Analysis.needs_slot.(a) then Emit.store_to_slot st a
+      done;
+      (* body, blocks in reverse postorder; the entry block keeps the
+         argument registers attached *)
+      let first = ref true in
+      Array.iter
+        (fun b ->
+          Asm.bind asm st.Emit.block_labels.(b);
+          st.Emit.cur_block <- b;
+          if !first then first := false else Emit.clear_regs st;
+          Vec.iteri
+            (fun pos i ->
+              st.Emit.cur_pos <- pos;
+              Emit.emit_inst st i)
+            (Func.block_insts f b))
+        an.Analysis.order;
+      (* epilogue *)
+      Asm.bind asm st.Emit.epilogue;
+      let epi_patch = Asm.offset asm + 2 in
+      Asm.emit asm (Minst.Alu_ri (Minst.Add, target.Target.sp, 0x7FFFFFFFL));
+      Asm.emit asm Minst.Ret;
+      (* shared overflow trap *)
+      if st.Emit.trap_label >= 0 then begin
+        Asm.bind asm st.Emit.trap_label;
+        Asm.emit asm (Minst.Mov_ri (target.Target.scratch, rt_addr "umbra_throwOverflow"));
+        Asm.emit asm (Minst.Call_ind target.Target.scratch);
+        Asm.emit asm (Minst.Brk 1)
+      end;
+      let frame = (st.Emit.frame + 15) land lnot 15 in
+      Asm.patch_imm32 asm frame_patch frame;
+      Asm.patch_imm32 asm epi_patch frame;
+      let size = Asm.offset asm - start in
+      (* synchronous-only CFI rows *)
+      let rows =
+        [
+          (0, { Unwind.cfa_offset = 8; saved_regs = [] });
+          (after_prologue, { Unwind.cfa_offset = 8 + frame; saved_regs = [] });
+        ]
+      in
+      (start, size, rows))
+
+let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
+    Qcomp_backend.Backend.compiled_module =
+  let target = Emu.target_of emu in
+  if target.Target.arch <> Target.X64 then
+    invalid_arg "DirectEmit only supports x86-64 (as in the paper)";
+  let extern_addr sym =
+    let e = Func.extern m sym in
+    Registry.addr registry e.Func.ext_name
+  in
+  let rt_addr nm = Registry.addr registry nm in
+  let asm = Asm.create target in
+  let fns = ref [] in
+  Vec.iter
+    (fun f ->
+      let start, size, rows =
+        compile_func ~asm ~target ~extern_addr ~rt_addr ~timing f
+      in
+      fns := (f.Func.name, start, size, rows) :: !fns)
+    m.Func.funcs;
+  let code =
+    Timing.scope timing "Finalize" (fun () -> Asm.finish asm)
+  in
+  let base = Emu.register_code emu code in
+  (* register CFI now that absolute addresses exist *)
+  Timing.scope timing "UnwindInfo" (fun () ->
+      List.iter
+        (fun (_, start, size, rows) ->
+          Unwind.register unwind ~start:(base + start) ~size ~sync_only:true rows)
+        !fns);
+  {
+    Qcomp_backend.Backend.cm_functions =
+      List.rev_map (fun (n, start, _, _) -> (n, Int64.of_int (base + start))) !fns;
+    cm_code_size = Bytes.length code;
+    cm_stats = [];
+  }

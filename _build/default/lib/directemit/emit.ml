@@ -1,0 +1,1158 @@
+(** DirectEmit code generation: one pass over the blocks in reverse
+    postorder, translating each Umbra IR instruction directly to x86-64
+    machine code with on-the-fly greedy register allocation (Sec. VII).
+
+    Location discipline: values whose live range leaves their defining
+    block (or crosses a clobber point) are stored to a stack slot at their
+    definition; registers never survive block boundaries or calls. Within
+    a block, registers are allocated greedily and freed after a value's
+    last local use; eviction prefers values that already have a stack home
+    and values defined outside the current loop (the loop-aware spill
+    heuristic the paper mentions). DWARF CFI is written in parallel,
+    synchronous-only. *)
+
+open Qcomp_support
+open Qcomp_ir
+open Qcomp_vm
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+type st = {
+  asm : Asm.t;
+  f : Func.t;
+  target : Target.t;
+  an : Analysis.t;
+  extern_addr : int -> int64;
+  rt_addr : string -> int64;  (** runtime helpers referenced by name *)
+  (* register file state *)
+  reg_owner : int array;  (** reg -> value id or -1 *)
+  reg_lane : int array;  (** reg -> 0 (lo) / 1 (hi) *)
+  reg_of : int array;  (** value -> reg holding lo lane, or -1 *)
+  reg2_of : int array;  (** value -> reg holding hi lane, or -1 *)
+  slot_of : int array;  (** value -> frame offset, or -1 *)
+  mutable frame : int;
+  mutable cur_block : int;
+  mutable cur_pos : int;
+  block_labels : int array;
+  mutable epilogue : int;  (** label *)
+  mutable trap_label : int;  (** lazily created overflow-trap label, -1 *)
+  mutable frame_patch : int;  (** byte position of the prologue frame imm *)
+  mutable epilogue_patches : int list;
+}
+
+let rax = 0
+let rdx = 2
+
+let create asm f target an extern_addr rt_addr =
+  let nv = Func.num_insts f in
+  {
+    asm;
+    f;
+    target;
+    an;
+    extern_addr;
+    rt_addr;
+    reg_owner = Array.make target.Target.num_regs (-1);
+    reg_lane = Array.make target.Target.num_regs 0;
+    reg_of = Array.make nv (-1);
+    reg2_of = Array.make nv (-1);
+    slot_of = Array.make nv (-1);
+    frame = 0;
+    cur_block = 0;
+    cur_pos = 0;
+    block_labels = Array.init (Func.num_blocks f) (fun _ -> Asm.new_label asm);
+    epilogue = Asm.new_label asm;
+    trap_label = -1;
+    frame_patch = -1;
+    epilogue_patches = [];
+  }
+
+let emit st i = Asm.emit st.asm i
+let sp st = st.target.Target.sp
+
+let slot st v =
+  if st.slot_of.(v) >= 0 then st.slot_of.(v)
+  else begin
+    let size = if Func.ty st.f v = Ty.I128 then 16 else 8 in
+    let off = st.frame in
+    st.frame <- st.frame + size;
+    st.slot_of.(v) <- off;
+    off
+  end
+
+let fresh_slot st size =
+  let off = st.frame in
+  st.frame <- st.frame + size;
+  off
+
+(* ---------------- register file ---------------- *)
+
+let detach st r =
+  let v = st.reg_owner.(r) in
+  if v >= 0 then begin
+    if st.reg_lane.(r) = 0 then st.reg_of.(v) <- -1 else st.reg2_of.(v) <- -1;
+    st.reg_owner.(r) <- -1
+  end
+
+let attach st r v lane =
+  detach st r;
+  st.reg_owner.(r) <- v;
+  st.reg_lane.(r) <- lane;
+  if lane = 0 then st.reg_of.(v) <- r else st.reg2_of.(v) <- r
+
+(** Drop all register ownership (block boundaries, call clobbers). Values
+    that matter have stack homes by construction. *)
+let clear_regs st =
+  Array.iteri (fun r v -> if v >= 0 then detach st r) (Array.copy st.reg_owner)
+
+(* Store a value's register lanes to its slot. *)
+let store_to_slot st v =
+  let off = slot st v in
+  let lo = st.reg_of.(v) in
+  assert (lo >= 0);
+  emit st (Minst.St { src = lo; base = sp st; off; size = 8 });
+  if Func.ty st.f v = Ty.I128 then begin
+    let hi = st.reg2_of.(v) in
+    assert (hi >= 0);
+    emit st (Minst.St { src = hi; base = sp st; off = off + 8; size = 8 })
+  end
+
+(** Pick a register to allocate, evicting if necessary. [avoid] registers
+    are never picked. *)
+let alloc_reg ?(avoid = []) st =
+  let ok r = not (List.mem r avoid) in
+  let alloc = st.target.Target.allocatable in
+  (* free register first *)
+  let free =
+    Array.fold_left
+      (fun acc r -> match acc with Some _ -> acc | None -> if ok r && st.reg_owner.(r) < 0 then Some r else None)
+      None alloc
+  in
+  match free with
+  | Some r -> r
+  | None ->
+      (* Eviction: prefer an owner that already has a home; among those,
+         prefer values defined outside the current loop. *)
+      let cur_depth = st.an.Analysis.loops.Graph.Func_analysis.depth.(st.cur_block) in
+      let score r =
+        let v = st.reg_owner.(r) in
+        let has_home = st.slot_of.(v) >= 0 in
+        let def_depth =
+          let db = st.an.Analysis.def_block.(v) in
+          if db >= 0 then st.an.Analysis.loops.Graph.Func_analysis.depth.(db) else 0
+        in
+        ((if has_home then 0 else 1000) + if def_depth < cur_depth then 0 else 100)
+      in
+      let best =
+        Array.fold_left
+          (fun acc r ->
+            if not (ok r) || st.reg_owner.(r) < 0 then acc
+            else
+              match acc with
+              | None -> Some r
+              | Some b -> if score r < score b then Some r else acc)
+          None alloc
+      in
+      let r = match best with Some r -> r | None -> unsupported "register pressure" in
+      let v = st.reg_owner.(r) in
+      (* spill if the evicted lane has no home *)
+      if st.slot_of.(v) < 0 then begin
+        let off = slot st v in
+        let lane_off = if st.reg_lane.(r) = 1 then 8 else 0 in
+        (* make sure both lanes of an i128 get written *)
+        if Func.ty st.f v = Ty.I128 then begin
+          let other = if st.reg_lane.(r) = 0 then st.reg2_of.(v) else st.reg_of.(v) in
+          if other >= 0 then
+            emit st
+              (Minst.St { src = other; base = sp st; off = off + (8 - lane_off); size = 8 })
+        end;
+        emit st (Minst.St { src = r; base = sp st; off = off + lane_off; size = 8 })
+      end
+      else begin
+        (* value has a home; is it current? values with homes are stored at
+           definition, so the home is always up to date *)
+        ()
+      end;
+      detach st r;
+      r
+
+(** Bring lane [lane] of value [v] into a register. *)
+let use_lane ?(avoid = []) st v lane =
+  let r0 = if lane = 0 then st.reg_of.(v) else st.reg2_of.(v) in
+  if r0 >= 0 && not (List.mem r0 avoid) then r0
+  else if r0 >= 0 then begin
+    (* in an avoided register: copy out *)
+    let r = alloc_reg ~avoid st in
+    emit st (Minst.Mov_rr (r, r0));
+    detach st r0;
+    attach st r v lane;
+    r
+  end
+  else begin
+    let off = st.slot_of.(v) in
+    if off < 0 then
+      unsupported "value %%%d (lane %d) has no location at ^%d:%d" v lane
+        st.cur_block st.cur_pos;
+    let r = alloc_reg ~avoid st in
+    emit st (Minst.Ld { dst = r; base = sp st; off = off + (8 * lane); size = 8; sext = false });
+    attach st r v lane;
+    r
+  end
+
+let use ?avoid st v = use_lane ?avoid st v 0
+let use_hi ?avoid st v = use_lane ?avoid st v 1
+
+(** Allocate result register(s) for value [v]. *)
+let def ?(avoid = []) st v =
+  let r = alloc_reg ~avoid st in
+  attach st r v 0;
+  r
+
+let def_hi ?(avoid = []) st v =
+  let r = alloc_reg ~avoid st in
+  attach st r v 1;
+  r
+
+(** After computing a definition: persist it if it needs a stack home. *)
+let finish_def st v = if st.an.Analysis.needs_slot.(v) then store_to_slot st v
+
+(** Free registers of operands whose last local use has passed. *)
+let kill_dead_operand st v =
+  if
+    st.an.Analysis.def_block.(v) = st.cur_block
+    && st.an.Analysis.last_use.(v) <= st.cur_pos
+  then begin
+    if st.reg_of.(v) >= 0 then detach st st.reg_of.(v);
+    if st.reg2_of.(v) >= 0 then detach st st.reg2_of.(v)
+  end
+
+(** Force [v]'s lane into the specific register [r]. *)
+(* Spill the owner of [r] to its home when the home may be stale: values
+   with analysis-assigned homes are written at definition, but a home
+   allocated on the fly here has only been written for the lane that forced
+   the allocation — so write every lane still in a register. *)
+let spill_owner st r =
+  let o = st.reg_owner.(r) in
+  if st.slot_of.(o) < 0 then begin
+    let off = slot st o in
+    let lane_off = if st.reg_lane.(r) = 1 then 8 else 0 in
+    if Func.ty st.f o = Ty.I128 then begin
+      let other = if st.reg_lane.(r) = 0 then st.reg2_of.(o) else st.reg_of.(o) in
+      if other >= 0 then
+        emit st
+          (Minst.St { src = other; base = sp st; off = off + (8 - lane_off); size = 8 })
+    end;
+    emit st (Minst.St { src = r; base = sp st; off = off + lane_off; size = 8 })
+  end
+
+let force_reg st v lane r =
+  let cur = if lane = 0 then st.reg_of.(v) else st.reg2_of.(v) in
+  if cur = r then ()
+  else begin
+    (* evacuate r *)
+    (if st.reg_owner.(r) >= 0 then begin
+       spill_owner st r;
+       detach st r
+     end);
+    if cur >= 0 then begin
+      emit st (Minst.Mov_rr (r, cur));
+      detach st cur
+    end
+    else begin
+      let off = st.slot_of.(v) in
+      if off < 0 then unsupported "value %%%d has no location" v;
+      emit st (Minst.Ld { dst = r; base = sp st; off = off + (8 * lane); size = 8; sext = false })
+    end;
+    attach st r v lane
+  end
+
+(** Free a specific register (spilling its owner to its home). *)
+let evacuate st r =
+  if st.reg_owner.(r) >= 0 then begin
+    spill_owner st r;
+    detach st r
+  end
+
+(* ---------------- helpers ---------------- *)
+
+let trap st =
+  if st.trap_label < 0 then st.trap_label <- Asm.new_label st.asm;
+  st.trap_label
+
+let cmp_to_cond (c : Op.cmp) : Minst.cond =
+  match c with
+  | Op.Eq -> Minst.Eq
+  | Op.Ne -> Minst.Ne
+  | Op.Slt -> Minst.Slt
+  | Op.Sle -> Minst.Sle
+  | Op.Sgt -> Minst.Sgt
+  | Op.Sge -> Minst.Sge
+  | Op.Ult -> Minst.Ult
+  | Op.Ule -> Minst.Ule
+  | Op.Ugt -> Minst.Ugt
+  | Op.Uge -> Minst.Uge
+
+let canon_bits (ty : Ty.t) =
+  match ty with Ty.I8 -> 8 | Ty.I16 -> 16 | Ty.I32 -> 32 | _ -> 0
+
+(** Re-sign-extend a narrow result to keep the canonical representation. *)
+let canonicalize st ty r =
+  let bits = canon_bits ty in
+  if bits <> 0 then emit st (Minst.Ext { dst = r; src = r; bits; signed = true })
+
+let alu_of_op (op : Op.t) : Minst.alu =
+  match op with
+  | Op.Add | Op.Saddtrap -> Minst.Add
+  | Op.Sub | Op.Ssubtrap -> Minst.Sub
+  | Op.Mul | Op.Smultrap -> Minst.Mul
+  | Op.And -> Minst.And
+  | Op.Or -> Minst.Or
+  | Op.Xor -> Minst.Xor
+  | Op.Shl -> Minst.Shl
+  | Op.Lshr -> Minst.Shr
+  | Op.Ashr -> Minst.Sar
+  | Op.Rotr -> Minst.Ror
+  | _ -> unsupported "not an ALU op"
+
+(** Constant-value view of an operand (for shift immediates etc.). *)
+let const_of st v =
+  match Func.op st.f v with
+  | Op.Const -> Some (Func.imm st.f v)
+  | Op.Sext | Op.Zext -> (
+      match Func.op st.f (Func.x st.f v) with
+      | Op.Const -> Some (Func.imm st.f (Func.x st.f v))
+      | _ -> None)
+  | _ -> None
+
+(* ---------------- instruction emission ---------------- *)
+
+let rec emit_inst st i =
+  let f = st.f in
+  let ty = Func.ty f i in
+  let x = Func.x f i and y = Func.y f i in
+  match Func.op f i with
+  | Op.Nop | Op.Arg | Op.Phi -> ()
+  | Op.Const ->
+      let d = def st i in
+      emit st (Minst.Mov_ri (d, Func.imm f i));
+      if ty = Ty.I128 then begin
+        let dhi = def_hi ~avoid:[ d ] st i in
+        emit st (Minst.Mov_ri (dhi, Int64.shift_right (Func.imm f i) 63))
+      end;
+      finish_def st i
+  | Op.Const128 ->
+      let hi, lo = Func.const128_value f i in
+      let dlo = def st i in
+      emit st (Minst.Mov_ri (dlo, lo));
+      let dhi = def_hi ~avoid:[ dlo ] st i in
+      emit st (Minst.Mov_ri (dhi, hi));
+      finish_def st i
+  | Op.Isnull | Op.Isnotnull ->
+      let rx = use st x in
+      kill_dead_operand st x;
+      emit st (Minst.Cmp_ri (rx, 0L));
+      let d = def st i in
+      emit st
+        (Minst.Setcc ((if Func.op f i = Op.Isnull then Minst.Eq else Minst.Ne), d));
+      finish_def st i
+  | Op.Add | Op.Sub | Op.Mul | Op.And | Op.Or | Op.Xor ->
+      if ty = Ty.I128 then emit_i128_bin st i
+      else begin
+        let rx = use st x in
+        let ry = use ~avoid:[ rx ] st y in
+        kill_dead_operand st x;
+        kill_dead_operand st y;
+        let d = def ~avoid:[ rx; ry ] st i in
+        emit st (Minst.Mov_rr (d, rx));
+        emit st (Minst.Alu_rr (alu_of_op (Func.op f i), d, ry));
+        canonicalize st ty d;
+        finish_def st i
+      end
+  | Op.Saddtrap | Op.Ssubtrap -> emit_addsub_trap st i
+  | Op.Smultrap -> emit_mul_trap st i
+  | Op.Shl | Op.Lshr | Op.Ashr | Op.Rotr ->
+      if ty = Ty.I128 then emit_i128_shift st i
+      else begin
+        let rx = use st x in
+        kill_dead_operand st x;
+        let d =
+          match const_of st y with
+          | Some amt ->
+              let d = def ~avoid:[ rx ] st i in
+              emit st (Minst.Mov_rr (d, rx));
+              emit st (Minst.Alu_ri (alu_of_op (Func.op f i), d, amt));
+              d
+          | None ->
+              let ry = use ~avoid:[ rx ] st y in
+              kill_dead_operand st y;
+              let d = def ~avoid:[ rx; ry ] st i in
+              emit st (Minst.Mov_rr (d, rx));
+              emit st (Minst.Alu_rr (alu_of_op (Func.op f i), d, ry));
+              d
+        in
+        canonicalize st ty d;
+        finish_def st i
+      end
+  | Op.Sdiv | Op.Udiv | Op.Srem | Op.Urem -> emit_div st i
+  | Op.Cmp -> (
+      let pred = Op.cmp_of_int (Func.n f i) in
+      match Func.ty f x with
+      | Ty.I128 -> emit_i128_cmp st i pred
+      | Ty.F64 ->
+          let rx = use st x in
+          let ry = use ~avoid:[ rx ] st y in
+          kill_dead_operand st x;
+          kill_dead_operand st y;
+          emit st (Minst.Fcmp_rr (rx, ry));
+          let d = def st i in
+          emit st (Minst.Setcc (cmp_to_cond pred, d));
+          finish_def st i
+      | _ ->
+          let rx = use st x in
+          let ry = use ~avoid:[ rx ] st y in
+          kill_dead_operand st x;
+          kill_dead_operand st y;
+          emit st (Minst.Cmp_rr (rx, ry));
+          let d = def st i in
+          emit st (Minst.Setcc (cmp_to_cond pred, d));
+          finish_def st i)
+  | Op.Fcmp ->
+      let pred = Op.cmp_of_int (Func.n f i) in
+      let rx = use st x in
+      let ry = use ~avoid:[ rx ] st y in
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      emit st (Minst.Fcmp_rr (rx, ry));
+      let d = def st i in
+      emit st (Minst.Setcc (cmp_to_cond pred, d));
+      finish_def st i
+  | Op.Zext ->
+      let src_ty = Func.ty f x in
+      let rx = use st x in
+      kill_dead_operand st x;
+      let d = def ~avoid:[ rx ] st i in
+      let bits = match src_ty with Ty.I1 -> 1 | Ty.I8 -> 8 | Ty.I16 -> 16 | Ty.I32 -> 32 | _ -> 0 in
+      if bits = 0 then emit st (Minst.Mov_rr (d, rx))
+      else emit st (Minst.Ext { dst = d; src = rx; bits; signed = false });
+      if ty = Ty.I128 then begin
+        let dhi = def_hi ~avoid:[ d ] st i in
+        emit st (Minst.Mov_ri (dhi, 0L))
+      end;
+      finish_def st i
+  | Op.Sext ->
+      let rx = use st x in
+      kill_dead_operand st x;
+      let d = def ~avoid:[ rx ] st i in
+      (* sources are canonical (sign-extended), so the low lane is a move *)
+      emit st (Minst.Mov_rr (d, rx));
+      if ty = Ty.I128 then begin
+        let dhi = def_hi ~avoid:[ d ] st i in
+        emit st (Minst.Mov_rr (dhi, d));
+        emit st (Minst.Alu_ri (Minst.Sar, dhi, 63L))
+      end;
+      finish_def st i
+  | Op.Trunc ->
+      let rx = use st x in
+      kill_dead_operand st x;
+      let d = def ~avoid:[ rx ] st i in
+      emit st (Minst.Mov_rr (d, rx));
+      (match ty with
+      | Ty.I1 -> emit st (Minst.Alu_ri (Minst.And, d, 1L))
+      | _ -> canonicalize st ty d);
+      finish_def st i
+  | Op.Select -> emit_select st i
+  | Op.Load ->
+      let base = use st x in
+      kill_dead_operand st x;
+      let off = Int64.to_int (Func.imm f i) in
+      if ty = Ty.I128 then begin
+        let d = def ~avoid:[ base ] st i in
+        emit st (Minst.Ld { dst = d; base; off; size = 8; sext = false });
+        let dhi = def_hi ~avoid:[ base; d ] st i in
+        emit st (Minst.Ld { dst = dhi; base; off = off + 8; size = 8; sext = false })
+      end
+      else begin
+        let d = def ~avoid:[ base ] st i in
+        let size = max 1 (Ty.size_bytes ty) in
+        let sext = ty <> Ty.I1 && size < 8 in
+        emit st (Minst.Ld { dst = d; base; off; size; sext })
+      end;
+      finish_def st i
+  | Op.Store ->
+      let vty = Func.ty f x in
+      let base = use st y in
+      let off = Int64.to_int (Func.imm f i) in
+      if vty = Ty.I128 then begin
+        let lo = use ~avoid:[ base ] st x in
+        emit st (Minst.St { src = lo; base; off; size = 8 });
+        let hi = use_hi ~avoid:[ base; lo ] st x in
+        emit st (Minst.St { src = hi; base; off = off + 8; size = 8 })
+      end
+      else begin
+        let v = use ~avoid:[ base ] st x in
+        let size = max 1 (Ty.size_bytes vty) in
+        emit st (Minst.St { src = v; base; off; size })
+      end;
+      kill_dead_operand st x;
+      kill_dead_operand st y
+  | Op.Gep ->
+      let base = use st x in
+      let off = Int64.to_int (Func.imm f i) in
+      if y >= 0 then begin
+        let idx = use ~avoid:[ base ] st y in
+        kill_dead_operand st x;
+        kill_dead_operand st y;
+        let scale = Func.n f i in
+        let d = def ~avoid:[ base; idx ] st i in
+        if scale = 1 || scale = 2 || scale = 4 || scale = 8 then
+          emit st (Minst.Lea { dst = d; base; index = idx; scale; off })
+        else begin
+          emit st (Minst.Mov_rr (d, idx));
+          emit st (Minst.Alu_ri (Minst.Mul, d, Int64.of_int scale));
+          emit st (Minst.Alu_rr (Minst.Add, d, base));
+          if off <> 0 then emit st (Minst.Alu_ri (Minst.Add, d, Int64.of_int off))
+        end
+      end
+      else begin
+        kill_dead_operand st x;
+        let d = def ~avoid:[ base ] st i in
+        emit st (Minst.Lea { dst = d; base; index = -1; scale = 1; off })
+      end;
+      finish_def st i
+  | Op.Crc32 ->
+      let racc = use st x in
+      let rv = use ~avoid:[ racc ] st y in
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      let d = def ~avoid:[ racc; rv ] st i in
+      emit st (Minst.Mov_rr (d, racc));
+      emit st (Minst.Crc32_rr (d, rv));
+      finish_def st i
+  | Op.Longmulfold ->
+      (* rdx:rax = x * y (unsigned); result = rax ^ rdx *)
+      evacuate st rax;
+      evacuate st rdx;
+      force_reg st x 0 rax;
+      let ry = use ~avoid:[ rax; rdx ] st y in
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      detach st rax;
+      emit st (Minst.Mul_wide { signed = false; src = ry });
+      emit st (Minst.Alu_rr (Minst.Xor, rax, rdx));
+      attach st rax i 0;
+      finish_def st i
+  | Op.Atomicadd ->
+      let base = use st x in
+      let rv = use ~avoid:[ base ] st y in
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      let d = def ~avoid:[ base; rv ] st i in
+      let size = max 1 (Ty.size_bytes ty) in
+      emit st (Minst.Ld { dst = d; base; off = 0; size; sext = size < 8 });
+      let t = st.target.Target.scratch2 in
+      evacuate st t;
+      emit st (Minst.Mov_rr (t, d));
+      emit st (Minst.Alu_rr (Minst.Add, t, rv));
+      emit st (Minst.St { src = t; base; off = 0; size });
+      finish_def st i
+  | Op.Call -> emit_call st i
+  | Op.Br ->
+      emit_edge_moves st st.cur_block x;
+      clear_regs st;
+      Asm.jmp st.asm st.block_labels.(x)
+  | Op.Condbr -> emit_condbr st i
+  | Op.Ret ->
+      (if x >= 0 then begin
+         let rty = Func.ty f x in
+         if rty = Ty.I128 then begin
+           force_reg st x 0 st.target.Target.ret_regs.(0);
+           force_reg st x 1 st.target.Target.ret_regs.(1)
+         end
+         else force_reg st x 0 st.target.Target.ret_regs.(0)
+       end);
+      clear_regs st;
+      Asm.jmp st.asm st.epilogue
+  | Op.Unreachable -> emit st (Minst.Brk 0)
+  | Op.Fadd | Op.Fsub | Op.Fmul | Op.Fdiv ->
+      let rx = use st x in
+      let ry = use ~avoid:[ rx ] st y in
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      let d = def ~avoid:[ rx; ry ] st i in
+      emit st (Minst.Mov_rr (d, rx));
+      let fop =
+        match Func.op f i with
+        | Op.Fadd -> Minst.Fadd
+        | Op.Fsub -> Minst.Fsub
+        | Op.Fmul -> Minst.Fmul
+        | _ -> Minst.Fdiv
+      in
+      emit st (Minst.Falu_rr (fop, d, ry));
+      finish_def st i
+  | Op.Sitofp ->
+      let rx = use st x in
+      kill_dead_operand st x;
+      let d = def ~avoid:[ rx ] st i in
+      emit st (Minst.Cvt_si2f (d, rx));
+      finish_def st i
+  | Op.Fptosi ->
+      let rx = use st x in
+      kill_dead_operand st x;
+      let d = def ~avoid:[ rx ] st i in
+      emit st (Minst.Cvt_f2si (d, rx));
+      finish_def st i
+
+and emit_i128_bin st i =
+  let f = st.f in
+  let x = Func.x f i and y = Func.y f i in
+  match Func.op f i with
+  | Op.Add | Op.Sub ->
+      let alu_lo, alu_hi =
+        if Func.op f i = Op.Add then (Minst.Add, Minst.Adc) else (Minst.Sub, Minst.Sbb)
+      in
+      let xlo = use st x in
+      let ylo = use ~avoid:[ xlo ] st y in
+      let dlo = def ~avoid:[ xlo; ylo ] st i in
+      emit st (Minst.Mov_rr (dlo, xlo));
+      let xhi = use_hi ~avoid:[ dlo; ylo ] st x in
+      let yhi = use_hi ~avoid:[ dlo; ylo; xhi ] st y in
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      let dhi = def_hi ~avoid:[ dlo; ylo; xhi; yhi ] st i in
+      (* flags: add lo sets CF for the adc *)
+      emit st (Minst.Mov_rr (dhi, xhi));
+      emit st (Minst.Alu_rr (alu_lo, dlo, ylo));
+      emit st (Minst.Alu_rr (alu_hi, dhi, yhi));
+      finish_def st i
+  | Op.And | Op.Or | Op.Xor ->
+      let alu = alu_of_op (Func.op f i) in
+      let xlo = use st x in
+      let ylo = use ~avoid:[ xlo ] st y in
+      let dlo = def ~avoid:[ xlo; ylo ] st i in
+      emit st (Minst.Mov_rr (dlo, xlo));
+      emit st (Minst.Alu_rr (alu, dlo, ylo));
+      let xhi = use_hi ~avoid:[ dlo ] st x in
+      let yhi = use_hi ~avoid:[ dlo; xhi ] st y in
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      let dhi = def_hi ~avoid:[ dlo; xhi; yhi ] st i in
+      emit st (Minst.Mov_rr (dhi, xhi));
+      emit st (Minst.Alu_rr (alu, dhi, yhi));
+      finish_def st i
+  | Op.Mul ->
+      (* truncated 128x128 multiply:
+         rdx:rax = xlo *u ylo; rdx += xhi*ylo + xlo*yhi *)
+      evacuate st rax;
+      evacuate st rdx;
+      force_reg st x 0 rax;
+      let ylo = use ~avoid:[ rax; rdx ] st y in
+      let t = st.target.Target.scratch2 in
+      evacuate st t;
+      (* the widening multiply destroys rax; keep x's low lane reachable for
+         the cross terms below even when it has no stack home *)
+      let xlo_save = alloc_reg ~avoid:[ rax; rdx; ylo; t ] st in
+      emit st (Minst.Mov_rr (xlo_save, rax));
+      detach st rax;
+      attach st xlo_save x 0;
+      emit st (Minst.Mul_wide { signed = false; src = ylo });
+      let xhi = use_hi ~avoid:[ rax; rdx; ylo ] st x in
+      emit st (Minst.Mov_rr (t, xhi));
+      emit st (Minst.Alu_rr (Minst.Mul, t, ylo));
+      emit st (Minst.Alu_rr (Minst.Add, rdx, t));
+      let xlo2 = use ~avoid:[ rax; rdx ] st x in
+      let yhi = use_hi ~avoid:[ rax; rdx; xlo2 ] st y in
+      emit st (Minst.Mov_rr (t, xlo2));
+      emit st (Minst.Alu_rr (Minst.Mul, t, yhi));
+      emit st (Minst.Alu_rr (Minst.Add, rdx, t));
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      detach st rax;
+      detach st rdx;
+      attach st rax i 0;
+      attach st rdx i 1;
+      finish_def st i
+  | _ -> unsupported "i128 op %s" (Op.name (Func.op f i))
+
+and emit_addsub_trap st i =
+  let f = st.f in
+  let ty = Func.ty f i in
+  let x = Func.x f i and y = Func.y f i in
+  if ty = Ty.I128 then begin
+    (* add/adc, overflow flag from the high half *)
+    emit_i128_bin_as st i (if Func.op f i = Op.Saddtrap then Op.Add else Op.Sub);
+    Asm.jcc st.asm Minst.Ov (trap st)
+  end
+  else begin
+    let alu = alu_of_op (Func.op f i) in
+    let rx = use st x in
+    let ry = use ~avoid:[ rx ] st y in
+    kill_dead_operand st x;
+    kill_dead_operand st y;
+    let d = def ~avoid:[ rx; ry ] st i in
+    emit st (Minst.Mov_rr (d, rx));
+    emit st (Minst.Alu_rr (alu, d, ry));
+    (match ty with
+    | Ty.I64 -> Asm.jcc st.asm Minst.Ov (trap st)
+    | _ ->
+        (* narrow: result must equal its own sign-extension *)
+        let t = st.target.Target.scratch2 in
+        evacuate st t;
+        emit st (Minst.Ext { dst = t; src = d; bits = canon_bits ty; signed = true });
+        emit st (Minst.Cmp_rr (t, d));
+        Asm.jcc st.asm Minst.Ne (trap st);
+        emit st (Minst.Mov_rr (d, t)));
+    finish_def st i
+  end
+
+and emit_i128_bin_as st i op =
+  (* like emit_i128_bin Add/Sub but with the result attached to [i] *)
+  let f = st.f in
+  let x = Func.x f i and y = Func.y f i in
+  let alu_lo, alu_hi =
+    if op = Op.Add then (Minst.Add, Minst.Adc) else (Minst.Sub, Minst.Sbb)
+  in
+  let xlo = use st x in
+  let ylo = use ~avoid:[ xlo ] st y in
+  let dlo = def ~avoid:[ xlo; ylo ] st i in
+  emit st (Minst.Mov_rr (dlo, xlo));
+  let xhi = use_hi ~avoid:[ dlo; ylo ] st x in
+  let yhi = use_hi ~avoid:[ dlo; ylo; xhi ] st y in
+  kill_dead_operand st x;
+  kill_dead_operand st y;
+  let dhi = def_hi ~avoid:[ dlo; ylo; xhi; yhi ] st i in
+  emit st (Minst.Mov_rr (dhi, xhi));
+  emit st (Minst.Alu_rr (alu_lo, dlo, ylo));
+  emit st (Minst.Alu_rr (alu_hi, dhi, yhi));
+  finish_def st i
+
+and emit_i128_shift st i =
+  (* Only constant shift amounts occur in generated code (hash extraction
+     of the 128-bit halves); dynamic 128-bit shifts are unsupported. *)
+  let f = st.f in
+  let x = Func.x f i and y = Func.y f i in
+  let amt =
+    match const_of st y with
+    | Some a -> Int64.to_int a land 127
+    | None -> unsupported "dynamic 128-bit shift"
+  in
+  let op = Func.op f i in
+  kill_dead_operand st y;
+  if amt = 0 then begin
+    let xlo = use st x in
+    let dlo = def ~avoid:[ xlo ] st i in
+    emit st (Minst.Mov_rr (dlo, xlo));
+    let xhi = use_hi ~avoid:[ dlo ] st x in
+    kill_dead_operand st x;
+    let dhi = def_hi ~avoid:[ dlo; xhi ] st i in
+    emit st (Minst.Mov_rr (dhi, xhi));
+    finish_def st i
+  end
+  else if amt >= 64 then begin
+    match op with
+    | Op.Lshr | Op.Ashr ->
+        let xhi = use_hi st x in
+        kill_dead_operand st x;
+        let dlo = def ~avoid:[ xhi ] st i in
+        emit st (Minst.Mov_rr (dlo, xhi));
+        if amt > 64 then
+          emit st
+            (Minst.Alu_ri
+               ((if op = Op.Lshr then Minst.Shr else Minst.Sar), dlo, Int64.of_int (amt - 64)));
+        let dhi = def_hi ~avoid:[ dlo; xhi ] st i in
+        if op = Op.Lshr then emit st (Minst.Mov_ri (dhi, 0L))
+        else begin
+          emit st (Minst.Mov_rr (dhi, xhi));
+          emit st (Minst.Alu_ri (Minst.Sar, dhi, 63L))
+        end;
+        finish_def st i
+    | Op.Shl ->
+        let xlo = use st x in
+        kill_dead_operand st x;
+        let dhi = def_hi ~avoid:[ xlo ] st i in
+        emit st (Minst.Mov_rr (dhi, xlo));
+        if amt > 64 then
+          emit st (Minst.Alu_ri (Minst.Shl, dhi, Int64.of_int (amt - 64)));
+        let dlo = def ~avoid:[ dhi ] st i in
+        emit st (Minst.Mov_ri (dlo, 0L));
+        finish_def st i
+    | _ -> unsupported "i128 rotate"
+  end
+  else begin
+    (* amt in 1..63 *)
+    let t = st.target.Target.scratch2 in
+    evacuate st t;
+    match op with
+    | Op.Lshr | Op.Ashr ->
+        let xlo = use st x in
+        let xhi = use_hi ~avoid:[ xlo ] st x in
+        kill_dead_operand st x;
+        let dlo = def ~avoid:[ xlo; xhi ] st i in
+        emit st (Minst.Mov_rr (dlo, xlo));
+        emit st (Minst.Alu_ri (Minst.Shr, dlo, Int64.of_int amt));
+        emit st (Minst.Mov_rr (t, xhi));
+        emit st (Minst.Alu_ri (Minst.Shl, t, Int64.of_int (64 - amt)));
+        emit st (Minst.Alu_rr (Minst.Or, dlo, t));
+        let dhi = def_hi ~avoid:[ dlo; xhi ] st i in
+        emit st (Minst.Mov_rr (dhi, xhi));
+        emit st
+          (Minst.Alu_ri
+             ((if op = Op.Lshr then Minst.Shr else Minst.Sar), dhi, Int64.of_int amt));
+        finish_def st i
+    | Op.Shl ->
+        let xlo = use st x in
+        let xhi = use_hi ~avoid:[ xlo ] st x in
+        kill_dead_operand st x;
+        let dhi = def_hi ~avoid:[ xlo; xhi ] st i in
+        emit st (Minst.Mov_rr (dhi, xhi));
+        emit st (Minst.Alu_ri (Minst.Shl, dhi, Int64.of_int amt));
+        emit st (Minst.Mov_rr (t, xlo));
+        emit st (Minst.Alu_ri (Minst.Shr, t, Int64.of_int (64 - amt)));
+        emit st (Minst.Alu_rr (Minst.Or, dhi, t));
+        let dlo = def ~avoid:[ dhi; xlo ] st i in
+        emit st (Minst.Mov_rr (dlo, xlo));
+        emit st (Minst.Alu_ri (Minst.Shl, dlo, Int64.of_int amt));
+        finish_def st i
+    | _ -> unsupported "i128 rotate"
+  end
+
+(* Make sure a value's stack home exists and holds its current bits. *)
+and ensure_home st v =
+  if st.slot_of.(v) < 0 then begin
+    if Func.ty st.f v = Ty.I128 then begin
+      let rlo = use st v in
+      let rhi = use_hi ~avoid:[ rlo ] st v in
+      let off = slot st v in
+      emit st (Minst.St { src = rlo; base = sp st; off; size = 8 });
+      emit st (Minst.St { src = rhi; base = sp st; off = off + 8; size = 8 })
+    end
+    else begin
+      let r = use st v in
+      let off = slot st v in
+      emit st (Minst.St { src = r; base = sp st; off; size = 8 })
+    end
+  end
+
+and emit_mul_trap st i =
+  let f = st.f in
+  let ty = Func.ty f i in
+  let x = Func.x f i and y = Func.y f i in
+  match ty with
+  | Ty.I64 ->
+      let rx = use st x in
+      let ry = use ~avoid:[ rx ] st y in
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      let d = def ~avoid:[ rx; ry ] st i in
+      emit st (Minst.Mov_rr (d, rx));
+      emit st (Minst.Alu_rr (Minst.Mul, d, ry));
+      Asm.jcc st.asm Minst.Ov (trap st);
+      finish_def st i
+  | Ty.I128 ->
+      (* Fast path when both operands fit in 64 bits (the optimization from
+         Sec. V-A1/VI-A1): one signed widening multiply; otherwise call the
+         hand-optimized runtime helper. *)
+      let asm = st.asm in
+      let slow = Asm.new_label asm in
+      let done_ = Asm.new_label asm in
+      ensure_home st x;
+      ensure_home st y;
+      let t = st.target.Target.scratch2 in
+      evacuate st t;
+      let xlo = use st x in
+      let xhi = use_hi ~avoid:[ xlo ] st x in
+      emit st (Minst.Mov_rr (t, xlo));
+      emit st (Minst.Alu_ri (Minst.Sar, t, 63L));
+      emit st (Minst.Cmp_rr (t, xhi));
+      Asm.jcc asm Minst.Ne slow;
+      let ylo = use ~avoid:[ xlo; xhi ] st y in
+      let yhi = use_hi ~avoid:[ xlo; xhi; ylo ] st y in
+      emit st (Minst.Mov_rr (t, ylo));
+      emit st (Minst.Alu_ri (Minst.Sar, t, 63L));
+      emit st (Minst.Cmp_rr (t, yhi));
+      Asm.jcc asm Minst.Ne slow;
+      (* fast: rdx:rax = xlo *s ylo — exact, cannot overflow 128 bits *)
+      evacuate st rax;
+      evacuate st rdx;
+      force_reg st x 0 rax;
+      let ylo2 = use ~avoid:[ rax; rdx ] st y in
+      emit st (Minst.Mul_wide { signed = true; src = ylo2 });
+      let dslot = slot st i in
+      emit st (Minst.St { src = rax; base = sp st; off = dslot; size = 8 });
+      emit st (Minst.St { src = rdx; base = sp st; off = dslot + 8; size = 8 });
+      Asm.jmp asm done_;
+      (* slow path: the hand-optimized runtime helper *)
+      Asm.bind asm slow;
+      clear_regs st;
+      let args = st.target.Target.arg_regs in
+      emit st (Minst.Ld { dst = args.(0); base = sp st; off = st.slot_of.(x); size = 8; sext = false });
+      emit st (Minst.Ld { dst = args.(1); base = sp st; off = st.slot_of.(x) + 8; size = 8; sext = false });
+      emit st (Minst.Ld { dst = args.(2); base = sp st; off = st.slot_of.(y); size = 8; sext = false });
+      emit st (Minst.Ld { dst = args.(3); base = sp st; off = st.slot_of.(y) + 8; size = 8; sext = false });
+      let helper = st.rt_addr "umbra_i128MulFull" in
+      let sc = st.target.Target.scratch in
+      emit st (Minst.Mov_ri (sc, helper));
+      emit st (Minst.Call_ind sc);
+      emit st (Minst.St { src = st.target.Target.ret_regs.(0); base = sp st; off = dslot; size = 8 });
+      emit st (Minst.St { src = st.target.Target.ret_regs.(1); base = sp st; off = dslot + 8; size = 8 });
+      Asm.bind asm done_;
+      clear_regs st;
+      kill_dead_operand st x;
+      kill_dead_operand st y
+      (* the result lives in its slot on both paths *)
+  | _ ->
+      (* narrow: multiply in 64-bit, check canonical *)
+      let rx = use st x in
+      let ry = use ~avoid:[ rx ] st y in
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      let d = def ~avoid:[ rx; ry ] st i in
+      emit st (Minst.Mov_rr (d, rx));
+      emit st (Minst.Alu_rr (Minst.Mul, d, ry));
+      let t = st.target.Target.scratch2 in
+      evacuate st t;
+      emit st (Minst.Ext { dst = t; src = d; bits = canon_bits ty; signed = true });
+      emit st (Minst.Cmp_rr (t, d));
+      Asm.jcc st.asm Minst.Ne (trap st);
+      emit st (Minst.Mov_rr (d, t));
+      finish_def st i
+
+and emit_div st i =
+  let f = st.f in
+  let ty = Func.ty f i in
+  let x = Func.x f i and y = Func.y f i in
+  if ty = Ty.I128 then unsupported "i128 division must go through the runtime";
+  let signed = Func.op f i = Op.Sdiv || Func.op f i = Op.Srem in
+  let want_rem = Func.op f i = Op.Srem || Func.op f i = Op.Urem in
+  evacuate st rax;
+  evacuate st rdx;
+  force_reg st x 0 rax;
+  let ry = use ~avoid:[ rax; rdx ] st y in
+  kill_dead_operand st x;
+  kill_dead_operand st y;
+  detach st rax;
+  if signed then begin
+    emit st (Minst.Mov_rr (rdx, rax));
+    emit st (Minst.Alu_ri (Minst.Sar, rdx, 63L))
+  end
+  else emit st (Minst.Mov_ri (rdx, 0L));
+  emit st (Minst.Div { signed; src = ry });
+  let res = if want_rem then rdx else rax in
+  attach st res i 0;
+  canonicalize st ty res;
+  finish_def st i
+
+and emit_i128_cmp st i pred =
+  let f = st.f in
+  let x = Func.x f i and y = Func.y f i in
+  let xlo = use st x in
+  let ylo = use ~avoid:[ xlo ] st y in
+  let t = st.target.Target.scratch2 in
+  evacuate st t;
+  match pred with
+  | Op.Eq | Op.Ne ->
+      emit st (Minst.Cmp_rr (xlo, ylo));
+      emit st (Minst.Setcc (Minst.Eq, t));
+      let xhi = use_hi ~avoid:[ xlo; ylo; t ] st x in
+      let yhi = use_hi ~avoid:[ xlo; ylo; t; xhi ] st y in
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      let d = def ~avoid:[ t; xhi; yhi ] st i in
+      emit st (Minst.Cmp_rr (xhi, yhi));
+      emit st (Minst.Setcc (Minst.Eq, d));
+      emit st (Minst.Alu_rr (Minst.And, d, t));
+      if pred = Op.Ne then emit st (Minst.Alu_ri (Minst.Xor, d, 1L));
+      finish_def st i
+  | _ ->
+      (* hi words decide unless equal; lo words compare unsigned *)
+      let unsigned_pred =
+        match pred with
+        | Op.Slt | Op.Ult -> Minst.Ult
+        | Op.Sle | Op.Ule -> Minst.Ule
+        | Op.Sgt | Op.Ugt -> Minst.Ugt
+        | Op.Sge | Op.Uge -> Minst.Uge
+        | _ -> assert false
+      in
+      let hi_pred =
+        match pred with
+        | Op.Slt -> Minst.Slt
+        | Op.Sle -> Minst.Slt
+        | Op.Sgt -> Minst.Sgt
+        | Op.Sge -> Minst.Sgt
+        | Op.Ult -> Minst.Ult
+        | Op.Ule -> Minst.Ult
+        | Op.Ugt -> Minst.Ugt
+        | Op.Uge -> Minst.Ugt
+        | _ -> assert false
+      in
+      emit st (Minst.Cmp_rr (xlo, ylo));
+      emit st (Minst.Setcc (unsigned_pred, t));
+      let xhi = use_hi ~avoid:[ xlo; ylo; t ] st x in
+      let yhi = use_hi ~avoid:[ xlo; ylo; t; xhi ] st y in
+      kill_dead_operand st x;
+      kill_dead_operand st y;
+      let d = def ~avoid:[ t; xhi; yhi ] st i in
+      emit st (Minst.Cmp_rr (xhi, yhi));
+      (* d = strict hi comparison; when the hi words are equal the unsigned
+         lo comparison (already in t) decides *)
+      emit st (Minst.Setcc (hi_pred, d));
+      emit st (Minst.Csel { cond = Minst.Ne; dst = d; a = d; b = t });
+      finish_def st i
+
+and emit_select st i =
+  let f = st.f in
+  let ty = Func.ty f i in
+  let c = Func.x f i and a = Func.y f i and b = Func.z f i in
+  if ty = Ty.I128 then begin
+    let ra = use st a in
+    let rb = use ~avoid:[ ra ] st b in
+    let rc = use ~avoid:[ ra; rb ] st c in
+    let d = def ~avoid:[ ra; rb; rc ] st i in
+    emit st (Minst.Mov_rr (d, ra));
+    emit st (Minst.Cmp_ri (rc, 0L));
+    emit st (Minst.Csel { cond = Minst.Ne; dst = d; a = d; b = rb });
+    let rahi = use_hi ~avoid:[ d; rb; rc ] st a in
+    let rbhi = use_hi ~avoid:[ d; rb; rc; rahi ] st b in
+    kill_dead_operand st a;
+    kill_dead_operand st b;
+    kill_dead_operand st c;
+    let dhi = def_hi ~avoid:[ d; rahi; rbhi; rc ] st i in
+    emit st (Minst.Mov_rr (dhi, rahi));
+    emit st (Minst.Csel { cond = Minst.Ne; dst = dhi; a = dhi; b = rbhi });
+    finish_def st i
+  end
+  else begin
+    let ra = use st a in
+    let rb = use ~avoid:[ ra ] st b in
+    let rc = use ~avoid:[ ra; rb ] st c in
+    kill_dead_operand st a;
+    kill_dead_operand st b;
+    kill_dead_operand st c;
+    let d = def ~avoid:[ ra; rb; rc ] st i in
+    emit st (Minst.Mov_rr (d, ra));
+    emit st (Minst.Cmp_ri (rc, 0L));
+    emit st (Minst.Csel { cond = Minst.Ne; dst = d; a = d; b = rb });
+    finish_def st i
+  end
+
+and emit_call st i =
+  let f = st.f in
+  let ty = Func.ty f i in
+  let args = Func.call_args f i in
+  (* make sure all arguments have stack homes, then load into arg regs *)
+  List.iter (fun a -> ensure_home st a) args;
+  clear_regs st;
+  let arg_regs = st.target.Target.arg_regs in
+  let k = ref 0 in
+  List.iter
+    (fun a ->
+      let off = st.slot_of.(a) in
+      emit st (Minst.Ld { dst = arg_regs.(!k); base = sp st; off; size = 8; sext = false });
+      incr k;
+      if Func.ty f a = Ty.I128 then begin
+        emit st
+          (Minst.Ld { dst = arg_regs.(!k); base = sp st; off = off + 8; size = 8; sext = false });
+        incr k
+      end)
+    args;
+  let addr = st.extern_addr (Func.z f i) in
+  let sc = st.target.Target.scratch in
+  emit st (Minst.Mov_ri (sc, addr));
+  emit st (Minst.Call_ind sc);
+  kill_dead_list st args;
+  if ty <> Ty.Void then begin
+    attach st st.target.Target.ret_regs.(0) i 0;
+    if ty = Ty.I128 then attach st st.target.Target.ret_regs.(1) i 1;
+    finish_def st i
+  end
+
+and kill_dead_list st vs = List.iter (fun v -> kill_dead_operand st v) vs
+
+(* Edge moves for phis in [target] when branching from [pred]. Sources all
+   have stack homes (the analysis forces them); copies go through the
+   scratch register and, when more than one phi, a staging area. *)
+and emit_edge_moves st pred target =
+  let f = st.f in
+  let moves = ref [] in
+  Vec.iter
+    (fun i ->
+      if Func.op f i = Op.Phi then
+        List.iter
+          (fun (blk, v) -> if blk = pred then moves := (i, v) :: !moves)
+          (Func.phi_incoming f i))
+    (Func.block_insts f target);
+  let moves = List.rev !moves in
+  match moves with
+  | [] -> ()
+  | [ (dst, src) ] -> copy_value st ~src ~dst_slot:(slot st dst)
+  | _ ->
+      (* stage all sources first *)
+      let staged =
+        List.map
+          (fun (dst, src) ->
+            let size = if Func.ty f src = Ty.I128 then 16 else 8 in
+            let tmp = fresh_slot st size in
+            copy_value st ~src ~dst_slot:tmp;
+            (dst, tmp, size))
+          moves
+      in
+      let sc = st.target.Target.scratch in
+      List.iter
+        (fun (dst, tmp, size) ->
+          let doff = slot st dst in
+          emit st (Minst.Ld { dst = sc; base = sp st; off = tmp; size = 8; sext = false });
+          emit st (Minst.St { src = sc; base = sp st; off = doff; size = 8 });
+          if size = 16 then begin
+            emit st (Minst.Ld { dst = sc; base = sp st; off = tmp + 8; size = 8; sext = false });
+            emit st (Minst.St { src = sc; base = sp st; off = doff + 8; size = 8 })
+          end)
+        staged
+
+and copy_value st ~src ~dst_slot =
+  let f = st.f in
+  let sc = st.target.Target.scratch in
+  let is128 = Func.ty f src = Ty.I128 in
+  if st.reg_of.(src) >= 0 then
+    emit st (Minst.St { src = st.reg_of.(src); base = sp st; off = dst_slot; size = 8 })
+  else begin
+    let off = st.slot_of.(src) in
+    emit st (Minst.Ld { dst = sc; base = sp st; off; size = 8; sext = false });
+    emit st (Minst.St { src = sc; base = sp st; off = dst_slot; size = 8 })
+  end;
+  if is128 then
+    if st.reg2_of.(src) >= 0 then
+      emit st (Minst.St { src = st.reg2_of.(src); base = sp st; off = dst_slot + 8; size = 8 })
+    else begin
+      let off = st.slot_of.(src) in
+      emit st (Minst.Ld { dst = sc; base = sp st; off = off + 8; size = 8; sext = false });
+      emit st (Minst.St { src = sc; base = sp st; off = dst_slot + 8; size = 8 })
+    end
+
+and emit_condbr st i =
+  let f = st.f in
+  let c = Func.x f i and tb = Func.y f i and eb = Func.z f i in
+  let rc = use st c in
+  kill_dead_operand st c;
+  emit st (Minst.Cmp_ri (rc, 0L));
+  (* the else edge gets a local stub when it needs phi moves *)
+  let then_moves = block_has_phi st tb and else_moves = block_has_phi st eb in
+  if not (then_moves || else_moves) then begin
+    clear_regs st;
+    Asm.jcc st.asm Minst.Eq st.block_labels.(eb);
+    Asm.jmp st.asm st.block_labels.(tb)
+  end
+  else begin
+    let else_stub = Asm.new_label st.asm in
+    Asm.jcc st.asm Minst.Eq else_stub;
+    emit_edge_moves st st.cur_block tb;
+    clear_regs st;
+    Asm.jmp st.asm st.block_labels.(tb);
+    Asm.bind st.asm else_stub;
+    emit_edge_moves st st.cur_block eb;
+    clear_regs st;
+    Asm.jmp st.asm st.block_labels.(eb)
+  end
+
+and block_has_phi st b =
+  Vec.exists (fun j -> Func.op st.f j = Op.Phi) (Func.block_insts st.f b)

@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Algebra Datagen Emu Format I128 Memory Qcomp_backend Qcomp_codegen Qcomp_plan Qcomp_runtime Qcomp_storage Qcomp_support Qcomp_vm Registry Schema Table Target Timing Unwind

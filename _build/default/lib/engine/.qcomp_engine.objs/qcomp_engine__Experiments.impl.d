@@ -1,0 +1,1 @@
+lib/engine/experiments.ml: Engine Int64 List Option Qcomp_backend Qcomp_codegen Qcomp_ir Qcomp_support Qcomp_workloads Timing

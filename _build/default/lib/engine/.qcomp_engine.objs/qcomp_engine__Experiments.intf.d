@@ -1,0 +1,1 @@
+lib/engine/experiments.mli: Engine Qcomp_backend Qcomp_support Qcomp_vm Qcomp_workloads Timing

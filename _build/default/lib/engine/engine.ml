@@ -1,0 +1,227 @@
+(** Query engine driver: owns the database instance (emulator, memory,
+    runtime, catalog, tables) and runs plans through a chosen back-end.
+
+    Execution times are simulated cycles from the emulator; compile times
+    are wall-clock of the back-end (broken down by the timing collector). *)
+
+open Qcomp_support
+open Qcomp_vm
+open Qcomp_runtime
+open Qcomp_storage
+open Qcomp_plan
+
+type db = {
+  target : Target.t;
+  emu : Emu.t;
+  registry : Registry.t;
+  unwind : Unwind.t;
+  mutable catalog : Algebra.catalog;
+  mutable tables : (string * Table.t) list;
+}
+
+let create_db ?(mem_size = 256 * 1024 * 1024) target =
+  let emu = Emu.create ~mem_size target in
+  let registry = Registry.create target in
+  Registry.install registry emu;
+  { target; emu; registry; unwind = Unwind.create (); catalog = []; tables = [] }
+
+let memory db = Emu.memory db.emu
+
+(** Create, register and populate a table. *)
+let add_table db (schema : Schema.t) ~rows ~seed gens =
+  let table = Table.create (memory db) schema ~rows in
+  Datagen.fill (memory db) table ~seed gens;
+  db.catalog <- (schema.Schema.table_name, schema) :: db.catalog;
+  db.tables <- (schema.Schema.table_name, table) :: db.tables;
+  table
+
+(** Register an externally populated table. *)
+let register_table db (schema : Schema.t) table =
+  db.catalog <- (schema.Schema.table_name, schema) :: db.catalog;
+  db.tables <- (schema.Schema.table_name, table) :: db.tables
+
+let table db name = List.assoc name db.tables
+
+(* ---------------- results ---------------- *)
+
+type cell =
+  | Int of int64
+  | Dec of I128.t * int  (** scaled value, scale *)
+  | Str of string
+  | Bool of bool
+
+let pp_cell fmt = function
+  | Int v -> Format.fprintf fmt "%Ld" v
+  | Dec (v, 0) -> Format.fprintf fmt "%s" (I128.to_string v)
+  | Dec (v, s) ->
+      let str = I128.to_string (if I128.is_negative v then I128.neg v else v) in
+      let str = if String.length str <= s then String.make (s + 1 - String.length str) '0' ^ str else str in
+      let n = String.length str in
+      Format.fprintf fmt "%s%s.%s"
+        (if I128.is_negative v then "-" else "")
+        (String.sub str 0 (n - s))
+        (String.sub str (n - s) s)
+  | Str s -> Format.fprintf fmt "%S" s
+  | Bool b -> Format.fprintf fmt "%b" b
+
+type result = {
+  rows : cell array list;
+  exec_cycles : int;
+  exec_instructions : int;
+  output_count : int;
+}
+
+(** Read the materialized output rows of an executed query. *)
+let checksum (rows : cell array list) =
+  let cell_hash = function
+    | Int v -> Hashes.long_mul_fold v 0x9E3779B97F4A7C15L
+    | Dec (v, s) ->
+        Hashes.long_mul_fold
+          (Int64.logxor (I128.to_int64 v)
+             (I128.to_int64 (I128.shift_right_logical v 64)))
+          (Int64.of_int (s + 3))
+    | Str s ->
+        let h = ref 7L in
+        String.iter (fun c -> h := Hashes.crc32c_byte !h (Char.code c)) s;
+        !h
+    | Bool b -> if b then 5L else 11L
+  in
+  (* order-sensitive so differential tests catch sorting differences *)
+  List.fold_left
+    (fun acc row ->
+      let rh =
+        Array.fold_left (fun h c -> Hashes.combine h (cell_hash c)) 17L row
+      in
+      Int64.add (Int64.mul acc 1099511628211L) rh)
+    0L rows
+
+(* ---------------- running compiled plans ---------------- *)
+
+let read_output db (cq : Qcomp_codegen.Codegen.compiled) ~state : cell array list =
+  let mem = memory db in
+  let layout = Qcomp_codegen.Codegen.output_layout cq in
+  let buf = Int64.to_int (Memory.load64 mem (state + cq.Qcomp_codegen.Codegen.output_slot)) in
+  let count = Tuplebuf.count mem buf in
+  let rows = ref [] in
+  for i = count - 1 downto 0 do
+    let row = Tuplebuf.row mem buf i in
+    let cells =
+      Array.mapi
+        (fun k ty ->
+          let fld = Qcomp_codegen.Layout.field layout k in
+          let off = row + fld.Qcomp_codegen.Layout.f_off in
+          match ty with
+          | Sqlty.Int32 | Sqlty.Date ->
+              Int (Memory.load mem ~addr:off ~size:4 ~sext:true)
+          | Sqlty.Int64 -> Int (Memory.load64 mem off)
+          | Sqlty.Bool ->
+              Bool (not (Int64.equal (Memory.load mem ~addr:off ~size:1 ~sext:false) 0L))
+          | Sqlty.Decimal s ->
+              Dec
+                ( I128.make ~hi:(Memory.load64 mem (off + 8)) ~lo:(Memory.load64 mem off),
+                  s )
+          | Sqlty.Str -> Str (Sso.read mem off))
+        cq.Qcomp_codegen.Codegen.output_tys
+    in
+    rows := cells :: !rows
+  done;
+  !rows
+
+(** Execute an already-back-end-compiled query. *)
+let execute db (cq : Qcomp_codegen.Codegen.compiled)
+    (cm : Qcomp_backend.Backend.compiled_module) : result =
+  let mem = memory db in
+  let state = Memory.alloc mem ~align:16 cq.Qcomp_codegen.Codegen.state_size in
+  Memory.fill mem ~addr:state ~len:cq.Qcomp_codegen.Codegen.state_size '\000';
+  List.iter
+    (fun (slot, fn) ->
+      Memory.store64 mem (state + slot) (Qcomp_backend.Backend.find_fn cm fn))
+    cq.Qcomp_codegen.Codegen.fn_ptr_fixups;
+  Emu.reset_counters db.emu;
+  List.iter
+    (fun (step : Qcomp_codegen.Codegen.step) ->
+      let addr = Qcomp_backend.Backend.find_fn cm step.Qcomp_codegen.Codegen.fn_name in
+      let hi =
+        match step.Qcomp_codegen.Codegen.range with
+        | `Table t -> Int64.of_int (Table.rows (table db t))
+        | `Whole -> 0L
+      in
+      ignore
+        (Emu.call db.emu ~addr:(Int64.to_int addr)
+           ~args:[| Int64.of_int state; 0L; hi |]))
+    cq.Qcomp_codegen.Codegen.steps;
+  let exec_cycles = Emu.cycles db.emu in
+  let exec_instructions = Emu.instructions_executed db.emu in
+  let rows = read_output db cq ~state in
+  { rows; exec_cycles; exec_instructions; output_count = List.length rows }
+
+(** Compile a plan to IR. *)
+let plan_to_ir db ~name plan =
+  Qcomp_codegen.Codegen.compile_query ~mem:(memory db) ~catalog:db.catalog
+    ~tables:db.tables ~name plan
+
+(** Full path: plan -> IR -> back-end -> execute. Returns the result, the
+    compile wall-time in seconds, and the back-end module. *)
+let run_plan db ~(backend : Qcomp_backend.Backend.t) ~timing ~name plan =
+  let cq = plan_to_ir db ~name plan in
+  let t0 = Timing.now () in
+  let cm =
+    Qcomp_backend.Backend.compile_module backend ~timing ~emu:db.emu
+      ~registry:db.registry ~unwind:db.unwind cq.Qcomp_codegen.Codegen.modul
+  in
+  let compile_seconds = Timing.now () -. t0 in
+  let result = execute db cq cm in
+  (result, compile_seconds, cm)
+
+(** Simulated seconds at the nominal clock (2 GHz, as the paper's Xeon). *)
+let cycles_to_seconds c = float_of_int c /. 2.0e9
+
+let interpreter : Qcomp_backend.Backend.t = (module Qcomp_interp.Interp)
+let directemit : Qcomp_backend.Backend.t = (module Qcomp_directemit.Directemit)
+let cranelift : Qcomp_backend.Backend.t = (module Qcomp_clif.Clif)
+let llvm_cheap : Qcomp_backend.Backend.t = (module Qcomp_llvm.Orc.Cheap)
+let llvm_opt : Qcomp_backend.Backend.t = (module Qcomp_llvm.Orc.Opt)
+let gcc : Qcomp_backend.Backend.t = (module Qcomp_gcc.Gcc)
+
+let all_backends db =
+  [ interpreter; cranelift; llvm_cheap; llvm_opt; gcc ]
+  @ (if db.target.Target.arch = Target.X64 then [ directemit ] else [])
+
+(* ---------------- adaptive back-end selection ---------------- *)
+
+(** Rows each pipeline of [plan] will scan — the driver of execution time,
+    and hence of how much compile time is worth spending. *)
+let rec estimated_work db (p : Algebra.t) =
+  match p with
+  | Algebra.Scan { table; _ } -> (
+      match List.assoc_opt table db.tables with
+      | Some t -> Table.rows t
+      | None -> 0)
+  | Algebra.Filter { input; _ }
+  | Algebra.Project { input; _ }
+  | Algebra.Limit { input; _ } ->
+      estimated_work db input
+  | Algebra.Group_by { input; _ } | Algebra.Order_by { input; _ } ->
+      (* the extra pipeline rescans the aggregate/sort state *)
+      estimated_work db input + 1000
+  | Algebra.Hash_join { build; probe; _ } ->
+      estimated_work db build + estimated_work db probe
+
+(** Umbra-style adaptive choice: start cheap when the query touches little
+    data, spend compile time when execution will dominate (Sec. II and
+    Fig. 7 of the paper). Thresholds calibrated on the bundled workloads. *)
+let adaptive_backend db plan : string * Qcomp_backend.Backend.t =
+  let work = estimated_work db plan in
+  let x64 = db.target.Target.arch = Target.X64 in
+  if work < 500 then ("interpreter", interpreter)
+  else if work < 100_000 then
+    if x64 then ("directemit", directemit) else ("cranelift", cranelift)
+  else if work < 1_000_000 then ("cranelift", cranelift)
+  else ("llvm-opt", llvm_opt)
+
+(** [run_plan] with the back-end chosen adaptively; also returns the name of
+    the back-end that ran. *)
+let run_plan_adaptive db ~timing ~name plan =
+  let bname, backend = adaptive_backend db plan in
+  let result, compile_s, cm = run_plan db ~backend ~timing ~name plan in
+  (result, compile_s, cm, bname)

@@ -1,0 +1,126 @@
+(** Query engine driver — the library's main entry point.
+
+    A {!db} owns a deterministic virtual machine ({!Qcomp_vm.Emu.t}), the
+    query runtime installed on it, and a catalog of columnar tables living
+    in the VM's memory. Plans from {!Qcomp_plan.Algebra} are compiled to
+    Umbra-style IR ({!plan_to_ir}), handed to any of the six back-ends, and
+    executed ({!run_plan}); execution cost is reported in simulated cycles
+    and compile cost in wall-clock seconds, the two measurements behind
+    every experiment in the paper. *)
+
+open Qcomp_support
+open Qcomp_vm
+open Qcomp_runtime
+open Qcomp_storage
+open Qcomp_plan
+
+type db = {
+  target : Target.t;
+  emu : Emu.t;
+  registry : Registry.t;
+  unwind : Unwind.t;
+  mutable catalog : Algebra.catalog;
+  mutable tables : (string * Table.t) list;
+}
+
+(** [create_db ?mem_size target] is a fresh database instance: an emulated
+    machine of [mem_size] bytes (default 256 MiB) with the query runtime
+    registered. *)
+val create_db : ?mem_size:int -> Target.t -> db
+
+(** The instance's linear memory (tables, hash tables and generated-code
+    working set all live here). *)
+val memory : db -> Memory.t
+
+(** [add_table db schema ~rows ~seed gens] creates a columnar table, fills
+    it deterministically with one generator per column, and registers it in
+    the catalog. *)
+val add_table : db -> Schema.t -> rows:int -> seed:int64 -> Datagen.gen array -> Table.t
+
+(** Register an externally populated table. *)
+val register_table : db -> Schema.t -> Table.t -> unit
+
+(** Look up a table by name. Raises [Not_found]. *)
+val table : db -> string -> Table.t
+
+(** A materialized output cell. *)
+type cell =
+  | Int of int64
+  | Dec of I128.t * int  (** scaled value, scale *)
+  | Str of string
+  | Bool of bool
+
+val pp_cell : Format.formatter -> cell -> unit
+
+type result = {
+  rows : cell array list;
+  exec_cycles : int;  (** simulated cycles of the whole execution *)
+  exec_instructions : int;
+  output_count : int;
+}
+
+(** Deterministic, order-sensitive checksum of a result set — the oracle
+    the differential tests compare across back-ends. *)
+val checksum : cell array list -> int64
+
+(** Read the materialized output rows of an executed query. *)
+val read_output : db -> Qcomp_codegen.Codegen.compiled -> state:int -> cell array list
+
+(** Execute an already-back-end-compiled query. *)
+val execute : db -> Qcomp_codegen.Codegen.compiled -> Qcomp_backend.Backend.compiled_module -> result
+
+(** Compile a plan to an Umbra IR module (produce/consume code generation). *)
+val plan_to_ir : db -> name:string -> Algebra.t -> Qcomp_codegen.Codegen.compiled
+
+(** Full path: plan -> IR -> back-end -> execute. Returns the result, the
+    compile wall-time in seconds, and the back-end's compiled module. *)
+val run_plan :
+  db ->
+  backend:Qcomp_backend.Backend.t ->
+  timing:Timing.t ->
+  name:string ->
+  Algebra.t ->
+  result * float * Qcomp_backend.Backend.compiled_module
+
+(** Simulated seconds at the nominal clock (2 GHz, as the paper's Xeon). *)
+val cycles_to_seconds : int -> float
+
+(** {1 The six back-ends of the paper} *)
+
+val interpreter : Qcomp_backend.Backend.t
+
+(** x86-64 only, as in Umbra. *)
+val directemit : Qcomp_backend.Backend.t
+
+val cranelift : Qcomp_backend.Backend.t
+
+(** -O0: FastISel with SelectionDAG fallback, fast register allocator. *)
+val llvm_cheap : Qcomp_backend.Backend.t
+
+(** -O2: optimization pipeline, SelectionDAG, greedy register allocator. *)
+val llvm_opt : Qcomp_backend.Backend.t
+
+val gcc : Qcomp_backend.Backend.t
+
+(** All back-ends applicable to the instance's target. *)
+val all_backends : db -> Qcomp_backend.Backend.t list
+
+(** {1 Adaptive back-end selection} *)
+
+(** Rows each pipeline of the plan will scan — the driver of execution
+    time, and hence of how much compile time is worth spending. *)
+val estimated_work : db -> Algebra.t -> int
+
+(** Umbra-style adaptive choice: start cheap when the query touches little
+    data, spend compile time when execution will dominate (Sec. II and
+    Fig. 7 of the paper). Returns the chosen back-end and its name. *)
+val adaptive_backend : db -> Algebra.t -> string * Qcomp_backend.Backend.t
+
+(** [run_plan] with the back-end chosen adaptively; also returns the name
+    of the back-end that ran. *)
+val run_plan_adaptive :
+  db ->
+  timing:Timing.t ->
+  name:string ->
+  Algebra.t ->
+  result * float * Qcomp_backend.Backend.compiled_module * string

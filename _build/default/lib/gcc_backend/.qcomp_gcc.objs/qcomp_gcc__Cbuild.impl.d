@@ -1,0 +1,1 @@
+lib/gcc_backend/cbuild.ml: Array Cparse Format Hashtbl Int64 List Printf Qcomp_ir Qcomp_llvm Qcomp_support

@@ -1,0 +1,1 @@
+lib/gcc_backend/cgen.ml: Array Buffer Func Int64 List Op Printf Qcomp_ir Qcomp_support String Ty Vec

@@ -1,0 +1,1 @@
+lib/gcc_backend/clex.ml: Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/gcc_backend/cparse.ml: Clex List Printf

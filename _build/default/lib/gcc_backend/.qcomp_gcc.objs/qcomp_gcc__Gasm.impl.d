@@ -1,0 +1,1 @@
+lib/gcc_backend/gasm.ml: Array Buffer Hashtbl Int64 List Minst Printf Qcomp_llvm Qcomp_support Qcomp_vm String Target

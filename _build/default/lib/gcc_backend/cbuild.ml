@@ -1,0 +1,482 @@
+(** C AST -> LIR with on-the-fly SSA construction (Braun et al.), standing
+    in for GCC's gimplification + SSA build. The resulting IR feeds the
+    shared optimizing mid-end at -O3-like settings. *)
+
+open Cparse
+module Lir = Qcomp_llvm.Lir
+
+exception Build_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Build_error s)) fmt
+
+let lty (t : cty) : Lir.ty =
+  match t with
+  | Cvoid -> Lir.Void
+  | Cchar -> Lir.I8
+  | Cshort -> Lir.I16
+  | Cint -> Lir.I32
+  | Clong | Culong -> Lir.I64
+  | Ci128 | Cu128 -> Lir.I128
+  | Cdouble -> Lir.F64
+
+let is_unsigned = function Culong | Cu128 -> true | _ -> false
+
+(* block segmentation: a basic block per label, with anonymous blocks after
+   single-target conditionals *)
+type seg = {
+  mutable label : string;
+  mutable stmts : stmt list;  (** reversed *)
+  mutable term : stmt option;
+  mutable fallthrough : int;  (** next segment for Sif1, -1 otherwise *)
+}
+
+let segment (body : stmt list) : seg array =
+  let segs = ref [] in
+  let nsegs = ref 0 in
+  let anon_id = ref 0 in
+  (* current open segment, if any *)
+  let cur : seg option ref = ref None in
+  let open_seg label =
+    let s = { label; stmts = []; term = None; fallthrough = -1 } in
+    cur := Some s;
+    s
+  in
+  let flush () =
+    match !cur with
+    | Some s ->
+        segs := s :: !segs;
+        incr nsegs;
+        cur := None
+    | None -> ()
+  in
+  let current () =
+    match !cur with
+    | Some s -> s
+    | None ->
+        incr anon_id;
+        open_seg (Printf.sprintf "__anon%d" !anon_id)
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | Slabel l -> (
+          match !cur with
+          | Some c ->
+              (* fallthrough into the label *)
+              c.term <- Some (Sgoto l);
+              flush ();
+              ignore (open_seg l)
+          | None -> ignore (open_seg l))
+      | Sgoto _ | Sif2 _ | Sreturn _ | Strap ->
+          let c = current () in
+          c.term <- Some s;
+          flush ()
+      | Sif1 _ ->
+          let c = current () in
+          c.term <- Some s;
+          c.fallthrough <- !nsegs + 1;
+          flush ();
+          (* the fallthrough block must exist even if empty *)
+          ignore (current ())
+      | other ->
+          let c = current () in
+          c.stmts <- other :: c.stmts)
+    body;
+  flush ();
+  let arr = Array.of_list (List.rev !segs) in
+  Array.iter (fun s -> s.stmts <- List.rev s.stmts) arr;
+  arr
+
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  unit_ : unit_;
+  f : Lir.func;
+  extern_sym : string -> Lir.callee;
+  var_ty : (string, cty) Hashtbl.t;
+  lblocks : Lir.block array;
+  segs : seg array;
+  seg_index : (string, int) Hashtbl.t;
+  preds : int list array;
+  (* Braun SSA state *)
+  current_def : (string * int, Lir.value) Hashtbl.t;
+  incomplete : (int, (string * Lir.inst) list ref) Hashtbl.t;
+  sealed : bool array;
+  filled : bool array;
+}
+
+let write_var ctx var blk v = Hashtbl.replace ctx.current_def (var, blk) v
+
+let phi_for ctx var blk =
+  let ity = lty (try Hashtbl.find ctx.var_ty var with Not_found -> Clong) in
+  Lir.mk_phi_front ctx.f ctx.lblocks.(blk) ~ity
+
+let rec read_var ctx var blk : Lir.value =
+  match Hashtbl.find_opt ctx.current_def (var, blk) with
+  | Some v -> v
+  | None -> read_var_recursive ctx var blk
+
+and read_var_recursive ctx var blk =
+  if not ctx.sealed.(blk) then begin
+    let p = phi_for ctx var blk in
+    let lst =
+      match Hashtbl.find_opt ctx.incomplete blk with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.add ctx.incomplete blk l;
+          l
+    in
+    lst := (var, p) :: !lst;
+    let v = Lir.Vinst p in
+    write_var ctx var blk v;
+    v
+  end
+  else
+    match ctx.preds.(blk) with
+    | [ p ] ->
+        let v = read_var ctx var p in
+        write_var ctx var blk v;
+        v
+    | preds ->
+        let p = phi_for ctx var blk in
+        write_var ctx var blk (Lir.Vinst p);
+        add_phi_operands ctx var p preds;
+        Lir.Vinst p
+
+and add_phi_operands ctx var (p : Lir.inst) preds =
+  let ops = List.map (fun pred -> read_var ctx var pred) preds in
+  p.Lir.operands <- Array.of_list ops;
+  p.Lir.phi_blocks <- Array.of_list (List.map (fun pred -> ctx.lblocks.(pred)) preds);
+  Array.iter (fun v -> Lir.add_user v p) p.Lir.operands
+
+let seal ctx blk =
+  if not ctx.sealed.(blk) then begin
+    ctx.sealed.(blk) <- true;
+    (match Hashtbl.find_opt ctx.incomplete blk with
+    | Some l -> List.iter (fun (var, p) -> add_phi_operands ctx var p ctx.preds.(blk)) !l
+    | None -> ())
+  end
+
+(* try to seal any block whose predecessors are all filled *)
+let try_seals ctx =
+  Array.iteri
+    (fun b _ ->
+      if (not ctx.sealed.(b)) && List.for_all (fun p -> ctx.filled.(p)) ctx.preds.(b)
+      then seal ctx b)
+    ctx.segs
+
+(* ------------------------------------------------------------------ *)
+(* expression translation with C-like typing *)
+
+let emit ctx blk ~iop ~ity ?(operands = [||]) ?(targets = [||]) () =
+  Lir.Vinst (Lir.mk_inst ctx.f ctx.lblocks.(blk) ~iop ~ity ~operands ~targets ())
+
+let rank = function
+  | Cdouble -> 100
+  | Ci128 | Cu128 -> 50
+  | _ -> 10
+
+(* convert a typed value to another C type *)
+let rec convert ctx blk (v, (from_ : cty)) (to_ : cty) : Lir.value =
+  if from_ = to_ then v
+  else
+    let fl = lty from_ and tl = lty to_ in
+    if fl = tl then v
+    else if to_ = Cdouble then emit ctx blk ~iop:Lir.Sitofp ~ity:Lir.F64 ~operands:[| v |] ()
+    else if from_ = Cdouble then emit ctx blk ~iop:Lir.Fptosi ~ity:tl ~operands:[| v |] ()
+    else begin
+      let fb = Lir.ty_size_bits fl and tb = Lir.ty_size_bits tl in
+      if tb > fb then
+        if is_unsigned from_ then emit ctx blk ~iop:Lir.Zext ~ity:tl ~operands:[| v |] ()
+        else emit ctx blk ~iop:Lir.Sext ~ity:tl ~operands:[| v |] ()
+      else if tb < fb then emit ctx blk ~iop:Lir.Trunc ~ity:tl ~operands:[| v |] ()
+      else v
+    end
+
+and promote2 ctx blk (a, ta) (b, tb) : Lir.value * Lir.value * cty =
+  let t =
+    if rank ta > rank tb then ta
+    else if rank tb > rank ta then tb
+    else if is_unsigned ta || is_unsigned tb then
+      if ta = Cu128 || tb = Cu128 || ta = Ci128 || tb = Ci128 then Cu128 else Culong
+    else if ta = Ci128 || tb = Ci128 then Ci128
+    else Clong
+  in
+  (* narrow ints always widen to at least long *)
+  let t = match t with Cchar | Cshort | Cint -> Clong | t -> t in
+  (convert ctx blk (a, ta) t, convert ctx blk (b, tb) t, t)
+
+and build_expr ctx blk (e : expr) : Lir.value * cty =
+  match e with
+  | Evar v -> (
+      match Hashtbl.find_opt ctx.var_ty v with
+      | Some t -> (read_var ctx v blk, t)
+      | None -> fail "unknown variable %s" v)
+  | Eint v -> ((Lir.Vconst (Lir.I64, v)), Clong)
+  | Efloat f -> ((Lir.Vconst (Lir.F64, Int64.bits_of_float f)), Cdouble)
+  | Eneg e ->
+      let v, t = build_expr ctx blk e in
+      let z : Lir.value = if lty t = Lir.I128 then Lir.Vconst128 Qcomp_support.I128.zero else Lir.Vconst (lty t, 0L) in
+      (emit ctx blk ~iop:Lir.Sub ~ity:(lty t) ~operands:[| z; v |] (), t)
+  | Ecast (t, e) ->
+      let v, ft = build_expr ctx blk e in
+      (convert ctx blk (v, ft) t, t)
+  | Ederef (t, a) ->
+      let av, at = build_expr ctx blk a in
+      let av = convert ctx blk (av, at) Clong in
+      (emit ctx blk ~iop:Lir.Load ~ity:(lty t) ~operands:[| av |] (), t)
+  | Eaddr _ -> fail "address-of outside overflow builtin"
+  | Econd (c, a, b) ->
+      let cv = build_cond ctx blk c in
+      let av, ta = build_expr ctx blk a in
+      let bv, tb = build_expr ctx blk b in
+      let av, bv, t = promote2 ctx blk (av, ta) (bv, tb) in
+      (emit ctx blk ~iop:Lir.Select ~ity:(lty t) ~operands:[| cv; av; bv |] (), t)
+  | Ecall ("__f64", [ Eint bits ]) -> ((Lir.Vconst (Lir.F64, bits)), Cdouble)
+  | Ecall ("__builtin_ia32_crc32di", [ a; b ]) ->
+      let av, ta = build_expr ctx blk a in
+      let bv, tb = build_expr ctx blk b in
+      let av = convert ctx blk (av, ta) Clong in
+      let bv = convert ctx blk (bv, tb) Clong in
+      (emit ctx blk ~iop:(Lir.Call (Lir.Intr Lir.Crc32)) ~ity:Lir.I64 ~operands:[| av; bv |] (), Clong)
+  | Ecall ("__builtin_rotateright64", [ a; b ]) ->
+      let av, ta = build_expr ctx blk a in
+      let bv, tb = build_expr ctx blk b in
+      let av = convert ctx blk (av, ta) Clong in
+      let bv = convert ctx blk (bv, tb) Clong in
+      (emit ctx blk ~iop:(Lir.Call (Lir.Intr Lir.Fshr)) ~ity:Lir.I64 ~operands:[| av; av; bv |] (), Clong)
+  | Ecall (name, args) -> (
+      match List.find_opt (fun (n, _, _) -> n = name) ctx.unit_.externs with
+      | Some (_, ret, params) ->
+          let avs =
+            List.map2
+              (fun a pt ->
+                let v, t = build_expr ctx blk a in
+                convert ctx blk (v, t) pt)
+              args params
+          in
+          ( emit ctx blk ~iop:(Lir.Call (Lir.Named name)) ~ity:(lty ret)
+              ~operands:(Array.of_list avs) (),
+            ret )
+      | None -> fail "call to unknown function %s" name)
+  | Ebin (op, a, b) -> (
+      let av, ta = build_expr ctx blk a in
+      let bv, tb = build_expr ctx blk b in
+      match op with
+      | "+" | "-" | "*" | "&" | "|" | "^" ->
+          let av, bv, t = promote2 ctx blk (av, ta) (bv, tb) in
+          let iop =
+            match op with
+            | "+" -> if t = Cdouble then Lir.Fadd else Lir.Add
+            | "-" -> if t = Cdouble then Lir.Fsub else Lir.Sub
+            | "*" -> if t = Cdouble then Lir.Fmul else Lir.Mul
+            | "&" -> Lir.And
+            | "|" -> Lir.Or
+            | _ -> Lir.Xor
+          in
+          (emit ctx blk ~iop ~ity:(lty t) ~operands:[| av; bv |] (), t)
+      | "/" | "%" ->
+          let av, bv, t = promote2 ctx blk (av, ta) (bv, tb) in
+          let iop =
+            if t = Cdouble then Lir.Fdiv
+            else if is_unsigned t then if op = "/" then Lir.Udiv else Lir.Urem
+            else if op = "/" then Lir.Sdiv
+            else Lir.Srem
+          in
+          (emit ctx blk ~iop ~ity:(lty t) ~operands:[| av; bv |] (), t)
+      | "<<" | ">>" ->
+          (* shift result has the (promoted) left type *)
+          let t = match ta with Cchar | Cshort | Cint -> Clong | t -> t in
+          let av = convert ctx blk (av, ta) t in
+          let bv = convert ctx blk (bv, tb) (if lty t = Lir.I128 then Ci128 else Clong) in
+          let iop =
+            if op = "<<" then Lir.Shl
+            else if is_unsigned t then Lir.Lshr
+            else Lir.Ashr
+          in
+          (emit ctx blk ~iop ~ity:(lty t) ~operands:[| av; bv |] (), t)
+      | "==" | "!=" | "<" | "<=" | ">" | ">=" ->
+          let av, bv, t = promote2 ctx blk (av, ta) (bv, tb) in
+          let unsigned = is_unsigned t in
+          let pred : Qcomp_ir.Op.cmp =
+            match op with
+            | "==" -> Qcomp_ir.Op.Eq
+            | "!=" -> Qcomp_ir.Op.Ne
+            | "<" -> if unsigned then Qcomp_ir.Op.Ult else Qcomp_ir.Op.Slt
+            | "<=" -> if unsigned then Qcomp_ir.Op.Ule else Qcomp_ir.Op.Sle
+            | ">" -> if unsigned then Qcomp_ir.Op.Ugt else Qcomp_ir.Op.Sgt
+            | _ -> if unsigned then Qcomp_ir.Op.Uge else Qcomp_ir.Op.Sge
+          in
+          let iop = if t = Cdouble then Lir.Fcmp pred else Lir.Icmp pred in
+          let c = emit ctx blk ~iop ~ity:Lir.I1 ~operands:[| av; bv |] () in
+          (* C comparisons are ints *)
+          (emit ctx blk ~iop:Lir.Zext ~ity:Lir.I64 ~operands:[| c |] (), Clong)
+      | "&&" | "||" ->
+          let ac = build_cond_of ctx blk (av, ta) in
+          let bc = build_cond_of ctx blk (bv, tb) in
+          let iop = if op = "&&" then Lir.And else Lir.Or in
+          let c = emit ctx blk ~iop ~ity:Lir.I1 ~operands:[| ac; bc |] () in
+          (emit ctx blk ~iop:Lir.Zext ~ity:Lir.I64 ~operands:[| c |] (), Clong)
+      | _ -> fail "unknown operator %s" op)
+
+(* boolean (i1) view of an expression *)
+and build_cond ctx blk (e : expr) : Lir.value =
+  let v, t = build_expr ctx blk e in
+  build_cond_of ctx blk (v, t)
+
+and build_cond_of ctx blk (v, t) : Lir.value =
+  (* fold the common (zext (icmp ...)) shape back to the i1 *)
+  match v with
+  | Lir.Vinst i when i.Lir.iop = Lir.Zext && i.Lir.ity = Lir.I64 -> (
+      match i.Lir.operands.(0) with
+      | Lir.Vinst c when (c.Lir.iop <> Lir.Phi) && c.Lir.ity = Lir.I1 -> Lir.Vinst c
+      | _ ->
+          let z : Lir.value = Lir.Vconst (lty t, 0L) in
+          emit ctx blk ~iop:(Lir.Icmp Qcomp_ir.Op.Ne) ~ity:Lir.I1 ~operands:[| v; z |] ())
+  | _ ->
+      let z : Lir.value =
+        if lty t = Lir.I128 then Lir.Vconst128 Qcomp_support.I128.zero
+        else Lir.Vconst (lty t, 0L)
+      in
+      emit ctx blk ~iop:(Lir.Icmp Qcomp_ir.Op.Ne) ~ity:Lir.I1 ~operands:[| v; z |] ()
+
+(* ------------------------------------------------------------------ *)
+(* statement translation *)
+
+let build_stmt ctx blk (s : stmt) =
+  match s with
+  | Slabel _ -> ()
+  | Sassign (v, e) ->
+      let t = try Hashtbl.find ctx.var_ty v with Not_found -> fail "unknown var %s" v in
+      let value, ft = build_expr ctx blk e in
+      write_var ctx v blk (convert ctx blk (value, ft) t)
+  | Sstore (t, addr, value) ->
+      let av, at = build_expr ctx blk addr in
+      let av = convert ctx blk (av, at) Clong in
+      let vv, vt = build_expr ctx blk value in
+      let vv = convert ctx blk (vv, vt) t in
+      ignore (emit ctx blk ~iop:Lir.Store ~ity:Lir.Void ~operands:[| vv; av |] ())
+  | Sexpr (Ecall _ as e) -> ignore (build_expr ctx blk e)
+  | Sexpr _ -> ()
+  | Strap | Sgoto _ | Sif1 _ | Sif2 _ | Sreturn _ ->
+      fail "terminator in statement position"
+
+let build_term ctx blk (s : stmt) ~(target : string -> Lir.block)
+    ~(fallthrough : Lir.block option) =
+  match s with
+  | Sgoto l ->
+      ignore (emit ctx blk ~iop:Lir.Br ~ity:Lir.Void ~targets:[| target l |] ())
+  | Sif2 (c, l1, l2) ->
+      let cv = build_cond ctx blk c in
+      ignore
+        (emit ctx blk ~iop:Lir.Condbr ~ity:Lir.Void ~operands:[| cv |]
+           ~targets:[| target l1; target l2 |] ())
+  | Sif1 (c, l1) -> (
+      let ft = match fallthrough with Some b -> b | None -> fail "if without fallthrough" in
+      match c with
+      | Ecall (bname, [ a; b; Eaddr v ])
+        when bname = "__builtin_add_overflow" || bname = "__builtin_sub_overflow"
+             || bname = "__builtin_mul_overflow" ->
+          let t = try Hashtbl.find ctx.var_ty v with Not_found -> fail "unknown var %s" v in
+          let av, ta = build_expr ctx blk a in
+          let bv, tb = build_expr ctx blk b in
+          let av = convert ctx blk (av, ta) t in
+          let bv = convert ctx blk (bv, tb) t in
+          let intr =
+            if bname = "__builtin_add_overflow" then Lir.Sadd_ovf (lty t)
+            else if bname = "__builtin_sub_overflow" then Lir.Ssub_ovf (lty t)
+            else Lir.Smul_ovf (lty t)
+          in
+          let call =
+            emit ctx blk ~iop:(Lir.Call (Lir.Intr intr)) ~ity:(lty t)
+              ~operands:[| av; bv |] ()
+          in
+          write_var ctx v blk call;
+          let flag =
+            emit ctx blk ~iop:(Lir.Extractvalue 1) ~ity:Lir.I1 ~operands:[| call |] ()
+          in
+          ignore
+            (emit ctx blk ~iop:Lir.Condbr ~ity:Lir.Void ~operands:[| flag |]
+               ~targets:[| target l1; ft |] ())
+      | _ ->
+          let cv = build_cond ctx blk c in
+          ignore
+            (emit ctx blk ~iop:Lir.Condbr ~ity:Lir.Void ~operands:[| cv |]
+               ~targets:[| target l1; ft |] ()))
+  | Sreturn None -> ignore (emit ctx blk ~iop:Lir.Ret ~ity:Lir.Void ())
+  | Sreturn (Some e) ->
+      let v, _ = build_expr ctx blk e in
+      ignore (emit ctx blk ~iop:Lir.Ret ~ity:Lir.Void ~operands:[| v |] ())
+  | Strap -> ignore (emit ctx blk ~iop:Lir.Unreachable ~ity:Lir.Void ())
+  | _ -> fail "non-terminator as terminator"
+
+(* ------------------------------------------------------------------ *)
+
+let build_func (u : unit_) (m : Lir.modul) (cf : cfunc) : Lir.func =
+  let f =
+    Lir.create_func m ~name:cf.cf_name
+      ~arg_tys:(Array.of_list (List.map (fun (t, _) -> lty t) cf.cf_params))
+      ~ret_ty:(lty cf.cf_ret)
+  in
+  let segs = segment cf.cf_body in
+  let nseg = Array.length segs in
+  let seg_index = Hashtbl.create 16 in
+  Array.iteri (fun i s -> Hashtbl.replace seg_index s.label i) segs;
+  let lblocks = Array.init nseg (fun _ -> Lir.new_block f) in
+  let targets_of (s : seg) =
+    match s.term with
+    | Some (Sgoto l) -> [ Hashtbl.find seg_index l ]
+    | Some (Sif2 (_, a, b)) -> [ Hashtbl.find seg_index a; Hashtbl.find seg_index b ]
+    | Some (Sif1 (_, a)) -> [ Hashtbl.find seg_index a; s.fallthrough ]
+    | _ -> []
+  in
+  let preds = Array.make nseg [] in
+  Array.iteri
+    (fun i s -> List.iter (fun t -> preds.(t) <- i :: preds.(t)) (targets_of s))
+    segs;
+  let ctx =
+    {
+      unit_ = u;
+      f;
+      extern_sym = (fun n -> Lir.Named n);
+      var_ty = Hashtbl.create 32;
+      lblocks;
+      segs;
+      seg_index;
+      preds;
+      current_def = Hashtbl.create 64;
+      incomplete = Hashtbl.create 8;
+      sealed = Array.make nseg false;
+      filled = Array.make nseg false;
+    }
+  in
+  List.iter (fun (n, t) -> Hashtbl.replace ctx.var_ty n t) cf.cf_locals;
+  List.iteri
+    (fun k (t, n) ->
+      Hashtbl.replace ctx.var_ty n t;
+      write_var ctx n 0 (Lir.Varg (k, lty t)))
+    cf.cf_params;
+  try_seals ctx;
+  Array.iteri
+    (fun bi (s : seg) ->
+      List.iter (fun st -> build_stmt ctx bi st) s.stmts;
+      (match s.term with
+      | Some t ->
+          build_term ctx bi t
+            ~target:(fun l ->
+              match Hashtbl.find_opt seg_index l with
+              | Some i -> lblocks.(i)
+              | None -> fail "unknown label %s" l)
+            ~fallthrough:
+              (if s.fallthrough >= 0 then Some lblocks.(s.fallthrough) else None)
+      | None ->
+          (* final block without terminator: return *)
+          ignore (emit ctx bi ~iop:Lir.Ret ~ity:Lir.Void ()));
+      ctx.filled.(bi) <- true;
+      try_seals ctx)
+    segs;
+  f
+
+let build (u : unit_) (m : Lir.modul) : Lir.func list =
+  List.map (build_func u m) u.funcs

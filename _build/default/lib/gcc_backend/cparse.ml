@@ -1,0 +1,371 @@
+(** Recursive-descent parser for the generated C subset (the "compiler
+    proper" front half of Table I). Produces an AST that the mid-end
+    rebuilds SSA from. *)
+
+type cty =
+  | Cvoid
+  | Cchar
+  | Cshort
+  | Cint
+  | Clong
+  | Culong
+  | Ci128
+  | Cu128
+  | Cdouble
+
+type expr =
+  | Evar of string
+  | Eint of int64
+  | Efloat of float
+  | Ebin of string * expr * expr
+  | Eneg of expr
+  | Ecast of cty * expr
+  | Ederef of cty * expr  (** *(ty* )(e) *)
+  | Ecall of string * expr list
+  | Eaddr of string  (** &v *)
+  | Econd of expr * expr * expr
+
+type stmt =
+  | Slabel of string
+  | Sassign of string * expr
+  | Sstore of cty * expr * expr  (** *(ty* )(a) = v *)
+  | Sexpr of expr
+  | Sif2 of expr * string * string  (** if (e) goto a; else goto b; *)
+  | Sif1 of expr * string  (** if (e) goto a; *)
+  | Sgoto of string
+  | Sreturn of expr option
+  | Strap
+
+type cfunc = {
+  cf_name : string;
+  cf_ret : cty;
+  cf_params : (cty * string) list;
+  cf_locals : (string * cty) list;
+  cf_body : stmt list;
+}
+
+type unit_ = {
+  externs : (string * cty * cty list) list;
+  funcs : cfunc list;
+}
+
+exception Parse_error of string
+
+open Clex
+
+let fail lx msg = raise (Parse_error (Printf.sprintf "line %d: %s" lx.Clex.line msg))
+
+(* type names: [unsigned] (char|short|int|long|__int128) | i128 | double | void *)
+let parse_base_ty lx : cty option =
+  match peek lx with
+  | Kw "void" -> advance lx; Some Cvoid
+  | Kw "char" -> advance lx; Some Cchar
+  | Kw "short" -> advance lx; Some Cshort
+  | Kw "int" -> advance lx; Some Cint
+  | Kw "long" -> advance lx; Some Clong
+  | Kw "double" -> advance lx; Some Cdouble
+  | Kw "__int128" -> advance lx; Some Ci128
+  | Ident "i128" -> advance lx; Some Ci128
+  | Kw "unsigned" ->
+      advance lx;
+      (match peek lx with
+      | Kw "long" -> advance lx; Some Culong
+      | Kw "__int128" -> advance lx; Some Cu128
+      | Kw "int" -> advance lx; Some Culong
+      | _ -> Some Culong)
+  | _ -> None
+
+(* Is the token sequence at a '(' a cast?  Lookahead: '(' followed by a type
+   keyword. *)
+let rec parse_expr lx = parse_ternary lx
+
+and parse_ternary lx =
+  let c = parse_binary lx 0 in
+  match peek lx with
+  | Punct "?" ->
+      advance lx;
+      let a = parse_expr lx in
+      expect_punct lx ":";
+      let b = parse_expr lx in
+      Econd (c, a, b)
+  | _ -> c
+
+and binop_prec = function
+  | "||" -> Some 1
+  | "&&" -> Some 2
+  | "|" -> Some 3
+  | "^" -> Some 4
+  | "&" -> Some 5
+  | "==" | "!=" -> Some 6
+  | "<" | "<=" | ">" | ">=" -> Some 7
+  | "<<" | ">>" -> Some 8
+  | "+" | "-" -> Some 9
+  | "*" | "/" | "%" -> Some 10
+  | _ -> None
+
+and parse_binary lx min_prec =
+  let lhs = ref (parse_unary lx) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek lx with
+    | Punct p -> (
+        match binop_prec p with
+        | Some prec when prec >= min_prec ->
+            advance lx;
+            let rhs = parse_binary lx (prec + 1) in
+            lhs := Ebin (p, !lhs, rhs)
+        | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary lx =
+  match peek lx with
+  | Punct "-" ->
+      advance lx;
+      Eneg (parse_unary lx)
+  | Punct "&" -> (
+      advance lx;
+      match peek lx with
+      | Ident v ->
+          advance lx;
+          Eaddr v
+      | _ -> fail lx "expected identifier after &")
+  | Punct "*" ->
+      (* deref: star (ty star) (e) *)
+      advance lx;
+      expect_punct lx "(";
+      let ty = match parse_base_ty lx with Some t -> t | None -> fail lx "expected type in deref" in
+      expect_punct lx "*";
+      expect_punct lx ")";
+      expect_punct lx "(";
+      let e = parse_expr lx in
+      expect_punct lx ")";
+      Ederef (ty, e)
+  | Punct "(" -> (
+      (* cast or parenthesized expression *)
+      advance lx;
+      match parse_base_ty lx with
+      | Some ty ->
+          (* possibly a pointer cast used as a plain value cast *)
+          (match peek lx with
+          | Punct "*" -> advance lx
+          | _ -> ());
+          expect_punct lx ")";
+          Ecast (ty, parse_unary lx)
+      | None ->
+          let e = parse_expr lx in
+          expect_punct lx ")";
+          e)
+  | Int_lit v ->
+      advance lx;
+      Eint v
+  | Float_lit f ->
+      advance lx;
+      Efloat f
+  | Ident name -> (
+      advance lx;
+      match peek lx with
+      | Punct "(" ->
+          advance lx;
+          let args = ref [] in
+          (match peek lx with
+          | Punct ")" -> advance lx
+          | _ ->
+              let rec more () =
+                args := parse_expr lx :: !args;
+                match peek lx with
+                | Punct "," ->
+                    advance lx;
+                    more ()
+                | _ -> expect_punct lx ")"
+              in
+              more ());
+          Ecall (name, List.rev !args)
+      | _ -> Evar name)
+  | _ -> fail lx "expected expression"
+
+let parse_stmt lx : stmt option =
+  match peek lx with
+  | Punct "}" -> None
+  | Kw "goto" ->
+      advance lx;
+      let l = match peek lx with Ident l -> advance lx; l | _ -> fail lx "goto label" in
+      expect_punct lx ";";
+      Some (Sgoto l)
+  | Kw "return" ->
+      advance lx;
+      if peek lx = Punct ";" then begin
+        advance lx;
+        Some (Sreturn None)
+      end
+      else begin
+        let e = parse_expr lx in
+        expect_punct lx ";";
+        Some (Sreturn (Some e))
+      end
+  | Kw "if" ->
+      advance lx;
+      expect_punct lx "(";
+      let c = parse_expr lx in
+      expect_punct lx ")";
+      (match peek lx with
+      | Kw "goto" ->
+          advance lx;
+          let l1 = match peek lx with Ident l -> advance lx; l | _ -> fail lx "goto label" in
+          expect_punct lx ";";
+          (match peek lx with
+          | Kw "else" ->
+              advance lx;
+              (match peek lx with
+              | Kw "goto" ->
+                  advance lx;
+                  let l2 = match peek lx with Ident l -> advance lx; l | _ -> fail lx "goto label" in
+                  expect_punct lx ";";
+                  Some (Sif2 (c, l1, l2))
+              | _ -> fail lx "expected goto after else")
+          | _ -> Some (Sif1 (c, l1)))
+      | _ -> fail lx "expected goto after if")
+  | Punct "*" -> (
+      (* store *)
+      match parse_unary lx with
+      | Ederef (ty, addr) ->
+          expect_punct lx "=";
+          let v = parse_expr lx in
+          expect_punct lx ";";
+          Some (Sstore (ty, addr, v))
+      | _ -> fail lx "expected store")
+  | Ident name -> (
+      advance lx;
+      match peek lx with
+      | Punct ":" ->
+          advance lx;
+          (* empty statement after label *)
+          if peek lx = Punct ";" then advance lx;
+          Some (Slabel name)
+      | Punct "=" ->
+          advance lx;
+          let e = parse_expr lx in
+          expect_punct lx ";";
+          Some (Sassign (name, e))
+      | Punct "(" ->
+          advance lx;
+          let args = ref [] in
+          (match peek lx with
+          | Punct ")" -> advance lx
+          | _ ->
+              let rec more () =
+                args := parse_expr lx :: !args;
+                match peek lx with
+                | Punct "," ->
+                    advance lx;
+                    more ()
+                | _ -> expect_punct lx ")"
+              in
+              more ());
+          expect_punct lx ";";
+          if name = "__builtin_trap" then Some Strap
+          else Some (Sexpr (Ecall (name, List.rev !args)))
+      | _ -> fail lx ("unexpected statement at " ^ name))
+  | _ -> fail lx "unexpected statement"
+
+(* top level: typedef / extern decls / function definitions *)
+let parse (src : string) : unit_ =
+  let lx = create src in
+  let externs = ref [] in
+  let funcs = ref [] in
+  let rec top () =
+    match peek lx with
+    | Eof -> ()
+    | Kw "typedef" ->
+        (* typedef __int128 i128; *)
+        advance lx;
+        ignore (parse_base_ty lx);
+        (match peek lx with Ident _ -> advance lx | _ -> ());
+        expect_punct lx ";";
+        top ()
+    | Kw "extern" ->
+        advance lx;
+        let ret = match parse_base_ty lx with Some t -> t | None -> fail lx "extern type" in
+        let name = match peek lx with Ident n -> advance lx; n | _ -> fail lx "extern name" in
+        expect_punct lx "(";
+        let args = ref [] in
+        (match peek lx with
+        | Kw "void" ->
+            advance lx;
+            expect_punct lx ")"
+        | Punct ")" -> advance lx
+        | _ ->
+            let rec more () =
+              (match parse_base_ty lx with
+              | Some t -> args := t :: !args
+              | None -> fail lx "extern arg type");
+              match peek lx with
+              | Punct "," ->
+                  advance lx;
+                  more ()
+              | _ -> expect_punct lx ")"
+            in
+            more ());
+        expect_punct lx ";";
+        externs := (name, ret, List.rev !args) :: !externs;
+        top ()
+    | _ -> (
+        (* function definition *)
+        let ret = match parse_base_ty lx with Some t -> t | None -> fail lx "function type" in
+        let name = match peek lx with Ident n -> advance lx; n | _ -> fail lx "function name" in
+        expect_punct lx "(";
+        let params = ref [] in
+        (match peek lx with
+        | Kw "void" ->
+            advance lx;
+            expect_punct lx ")"
+        | Punct ")" -> advance lx
+        | _ ->
+            let rec more () =
+              let t = match parse_base_ty lx with Some t -> t | None -> fail lx "param type" in
+              let pn = match peek lx with Ident n -> advance lx; n | _ -> fail lx "param name" in
+              params := (t, pn) :: !params;
+              match peek lx with
+              | Punct "," ->
+                  advance lx;
+                  more ()
+              | _ -> expect_punct lx ")"
+            in
+            more ());
+        expect_punct lx "{";
+        (* local declarations *)
+        let locals = ref [] in
+        let rec decls () =
+          match parse_base_ty lx with
+          | Some t ->
+              let n = match peek lx with Ident n -> advance lx; n | _ -> fail lx "local name" in
+              expect_punct lx ";";
+              locals := (n, t) :: !locals;
+              decls ()
+          | None -> ()
+        in
+        decls ();
+        let body = ref [] in
+        let rec stmts () =
+          match parse_stmt lx with
+          | Some s ->
+              body := s :: !body;
+              stmts ()
+          | None -> ()
+        in
+        stmts ();
+        expect_punct lx "}";
+        funcs :=
+          {
+            cf_name = name;
+            cf_ret = ret;
+            cf_params = List.rev !params;
+            cf_locals = List.rev !locals;
+            cf_body = List.rev !body;
+          }
+          :: !funcs;
+        top ())
+  in
+  top ();
+  { externs = List.rev !externs; funcs = List.rev !funcs }

@@ -1,0 +1,166 @@
+(** The GCC/C back-end (Sec. IV).
+
+    Pipeline with the structure the paper describes: Umbra IR is printed as
+    C into a temporary file; the "external compiler" reads and parses that
+    file, rebuilds SSA, optimizes aggressively (-O3-like: two rounds of the
+    optimization pipeline), selects instructions via the optimizing
+    selector and the greedy register allocator, and prints *textual
+    assembly* to another temporary file; a separate assembler parses that
+    text and produces a relocatable object; the linker turns it into a
+    loadable image, which dlopen/dlsym-style loading finally registers.
+    The paper notes compile times were deliberately not optimized for this
+    back-end — neither are they here. Phase names follow Table I. *)
+
+open Qcomp_support
+open Qcomp_ir
+open Qcomp_vm
+open Qcomp_runtime
+module Llvm = Qcomp_llvm
+module Lir = Qcomp_llvm.Lir
+module Elf = Qcomp_llvm.Elf
+
+let name = "gcc"
+
+let temp_dir = Filename.get_temp_dir_name ()
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let counter = ref 0
+
+let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
+    Qcomp_backend.Backend.compiled_module =
+  let target = Emu.target_of emu in
+  incr counter;
+  let base_name = Printf.sprintf "qcomp_gcc_%d_%d" (Unix.getpid ()) !counter in
+  let c_path = Filename.concat temp_dir (base_name ^ ".c") in
+  let s_path = Filename.concat temp_dir (base_name ^ ".s") in
+  (* 1. generate C and write the temporary file *)
+  let csrc =
+    Timing.scope timing "GenerateC" (fun () ->
+        let src = Cgen.generate m in
+        write_file c_path src;
+        src)
+  in
+  ignore csrc;
+  (* 2. "gcc" parses the file (the phase measured at ~13%) *)
+  let lmod =
+    Lir.create_module (Qcomp_support.Vec.to_array m.Func.externs)
+  in
+  let funcs =
+    Timing.scope timing "Parse" (fun () ->
+        let text = read_file c_path in
+        let ast = Cparse.parse text in
+        Timing.scope timing "Gimplify" (fun () -> Cbuild.build ast lmod))
+  in
+  (* 3. optimize hard (-O3-like: two rounds) *)
+  (if Sys.getenv_opt "GCC_NOOPT" = None then
+     Timing.scope timing "Optimize" (fun () ->
+         List.iter
+           (fun f ->
+             let cache = Llvm.Lpasses.fresh_cache () in
+             Llvm.Lpasses.run_passes timing cache Llvm.Lpasses.o2_pipeline f;
+             Llvm.Lpasses.run_passes timing cache Llvm.Lpasses.o2_pipeline f)
+           funcs));
+  (* 4. code generation: optimizing selector + greedy allocator, then
+        textual assembly output *)
+  let rt_addr nm = Registry.addr registry nm in
+  let externs = Qcomp_support.Vec.to_array m.Func.externs in
+  let extern_name s = externs.(s).Func.ext_name in
+  let asm_text = Buffer.create 4096 in
+  let fn_frames = ref [] in
+  Timing.scope timing "CodeGen" (fun () ->
+      List.iter
+        (fun lf ->
+          let fl =
+            Llvm.Flow.create ~target ~cfg:Llvm.Flow.default_config ~rt_addr
+              ~extern_name lf
+          in
+          Llvm.Lisel.lower_function fl ~mode:Llvm.Lisel.Dag;
+          let mir = fl.Llvm.Flow.mir in
+          let dump tag =
+            if Sys.getenv_opt "GCC_DUMP_MIR" = Some lf.Lir.lname then begin
+              Printf.eprintf "=== %s %s ===\n" tag lf.Lir.lname;
+              Array.iteri
+                (fun bi blk ->
+                  Printf.eprintf "bb%d: (succs %s)\n" bi
+                    (String.concat "," (List.map string_of_int blk.Llvm.Mir.succs));
+                  Qcomp_support.Vec.iter
+                    (fun mi ->
+                      match mi with
+                      | Llvm.Mir.M inst -> Format.eprintf "  %a@." (Minst.pp target) inst
+                      | Llvm.Mir.Mphi { dst; incoming } ->
+                          Printf.eprintf "  phi v%d <- %s\n" dst
+                            (String.concat ", "
+                               (Array.to_list
+                                  (Array.map (fun (b, v) -> Printf.sprintf "bb%d:v%d" b v) incoming)))
+                      | Llvm.Mir.Mcall { sym } -> Printf.eprintf "  call %s\n" sym
+                      | Llvm.Mir.Mframe_ld { dst; slot; _ } -> Printf.eprintf "  frameld v%d s%d\n" dst slot
+                      | Llvm.Mir.Mframe_st { src; slot; _ } -> Printf.eprintf "  framest v%d s%d\n" src slot)
+                    blk.Llvm.Mir.insts)
+                mir.Llvm.Mir.blocks
+            end
+          in
+          dump "post-isel";
+          Llvm.Mpasses.phi_elim mir;
+          Llvm.Mpasses.two_address mir;
+          (if Sys.getenv_opt "GCC_FASTRA" <> None then Llvm.Mpasses.regalloc_fast mir
+           else begin
+             let live = Llvm.Mpasses.compute_liveness mir in
+             let freq = Llvm.Mpasses.block_freq mir in
+             ignore (Llvm.Mpasses.regalloc_greedy mir live freq)
+           end);
+          Llvm.Mpasses.remove_identity_moves mir;
+          let frame = Llvm.Mpasses.prologue_epilogue mir in
+          Gasm.print_function target ~name:lf.Lir.lname mir asm_text;
+          fn_frames := (lf.Lir.lname, frame) :: !fn_frames)
+        funcs);
+  (if Sys.getenv_opt "GCC_DUMP" <> None then prerr_string (Buffer.contents asm_text));
+  (* 5. assembler: separate tool, reads the .s file *)
+  let obj =
+    Timing.scope timing "Assembler" (fun () ->
+        write_file s_path (Buffer.contents asm_text);
+        let text = read_file s_path in
+        Gasm.assemble target text)
+  in
+  (* 6. linker: produce the shared object image *)
+  let image = Timing.scope timing "Linker" (fun () -> Elf.write obj) in
+  (* 7. dlopen/dlsym *)
+  let linked =
+    Timing.scope timing "Dlopen" (fun () ->
+        Llvm.Jitlink.link ~emu ~resolve:(fun sym -> Registry.addr registry sym) image)
+  in
+  Timing.scope timing "UnwindInfo" (fun () ->
+      List.iter
+        (fun (fname, frame) ->
+          match Hashtbl.find_opt linked.Llvm.Jitlink.fn_addr fname with
+          | Some a ->
+              Unwind.register unwind ~start:a ~size:16 ~sync_only:false
+                [
+                  (0, { Unwind.cfa_offset = 8; saved_regs = [] });
+                  (4, { Unwind.cfa_offset = 8 + frame; saved_regs = [] });
+                ]
+          | None -> ())
+        !fn_frames);
+  (* leave no temporary files behind *)
+  (try Sys.remove c_path with Sys_error _ -> ());
+  (try Sys.remove s_path with Sys_error _ -> ());
+  let fns =
+    Hashtbl.fold
+      (fun n a acc -> (n, Int64.of_int a) :: acc)
+      linked.Llvm.Jitlink.fn_addr []
+  in
+  {
+    Qcomp_backend.Backend.cm_functions = fns;
+    cm_code_size = Bytes.length image;
+    cm_stats = [ ("got_slots", linked.Llvm.Jitlink.got_slots) ];
+  }

@@ -1,0 +1,1 @@
+lib/interp/bytecode.ml: Array Func Int64 List Op Qcomp_ir Qcomp_support Ty Vec

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Bytecode Emu Func Hashes I128 Int64 List Memory Op Qcomp_backend Qcomp_ir Qcomp_runtime Qcomp_support Qcomp_vm Registry Rt_error Target Timing Ty Unwind Vec

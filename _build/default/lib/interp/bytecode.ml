@@ -1,0 +1,169 @@
+(** Register-based bytecode and its translation from Umbra IR.
+
+    Each SSA value gets one bytecode register (two 64-bit lanes so 128-bit
+    values fit). Phis are destructed into parallel copies on edge blocks
+    (scratch registers break copy cycles). Runtime-call targets are
+    resolved at translation time, like Umbra hard-wiring addresses. *)
+
+open Qcomp_support
+open Qcomp_ir
+
+type inst =
+  | Move of int * int  (** dst, src (copies both lanes) *)
+  | Const of int * int64
+  | Const128 of int * int64 * int64  (** dst, lo, hi *)
+  | Bin of Op.t * Ty.t * int * int * int  (** op, ty, dst, a, b *)
+  | Cmp of Op.cmp * Ty.t * int * int * int  (** pred, operand ty, dst, a, b *)
+  | Un of Op.t * Ty.t * Ty.t * int * int  (** op, dst ty, src ty, dst, src *)
+  | Select of Ty.t * int * int * int * int  (** ty, dst, cond, a, b *)
+  | Load of Ty.t * int * int * int  (** ty, dst, addr, offset *)
+  | Store of Ty.t * int * int * int  (** value ty, src, addr, offset *)
+  | Gep of int * int * int * int * int  (** dst, base, index(-1), scale, off *)
+  | Call of { dst : int; ret : Ty.t; addr : int64; args : (int * Ty.t) array }
+  | Jmp of int
+  | Condbr of int * int * int
+  | Ret of int
+  | Unreachable
+
+type fn = {
+  fn_name : string;
+  code : inst array;
+  num_regs : int;
+  n_args : int;
+}
+
+(* Translation: lay out blocks in order; phis become edge copies. *)
+
+let translate ~(extern_addr : int -> int64) (f : Func.t) : fn =
+  let nb = Func.num_blocks f in
+  let code = Vec.create ~dummy:Unreachable ()
+  and block_pos = Array.make nb (-1) in
+  (* extra scratch registers for parallel copies, allocated past SSA ids *)
+  let next_scratch = ref (Func.num_insts f) in
+  (* fixup list: code index -> block id whose position patches the target *)
+  let jmp_fixups = ref [] in
+  let emit i = ignore (Vec.push code i) in
+  let emit_jmp target =
+    jmp_fixups := (Vec.length code, `Jmp target) :: !jmp_fixups;
+    emit (Jmp (-1))
+  in
+  let emit_condbr c t e =
+    jmp_fixups := (Vec.length code, `Condbr (t, e)) :: !jmp_fixups;
+    emit (Condbr (c, -1, -1))
+  in
+  (* Copies for the phi moves of [target] when entered from [pred]:
+     two-phase through scratch registers to get parallel-copy semantics. *)
+  let phi_copies pred target =
+    let phis = ref [] in
+    Vec.iter
+      (fun i ->
+        if Func.op f i = Op.Phi then
+          List.iter
+            (fun (blk, v) -> if blk = pred then phis := (i, v) :: !phis)
+            (Func.phi_incoming f i))
+      (Func.block_insts f target);
+    let phis = List.rev !phis in
+    let staged =
+      List.map
+        (fun (dst, src) ->
+          let tmp = !next_scratch in
+          incr next_scratch;
+          emit (Move (tmp, src));
+          (dst, tmp))
+        phis
+    in
+    List.iter (fun (dst, tmp) -> emit (Move (dst, tmp))) staged
+  in
+  (* Branch to [target] from [pred]: inline the phi copies then jump. *)
+  let goto pred target =
+    phi_copies pred target;
+    emit_jmp target
+  in
+  for b = 0 to nb - 1 do
+    block_pos.(b) <- Vec.length code;
+    Vec.iter
+      (fun i ->
+        let ty = Func.ty f i in
+        let x = Func.x f i and y = Func.y f i and z = Func.z f i in
+        match Func.op f i with
+        | Op.Nop | Op.Arg | Op.Phi -> ()
+        | Op.Const -> emit (Const (i, Func.imm f i))
+        | Op.Const128 ->
+            let hi, lo = Func.const128_value f i in
+            emit (Const128 (i, lo, hi))
+        | Op.Isnull -> emit (Cmp (Op.Eq, Func.ty f x, i, x, -1))
+        | Op.Isnotnull -> emit (Cmp (Op.Ne, Func.ty f x, i, x, -1))
+        | ( Op.Add | Op.Sub | Op.Mul | Op.Sdiv | Op.Udiv | Op.Srem | Op.Urem
+          | Op.Saddtrap | Op.Ssubtrap | Op.Smultrap | Op.And | Op.Or | Op.Xor
+          | Op.Shl | Op.Lshr | Op.Ashr | Op.Rotr | Op.Crc32 | Op.Longmulfold
+          | Op.Fadd | Op.Fsub | Op.Fmul | Op.Fdiv ) as op ->
+            emit (Bin (op, ty, i, x, y))
+        | Op.Cmp -> emit (Cmp (Op.cmp_of_int (Func.n f i), Func.ty f x, i, x, y))
+        | Op.Fcmp ->
+            emit (Cmp (Op.cmp_of_int (Func.n f i), Ty.F64, i, x, y))
+        | (Op.Zext | Op.Sext | Op.Trunc | Op.Sitofp | Op.Fptosi) as op ->
+            emit (Un (op, ty, Func.ty f x, i, x))
+        | Op.Select -> emit (Select (ty, i, x, y, z))
+        | Op.Load -> emit (Load (ty, i, x, Int64.to_int (Func.imm f i)))
+        | Op.Store ->
+            emit (Store (Func.ty f x, x, y, Int64.to_int (Func.imm f i)))
+        | Op.Gep -> emit (Gep (i, x, y, Func.n f i, Int64.to_int (Func.imm f i)))
+        | Op.Atomicadd ->
+            (* single-threaded engine: plain read-modify-write *)
+            emit (Load (ty, i, x, 0));
+            let tmp = !next_scratch in
+            incr next_scratch;
+            emit (Bin (Op.Add, ty, tmp, i, y));
+            emit (Store (ty, tmp, x, 0))
+        | Op.Call ->
+            let args =
+              List.map (fun a -> (a, Func.ty f a)) (Func.call_args f i)
+            in
+            emit
+              (Call
+                 {
+                   dst = i;
+                   ret = ty;
+                   addr = extern_addr (Func.z f i);
+                   args = Array.of_list args;
+                 })
+        | Op.Br -> goto b x
+        | Op.Condbr ->
+            (* If a successor has phis we need an edge block for its copies. *)
+            let then_has_phis =
+              Vec.exists (fun j -> Func.op f j = Op.Phi) (Func.block_insts f y)
+            in
+            let else_has_phis =
+              Vec.exists (fun j -> Func.op f j = Op.Phi) (Func.block_insts f z)
+            in
+            if not (then_has_phis || else_has_phis) then emit_condbr x y z
+            else begin
+              (* condbr to local stubs, then copies + jump *)
+              let fix_idx = Vec.length code in
+              emit (Condbr (x, -1, -1));
+              let then_pos = Vec.length code in
+              goto b y;
+              let else_pos = Vec.length code in
+              goto b z;
+              Vec.set code fix_idx (Condbr (x, then_pos, else_pos))
+            end
+        | Op.Ret -> emit (Ret x)
+        | Op.Unreachable -> emit Unreachable)
+      (Func.block_insts f b)
+  done;
+  (* patch jumps *)
+  List.iter
+    (fun (idx, fx) ->
+      match fx with
+      | `Jmp b -> Vec.set code idx (Jmp block_pos.(b))
+      | `Condbr (t, e) -> (
+          match Vec.get code idx with
+          | Condbr (c, _, _) -> Vec.set code idx (Condbr (c, block_pos.(t), block_pos.(e)))
+          | _ -> assert false))
+    !jmp_fixups;
+  {
+    fn_name = f.Func.name;
+    code = Vec.to_array code;
+    num_regs = !next_scratch;
+    n_args = Func.n_args f;
+  }

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Func I128 Int64 List Op Qcomp_support Ty

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Array Hashtbl Op Qcomp_support Ty Vec

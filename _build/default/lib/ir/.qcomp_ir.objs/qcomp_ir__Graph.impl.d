@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Array Func Hashtbl List

@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Array Bitset Func Graph List Op Qcomp_support Ty Vec

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Format Func List Op Qcomp_support Ty Vec

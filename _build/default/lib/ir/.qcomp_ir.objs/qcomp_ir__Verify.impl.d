@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Format Func Graph List Op Qcomp_support Ty Vec

@@ -1,0 +1,182 @@
+(** Generic CFG analyses: reverse postorder, dominator tree
+    (Cooper–Harvey–Kennedy), and natural-loop detection.
+
+    A functor so the same algorithms serve Umbra IR functions, the LLVM-like
+    Machine IR, and Cranelift-like CIR. *)
+
+module type GRAPH = sig
+  type t
+
+  val num_nodes : t -> int
+  val entry : t -> int
+  val iter_succs : t -> int -> (int -> unit) -> unit
+end
+
+module Make (G : GRAPH) = struct
+  (** Reverse postorder over reachable nodes, entry first. *)
+  let rpo g =
+    let n = G.num_nodes g in
+    let state = Array.make n 0 (* 0 unseen, 1 open, 2 done *) in
+    let post = ref [] in
+    (* Iterative DFS: stack of (node, remaining successor list). *)
+    let succs_of b =
+      let acc = ref [] in
+      G.iter_succs g b (fun s -> acc := s :: !acc);
+      List.rev !acc
+    in
+    let stack = ref [] in
+    let push b =
+      if state.(b) = 0 then begin
+        state.(b) <- 1;
+        stack := (b, succs_of b) :: !stack
+      end
+    in
+    push (G.entry g);
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | (b, []) :: rest ->
+          stack := rest;
+          state.(b) <- 2;
+          post := b :: !post;
+          loop ()
+      | (b, s :: more) :: rest ->
+          stack := (b, more) :: rest;
+          push s;
+          loop ()
+    in
+    loop ();
+    Array.of_list !post
+
+  type domtree = {
+    order : int array;  (** RPO sequence of reachable nodes *)
+    number : int array;  (** node -> RPO index, -1 when unreachable *)
+    idom : int array;  (** node -> immediate dominator (entry maps to itself) *)
+    preds : int list array;
+  }
+
+  let dominators g =
+    let n = G.num_nodes g in
+    let order = rpo g in
+    let number = Array.make n (-1) in
+    Array.iteri (fun i b -> number.(b) <- i) order;
+    let preds = Array.make n [] in
+    Array.iter
+      (fun b -> G.iter_succs g b (fun s -> preds.(s) <- b :: preds.(s)))
+      order;
+    let idom = Array.make n (-1) in
+    let entry = G.entry g in
+    idom.(entry) <- entry;
+    let rec intersect a b =
+      if a = b then a
+      else if number.(a) > number.(b) then intersect idom.(a) b
+      else intersect a idom.(b)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> entry then begin
+            let new_idom =
+              List.fold_left
+                (fun acc p ->
+                  if number.(p) < 0 || idom.(p) < 0 then acc
+                  else match acc with
+                    | None -> Some p
+                    | Some a -> Some (intersect a p))
+                None preds.(b)
+            in
+            match new_idom with
+            | None -> ()
+            | Some d ->
+                if idom.(b) <> d then begin
+                  idom.(b) <- d;
+                  changed := true
+                end
+          end)
+        order
+    done;
+    { order; number; idom; preds }
+
+  let reachable dt b = dt.number.(b) >= 0
+
+  (** [dominates dt a b]: does [a] dominate [b]? *)
+  let dominates dt a b =
+    if not (reachable dt b) then false
+    else begin
+      let rec climb x = if x = a then true else if dt.idom.(x) = x then false else climb dt.idom.(x) in
+      climb b
+    end
+
+  type loops = {
+    depth : int array;  (** loop nesting depth per node, 0 = not in a loop *)
+    header_of : int array;  (** innermost loop header per node, -1 if none *)
+    loop_headers : int array;  (** all loop headers *)
+    bodies : (int * int list) list;  (** exact member lists per header *)
+  }
+
+  (** Natural loops from back edges [u -> h] where [h] dominates [u].
+      Irreducible CFG edges are ignored (Umbra never generates them). *)
+  let natural_loops g dt =
+    let n = G.num_nodes g in
+    let bodies = Hashtbl.create 8 (* header -> member set *) in
+    Array.iter
+      (fun u ->
+        G.iter_succs g u (fun h ->
+            if dominates dt h u then begin
+              let body =
+                match Hashtbl.find_opt bodies h with
+                | Some s -> s
+                | None ->
+                    let s = Hashtbl.create 8 in
+                    Hashtbl.add s h ();
+                    Hashtbl.add bodies h s;
+                    s
+              in
+              (* Walk predecessors backward from u until h. *)
+              let rec walk b =
+                if not (Hashtbl.mem body b) then begin
+                  Hashtbl.add body b ();
+                  List.iter walk dt.preds.(b)
+                end
+              in
+              walk u
+            end))
+      dt.order;
+    let depth = Array.make n 0 in
+    let header_of = Array.make n (-1) in
+    (* Sort headers outermost-first (by body size, larger = outer). *)
+    let headers =
+      Hashtbl.fold (fun h s acc -> (h, s) :: acc) bodies []
+      |> List.sort (fun (_, a) (_, b) -> compare (Hashtbl.length b) (Hashtbl.length a))
+    in
+    List.iter
+      (fun (h, body) ->
+        Hashtbl.iter
+          (fun b () ->
+            depth.(b) <- depth.(b) + 1;
+            header_of.(b) <- h)
+          body)
+      headers;
+    {
+      depth;
+      header_of;
+      loop_headers = Array.of_list (List.map fst headers);
+      bodies =
+        List.map
+          (fun (h, body) -> (h, Hashtbl.fold (fun b () acc -> b :: acc) body []))
+          headers;
+    }
+end
+
+(** Instantiation for Umbra IR functions. *)
+module Func_graph = struct
+  type t = Func.t
+
+  let num_nodes = Func.num_blocks
+  let entry (_ : t) = Func.entry_block
+  let iter_succs f b k = Func.iter_succs f b k
+end
+
+module Func_analysis = Make (Func_graph)

@@ -1,0 +1,103 @@
+(** Textual dump of Umbra IR, in the style of Listing 1 of the paper. *)
+
+open Qcomp_support
+
+let pp_value fmt v = Format.fprintf fmt "%%%d" v
+
+let pp_inst (f : Func.t) fmt i =
+  let op = Func.op f i in
+  let ty = Func.ty f i in
+  let pv = pp_value in
+  (match ty with
+  | Ty.Void -> Format.fprintf fmt "  "
+  | _ -> Format.fprintf fmt "  %a = " pv i);
+  match op with
+  | Op.Nop -> Format.fprintf fmt "nop"
+  | Op.Arg -> Format.fprintf fmt "arg %a" Ty.pp ty
+  | Op.Const -> Format.fprintf fmt "const %a %Ld" Ty.pp ty (Func.imm f i)
+  | Op.Const128 ->
+      let hi, lo = Func.const128_value f i in
+      Format.fprintf fmt "const128 0x%Lx:0x%Lx" hi lo
+  | Op.Isnull | Op.Isnotnull ->
+      Format.fprintf fmt "%s %a" (Op.name op) pv (Func.x f i)
+  | Op.Add | Op.Sub | Op.Mul | Op.Sdiv | Op.Udiv | Op.Srem | Op.Urem
+  | Op.Saddtrap | Op.Ssubtrap | Op.Smultrap | Op.And | Op.Or | Op.Xor
+  | Op.Shl | Op.Lshr | Op.Ashr | Op.Rotr | Op.Crc32 | Op.Longmulfold
+  | Op.Fadd | Op.Fsub | Op.Fmul | Op.Fdiv ->
+      Format.fprintf fmt "%s %a %a, %a" (Op.name op) Ty.pp ty pv (Func.x f i)
+        pv (Func.y f i)
+  | Op.Cmp | Op.Fcmp ->
+      Format.fprintf fmt "%s %s %a, %a" (Op.name op)
+        (Op.cmp_name (Op.cmp_of_int (Func.n f i)))
+        pv (Func.x f i) pv (Func.y f i)
+  | Op.Zext | Op.Sext | Op.Trunc | Op.Sitofp | Op.Fptosi ->
+      Format.fprintf fmt "%s %a %a" (Op.name op) Ty.pp ty pv (Func.x f i)
+  | Op.Select ->
+      Format.fprintf fmt "select %a %a, %a, %a" Ty.pp ty pv (Func.x f i) pv
+        (Func.y f i) pv (Func.z f i)
+  | Op.Phi ->
+      Format.fprintf fmt "phi %a " Ty.pp ty;
+      List.iteri
+        (fun k (blk, v) ->
+          if k > 0 then Format.fprintf fmt ", ";
+          Format.fprintf fmt "[^%d: %a]" blk pv v)
+        (Func.phi_incoming f i)
+  | Op.Load ->
+      Format.fprintf fmt "load %a %a + %Ld" Ty.pp ty pv (Func.x f i)
+        (Func.imm f i)
+  | Op.Store ->
+      Format.fprintf fmt "store %a, %a + %Ld" pv (Func.x f i) pv (Func.y f i)
+        (Func.imm f i)
+  | Op.Gep ->
+      if Func.y f i >= 0 then
+        Format.fprintf fmt "getelementptr %a, %Ld + %a * %d" pv (Func.x f i)
+          (Func.imm f i) pv (Func.y f i) (Func.n f i)
+      else
+        Format.fprintf fmt "getelementptr %a, %Ld" pv (Func.x f i)
+          (Func.imm f i)
+  | Op.Atomicadd ->
+      Format.fprintf fmt "atomicadd %a %a, %a" Ty.pp ty pv (Func.x f i) pv
+        (Func.y f i)
+  | Op.Call ->
+      Format.fprintf fmt "call %a @%d(" Ty.pp ty (Func.z f i);
+      List.iteri
+        (fun k a ->
+          if k > 0 then Format.fprintf fmt ", ";
+          pv fmt a)
+        (Func.call_args f i);
+      Format.fprintf fmt ")"
+  | Op.Br -> Format.fprintf fmt "br ^%d" (Func.x f i)
+  | Op.Condbr ->
+      Format.fprintf fmt "condbr %a ^%d ^%d" pv (Func.x f i) (Func.y f i)
+        (Func.z f i)
+  | Op.Ret ->
+      if Func.x f i >= 0 then Format.fprintf fmt "return %a" pv (Func.x f i)
+      else Format.fprintf fmt "return"
+  | Op.Unreachable -> Format.fprintf fmt "unreachable"
+
+let pp_func fmt (f : Func.t) =
+  Format.fprintf fmt "define %a @%s(" Ty.pp f.Func.ret f.Func.name;
+  Array.iteri
+    (fun k ty ->
+      if k > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%a %%%d" Ty.pp ty k)
+    f.Func.arg_tys;
+  Format.fprintf fmt ") {@.";
+  for b = 0 to Func.num_blocks f - 1 do
+    Format.fprintf fmt "^%d:@." b;
+    Vec.iter
+      (fun i -> Format.fprintf fmt "%a@." (pp_inst f) i)
+      (Func.block_insts f b)
+  done;
+  Format.fprintf fmt "}@."
+
+let func_to_string f = Format.asprintf "%a" pp_func f
+
+let pp_module fmt (m : Func.modul) =
+  Format.fprintf fmt "; module %s@." m.Func.mod_name;
+  for e = 0 to Func.num_externs m - 1 do
+    let ext = Func.extern m e in
+    Format.fprintf fmt "declare %a @%s  ; sym %d@." Ty.pp ext.Func.ext_ret
+      ext.Func.ext_name e
+  done;
+  Vec.iter (fun f -> Format.fprintf fmt "@.%a" pp_func f) m.Func.funcs

@@ -1,0 +1,46 @@
+(** Umbra IR value types.
+
+    SQL data maps onto these as in Umbra: integers and dates are [I32]/[I64],
+    decimals are [I128], strings are 16-byte structures accessed through
+    [Ptr] (and passed by value as two [I64] halves at call boundaries). *)
+
+type t =
+  | Void
+  | I1  (** booleans / comparison results *)
+  | I8
+  | I16
+  | I32
+  | I64
+  | I128  (** decimals; legalized to register pairs by every back-end *)
+  | Ptr  (** 64-bit untyped pointer *)
+  | F64
+
+let equal (a : t) (b : t) = a = b
+
+let size_bytes = function
+  | Void -> 0
+  | I1 | I8 -> 1
+  | I16 -> 2
+  | I32 -> 4
+  | I64 | Ptr | F64 -> 8
+  | I128 -> 16
+
+(** Number of 64-bit machine registers needed to hold a value. *)
+let num_regs = function Void -> 0 | I128 -> 2 | _ -> 1
+
+let is_integer = function
+  | I1 | I8 | I16 | I32 | I64 | I128 -> true
+  | Void | Ptr | F64 -> false
+
+let to_string = function
+  | Void -> "void"
+  | I1 -> "i1"
+  | I8 -> "int8"
+  | I16 -> "int16"
+  | I32 -> "int32"
+  | I64 -> "int64"
+  | I128 -> "int128"
+  | Ptr -> "ptr"
+  | F64 -> "f64"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

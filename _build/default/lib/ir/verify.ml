@@ -1,0 +1,153 @@
+(** Umbra IR verifier: structural, SSA-dominance and type checks.
+
+    All code generators run under the verifier in tests; back-ends may
+    assume verified input. *)
+
+open Qcomp_support
+
+exception Invalid_ir of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid_ir s)) fmt
+
+let result_ty_ok (f : Func.t) i =
+  let ty = Func.ty f i in
+  match Func.op f i with
+  | Op.Cmp | Op.Fcmp | Op.Isnull | Op.Isnotnull ->
+      if ty <> Ty.I1 then fail "%%%d: comparison must produce i1" i
+  | Op.Store | Op.Br | Op.Condbr | Op.Ret | Op.Unreachable | Op.Nop ->
+      if ty <> Ty.Void then fail "%%%d: %s has no result" i (Op.name (Func.op f i))
+  | Op.Gep ->
+      if ty <> Ty.Ptr then fail "%%%d: gep must produce ptr" i
+  | Op.Crc32 | Op.Longmulfold ->
+      if ty <> Ty.I64 then fail "%%%d: hash op must produce i64" i
+  | _ -> ()
+
+let operand_tys_ok (f : Func.t) i =
+  let t v = Func.ty f v in
+  match Func.op f i with
+  | Op.Add | Op.Sub | Op.Mul | Op.Sdiv | Op.Udiv | Op.Srem | Op.Urem
+  | Op.Saddtrap | Op.Ssubtrap | Op.Smultrap | Op.And | Op.Or | Op.Xor ->
+      let ty = Func.ty f i in
+      if t (Func.x f i) <> ty || t (Func.y f i) <> ty then
+        fail "%%%d: arithmetic operand type mismatch" i
+  | Op.Shl | Op.Lshr | Op.Ashr | Op.Rotr ->
+      if t (Func.x f i) <> Func.ty f i then
+        fail "%%%d: shift operand type mismatch" i
+  | Op.Cmp ->
+      if t (Func.x f i) <> t (Func.y f i) then
+        fail "%%%d: cmp operand type mismatch" i
+  | Op.Zext | Op.Sext ->
+      if Ty.size_bytes (t (Func.x f i)) > Ty.size_bytes (Func.ty f i) then
+        fail "%%%d: widening to a narrower type" i
+  | Op.Trunc ->
+      if Ty.size_bytes (t (Func.x f i)) < Ty.size_bytes (Func.ty f i) then
+        fail "%%%d: trunc to a wider type" i
+  | Op.Select ->
+      if t (Func.x f i) <> Ty.I1 then fail "%%%d: select condition not i1" i;
+      if t (Func.y f i) <> Func.ty f i || t (Func.z f i) <> Func.ty f i then
+        fail "%%%d: select arm type mismatch" i
+  | Op.Condbr ->
+      if t (Func.x f i) <> Ty.I1 then fail "%%%d: condbr condition not i1" i
+  | Op.Phi ->
+      List.iter
+        (fun (_, v) ->
+          if t v <> Func.ty f i then fail "%%%d: phi input type mismatch" i)
+        (Func.phi_incoming f i)
+  | _ -> ()
+
+let verify_func ?(modul : Func.modul option) (f : Func.t) =
+  let nb = Func.num_blocks f in
+  let nv = Func.num_insts f in
+  if nb = 0 then fail "function %s has no blocks" f.Func.name;
+  (* Every instruction belongs to exactly one block; args to none. *)
+  let owner = Array.make nv (-1) in
+  let pos_in_block = Array.make nv 0 in
+  for b = 0 to nb - 1 do
+    let insts = Func.block_insts f b in
+    (match Func.terminator f b with
+    | None -> fail "block ^%d of %s lacks a terminator" b f.Func.name
+    | Some _ -> ());
+    Vec.iteri
+      (fun k i ->
+        if i < 0 || i >= nv then fail "block ^%d references bad inst %d" b i;
+        if Func.op f i = Op.Arg then fail "arg %%%d placed inside block ^%d" i b;
+        if owner.(i) <> -1 then fail "%%%d appears in two blocks" i;
+        owner.(i) <- b;
+        pos_in_block.(i) <- k;
+        if Op.is_terminator (Func.op f i) && k <> Vec.length insts - 1 then
+          fail "terminator %%%d not at end of block ^%d" i b;
+        (* targets must be valid before any CFG analysis walks them *)
+        (match Func.op f i with
+        | Op.Br ->
+            if Func.x f i < 0 || Func.x f i >= nb then
+              fail "%%%d: branch target out of range" i
+        | Op.Condbr ->
+            if Func.y f i < 0 || Func.y f i >= nb || Func.z f i < 0 || Func.z f i >= nb
+            then fail "%%%d: branch target out of range" i
+        | _ -> ()))
+      insts
+  done;
+  let dt = Graph.Func_analysis.dominators f in
+  let entry = Func.entry_block in
+  (* Check defs dominate uses. *)
+  for b = 0 to nb - 1 do
+    if Graph.Func_analysis.reachable dt b then
+      Vec.iter
+        (fun i ->
+          result_ty_ok f i;
+          operand_tys_ok f i;
+          (match Func.op f i with
+          | Op.Phi ->
+              (* Each incoming block must be a predecessor; the value must
+                 dominate the end of that predecessor. *)
+              let preds = dt.Graph.Func_analysis.preds.(b) in
+              List.iter
+                (fun (pblk, v) ->
+                  if not (List.mem pblk preds) then
+                    fail "%%%d: phi incoming ^%d is not a predecessor of ^%d" i
+                      pblk b;
+                  if v < 0 || v >= nv then fail "%%%d: bad phi input" i;
+                  let def_blk = if Func.op f v = Op.Arg then entry else owner.(v) in
+                  if def_blk < 0 then fail "%%%d: phi input %%%d unplaced" i v;
+                  if
+                    not (Graph.Func_analysis.dominates dt def_blk pblk)
+                  then fail "%%%d: phi input %%%d does not dominate ^%d" i v pblk)
+                (Func.phi_incoming f i)
+          | _ ->
+              Func.iter_operands f i (fun v ->
+                  if v < 0 || v >= nv then
+                    fail "%%%d: operand out of range (%d)" i v;
+                  if Func.ty f v = Ty.Void then
+                    fail "%%%d: uses void value %%%d" i v;
+                  let def_blk =
+                    if Func.op f v = Op.Arg then entry else owner.(v)
+                  in
+                  if def_blk < 0 then fail "%%%d: uses unplaced value %%%d" i v;
+                  if def_blk = b then begin
+                    if Func.op f v <> Op.Arg && pos_in_block.(v) >= pos_in_block.(i)
+                    then fail "%%%d: use before def of %%%d in ^%d" i v b
+                  end
+                  else if not (Graph.Func_analysis.dominates dt def_blk b) then
+                    fail "%%%d: def of %%%d does not dominate use" i v));
+          (* Branch targets in range. *)
+          (match Func.op f i with
+          | Op.Br ->
+              if Func.x f i < 0 || Func.x f i >= nb then
+                fail "%%%d: branch target out of range" i
+          | Op.Condbr ->
+              if
+                Func.y f i < 0 || Func.y f i >= nb || Func.z f i < 0
+                || Func.z f i >= nb
+              then fail "%%%d: branch target out of range" i
+          | Op.Call -> (
+              match modul with
+              | None -> ()
+              | Some m ->
+                  if Func.z f i < 0 || Func.z f i >= Func.num_externs m then
+                    fail "%%%d: call to unknown symbol %d" i (Func.z f i))
+          | _ -> ()))
+        (Func.block_insts f b)
+  done
+
+let verify_module (m : Func.modul) =
+  Vec.iter (fun f -> verify_func ~modul:m f) m.Func.funcs

@@ -1,0 +1,1 @@
+lib/llvm_backend/elf.ml: Buffer Bytes Hashtbl Int32 List

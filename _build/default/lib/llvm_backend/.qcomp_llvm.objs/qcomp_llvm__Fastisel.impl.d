@@ -1,0 +1,1 @@
+lib/llvm_backend/fastisel.ml: Array Flow Hashtbl Int64 Lir List Minst Mir Qcomp_ir Qcomp_vm Seldag Target

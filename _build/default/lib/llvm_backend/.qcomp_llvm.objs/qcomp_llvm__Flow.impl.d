@@ -1,0 +1,1 @@
+lib/llvm_backend/flow.ml: Array Hashtbl Int64 Lir Minst Mir Qcomp_support Qcomp_vm Target

@@ -1,0 +1,1 @@
+lib/llvm_backend/globalisel.ml: Array Flow Hashtbl I128 Int64 Lir List Minst Mir Qcomp_ir Qcomp_support Qcomp_vm Target Vec

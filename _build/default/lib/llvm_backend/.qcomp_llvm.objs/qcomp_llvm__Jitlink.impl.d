@@ -1,0 +1,1 @@
+lib/llvm_backend/jitlink.ml: Asm Bytes Char Elf Emu Hashtbl Int32 Int64 List Memory Minst Qcomp_support Qcomp_vm Target

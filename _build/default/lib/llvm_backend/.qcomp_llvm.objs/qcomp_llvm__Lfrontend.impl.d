@@ -1,0 +1,1 @@
+lib/llvm_backend/lfrontend.ml: Array Func Int64 Lir List Op Qcomp_ir Qcomp_support Ty

@@ -1,0 +1,1 @@
+lib/llvm_backend/lir.ml: Array List Qcomp_ir Qcomp_support

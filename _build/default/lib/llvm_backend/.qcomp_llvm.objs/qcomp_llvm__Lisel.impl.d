@@ -1,0 +1,1 @@
+lib/llvm_backend/lisel.ml: Array Fastisel Flow Int64 Lir List Minst Mir Qcomp_support Qcomp_vm Seldag Target

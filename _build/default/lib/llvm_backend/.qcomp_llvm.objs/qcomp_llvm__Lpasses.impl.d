@@ -1,0 +1,1 @@
+lib/llvm_backend/lpasses.ml: Array Hashtbl I128 Int64 Lir List Option Qcomp_ir Qcomp_support Timing Vec

@@ -1,0 +1,1 @@
+lib/llvm_backend/mc.ml: Array Asm Elf Hashtbl List Minst Mir Printf Qcomp_support Qcomp_vm Target Vec

@@ -1,0 +1,1 @@
+lib/llvm_backend/mir.ml: Array List Minst Qcomp_support Qcomp_vm Target Vec

@@ -1,0 +1,1 @@
+lib/llvm_backend/mpasses.ml: Array Bitset Btree Hashtbl Int64 List Minst Mir Option Qcomp_ir Qcomp_support Qcomp_vm Target Vec

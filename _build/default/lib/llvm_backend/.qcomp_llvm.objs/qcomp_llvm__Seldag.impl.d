@@ -1,0 +1,1 @@
+lib/llvm_backend/seldag.ml: Array Flow Hashtbl Int64 Lir List Minst Mir Printf Qcomp_ir Qcomp_support Qcomp_vm String Target

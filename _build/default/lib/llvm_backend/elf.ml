@@ -1,0 +1,102 @@
+(** In-memory ELF-like relocatable objects (Sec. V-B7).
+
+    ORC's flow produces a complete object file — sections, string-based
+    symbol tables, relocations — which JITLink then parses right back.
+    We reproduce that faithfully: {!write} serializes to a byte image and
+    {!parse} decodes it again; the round-trip is deliberate, measured
+    cost. *)
+
+type reloc_kind = Plt32 | Abs64
+
+type reloc = { r_off : int; r_sym : string; r_kind : reloc_kind }
+
+type symbol = { s_name : string; s_off : int; s_size : int; s_defined : bool }
+
+type obj = {
+  o_text : bytes;
+  o_syms : symbol list;
+  o_relocs : reloc list;
+}
+
+let magic = 0x7F454C46l (* "\x7fELF" *)
+
+let write (o : obj) : bytes =
+  let buf = Buffer.create (Bytes.length o.o_text + 256) in
+  let u32 v = Buffer.add_int32_le buf (Int32.of_int v) in
+  (* identification bytes in file order, \x7fELF, as in real objects *)
+  Buffer.add_int32_be buf magic;
+  (* string table *)
+  let strtab = Buffer.create 256 in
+  let str_off = Hashtbl.create 32 in
+  let intern s =
+    match Hashtbl.find_opt str_off s with
+    | Some off -> off
+    | None ->
+        let off = Buffer.length strtab in
+        Buffer.add_string strtab s;
+        Buffer.add_char strtab '\000';
+        Hashtbl.add str_off s off;
+        off
+  in
+  let syms = List.map (fun s -> (intern s.s_name, s)) o.o_syms in
+  let relocs = List.map (fun r -> (intern r.r_sym, r)) o.o_relocs in
+  u32 (Buffer.length strtab);
+  Buffer.add_buffer buf strtab;
+  u32 (List.length syms);
+  List.iter
+    (fun (noff, s) ->
+      u32 noff;
+      u32 s.s_off;
+      u32 s.s_size;
+      u32 (if s.s_defined then 1 else 0))
+    syms;
+  u32 (List.length relocs);
+  List.iter
+    (fun (noff, r) ->
+      u32 noff;
+      u32 r.r_off;
+      u32 (match r.r_kind with Plt32 -> 0 | Abs64 -> 1))
+    relocs;
+  u32 (Bytes.length o.o_text);
+  Buffer.add_bytes buf o.o_text;
+  Buffer.to_bytes buf
+
+exception Bad_object of string
+
+let parse (b : bytes) : obj =
+  let pos = ref 0 in
+  let u32 () =
+    let v = Bytes.get_int32_le b !pos in
+    pos := !pos + 4;
+    Int32.to_int v
+  in
+  if Bytes.length b < 12 || not (Int32.equal (Bytes.get_int32_be b 0) magic) then
+    raise (Bad_object "bad magic");
+  pos := 4;
+  let strtab_len = u32 () in
+  let strtab_off = !pos in
+  pos := !pos + strtab_len;
+  let str_at off =
+    let rec len k = if Bytes.get b (strtab_off + off + k) = '\000' then k else len (k + 1) in
+    Bytes.sub_string b (strtab_off + off) (len 0)
+  in
+  let nsyms = u32 () in
+  let syms =
+    List.init nsyms (fun _ ->
+        let noff = u32 () in
+        let s_off = u32 () in
+        let s_size = u32 () in
+        let s_defined = u32 () = 1 in
+        { s_name = str_at noff; s_off; s_size; s_defined })
+  in
+  let nrelocs = u32 () in
+  let relocs =
+    List.init nrelocs (fun _ ->
+        let noff = u32 () in
+        let r_off = u32 () in
+        let r_kind = if u32 () = 0 then Plt32 else Abs64 in
+        { r_sym = str_at noff; r_off; r_kind })
+  in
+  let text_len = u32 () in
+  let o_text = Bytes.sub b !pos text_len in
+  { o_text; o_syms = syms; o_relocs = relocs }

@@ -1,0 +1,120 @@
+(** JITLink (Sec. V-B7): links the in-memory object into the "process".
+
+    Four phases, as the paper breaks them down:
+    1. parse the object, recover and prune symbols, allocate final memory;
+    2. assign addresses, resolve external symbols (building one PLT+GOT per
+       module under the Small-PIC code model);
+    3. apply relocations and copy the sections into place;
+    4. look up the requested symbol addresses. *)
+
+open Qcomp_vm
+
+type phase_times = {
+  mutable ph_alloc : float;
+  mutable ph_resolve : float;
+  mutable ph_apply : float;
+  mutable ph_lookup : float;
+}
+
+type linked = {
+  base : int;
+  fn_addr : (string, int) Hashtbl.t;
+  got_slots : int;  (** statistics *)
+  times : phase_times;
+}
+
+let patch_rel32 text off value =
+  Bytes.set_int32_le text off (Int32.of_int value)
+
+let patch_rel24_words text off value_bytes =
+  let w = value_bytes asr 2 in
+  Bytes.set text off (Char.chr (w land 0xFF));
+  Bytes.set text (off + 1) (Char.chr ((w asr 8) land 0xFF));
+  Bytes.set text (off + 2) (Char.chr ((w asr 16) land 0xFF))
+
+let link ~(emu : Emu.t) ~(resolve : string -> int64) (image : bytes) : linked =
+  let times = { ph_alloc = 0.0; ph_resolve = 0.0; ph_apply = 0.0; ph_lookup = 0.0 } in
+  let t0 = Qcomp_support.Timing.now () in
+  (* phase 1: parse, prune, allocate *)
+  let obj = Elf.parse image in
+  let defined = List.filter (fun (s : Elf.symbol) -> s.Elf.s_defined) obj.Elf.o_syms in
+  let undefined =
+    List.filter (fun (s : Elf.symbol) -> not s.Elf.s_defined) obj.Elf.o_syms
+  in
+  let target = Emu.target_of emu in
+  (* PLT stubs appended after the text *)
+  let externs =
+    List.sort_uniq compare (List.map (fun (s : Elf.symbol) -> s.Elf.s_name) undefined)
+  in
+  let mem = Emu.memory emu in
+  let got_base =
+    if externs = [] then 0 else Memory.alloc mem ~align:8 (8 * List.length externs)
+  in
+  let stub_asm = Asm.create target in
+  let stub_offsets = Hashtbl.create 16 in
+  let text_len = Bytes.length obj.Elf.o_text in
+  List.iteri
+    (fun k sym ->
+      Hashtbl.replace stub_offsets (sym ^ "@plt") (text_len + Asm.offset stub_asm);
+      ignore k;
+      Asm.emit stub_asm
+        (Minst.Jmp_mem (Int64.of_int (got_base + (8 * (Hashtbl.length stub_offsets - 1))))))
+    externs;
+  let stubs = Asm.finish stub_asm in
+  let text = Bytes.cat obj.Elf.o_text stubs in
+  let base = Emu.next_code_addr emu in
+  times.ph_alloc <- Qcomp_support.Timing.now () -. t0;
+  (* phase 2: assign addresses, resolve externals, fill the GOT *)
+  let t1 = Qcomp_support.Timing.now () in
+  let sym_addr = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Elf.symbol) -> Hashtbl.replace sym_addr s.Elf.s_name (base + s.Elf.s_off))
+    defined;
+  List.iteri
+    (fun k sym ->
+      let addr = resolve sym in
+      Memory.store64 mem (got_base + (8 * k)) addr;
+      Hashtbl.replace sym_addr sym (Int64.to_int addr))
+    externs;
+  Hashtbl.iter
+    (fun plt off -> Hashtbl.replace sym_addr plt (base + off))
+    stub_offsets;
+  times.ph_resolve <- Qcomp_support.Timing.now () -. t1;
+  (* phase 3: apply relocations, copy into executable memory *)
+  let t2 = Qcomp_support.Timing.now () in
+  List.iter
+    (fun (r : Elf.reloc) ->
+      match r.Elf.r_kind with
+      | Elf.Plt32 ->
+          let target_addr =
+            match Hashtbl.find_opt sym_addr r.Elf.r_sym with
+            | Some a -> a
+            | None -> failwith ("jitlink: undefined symbol " ^ r.Elf.r_sym)
+          in
+          let target_off = target_addr - base in
+          if target.Target.arch = Target.X64 then
+            (* field is rel32 relative to the end of the field *)
+            patch_rel32 text r.Elf.r_off (target_off - (r.Elf.r_off + 4))
+          else
+            (* rel24 in words, relative to the instruction start *)
+            patch_rel24_words text r.Elf.r_off (target_off - (r.Elf.r_off - 1))
+      | Elf.Abs64 ->
+          let addr =
+            match Hashtbl.find_opt sym_addr r.Elf.r_sym with
+            | Some a -> Int64.of_int a
+            | None -> resolve r.Elf.r_sym
+          in
+          Bytes.set_int64_le text r.Elf.r_off addr)
+    obj.Elf.o_relocs;
+  let actual_base = Emu.register_code emu text in
+  assert (actual_base = base);
+  times.ph_apply <- Qcomp_support.Timing.now () -. t2;
+  (* phase 4: symbol lookup *)
+  let t3 = Qcomp_support.Timing.now () in
+  let fn_addr = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Elf.symbol) ->
+      if s.Elf.s_defined then Hashtbl.replace fn_addr s.Elf.s_name (base + s.Elf.s_off))
+    obj.Elf.o_syms;
+  times.ph_lookup <- Qcomp_support.Timing.now () -. t3;
+  { base; fn_addr; got_slots = List.length externs; times }

@@ -1,0 +1,108 @@
+(** Instruction-selection driver: binds arguments, lowers phis to MIR phi
+    nodes (shared between FastISel and SelectionDAG, which may interleave
+    per block), and dispatches each block to the configured selector. *)
+
+open Qcomp_vm
+
+type mode = Fast | Dag
+
+let lower_function (fl : Flow.t) ~(mode : mode) =
+  let lir = fl.Flow.lir in
+  let mir = fl.Flow.mir in
+  (* entry: copy argument registers into argument vregs *)
+  fl.Flow.cur <- 0;
+  let argk = ref 0 in
+  Array.iteri
+    (fun k ty ->
+      Flow.push fl
+        (Mir.M (Minst.Mov_rr (Flow.arg_vreg fl k, fl.Flow.target.Target.arg_regs.(!argk))));
+      incr argk;
+      if ty = Lir.I128 || ty = Lir.Pair then begin
+        Flow.push fl
+          (Mir.M
+             (Minst.Mov_rr (Flow.arg_vreg_hi fl k, fl.Flow.target.Target.arg_regs.(!argk))));
+        incr argk
+      end)
+    lir.Lir.arg_tys;
+  if !argk > 0 then
+    for k = 0 to !argk - 1 do
+      Mir.reserve mir ~block:0 ~from_pos:0 ~to_pos:(Flow.len fl - 1)
+        fl.Flow.target.Target.arg_regs.(k)
+    done;
+  (* phi placement + pending constant copies in predecessors *)
+  let pending : (int * Mir.minst) list ref = ref [] in
+  let incoming_vreg pred_bid (v : Lir.value) ~hi =
+    match v with
+    | Lir.Vinst di -> if hi then Flow.inst_vreg_hi fl di else Flow.inst_vreg fl di
+    | Lir.Varg (k, _) -> if hi then Flow.arg_vreg_hi fl k else Flow.arg_vreg fl k
+    | Lir.Vconst (_, c) ->
+        let r = Mir.new_vreg mir in
+        let c = if hi then Int64.shift_right c 63 else c in
+        pending := (pred_bid, Mir.M (Minst.Mov_ri (r, c))) :: !pending;
+        r
+    | Lir.Vconst128 c ->
+        let r = Mir.new_vreg mir in
+        let c =
+          if hi then Qcomp_support.I128.to_int64 (Qcomp_support.I128.shift_right_logical c 64)
+          else Qcomp_support.I128.to_int64 c
+        in
+        pending := (pred_bid, Mir.M (Minst.Mov_ri (r, c))) :: !pending;
+        r
+  in
+  Qcomp_support.Vec.iter
+    (fun (b : Lir.block) ->
+      fl.Flow.cur <- b.Lir.bid;
+      (* phis first *)
+      Lir.iter_insts b (fun i ->
+          if i.Lir.iop = Lir.Phi then begin
+            let wide = i.Lir.ity = Lir.I128 || i.Lir.ity = Lir.Pair in
+            let incoming =
+              Array.mapi
+                (fun k v -> (i.Lir.phi_blocks.(k).Lir.bid, incoming_vreg i.Lir.phi_blocks.(k).Lir.bid v ~hi:false))
+                i.Lir.operands
+            in
+            Flow.push fl (Mir.Mphi { dst = Flow.inst_vreg fl i; incoming });
+            if wide then begin
+              let incoming_hi =
+                Array.mapi
+                  (fun k v -> (i.Lir.phi_blocks.(k).Lir.bid, incoming_vreg i.Lir.phi_blocks.(k).Lir.bid v ~hi:true))
+                  i.Lir.operands
+              in
+              Flow.push fl (Mir.Mphi { dst = Flow.inst_vreg_hi fl i; incoming = incoming_hi })
+            end
+          end);
+      (* instruction selection *)
+      let insts = ref [] in
+      Lir.iter_insts b (fun i -> if i.Lir.iop <> Lir.Phi then insts := i :: !insts);
+      let insts = List.rev !insts in
+      (match mode with
+      | Fast -> Fastisel.select_block fl insts
+      | Dag -> Seldag.run fl insts);
+      (* successor edges *)
+      mir.Mir.blocks.(b.Lir.bid).Mir.succs <-
+        List.map (fun (s : Lir.block) -> s.Lir.bid) (Lir.succs b))
+    lir.Lir.blocks;
+  (* insert pending constant copies before the predecessors' terminators *)
+  let is_term (m : Mir.minst) =
+    match m with
+    | Mir.M (Minst.Jmp _ | Minst.Jcc _ | Minst.Ret | Minst.Brk _) -> true
+    | _ -> false
+  in
+  List.iter
+    (fun (pred, inst) ->
+      let blk = mir.Mir.blocks.(pred) in
+      let v = blk.Mir.insts in
+      let n = Qcomp_support.Vec.length v in
+      (* find insertion point: before the first trailing terminator *)
+      let rec find k = if k > 0 && is_term (Qcomp_support.Vec.get v (k - 1)) then find (k - 1) else k in
+      let at = find n in
+      let nv = Qcomp_support.Vec.create ~dummy:(Mir.M Minst.Nop) () in
+      for k = 0 to at - 1 do
+        ignore (Qcomp_support.Vec.push nv (Qcomp_support.Vec.get v k))
+      done;
+      ignore (Qcomp_support.Vec.push nv inst);
+      for k = at to n - 1 do
+        ignore (Qcomp_support.Vec.push nv (Qcomp_support.Vec.get v k))
+      done;
+      blk.Mir.insts <- nv)
+    !pending

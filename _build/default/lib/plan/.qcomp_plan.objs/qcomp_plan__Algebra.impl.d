@@ -1,0 +1,1 @@
+lib/plan/algebra.ml: Array Expr Format List Qcomp_storage Sqlty

@@ -1,0 +1,1 @@
+lib/plan/expr.ml: Array Format Int64 List Sqlty

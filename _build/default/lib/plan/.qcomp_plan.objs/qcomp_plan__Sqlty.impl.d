@@ -1,0 +1,1 @@
+lib/plan/sqlty.ml: Printf Qcomp_storage

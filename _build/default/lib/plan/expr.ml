@@ -1,0 +1,161 @@
+(** Scalar expressions over the positional columns of an operator's input.
+
+    All arithmetic over user data is overflow-checked (compiled to the
+    [*trap] Umbra IR instructions); decimals widen to 128 bits. *)
+
+type pred = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Col of int
+  | Const_int of Sqlty.t * int64  (** Int32/Int64/Date/Decimal/Bool constant *)
+  | Const_str of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Cmp of pred * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Like of t * string
+  | Between of t * t * t  (** v between lo and hi (numeric) *)
+  | Case of (t * t) list * t  (** when/then pairs with else *)
+  | Cast of t * Sqlty.t
+
+let col i = Col i
+let int32 v = Const_int (Sqlty.Int32, Int64.of_int v)
+let int64 v = Const_int (Sqlty.Int64, v)
+let date v = Const_int (Sqlty.Date, Int64.of_int v)
+let dec ~scale v = Const_int (Sqlty.Decimal scale, Int64.of_int v)
+let str s = Const_str s
+let bool_ b = Const_int (Sqlty.Bool, if b then 1L else 0L)
+let ( =% ) a b = Cmp (Eq, a, b)
+let ( <>% ) a b = Cmp (Ne, a, b)
+let ( <% ) a b = Cmp (Lt, a, b)
+let ( <=% ) a b = Cmp (Le, a, b)
+let ( >% ) a b = Cmp (Gt, a, b)
+let ( >=% ) a b = Cmp (Ge, a, b)
+let ( &&% ) a b = And (a, b)
+let ( ||% ) a b = Or (a, b)
+let ( +% ) a b = Add (a, b)
+let ( -% ) a b = Sub (a, b)
+let ( *% ) a b = Mul (a, b)
+let ( /% ) a b = Div (a, b)
+
+exception Type_error of string
+
+let type_fail fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+(** Result type of binary numeric ops: decimals dominate and Mul adds
+    scales, integers widen to the larger width; dates support +/- ints. *)
+let numeric_join op a b =
+  match (a, b, op) with
+  | Sqlty.Decimal s1, Sqlty.Decimal s2, `Mul -> Sqlty.Decimal (s1 + s2)
+  | Sqlty.Decimal s1, Sqlty.Decimal s2, `Div -> Sqlty.Decimal (max 0 (s1 - s2))
+  | Sqlty.Decimal s1, Sqlty.Decimal s2, _ -> Sqlty.Decimal (max s1 s2)
+  | Sqlty.Decimal s, (Sqlty.Int32 | Sqlty.Int64), _
+  | (Sqlty.Int32 | Sqlty.Int64), Sqlty.Decimal s, _ ->
+      Sqlty.Decimal s
+  | Sqlty.Int64, (Sqlty.Int32 | Sqlty.Int64), _
+  | Sqlty.Int32, Sqlty.Int64, _ ->
+      Sqlty.Int64
+  | Sqlty.Int32, Sqlty.Int32, _ -> Sqlty.Int32
+  | Sqlty.Date, (Sqlty.Int32 | Sqlty.Int64), (`Add | `Sub) -> Sqlty.Date
+  | Sqlty.Date, Sqlty.Date, `Sub -> Sqlty.Int32
+  | a, b, _ ->
+      type_fail "no numeric operation on %s and %s" (Sqlty.to_string a)
+        (Sqlty.to_string b)
+
+let rec type_of (input : Sqlty.t array) (e : t) : Sqlty.t =
+  match e with
+  | Col i ->
+      if i < 0 || i >= Array.length input then type_fail "column %d out of range" i;
+      input.(i)
+  | Const_int (ty, _) -> ty
+  | Const_str _ -> Sqlty.Str
+  | Add (a, b) -> numeric_join `Add (type_of input a) (type_of input b)
+  | Sub (a, b) -> numeric_join `Sub (type_of input a) (type_of input b)
+  | Mul (a, b) -> numeric_join `Mul (type_of input a) (type_of input b)
+  | Div (a, b) -> numeric_join `Div (type_of input a) (type_of input b)
+  | Neg a -> type_of input a
+  | Cmp (_, a, b) ->
+      let ta = type_of input a and tb = type_of input b in
+      (match (ta, tb) with
+      | Sqlty.Str, Sqlty.Str -> ()
+      | ta, tb when Sqlty.is_numeric ta && Sqlty.is_numeric tb -> ()
+      | Sqlty.Date, Sqlty.Date -> ()
+      | Sqlty.Bool, Sqlty.Bool -> ()
+      | Sqlty.Date, t when Sqlty.is_numeric t -> ()
+      | t, Sqlty.Date when Sqlty.is_numeric t -> ()
+      | _ ->
+          type_fail "cannot compare %s with %s" (Sqlty.to_string ta)
+            (Sqlty.to_string tb));
+      Sqlty.Bool
+  | And (a, b) | Or (a, b) ->
+      if type_of input a <> Sqlty.Bool || type_of input b <> Sqlty.Bool then
+        type_fail "boolean operator on non-boolean";
+      Sqlty.Bool
+  | Not a ->
+      if type_of input a <> Sqlty.Bool then type_fail "not on non-boolean";
+      Sqlty.Bool
+  | Like (s, _) ->
+      if type_of input s <> Sqlty.Str then type_fail "like on non-string";
+      Sqlty.Bool
+  | Between (v, lo, hi) ->
+      ignore (type_of input lo);
+      ignore (type_of input hi);
+      ignore (type_of input v);
+      Sqlty.Bool
+  | Case (whens, els) ->
+      (* arms may differ in numeric type/scale; the result joins them *)
+      let te = type_of input els in
+      List.fold_left
+        (fun acc (w, th) ->
+          if type_of input w <> Sqlty.Bool then type_fail "case condition not boolean";
+          let tt = type_of input th in
+          if Sqlty.equal tt acc then acc
+          else if Sqlty.is_numeric tt && Sqlty.is_numeric acc then
+            numeric_join `Add acc tt
+          else type_fail "case arms disagree")
+        te whens
+  | Cast (a, ty) ->
+      ignore (type_of input a);
+      ty
+
+(** Column indices referenced by an expression, accumulated into [acc]. *)
+let rec used_cols e acc =
+  match e with
+  | Col i -> i :: acc
+  | Const_int _ | Const_str _ -> acc
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | And (a, b) | Or (a, b)
+  | Cmp (_, a, b) ->
+      used_cols a (used_cols b acc)
+  | Neg a | Not a | Cast (a, _) | Like (a, _) -> used_cols a acc
+  | Between (v, lo, hi) -> used_cols v (used_cols lo (used_cols hi acc))
+  | Case (whens, els) ->
+      List.fold_left
+        (fun acc (w, t) -> used_cols w (used_cols t acc))
+        (used_cols els acc) whens
+
+(** Rewrite column references through [f]. *)
+let rec map_cols f e =
+  match e with
+  | Col i -> Col (f i)
+  | Const_int _ | Const_str _ -> e
+  | Add (a, b) -> Add (map_cols f a, map_cols f b)
+  | Sub (a, b) -> Sub (map_cols f a, map_cols f b)
+  | Mul (a, b) -> Mul (map_cols f a, map_cols f b)
+  | Div (a, b) -> Div (map_cols f a, map_cols f b)
+  | Neg a -> Neg (map_cols f a)
+  | Cmp (p, a, b) -> Cmp (p, map_cols f a, map_cols f b)
+  | And (a, b) -> And (map_cols f a, map_cols f b)
+  | Or (a, b) -> Or (map_cols f a, map_cols f b)
+  | Not a -> Not (map_cols f a)
+  | Like (a, p) -> Like (map_cols f a, p)
+  | Between (v, lo, hi) -> Between (map_cols f v, map_cols f lo, map_cols f hi)
+  | Case (whens, els) ->
+      Case
+        ( List.map (fun (w, t) -> (map_cols f w, map_cols f t)) whens,
+          map_cols f els )
+  | Cast (a, ty) -> Cast (map_cols f a, ty)

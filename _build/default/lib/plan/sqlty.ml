@@ -1,0 +1,48 @@
+(** SQL value types as seen by the query planner and code generator. *)
+
+type t =
+  | Int32
+  | Int64
+  | Date
+  | Decimal of int  (** scale; computed on as 128-bit integers *)
+  | Str
+  | Bool
+
+let of_col_ty (c : Qcomp_storage.Schema.col_ty) =
+  match c with
+  | Qcomp_storage.Schema.Int32 -> Int32
+  | Qcomp_storage.Schema.Int64 -> Int64
+  | Qcomp_storage.Schema.Date -> Date
+  | Qcomp_storage.Schema.Decimal s -> Decimal s
+  | Qcomp_storage.Schema.Str -> Str
+  | Qcomp_storage.Schema.Bool -> Bool
+
+let equal (a : t) (b : t) = a = b
+
+let is_numeric = function
+  | Int32 | Int64 | Decimal _ -> true
+  | Date | Str | Bool -> false
+
+(** Bytes a value of this type occupies inside a materialized tuple
+    (hash-table payloads, sort buffers, output rows). *)
+let tuple_size = function
+  | Int32 | Date -> 4
+  | Int64 -> 8
+  | Bool -> 1
+  | Decimal _ -> 16  (* decimals are 128-bit once inside the engine *)
+  | Str -> 16  (* the SSO struct is copied by value *)
+
+let tuple_align = function
+  | Int32 | Date -> 4
+  | Int64 -> 8
+  | Bool -> 1
+  | Decimal _ -> 8
+  | Str -> 8
+
+let to_string = function
+  | Int32 -> "int32"
+  | Int64 -> "int64"
+  | Date -> "date"
+  | Decimal s -> Printf.sprintf "decimal(%d)" s
+  | Str -> "string"
+  | Bool -> "bool"

@@ -1,0 +1,1 @@
+lib/runtime/htable.ml: Int64 Memory Qcomp_vm

@@ -1,0 +1,1 @@
+lib/runtime/registry.ml: Array Emu Hashes Hashtbl Htable I128 Int64 List Memory Printf Qcomp_support Qcomp_vm Rt_error Sso Sys Target Tuplebuf

@@ -1,0 +1,1 @@
+lib/runtime/rt_error.ml:

@@ -1,0 +1,1 @@
+lib/runtime/sso.ml: Char Hashtbl Int64 Memory Qcomp_support Qcomp_vm String

@@ -1,0 +1,1 @@
+lib/runtime/tuplebuf.ml: Array Int64 Memory Qcomp_vm

@@ -1,0 +1,128 @@
+(** Open-addressing hash table in VM memory, used for hash joins and
+    group-by aggregation.
+
+    Header layout (32 bytes at the handle address):
+    - +0  capacity (power of two)
+    - +8  count
+    - +16 entry size in bytes (8-byte hash header + payload)
+    - +24 pointer to the entry array
+
+    Entry layout: [hash:u64][payload...]; hash 0 marks an empty slot, so
+    stored hashes are forced non-zero. Linear probing; duplicates of the
+    same hash are chained by probe order (joins need them). Growth at 70%
+    load rehashes into a fresh arena. *)
+
+open Qcomp_vm
+
+let header_size = 32
+let min_capacity = 16
+
+let norm_hash h = if Int64.equal h 0L then 1L else h
+
+let create mem ~payload_size ~capacity_hint =
+  let entry_size = 8 + ((payload_size + 7) land lnot 7) in
+  let rec pow2 n = if n >= capacity_hint then n else pow2 (2 * n) in
+  let cap = pow2 min_capacity in
+  let ht = Memory.alloc mem ~align:16 header_size in
+  let entries = Memory.alloc mem ~align:16 (cap * entry_size) in
+  Memory.fill mem ~addr:entries ~len:(cap * entry_size) '\000';
+  Memory.store64 mem ht (Int64.of_int cap);
+  Memory.store64 mem (ht + 8) 0L;
+  Memory.store64 mem (ht + 16) (Int64.of_int entry_size);
+  Memory.store64 mem (ht + 24) (Int64.of_int entries);
+  ht
+
+let capacity mem ht = Int64.to_int (Memory.load64 mem ht)
+let count mem ht = Int64.to_int (Memory.load64 mem (ht + 8))
+let entry_size mem ht = Int64.to_int (Memory.load64 mem (ht + 16))
+let entries_ptr mem ht = Int64.to_int (Memory.load64 mem (ht + 24))
+
+let slot_addr mem ht i = entries_ptr mem ht + (i * entry_size mem ht)
+
+let mask mem ht = capacity mem ht - 1
+
+(* Raw insert without growth check; returns payload address. *)
+let insert_no_grow mem ht h =
+  let cap_mask = mask mem ht in
+  let h = norm_hash h in
+  let rec probe i probes =
+    let addr = slot_addr mem ht i in
+    let slot_hash = Memory.load64 mem addr in
+    if Int64.equal slot_hash 0L then begin
+      Memory.store64 mem addr h;
+      (addr + 8, probes)
+    end
+    else probe ((i + 1) land cap_mask) (probes + 1)
+  in
+  let start = Int64.to_int (Int64.logand h (Int64.of_int cap_mask)) in
+  probe start 0
+
+let grow mem ht =
+  let old_cap = capacity mem ht in
+  let old_entries = entries_ptr mem ht in
+  let esz = entry_size mem ht in
+  let new_cap = old_cap * 2 in
+  let entries = Memory.alloc mem ~align:16 (new_cap * esz) in
+  Memory.fill mem ~addr:entries ~len:(new_cap * esz) '\000';
+  Memory.store64 mem ht (Int64.of_int new_cap);
+  Memory.store64 mem (ht + 24) (Int64.of_int entries);
+  let moved = ref 0 in
+  for i = 0 to old_cap - 1 do
+    let src = old_entries + (i * esz) in
+    let h = Memory.load64 mem src in
+    if not (Int64.equal h 0L) then begin
+      let dst_payload, _ = insert_no_grow mem ht h in
+      Memory.blit mem ~src:(src + 8) ~dst:dst_payload ~len:(esz - 8);
+      incr moved
+    end
+  done;
+  !moved
+
+(** Insert an entry for [h]; returns (payload address, probe+move cost in
+    cycles) so the runtime wrapper can charge the emulator. *)
+let insert mem ht h =
+  let cap = capacity mem ht in
+  let cnt = count mem ht in
+  let grow_cost = if 10 * (cnt + 1) > 7 * cap then 6 * grow mem ht else 0 in
+  Memory.store64 mem (ht + 8) (Int64.of_int (cnt + 1));
+  let payload, probes = insert_no_grow mem ht h in
+  (payload, (4 * probes) + 10 + grow_cost)
+
+(** First entry whose hash equals [h]; 0 when absent. Returns the *entry*
+    address (hash word included) so probing can continue with {!next}. *)
+let lookup mem ht h =
+  let cap_mask = mask mem ht in
+  let h = norm_hash h in
+  let rec probe i probes =
+    let addr = slot_addr mem ht i in
+    let slot_hash = Memory.load64 mem addr in
+    if Int64.equal slot_hash 0L then (0, probes)
+    else if Int64.equal slot_hash h then (addr, probes)
+    else probe ((i + 1) land cap_mask) (probes + 1)
+  in
+  let start = Int64.to_int (Int64.logand h (Int64.of_int cap_mask)) in
+  probe start 0
+
+(** Next entry with the same hash after entry [addr]; 0 when exhausted. *)
+let next mem ht addr h =
+  let cap_mask = mask mem ht in
+  let h = norm_hash h in
+  let esz = entry_size mem ht in
+  let base = entries_ptr mem ht in
+  let i = (addr - base) / esz in
+  let rec probe i probes =
+    let a = slot_addr mem ht i in
+    let slot_hash = Memory.load64 mem a in
+    if Int64.equal slot_hash 0L then (0, probes)
+    else if Int64.equal slot_hash h then (a, probes)
+    else probe ((i + 1) land cap_mask) (probes + 1)
+  in
+  probe ((i + 1) land cap_mask) 0
+
+(** Iterate payload addresses of all occupied entries (scan order). *)
+let iter mem ht f =
+  let cap = capacity mem ht in
+  for i = 0 to cap - 1 do
+    let addr = slot_addr mem ht i in
+    if not (Int64.equal (Memory.load64 mem addr) 0L) then f (addr + 8)
+  done

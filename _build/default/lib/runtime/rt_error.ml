@@ -1,0 +1,12 @@
+(** Query-runtime errors.
+
+    Umbra signals runtime errors (arithmetic overflow, division by zero)
+    by C++ exceptions thrown from runtime functions and propagated through
+    generated frames using the registered unwind information. Our analogue
+    is an OCaml exception raised from a runtime function and caught by the
+    query driver. *)
+
+exception Query_error of string
+
+let overflow () = raise (Query_error "numeric overflow")
+let division_by_zero () = raise (Query_error "division by zero")

@@ -1,0 +1,88 @@
+(** Umbra's 16-byte string structure with small-buffer optimization.
+
+    Layout (little-endian):
+    - bytes 0–3: length
+    - length <= 12: bytes 4–15 hold the entire string
+    - length  > 12: bytes 4–7 hold the first four characters (prefix),
+      bytes 8–15 a pointer to the full contents.
+
+    The prefix makes most inequality comparisons resolvable from the struct
+    alone, which is why Umbra passes these by value so frequently. *)
+
+open Qcomp_vm
+
+let struct_size = 16
+let inline_max = 12
+
+(** Write string [s] as an SSO struct at [addr]; long bodies are placed in
+    freshly allocated memory. *)
+let write mem ~addr s =
+  let n = String.length s in
+  Memory.store mem ~addr ~size:4 (Int64.of_int n);
+  if n <= inline_max then begin
+    Memory.fill mem ~addr:(addr + 4) ~len:12 '\000';
+    Memory.store_bytes mem (addr + 4) s
+  end
+  else begin
+    let body = Memory.alloc mem ~align:8 n in
+    Memory.store_bytes mem body s;
+    Memory.store_bytes mem (addr + 4) (String.sub s 0 4);
+    Memory.store64 mem (addr + 8) (Int64.of_int body)
+  end
+
+(** Allocate a struct and write [s] into it; returns the struct address. *)
+let alloc mem s =
+  let addr = Memory.alloc mem ~align:16 struct_size in
+  write mem ~addr s;
+  addr
+
+let length mem addr =
+  Int64.to_int (Memory.load mem ~addr ~size:4 ~sext:false)
+
+let read mem addr =
+  let n = length mem addr in
+  if n <= inline_max then Memory.load_bytes mem (addr + 4) n
+  else
+    let body = Int64.to_int (Memory.load64 mem (addr + 8)) in
+    Memory.load_bytes mem body n
+
+let prefix mem addr =
+  let n = min (length mem addr) 4 in
+  Memory.load_bytes mem (addr + 4) n
+
+let equal mem a b =
+  (* Length and prefix words first — the fast path the layout exists for. *)
+  length mem a = length mem b && String.equal (read mem a) (read mem b)
+
+let compare_str mem a b = String.compare (read mem a) (read mem b)
+
+(** SQL LIKE with [%] and [_]. *)
+let like mem ~str ~pat =
+  let s = read mem str and p = read mem pat in
+  let ns = String.length s and np = String.length p in
+  (* Memoized recursive matcher. *)
+  let memo = Hashtbl.create 16 in
+  let rec go i j =
+    match Hashtbl.find_opt memo (i, j) with
+    | Some r -> r
+    | None ->
+        let r =
+          if j = np then i = ns
+          else
+            match p.[j] with
+            | '%' -> go i (j + 1) || (i < ns && go (i + 1) j)
+            | '_' -> i < ns && go (i + 1) (j + 1)
+            | c -> i < ns && s.[i] = c && go (i + 1) (j + 1)
+        in
+        Hashtbl.add memo (i, j) r;
+        r
+  in
+  go 0 0
+
+let hash mem addr =
+  let s = read mem addr in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter (fun c -> h := Qcomp_support.Hashes.crc32c_byte !h (Char.code c)) s;
+  Qcomp_support.Hashes.long_mul_fold
+    (Int64.logxor !h (Int64.of_int (String.length s)))
+    0x9E3779B97F4A7C15L

@@ -1,0 +1,57 @@
+(** Growable row buffer in VM memory: the materialization target at the end
+    of pipelines (temporary buffers, sort inputs, query output).
+
+    Header (32 bytes): [count:u64][capacity:u64][row size:u64][data ptr]. *)
+
+open Qcomp_vm
+
+let header_size = 32
+
+let create mem ~row_size ~capacity_hint =
+  let cap = max 16 capacity_hint in
+  let buf = Memory.alloc mem ~align:16 header_size in
+  let data = Memory.alloc mem ~align:16 (cap * row_size) in
+  Memory.store64 mem buf 0L;
+  Memory.store64 mem (buf + 8) (Int64.of_int cap);
+  Memory.store64 mem (buf + 16) (Int64.of_int row_size);
+  Memory.store64 mem (buf + 24) (Int64.of_int data);
+  buf
+
+let count mem buf = Int64.to_int (Memory.load64 mem buf)
+let capacity mem buf = Int64.to_int (Memory.load64 mem (buf + 8))
+let row_size mem buf = Int64.to_int (Memory.load64 mem (buf + 16))
+let data_ptr mem buf = Int64.to_int (Memory.load64 mem (buf + 24))
+
+let row mem buf i = data_ptr mem buf + (i * row_size mem buf)
+
+(** Append a row; returns (row address, cycle cost). *)
+let append mem buf =
+  let cnt = count mem buf in
+  let cap = capacity mem buf in
+  let rs = row_size mem buf in
+  let grow_cost =
+    if cnt = cap then begin
+      let data = data_ptr mem buf in
+      let cap' = 2 * cap in
+      let data' = Memory.alloc mem ~align:16 (cap' * rs) in
+      Memory.blit mem ~src:data ~dst:data' ~len:(cap * rs);
+      Memory.store64 mem (buf + 8) (Int64.of_int cap');
+      Memory.store64 mem (buf + 24) (Int64.of_int data');
+      cnt / 4
+    end
+    else 0
+  in
+  Memory.store64 mem buf (Int64.of_int (cnt + 1));
+  (data_ptr mem buf + (cnt * rs), 6 + grow_cost)
+
+(** Swap-free permutation application for sorting: rebuilds the data array
+    in [perm] order. Returns cycle cost. *)
+let permute mem buf perm =
+  let cnt = count mem buf in
+  let rs = row_size mem buf in
+  let data = data_ptr mem buf in
+  let tmp = Memory.alloc mem ~align:16 (cnt * rs) in
+  Array.iteri (fun dst src -> Memory.blit mem ~src:(data + (src * rs)) ~dst:(tmp + (dst * rs)) ~len:rs) perm;
+  Memory.blit mem ~src:tmp ~dst:data ~len:(cnt * rs);
+  ignore buf;
+  2 * cnt * (rs / 8 + 1)

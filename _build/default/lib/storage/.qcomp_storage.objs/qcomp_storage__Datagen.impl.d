@@ -1,0 +1,1 @@
+lib/storage/datagen.ml: Array Buffer Char Int64 Qcomp_support Rng Schema String Table

@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Format List Printf String

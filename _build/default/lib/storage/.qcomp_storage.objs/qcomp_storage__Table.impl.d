@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Memory Qcomp_runtime Qcomp_vm Schema

@@ -1,0 +1,84 @@
+(** Deterministic synthetic data generation.
+
+    Substitutes for the TPC-H/TPC-DS dbgen/dsdgen tools (see DESIGN.md):
+    column generators produce uniform/zipfian integers, date ranges,
+    foreign keys and word-pool strings, all seeded so every benchmark run
+    sees identical data. *)
+
+open Qcomp_support
+
+type gen =
+  | Serial of int  (** start value; row i gets start + i (primary keys) *)
+  | Uniform of int * int  (** inclusive range *)
+  | Zipf of int  (** skewed in [0, n): favors small values *)
+  | Fk of int  (** uniform foreign key in [0, n) *)
+  | DateRange of int * int  (** days *)
+  | DecimalRange of int * int  (** range of the scaled integer value *)
+  | Words of string array * int  (** pool, words per value *)
+  | Pattern of string  (** [#] digits and [@] letters substituted *)
+  | Flag of float  (** probability of 1 *)
+
+let word_pool =
+  [|
+    "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot"; "golf"; "hotel";
+    "india"; "juliet"; "kilo"; "lima"; "mike"; "november"; "oscar"; "papa";
+    "quebec"; "romeo"; "sierra"; "tango"; "uniform"; "victor"; "whiskey";
+    "xray"; "yankee"; "zulu"; "amber"; "beryl"; "coral"; "dusk"; "ember";
+    "frost"; "gale"; "haze"; "iris"; "jade"; "karst"; "lunar"; "mist";
+  |]
+
+let zipf rng n =
+  (* crude zipf-ish skew: square a uniform draw *)
+  let u = Rng.float rng in
+  let v = int_of_float (u *. u *. float_of_int n) in
+  if v >= n then n - 1 else v
+
+let gen_int rng row = function
+  | Serial start -> Int64.of_int (start + row)
+  | Uniform (lo, hi) -> Int64.of_int (Rng.int_range rng lo hi)
+  | Zipf n -> Int64.of_int (zipf rng n)
+  | Fk n -> Int64.of_int (Rng.int rng n)
+  | DateRange (lo, hi) -> Int64.of_int (Rng.int_range rng lo hi)
+  | DecimalRange (lo, hi) -> Int64.of_int (Rng.int_range rng lo hi)
+  | Flag p -> if Rng.float rng < p then 1L else 0L
+  | Words _ | Pattern _ -> invalid_arg "gen_int on string generator"
+
+let gen_str rng = function
+  | Words (pool, k) ->
+      let b = Buffer.create 16 in
+      for i = 1 to k do
+        if i > 1 then Buffer.add_char b ' ';
+        Buffer.add_string b (Rng.choose rng pool)
+      done;
+      Buffer.contents b
+  | Pattern p ->
+      String.map
+        (fun c ->
+          match c with
+          | '#' -> Char.chr (Char.code '0' + Rng.int rng 10)
+          | '@' -> Char.chr (Char.code 'A' + Rng.int rng 26)
+          | c -> c)
+        p
+  | Serial _ | Uniform _ | Zipf _ | Fk _ | DateRange _ | DecimalRange _
+  | Flag _ ->
+      invalid_arg "gen_str on integer generator"
+
+(** Populate [table] with one generator per column. *)
+let fill mem (table : Table.t) ~seed (gens : gen array) =
+  let schema = Table.schema table in
+  if Array.length gens <> Schema.num_cols schema then
+    invalid_arg "Datagen.fill: generator count mismatch";
+  Array.iteri
+    (fun col g ->
+      (* Column-independent streams keep data stable under schema edits. *)
+      let rng = Rng.create (Int64.add seed (Int64.of_int (0x9E37 * col))) in
+      match Schema.col_ty schema col with
+      | Schema.Str ->
+          for row = 0 to Table.rows table - 1 do
+            Table.set_str mem table ~col ~row (gen_str rng g)
+          done
+      | _ ->
+          for row = 0 to Table.rows table - 1 do
+            Table.set_i64 mem table ~col ~row (gen_int rng row g)
+          done)
+    gens

@@ -1,0 +1,61 @@
+(** Relational schemas for the columnar store.
+
+    SQL types map to storage as in Umbra: integers and dates are 32-bit,
+    keys 64-bit, decimals are stored as 64-bit scaled integers but computed
+    on as 128-bit (overflow-checked), strings are 16-byte SSO structures
+    stored inline in the column. *)
+
+type col_ty =
+  | Int32
+  | Int64
+  | Date  (** days since epoch, 32-bit *)
+  | Decimal of int  (** scale = digits after the point; stored as i64 *)
+  | Str
+  | Bool
+
+type column = { col_name : string; col_ty : col_ty }
+
+type t = { table_name : string; cols : column array }
+
+let make table_name cols =
+  {
+    table_name;
+    cols = Array.of_list (List.map (fun (n, ty) -> { col_name = n; col_ty = ty }) cols);
+  }
+
+let num_cols t = Array.length t.cols
+
+let col_index t name =
+  let rec go i =
+    if i >= Array.length t.cols then
+      invalid_arg (Printf.sprintf "no column %s in %s" name t.table_name)
+    else if String.equal t.cols.(i).col_name name then i
+    else go (i + 1)
+  in
+  go 0
+
+let col_ty t i = t.cols.(i).col_ty
+
+let stride = function
+  | Int32 | Date -> 4
+  | Int64 | Decimal _ -> 8
+  | Str -> 16
+  | Bool -> 1
+
+let pp fmt t =
+  Format.fprintf fmt "table %s(" t.table_name;
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf fmt ", ";
+      let ty =
+        match c.col_ty with
+        | Int32 -> "int32"
+        | Int64 -> "int64"
+        | Date -> "date"
+        | Decimal s -> Printf.sprintf "decimal(%d)" s
+        | Str -> "string"
+        | Bool -> "bool"
+      in
+      Format.fprintf fmt "%s %s" c.col_name ty)
+    t.cols;
+  Format.fprintf fmt ")"

@@ -1,0 +1,1 @@
+lib/support/btree.ml: Array List Option

@@ -1,0 +1,1 @@
+lib/support/hashes.ml: Array I128 Int32 Int64

@@ -1,0 +1,1 @@
+lib/support/i128.ml: Buffer Bytes Char Format Int64 String

@@ -1,0 +1,1 @@
+lib/support/i128.mli: Format

@@ -1,0 +1,1 @@
+lib/support/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/support/timing.ml: Format Hashtbl List Option String Sys Unix

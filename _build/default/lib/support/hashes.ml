@@ -1,0 +1,53 @@
+(* CRC-32C (Castagnoli), reflected polynomial 0x82F63B78, table-driven. *)
+
+let table =
+  let t = Array.make 256 0l in
+  for n = 0 to 255 do
+    let c = ref (Int32.of_int n) in
+    for _ = 0 to 7 do
+      if Int32.equal (Int32.logand !c 1l) 1l then
+        c := Int32.logxor (Int32.shift_right_logical !c 1) 0x82F63B78l
+      else c := Int32.shift_right_logical !c 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let crc32c_byte acc byte =
+  let crc = Int32.of_int (Int64.to_int (Int64.logand acc 0xFFFF_FFFFL)) in
+  let idx = (Int32.to_int crc lxor byte) land 0xFF in
+  let crc' =
+    Int32.logxor (Int32.shift_right_logical crc 8) table.(idx)
+  in
+  Int64.logand (Int64.of_int32 crc') 0xFFFF_FFFFL
+
+let crc32c acc x =
+  let acc = ref (Int64.logand acc 0xFFFF_FFFFL) in
+  for i = 0 to 7 do
+    let byte =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * i)) 0xFFL)
+    in
+    acc := crc32c_byte !acc byte
+  done;
+  !acc
+
+let long_mul_fold x k =
+  let p = I128.umul64_wide x k in
+  Int64.logxor (I128.to_int64 p) (I128.to_int64 (I128.shift_right_logical p 64))
+
+let rotr64 x n =
+  let n = n land 63 in
+  if n = 0 then x
+  else Int64.logor (Int64.shift_right_logical x n) (Int64.shift_left x (64 - n))
+
+(* Two CRC lanes with distinct seeds combined via rotate-xor; the constants
+   are the ones visible in Listing 2 of the paper. *)
+let seed_a = 0xF45F_017F_FBC4_0390L
+let seed_b = 0xB993_5CC9_7AB5_B272L
+
+let hash64 x =
+  let a = crc32c seed_a x in
+  let b = crc32c seed_b x in
+  Int64.logxor (Int64.logor (Int64.shift_left b 32) a) (rotr64 x 32)
+
+let combine h v = long_mul_fold (Int64.logxor h v) 0x9E37_79B9_7F4A_7C15L

@@ -1,0 +1,26 @@
+(** Hash primitives used by the query runtime.
+
+    Umbra hashes with hardware CRC-32C when available and falls back to a
+    64x64->128-bit multiplication whose halves are XOR-folded
+    ("long-mul-fold"). Both are implemented here in software; the virtual
+    targets expose [crc32] as a native instruction so generated code matches
+    these results bit-for-bit. *)
+
+(** [crc32c acc x] is one CRC-32C (Castagnoli) step over the 8 bytes of [x],
+    mirroring x86 [crc32 r64, r64] / AArch64 [crc32cx]: the accumulator is
+    the low 32 bits of [acc]; the result is zero-extended. *)
+val crc32c : int64 -> int64 -> int64
+
+(** CRC-32C over a byte at a time (used for string hashing). *)
+val crc32c_byte : int64 -> int -> int64
+
+(** [long_mul_fold x k] multiplies [x] by [k] to a 128-bit result and XORs
+    the two halves. *)
+val long_mul_fold : int64 -> int64 -> int64
+
+(** Umbra-style 64-bit value hash combining two CRC lanes with a rotate,
+    matching the instruction sequence in Listing 2 of the paper. *)
+val hash64 : int64 -> int64
+
+(** Combine an accumulated hash with the next value hash. *)
+val combine : int64 -> int64 -> int64

@@ -1,0 +1,73 @@
+(** Signed 128-bit integers.
+
+    Umbra represents SQL decimals as 128-bit integers; the generated code
+    performs 128-bit arithmetic with overflow checks. This module is the
+    reference implementation used by the interpreter, the emulator runtime
+    and the test oracles. Values are immutable pairs of [int64]. *)
+
+type t = private { hi : int64; lo : int64 }
+
+val zero : t
+val one : t
+val minus_one : t
+val min_int : t
+val max_int : t
+
+val make : hi:int64 -> lo:int64 -> t
+val of_int64 : int64 -> t
+val of_int : int -> t
+
+(** [to_int64_opt x] is [Some lo] when [x] fits a signed 64-bit integer. *)
+val to_int64_opt : t -> int64 option
+
+(** Truncating conversion. *)
+val to_int64 : t -> int64
+
+val equal : t -> t -> bool
+
+(** Signed comparison. *)
+val compare : t -> t -> int
+
+(** Unsigned comparison. *)
+val compare_unsigned : t -> t -> int
+
+val is_negative : t -> bool
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** Truncated 128x128 -> 128 multiplication. *)
+val mul : t -> t -> t
+
+(** [add_overflows a b] is true when signed addition wraps. *)
+val add_overflows : t -> t -> bool
+
+val sub_overflows : t -> t -> bool
+val mul_overflows : t -> t -> bool
+
+(** Signed division truncating toward zero. Raises [Division_by_zero]. *)
+val div : t -> t -> t
+
+val rem : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+(** Shift amounts are taken modulo 128. *)
+val shift_left : t -> int -> t
+
+val shift_right_logical : t -> int -> t
+val shift_right : t -> int -> t
+
+(** [umul64_wide a b] is the full 128-bit product of two unsigned 64-bit
+    values — the primitive behind Umbra's long-mul-fold hash. *)
+val umul64_wide : int64 -> int64 -> t
+
+(** [smul64_wide a b] is the full signed 128-bit product. *)
+val smul64_wide : int64 -> int64 -> t
+
+val to_string : t -> string
+val of_string : string -> t
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit

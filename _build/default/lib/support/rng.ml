@@ -1,0 +1,27 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 = next
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.unsigned_rem (next t) (Int64.of_int n))
+
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Rng.int_range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+
+let bool t = Int64.equal (Int64.logand (next t) 1L) 1L
+let choose t arr = arr.(int t (Array.length arr))
+let split t = create (next t)

@@ -1,0 +1,27 @@
+(** Deterministic splitmix64 random number generator.
+
+    All synthetic data and workload generation is seeded through this module
+    so every run of the benchmark harness sees identical inputs. *)
+
+type t
+
+val create : int64 -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t n] is uniform in [0, n). *)
+val int : t -> int -> int
+
+(** [int_range t lo hi] is uniform in [lo, hi] inclusive. *)
+val int_range : t -> int -> int -> int
+
+val int64 : t -> int64
+val float : t -> float
+val bool : t -> bool
+
+(** [choose t arr] picks a uniform element of a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** [split t] derives an independent generator. *)
+val split : t -> t

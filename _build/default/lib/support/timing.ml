@@ -1,0 +1,134 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+type entry = { mutable seconds : float; mutable count : int; order : int }
+
+type t = {
+  enabled : bool;
+  table : (string, entry) Hashtbl.t;
+  mutable stack : string list; (* innermost first *)
+  mutable events : int;
+  mutable clock_cost : float; (* measured cost of one [now] pair *)
+}
+
+let calibrate () =
+  let t0 = now () in
+  let n = 1000 in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity (now ()))
+  done;
+  (now () -. t0) /. float_of_int n *. 2.0
+
+let create ?(enabled = true) () =
+  {
+    enabled;
+    table = Hashtbl.create 64;
+    stack = [];
+    events = 0;
+    clock_cost = (if enabled then calibrate () else 0.0);
+  }
+
+let enabled t = t.enabled
+
+let path_of t name =
+  match t.stack with [] -> name | top :: _ -> top ^ "/" ^ name
+
+let entry t path =
+  match Hashtbl.find_opt t.table path with
+  | Some e -> e
+  | None ->
+      let e = { seconds = 0.0; count = 0; order = Hashtbl.length t.table } in
+      Hashtbl.add t.table path e;
+      e
+
+let add t name secs =
+  if t.enabled then begin
+    let e = entry t (path_of t name) in
+    e.seconds <- e.seconds +. secs;
+    e.count <- e.count + 1;
+    t.events <- t.events + 1
+  end
+
+let scope t name f =
+  if not t.enabled then f ()
+  else begin
+    let path = path_of t name in
+    (* register the entry up front so reports list parents before children *)
+    ignore (entry t path);
+    t.stack <- path :: t.stack;
+    let t0 = now () in
+    let finish () =
+      let dt = now () -. t0 in
+      (match t.stack with [] -> () | _ :: rest -> t.stack <- rest);
+      let e = entry t path in
+      e.seconds <- e.seconds +. dt;
+      e.count <- e.count + 1;
+      t.events <- t.events + 1
+    in
+    match f () with
+    | r ->
+        finish ();
+        r
+    | exception exn ->
+        finish ();
+        raise exn
+  end
+
+let reset t =
+  Hashtbl.reset t.table;
+  t.stack <- [];
+  t.events <- 0
+
+let event_count t = t.events
+let overhead t = float_of_int t.events *. t.clock_cost
+
+let entries t =
+  Hashtbl.fold (fun path e acc -> (path, e) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> compare a.order b.order)
+  |> List.map (fun (path, e) -> (path, e.seconds, e.count))
+
+let is_top_level path = not (String.contains path '/')
+
+let total t =
+  List.fold_left
+    (fun acc (path, secs, _) -> if is_top_level path then acc +. secs else acc)
+    0.0 (entries t)
+
+let flat t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (path, secs, _) ->
+      if is_top_level path then begin
+        (if not (Hashtbl.mem tbl path) then order := path :: !order);
+        Hashtbl.replace tbl path
+          (secs +. Option.value ~default:0.0 (Hashtbl.find_opt tbl path))
+      end)
+    (entries t);
+  List.rev_map (fun p -> (p, Hashtbl.find tbl p)) !order
+
+let pp_report fmt t =
+  let es = entries t in
+  let tot = total t in
+  Format.fprintf fmt "%-42s %10s %8s %6s@." "phase" "seconds" "count" "%";
+  List.iter
+    (fun (path, secs, count) ->
+      let depth =
+        String.fold_left (fun n c -> if c = '/' then n + 1 else n) 0 path
+      in
+      let leaf =
+        match String.rindex_opt path '/' with
+        | None -> path
+        | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+      in
+      let label = String.make (2 * depth) ' ' ^ leaf in
+      Format.fprintf fmt "%-42s %10.4f %8d %5.1f%%@." label secs count
+        (if tot > 0.0 then 100.0 *. secs /. tot else 0.0))
+    es;
+  Format.fprintf fmt "%-42s %10.4f %8d@." "total (top-level)" tot t.events;
+  Format.fprintf fmt "instrumentation: %d events, ~%.4f s overhead@." t.events
+    (overhead t)

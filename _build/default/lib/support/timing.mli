@@ -1,0 +1,48 @@
+(** Hierarchical compile-time measurement.
+
+    Mirrors LLVM's time-trace / GCC's [-ftime-report]: back-ends wrap each
+    phase in {!scope}; a collector aggregates wall-clock per phase path and
+    counts the number of measurement events so instrumentation overhead can
+    be estimated and reported, as the paper does. *)
+
+type t
+
+(** A collector. When [enabled] is false, {!scope} is (nearly) free and no
+    data is recorded. *)
+val create : ?enabled:bool -> unit -> t
+
+val enabled : t -> bool
+
+(** [scope t name f] runs [f] and charges its wall time to [name], nested
+    under the currently open scopes ("A/B/C" paths). Exceptions propagate. *)
+val scope : t -> string -> (unit -> 'a) -> 'a
+
+(** Charge a precomputed duration (seconds) without running a closure. *)
+val add : t -> string -> float -> unit
+
+val reset : t -> unit
+
+(** Number of recorded measurement events since the last reset. *)
+val event_count : t -> int
+
+(** Estimated seconds of overhead added by the instrumentation itself. *)
+val overhead : t -> float
+
+(** [entries t] is the list of [(path, seconds, count)] with "/"-joined
+    paths, in first-recorded order. *)
+val entries : t -> (string * float * int) list
+
+(** Total seconds charged to top-level scopes only. *)
+val total : t -> float
+
+(** [flat t] aggregates entries by their top-level component. *)
+val flat : t -> (string * float) list
+
+(** Pretty-print a report table. *)
+val pp_report : Format.formatter -> t -> unit
+
+(** Monotonic-ish wall clock in seconds. *)
+val now : unit -> float
+
+(** [time f] is [(result, seconds)]. *)
+val time : (unit -> 'a) -> 'a * float

@@ -1,0 +1,1 @@
+lib/vm/asm.ml: Array Bytes Char Format Int64 List Minst Target

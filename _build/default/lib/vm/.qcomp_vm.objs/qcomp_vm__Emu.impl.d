@@ -1,0 +1,1 @@
+lib/vm/emu.ml: Array Asm Bytes Hashtbl Int64 List Memory Minst Printf Qcomp_support Target

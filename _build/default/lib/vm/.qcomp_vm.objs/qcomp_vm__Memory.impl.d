@@ -1,0 +1,1 @@
+lib/vm/memory.ml: Bytes Int64 Printf String

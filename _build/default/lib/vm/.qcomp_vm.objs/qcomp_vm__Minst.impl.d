@@ -1,0 +1,1 @@
+lib/vm/minst.ml: Format Target

@@ -1,0 +1,1 @@
+lib/vm/target.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/vm/unwind.ml: Array List

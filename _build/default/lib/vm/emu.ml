@@ -1,0 +1,518 @@
+(** The virtual machine: decodes registered code blobs once, then executes
+    them with a deterministic cycle model (see DESIGN.md).
+
+    Address space:
+    - [0 .. memory size): linear data memory (tables, heap, GOTs, stack)
+    - [code_base ..): registered code blobs
+    - [runtime_base ..): runtime functions, one slot of 8 bytes each
+    - [sentinel]: the initial return address; reaching it ends execution.
+
+    Execution-time measurement is the [cycles] counter; runtime functions
+    charge their own work via {!charge}. *)
+
+exception Trap of string
+
+let code_base = 0x100_0000_0000
+let runtime_base = 0x7F00_0000_0000
+let sentinel = 0x7FFF_0000_0000
+
+type code_mod = {
+  cm_base : int;
+  cm_size : int;
+  cm_insts : Minst.t array;
+  cm_off2idx : int array;
+}
+
+type t = {
+  target : Target.t;
+  mem : Memory.t;
+  regs : int64 array;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable ovf : bool;
+  mutable cycles : int;
+  mutable icount : int;
+  mutable fuel : int;  (** max instructions per [call]; <0 = unlimited *)
+  mutable mods : code_mod list;
+  mutable next_code_base : int;
+  mutable runtime : (t -> unit) array;
+  mutable runtime_names : string array;
+  mutable last_mod : code_mod option;
+}
+
+let create ?(mem_size = 256 * 1024 * 1024) target =
+  let mem = Memory.create mem_size in
+  {
+    target;
+    mem;
+    regs = Array.make 33 0L;
+    zf = false;
+    sf = false;
+    cf = false;
+    ovf = false;
+    cycles = 0;
+    icount = 0;
+    fuel = -1;
+    mods = [];
+    next_code_base = code_base;
+    runtime = [||];
+    runtime_names = [||];
+    last_mod = None;
+  }
+
+let memory t = t.mem
+let target_of t = t.target
+let cycles t = t.cycles
+let instructions_executed t = t.icount
+let reset_counters t =
+  t.cycles <- 0;
+  t.icount <- 0
+
+let charge t c = t.cycles <- t.cycles + c
+
+(** Install the runtime function table (index = slot). *)
+let set_runtime t fns names =
+  t.runtime <- fns;
+  t.runtime_names <- names
+
+(** Append a host function (e.g. an interpreted query function) and return
+    its callable address. *)
+let add_runtime t name fn =
+  let idx = Array.length t.runtime in
+  t.runtime <- Array.append t.runtime [| fn |];
+  t.runtime_names <- Array.append t.runtime_names [| name |];
+  Int64.of_int (runtime_base + (8 * idx))
+
+let runtime_addr idx = Int64.of_int (runtime_base + (8 * idx))
+
+let is_runtime_addr (a : int) = a >= runtime_base && a < sentinel
+
+(** Address the next registered code blob will get (used by JIT linkers
+    that must know final addresses before applying relocations). *)
+let next_code_addr t = t.next_code_base
+
+(** Register a code blob; returns its base address. *)
+let register_code t (code : bytes) =
+  let insts, off2idx = Asm.decode_all t.target code in
+  let base = t.next_code_base in
+  let size = Bytes.length code in
+  let m = { cm_base = base; cm_size = size; cm_insts = insts; cm_off2idx = off2idx } in
+  t.next_code_base <- (base + size + 0xFFF) land lnot 0xFFF;
+  t.mods <- m :: t.mods;
+  m.cm_base
+
+let find_mod t addr =
+  match t.last_mod with
+  | Some m when addr >= m.cm_base && addr < m.cm_base + m.cm_size -> m
+  | _ -> (
+      match
+        List.find_opt
+          (fun m -> addr >= m.cm_base && addr < m.cm_base + m.cm_size)
+          t.mods
+      with
+      | Some m ->
+          t.last_mod <- Some m;
+          m
+      | None -> raise (Trap (Printf.sprintf "jump to unmapped address 0x%x" addr)))
+
+let idx_of t (m : code_mod) addr =
+  let off = addr - m.cm_base in
+  let i = m.cm_off2idx.(off) in
+  if i < 0 then raise (Trap (Printf.sprintf "jump into middle of instruction at 0x%x" addr));
+  ignore t;
+  i
+
+(* ---------------- flags ---------------- *)
+
+let set_zs t (r : int64) =
+  t.zf <- Int64.equal r 0L;
+  t.sf <- Int64.compare r 0L < 0
+
+let flags_add t a b r =
+  set_zs t r;
+  t.cf <- Int64.unsigned_compare r a < 0;
+  t.ovf <-
+    Int64.compare (Int64.logand (Int64.logxor a (Int64.lognot b)) (Int64.logxor a r)) 0L < 0
+
+let flags_sub t a b r =
+  set_zs t r;
+  t.cf <- Int64.unsigned_compare a b < 0;
+  t.ovf <- Int64.compare (Int64.logand (Int64.logxor a b) (Int64.logxor a r)) 0L < 0
+
+let flags_logic t r =
+  set_zs t r;
+  t.cf <- false;
+  t.ovf <- false
+
+let cond_true t (c : Minst.cond) =
+  match c with
+  | Eq -> t.zf
+  | Ne -> not t.zf
+  | Slt -> t.sf <> t.ovf
+  | Sle -> t.zf || t.sf <> t.ovf
+  | Sgt -> (not t.zf) && t.sf = t.ovf
+  | Sge -> t.sf = t.ovf
+  | Ult -> t.cf
+  | Ule -> t.cf || t.zf
+  | Ugt -> (not t.cf) && not t.zf
+  | Uge -> not t.cf
+  | Ov -> t.ovf
+  | Noov -> not t.ovf
+
+(* ---------------- cost model ---------------- *)
+
+let cost (i : Minst.t) =
+  match i with
+  | Nop -> 0
+  | Mov_rr _ | Mov_ri _ | Movz _ | Movk _ -> 1
+  | Alu_rr (a, _, _) | Alu_ri (a, _, _) | Alu_rrr (a, _, _, _) | Alu_rri (a, _, _, _)
+    -> (
+      match a with Mul -> 3 | _ -> 1)
+  | Cmp_rr _ | Cmp_ri _ -> 1
+  | Ld _ -> 2
+  | St _ -> 2
+  | Lea _ -> 1
+  | Ext _ -> 1
+  | Mul_wide _ | Mul_hi _ -> 4
+  | Div _ | Div_rrr _ -> 20
+  | Msub _ -> 3
+  | Crc32_rr _ | Crc32_rrr _ -> 1
+  | Setcc _ | Csel _ -> 1
+  | Jmp _ -> 1
+  | Jcc _ -> 1
+  | Jmp_ind _ -> 2
+  | Jmp_mem _ -> 3
+  | Call_rel _ -> 2
+  | Call_ind _ -> 3
+  | Ret -> 2
+  | Falu_rr (f, _, _) | Falu_rrr (f, _, _, _) -> (
+      match f with Fdiv -> 15 | Fmul -> 4 | _ -> 3)
+  | Fcmp_rr _ -> 2
+  | Cvt_si2f _ | Cvt_f2si _ -> 4
+  | Brk _ -> 0
+
+let runtime_dispatch_cost = 12
+
+(* ---------------- execution ---------------- *)
+
+let alu_eval t (op : Minst.alu) a b =
+  match op with
+  | Add ->
+      let r = Int64.add a b in
+      flags_add t a b r;
+      r
+  | Sub ->
+      let r = Int64.sub a b in
+      flags_sub t a b r;
+      r
+  | Adc ->
+      let cin = if t.cf then 1L else 0L in
+      let r = Int64.add (Int64.add a b) cin in
+      let cf1 = Int64.unsigned_compare (Int64.add a b) a < 0 in
+      let cf2 = Int64.unsigned_compare r (Int64.add a b) < 0 in
+      set_zs t r;
+      t.cf <- cf1 || cf2;
+      (* signed overflow (valid with carry-in): operands agree, result differs *)
+      t.ovf <-
+        Int64.compare (Int64.logand (Int64.logxor a r) (Int64.logxor b r)) 0L < 0;
+      r
+  | Sbb ->
+      let cin = if t.cf then 1L else 0L in
+      let r = Int64.sub (Int64.sub a b) cin in
+      let borrow =
+        Int64.unsigned_compare a b < 0
+        || (Int64.equal a b && Int64.equal cin 1L)
+        || Int64.unsigned_compare (Int64.sub a b) cin < 0
+      in
+      set_zs t r;
+      t.cf <- borrow;
+      t.ovf <-
+        Int64.compare (Int64.logand (Int64.logxor a b) (Int64.logxor a r)) 0L < 0;
+      r
+  | And ->
+      let r = Int64.logand a b in
+      flags_logic t r;
+      r
+  | Or ->
+      let r = Int64.logor a b in
+      flags_logic t r;
+      r
+  | Xor ->
+      let r = Int64.logxor a b in
+      flags_logic t r;
+      r
+  | Mul ->
+      let r = Int64.mul a b in
+      set_zs t r;
+      let wide = Qcomp_support.I128.smul64_wide a b in
+      let hi = Qcomp_support.I128.to_int64 (Qcomp_support.I128.shift_right wide 64) in
+      let ovf = not (Int64.equal hi (Int64.shift_right r 63)) in
+      t.cf <- ovf;
+      t.ovf <- ovf;
+      r
+  | Shl ->
+      let r = Int64.shift_left a (Int64.to_int b land 63) in
+      set_zs t r;
+      r
+  | Shr ->
+      let r = Int64.shift_right_logical a (Int64.to_int b land 63) in
+      set_zs t r;
+      r
+  | Sar ->
+      let r = Int64.shift_right a (Int64.to_int b land 63) in
+      set_zs t r;
+      r
+  | Ror ->
+      let n = Int64.to_int b land 63 in
+      let r =
+        if n = 0 then a
+        else Int64.logor (Int64.shift_right_logical a n) (Int64.shift_left a (64 - n))
+      in
+      set_zs t r;
+      r
+
+let ext_eval v ~bits ~signed =
+  match (bits, signed) with
+  | 8, false -> Int64.logand v 0xFFL
+  | 8, true -> Int64.shift_right (Int64.shift_left v 56) 56
+  | 16, false -> Int64.logand v 0xFFFFL
+  | 16, true -> Int64.shift_right (Int64.shift_left v 48) 48
+  | 32, false -> Int64.logand v 0xFFFFFFFFL
+  | 32, true -> Int64.shift_right (Int64.shift_left v 32) 32
+  | 1, false -> Int64.logand v 1L
+  | 1, true -> Int64.shift_right (Int64.shift_left v 63) 63
+  | _ -> raise (Trap "bad extension width")
+
+let f64 v = Int64.float_of_bits v
+let bits f = Int64.bits_of_float f
+
+(** Run starting at [addr] until control returns to the sentinel.
+    Reentrant: runtime functions may use {!call_generated}. *)
+let rec run_at t addr =
+  let is_x64 = t.target.Target.arch = Target.X64 in
+  let sp = t.target.Target.sp in
+  let cur = ref (find_mod t addr) in
+  let ip = ref (idx_of t !cur addr) in
+  let running = ref true in
+  (* Transfer control to an arbitrary address: code, runtime or sentinel. *)
+  let goto (a : int) =
+    if a = sentinel then running := false
+    else if is_runtime_addr a then begin
+      (* Landing in the runtime via a tail jump (PLT): execute the callee,
+         then return to the caller's return address. *)
+      let retaddr =
+        if is_x64 then begin
+          let ra = Memory.load64 t.mem (Int64.to_int t.regs.(sp)) in
+          t.regs.(sp) <- Int64.add t.regs.(sp) 8L;
+          ra
+        end
+        else t.regs.(Target.lr)
+      in
+      dispatch_runtime t a;
+      let ra = Int64.to_int retaddr in
+      if ra = sentinel then running := false
+      else begin
+        let m = find_mod t ra in
+        cur := m;
+        ip := idx_of t m ra
+      end
+    end
+    else begin
+      let m = find_mod t a in
+      cur := m;
+      ip := idx_of t m a
+    end
+  in
+  let push_ret next_off =
+    let ra = Int64.of_int (!cur.cm_base + next_off) in
+    if is_x64 then begin
+      t.regs.(sp) <- Int64.sub t.regs.(sp) 8L;
+      Memory.store64 t.mem (Int64.to_int t.regs.(sp)) ra
+    end
+    else t.regs.(Target.lr) <- ra
+  in
+  (* Byte offset just past instruction [i] — needed for return addresses.
+     Precomputed per module on first use. *)
+  let next_off_of (m : code_mod) =
+    let n = Array.length m.cm_insts in
+    let a = Array.make n m.cm_size in
+    Array.iteri (fun off idx -> if idx > 0 then a.(idx - 1) <- off) m.cm_off2idx;
+    a
+  in
+  let next_off_cache : (int, int array) Hashtbl.t = Hashtbl.create 4 in
+  let next_off m i =
+    match Hashtbl.find_opt next_off_cache m.cm_base with
+    | Some a -> a.(i)
+    | None ->
+        let a = next_off_of m in
+        Hashtbl.add next_off_cache m.cm_base a;
+        a.(i)
+  in
+  while !running do
+    let m = !cur in
+    let i = !ip in
+    if i >= Array.length m.cm_insts then raise (Trap "fell off end of code");
+    let inst = m.cm_insts.(i) in
+    t.cycles <- t.cycles + cost inst;
+    t.icount <- t.icount + 1;
+    if t.fuel >= 0 && t.icount > t.fuel then raise (Trap "fuel exhausted");
+    incr ip;
+    (match inst with
+    | Nop -> ()
+    | Mov_rr (d, s) -> t.regs.(d) <- t.regs.(s)
+    | Mov_ri (d, v) -> t.regs.(d) <- v
+    | Movz (d, imm, sh) -> t.regs.(d) <- Int64.shift_left (Int64.of_int imm) (16 * sh)
+    | Movk (d, imm, sh) ->
+        let mask = Int64.shift_left 0xFFFFL (16 * sh) in
+        t.regs.(d) <-
+          Int64.logor
+            (Int64.logand t.regs.(d) (Int64.lognot mask))
+            (Int64.shift_left (Int64.of_int imm) (16 * sh))
+    | Alu_rr (op, d, s) -> t.regs.(d) <- alu_eval t op t.regs.(d) t.regs.(s)
+    | Alu_ri (op, d, v) -> t.regs.(d) <- alu_eval t op t.regs.(d) v
+    | Alu_rrr (op, d, a, b) -> t.regs.(d) <- alu_eval t op t.regs.(a) t.regs.(b)
+    | Alu_rri (op, d, a, v) -> t.regs.(d) <- alu_eval t op t.regs.(a) v
+    | Cmp_rr (a, b) -> ignore (alu_eval t Sub t.regs.(a) t.regs.(b))
+    | Cmp_ri (a, v) -> ignore (alu_eval t Sub t.regs.(a) v)
+    | Ld { dst; base; off; size; sext } ->
+        t.regs.(dst) <-
+          Memory.load t.mem ~addr:(Int64.to_int t.regs.(base) + off) ~size ~sext
+    | St { src; base; off; size } ->
+        Memory.store t.mem ~addr:(Int64.to_int t.regs.(base) + off) ~size t.regs.(src)
+    | Lea { dst; base; index; scale; off } ->
+        let v = Int64.add t.regs.(base) (Int64.of_int off) in
+        let v =
+          if index >= 0 then
+            Int64.add v (Int64.mul t.regs.(index) (Int64.of_int scale))
+          else v
+        in
+        t.regs.(dst) <- v
+    | Ext { dst; src; bits; signed } ->
+        t.regs.(dst) <- ext_eval t.regs.(src) ~bits ~signed
+    | Mul_wide { signed; src } ->
+        let p =
+          if signed then Qcomp_support.I128.smul64_wide t.regs.(0) t.regs.(src)
+          else Qcomp_support.I128.umul64_wide t.regs.(0) t.regs.(src)
+        in
+        t.regs.(0) <- Qcomp_support.I128.to_int64 p;
+        t.regs.(2) <-
+          Qcomp_support.I128.to_int64 (Qcomp_support.I128.shift_right_logical p 64)
+    | Mul_hi { signed; dst; a; b } ->
+        let p =
+          if signed then Qcomp_support.I128.smul64_wide t.regs.(a) t.regs.(b)
+          else Qcomp_support.I128.umul64_wide t.regs.(a) t.regs.(b)
+        in
+        t.regs.(dst) <-
+          Qcomp_support.I128.to_int64 (Qcomp_support.I128.shift_right_logical p 64)
+    | Div { signed; src } ->
+        let d = t.regs.(src) in
+        if Int64.equal d 0L then raise (Trap "integer division by zero");
+        let a = t.regs.(0) in
+        if signed then begin
+          if Int64.equal a Int64.min_int && Int64.equal d (-1L) then
+            raise (Trap "integer division overflow");
+          t.regs.(0) <- Int64.div a d;
+          t.regs.(2) <- Int64.rem a d
+        end
+        else begin
+          t.regs.(0) <- Int64.unsigned_div a d;
+          t.regs.(2) <- Int64.unsigned_rem a d
+        end
+    | Div_rrr { signed; dst; a; b } ->
+        (* AArch64 semantics: division by zero yields zero. *)
+        let bv = t.regs.(b) in
+        if Int64.equal bv 0L then t.regs.(dst) <- 0L
+        else if signed then
+          if Int64.equal t.regs.(a) Int64.min_int && Int64.equal bv (-1L) then
+            t.regs.(dst) <- Int64.min_int
+          else t.regs.(dst) <- Int64.div t.regs.(a) bv
+        else t.regs.(dst) <- Int64.unsigned_div t.regs.(a) bv
+    | Msub { dst; a; b; c } ->
+        t.regs.(dst) <- Int64.sub t.regs.(c) (Int64.mul t.regs.(a) t.regs.(b))
+    | Crc32_rr (d, s) ->
+        t.regs.(d) <- Qcomp_support.Hashes.crc32c t.regs.(d) t.regs.(s)
+    | Crc32_rrr (d, a, b) ->
+        t.regs.(d) <- Qcomp_support.Hashes.crc32c t.regs.(a) t.regs.(b)
+    | Setcc (c, d) -> t.regs.(d) <- (if cond_true t c then 1L else 0L)
+    | Csel { cond; dst; a; b } ->
+        t.regs.(dst) <- (if cond_true t cond then t.regs.(a) else t.regs.(b))
+    | Jmp off -> ip := idx_of t m (m.cm_base + off)
+    | Jcc (c, off) -> if cond_true t c then ip := idx_of t m (m.cm_base + off)
+    | Jmp_ind r -> goto (Int64.to_int t.regs.(r))
+    | Jmp_mem slot -> goto (Int64.to_int (Memory.load64 t.mem (Int64.to_int slot)))
+    | Call_rel off ->
+        push_ret (next_off m i);
+        goto (m.cm_base + off)
+    | Call_ind r ->
+        push_ret (next_off m i);
+        goto (Int64.to_int t.regs.(r))
+    | Ret ->
+        let ra =
+          if is_x64 then begin
+            let ra = Memory.load64 t.mem (Int64.to_int t.regs.(sp)) in
+            t.regs.(sp) <- Int64.add t.regs.(sp) 8L;
+            ra
+          end
+          else t.regs.(Target.lr)
+        in
+        goto (Int64.to_int ra)
+    | Falu_rr (op, d, s) ->
+        let a = f64 t.regs.(d) and b = f64 t.regs.(s) in
+        let r = match op with Fadd -> a +. b | Fsub -> a -. b | Fmul -> a *. b | Fdiv -> a /. b in
+        t.regs.(d) <- bits r
+    | Falu_rrr (op, d, x, y) ->
+        let a = f64 t.regs.(x) and b = f64 t.regs.(y) in
+        let r = match op with Fadd -> a +. b | Fsub -> a -. b | Fmul -> a *. b | Fdiv -> a /. b in
+        t.regs.(d) <- bits r
+    | Fcmp_rr (x, y) ->
+        let a = f64 t.regs.(x) and b = f64 t.regs.(y) in
+        t.zf <- a = b;
+        t.sf <- a < b;
+        t.ovf <- false;
+        t.cf <- a < b
+    | Cvt_si2f (d, s) -> t.regs.(d) <- bits (Int64.to_float t.regs.(s))
+    | Cvt_f2si (d, s) -> t.regs.(d) <- Int64.of_float (f64 t.regs.(s))
+    | Brk code -> raise (Trap (Printf.sprintf "brk #%d" code)));
+    ()
+  done
+
+and dispatch_runtime t addr =
+  let idx = (addr - runtime_base) / 8 in
+  if idx < 0 || idx >= Array.length t.runtime then
+    raise (Trap (Printf.sprintf "call to bad runtime slot %d" idx));
+  t.cycles <- t.cycles + runtime_dispatch_cost;
+  t.runtime.(idx) t
+
+(** Call generated code from the host (or from a runtime function):
+    standard calling convention, returns the two return registers. *)
+and call_generated t ~addr ~(args : int64 array) =
+  let tgt = t.target in
+  if Array.length args > Array.length tgt.Target.arg_regs then
+    invalid_arg "call_generated: too many register arguments";
+  Array.iteri (fun k v -> t.regs.(tgt.Target.arg_regs.(k)) <- v) args;
+  if is_runtime_addr addr then dispatch_runtime t addr
+  else begin
+    if tgt.Target.arch = Target.X64 then begin
+      t.regs.(tgt.Target.sp) <- Int64.sub t.regs.(tgt.Target.sp) 8L;
+      Memory.store64 t.mem (Int64.to_int t.regs.(tgt.Target.sp)) (Int64.of_int sentinel)
+    end
+    else t.regs.(Target.lr) <- Int64.of_int sentinel;
+    run_at t addr
+  end;
+  (t.regs.(tgt.Target.ret_regs.(0)), t.regs.(tgt.Target.ret_regs.(1)))
+
+(** Top-level entry: sets up a fresh stack then calls [addr]. *)
+let call t ~addr ~args =
+  let sp0 = (Memory.size t.mem - 64) land lnot 15 in
+  t.regs.(t.target.Target.sp) <- Int64.of_int sp0;
+  call_generated t ~addr ~args
+
+let arg_reg t k = t.target.Target.arg_regs.(k)
+let reg t r = t.regs.(r)
+let set_reg t r v = t.regs.(r) <- v
+
+(** Decoded instructions of the module containing [addr] (debugging aid). *)
+let decoded_at t addr =
+  let m = find_mod t addr in
+  (m.cm_base, m.cm_insts)

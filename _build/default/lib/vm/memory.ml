@@ -1,0 +1,87 @@
+(** Flat little-endian linear memory.
+
+    Holds the database columns, runtime heap (tuple buffers, hash table
+    arenas, GOTs) and the call stack of the virtual machine. The first page
+    is never mapped so null-pointer dereferences trap. *)
+
+exception Fault of string
+
+let page = 0x1000
+
+type t = {
+  data : Bytes.t;
+  size : int;
+  mutable brk : int;  (** bump pointer for region allocation *)
+}
+
+let create size =
+  if size < 16 * page then invalid_arg "Memory.create: too small";
+  { data = Bytes.make size '\000'; size; brk = page }
+
+let size t = t.size
+
+let check t addr n =
+  if addr < page || addr + n > t.size then
+    raise (Fault (Printf.sprintf "access of %d bytes at 0x%x" n addr))
+
+(** Carve a fresh region off the bump allocator. *)
+let alloc t ?(align = 16) n =
+  let a = (t.brk + align - 1) land lnot (align - 1) in
+  if a + n > t.size then raise (Fault "out of memory");
+  t.brk <- a + n;
+  a
+
+let load64 t addr =
+  check t addr 8;
+  Bytes.get_int64_le t.data addr
+
+let store64 t addr v =
+  check t addr 8;
+  Bytes.set_int64_le t.data addr v
+
+let load t ~addr ~size ~sext =
+  check t addr size;
+  match (size, sext) with
+  | 8, _ -> Bytes.get_int64_le t.data addr
+  | 4, false ->
+      Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.data addr)) 0xFFFFFFFFL
+  | 4, true -> Int64.of_int32 (Bytes.get_int32_le t.data addr)
+  | 2, false -> Int64.of_int (Bytes.get_uint16_le t.data addr)
+  | 2, true -> Int64.of_int (Bytes.get_int16_le t.data addr)
+  | 1, false -> Int64.of_int (Bytes.get_uint8 t.data addr)
+  | 1, true -> Int64.of_int (Bytes.get_int8 t.data addr)
+  | _ -> raise (Fault "bad access size")
+
+let store t ~addr ~size v =
+  check t addr size;
+  match size with
+  | 8 -> Bytes.set_int64_le t.data addr v
+  | 4 -> Bytes.set_int32_le t.data addr (Int64.to_int32 v)
+  | 2 -> Bytes.set_uint16_le t.data addr (Int64.to_int v land 0xFFFF)
+  | 1 -> Bytes.set_uint8 t.data addr (Int64.to_int v land 0xFF)
+  | _ -> raise (Fault "bad access size")
+
+(** Raw byte access for the runtime (string contents etc.). *)
+let load_bytes t addr n =
+  check t addr (max n 1);
+  Bytes.sub_string t.data addr n
+
+let store_bytes t addr s =
+  let n = String.length s in
+  if n > 0 then begin
+    check t addr n;
+    Bytes.blit_string s 0 t.data addr n
+  end
+
+let blit t ~src ~dst ~len =
+  if len > 0 then begin
+    check t src len;
+    check t dst len;
+    Bytes.blit t.data src t.data dst len
+  end
+
+let fill t ~addr ~len c =
+  if len > 0 then begin
+    check t addr len;
+    Bytes.fill t.data addr len c
+  end

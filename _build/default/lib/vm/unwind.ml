@@ -1,0 +1,55 @@
+(** DWARF-CFI-style unwind information.
+
+    Umbra registers unwinding data for every compiled function because
+    runtime functions may throw C++ exceptions through generated frames. We
+    model the *cost and shape* of this: back-ends produce a frame
+    description table (FDE) per function — either synchronous-only (valid
+    at call sites, as DirectEmit writes) or full (valid at every
+    instruction) — and register it here. Tests query the table to check
+    that a CFA rule exists for given code offsets. *)
+
+type cfa_rule = {
+  cfa_offset : int;  (** CFA = sp + offset at this point *)
+  saved_regs : (int * int) list;  (** (reg, offset from CFA) *)
+}
+
+type fde = {
+  fde_start : int;  (** absolute code address *)
+  fde_size : int;
+  fde_sync_only : bool;
+  (* Sorted list of (code offset within function, rule). *)
+  fde_rows : (int * cfa_rule) array;
+}
+
+type t = { mutable fdes : fde list; mutable bytes_written : int }
+
+let create () = { fdes = []; bytes_written = 0 }
+
+(** Size in bytes of the encoded FDE: models the amount of unwind data a
+    back-end writes (DirectEmit's synchronous-only tables are smaller). *)
+let encoded_size rows =
+  16 + Array.fold_left (fun acc (_, r) -> acc + 4 + (2 * List.length r.saved_regs)) 0 rows
+
+let register t ~start ~size ~sync_only rows =
+  let rows = Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) rows) in
+  let fde = { fde_start = start; fde_size = size; fde_sync_only = sync_only; fde_rows = rows } in
+  t.fdes <- fde :: t.fdes;
+  t.bytes_written <- t.bytes_written + encoded_size rows
+
+let find_fde t addr =
+  List.find_opt (fun f -> addr >= f.fde_start && addr < f.fde_start + f.fde_size) t.fdes
+
+(** The CFA rule in effect at [addr], if registered. *)
+let rule_at t addr =
+  match find_fde t addr with
+  | None -> None
+  | Some f ->
+      let off = addr - f.fde_start in
+      let rec last best = function
+        | [] -> best
+        | (o, r) :: rest -> if o <= off then last (Some r) rest else best
+      in
+      last None (Array.to_list f.fde_rows)
+
+let num_fdes t = List.length t.fdes
+let bytes_written t = t.bytes_written

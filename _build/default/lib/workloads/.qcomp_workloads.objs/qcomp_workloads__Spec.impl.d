@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Datagen Qcomp_plan Qcomp_storage Schema

@@ -1,0 +1,1 @@
+lib/workloads/tpcds.ml: Algebra Array Datagen Expr Int64 List Printf Qcomp_plan Qcomp_storage Qcomp_support Rng Schema Spec Sqlty

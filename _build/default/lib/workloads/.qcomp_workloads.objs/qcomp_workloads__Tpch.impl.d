@@ -1,0 +1,1 @@
+lib/workloads/tpch.ml: Algebra Datagen Expr Qcomp_plan Qcomp_storage Schema Spec Sqlty

@@ -1,0 +1,16 @@
+(** Workload descriptions: table specifications plus query plans.
+
+    Stands in for the TPC-H/TPC-DS kits (dbgen/dsqgen are not
+    redistributable and SQL parsing is out of scope — see DESIGN.md).
+    Scale factors map to row counts; the generators are deterministic. *)
+
+open Qcomp_storage
+
+type table_spec = {
+  schema : Schema.t;
+  gens : Datagen.gen array;
+  rows_at : int -> int;  (** rows as a function of the scale factor *)
+  seed : int64;
+}
+
+type query = { q_name : string; q_plan : Qcomp_plan.Algebra.t }

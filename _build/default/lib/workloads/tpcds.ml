@@ -1,0 +1,512 @@
+(** TPC-DS-like workload: a star schema (three sales fact tables and five
+    dimensions) with 103 generated query plans covering the operator mix
+    that dominates TPC-DS — many-predicate selections, star joins of
+    varying depth, wide decimal aggregations, and top-k reports.
+
+    The real TPC-DS kit is not redistributable; the generated families are
+    a documented substitution (DESIGN.md) whose purpose is to reproduce the
+    paper's *compile-time* workload: 103 queries yielding several thousand
+    generated functions with the code shapes of Sec. III-A. Queries are
+    generated deterministically from per-query seeds. *)
+
+open Qcomp_storage
+open Qcomp_plan
+open Qcomp_support
+open Spec
+
+let store_sales =
+  Schema.make "store_sales"
+    [
+      ("ss_sold_date_sk", Schema.Int32);
+      ("ss_item_sk", Schema.Int64);
+      ("ss_customer_sk", Schema.Int64);
+      ("ss_store_sk", Schema.Int32);
+      ("ss_promo_sk", Schema.Int32);
+      ("ss_quantity", Schema.Int32);
+      ("ss_wholesale_cost", Schema.Decimal 2);
+      ("ss_list_price", Schema.Decimal 2);
+      ("ss_sales_price", Schema.Decimal 2);
+      ("ss_ext_discount_amt", Schema.Decimal 2);
+      ("ss_ext_sales_price", Schema.Decimal 2);
+      ("ss_net_profit", Schema.Decimal 2);
+    ]
+
+let catalog_sales =
+  Schema.make "catalog_sales"
+    [
+      ("cs_sold_date_sk", Schema.Int32);
+      ("cs_item_sk", Schema.Int64);
+      ("cs_customer_sk", Schema.Int64);
+      ("cs_call_center_sk", Schema.Int32);
+      ("cs_quantity", Schema.Int32);
+      ("cs_wholesale_cost", Schema.Decimal 2);
+      ("cs_sales_price", Schema.Decimal 2);
+      ("cs_ext_sales_price", Schema.Decimal 2);
+      ("cs_net_profit", Schema.Decimal 2);
+    ]
+
+let web_sales =
+  Schema.make "web_sales"
+    [
+      ("ws_sold_date_sk", Schema.Int32);
+      ("ws_item_sk", Schema.Int64);
+      ("ws_customer_sk", Schema.Int64);
+      ("ws_web_site_sk", Schema.Int32);
+      ("ws_quantity", Schema.Int32);
+      ("ws_sales_price", Schema.Decimal 2);
+      ("ws_ext_sales_price", Schema.Decimal 2);
+      ("ws_net_profit", Schema.Decimal 2);
+    ]
+
+let date_dim =
+  Schema.make "date_dim"
+    [
+      ("d_date_sk", Schema.Int32);
+      ("d_year", Schema.Int32);
+      ("d_moy", Schema.Int32);
+      ("d_dom", Schema.Int32);
+      ("d_qoy", Schema.Int32);
+      ("d_day_name", Schema.Str);
+    ]
+
+let item =
+  Schema.make "item"
+    [
+      ("i_item_sk", Schema.Int64);
+      ("i_brand", Schema.Str);
+      ("i_category", Schema.Str);
+      ("i_class", Schema.Str);
+      ("i_current_price", Schema.Decimal 2);
+      ("i_manufact_id", Schema.Int32);
+    ]
+
+let customer =
+  Schema.make "ds_customer"
+    [
+      ("c_customer_sk", Schema.Int64);
+      ("c_birth_year", Schema.Int32);
+      ("c_nation", Schema.Int32);
+      ("c_salutation", Schema.Str);
+    ]
+
+let store =
+  Schema.make "store"
+    [ ("s_store_sk", Schema.Int32); ("s_state", Schema.Str); ("s_tax", Schema.Decimal 2) ]
+
+let promotion =
+  Schema.make "promotion"
+    [ ("p_promo_sk", Schema.Int32); ("p_channel", Schema.Str) ]
+
+let categories = [| "Books"; "Electronics"; "Home"; "Jewelry"; "Music"; "Shoes"; "Sports"; "Toys" |]
+let classes = [| "accent"; "classic"; "bridal"; "estate"; "pop"; "rock"; "custom"; "field" |]
+let day_names = [| "Sunday"; "Monday"; "Tuesday"; "Wednesday"; "Thursday"; "Friday"; "Saturday" |]
+let states = [| "CA"; "NY"; "TX"; "WA"; "IL"; "GA"; "OH"; "MI" |]
+let channels = [| "mail"; "web"; "tv"; "radio"; "event" |]
+
+let days = 1825 (* five years of date_dim rows *)
+let ss_rows sf = sf * 5000
+let cs_rows sf = sf * 2500
+let ws_rows sf = sf * 1250
+let item_rows sf = max 100 (sf * 50)
+let cust_rows sf = max 200 (sf * 100)
+let store_rows _ = 20
+let promo_rows _ = 30
+
+let tables sf : table_spec list =
+  [
+    {
+      schema = store_sales;
+      rows_at = ss_rows;
+      seed = 201L;
+      gens =
+        [|
+          Datagen.Uniform (0, days - 1);
+          Datagen.Fk (item_rows sf);
+          Datagen.Fk (cust_rows sf);
+          Datagen.Uniform (0, store_rows sf - 1);
+          Datagen.Uniform (0, promo_rows sf - 1);
+          Datagen.Uniform (1, 100);
+          Datagen.DecimalRange (50, 10000);
+          Datagen.DecimalRange (100, 30000);
+          Datagen.DecimalRange (50, 25000);
+          Datagen.DecimalRange (0, 2000);
+          Datagen.DecimalRange (50, 28000);
+          Datagen.DecimalRange (-5000, 12000);
+        |];
+    };
+    {
+      schema = catalog_sales;
+      rows_at = cs_rows;
+      seed = 202L;
+      gens =
+        [|
+          Datagen.Uniform (0, days - 1);
+          Datagen.Fk (item_rows sf);
+          Datagen.Fk (cust_rows sf);
+          Datagen.Uniform (0, 5);
+          Datagen.Uniform (1, 100);
+          Datagen.DecimalRange (50, 10000);
+          Datagen.DecimalRange (50, 25000);
+          Datagen.DecimalRange (50, 28000);
+          Datagen.DecimalRange (-5000, 12000);
+        |];
+    };
+    {
+      schema = web_sales;
+      rows_at = ws_rows;
+      seed = 203L;
+      gens =
+        [|
+          Datagen.Uniform (0, days - 1);
+          Datagen.Fk (item_rows sf);
+          Datagen.Fk (cust_rows sf);
+          Datagen.Uniform (0, 10);
+          Datagen.Uniform (1, 100);
+          Datagen.DecimalRange (50, 25000);
+          Datagen.DecimalRange (50, 28000);
+          Datagen.DecimalRange (-5000, 12000);
+        |];
+    };
+    {
+      schema = date_dim;
+      rows_at = (fun _ -> days);
+      seed = 204L;
+      gens =
+        [|
+          Datagen.Serial 0;
+          Datagen.Uniform (1998, 2002);
+          Datagen.Uniform (1, 12);
+          Datagen.Uniform (1, 28);
+          Datagen.Uniform (1, 4);
+          Datagen.Words (day_names, 1);
+        |];
+    };
+    {
+      schema = item;
+      rows_at = item_rows;
+      seed = 205L;
+      gens =
+        [|
+          Datagen.Serial 0;
+          Datagen.Pattern "Brand#@@##";
+          Datagen.Words (categories, 1);
+          Datagen.Words (classes, 1);
+          Datagen.DecimalRange (99, 40000);
+          Datagen.Uniform (1, 100);
+        |];
+    };
+    {
+      schema = customer;
+      rows_at = cust_rows;
+      seed = 206L;
+      gens =
+        [|
+          Datagen.Serial 0;
+          Datagen.Uniform (1930, 2000);
+          Datagen.Uniform (0, 24);
+          Datagen.Words ([| "Mr."; "Mrs."; "Ms."; "Dr." |], 1);
+        |];
+    };
+    {
+      schema = store;
+      rows_at = store_rows;
+      seed = 207L;
+      gens = [| Datagen.Serial 0; Datagen.Words (states, 1); Datagen.DecimalRange (0, 10) |];
+    };
+    {
+      schema = promotion;
+      rows_at = promo_rows;
+      seed = 208L;
+      gens = [| Datagen.Serial 0; Datagen.Words (channels, 1) |];
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* query generation *)
+
+open Expr
+open Algebra
+
+type fact = {
+  f_table : string;
+  f_schema : Schema.t;
+  f_date : string;
+  f_item : string;
+  f_cust : string;
+  f_qty : string;
+  f_price : string;
+  f_ext : string;
+  f_profit : string;
+}
+
+let facts =
+  [|
+    {
+      f_table = "store_sales";
+      f_schema = store_sales;
+      f_date = "ss_sold_date_sk";
+      f_item = "ss_item_sk";
+      f_cust = "ss_customer_sk";
+      f_qty = "ss_quantity";
+      f_price = "ss_sales_price";
+      f_ext = "ss_ext_sales_price";
+      f_profit = "ss_net_profit";
+    };
+    {
+      f_table = "catalog_sales";
+      f_schema = catalog_sales;
+      f_date = "cs_sold_date_sk";
+      f_item = "cs_item_sk";
+      f_cust = "cs_customer_sk";
+      f_qty = "cs_quantity";
+      f_price = "cs_sales_price";
+      f_ext = "cs_ext_sales_price";
+      f_profit = "cs_net_profit";
+    };
+    {
+      f_table = "web_sales";
+      f_schema = web_sales;
+      f_date = "ws_sold_date_sk";
+      f_item = "ws_item_sk";
+      f_cust = "ws_customer_sk";
+      f_qty = "ws_quantity";
+      f_price = "ws_sales_price";
+      f_ext = "ws_ext_sales_price";
+      f_profit = "ws_net_profit";
+    };
+  |]
+
+let c schema name = Schema.col_index schema name
+let scan t = Scan { table = t; filter = None }
+let scanf t p = Scan { table = t; filter = Some p }
+
+(* a pile of selection predicates over the fact table, count driven by rng *)
+let fact_preds (f : fact) rng n =
+  let preds =
+    [|
+      (fun () -> col (c f.f_schema f.f_qty) >% int32 (Rng.int_range rng 5 50));
+      (fun () -> col (c f.f_schema f.f_price) >% dec ~scale:2 (Rng.int_range rng 500 8000));
+      (fun () -> col (c f.f_schema f.f_ext) <% dec ~scale:2 (Rng.int_range rng 15000 27000));
+      (fun () -> col (c f.f_schema f.f_profit) >% dec ~scale:2 (Rng.int_range rng (-3000) 1000));
+      (fun () -> col (c f.f_schema f.f_date) >=% int32 (Rng.int_range rng 0 900));
+      (fun () -> col (c f.f_schema f.f_date) <% int32 (Rng.int_range rng 900 1800));
+      (fun () ->
+        Between
+          ( col (c f.f_schema f.f_qty),
+            int32 (Rng.int_range rng 1 20),
+            int32 (Rng.int_range rng 40 100) ));
+    |]
+  in
+  let rec build k acc =
+    if k = 0 then acc else build (k - 1) (And (acc, (Rng.choose rng preds) ()))
+  in
+  build (n - 1) ((Rng.choose rng preds) ())
+
+(* revenue-ish measure with decimal arithmetic *)
+let measure (f : fact) rng base =
+  match Rng.int rng 4 with
+  | 0 -> col (base + c f.f_schema f.f_ext)
+  | 1 ->
+      col (base + c f.f_schema f.f_price)
+      *% Cast (col (base + c f.f_schema f.f_qty), Sqlty.Decimal 0)
+  | 2 -> col (base + c f.f_schema f.f_ext) -% col (base + c f.f_schema f.f_profit)
+  | _ ->
+      col (base + c f.f_schema f.f_ext)
+      *% (dec ~scale:2 100 -% dec ~scale:2 (Rng.int rng 30))
+
+(* small-domain grouping column per fact table *)
+let small_col (f : fact) =
+  match f.f_table with
+  | "store_sales" -> "ss_store_sk"
+  | "catalog_sales" -> "cs_call_center_sk"
+  | _ -> "ws_web_site_sk"
+
+(* family A: scan + many predicates + wide aggregation *)
+let family_scan_agg rng =
+  let f = facts.(Rng.int rng 3) in
+  let npred = Rng.int_range rng 2 6 in
+  Group_by
+    {
+      input = scanf f.f_table (fact_preds f rng npred);
+      keys = [ col (c f.f_schema (small_col f)) ];
+      aggs =
+        [
+          Count_star;
+          Sum (measure f rng 0);
+          Avg (col (c f.f_schema f.f_price));
+          Max (col (c f.f_schema f.f_profit));
+        ];
+    }
+
+(* star join helpers: join the fact to a dimension, tracking the offset of
+   the dimension's columns in the combined output *)
+type star = { plan : Algebra.t; fact : fact; dims : (string * int) list; width : int }
+
+let base_star rng ~with_pred =
+  let f = facts.(Rng.int rng 3) in
+  let plan =
+    if with_pred then scanf f.f_table (fact_preds f rng (Rng.int_range rng 1 4))
+    else scan f.f_table
+  in
+  { plan; fact = f; dims = []; width = Schema.num_cols f.f_schema }
+
+let add_dim rng (st : star) dim_name =
+  let dim_schema, fact_key, dim_key, pred =
+    match dim_name with
+    | "date_dim" ->
+        ( date_dim,
+          st.fact.f_date,
+          "d_date_sk",
+          Some (col (c date_dim "d_year") =% int32 (Rng.int_range rng 1998 2002)) )
+    | "item" ->
+        ( item,
+          st.fact.f_item,
+          "i_item_sk",
+          (if Rng.bool rng then
+             Some (Like (col (c item "i_category"), Rng.choose rng categories))
+           else None) )
+    | "ds_customer" ->
+        ( customer,
+          st.fact.f_cust,
+          "c_customer_sk",
+          Some (col (c customer "c_birth_year") >% int32 (Rng.int_range rng 1940 1990)) )
+    | "store" when st.fact.f_table = "store_sales" ->
+        (store, "ss_store_sk", "s_store_sk", None)
+    | "promotion" when st.fact.f_table = "store_sales" ->
+        (promotion, "ss_promo_sk", "p_promo_sk", None)
+    | _ -> (date_dim, st.fact.f_date, "d_date_sk", None)
+  in
+  let build =
+    match pred with
+    | Some p -> scanf dim_schema.Schema.table_name p
+    | None -> scan dim_schema.Schema.table_name
+  in
+  let plan =
+    Hash_join
+      {
+        probe = st.plan;
+        build;
+        probe_keys = [ col (c st.fact.f_schema fact_key) ];
+        build_keys = [ col (Schema.col_index dim_schema dim_key) ];
+      }
+  in
+  {
+    st with
+    plan;
+    dims = (dim_schema.Schema.table_name, st.width) :: st.dims;
+    width = st.width + Schema.num_cols dim_schema;
+  }
+
+let dim_col (st : star) dim name =
+  let off = List.assoc dim st.dims in
+  let schema =
+    match dim with
+    | "date_dim" -> date_dim
+    | "item" -> item
+    | "ds_customer" -> customer
+    | "store" -> store
+    | "promotion" -> promotion
+    | _ -> invalid_arg "dim"
+  in
+  col (off + Schema.col_index schema name)
+
+(* family B..E: star joins of depth 1..4 with aggregation over a dimension
+   attribute *)
+let family_star rng depth =
+  let st = base_star rng ~with_pred:(Rng.bool rng) in
+  let candidates =
+    if st.fact.f_table = "store_sales" then
+      [ "date_dim"; "item"; "ds_customer"; "store"; "promotion" ]
+    else [ "date_dim"; "item"; "ds_customer" ]
+  in
+  let rec extend st picked k cands =
+    if k = 0 then (st, picked)
+    else
+      match cands with
+      | [] -> (st, picked)
+      | _ ->
+          let d = List.nth cands (Rng.int rng (List.length cands)) in
+          let cands' = List.filter (fun x -> x <> d) cands in
+          extend (add_dim rng st d) (d :: picked) (k - 1) cands'
+  in
+  let st, picked = extend st [] depth candidates in
+  let group_key =
+    match picked with
+    | [] -> col (c st.fact.f_schema (small_col st.fact))
+    | d :: _ -> (
+        match d with
+        | "date_dim" -> dim_col st d "d_moy"
+        | "item" -> dim_col st d "i_category"
+        | "ds_customer" -> dim_col st d "c_nation"
+        | "store" -> dim_col st d "s_state"
+        | _ -> dim_col st d "p_channel")
+  in
+  let agg_src = measure st.fact rng 0 in
+  let plan =
+    Group_by
+      {
+        input = st.plan;
+        keys = [ group_key ];
+        aggs = [ Sum agg_src; Count_star; Avg (col (c st.fact.f_schema st.fact.f_price)) ];
+      }
+  in
+  if Rng.bool rng then
+    Order_by { input = plan; keys = [ (col 1, Desc) ]; limit = Some (Rng.int_range rng 10 100) }
+  else plan
+
+(* family F: decimal-heavy projections with CASE arithmetic *)
+let family_decimal rng =
+  let f = facts.(Rng.int rng 3) in
+  let qty = col (c f.f_schema f.f_qty) in
+  let price = col (c f.f_schema f.f_price) in
+  let ext = col (c f.f_schema f.f_ext) in
+  let profit = col (c f.f_schema f.f_profit) in
+  let margin =
+    Case
+      ( [
+          (qty >% int32 (Rng.int_range rng 30 70), ext -% profit);
+          (price >% dec ~scale:2 (Rng.int_range rng 2000 9000), ext *% dec ~scale:2 95);
+        ],
+        ext )
+  in
+  Group_by
+    {
+      input = scanf f.f_table (fact_preds f rng 2);
+      keys = [ col (c f.f_schema (small_col f)) ];
+      aggs = [ Sum margin; Sum (ext *% price); Avg profit; Min price; Max price ];
+    }
+
+(* family G: top-k reports over a join *)
+let family_report rng =
+  let st = add_dim rng (base_star rng ~with_pred:false) "item" in
+  Order_by
+    {
+      input =
+        Group_by
+          {
+            input = st.plan;
+            keys = [ dim_col st "item" "i_brand" ];
+            aggs = [ Sum (measure st.fact rng 0); Count_star ];
+          };
+      keys = [ (col 1, Desc); (col 0, Asc) ];
+      limit = Some (Rng.int_range rng 5 50);
+    }
+
+(** The 103 queries, deterministically generated. *)
+let queries : query list =
+  let qs = ref [] in
+  let add name plan = qs := { q_name = name; q_plan = plan } :: !qs in
+  let idx = ref 0 in
+  let next family =
+    incr idx;
+    let rng = Rng.create (Int64.of_int (0xD5 * !idx)) in
+    add (Printf.sprintf "ds%03d" !idx) (family rng)
+  in
+  for _ = 1 to 14 do next family_scan_agg done;
+  for _ = 1 to 20 do next (fun rng -> family_star rng 1) done;
+  for _ = 1 to 20 do next (fun rng -> family_star rng 2) done;
+  for _ = 1 to 17 do next (fun rng -> family_star rng 3) done;
+  for _ = 1 to 14 do next (fun rng -> family_star rng 4) done;
+  for _ = 1 to 10 do next family_decimal done;
+  for _ = 1 to 8 do next family_report done;
+  List.rev !qs

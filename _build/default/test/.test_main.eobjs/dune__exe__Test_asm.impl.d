@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Asm Bytes Format Int64 List Minst QCheck2 QCheck_alcotest Qcomp_vm Target

@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Algebra Datagen Engine Expr List Printf Qcomp_backend Qcomp_codegen Qcomp_engine Qcomp_plan Qcomp_storage Qcomp_support Qcomp_vm Schema

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset List QCheck2 QCheck_alcotest Qcomp_support

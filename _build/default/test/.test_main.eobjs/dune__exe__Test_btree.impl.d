@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree Int List Map Option QCheck2 QCheck_alcotest Qcomp_support

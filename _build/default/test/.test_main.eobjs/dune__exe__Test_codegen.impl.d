@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Algebra Array Datagen Engine Expr List Qcomp_codegen Qcomp_engine Qcomp_ir Qcomp_plan Qcomp_storage Qcomp_support Qcomp_vm Schema

@@ -1,0 +1,1 @@
+test/test_cparse.ml: Alcotest Cgen Clex Cparse Int64 List Qcomp_codegen Qcomp_engine Qcomp_gcc Qcomp_plan Qcomp_storage Qcomp_vm String

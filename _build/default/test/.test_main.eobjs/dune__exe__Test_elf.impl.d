@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Bytes Char Elf List Printf Qcomp_llvm String

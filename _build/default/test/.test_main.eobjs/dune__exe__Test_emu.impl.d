@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Array Asm Emu Int64 List Memory Minst Qcomp_support Qcomp_vm Target

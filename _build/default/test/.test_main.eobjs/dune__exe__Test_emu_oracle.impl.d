@@ -1,0 +1,1 @@
+test/test_emu_oracle.ml: Array Asm Emu Int64 List Minst QCheck2 QCheck_alcotest Qcomp_vm Target

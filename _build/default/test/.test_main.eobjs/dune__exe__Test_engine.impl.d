@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Algebra Datagen Engine Expr Int64 List Printf Qcomp_engine Qcomp_plan Qcomp_storage Qcomp_support Qcomp_vm Schema Table

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Algebra Array Expr Fmt List Qcomp_plan Qcomp_storage Sqlty

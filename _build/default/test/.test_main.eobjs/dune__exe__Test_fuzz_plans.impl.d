@@ -1,0 +1,1 @@
+test/test_fuzz_plans.ml: Algebra Datagen Engine Expr Int64 List Printf QCheck2 QCheck_alcotest Qcomp_engine Qcomp_plan Qcomp_runtime Qcomp_storage Qcomp_support Qcomp_vm Schema Sqlty String

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Graph List QCheck2 QCheck_alcotest Qcomp_ir

@@ -1,0 +1,1 @@
+test/test_hashes.ml: Alcotest Hashes Hashtbl I128 Int64 QCheck2 QCheck_alcotest Qcomp_support

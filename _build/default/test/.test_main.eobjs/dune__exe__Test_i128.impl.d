@@ -1,0 +1,1 @@
+test/test_i128.ml: Alcotest I128 Int64 List QCheck2 QCheck_alcotest Qcomp_support

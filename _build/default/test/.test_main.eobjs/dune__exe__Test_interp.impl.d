@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Algebra Array Engine Expr Int64 List Qcomp_engine Qcomp_plan Qcomp_runtime Qcomp_storage Qcomp_support Qcomp_vm Schema Table

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Bitset Builder Func I128 Liveness Op Printer Qcomp_ir Qcomp_support String Ty Vec Verify

@@ -1,0 +1,1 @@
+test/test_jitlink.ml: Alcotest Array Asm Bytes Elf Emu Hashtbl Int64 Jitlink Minst Mir Mpasses Qcomp_llvm Qcomp_support Qcomp_vm Target Unwind

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array List QCheck2 QCheck_alcotest Qcomp_codegen Qcomp_plan Sqlty

@@ -1,0 +1,1 @@
+test/test_lpasses.ml: Alcotest Array Lir List Lpasses Qcomp_ir Qcomp_llvm Qcomp_support Timing

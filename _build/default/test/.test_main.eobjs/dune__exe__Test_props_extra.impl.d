@@ -1,0 +1,1 @@
+test/test_props_extra.ml: Array Asm Bytes Hashtbl Int64 List Memory Minst Option QCheck2 QCheck_alcotest Qcomp_runtime Qcomp_vm Sso String Target

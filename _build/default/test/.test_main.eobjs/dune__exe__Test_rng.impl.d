@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Hashtbl Int64 Qcomp_support Rng

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Hashtbl Htable Int64 List Memory QCheck2 QCheck_alcotest Qcomp_runtime Qcomp_support Qcomp_vm Sso String Tuplebuf

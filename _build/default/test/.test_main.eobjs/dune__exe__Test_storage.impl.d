@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Datagen Int64 List Memory Qcomp_storage Qcomp_vm Schema String Table

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest List Printf Qcomp_support String Timing

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest List QCheck2 QCheck_alcotest Qcomp_support Vec

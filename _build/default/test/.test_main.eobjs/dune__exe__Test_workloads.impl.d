@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Engine Experiments List Printf Qcomp_codegen Qcomp_engine Qcomp_ir Qcomp_plan Qcomp_vm Qcomp_workloads

@@ -1,0 +1,150 @@
+(* Cross-back-end differential tests: every compiling back-end must produce
+   the interpreter's results on plans covering scans, joins, aggregation,
+   strings, decimals and sorting — on both virtual targets. *)
+
+open Qcomp_engine
+open Qcomp_plan
+open Qcomp_storage
+
+let check = Alcotest.check
+
+let make_db target =
+  let db = Engine.create_db ~mem_size:(1 lsl 25) target in
+  let t =
+    Schema.make "t"
+      [ ("id", Schema.Int64); ("grp", Schema.Int32); ("amt", Schema.Decimal 2);
+        ("tag", Schema.Str); ("d", Schema.Date) ]
+  in
+  let dim = Schema.make "dim" [ ("k", Schema.Int32); ("name", Schema.Str) ] in
+  let _ =
+    Engine.add_table db t ~rows:300 ~seed:11L
+      [| Datagen.Serial 0; Datagen.Uniform (0, 9); Datagen.DecimalRange (-500, 5000);
+         Datagen.Words (Datagen.word_pool, 2); Datagen.DateRange (0, 1000) |]
+  in
+  let _ =
+    Engine.add_table db dim ~rows:10 ~seed:12L
+      [| Datagen.Serial 0; Datagen.Words (Datagen.word_pool, 1) |]
+  in
+  db
+
+let scan = Algebra.Scan { table = "t"; filter = None }
+
+let plans =
+  [
+    ("filter", Algebra.Filter { input = scan; pred = Expr.(col 1 >% int32 5) });
+    ( "project",
+      Algebra.Project
+        { input = scan; exprs = Expr.[ col 0 *% int64 3L; col 2 +% col 2; col 2 *% col 2 ] } );
+    ( "agg",
+      Algebra.Group_by
+        {
+          input = scan;
+          keys = [ Expr.col 1 ];
+          aggs = [ Algebra.Count_star; Algebra.Sum (Expr.col 2); Algebra.Avg (Expr.col 2) ];
+        } );
+    ( "join",
+      Algebra.Hash_join
+        {
+          build = Algebra.Scan { table = "dim"; filter = None };
+          probe = scan;
+          build_keys = [ Expr.col 0 ];
+          probe_keys = [ Expr.col 1 ];
+        } );
+    ( "sort",
+      Algebra.Order_by
+        { input = scan; keys = [ (Expr.col 2, Algebra.Desc) ]; limit = Some 17 } );
+    ( "strings",
+      Algebra.Group_by
+        {
+          input = Algebra.Filter { input = scan; pred = Expr.Like (Expr.col 3, "%a%") };
+          keys = [ Expr.col 3 ];
+          aggs = [ Algebra.Count_star ];
+        } );
+    ( "dates",
+      Algebra.Filter
+        { input = scan; pred = Expr.(Between (col 4, date 100, date 500)) } );
+  ]
+
+let run target backend plan =
+  let db = make_db target in
+  let timing = Qcomp_support.Timing.create ~enabled:false () in
+  let r, _, _ = Engine.run_plan db ~backend ~timing ~name:"q" plan in
+  (Engine.checksum r.Engine.rows, r.Engine.output_count)
+
+let backends_x64 =
+  [
+    ("directemit", Engine.directemit);
+    ("cranelift", Engine.cranelift);
+    ("llvm-cheap", Engine.llvm_cheap);
+    ("llvm-opt", Engine.llvm_opt);
+    ("gcc", Engine.gcc);
+  ]
+
+(* DirectEmit is x86-64-only, exactly like Umbra's *)
+let backends_a64 = List.filter (fun (n, _) -> n <> "directemit") backends_x64
+
+let differential target backends =
+  List.concat_map
+    (fun (pname, plan) ->
+      let expect = run target Engine.interpreter plan in
+      List.map
+        (fun (bname, backend) ->
+          Alcotest.test_case (Printf.sprintf "%s/%s" bname pname) `Slow (fun () ->
+              let got = run target backend plan in
+              check
+                Alcotest.(pair int64 int)
+                "matches interpreter" expect got))
+        backends)
+    plans
+
+let unit_cases =
+  [
+    Alcotest.test_case "all back-ends report code and functions" `Quick (fun () ->
+        let db = make_db Qcomp_vm.Target.x64 in
+        let cq = Engine.plan_to_ir db ~name:"q" (List.assoc "agg" plans) in
+        List.iter
+          (fun (name, b) ->
+            let timing = Qcomp_support.Timing.create ~enabled:false () in
+            let cm =
+              Qcomp_backend.Backend.compile_module b ~timing ~emu:db.Engine.emu
+                ~registry:db.Engine.registry ~unwind:db.Engine.unwind
+                cq.Qcomp_codegen.Codegen.modul
+            in
+            check Alcotest.bool (name ^ " has functions") true
+              (List.length cm.Qcomp_backend.Backend.cm_functions > 0);
+            check Alcotest.bool (name ^ " nonzero code") true
+              (cm.Qcomp_backend.Backend.cm_code_size > 0))
+          backends_x64);
+    Alcotest.test_case "fastisel reports fallback statistics" `Quick (fun () ->
+        let db = make_db Qcomp_vm.Target.x64 in
+        let cq = Engine.plan_to_ir db ~name:"q" (List.assoc "agg" plans) in
+        let timing = Qcomp_support.Timing.create ~enabled:false () in
+        let cm =
+          Qcomp_backend.Backend.compile_module Engine.llvm_cheap ~timing
+            ~emu:db.Engine.emu ~registry:db.Engine.registry ~unwind:db.Engine.unwind
+            cq.Qcomp_codegen.Codegen.modul
+        in
+        (* decimal aggregation forces i128 fallbacks, as in the paper *)
+        check Alcotest.bool "i128 fallbacks counted" true
+          (List.exists
+             (fun (k, v) -> k = "fallback_i128" && v > 0)
+             cm.Qcomp_backend.Backend.cm_stats));
+    Alcotest.test_case "cranelift reports btree statistics" `Quick (fun () ->
+        let db = make_db Qcomp_vm.Target.x64 in
+        let cq = Engine.plan_to_ir db ~name:"q" (List.assoc "join" plans) in
+        let timing = Qcomp_support.Timing.create ~enabled:false () in
+        let cm =
+          Qcomp_backend.Backend.compile_module Engine.cranelift ~timing
+            ~emu:db.Engine.emu ~registry:db.Engine.registry ~unwind:db.Engine.unwind
+            cq.Qcomp_codegen.Codegen.modul
+        in
+        check Alcotest.bool "btree ops counted" true
+          (List.exists
+             (fun (k, v) -> k = "btree_ops" && v > 0)
+             cm.Qcomp_backend.Backend.cm_stats));
+  ]
+
+let suite =
+  unit_cases
+  @ differential Qcomp_vm.Target.x64 backends_x64
+  @ differential Qcomp_vm.Target.a64 backends_a64

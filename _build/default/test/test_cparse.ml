@@ -1,0 +1,137 @@
+(* The GCC back-end's C dialect: lexer/parser unit tests on the exact shapes
+   Cgen emits, plus error reporting. *)
+
+open Qcomp_gcc
+
+let check = Alcotest.check
+
+let parse = Cparse.parse
+
+let suite =
+  [
+    Alcotest.test_case "minimal function" `Quick (fun () ->
+        let u = parse "long f(long v0) { long v1; v1 = v0 + 1; return v1; }" in
+        check Alcotest.int "one func" 1 (List.length u.Cparse.funcs);
+        let f = List.hd u.Cparse.funcs in
+        check Alcotest.string "name" "f" f.Cparse.cf_name;
+        check Alcotest.int "params" 1 (List.length f.Cparse.cf_params);
+        check Alcotest.int "locals" 1 (List.length f.Cparse.cf_locals);
+        check Alcotest.int "stmts" 2 (List.length f.Cparse.cf_body));
+    Alcotest.test_case "externs collected" `Quick (fun () ->
+        let u =
+          parse
+            "typedef __int128 i128;\n\
+             extern long umbra_htLookup(long, long);\n\
+             extern void umbra_throwOverflow(void);\n\
+             void g(void) { return; }"
+        in
+        check Alcotest.int "two externs" 2 (List.length u.Cparse.externs);
+        let name, ret, args = List.hd u.Cparse.externs in
+        check Alcotest.string "first" "umbra_htLookup" name;
+        check Alcotest.bool "ret long" true (ret = Cparse.Clong);
+        check Alcotest.int "arity" 2 (List.length args));
+    Alcotest.test_case "labels and gotos" `Quick (fun () ->
+        let u =
+          parse
+            "void f(long v0) { L0: if (v0 < 10) goto L1; else goto L2;\n\
+             L1: v0 = v0 + 1; goto L0;\n\
+             L2: return; }"
+        in
+        let f = List.hd u.Cparse.funcs in
+        let labels =
+          List.filter_map
+            (function Cparse.Slabel l -> Some l | _ -> None)
+            f.Cparse.cf_body
+        in
+        check Alcotest.(list string) "labels" [ "L0"; "L1"; "L2" ] labels);
+    Alcotest.test_case "precedence: mul binds tighter than add and shift" `Quick
+      (fun () ->
+        let u = parse "long f(long v0) { long v1; v1 = v0 + v0 * 2 << 1; return v1; }" in
+        let f = List.hd u.Cparse.funcs in
+        match f.Cparse.cf_body with
+        | Cparse.Sassign (_, Cparse.Ebin ("<<", Cparse.Ebin ("+", _, Cparse.Ebin ("*", _, _)), _)) :: _ -> ()
+        | Cparse.Sassign (_, e) :: _ ->
+            Alcotest.failf "unexpected tree %s"
+              (match e with Cparse.Ebin (op, _, _) -> op | _ -> "?")
+        | _ -> Alcotest.fail "expected assignment");
+    Alcotest.test_case "comparison and logical operators" `Quick (fun () ->
+        let u = parse "long f(long a, long b) { long c; c = a <= b && a != 0; return c; }" in
+        let f = List.hd u.Cparse.funcs in
+        match f.Cparse.cf_body with
+        | Cparse.Sassign (_, Cparse.Ebin ("&&", Cparse.Ebin ("<=", _, _), Cparse.Ebin ("!=", _, _))) :: _ -> ()
+        | _ -> Alcotest.fail "wrong tree");
+    Alcotest.test_case "ternary conditional" `Quick (fun () ->
+        let u = parse "long f(long a) { long b; b = a < 0 ? 0 - a : a; return b; }" in
+        let f = List.hd u.Cparse.funcs in
+        match f.Cparse.cf_body with
+        | Cparse.Sassign (_, Cparse.Econd (_, _, _)) :: _ -> ()
+        | _ -> Alcotest.fail "expected conditional");
+    Alcotest.test_case "typed loads and stores" `Quick (fun () ->
+        let u =
+          parse
+            "void f(long v0) { long v1; v1 = *(int*)(v0 + 4); *(short*)(v0) = v1; return; }"
+        in
+        let f = List.hd u.Cparse.funcs in
+        (match f.Cparse.cf_body with
+        | Cparse.Sassign (_, Cparse.Ederef (Cparse.Cint, _)) :: Cparse.Sstore (Cparse.Cshort, _, _) :: _ -> ()
+        | _ -> Alcotest.fail "expected deref/store");
+        ());
+    Alcotest.test_case "casts including unsigned and i128" `Quick (fun () ->
+        let u =
+          parse
+            "typedef __int128 i128;\n\
+             long f(long a) { i128 w; long r; w = (i128)a * (i128)a; r = (long)(w >> 64); return r; }"
+        in
+        let f = List.hd u.Cparse.funcs in
+        check Alcotest.int "two locals" 2 (List.length f.Cparse.cf_locals));
+    Alcotest.test_case "calls with arguments" `Quick (fun () ->
+        let u =
+          parse
+            "extern long h(long, long);\nlong f(long a) { long r; r = h(a, 7); return r; }"
+        in
+        let f = List.hd u.Cparse.funcs in
+        match f.Cparse.cf_body with
+        | Cparse.Sassign (_, Cparse.Ecall ("h", [ _; _ ])) :: _ -> ()
+        | _ -> Alcotest.fail "expected call");
+    Alcotest.test_case "hex and negative literals" `Quick (fun () ->
+        let u = parse "long f(void) { long a; a = 0x7fffffffffffffff + -1; return a; }" in
+        let f = List.hd u.Cparse.funcs in
+        match f.Cparse.cf_body with
+        | Cparse.Sassign (_, Cparse.Ebin ("+", Cparse.Eint v, _)) :: _ ->
+            check Alcotest.int64 "hex" Int64.max_int v
+        | _ -> Alcotest.fail "expected literal add");
+    Alcotest.test_case "syntax error has line number" `Quick (fun () ->
+        match parse "long f(void) {\n  long a\n  return a; }" with
+        | exception (Cparse.Parse_error msg | Clex.Lex_error msg) ->
+            check Alcotest.bool "mentions a line" true
+              (String.length msg > 5 && String.sub msg 0 4 = "line")
+        | _ -> Alcotest.fail "expected parse error");
+    Alcotest.test_case "unbalanced parens rejected" `Quick (fun () ->
+        match parse "long f(void) { long a; a = (1 + 2; return a; }" with
+        | exception (Cparse.Parse_error _ | Clex.Lex_error _) -> ()
+        | _ -> Alcotest.fail "expected parse error");
+    Alcotest.test_case "generated C for a real query parses" `Quick (fun () ->
+        (* end-to-end: run Cgen on a tiny compiled plan and feed its exact
+           output back through the parser *)
+        let db = Qcomp_engine.Engine.create_db ~mem_size:(1 lsl 22) Qcomp_vm.Target.x64 in
+        let schema =
+          Qcomp_storage.Schema.make "t"
+            [ ("id", Qcomp_storage.Schema.Int64); ("g", Qcomp_storage.Schema.Int32) ]
+        in
+        let _ =
+          Qcomp_engine.Engine.add_table db schema ~rows:10 ~seed:1L
+            [| Qcomp_storage.Datagen.Serial 0; Qcomp_storage.Datagen.Uniform (0, 3) |]
+        in
+        let plan =
+          Qcomp_plan.Algebra.Group_by
+            {
+              input = Qcomp_plan.Algebra.Scan { table = "t"; filter = None };
+              keys = [ Qcomp_plan.Expr.col 1 ];
+              aggs = [ Qcomp_plan.Algebra.Sum (Qcomp_plan.Expr.col 0) ];
+            }
+        in
+        let cq = Qcomp_engine.Engine.plan_to_ir db ~name:"q" plan in
+        let text = Cgen.generate cq.Qcomp_codegen.Codegen.modul in
+        let u = parse text in
+        check Alcotest.bool "several functions" true (List.length u.Cparse.funcs >= 3));
+  ]

@@ -1,0 +1,76 @@
+(* ELF object writer/parser roundtrip (the MC -> JITLink seam). *)
+
+open Qcomp_llvm
+
+let check = Alcotest.check
+
+let sample_obj =
+  {
+    Elf.o_text = Bytes.of_string "\x48\x89\xc8\xc3 some code bytes";
+    o_syms =
+      [
+        { Elf.s_name = "f1"; s_off = 0; s_size = 4; s_defined = true };
+        { Elf.s_name = "f2"; s_off = 4; s_size = 16; s_defined = true };
+        { Elf.s_name = "umbra_htLookup"; s_off = 0; s_size = 0; s_defined = false };
+      ];
+    o_relocs =
+      [
+        { Elf.r_off = 2; r_sym = "umbra_htLookup"; r_kind = Elf.Plt32 };
+        { Elf.r_off = 8; r_sym = "f1"; r_kind = Elf.Abs64 };
+      ];
+  }
+
+let suite =
+  [
+    Alcotest.test_case "write/parse roundtrip" `Quick (fun () ->
+        let b = Elf.write sample_obj in
+        let o = Elf.parse b in
+        check Alcotest.string "text preserved"
+          (Bytes.to_string sample_obj.Elf.o_text)
+          (Bytes.to_string o.Elf.o_text);
+        check Alcotest.int "symbols" 3 (List.length o.Elf.o_syms);
+        check Alcotest.int "relocs" 2 (List.length o.Elf.o_relocs));
+    Alcotest.test_case "symbol attributes survive" `Quick (fun () ->
+        let o = Elf.parse (Elf.write sample_obj) in
+        let f2 = List.find (fun s -> s.Elf.s_name = "f2") o.Elf.o_syms in
+        check Alcotest.int "off" 4 f2.Elf.s_off;
+        check Alcotest.int "size" 16 f2.Elf.s_size;
+        check Alcotest.bool "defined" true f2.Elf.s_defined;
+        let und = List.find (fun s -> s.Elf.s_name = "umbra_htLookup") o.Elf.o_syms in
+        check Alcotest.bool "undefined" false und.Elf.s_defined);
+    Alcotest.test_case "reloc kinds survive" `Quick (fun () ->
+        let o = Elf.parse (Elf.write sample_obj) in
+        let plt = List.find (fun r -> r.Elf.r_kind = Elf.Plt32) o.Elf.o_relocs in
+        check Alcotest.string "plt target" "umbra_htLookup" plt.Elf.r_sym;
+        check Alcotest.int "plt off" 2 plt.Elf.r_off;
+        let abs = List.find (fun r -> r.Elf.r_kind = Elf.Abs64) o.Elf.o_relocs in
+        check Alcotest.string "abs target" "f1" abs.Elf.r_sym);
+    Alcotest.test_case "magic bytes present" `Quick (fun () ->
+        let b = Elf.write sample_obj in
+        check Alcotest.int "0x7F" 0x7F (Char.code (Bytes.get b 0));
+        check Alcotest.char "E" 'E' (Bytes.get b 1);
+        check Alcotest.char "L" 'L' (Bytes.get b 2);
+        check Alcotest.char "F" 'F' (Bytes.get b 3));
+    Alcotest.test_case "corrupt magic rejected" `Quick (fun () ->
+        let b = Elf.write sample_obj in
+        Bytes.set b 1 'X';
+        match Elf.parse b with
+        | exception Elf.Bad_object _ -> ()
+        | _ -> Alcotest.fail "expected Bad_object");
+    Alcotest.test_case "empty object roundtrips" `Quick (fun () ->
+        let o = { Elf.o_text = Bytes.create 0; o_syms = []; o_relocs = [] } in
+        let o' = Elf.parse (Elf.write o) in
+        check Alcotest.int "no text" 0 (Bytes.length o'.Elf.o_text);
+        check Alcotest.int "no syms" 0 (List.length o'.Elf.o_syms));
+    Alcotest.test_case "unicode-free long names" `Quick (fun () ->
+        let name = String.concat "_" (List.init 30 (fun i -> Printf.sprintf "seg%d" i)) in
+        let o =
+          {
+            Elf.o_text = Bytes.of_string "xx";
+            o_syms = [ { Elf.s_name = name; s_off = 0; s_size = 2; s_defined = true } ];
+            o_relocs = [];
+          }
+        in
+        let o' = Elf.parse (Elf.write o) in
+        check Alcotest.string "name" name (List.hd o'.Elf.o_syms).Elf.s_name);
+  ]

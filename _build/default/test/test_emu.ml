@@ -1,0 +1,248 @@
+(* Emulator semantics: arithmetic, flags, memory, control flow, calls into
+   the runtime registry, and the cycle model — on both targets. *)
+
+open Qcomp_vm
+
+let check = Alcotest.check
+
+(* assemble, load, call with args, return primary result *)
+let run target insts ~args =
+  let emu = Emu.create ~mem_size:(1 lsl 20) target in
+  let a = Asm.create target in
+  List.iter (Asm.emit a) insts;
+  let base = Emu.register_code emu (Asm.finish a) in
+  fst (Emu.call emu ~addr:base ~args)
+
+let x64_args = Target.x64.Target.arg_regs
+let a64_args = Target.a64.Target.arg_regs
+
+let suite =
+  [
+    Alcotest.test_case "x64 add" `Quick (fun () ->
+        let r =
+          run Target.x64 ~args:[| 40L; 2L |]
+            [
+              Minst.Mov_rr (0, x64_args.(0));
+              Minst.Alu_rr (Minst.Add, 0, x64_args.(1));
+              Minst.Ret;
+            ]
+        in
+        check Alcotest.int64 "42" 42L r);
+    Alcotest.test_case "a64 three-address add" `Quick (fun () ->
+        let r =
+          run Target.a64 ~args:[| 40L; 2L |]
+            [ Minst.Alu_rrr (Minst.Add, 0, a64_args.(0), a64_args.(1)); Minst.Ret ]
+        in
+        check Alcotest.int64 "42" 42L r);
+    Alcotest.test_case "x64 flags: sub sets zero" `Quick (fun () ->
+        let r =
+          run Target.x64 ~args:[| 7L; 7L |]
+            [
+              Minst.Mov_rr (0, x64_args.(0));
+              Minst.Cmp_rr (0, x64_args.(1));
+              Minst.Setcc (Minst.Eq, 0);
+              Minst.Ret;
+            ]
+        in
+        check Alcotest.int64 "eq" 1L r);
+    Alcotest.test_case "signed overflow flag on add" `Quick (fun () ->
+        let r =
+          run Target.x64 ~args:[| Int64.max_int; 1L |]
+            [
+              Minst.Mov_rr (0, x64_args.(0));
+              Minst.Alu_rr (Minst.Add, 0, x64_args.(1));
+              Minst.Setcc (Minst.Ov, 0);
+              Minst.Ret;
+            ]
+        in
+        check Alcotest.int64 "overflowed" 1L r);
+    Alcotest.test_case "no overflow on benign add" `Quick (fun () ->
+        let r =
+          run Target.x64 ~args:[| 1L; 1L |]
+            [
+              Minst.Mov_rr (0, x64_args.(0));
+              Minst.Alu_rr (Minst.Add, 0, x64_args.(1));
+              Minst.Setcc (Minst.Ov, 0);
+              Minst.Ret;
+            ]
+        in
+        check Alcotest.int64 "clean" 0L r);
+    Alcotest.test_case "adc/sbb carry chain (128-bit add)" `Quick (fun () ->
+        (* lo=all-ones + 1 carries into hi *)
+        let r =
+          run Target.x64 ~args:[| -1L; 1L |]
+            [
+              Minst.Mov_rr (0, x64_args.(0));
+              Minst.Alu_ri (Minst.Add, 0, 1L);
+              (* carry set; hi = 0 + 0 + carry *)
+              Minst.Mov_ri (1, 0L);
+              Minst.Alu_ri (Minst.Adc, 1, 0L);
+              Minst.Mov_rr (0, 1);
+              Minst.Ret;
+            ]
+        in
+        check Alcotest.int64 "carried" 1L r);
+    Alcotest.test_case "mul_wide rdx:rax" `Quick (fun () ->
+        (* (2^32)^2 = 2^64: rax = 0, rdx = 1 *)
+        let r =
+          run Target.x64 ~args:[| 0x1_0000_0000L |]
+            [
+              Minst.Mov_rr (0, x64_args.(0));
+              Minst.Mov_rr (1, x64_args.(0));
+              Minst.Mul_wide { signed = false; src = 1 };
+              Minst.Mov_rr (0, 2) (* rdx *);
+              Minst.Ret;
+            ]
+        in
+        check Alcotest.int64 "high word" 1L r);
+    Alcotest.test_case "x64 div and remainder" `Quick (fun () ->
+        let insts want_rem =
+          [
+            Minst.Mov_rr (0, x64_args.(0));
+            Minst.Mov_ri (2, 0L);
+            Minst.Div { signed = false; src = x64_args.(1) };
+            Minst.Mov_rr (0, if want_rem then 2 else 0);
+            Minst.Ret;
+          ]
+        in
+        check Alcotest.int64 "quot" 6L (run Target.x64 ~args:[| 45L; 7L |] (insts false));
+        check Alcotest.int64 "rem" 3L (run Target.x64 ~args:[| 45L; 7L |] (insts true)));
+    Alcotest.test_case "a64 div + msub remainder idiom" `Quick (fun () ->
+        let r =
+          run Target.a64 ~args:[| 45L; 7L |]
+            [
+              Minst.Div_rrr { signed = true; dst = 2; a = a64_args.(0); b = a64_args.(1) };
+              Minst.Msub { dst = 0; a = 2; b = a64_args.(1); c = a64_args.(0) };
+              Minst.Ret;
+            ]
+        in
+        check Alcotest.int64 "rem" 3L r);
+    Alcotest.test_case "load/store roundtrip with sizes" `Quick (fun () ->
+        let emu = Emu.create ~mem_size:(1 lsl 20) Target.x64 in
+        let a = Asm.create Target.x64 in
+        (* store arg1 byte at [arg0], load back sign-extended *)
+        List.iter (Asm.emit a)
+          [
+            Minst.St { src = x64_args.(1); base = x64_args.(0); off = 0; size = 1 };
+            Minst.Ld { dst = 0; base = x64_args.(0); off = 0; size = 1; sext = true };
+            Minst.Ret;
+          ];
+        let base = Emu.register_code emu (Asm.finish a) in
+        let buf = Memory.alloc (Emu.memory emu) 16 in
+        let r, _ = Emu.call emu ~addr:base ~args:[| Int64.of_int buf; 0xFFL |] in
+        check Alcotest.int64 "sext byte" (-1L) r);
+    Alcotest.test_case "crc32 instruction matches Hashes" `Quick (fun () ->
+        let r =
+          run Target.x64 ~args:[| 0x1234L; 0x5678L |]
+            [
+              Minst.Mov_rr (0, x64_args.(0));
+              Minst.Crc32_rr (0, x64_args.(1));
+              Minst.Ret;
+            ]
+        in
+        check Alcotest.int64 "crc" (Qcomp_support.Hashes.crc32c 0x1234L 0x5678L) r);
+    Alcotest.test_case "branches: loop sums 1..n" `Quick (fun () ->
+        (* while (n > 0) { acc += n; n--; } return acc *)
+        let emu = Emu.create ~mem_size:(1 lsl 20) Target.x64 in
+        let a = Asm.create Target.x64 in
+        let head = Asm.new_label a and exit = Asm.new_label a in
+        Asm.emit a (Minst.Mov_ri (0, 0L));
+        Asm.bind a head;
+        Asm.emit a (Minst.Cmp_ri (x64_args.(0), 0L));
+        Asm.jcc a Minst.Sle exit;
+        Asm.emit a (Minst.Alu_rr (Minst.Add, 0, x64_args.(0)));
+        Asm.emit a (Minst.Alu_ri (Minst.Sub, x64_args.(0), 1L));
+        Asm.jmp a head;
+        Asm.bind a exit;
+        Asm.emit a Minst.Ret;
+        let base = Emu.register_code emu (Asm.finish a) in
+        let r, _ = Emu.call emu ~addr:base ~args:[| 10L |] in
+        check Alcotest.int64 "55" 55L r);
+    Alcotest.test_case "runtime dispatch: OCaml function callable" `Quick (fun () ->
+        let emu = Emu.create ~mem_size:(1 lsl 20) Target.x64 in
+        let addr =
+          Emu.add_runtime emu "double_it" (fun e ->
+              let v = Emu.reg e (Emu.arg_reg e 0) in
+              Emu.set_reg e Target.x64.Target.ret_regs.(0) (Int64.mul v 2L))
+        in
+        let a = Asm.create Target.x64 in
+        List.iter (Asm.emit a)
+          [
+            Minst.Mov_ri (1, addr);
+            Minst.Call_ind 1;
+            Minst.Ret;
+          ];
+        let base = Emu.register_code emu (Asm.finish a) in
+        let r, _ = Emu.call emu ~addr:base ~args:[| 21L |] in
+        check Alcotest.int64 "doubled" 42L r);
+    Alcotest.test_case "runtime call balances the stack" `Quick (fun () ->
+        let emu = Emu.create ~mem_size:(1 lsl 20) Target.x64 in
+        let addr = Emu.add_runtime emu "noop" (fun _ -> ()) in
+        let a = Asm.create Target.x64 in
+        let sp = Target.x64.Target.sp in
+        List.iter (Asm.emit a)
+          [
+            Minst.Mov_rr (0, sp);
+            Minst.Mov_ri (1, addr);
+            Minst.Call_ind 1;
+            Minst.Call_ind 1;
+            Minst.Alu_rr (Minst.Sub, 0, sp);
+            Minst.Ret;
+          ];
+        let base = Emu.register_code emu (Asm.finish a) in
+        let r, _ = Emu.call emu ~addr:base ~args:[||] in
+        check Alcotest.int64 "sp preserved" 0L r);
+    Alcotest.test_case "brk raises Trap" `Quick (fun () ->
+        match run Target.x64 ~args:[||] [ Minst.Brk 7 ] with
+        | exception Emu.Trap _ -> ()
+        | _ -> Alcotest.fail "expected trap");
+    Alcotest.test_case "jump to unmapped address traps" `Quick (fun () ->
+        match
+          run Target.x64 ~args:[||]
+            [ Minst.Mov_ri (1, 0xDEAD000L); Minst.Jmp_ind 1 ]
+        with
+        | exception Emu.Trap _ -> ()
+        | _ -> Alcotest.fail "expected trap");
+    Alcotest.test_case "cycles accumulate monotonically" `Quick (fun () ->
+        let emu = Emu.create ~mem_size:(1 lsl 20) Target.x64 in
+        let a = Asm.create Target.x64 in
+        List.iter (Asm.emit a) [ Minst.Mov_ri (0, 1L); Minst.Ret ];
+        let base = Emu.register_code emu (Asm.finish a) in
+        ignore (Emu.call emu ~addr:base ~args:[||]);
+        let c1 = Emu.cycles emu in
+        ignore (Emu.call emu ~addr:base ~args:[||]);
+        check Alcotest.bool "grows" true (Emu.cycles emu > c1);
+        Emu.reset_counters emu;
+        check Alcotest.int "reset" 0 (Emu.cycles emu));
+    Alcotest.test_case "a64 csel both ways" `Quick (fun () ->
+        let prog c =
+          [
+            Minst.Cmp_rr (a64_args.(0), a64_args.(1));
+            Minst.Csel { cond = c; dst = 0; a = a64_args.(0); b = a64_args.(1) };
+            Minst.Ret;
+          ]
+        in
+        check Alcotest.int64 "min" 3L (run Target.a64 ~args:[| 3L; 9L |] (prog Minst.Slt));
+        check Alcotest.int64 "max" 9L (run Target.a64 ~args:[| 3L; 9L |] (prog Minst.Sgt)));
+    Alcotest.test_case "float ops on bit patterns" `Quick (fun () ->
+        let bits f = Int64.bits_of_float f in
+        let r =
+          run Target.x64 ~args:[| bits 1.5; bits 2.25 |]
+            [
+              Minst.Mov_rr (0, x64_args.(0));
+              Minst.Falu_rr (Minst.Fadd, 0, x64_args.(1));
+              Minst.Ret;
+            ]
+        in
+        check (Alcotest.float 1e-9) "sum" 3.75 (Int64.float_of_bits r));
+    Alcotest.test_case "cvt int<->float" `Quick (fun () ->
+        let r =
+          run Target.x64 ~args:[| 7L |]
+            [
+              Minst.Cvt_si2f (0, x64_args.(0));
+              Minst.Cvt_f2si (0, 0);
+              Minst.Ret;
+            ]
+        in
+        check Alcotest.int64 "roundtrip" 7L r);
+  ]

@@ -1,0 +1,226 @@
+(* Randomized differential testing: generate small well-typed plans and
+   demand that every compiling back-end produces exactly the interpreter's
+   outcome — the same rows (order-sensitive checksum) or the same query
+   error (overflow, division by zero). This is the property the whole
+   system must uphold. *)
+
+open Qcomp_engine
+open Qcomp_plan
+open Qcomp_storage
+
+(* fixed schema: col0 int64, col1 int32 (small), col2 decimal(2), col3 str *)
+let schema =
+  Schema.make "t"
+    [ ("a", Schema.Int64); ("g", Schema.Int32); ("d", Schema.Decimal 2);
+      ("s", Schema.Str) ]
+
+let make_db ?(target = Qcomp_vm.Target.x64) () =
+  let db = Engine.create_db ~mem_size:(1 lsl 24) target in
+  let _ =
+    Engine.add_table db schema ~rows:64 ~seed:123L
+      [| Datagen.Uniform (-50, 50); Datagen.Uniform (0, 5);
+         Datagen.DecimalRange (-300, 300); Datagen.Words (Datagen.word_pool, 1) |]
+  in
+  db
+
+(* ---- generators ---- *)
+
+open QCheck2.Gen
+
+(* numeric expressions over cols 0(i64), 1(i32), 2(dec2); kept shallow so
+   most evaluations stay in range, while overflow still happens sometimes
+   (trap parity is part of the property) *)
+let gen_num =
+  sized_size (int_bound 2) @@ fix (fun self n ->
+      if n = 0 then
+        oneof
+          [
+            oneofl [ Expr.col 0; Expr.col 1; Expr.col 2 ];
+            map Expr.int32 (int_range (-20) 20);
+            map (fun v -> Expr.int64 (Int64.of_int v)) (int_range (-100) 100);
+            map (fun v -> Expr.dec ~scale:2 v) (int_range (-500) 500);
+          ]
+      else
+        oneof
+          [
+            map2 (fun a b -> Expr.(a +% b)) (self (n - 1)) (self (n - 1));
+            map2 (fun a b -> Expr.(a -% b)) (self (n - 1)) (self (n - 1));
+            map2 (fun a b -> Expr.(a *% b)) (self (n - 1)) (self (n - 1));
+            map2 (fun a b -> Expr.(a /% b)) (self (n - 1)) (self (n - 1));
+            map (fun a -> Expr.Neg a) (self (n - 1));
+          ])
+
+let gen_pred =
+  let cmp =
+    oneofl [ (fun a b -> Expr.(a <% b)); (fun a b -> Expr.(a <=% b));
+             (fun a b -> Expr.(a =% b)); (fun a b -> Expr.(a >% b)) ]
+  in
+  let atom =
+    oneof
+      [
+        map3 (fun f a b -> f a b) cmp gen_num gen_num;
+        map (fun p -> Expr.Like (Expr.col 3, p)) (oneofl [ "%a%"; "a%"; "%o"; "%li%" ]);
+      ]
+  in
+  oneof
+    [
+      atom;
+      map2 (fun a b -> Expr.(a &&% b)) atom atom;
+      map2 (fun a b -> Expr.(a ||% b)) atom atom;
+      map (fun a -> Expr.Not a) atom;
+    ]
+
+let gen_agg =
+  oneof
+    [
+      return Algebra.Count_star;
+      map (fun e -> Algebra.Sum e) gen_num;
+      map (fun e -> Algebra.Min e) gen_num;
+      map (fun e -> Algebra.Max e) gen_num;
+      map (fun e -> Algebra.Avg e) gen_num;
+    ]
+
+let scan = Algebra.Scan { table = "t"; filter = None }
+
+let gen_plan =
+  let base =
+    oneof
+      [
+        return scan;
+        map (fun p -> Algebra.Filter { input = scan; pred = p }) gen_pred;
+        map (fun es -> Algebra.Project { input = scan; exprs = es })
+          (list_size (int_range 1 3) gen_num);
+      ]
+  in
+  oneof
+    [
+      base;
+      map2
+        (fun input aggs ->
+          Algebra.Group_by { input; keys = [ Expr.col 1 ]; aggs })
+        base
+        (list_size (int_range 1 2) gen_agg);
+      map2
+        (fun input limit ->
+          Algebra.Order_by
+            { input; keys = [ (Expr.col 0, Algebra.Desc) ]; limit })
+        base
+        (oneofl [ None; Some 5 ]);
+      map
+        (fun keys ->
+          Algebra.Hash_join
+            {
+              build = Algebra.Filter { input = scan; pred = Expr.(col 1 =% int32 2) };
+              probe = scan;
+              build_keys = [ keys ];
+              probe_keys = [ keys ];
+            })
+        (oneofl [ Expr.col 0; Expr.col 1 ]);
+    ]
+
+(* ---- printers for counterexamples ---- *)
+
+let rec expr_str (e : Expr.t) =
+  match e with
+  | Expr.Col i -> Printf.sprintf "c%d" i
+  | Expr.Const_int (ty, v) -> Printf.sprintf "%Ld:%s" v (Sqlty.to_string ty)
+  | Expr.Const_str s -> Printf.sprintf "%S" s
+  | Expr.Add (a, b) -> Printf.sprintf "(%s + %s)" (expr_str a) (expr_str b)
+  | Expr.Sub (a, b) -> Printf.sprintf "(%s - %s)" (expr_str a) (expr_str b)
+  | Expr.Mul (a, b) -> Printf.sprintf "(%s * %s)" (expr_str a) (expr_str b)
+  | Expr.Div (a, b) -> Printf.sprintf "(%s / %s)" (expr_str a) (expr_str b)
+  | Expr.Neg a -> Printf.sprintf "(- %s)" (expr_str a)
+  | Expr.Cmp (p, a, b) ->
+      let ps = match p with Expr.Eq -> "=" | Expr.Ne -> "<>" | Expr.Lt -> "<"
+        | Expr.Le -> "<=" | Expr.Gt -> ">" | Expr.Ge -> ">=" in
+      Printf.sprintf "(%s %s %s)" (expr_str a) ps (expr_str b)
+  | Expr.And (a, b) -> Printf.sprintf "(%s and %s)" (expr_str a) (expr_str b)
+  | Expr.Or (a, b) -> Printf.sprintf "(%s or %s)" (expr_str a) (expr_str b)
+  | Expr.Not a -> Printf.sprintf "(not %s)" (expr_str a)
+  | Expr.Like (a, p) -> Printf.sprintf "(%s like %S)" (expr_str a) p
+  | Expr.Between (v, lo, hi) ->
+      Printf.sprintf "(%s between %s and %s)" (expr_str v) (expr_str lo) (expr_str hi)
+  | Expr.Case (ws, e) ->
+      Printf.sprintf "(case %s else %s)"
+        (String.concat " " (List.map (fun (w, t) -> Printf.sprintf "when %s then %s" (expr_str w) (expr_str t)) ws))
+        (expr_str e)
+  | Expr.Cast (a, ty) -> Printf.sprintf "(cast %s %s)" (expr_str a) (Sqlty.to_string ty)
+
+let agg_str = function
+  | Algebra.Count_star -> "count(*)"
+  | Algebra.Sum e -> Printf.sprintf "sum(%s)" (expr_str e)
+  | Algebra.Min e -> Printf.sprintf "min(%s)" (expr_str e)
+  | Algebra.Max e -> Printf.sprintf "max(%s)" (expr_str e)
+  | Algebra.Avg e -> Printf.sprintf "avg(%s)" (expr_str e)
+
+let rec plan_str (p : Algebra.t) =
+  match p with
+  | Algebra.Scan { table; filter } ->
+      Printf.sprintf "scan(%s%s)" table
+        (match filter with None -> "" | Some f -> ", " ^ expr_str f)
+  | Algebra.Filter { input; pred } ->
+      Printf.sprintf "filter(%s, %s)" (plan_str input) (expr_str pred)
+  | Algebra.Project { input; exprs } ->
+      Printf.sprintf "project(%s, [%s])" (plan_str input)
+        (String.concat "; " (List.map expr_str exprs))
+  | Algebra.Hash_join { build; probe; build_keys; probe_keys } ->
+      Printf.sprintf "join(build=%s on [%s], probe=%s on [%s])" (plan_str build)
+        (String.concat ";" (List.map expr_str build_keys))
+        (plan_str probe)
+        (String.concat ";" (List.map expr_str probe_keys))
+  | Algebra.Group_by { input; keys; aggs } ->
+      Printf.sprintf "group(%s, keys=[%s], aggs=[%s])" (plan_str input)
+        (String.concat ";" (List.map expr_str keys))
+        (String.concat ";" (List.map agg_str aggs))
+  | Algebra.Order_by { input; keys; limit } ->
+      Printf.sprintf "order(%s, [%s]%s)" (plan_str input)
+        (String.concat ";"
+           (List.map (fun (e, o) -> expr_str e ^ (match o with Algebra.Asc -> " asc" | Algebra.Desc -> " desc")) keys))
+        (match limit with None -> "" | Some n -> Printf.sprintf ", limit %d" n)
+  | Algebra.Limit { input; n } -> Printf.sprintf "limit(%s, %d)" (plan_str input) n
+
+(* ---- the property ---- *)
+
+type outcome = Rows of int64 * int | Error of string
+
+let run_outcome ?target backend plan =
+  (* typing rejections must also agree, but those happen before the
+     back-end runs; treat them as an Error outcome keyed on the message *)
+  match
+    let db = make_db ?target () in
+    let timing = Qcomp_support.Timing.create ~enabled:false () in
+    Engine.run_plan db ~backend ~timing ~name:"fuzz" plan
+  with
+  | r, _, _ -> Rows (Engine.checksum r.Engine.rows, r.Engine.output_count)
+  | exception Qcomp_runtime.Rt_error.Query_error e -> Error e
+  | exception Expr.Type_error e -> Error ("type: " ^ e)
+
+let backends =
+  [
+    ("directemit", Engine.directemit);
+    ("cranelift", Engine.cranelift);
+    ("llvm-cheap", Engine.llvm_cheap);
+    ("llvm-opt", Engine.llvm_opt);
+    ("gcc", Engine.gcc);
+  ]
+
+let mk_test ?target ?(suffix = "") (bname, backend) =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:120 ~print:plan_str
+       ~name:(Printf.sprintf "random plans: %s = interpreter%s" bname suffix)
+       gen_plan
+       (fun plan ->
+         let expect = run_outcome ?target Engine.interpreter plan in
+         let got = run_outcome ?target backend plan in
+         if expect <> got then
+           QCheck2.Test.fail_reportf "outcomes differ: interp=%s %s=%s"
+             (match expect with Rows (c, n) -> Printf.sprintf "rows(%Lx,%d)" c n | Error e -> "err:" ^ e)
+             bname
+             (match got with Rows (c, n) -> Printf.sprintf "rows(%Lx,%d)" c n | Error e -> "err:" ^ e)
+         else true))
+
+let suite =
+  List.map (fun b -> mk_test b) backends
+  @ List.map
+      (fun b -> mk_test ~target:Qcomp_vm.Target.a64 ~suffix:" (a64)" b)
+      (List.filter (fun (n, _) -> n <> "directemit") backends)

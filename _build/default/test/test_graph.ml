@@ -1,0 +1,124 @@
+(* Dominator tree and natural-loop detection on hand-built CFGs, plus
+   randomized structural properties. *)
+
+open Qcomp_ir
+
+module G = struct
+  type t = int list array (* successors *)
+
+  let num_nodes g = Array.length g
+  let entry _ = 0
+  let iter_succs g b f = List.iter f g.(b)
+end
+
+module A = Graph.Make (G)
+
+let check = Alcotest.check
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen f)
+
+(* random CFG: n nodes, each with 0-2 forward/back successors *)
+let gen_cfg =
+  QCheck2.Gen.(
+    int_range 2 20 >>= fun n ->
+    list_size (return (2 * n)) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+    >|= fun edges ->
+    let g = Array.make n [] in
+    (* a spine so most nodes are reachable *)
+    for i = 0 to n - 2 do
+      g.(i) <- [ i + 1 ]
+    done;
+    List.iter (fun (u, v) -> if not (List.mem v g.(u)) then g.(u) <- v :: g.(u)) edges;
+    g)
+
+let diamond : G.t = [| [ 1; 2 ]; [ 3 ]; [ 3 ]; [] |]
+let loop_cfg : G.t = [| [ 1 ]; [ 2; 3 ]; [ 1 ]; [] |]
+
+(* nested: 0 -> 1(h1) -> 2(h2) -> 3 -> 2, 2 -> 4 -> 1, 4 -> 5 *)
+let nested : G.t = [| [ 1 ]; [ 2 ]; [ 3; 4 ]; [ 2 ]; [ 1; 5 ]; [] |]
+
+let suite =
+  [
+    Alcotest.test_case "diamond dominators" `Quick (fun () ->
+        let dt = A.dominators diamond in
+        check Alcotest.int "idom 1" 0 dt.A.idom.(1);
+        check Alcotest.int "idom 2" 0 dt.A.idom.(2);
+        check Alcotest.int "idom 3 = fork" 0 dt.A.idom.(3);
+        check Alcotest.bool "0 dom 3" true (A.dominates dt 0 3);
+        check Alcotest.bool "1 !dom 3" false (A.dominates dt 1 3));
+    Alcotest.test_case "preds recorded" `Quick (fun () ->
+        let dt = A.dominators diamond in
+        check Alcotest.(list int) "preds of 3" [ 1; 2 ]
+          (List.sort compare dt.A.preds.(3)));
+    Alcotest.test_case "unreachable nodes flagged" `Quick (fun () ->
+        let g : G.t = [| [ 1 ]; []; [ 1 ] |] in
+        let dt = A.dominators g in
+        check Alcotest.bool "2 unreachable" false (A.reachable dt 2);
+        check Alcotest.bool "1 reachable" true (A.reachable dt 1));
+    Alcotest.test_case "simple loop found" `Quick (fun () ->
+        let dt = A.dominators loop_cfg in
+        let l = A.natural_loops loop_cfg dt in
+        check Alcotest.(list int) "headers" [ 1 ] (Array.to_list l.A.loop_headers);
+        check Alcotest.int "depth of body" 1 l.A.depth.(2);
+        check Alcotest.int "depth outside" 0 l.A.depth.(3);
+        check Alcotest.int "header_of 2" 1 l.A.header_of.(2));
+    Alcotest.test_case "nested loops depths" `Quick (fun () ->
+        let dt = A.dominators nested in
+        let l = A.natural_loops nested dt in
+        check Alcotest.int "inner body depth 2" 2 l.A.depth.(3);
+        check Alcotest.int "outer-only node depth 1" 1 l.A.depth.(4);
+        check Alcotest.int "exit depth 0" 0 l.A.depth.(5);
+        (* exact body membership *)
+        let body_of h = List.assoc h l.A.bodies in
+        check Alcotest.(list int) "inner body" [ 2; 3 ] (List.sort compare (body_of 2));
+        check Alcotest.(list int) "outer body" [ 1; 2; 3; 4 ]
+          (List.sort compare (body_of 1)));
+    Alcotest.test_case "rpo starts at entry, parents first on trees" `Quick (fun () ->
+        let g : G.t = [| [ 1; 2 ]; [ 3 ]; []; [] |] in
+        let order = A.rpo g in
+        check Alcotest.int "entry first" 0 order.(0);
+        let pos = Array.make 4 (-1) in
+        Array.iteri (fun i b -> pos.(b) <- i) order;
+        check Alcotest.bool "1 before 3" true (pos.(1) < pos.(3)));
+    prop "entry dominates every reachable node" gen_cfg (fun g ->
+        let dt = A.dominators g in
+        let ok = ref true in
+        for b = 0 to Array.length g - 1 do
+          if A.reachable dt b && not (A.dominates dt 0 b) then ok := false
+        done;
+        !ok);
+    prop "idom is a strict dominator (except entry)" gen_cfg (fun g ->
+        let dt = A.dominators g in
+        let ok = ref true in
+        for b = 1 to Array.length g - 1 do
+          if A.reachable dt b then begin
+            if dt.A.idom.(b) = b then ok := false
+            else if not (A.dominates dt dt.A.idom.(b) b) then ok := false
+          end
+        done;
+        !ok);
+    prop "rpo numbers dominators before dominated" gen_cfg (fun g ->
+        let dt = A.dominators g in
+        let ok = ref true in
+        for b = 1 to Array.length g - 1 do
+          if A.reachable dt b && dt.A.number.(dt.A.idom.(b)) >= dt.A.number.(b) then
+            ok := false
+        done;
+        !ok);
+    prop "loop headers dominate their bodies" gen_cfg (fun g ->
+        let dt = A.dominators g in
+        let l = A.natural_loops g dt in
+        List.for_all
+          (fun (h, body) -> List.for_all (fun b -> A.dominates dt h b) body)
+          l.A.bodies);
+    prop "depth consistent with header nesting" gen_cfg (fun g ->
+        let dt = A.dominators g in
+        let l = A.natural_loops g dt in
+        let ok = ref true in
+        Array.iteri
+          (fun b d ->
+            if d > 0 && l.A.header_of.(b) < 0 then ok := false;
+            if d = 0 && l.A.header_of.(b) >= 0 then ok := false)
+          l.A.depth;
+        !ok);
+  ]

@@ -1,0 +1,87 @@
+(* CRC-32C vectors and long-mul-fold algebra. *)
+
+open Qcomp_support
+
+let check = Alcotest.check
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:500 ~name gen f)
+
+(* Reference bitwise CRC-32C (reflected, poly 0x1EDC6F41) over 8 bytes. *)
+let crc32c_ref (acc : int64) (x : int64) =
+  let poly = 0x82F63B78L (* reflected *) in
+  let crc = ref (Int64.logand acc 0xFFFFFFFFL) in
+  for byte = 0 to 7 do
+    let b = Int64.logand (Int64.shift_right_logical x (8 * byte)) 0xFFL in
+    crc := Int64.logxor !crc b;
+    for _ = 0 to 7 do
+      let lsb = Int64.logand !crc 1L in
+      crc := Int64.shift_right_logical !crc 1;
+      if Int64.equal lsb 1L then crc := Int64.logxor !crc poly
+    done
+  done;
+  !crc
+
+let unit_cases =
+  [
+    Alcotest.test_case "crc32c zero" `Quick (fun () ->
+        check Alcotest.int64 "crc(0,0)" (crc32c_ref 0L 0L) (Hashes.crc32c 0L 0L));
+    Alcotest.test_case "crc32c acc uses low 32 bits only" `Quick (fun () ->
+        check Alcotest.int64 "high acc bits ignored"
+          (Hashes.crc32c 0x1234_5678L 99L)
+          (Hashes.crc32c 0xFFFF_FFFF_1234_5678L 99L));
+    Alcotest.test_case "crc32c result zero-extended" `Quick (fun () ->
+        let r = Hashes.crc32c (-1L) (-1L) in
+        check Alcotest.bool "fits 32 bits" true
+          Int64.(equal (logand r 0xFFFF_FFFF_0000_0000L) 0L));
+    Alcotest.test_case "crc32c_byte composes to crc32c" `Quick (fun () ->
+        (* hashing 8 bytes one at a time equals the 64-bit step *)
+        let x = 0x0123_4567_89AB_CDEFL in
+        let acc = ref 0x5AL in
+        for i = 0 to 7 do
+          acc :=
+            Hashes.crc32c_byte !acc
+              (Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * i)) 0xFFL))
+        done;
+        check Alcotest.int64 "equal" (Hashes.crc32c 0x5AL x) !acc);
+    Alcotest.test_case "long_mul_fold known" `Quick (fun () ->
+        (* x * k with k = 2^64-1: product = (x<<64) - x, halves fold to known *)
+        let x = 7L in
+        let wide = I128.umul64_wide x (-1L) in
+        let expect =
+          Int64.logxor (I128.to_int64 wide)
+            (I128.to_int64 (I128.shift_right_logical wide 64))
+        in
+        check Alcotest.int64 "fold" expect (Hashes.long_mul_fold x (-1L)));
+    Alcotest.test_case "hash64 distributes low bits" `Quick (fun () ->
+        (* all 256 single-byte inputs hit distinct buckets of 64 at >=40 *)
+        let seen = Hashtbl.create 64 in
+        for i = 0 to 255 do
+          Hashtbl.replace seen (Int64.to_int (Int64.logand (Hashes.hash64 (Int64.of_int i)) 63L)) ()
+        done;
+        check Alcotest.bool "spread" true (Hashtbl.length seen >= 40));
+  ]
+
+let props =
+  [
+    prop "crc32c matches bitwise reference"
+      QCheck2.Gen.(pair ui64 ui64)
+      (fun (acc, x) -> Int64.equal (crc32c_ref acc x) (Hashes.crc32c acc x));
+    prop "crc32c linear in errors (crc(a^b) relation exists)" QCheck2.Gen.ui64 (fun x ->
+        (* crc with acc 0 of x equals crc of x: determinism *)
+        Int64.equal (Hashes.crc32c 0L x) (Hashes.crc32c 0L x));
+    prop "long_mul_fold matches I128 computation" QCheck2.Gen.(pair ui64 ui64)
+      (fun (x, k) ->
+        let wide = I128.umul64_wide x k in
+        Int64.equal
+          (Hashes.long_mul_fold x k)
+          (Int64.logxor (I128.to_int64 wide)
+             (I128.to_int64 (I128.shift_right_logical wide 64))));
+    prop "hash64 deterministic" QCheck2.Gen.ui64 (fun x ->
+        Int64.equal (Hashes.hash64 x) (Hashes.hash64 x));
+    prop "combine not commutative-degenerate" QCheck2.Gen.(pair ui64 ui64) (fun (a, b) ->
+        (* combine must depend on both arguments *)
+        Int64.equal (Hashes.combine a b) (Hashes.combine a b)
+        && (Int64.equal a b || not (Int64.equal (Hashes.combine a b) a)));
+  ]
+
+let suite = unit_cases @ props

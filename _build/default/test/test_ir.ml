@@ -1,0 +1,191 @@
+(* IR construction, the verifier (positive and negative), the printer, and
+   the liveness oracle. *)
+
+open Qcomp_ir
+open Qcomp_support
+
+let check = Alcotest.check
+
+(* a minimal valid function: f(x) = x + 1 *)
+let build_add1 () =
+  let m = Func.create_module "m" in
+  let b = Builder.create m ~name:"add1" ~ret:Ty.I64 ~args:[| Ty.I64 |] in
+  let x = Builder.arg b 0 in
+  let one = Builder.const_i64 b 1L in
+  let s = Builder.add b Ty.I64 x one in
+  Builder.ret b s;
+  (m, Builder.func b)
+
+(* a diamond with a phi: f(c) = c != 0 ? 10 : 20 *)
+let build_diamond () =
+  let m = Func.create_module "m" in
+  let b = Builder.create m ~name:"sel" ~ret:Ty.I64 ~args:[| Ty.I64 |] in
+  let x = Builder.arg b 0 in
+  let z = Builder.const_i64 b 0L in
+  let c = Builder.cmp b Op.Ne x z in
+  let bt = Builder.new_block b and bf = Builder.new_block b and bj = Builder.new_block b in
+  Builder.condbr b c ~then_:bt ~else_:bf;
+  Builder.switch_to b bt;
+  let v1 = Builder.const_i64 b 10L in
+  Builder.br b bj;
+  Builder.switch_to b bf;
+  let v2 = Builder.const_i64 b 20L in
+  Builder.br b bj;
+  Builder.switch_to b bj;
+  let p = Builder.phi b Ty.I64 [ (bt, v1); (bf, v2) ] in
+  Builder.ret b p;
+  (m, Builder.func b)
+
+(* a counted loop: sum 0..n-1 *)
+let build_loop () =
+  let m = Func.create_module "m" in
+  let b = Builder.create m ~name:"sum" ~ret:Ty.I64 ~args:[| Ty.I64 |] in
+  let n = Builder.arg b 0 in
+  let zero = Builder.const_i64 b 0L in
+  let head = Builder.new_block b
+  and body = Builder.new_block b
+  and exit = Builder.new_block b in
+  let entry = Builder.current_block b in
+  Builder.br b head;
+  Builder.switch_to b head;
+  let i = Builder.phi_placeholder b Ty.I64 ~max_incoming:2 in
+  let acc = Builder.phi_placeholder b Ty.I64 ~max_incoming:2 in
+  let c = Builder.cmp b Op.Slt i n in
+  Builder.condbr b c ~then_:body ~else_:exit;
+  Builder.switch_to b body;
+  let one = Builder.const_i64 b 1L in
+  let i' = Builder.add b Ty.I64 i one in
+  let acc' = Builder.add b Ty.I64 acc i in
+  Builder.br b head;
+  Builder.add_phi_incoming b i ~block:entry ~value:zero;
+  Builder.add_phi_incoming b i ~block:body ~value:i';
+  Builder.add_phi_incoming b acc ~block:entry ~value:zero;
+  Builder.add_phi_incoming b acc ~block:body ~value:acc';
+  Builder.switch_to b exit;
+  Builder.ret b acc;
+  (m, Builder.func b, head, body)
+
+let suite =
+  [
+    Alcotest.test_case "straight-line function verifies" `Quick (fun () ->
+        let m, f = build_add1 () in
+        Verify.verify_func ~modul:m f;
+        check Alcotest.int "one block" 1 (Func.num_blocks f));
+    Alcotest.test_case "diamond with phi verifies" `Quick (fun () ->
+        let m, f = build_diamond () in
+        Verify.verify_func ~modul:m f;
+        check Alcotest.int "blocks" 4 (Func.num_blocks f));
+    Alcotest.test_case "loop with placeholder phis verifies" `Quick (fun () ->
+        let m, f, _, _ = build_loop () in
+        Verify.verify_func ~modul:m f);
+    Alcotest.test_case "missing terminator rejected" `Quick (fun () ->
+        let m = Func.create_module "m" in
+        let b = Builder.create m ~name:"bad" ~ret:Ty.Void ~args:[||] in
+        ignore (Builder.const_i64 b 0L);
+        (* no ret *)
+        match Verify.verify_func (Builder.func b) with
+        | () -> Alcotest.fail "expected Invalid_ir"
+        | exception Verify.Invalid_ir _ -> ());
+    Alcotest.test_case "use before def rejected" `Quick (fun () ->
+        let m = Func.create_module "m" in
+        let b = Builder.create m ~name:"bad" ~ret:Ty.I64 ~args:[||] in
+        (* manually create an add whose operand is defined after it *)
+        let f = Builder.func b in
+        let later = Func.add_inst f ~op:Op.Const ~ty:Ty.I64 ~imm:1L () in
+        (* remove it from the block and re-add after a use *)
+        let add = Func.add_inst f ~op:Op.Add ~ty:Ty.I64 ~x:later ~y:later () in
+        ignore add;
+        ignore (Func.add_inst f ~op:Op.Ret ~ty:Ty.Void ~x:add ());
+        (* block order is const;add;ret which is fine — instead build the
+           broken order explicitly in a fresh function *)
+        let b2 = Builder.create m ~name:"bad2" ~ret:Ty.I64 ~args:[||] in
+        let f2 = Builder.func b2 in
+        let insts = Func.block_insts f2 Func.entry_block in
+        let add2 = Func.add_inst f2 ~op:Op.Add ~ty:Ty.I64 () in
+        let c2 = Func.add_inst f2 ~op:Op.Const ~ty:Ty.I64 ~imm:1L () in
+        Func.set_x f2 add2 c2;
+        Func.set_y f2 add2 c2;
+        ignore (Vec.push insts add2);
+        ignore (Vec.push insts c2);
+        let r = Func.add_inst f2 ~op:Op.Ret ~ty:Ty.Void ~x:add2 () in
+        ignore (Vec.push insts r);
+        match Verify.verify_func f2 with
+        | () -> Alcotest.fail "expected Invalid_ir"
+        | exception Verify.Invalid_ir msg ->
+            check Alcotest.bool "mentions use before def" true
+              (String.length msg > 0));
+    Alcotest.test_case "phi from non-predecessor rejected" `Quick (fun () ->
+        let m = Func.create_module "m" in
+        let b = Builder.create m ~name:"bad" ~ret:Ty.I64 ~args:[||] in
+        let v = Builder.const_i64 b 1L in
+        let b1 = Builder.new_block b in
+        Builder.br b b1;
+        Builder.switch_to b b1;
+        (* entry is a predecessor; claim a bogus block 1 (itself) instead *)
+        let p = Builder.phi b Ty.I64 [ (b1, v) ] in
+        Builder.ret b p;
+        match Verify.verify_func (Builder.func b) with
+        | () -> Alcotest.fail "expected Invalid_ir"
+        | exception Verify.Invalid_ir _ -> ());
+    Alcotest.test_case "branch target out of range rejected" `Quick (fun () ->
+        let m = Func.create_module "m" in
+        let b = Builder.create m ~name:"bad" ~ret:Ty.Void ~args:[||] in
+        Builder.br b 99;
+        match Verify.verify_func (Builder.func b) with
+        | () -> Alcotest.fail "expected Invalid_ir"
+        | exception Verify.Invalid_ir _ -> ());
+    Alcotest.test_case "type mismatch rejected" `Quick (fun () ->
+        let m = Func.create_module "m" in
+        let b = Builder.create m ~name:"bad" ~ret:Ty.I64 ~args:[| Ty.I32; Ty.I64 |] in
+        let s = Builder.add b Ty.I64 (Builder.arg b 0) (Builder.arg b 1) in
+        Builder.ret b s;
+        match Verify.verify_func (Builder.func b) with
+        | () -> Alcotest.fail "expected Invalid_ir"
+        | exception Verify.Invalid_ir _ -> ());
+    Alcotest.test_case "printer emits all values" `Quick (fun () ->
+        let _, f = build_diamond () in
+        let s = Printer.func_to_string f in
+        check Alcotest.bool "has phi" true
+          (String.length s > 0
+          &&
+          let re_found = ref false in
+          String.iteri
+            (fun i _ ->
+              if i + 3 <= String.length s && String.sub s i 3 = "phi" then
+                re_found := true)
+            s;
+          !re_found));
+    Alcotest.test_case "module verify covers all functions" `Quick (fun () ->
+        let m = Func.create_module "m" in
+        let b = Builder.create m ~name:"f" ~ret:Ty.Void ~args:[||] in
+        Builder.ret_void b;
+        Func.add_func m (Builder.func b);
+        Verify.verify_module m);
+    Alcotest.test_case "liveness: loop keeps phi live around backedge" `Quick
+      (fun () ->
+        let _, f, head, body = build_loop () in
+        let lv = Liveness.compute f in
+        (* the accumulator phi (defined in head) must be live into body and
+           back into head *)
+        let live_into_body = lv.Liveness.live_in.(body) in
+        check Alcotest.bool "something live into body" true
+          (Bitset.count live_into_body > 0);
+        check Alcotest.bool "head live_in nonempty (loop-carried)" true
+          (Bitset.count lv.Liveness.live_in.(head) > 0));
+    Alcotest.test_case "liveness: straight line has empty live_in" `Quick (fun () ->
+        let _, f = build_add1 () in
+        let lv = Liveness.compute f in
+        (* only arguments may be live into the entry block *)
+        Bitset.iter
+          (fun v ->
+            check Alcotest.bool "only args" true (Func.op f v = Op.Arg))
+          lv.Liveness.live_in.(Func.entry_block));
+    Alcotest.test_case "const128 lanes roundtrip" `Quick (fun () ->
+        let m = Func.create_module "m" in
+        let b = Builder.create m ~name:"k" ~ret:Ty.I128 ~args:[||] in
+        let v = I128.make ~hi:0x0123_4567_89AB_CDEFL ~lo:0x1122_3344_5566_7788L in
+        let k = Builder.const128 b v in
+        Builder.ret b k;
+        Verify.verify_func (Builder.func b);
+        check Alcotest.bool "ty i128" true (Func.ty (Builder.func b) k = Ty.I128));
+  ]

@@ -1,0 +1,61 @@
+(* Tuple layout: alignment, packing and size rules for materialized rows. *)
+
+open Qcomp_plan
+module Layout = Qcomp_codegen.Layout
+
+let check = Alcotest.check
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let gen_ty =
+  QCheck2.Gen.oneofl
+    [ Sqlty.Int32; Sqlty.Int64; Sqlty.Date; Sqlty.Decimal 2; Sqlty.Str; Sqlty.Bool ]
+
+let unit_cases =
+  [
+    Alcotest.test_case "single i64" `Quick (fun () ->
+        let l = Layout.of_tys [ Sqlty.Int64 ] in
+        check Alcotest.int "off" 0 (Layout.field l 0).Layout.f_off;
+        check Alcotest.int "size" 8 (Layout.size l));
+    Alcotest.test_case "i32 then i64 pads to alignment" `Quick (fun () ->
+        let l = Layout.of_tys [ Sqlty.Int32; Sqlty.Int64 ] in
+        check Alcotest.int "i32 at 0" 0 (Layout.field l 0).Layout.f_off;
+        check Alcotest.int "i64 aligned to 8" 8 (Layout.field l 1).Layout.f_off;
+        check Alcotest.int "size" 16 (Layout.size l));
+    Alcotest.test_case "decimal is 16 bytes, 8-aligned" `Quick (fun () ->
+        (* decimals widen to 128 bits but only need 8-byte alignment (the
+           emulator loads them as two 64-bit lanes) *)
+        let l = Layout.of_tys [ Sqlty.Bool; Sqlty.Decimal 2 ] in
+        check Alcotest.int "dec off" 8 (Layout.field l 1).Layout.f_off;
+        check Alcotest.int "size" 24 (Layout.size l));
+    Alcotest.test_case "empty layout still addressable" `Quick (fun () ->
+        let l = Layout.of_tys [] in
+        check Alcotest.int "min size" 8 (Layout.size l);
+        check Alcotest.int "no fields" 0 (Layout.num_fields l));
+    Alcotest.test_case "bools pack bytewise" `Quick (fun () ->
+        let l = Layout.of_tys [ Sqlty.Bool; Sqlty.Bool; Sqlty.Bool ] in
+        check Alcotest.int "b1" 1 (Layout.field l 1).Layout.f_off;
+        check Alcotest.int "b2" 2 (Layout.field l 2).Layout.f_off);
+  ]
+
+let props =
+  [
+    prop "fields are aligned and non-overlapping" QCheck2.Gen.(list_size (int_range 1 8) gen_ty)
+      (fun tys ->
+        let l = Layout.of_tys tys in
+        let ok = ref true in
+        let prev_end = ref 0 in
+        Array.iteri
+          (fun i f ->
+            let ty = List.nth tys i in
+            if f.Layout.f_off mod Sqlty.tuple_align ty <> 0 then ok := false;
+            if f.Layout.f_off < !prev_end then ok := false;
+            prev_end := f.Layout.f_off + Sqlty.tuple_size ty)
+          l.Layout.fields;
+        !ok && Layout.size l >= !prev_end && Layout.size l mod 8 = 0);
+    prop "size is monotone in fields" QCheck2.Gen.(pair (list_size (int_range 1 6) gen_ty) gen_ty)
+      (fun (tys, extra) ->
+        Layout.size (Layout.of_tys (tys @ [ extra ])) >= Layout.size (Layout.of_tys tys));
+  ]
+
+let suite = unit_cases @ props

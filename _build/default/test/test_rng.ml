@@ -1,0 +1,64 @@
+(* Splitmix64 determinism and distribution sanity. *)
+
+open Qcomp_support
+
+let check = Alcotest.check
+
+let suite =
+  [
+    Alcotest.test_case "deterministic per seed" `Quick (fun () ->
+        let a = Rng.create 42L and b = Rng.create 42L in
+        for _ = 1 to 100 do
+          check Alcotest.int64 "same stream" (Rng.next a) (Rng.next b)
+        done);
+    Alcotest.test_case "different seeds diverge" `Quick (fun () ->
+        let a = Rng.create 1L and b = Rng.create 2L in
+        check Alcotest.bool "diverge" true (not (Int64.equal (Rng.next a) (Rng.next b))));
+    Alcotest.test_case "int bounds" `Quick (fun () ->
+        let r = Rng.create 7L in
+        for _ = 1 to 1000 do
+          let v = Rng.int r 10 in
+          check Alcotest.bool "in [0,10)" true (v >= 0 && v < 10)
+        done);
+    Alcotest.test_case "int_range inclusive" `Quick (fun () ->
+        let r = Rng.create 7L in
+        let seen_lo = ref false and seen_hi = ref false in
+        for _ = 1 to 5000 do
+          let v = Rng.int_range r (-3) 3 in
+          check Alcotest.bool "in [-3,3]" true (v >= -3 && v <= 3);
+          if v = -3 then seen_lo := true;
+          if v = 3 then seen_hi := true
+        done;
+        check Alcotest.bool "hits lo" true !seen_lo;
+        check Alcotest.bool "hits hi" true !seen_hi);
+    Alcotest.test_case "float in [0,1)" `Quick (fun () ->
+        let r = Rng.create 3L in
+        for _ = 1 to 1000 do
+          let f = Rng.float r in
+          check Alcotest.bool "range" true (f >= 0.0 && f < 1.0)
+        done);
+    Alcotest.test_case "bool roughly balanced" `Quick (fun () ->
+        let r = Rng.create 9L in
+        let t = ref 0 in
+        for _ = 1 to 1000 do
+          if Rng.bool r then incr t
+        done;
+        check Alcotest.bool "40-60%" true (!t > 400 && !t < 600));
+    Alcotest.test_case "split independent" `Quick (fun () ->
+        let r = Rng.create 5L in
+        let s = Rng.split r in
+        let v1 = Rng.next s in
+        (* drawing from the parent must not affect an already-split child *)
+        let r2 = Rng.create 5L in
+        let s2 = Rng.split r2 in
+        ignore (Rng.next r2);
+        check Alcotest.int64 "child stream stable" v1 (Rng.next s2));
+    Alcotest.test_case "choose covers all elements" `Quick (fun () ->
+        let r = Rng.create 11L in
+        let arr = [| 'a'; 'b'; 'c' |] in
+        let seen = Hashtbl.create 3 in
+        for _ = 1 to 300 do
+          Hashtbl.replace seen (Rng.choose r arr) ()
+        done;
+        check Alcotest.int "all 3" 3 (Hashtbl.length seen));
+  ]

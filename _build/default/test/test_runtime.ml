@@ -1,0 +1,218 @@
+(* VM memory, SSO strings, the open-addressing hash table and the tuple
+   buffer — the in-memory runtime the generated code manipulates. *)
+
+open Qcomp_vm
+open Qcomp_runtime
+
+let check = Alcotest.check
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
+
+let fresh_mem () = Memory.create (1 lsl 22)
+
+let memory_cases =
+  [
+    Alcotest.test_case "alloc alignment" `Quick (fun () ->
+        let m = fresh_mem () in
+        let a = Memory.alloc m ~align:16 10 in
+        let b = Memory.alloc m ~align:16 10 in
+        check Alcotest.int "a aligned" 0 (a land 15);
+        check Alcotest.int "b aligned" 0 (b land 15);
+        check Alcotest.bool "disjoint" true (b >= a + 10));
+    Alcotest.test_case "load/store widths and sign" `Quick (fun () ->
+        let m = fresh_mem () in
+        let a = Memory.alloc m 16 in
+        Memory.store m ~addr:a ~size:4 0xFFFF_FFFFL;
+        check Alcotest.int64 "sext" (-1L) (Memory.load m ~addr:a ~size:4 ~sext:true);
+        check Alcotest.int64 "zext" 0xFFFF_FFFFL
+          (Memory.load m ~addr:a ~size:4 ~sext:false);
+        Memory.store m ~addr:a ~size:2 0x8000L;
+        check Alcotest.int64 "sext16" (-32768L) (Memory.load m ~addr:a ~size:2 ~sext:true));
+    Alcotest.test_case "store64 little-endian bytes" `Quick (fun () ->
+        let m = fresh_mem () in
+        let a = Memory.alloc m 8 in
+        Memory.store64 m a 0x0102_0304_0506_0708L;
+        check Alcotest.int64 "first byte is LSB" 8L
+          (Memory.load m ~addr:a ~size:1 ~sext:false));
+    Alcotest.test_case "out-of-range access faults" `Quick (fun () ->
+        let m = Memory.create (16 * 4096) in
+        match Memory.load64 m ((16 * 4096) - 4) with
+        | exception Memory.Fault _ -> ()
+        | _ -> Alcotest.fail "expected fault");
+    Alcotest.test_case "low page is unmapped (null guard)" `Quick (fun () ->
+        let m = Memory.create (16 * 4096) in
+        match Memory.load64 m 0 with
+        | exception Memory.Fault _ -> ()
+        | _ -> Alcotest.fail "expected fault");
+    Alcotest.test_case "blit and fill" `Quick (fun () ->
+        let m = fresh_mem () in
+        let a = Memory.alloc m 16 and b = Memory.alloc m 16 in
+        Memory.store_bytes m a "hello world!";
+        Memory.blit m ~src:a ~dst:b ~len:12;
+        check Alcotest.string "copied" "hello world!"
+          (Memory.load_bytes m b 12);
+        Memory.fill m ~addr:b ~len:12 '\000';
+        check Alcotest.int64 "zeroed" 0L (Memory.load64 m b));
+  ]
+
+let sso_cases =
+  [
+    Alcotest.test_case "short strings stay inline" `Quick (fun () ->
+        let m = fresh_mem () in
+        let a = Sso.alloc m "hi" in
+        check Alcotest.string "read" "hi" (Sso.read m a);
+        check Alcotest.int "len" 2 (Sso.length m a));
+    Alcotest.test_case "12-byte boundary" `Quick (fun () ->
+        let m = fresh_mem () in
+        let s12 = String.make 12 'x' and s13 = String.make 13 'y' in
+        check Alcotest.string "inline max" s12 (Sso.read m (Sso.alloc m s12));
+        check Alcotest.string "first heap size" s13 (Sso.read m (Sso.alloc m s13)));
+    Alcotest.test_case "long strings out of line" `Quick (fun () ->
+        let m = fresh_mem () in
+        let s = String.concat "," (List.init 50 string_of_int) in
+        let a = Sso.alloc m s in
+        check Alcotest.string "read" s (Sso.read m a);
+        check Alcotest.int "len" (String.length s) (Sso.length m a));
+    Alcotest.test_case "equal and compare" `Quick (fun () ->
+        let m = fresh_mem () in
+        let a = Sso.alloc m "apple" and b = Sso.alloc m "apple" in
+        let c = Sso.alloc m "banana" in
+        check Alcotest.bool "eq" true (Sso.equal m a b);
+        check Alcotest.bool "ne" false (Sso.equal m a c);
+        check Alcotest.bool "lt" true (Sso.compare_str m a c < 0));
+    Alcotest.test_case "empty string" `Quick (fun () ->
+        let m = fresh_mem () in
+        let a = Sso.alloc m "" in
+        check Alcotest.string "empty" "" (Sso.read m a);
+        check Alcotest.int "len 0" 0 (Sso.length m a));
+    Alcotest.test_case "like patterns" `Quick (fun () ->
+        let m = fresh_mem () in
+        let s = Sso.alloc m "warehouse #42" in
+        let like pat = Sso.like m ~str:s ~pat:(Sso.alloc m pat) in
+        check Alcotest.bool "%house%" true (like "%house%");
+        check Alcotest.bool "ware%" true (like "ware%");
+        check Alcotest.bool "%42" true (like "%42");
+        check Alcotest.bool "_arehouse%" true (like "_arehouse%");
+        check Alcotest.bool "no match" false (like "%shed%");
+        check Alcotest.bool "exact" true (like "warehouse #42");
+        check Alcotest.bool "underscore counts" false (like "warehouse #4_2"));
+    Alcotest.test_case "hash equal strings equal, long strings differ" `Quick
+      (fun () ->
+        let m = fresh_mem () in
+        let a = Sso.alloc m "some longer string ........ A" in
+        let b = Sso.alloc m "some longer string ........ A" in
+        let c = Sso.alloc m "some longer string ........ B" in
+        check Alcotest.int64 "same" (Sso.hash m a) (Sso.hash m b);
+        check Alcotest.bool "differs" true (not (Int64.equal (Sso.hash m a) (Sso.hash m c))));
+  ]
+
+let sso_props =
+  [
+    prop "sso roundtrip" QCheck2.Gen.(string_size (int_bound 64)) (fun s ->
+        let m = fresh_mem () in
+        Sso.read m (Sso.alloc m s) = s);
+    prop "sso equal is string equality" QCheck2.Gen.(pair (string_size (int_bound 24)) (string_size (int_bound 24)))
+      (fun (a, b) ->
+        let m = fresh_mem () in
+        Sso.equal m (Sso.alloc m a) (Sso.alloc m b) = (a = b));
+    prop "sso compare is String.compare sign" QCheck2.Gen.(pair (string_size (int_bound 24)) (string_size (int_bound 24)))
+      (fun (a, b) ->
+        let m = fresh_mem () in
+        compare (Sso.compare_str m (Sso.alloc m a) (Sso.alloc m b)) 0
+        = compare (String.compare a b) 0);
+  ]
+
+let htable_cases =
+  [
+    Alcotest.test_case "insert then lookup" `Quick (fun () ->
+        let m = fresh_mem () in
+        let ht = Htable.create m ~payload_size:16 ~capacity_hint:4 in
+        let p, _ = Htable.insert m ht 0xABCL in
+        Memory.store64 m p 77L;
+        let found, _ = Htable.lookup m ht 0xABCL in
+        check Alcotest.bool "found" true (found <> 0);
+        check Alcotest.int64 "payload" 77L (Memory.load64 m (found + 8)));
+    Alcotest.test_case "lookup miss is 0" `Quick (fun () ->
+        let m = fresh_mem () in
+        let ht = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+        let found, _ = Htable.lookup m ht 0x123L in
+        check Alcotest.int "miss" 0 found);
+    Alcotest.test_case "duplicate hashes chained via next" `Quick (fun () ->
+        let m = fresh_mem () in
+        let ht = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+        let p1, _ = Htable.insert m ht 5L in
+        let p2, _ = Htable.insert m ht 5L in
+        Memory.store64 m p1 1L;
+        Memory.store64 m p2 2L;
+        let e1, _ = Htable.lookup m ht 5L in
+        let e2, _ = Htable.next m ht e1 5L in
+        let e3, _ = Htable.next m ht e2 5L in
+        check Alcotest.bool "two entries" true (e1 <> 0 && e2 <> 0 && e1 <> e2);
+        check Alcotest.int "exhausted" 0 e3;
+        let vals = List.sort compare [ Memory.load64 m (e1 + 8); Memory.load64 m (e2 + 8) ] in
+        check Alcotest.(list int64) "both payloads" [ 1L; 2L ] vals);
+    Alcotest.test_case "growth preserves entries" `Quick (fun () ->
+        let m = fresh_mem () in
+        let ht = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+        let n = 500 in
+        for i = 1 to n do
+          let h = Qcomp_support.Hashes.hash64 (Int64.of_int i) in
+          let p, _ = Htable.insert m ht h in
+          Memory.store64 m p (Int64.of_int i)
+        done;
+        check Alcotest.int "count" n (Htable.count m ht);
+        check Alcotest.bool "grew" true (Htable.capacity m ht > 16);
+        for i = 1 to n do
+          let h = Qcomp_support.Hashes.hash64 (Int64.of_int i) in
+          let e, _ = Htable.lookup m ht h in
+          check Alcotest.bool "found after growth" true (e <> 0)
+        done);
+    Alcotest.test_case "zero hash is normalized, still findable" `Quick (fun () ->
+        let m = fresh_mem () in
+        let ht = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+        let p, _ = Htable.insert m ht 0L in
+        Memory.store64 m p 9L;
+        let e, _ = Htable.lookup m ht 0L in
+        check Alcotest.bool "found" true (e <> 0));
+    Alcotest.test_case "iter visits every payload once" `Quick (fun () ->
+        let m = fresh_mem () in
+        let ht = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+        for i = 1 to 40 do
+          let p, _ = Htable.insert m ht (Qcomp_support.Hashes.hash64 (Int64.of_int i)) in
+          Memory.store64 m p (Int64.of_int i)
+        done;
+        let seen = Hashtbl.create 40 in
+        Htable.iter m ht (fun p -> Hashtbl.replace seen (Memory.load64 m p) ());
+        check Alcotest.int "40 distinct" 40 (Hashtbl.length seen));
+  ]
+
+let tuplebuf_cases =
+  [
+    Alcotest.test_case "append grows and preserves rows" `Quick (fun () ->
+        let m = fresh_mem () in
+        let buf = Tuplebuf.create m ~row_size:16 ~capacity_hint:2 in
+        for i = 0 to 99 do
+          let r, _ = Tuplebuf.append m buf in
+          Memory.store64 m r (Int64.of_int i);
+          Memory.store64 m (r + 8) (Int64.of_int (i * i))
+        done;
+        check Alcotest.int "count" 100 (Tuplebuf.count m buf);
+        for i = 0 to 99 do
+          let r = Tuplebuf.row m buf i in
+          check Alcotest.int64 "k" (Int64.of_int i) (Memory.load64 m r);
+          check Alcotest.int64 "v" (Int64.of_int (i * i)) (Memory.load64 m (r + 8))
+        done);
+    Alcotest.test_case "permute reorders rows" `Quick (fun () ->
+        let m = fresh_mem () in
+        let buf = Tuplebuf.create m ~row_size:8 ~capacity_hint:4 in
+        List.iter
+          (fun v ->
+            let r, _ = Tuplebuf.append m buf in
+            Memory.store64 m r v)
+          [ 30L; 10L; 20L ];
+        ignore (Tuplebuf.permute m buf [| 1; 2; 0 |]);
+        let at i = Memory.load64 m (Tuplebuf.row m buf i) in
+        check Alcotest.(list int64) "sorted" [ 10L; 20L; 30L ] [ at 0; at 1; at 2 ]);
+  ]
+
+let suite = memory_cases @ sso_cases @ sso_props @ htable_cases @ tuplebuf_cases

@@ -1,0 +1,134 @@
+(* Columnar storage and the deterministic data generators. *)
+
+open Qcomp_vm
+open Qcomp_storage
+
+let check = Alcotest.check
+
+let schema =
+  Schema.make "t"
+    [
+      ("id", Schema.Int64);
+      ("grp", Schema.Int32);
+      ("amt", Schema.Decimal 2);
+      ("tag", Schema.Str);
+      ("d", Schema.Date);
+      ("f", Schema.Bool);
+    ]
+
+let fresh rows =
+  let mem = Memory.create (1 lsl 22) in
+  let t = Table.create mem schema ~rows in
+  (mem, t)
+
+let suite =
+  [
+    Alcotest.test_case "schema lookups" `Quick (fun () ->
+        check Alcotest.int "cols" 6 (Schema.num_cols schema);
+        check Alcotest.int "grp" 1 (Schema.col_index schema "grp");
+        check Alcotest.bool "amt type" true (Schema.col_ty schema 2 = Schema.Decimal 2));
+    Alcotest.test_case "unknown column raises" `Quick (fun () ->
+        match Schema.col_index schema "nope" with
+        | exception _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "strides" `Quick (fun () ->
+        check Alcotest.int "i64" 8 (Schema.stride Schema.Int64);
+        check Alcotest.int "i32" 4 (Schema.stride Schema.Int32);
+        check Alcotest.int "date" 4 (Schema.stride Schema.Date);
+        check Alcotest.int "str sso" 16 (Schema.stride Schema.Str);
+        check Alcotest.int "bool" 1 (Schema.stride Schema.Bool));
+    Alcotest.test_case "set/get integer round trips" `Quick (fun () ->
+        let mem, t = fresh 10 in
+        Table.set_i64 mem t ~col:0 ~row:3 123456789L;
+        Table.set_i64 mem t ~col:1 ~row:3 (-42L);
+        check Alcotest.int64 "i64" 123456789L (Table.get_i64 mem t ~col:0 ~row:3);
+        check Alcotest.int64 "i32 sext" (-42L) (Table.get_i64 mem t ~col:1 ~row:3));
+    Alcotest.test_case "string cells" `Quick (fun () ->
+        let mem, t = fresh 4 in
+        Table.set_str mem t ~col:3 ~row:0 "short";
+        Table.set_str mem t ~col:3 ~row:1 "a very long string beyond inline";
+        check Alcotest.string "short" "short" (Table.get_str mem t ~col:3 ~row:0);
+        check Alcotest.string "long" "a very long string beyond inline"
+          (Table.get_str mem t ~col:3 ~row:1));
+    Alcotest.test_case "columns are contiguous" `Quick (fun () ->
+        let _, t = fresh 10 in
+        check Alcotest.int "row stride i64" 8
+          (Table.cell_addr t 0 1 - Table.cell_addr t 0 0);
+        check Alcotest.int "row stride i32" 4
+          (Table.cell_addr t 1 1 - Table.cell_addr t 1 0));
+    Alcotest.test_case "datagen deterministic per seed" `Quick (fun () ->
+        let gens =
+          [|
+            Datagen.Serial 100;
+            Datagen.Uniform (0, 9);
+            Datagen.DecimalRange (1, 99999);
+            Datagen.Words (Datagen.word_pool, 2);
+            Datagen.DateRange (0, 3650);
+            Datagen.Flag 0.5;
+          |]
+        in
+        let snapshot () =
+          let mem, t = fresh 50 in
+          Datagen.fill mem t ~seed:7L gens;
+          List.init 50 (fun r ->
+              ( Table.get_i64 mem t ~col:0 ~row:r,
+                Table.get_i64 mem t ~col:1 ~row:r,
+                Table.get_str mem t ~col:3 ~row:r ))
+        in
+        check Alcotest.bool "identical runs" true (snapshot () = snapshot ()));
+    Alcotest.test_case "serial generates consecutive keys" `Quick (fun () ->
+        let mem, t = fresh 20 in
+        Datagen.fill mem t ~seed:1L
+          [| Datagen.Serial 5; Datagen.Uniform (0, 1); Datagen.DecimalRange (0, 1);
+             Datagen.Words (Datagen.word_pool, 1); Datagen.DateRange (0, 1);
+             Datagen.Flag 0.0 |];
+        for r = 0 to 19 do
+          check Alcotest.int64 "key" (Int64.of_int (5 + r)) (Table.get_i64 mem t ~col:0 ~row:r)
+        done);
+    Alcotest.test_case "uniform respects bounds" `Quick (fun () ->
+        let mem, t = fresh 500 in
+        Datagen.fill mem t ~seed:3L
+          [| Datagen.Uniform (10, 20); Datagen.Uniform (0, 0); Datagen.DecimalRange (0, 1);
+             Datagen.Words (Datagen.word_pool, 1); Datagen.DateRange (0, 1);
+             Datagen.Flag 1.0 |];
+        for r = 0 to 499 do
+          let v = Table.get_i64 mem t ~col:0 ~row:r in
+          check Alcotest.bool "in range" true (v >= 10L && v <= 20L)
+        done);
+    Alcotest.test_case "zipf favors small values" `Quick (fun () ->
+        let mem, t = fresh 2000 in
+        Datagen.fill mem t ~seed:3L
+          [| Datagen.Zipf 100; Datagen.Uniform (0, 1); Datagen.DecimalRange (0, 1);
+             Datagen.Words (Datagen.word_pool, 1); Datagen.DateRange (0, 1);
+             Datagen.Flag 0.5 |];
+        let small = ref 0 in
+        for r = 0 to 1999 do
+          if Table.get_i64 mem t ~col:0 ~row:r < 10L then incr small
+        done;
+        check Alcotest.bool "head-heavy" true (!small > 400));
+    Alcotest.test_case "pattern substitutes digits and letters" `Quick (fun () ->
+        let mem, t = fresh 30 in
+        Datagen.fill mem t ~seed:3L
+          [| Datagen.Uniform (0, 1); Datagen.Uniform (0, 1); Datagen.DecimalRange (0, 1);
+             Datagen.Pattern "ID-###-@@"; Datagen.DateRange (0, 1); Datagen.Flag 0.5 |];
+        for r = 0 to 29 do
+          let s = Table.get_str mem t ~col:3 ~row:r in
+          check Alcotest.int "len" 9 (String.length s);
+          check Alcotest.string "prefix" "ID-" (String.sub s 0 3);
+          String.iteri
+            (fun i c ->
+              if i >= 3 && i <= 5 then
+                check Alcotest.bool "digit" true (c >= '0' && c <= '9');
+              if i >= 7 then check Alcotest.bool "letter" true (c >= 'A' && c <= 'Z'))
+            s
+        done);
+    Alcotest.test_case "flag probability extremes" `Quick (fun () ->
+        let mem, t = fresh 100 in
+        Datagen.fill mem t ~seed:3L
+          [| Datagen.Uniform (0, 1); Datagen.Uniform (0, 1); Datagen.DecimalRange (0, 1);
+             Datagen.Words (Datagen.word_pool, 1); Datagen.DateRange (0, 1);
+             Datagen.Flag 1.0 |];
+        for r = 0 to 99 do
+          check Alcotest.int64 "always 1" 1L (Table.get_i64 mem t ~col:5 ~row:r)
+        done);
+  ]

@@ -1,0 +1,60 @@
+(* Timing collector semantics (hierarchy, accumulation, disabled mode). *)
+
+open Qcomp_support
+
+let check = Alcotest.check
+
+let suite =
+  [
+    Alcotest.test_case "disabled collector records nothing" `Quick (fun () ->
+        let t = Timing.create ~enabled:false () in
+        Timing.scope t "x" (fun () -> ());
+        check Alcotest.int "events" 0 (Timing.event_count t);
+        check Alcotest.(list (pair string (float 0.0))) "flat" [] (Timing.flat t));
+    Alcotest.test_case "scope returns the result and re-raises" `Quick (fun () ->
+        let t = Timing.create () in
+        check Alcotest.int "result" 42 (Timing.scope t "a" (fun () -> 42));
+        Alcotest.check_raises "exn propagates" Exit (fun () ->
+            Timing.scope t "b" (fun () -> raise Exit));
+        (* the failing scope is still recorded *)
+        check Alcotest.bool "b recorded" true
+          (List.exists (fun (p, _, _) -> p = "b") (Timing.entries t)));
+    Alcotest.test_case "nesting produces slash paths" `Quick (fun () ->
+        let t = Timing.create () in
+        Timing.scope t "outer" (fun () -> Timing.scope t "inner" (fun () -> ()));
+        let paths = List.map (fun (p, _, _) -> p) (Timing.entries t) in
+        check Alcotest.(list string) "paths" [ "outer"; "outer/inner" ] paths);
+    Alcotest.test_case "repeated scopes accumulate counts" `Quick (fun () ->
+        let t = Timing.create () in
+        for _ = 1 to 5 do
+          Timing.scope t "p" (fun () -> ())
+        done;
+        match Timing.entries t with
+        | [ ("p", _, count) ] -> check Alcotest.int "count" 5 count
+        | es -> Alcotest.fail (Printf.sprintf "unexpected entries (%d)" (List.length es)));
+    Alcotest.test_case "add charges without running" `Quick (fun () ->
+        let t = Timing.create () in
+        Timing.add t "x" 1.5;
+        Timing.add t "x" 0.5;
+        match Timing.flat t with
+        | [ ("x", secs) ] -> check (Alcotest.float 1e-9) "sum" 2.0 secs
+        | _ -> Alcotest.fail "expected one flat entry");
+    Alcotest.test_case "total counts top-level only" `Quick (fun () ->
+        let t = Timing.create () in
+        Timing.add t "a" 1.0;
+        Timing.scope t "b" (fun () -> Timing.add t "sub" 100.0);
+        (* 'sub' is nested under b; total must not double-count it *)
+        check Alcotest.bool "total < 3" true (Timing.total t < 3.0));
+    Alcotest.test_case "parents listed before children" `Quick (fun () ->
+        let t = Timing.create () in
+        Timing.scope t "p" (fun () -> Timing.scope t "c" (fun () -> ()));
+        match List.map (fun (p, _, _) -> p) (Timing.entries t) with
+        | "p" :: _ -> ()
+        | l -> Alcotest.fail (String.concat "," l));
+    Alcotest.test_case "reset clears" `Quick (fun () ->
+        let t = Timing.create () in
+        Timing.scope t "x" (fun () -> ());
+        Timing.reset t;
+        check Alcotest.int "events" 0 (Timing.event_count t);
+        check Alcotest.int "entries" 0 (List.length (Timing.entries t)));
+  ]

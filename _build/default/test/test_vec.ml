@@ -1,0 +1,74 @@
+(* Vec growable arrays: unit behaviour plus a model-based property. *)
+
+open Qcomp_support
+
+let check = Alcotest.check
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let unit_cases =
+  [
+    Alcotest.test_case "create empty" `Quick (fun () ->
+        let v = Vec.create ~dummy:0 () in
+        check Alcotest.int "len" 0 (Vec.length v);
+        check Alcotest.bool "empty" true (Vec.is_empty v));
+    Alcotest.test_case "push returns indices" `Quick (fun () ->
+        let v = Vec.create ~dummy:0 () in
+        check Alcotest.int "i0" 0 (Vec.push v 10);
+        check Alcotest.int "i1" 1 (Vec.push v 20);
+        check Alcotest.int "get" 20 (Vec.get v 1));
+    Alcotest.test_case "growth across doubling boundary" `Quick (fun () ->
+        let v = Vec.create ~dummy:(-1) () in
+        for i = 0 to 1000 do
+          ignore (Vec.push v i)
+        done;
+        check Alcotest.int "len" 1001 (Vec.length v);
+        check Alcotest.int "first" 0 (Vec.get v 0);
+        check Alcotest.int "last" 1000 (Vec.last v));
+    Alcotest.test_case "out of bounds raises" `Quick (fun () ->
+        let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+        Alcotest.check_raises "get 3" (Invalid_argument "Vec.get") (fun () ->
+            ignore (Vec.get v 3));
+        Alcotest.check_raises "get -1" (Invalid_argument "Vec.get") (fun () ->
+            ignore (Vec.get v (-1))));
+    Alcotest.test_case "pop/truncate/clear" `Quick (fun () ->
+        let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4 ] in
+        check Alcotest.int "pop" 4 (Vec.pop v);
+        Vec.truncate v 2;
+        check Alcotest.(list int) "trunc" [ 1; 2 ] (Vec.to_list v);
+        Vec.clear v;
+        check Alcotest.int "clear" 0 (Vec.length v));
+    Alcotest.test_case "sort" `Quick (fun () ->
+        let v = Vec.of_list ~dummy:0 [ 5; 1; 4; 2; 3 ] in
+        Vec.sort compare v;
+        check Alcotest.(list int) "sorted" [ 1; 2; 3; 4; 5 ] (Vec.to_list v));
+    Alcotest.test_case "blit_into replaces" `Quick (fun () ->
+        let a = Vec.of_list ~dummy:0 [ 1; 2 ] in
+        let b = Vec.of_list ~dummy:0 [ 9; 9; 9 ] in
+        Vec.blit_into a b;
+        check Alcotest.(list int) "b=a" [ 1; 2 ] (Vec.to_list b));
+    Alcotest.test_case "copy is independent" `Quick (fun () ->
+        let a = Vec.of_list ~dummy:0 [ 1; 2 ] in
+        let b = Vec.copy a in
+        Vec.set b 0 99;
+        check Alcotest.int "a unchanged" 1 (Vec.get a 0));
+  ]
+
+let props =
+  [
+    prop "to_list . of_list = id" QCheck2.Gen.(list small_int) (fun l ->
+        Vec.to_list (Vec.of_list ~dummy:0 l) = l);
+    prop "fold_left sums like list" QCheck2.Gen.(list small_int) (fun l ->
+        Vec.fold_left ( + ) 0 (Vec.of_list ~dummy:0 l) = List.fold_left ( + ) 0 l);
+    prop "sort agrees with List.sort" QCheck2.Gen.(list small_int) (fun l ->
+        let v = Vec.of_list ~dummy:0 l in
+        Vec.sort compare v;
+        Vec.to_list v = List.sort compare l);
+    prop "push/pop stack discipline" QCheck2.Gen.(list small_int) (fun l ->
+        let v = Vec.create ~dummy:0 () in
+        List.iter (fun x -> ignore (Vec.push v x)) l;
+        let out = List.rev_map (fun _ -> Vec.pop v) l in
+        out = l);
+  ]
+
+let suite = unit_cases @ props

@@ -1,0 +1,101 @@
+(* Workload definitions: every TPC-H-like and TPC-DS-like query must plan,
+   type-check, lower to verified IR, and run under the interpreter at a
+   small scale factor. *)
+
+open Qcomp_engine
+module Spec = Qcomp_workloads.Spec
+
+let check = Alcotest.check
+
+let structure_cases =
+  [
+    Alcotest.test_case "tpch has 22 queries" `Quick (fun () ->
+        check Alcotest.int "22" 22
+          (List.length (Experiments.queries_of Experiments.Tpch)));
+    Alcotest.test_case "tpcds has 103 queries" `Quick (fun () ->
+        check Alcotest.int "103" 103
+          (List.length (Experiments.queries_of Experiments.Tpcds)));
+    Alcotest.test_case "query names unique per workload" `Quick (fun () ->
+        List.iter
+          (fun wl ->
+            let names =
+              List.map (fun (q : Spec.query) -> q.Spec.q_name) (Experiments.queries_of wl)
+            in
+            check Alcotest.int "unique" (List.length names)
+              (List.length (List.sort_uniq compare names)))
+          [ Experiments.Tpch; Experiments.Tpcds ]);
+    Alcotest.test_case "scale factor scales row counts" `Quick (fun () ->
+        List.iter
+          (fun wl ->
+            let rows sf =
+              List.fold_left
+                (fun acc (t : Spec.table_spec) -> acc + t.Spec.rows_at sf)
+                0
+                (Experiments.tables_of wl sf)
+            in
+            check Alcotest.bool "sf2 > sf1" true (rows 2 > rows 1))
+          [ Experiments.Tpch; Experiments.Tpcds ]);
+    Alcotest.test_case "tpcds families cover the documented mix" `Quick (fun () ->
+        (* scan-agg, star joins of increasing depth, decimal-heavy, report *)
+        let queries = Experiments.queries_of Experiments.Tpcds in
+        let joins =
+          List.map
+            (fun (q : Spec.query) -> Qcomp_plan.Algebra.num_joins q.Spec.q_plan)
+            queries
+        in
+        check Alcotest.bool "some scan-only" true (List.exists (fun j -> j = 0) joins);
+        check Alcotest.bool "deep stars" true (List.exists (fun j -> j >= 3) joins));
+  ]
+
+let lowering_cases =
+  List.concat_map
+    (fun (wl, wl_name) ->
+      let db = Experiments.make_db ~mem_size:(1 lsl 26) Qcomp_vm.Target.x64 wl ~sf:1 in
+      List.filteri (fun i _ -> i mod 7 = 0) (Experiments.queries_of wl)
+      |> List.map (fun (q : Spec.query) ->
+             Alcotest.test_case
+               (Printf.sprintf "%s/%s lowers to verified IR" wl_name q.Spec.q_name)
+               `Quick
+               (fun () ->
+                 let cq = Engine.plan_to_ir db ~name:q.Spec.q_name q.Spec.q_plan in
+                 Qcomp_ir.Verify.verify_module cq.Qcomp_codegen.Codegen.modul)))
+    [ (Experiments.Tpch, "tpch"); (Experiments.Tpcds, "tpcds") ]
+
+let execution_cases =
+  [
+    Alcotest.test_case "tpch sf1 runs under the interpreter" `Slow (fun () ->
+        let r =
+          Experiments.measure ~execute:true ~timing_enabled:false Qcomp_vm.Target.x64
+            Experiments.Tpch ~sf:1 Engine.interpreter
+        in
+        check Alcotest.int "22 results" 22 (List.length r.Experiments.wr_queries);
+        (* a workload where every query returns zero rows would be useless *)
+        let nonempty =
+          List.filter (fun q -> q.Experiments.qr_rows > 0) r.Experiments.wr_queries
+        in
+        check Alcotest.bool "most queries return rows" true
+          (List.length nonempty > 18));
+    Alcotest.test_case "tpcds sf1 runs under the interpreter" `Slow (fun () ->
+        let r =
+          Experiments.measure ~execute:true ~timing_enabled:false Qcomp_vm.Target.x64
+            Experiments.Tpcds ~sf:1 Engine.interpreter
+        in
+        check Alcotest.int "103 results" 103 (List.length r.Experiments.wr_queries);
+        let nonempty =
+          List.filter (fun q -> q.Experiments.qr_rows > 0) r.Experiments.wr_queries
+        in
+        check Alcotest.bool "most queries return rows" true
+          (List.length nonempty > 90));
+    Alcotest.test_case "datagen is identical across dbs" `Quick (fun () ->
+        let sum wl =
+          let r =
+            Experiments.measure ~execute:true ~timing_enabled:false Qcomp_vm.Target.x64
+              wl ~sf:1 Engine.interpreter
+          in
+          List.map (fun q -> q.Experiments.qr_checksum) r.Experiments.wr_queries
+        in
+        check Alcotest.(list int64) "same checksums" (sum Experiments.Tpch)
+          (sum Experiments.Tpch));
+  ]
+
+let suite = structure_cases @ lowering_cases @ execution_cases
