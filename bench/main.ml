@@ -405,6 +405,68 @@ let fallbacks () =
   Printf.printf "without FastISel CRC32 support (pre-upstream):\n";
   show r2
 
+(* ---------------- serving (lib/server) ---------------- *)
+
+(* Replay a repeated-query stream through every serving policy: each static
+   back-end (the paper's Table III tradeoff as a serving discipline), the
+   fingerprint-keyed code cache, and tiered interpret->JIT execution with
+   background compilation. Every duration in the virtual timeline is
+   deterministic, so this experiment's numbers are byte-identical across
+   runs with the same seed. *)
+let serve () =
+  header "Serving: static back-ends vs compiled-code cache vs tiered execution";
+  let open Qcomp_server in
+  let n = 60 in
+  let queries =
+    List.map
+      (fun (q : Qcomp_workloads.Spec.query) ->
+        (q.Qcomp_workloads.Spec.q_name, q.Qcomp_workloads.Spec.q_plan))
+      (Experiments.queries_of Experiments.Tpch)
+  in
+  let stream = Server.make_stream ~seed:42L ~n queries in
+  Printf.printf "TPC-H-like, sf=%d, %d-query stream (%d distinct plans), 4 workers\n\n"
+    sf_tpch_small n
+    (List.length (List.sort_uniq compare (List.map fst stream)));
+  let run mode =
+    let db =
+      Experiments.make_db Target.x64 Experiments.Tpch ~sf:sf_tpch_small
+    in
+    let r = Server.run db { Server.default_config with Server.mode } stream in
+    Format.printf "%a@." (Server.pp_report ~per_query:false) r;
+    r
+  in
+  let statics =
+    List.map
+      (fun (_, b) -> run (Server.Static b))
+      (backends_for Target.x64)
+  in
+  let _cached = run Server.Cached in
+  let tiered = run Server.Tiered in
+  let best_static =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some (b : Server.report) when b.Server.r_total_latency <= r.Server.r_total_latency -> acc
+        | _ -> Some r)
+      None statics
+  in
+  (match best_static with
+  | Some b ->
+      let hit_rate =
+        let s = tiered.Server.r_cache in
+        if s.Lru.hits + s.Lru.misses > 0 then
+          100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
+        else 0.0
+      in
+      Printf.printf
+        "summary: tiered total latency %.6fs vs best static (%s) %.6fs -> %s; cache hit rate %.1f%% -> %s\n"
+        tiered.Server.r_total_latency b.Server.r_mode b.Server.r_total_latency
+        (if tiered.Server.r_total_latency <= b.Server.r_total_latency then "OK"
+         else "VIOLATION")
+        hit_rate
+        (if tiered.Server.r_cache.Lru.hits > 0 then "OK" else "VIOLATION")
+  | None -> ())
+
 (* ---------------- Bechamel micro-suite ---------------- *)
 
 (* One Test.make per table/figure: each benchmark runs the compile-time
@@ -471,6 +533,7 @@ let experiments =
     ("table3", table3);
     ("fig6", fig6);
     ("fig7", fig7);
+    ("serve", serve);
     ("fallbacks", fallbacks);
     ("ablation-struct", ablation_struct);
     ("ablation-codemodel", ablation_codemodel);

@@ -1,0 +1,165 @@
+(* Query-serving CLI: replay a deterministic repeated-query stream from the
+   TPC-H/TPC-DS-like workloads through the lib/server scheduler.
+
+   Usage:
+     serve [tpch|tpcds] [options]
+       --mode tiered|cached|static:<backend>   serving policy (default tiered)
+       --queries N      stream length (default 50)
+       --workers W      execution workers (default 4)
+       --slots C        background compile slots (default 2)
+       --morsel M       rows per execution quantum (default 512)
+       --cache N        module-cache capacity in entries (default 64)
+       --sf K           scale factor (default 2)
+       --gap-us G       mean inter-arrival gap in microseconds (default 500)
+       --seed S         stream/arrival seed (default 42)
+       --per-query      print one line per completed query
+       --validate       also check every checksum against Engine.run_plan
+
+   Two invocations with the same arguments print byte-identical reports:
+   every duration in the virtual timeline is deterministic (modelled
+   compile seconds, emulated execution cycles). *)
+
+open Qcomp_engine
+open Qcomp_server
+
+let usage () =
+  prerr_endline
+    "usage: serve [tpch|tpcds] [--mode tiered|cached|static:<backend>] [--queries N]\n\
+    \             [--workers W] [--slots C] [--morsel M] [--cache N] [--sf K]\n\
+    \             [--gap-us G] [--seed S] [--per-query] [--validate]";
+  exit 1
+
+let int_arg name v =
+  match int_of_string_opt v with
+  | Some n when n >= 0 -> n
+  | _ ->
+      Printf.eprintf "%s: expected a non-negative integer, got %s\n" name v;
+      exit 1
+
+let pos_arg name v =
+  let n = int_arg name v in
+  if n = 0 then begin
+    Printf.eprintf "%s: must be positive\n" name;
+    exit 1
+  end;
+  n
+
+let backend_of_name = function
+  | "interpreter" -> Engine.interpreter
+  | "directemit" -> Engine.directemit
+  | "cranelift" -> Engine.cranelift
+  | "llvm-cheap" -> Engine.llvm_cheap
+  | "llvm-opt" -> Engine.llvm_opt
+  | "gcc" -> Engine.gcc
+  | b ->
+      Printf.eprintf "unknown back-end %s\n" b;
+      exit 1
+
+let () =
+  let workload = ref Experiments.Tpch in
+  let cfg = ref Server.default_config in
+  let n = ref 50 in
+  let sf = ref 2 in
+  let per_query = ref false in
+  let validate = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "tpch" :: rest ->
+        workload := Experiments.Tpch;
+        parse rest
+    | "tpcds" :: rest ->
+        workload := Experiments.Tpcds;
+        parse rest
+    | "--mode" :: m :: rest ->
+        (cfg :=
+           {
+             !cfg with
+             Server.mode =
+               (match m with
+               | "tiered" -> Server.Tiered
+               | "cached" -> Server.Cached
+               | _ when String.length m > 7 && String.sub m 0 7 = "static:" ->
+                   Server.Static
+                     (backend_of_name (String.sub m 7 (String.length m - 7)))
+               | _ -> usage ());
+           });
+        parse rest
+    | "--queries" :: v :: rest ->
+        n := int_arg "--queries" v;
+        parse rest
+    | "--workers" :: v :: rest ->
+        cfg := { !cfg with Server.workers = pos_arg "--workers" v };
+        parse rest
+    | "--slots" :: v :: rest ->
+        cfg := { !cfg with Server.compile_slots = int_arg "--slots" v };
+        parse rest
+    | "--morsel" :: v :: rest ->
+        cfg := { !cfg with Server.morsel = pos_arg "--morsel" v };
+        parse rest
+    | "--cache" :: v :: rest ->
+        cfg := { !cfg with Server.cache_capacity = pos_arg "--cache" v };
+        parse rest
+    | "--sf" :: v :: rest ->
+        sf := pos_arg "--sf" v;
+        parse rest
+    | "--gap-us" :: v :: rest ->
+        cfg := { !cfg with Server.mean_gap_s = float_of_string v *. 1e-6 };
+        parse rest
+    | "--seed" :: v :: rest ->
+        cfg := { !cfg with Server.seed = Int64.of_string v };
+        parse rest
+    | "--per-query" :: rest ->
+        per_query := true;
+        parse rest
+    | "--validate" :: rest ->
+        validate := true;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf "unknown argument %s\n" a;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let target = Qcomp_vm.Target.x64 in
+  let db = Experiments.make_db target !workload ~sf:!sf in
+  let queries =
+    List.map
+      (fun (q : Qcomp_workloads.Spec.query) ->
+        (q.Qcomp_workloads.Spec.q_name, q.Qcomp_workloads.Spec.q_plan))
+      (Experiments.queries_of !workload)
+  in
+  let stream = Server.make_stream ~seed:(!cfg).Server.seed ~n:!n queries in
+  let report = Server.run db !cfg stream in
+  Format.printf "%a" (Server.pp_report ~per_query:!per_query) report;
+  if !validate then begin
+    (* every distinct plan's serving checksum must match the classic
+       run_plan path on a fresh database *)
+    let vdb = Experiments.make_db target !workload ~sf:!sf in
+    let timing = Qcomp_support.Timing.create ~enabled:false () in
+    let expected = Hashtbl.create 32 in
+    let bad = ref 0 in
+    List.iter
+      (fun (q : Server.query_metrics) ->
+        let sum =
+          match Hashtbl.find_opt expected q.Server.qm_name with
+          | Some s -> s
+          | None ->
+              let plan = List.assoc q.Server.qm_name queries in
+              let r, _, _ =
+                Engine.run_plan vdb ~backend:Engine.interpreter ~timing
+                  ~name:q.Server.qm_name plan
+              in
+              let s = Engine.checksum r.Engine.rows in
+              Hashtbl.replace expected q.Server.qm_name s;
+              s
+        in
+        if not (Int64.equal sum q.Server.qm_checksum) then begin
+          incr bad;
+          Printf.printf "MISMATCH %s: served %Lx expected %Lx\n"
+            q.Server.qm_name q.Server.qm_checksum sum
+        end)
+      report.Server.r_queries;
+    if !bad = 0 then
+      Printf.printf "validate: all %d served results match run_plan\n"
+        (List.length report.Server.r_queries)
+    else exit 1
+  end

@@ -1,7 +1,10 @@
 (* Differential validation tool: every back-end must reproduce the
    interpreter's (order-sensitive) result checksum on every query of a
-   workload.  Usage: validate [tpch|tpcds] *)
+   workload — and so must the serving layer's cached and tiered execution
+   paths (lib/server), which reuse compiled modules and hot-swap back-ends
+   mid-query.  Usage: validate [tpch|tpcds] *)
 open Qcomp_engine
+open Qcomp_server
 module Spec = Qcomp_workloads.Spec
 let () =
   let target = Qcomp_vm.Target.x64 in
@@ -25,4 +28,25 @@ let () =
         queries;
       Printf.printf "%s done\n%!" bname)
     [ ("directemit", Engine.directemit); ("cranelift", Engine.cranelift);
-      ("llvm-cheap", Engine.llvm_cheap); ("llvm-opt", Engine.llvm_opt); ("gcc", Engine.gcc) ]
+      ("llvm-cheap", Engine.llvm_cheap); ("llvm-opt", Engine.llvm_opt); ("gcc", Engine.gcc) ];
+  (* serving paths: replay every query (twice, so the second pass exercises
+     cache hits) through the deterministic scheduler and compare each served
+     checksum against the interpreter reference *)
+  let stream =
+    List.concat_map
+      (fun (q : Spec.query) -> [ (q.Spec.q_name, q.Spec.q_plan); (q.Spec.q_name, q.Spec.q_plan) ])
+      queries
+  in
+  List.iter
+    (fun mode ->
+      let db = Experiments.make_db target wl ~sf in
+      let report = Server.run db { Server.default_config with Server.mode } stream in
+      List.iter
+        (fun (qm : Server.query_metrics) ->
+          let expect = List.assoc qm.Server.qm_name refsums in
+          if not (Int64.equal qm.Server.qm_checksum expect) then
+            Printf.printf "%s %s WRONG\n%!" (Server.mode_name mode) qm.Server.qm_name)
+        report.Server.r_queries;
+      Printf.printf "%s done (cache hits %d)\n%!" (Server.mode_name mode)
+        report.Server.r_cache.Lru.hits)
+    [ Server.Cached; Server.Tiered ]

@@ -127,8 +127,12 @@ let read_output db (cq : Qcomp_codegen.Codegen.compiled) ~state : cell array lis
   done;
   !rows
 
-(** Execute an already-back-end-compiled query. *)
-let execute db (cq : Qcomp_codegen.Codegen.compiled)
+(** Execute an already-back-end-compiled query. [from]/[upto] restrict the
+    row range of morsel-driven ([`Table]) scan steps so callers can run a
+    partial scan; whole-object steps (prepare, sort, aggregate rescan) are
+    unaffected. Defaults execute every row, keeping the historical
+    semantics. *)
+let execute db ?(from = 0) ?upto (cq : Qcomp_codegen.Codegen.compiled)
     (cm : Qcomp_backend.Backend.compiled_module) : result =
   let mem = memory db in
   let state = Memory.alloc mem ~align:16 cq.Qcomp_codegen.Codegen.state_size in
@@ -141,14 +145,17 @@ let execute db (cq : Qcomp_codegen.Codegen.compiled)
   List.iter
     (fun (step : Qcomp_codegen.Codegen.step) ->
       let addr = Qcomp_backend.Backend.find_fn cm step.Qcomp_codegen.Codegen.fn_name in
-      let hi =
+      let lo, hi =
         match step.Qcomp_codegen.Codegen.range with
-        | `Table t -> Int64.of_int (Table.rows (table db t))
-        | `Whole -> 0L
+        | `Table t ->
+            let rows = Table.rows (table db t) in
+            let hi = match upto with Some u -> min u rows | None -> rows in
+            (Int64.of_int (min from hi), Int64.of_int hi)
+        | `Whole -> (0L, 0L)
       in
       ignore
         (Emu.call db.emu ~addr:(Int64.to_int addr)
-           ~args:[| Int64.of_int state; 0L; hi |]))
+           ~args:[| Int64.of_int state; lo; hi |]))
     cq.Qcomp_codegen.Codegen.steps;
   let exec_cycles = Emu.cycles db.emu in
   let exec_instructions = Emu.instructions_executed db.emu in

@@ -66,8 +66,17 @@ val checksum : cell array list -> int64
 (** Read the materialized output rows of an executed query. *)
 val read_output : db -> Qcomp_codegen.Codegen.compiled -> state:int -> cell array list
 
-(** Execute an already-back-end-compiled query. *)
-val execute : db -> Qcomp_codegen.Codegen.compiled -> Qcomp_backend.Backend.compiled_module -> result
+(** Execute an already-back-end-compiled query. [from]/[upto] restrict the
+    row range of morsel-driven ([`Table]) scan steps so callers (e.g. the
+    serving layer) can run a partial scan; whole-object steps are
+    unaffected. Defaults keep the historical run-everything semantics. *)
+val execute :
+  db ->
+  ?from:int ->
+  ?upto:int ->
+  Qcomp_codegen.Codegen.compiled ->
+  Qcomp_backend.Backend.compiled_module ->
+  result
 
 (** Compile a plan to an Umbra IR module (produce/consume code generation). *)
 val plan_to_ir : db -> name:string -> Algebra.t -> Qcomp_codegen.Codegen.compiled

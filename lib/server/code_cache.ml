@@ -1,0 +1,107 @@
+(** Compiled-code cache: plan fingerprint -> back-end compiled module.
+
+    Two levels, mirroring how the compilation pipeline splits:
+
+    - a {e plan memo} keyed by [(fingerprint, target)] holding the
+      code-generated query ({!Qcomp_codegen.Codegen.compiled}). All
+      back-ends compiling the same plan share one codegen result, which is
+      what makes hot-swapping tiers possible: every tier's module exposes
+      the same function names over the same state layout.
+    - an {e LRU module cache} keyed by [(fingerprint, backend, target)]
+      holding the back-end's compiled module, its code size, and its
+      modelled compile cost. This is the bounded, evicting level — machine
+      code is the expensive artifact.
+
+    Eviction drops the cache's reference; the underlying emulator's code
+    memory is a bump allocator and is not reclaimed (see ROADMAP open
+    items), so [bytes_evicted] measures what a reclaiming allocator would
+    have freed. *)
+
+open Qcomp_engine
+
+type key = {
+  ck_fp : int64;  (** canonical plan fingerprint *)
+  ck_backend : string;
+  ck_target : string;
+}
+
+type entry = {
+  ce_cq : Qcomp_codegen.Codegen.compiled;
+  ce_cm : Qcomp_backend.Backend.compiled_module;
+  ce_compile_s : float;  (** modelled (simulated) compile seconds *)
+  ce_code_bytes : int;
+}
+
+type t = {
+  plans : (int64 * string, Qcomp_codegen.Codegen.compiled) Hashtbl.t;
+  modules : (key, entry) Lru.t;
+}
+
+let create ~capacity = { plans = Hashtbl.create 64; modules = Lru.create ~capacity }
+
+let key db ~backend plan =
+  {
+    ck_fp = Fingerprint.plan plan;
+    ck_backend = Qcomp_backend.Backend.name backend;
+    ck_target = db.Engine.target.Qcomp_vm.Target.name;
+  }
+
+(** Codegen once per (fingerprint, target); the memo is unbounded because
+    codegen results are small compared to machine code. *)
+let plan_ir t db ~fp ~name plan =
+  let pk = (fp, db.Engine.target.Qcomp_vm.Target.name) in
+  match Hashtbl.find_opt t.plans pk with
+  | Some cq -> cq
+  | None ->
+      let cq = Engine.plan_to_ir db ~name plan in
+      Hashtbl.replace t.plans pk cq;
+      cq
+
+let find t k = Lru.find t.modules k
+
+(** Compile without touching the LRU: a background compilation must not
+    become visible to other queries before the scheduler says its
+    (simulated) compile time has elapsed — the caller {!insert}s the entry
+    at the completion event. *)
+let compile_uncached t db ~backend ~name plan =
+  let k = key db ~backend plan in
+  let cq = plan_ir t db ~fp:k.ck_fp ~name plan in
+  let modul = cq.Qcomp_codegen.Codegen.modul in
+  let timing = Qcomp_support.Timing.create ~enabled:false () in
+  let cm =
+    Qcomp_backend.Backend.compile_module backend ~timing ~emu:db.Engine.emu
+      ~registry:db.Engine.registry ~unwind:db.Engine.unwind modul
+  in
+  {
+    ce_cq = cq;
+    ce_cm = cm;
+    ce_compile_s = Costmodel.compile_seconds ~backend:k.ck_backend modul;
+    ce_code_bytes = cm.Qcomp_backend.Backend.cm_code_size;
+  }
+
+let insert t k e = Lru.add t.modules k ~weight:e.ce_code_bytes e
+
+(** [get_or_compile t db ~backend ~name plan] is [(entry, hit)]: the cached
+    module for the plan under [backend], compiling (and inserting) on miss.
+    The returned [ce_compile_s] is the modelled cost — on a hit the caller
+    decides whether to charge it (a serving system does not). *)
+let get_or_compile t db ~backend ~name plan =
+  let k = key db ~backend plan in
+  match Lru.find t.modules k with
+  | Some e -> (e, true)
+  | None ->
+      let e = compile_uncached t db ~backend ~name plan in
+      insert t k e;
+      (e, false)
+
+let stats t = Lru.stats t.modules
+
+let pp_stats fmt t =
+  let s = Lru.stats t.modules in
+  Format.fprintf fmt
+    "hits %d  misses %d  hit-rate %.1f%%  entries %d  evictions %d  bytes %d  bytes-evicted %d"
+    s.Lru.hits s.Lru.misses
+    (if s.Lru.hits + s.Lru.misses > 0 then
+       100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
+     else 0.0)
+    s.Lru.entries s.Lru.evictions s.Lru.bytes s.Lru.bytes_evicted

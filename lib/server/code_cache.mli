@@ -1,0 +1,63 @@
+(** Compiled-code cache: plan fingerprint -> back-end compiled module.
+
+    An unbounded codegen memo keyed by [(fingerprint, target)] — shared
+    across back-ends so tiers can hot-swap over one state layout — plus a
+    bounded LRU of back-end modules keyed by
+    [(fingerprint, backend, target)] with hit/miss/eviction/byte stats. *)
+
+type key = {
+  ck_fp : int64;  (** canonical plan fingerprint *)
+  ck_backend : string;
+  ck_target : string;
+}
+
+type entry = {
+  ce_cq : Qcomp_codegen.Codegen.compiled;
+  ce_cm : Qcomp_backend.Backend.compiled_module;
+  ce_compile_s : float;  (** modelled (simulated) compile seconds *)
+  ce_code_bytes : int;
+}
+
+type t
+
+(** [create ~capacity] bounds the module LRU to [capacity] entries. *)
+val create : capacity:int -> t
+
+(** Cache key of [plan] compiled by [backend] for [db]'s target. *)
+val key : Qcomp_engine.Engine.db -> backend:Qcomp_backend.Backend.t -> Qcomp_plan.Algebra.t -> key
+
+(** LRU lookup (promotes, counts hit/miss). *)
+val find : t -> key -> entry option
+
+(** Codegen once per (fingerprint, target), memoized. *)
+val plan_ir :
+  t ->
+  Qcomp_engine.Engine.db ->
+  fp:int64 ->
+  name:string ->
+  Qcomp_plan.Algebra.t ->
+  Qcomp_codegen.Codegen.compiled
+
+(** Compile without touching the LRU (for background compilations that
+    become visible only at their simulated completion event). *)
+val compile_uncached :
+  t ->
+  Qcomp_engine.Engine.db ->
+  backend:Qcomp_backend.Backend.t ->
+  name:string ->
+  Qcomp_plan.Algebra.t ->
+  entry
+
+val insert : t -> key -> entry -> unit
+
+(** [(entry, hit)] — compiles and inserts on miss. *)
+val get_or_compile :
+  t ->
+  Qcomp_engine.Engine.db ->
+  backend:Qcomp_backend.Backend.t ->
+  name:string ->
+  Qcomp_plan.Algebra.t ->
+  entry * bool
+
+val stats : t -> Lru.stats
+val pp_stats : Format.formatter -> t -> unit

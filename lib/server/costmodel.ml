@@ -1,0 +1,49 @@
+(** Deterministic compile-time model for the discrete-event scheduler.
+
+    The serving simulator needs compile durations that are reproducible
+    bit-for-bit across runs, so instead of feeding measured wall-clock
+    (which varies run to run) it charges each background compilation a cost
+    that is a pure function of the IR module's size and the back-end's
+    per-function/per-instruction throughput. The coefficients are
+    calibrated against this repo's measured compile-time totals over the
+    TPC-DS-like workload (EXPERIMENTS.md, mirroring Table III of the
+    paper): DirectEmit compiles a few times slower than the interpreter
+    translates, Cranelift another ~20x slower, LLVM -O0 a further ~3x, LLVM
+    -O2 ~10x beyond that, and GCC slowest of all. Execution time needs no
+    model — the emulator's simulated cycles are already deterministic. *)
+
+type coeff = {
+  per_module : float;  (** fixed setup: context, module, symbol table [s] *)
+  per_function : float;  (** per generated function [s] *)
+  per_inst : float;  (** per Umbra-IR instruction [s] *)
+}
+
+(* Ordered cheap-to-expensive; the ratios matter more than the absolute
+   values because every serving policy is charged from the same table. *)
+let coeffs = function
+  | "interpreter" -> { per_module = 1e-6; per_function = 2e-7; per_inst = 2e-8 }
+  | "directemit" -> { per_module = 2e-6; per_function = 6e-7; per_inst = 7e-8 }
+  | "cranelift" -> { per_module = 1e-5; per_function = 5e-6; per_inst = 1.5e-6 }
+  | "llvm-cheap" -> { per_module = 6e-5; per_function = 1.5e-5; per_inst = 4.5e-6 }
+  | "llvm-opt" -> { per_module = 2e-4; per_function = 6e-5; per_inst = 4e-5 }
+  | "gcc" -> { per_module = 1.5e-3; per_function = 2.5e-4; per_inst = 1e-4 }
+  | _ ->
+      (* unknown back-ends get mid-range coefficients rather than failing:
+         the model only steers scheduling decisions *)
+      { per_module = 1e-5; per_function = 5e-6; per_inst = 1.5e-6 }
+
+let module_size (m : Qcomp_ir.Func.modul) =
+  let funcs = Qcomp_support.Vec.length m.Qcomp_ir.Func.funcs in
+  let insts = ref 0 in
+  Qcomp_support.Vec.iter
+    (fun f -> insts := !insts + Qcomp_ir.Func.num_insts f)
+    m.Qcomp_ir.Func.funcs;
+  (funcs, !insts)
+
+(** Simulated seconds to compile [m] with the named back-end. *)
+let compile_seconds ~backend (m : Qcomp_ir.Func.modul) =
+  let c = coeffs backend in
+  let funcs, insts = module_size m in
+  c.per_module
+  +. (c.per_function *. float_of_int funcs)
+  +. (c.per_inst *. float_of_int insts)

@@ -1,0 +1,13 @@
+(** Deterministic compile-time model for the discrete-event scheduler.
+
+    Charges each compilation a simulated duration that is a pure function
+    of IR-module size and per-back-end throughput coefficients (calibrated
+    against the repo's measured compile-time totals), so serving runs are
+    reproducible bit-for-bit. *)
+
+(** [(functions, instructions)] of an IR module. *)
+val module_size : Qcomp_ir.Func.modul -> int * int
+
+(** Simulated seconds to compile the module with the named back-end.
+    Unknown names get mid-range coefficients. *)
+val compile_seconds : backend:string -> Qcomp_ir.Func.modul -> float

@@ -1,0 +1,132 @@
+(** Resumable, morsel-wise execution of a compiled query, with hot-swap.
+
+    {!Qcomp_engine.Engine.execute} runs a query's steps start-to-finish;
+    a serving system instead needs to run {e one morsel at a time} so it
+    can interleave queries on workers and switch back-ends mid-query. This
+    module owns the per-execution state block and walks the step list one
+    quantum per {!step} call: a [`Whole] step is one quantum, a [`Table]
+    step is one quantum per morsel of rows. Every generated entry function
+    takes [(state, from, to)] (Sec. II of the paper), which is exactly what
+    makes the cut points free.
+
+    Hot-swap relies on all back-ends compiling the {e same} codegen result:
+    function names and the state-slot layout agree, so at any quantum
+    boundary the remaining calls can be answered by a different back-end's
+    module. {!swap} also re-applies the function-pointer fixups (e.g. sort
+    comparators) so indirect calls through the state block target the new
+    module from then on. *)
+
+open Qcomp_engine
+module Codegen = Qcomp_codegen.Codegen
+module Backend = Qcomp_backend.Backend
+module Memory = Qcomp_vm.Memory
+module Emu = Qcomp_vm.Emu
+module Table = Qcomp_storage.Table
+
+type t = {
+  db : Engine.db;
+  cq : Codegen.compiled;
+  mutable cm : Backend.compiled_module;
+  state : int;  (** VM address of the per-execution state block *)
+  mutable rest : Codegen.step list;  (** steps not yet finished *)
+  mutable cursor : int;  (** next row within the head step, if morsel-driven *)
+  mutable cycles : int;  (** simulated cycles consumed so far *)
+  mutable instructions : int;
+  mutable quanta : int;  (** total step calls issued *)
+  mutable swapped_at : int option;  (** quantum index of the hot-swap, if any *)
+}
+
+let apply_fixups db state (cq : Codegen.compiled) cm =
+  let mem = Engine.memory db in
+  List.iter
+    (fun (slot, fn) -> Memory.store64 mem (state + slot) (Backend.find_fn cm fn))
+    cq.Codegen.fn_ptr_fixups
+
+let start db (cq : Codegen.compiled) cm =
+  let mem = Engine.memory db in
+  let state = Memory.alloc mem ~align:16 cq.Codegen.state_size in
+  Memory.fill mem ~addr:state ~len:cq.Codegen.state_size '\000';
+  apply_fixups db state cq cm;
+  {
+    db;
+    cq;
+    cm;
+    state;
+    rest = cq.Codegen.steps;
+    cursor = 0;
+    cycles = 0;
+    instructions = 0;
+    quanta = 0;
+    swapped_at = None;
+  }
+
+let finished t = t.rest = []
+
+(** Switch the remaining quanta to [cm] (same codegen result, different
+    back-end). Only legal between quanta — the emulator is not running. *)
+let swap t cm =
+  if not (finished t) then begin
+    t.cm <- cm;
+    apply_fixups t.db t.state t.cq cm;
+    t.swapped_at <- Some t.quanta
+  end
+
+(** Run one quantum: the whole head step if [`Whole], else the next
+    [morsel] rows of it. Returns the simulated cycles it cost. *)
+let step t ~morsel =
+  match t.rest with
+  | [] -> `Done
+  | s :: rest ->
+      let addr = Backend.find_fn t.cm s.Codegen.fn_name in
+      let lo, hi, depleted =
+        match s.Codegen.range with
+        | `Whole -> (0L, 0L, true)
+        | `Table tbl ->
+            let rows = Table.rows (Engine.table t.db tbl) in
+            let lo = min t.cursor rows in
+            let hi = min (lo + max 1 morsel) rows in
+            t.cursor <- hi;
+            (Int64.of_int lo, Int64.of_int hi, hi >= rows)
+      in
+      let c0 = Emu.cycles t.db.Engine.emu in
+      let i0 = Emu.instructions_executed t.db.Engine.emu in
+      ignore
+        (Emu.call t.db.Engine.emu ~addr:(Int64.to_int addr)
+           ~args:[| Int64.of_int t.state; lo; hi |]);
+      let dc = Emu.cycles t.db.Engine.emu - c0 in
+      t.cycles <- t.cycles + dc;
+      t.instructions <- t.instructions + (Emu.instructions_executed t.db.Engine.emu - i0);
+      t.quanta <- t.quanta + 1;
+      if depleted then begin
+        t.rest <- rest;
+        t.cursor <- 0
+      end;
+      `Ran dc
+
+(** Drive the execution to completion; [on_quantum] observes each quantum's
+    cycle cost (the serving scheduler advances virtual time there). *)
+let run_to_end ?(on_quantum = fun _ -> ()) t ~morsel =
+  let rec loop () =
+    match step t ~morsel with
+    | `Done -> ()
+    | `Ran dc ->
+        on_quantum dc;
+        loop ()
+  in
+  loop ()
+
+(** Materialized output rows; meaningful once {!finished}. *)
+let rows t = Engine.read_output t.db t.cq ~state:t.state
+
+let result t : Engine.result =
+  let rows = rows t in
+  {
+    Engine.rows;
+    exec_cycles = t.cycles;
+    exec_instructions = t.instructions;
+    output_count = List.length rows;
+  }
+
+let cycles t = t.cycles
+let quanta t = t.quanta
+let swapped_at t = t.swapped_at

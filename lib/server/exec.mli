@@ -1,0 +1,41 @@
+(** Resumable, morsel-wise execution of a compiled query, with hot-swap
+    between back-ends at quantum boundaries.
+
+    All back-ends compile the same codegen result (same function names,
+    same state layout), so after {!swap} the remaining quanta are answered
+    by the new module; function-pointer fixups in the state block are
+    re-applied. *)
+
+type t
+
+(** Allocate and initialize a fresh execution of [cq] using [cm]'s code. *)
+val start :
+  Qcomp_engine.Engine.db ->
+  Qcomp_codegen.Codegen.compiled ->
+  Qcomp_backend.Backend.compiled_module ->
+  t
+
+val finished : t -> bool
+
+(** Switch the remaining quanta to another back-end's module for the same
+    codegen result. Only legal between quanta. *)
+val swap : t -> Qcomp_backend.Backend.compiled_module -> unit
+
+(** Run one quantum ([`Whole] step, or [morsel] rows of a [`Table] step);
+    returns its simulated cycle cost. *)
+val step : t -> morsel:int -> [ `Ran of int | `Done ]
+
+(** Drive to completion; [on_quantum] observes each quantum's cycles. *)
+val run_to_end : ?on_quantum:(int -> unit) -> t -> morsel:int -> unit
+
+(** Materialized output rows; meaningful once {!finished}. *)
+val rows : t -> Qcomp_engine.Engine.cell array list
+
+(** Result record matching {!Qcomp_engine.Engine.execute}'s shape. *)
+val result : t -> Qcomp_engine.Engine.result
+
+val cycles : t -> int
+val quanta : t -> int
+
+(** Quantum index at which the execution hot-swapped, if it did. *)
+val swapped_at : t -> int option

@@ -1,0 +1,104 @@
+(** Canonical plan fingerprints for the compiled-code cache.
+
+    A fingerprint is a structural 64-bit hash of a physical plan built from
+    the {!Qcomp_support.Hashes} primitives (the same CRC-32C/long-mul-fold
+    mix generated query code uses for value hashing). Structurally equal
+    plans — however they were constructed — hash identically, which is what
+    lets a serving system recognise a repeated query; any difference in
+    operator shape, column references, constants, types or table names
+    changes the hash. *)
+
+open Qcomp_support
+open Qcomp_plan
+
+(* Every node mixes a small constructor tag before its payload so that
+   e.g. [Filter (Scan t, p)] and [Project (Scan t, [p])] cannot collide by
+   concatenating identical payloads. *)
+
+let tag h t = Hashes.combine h (Hashes.hash64 (Int64.of_int t))
+let int h v = Hashes.combine h (Hashes.hash64 (Int64.of_int v))
+let i64 h v = Hashes.combine h (Hashes.hash64 v)
+
+let str h s =
+  let sh = ref 7L in
+  String.iter (fun c -> sh := Hashes.crc32c_byte !sh (Char.code c)) s;
+  (* include the length so "" in adjacent positions stays unambiguous *)
+  i64 (int h (String.length s)) !sh
+
+let sqlty h (t : Sqlty.t) =
+  match t with
+  | Sqlty.Int32 -> tag h 1
+  | Sqlty.Int64 -> tag h 2
+  | Sqlty.Date -> tag h 3
+  | Sqlty.Decimal s -> int (tag h 4) s
+  | Sqlty.Str -> tag h 5
+  | Sqlty.Bool -> tag h 6
+
+let pred_tag = function
+  | Expr.Eq -> 1
+  | Expr.Ne -> 2
+  | Expr.Lt -> 3
+  | Expr.Le -> 4
+  | Expr.Gt -> 5
+  | Expr.Ge -> 6
+
+let rec expr h (e : Expr.t) =
+  match e with
+  | Expr.Col i -> int (tag h 10) i
+  | Expr.Const_int (ty, v) -> i64 (sqlty (tag h 11) ty) v
+  | Expr.Const_str s -> str (tag h 12) s
+  | Expr.Add (a, b) -> expr (expr (tag h 13) a) b
+  | Expr.Sub (a, b) -> expr (expr (tag h 14) a) b
+  | Expr.Mul (a, b) -> expr (expr (tag h 15) a) b
+  | Expr.Div (a, b) -> expr (expr (tag h 16) a) b
+  | Expr.Neg a -> expr (tag h 17) a
+  | Expr.Cmp (p, a, b) -> expr (expr (int (tag h 18) (pred_tag p)) a) b
+  | Expr.And (a, b) -> expr (expr (tag h 19) a) b
+  | Expr.Or (a, b) -> expr (expr (tag h 20) a) b
+  | Expr.Not a -> expr (tag h 21) a
+  | Expr.Like (a, p) -> str (expr (tag h 22) a) p
+  | Expr.Between (v, lo, hi) -> expr (expr (expr (tag h 23) v) lo) hi
+  | Expr.Case (whens, els) ->
+      let h =
+        List.fold_left (fun h (w, t) -> expr (expr (tag h 24) w) t) h whens
+      in
+      expr (tag h 25) els
+  | Expr.Cast (a, ty) -> sqlty (expr (tag h 26) a) ty
+
+let exprs h es = List.fold_left expr (int h (List.length es)) es
+
+let agg h (a : Algebra.agg) =
+  match a with
+  | Algebra.Count_star -> tag h 40
+  | Algebra.Sum e -> expr (tag h 41) e
+  | Algebra.Min e -> expr (tag h 42) e
+  | Algebra.Max e -> expr (tag h 43) e
+  | Algebra.Avg e -> expr (tag h 44) e
+
+let rec plan_h h (p : Algebra.t) =
+  match p with
+  | Algebra.Scan { table; filter } -> (
+      let h = str (tag h 60) table in
+      match filter with None -> tag h 61 | Some f -> expr (tag h 62) f)
+  | Algebra.Filter { input; pred } -> expr (plan_h (tag h 63) input) pred
+  | Algebra.Project { input; exprs = es } -> exprs (plan_h (tag h 64) input) es
+  | Algebra.Hash_join { build; probe; build_keys; probe_keys } ->
+      let h = plan_h (tag h 65) build in
+      let h = plan_h h probe in
+      exprs (exprs h build_keys) probe_keys
+  | Algebra.Group_by { input; keys; aggs } ->
+      let h = exprs (plan_h (tag h 66) input) keys in
+      List.fold_left agg (int h (List.length aggs)) aggs
+  | Algebra.Order_by { input; keys; limit } ->
+      let h = plan_h (tag h 67) input in
+      let h =
+        List.fold_left
+          (fun h (e, dir) ->
+            expr (tag h (match dir with Algebra.Asc -> 68 | Algebra.Desc -> 69)) e)
+          (int h (List.length keys))
+          keys
+      in
+      (match limit with None -> tag h 70 | Some n -> int (tag h 71) n)
+  | Algebra.Limit { input; n } -> int (plan_h (tag h 72) input) n
+
+let plan p = plan_h 0x51C0DE_CAFEL p

@@ -1,0 +1,9 @@
+(** Canonical plan fingerprints for the compiled-code cache.
+
+    Structurally equal plans hash identically; any change to operator
+    shape, column references, constants, types or table names changes the
+    hash. Fingerprints are the cache identity of a query, so a serving
+    system recognises repeats without ever comparing plans directly. *)
+
+(** Structural 64-bit fingerprint of a physical plan. *)
+val plan : Qcomp_plan.Algebra.t -> int64

@@ -1,0 +1,38 @@
+(** Bounded LRU map with hit/miss/eviction/byte accounting.
+
+    The recency structure backing {!Code_cache}: O(1) find/add, eviction
+    from the least-recently-used end once the entry count exceeds capacity,
+    and a caller-supplied per-entry weight so byte totals can be reported. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;  (** total weight of live entries *)
+  bytes_evicted : int;  (** total weight of everything evicted so far *)
+}
+
+(** [create ~capacity] holds at most [capacity] entries. Raises
+    [Invalid_argument] if [capacity < 1]. *)
+val create : capacity:int -> ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+
+(** [find t k] promotes [k] to most-recently-used and counts a hit; absent
+    keys count a miss. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** Presence test that touches neither recency nor the hit/miss counters. *)
+val mem : ('k, 'v) t -> 'k -> bool
+
+(** [add t k ?weight v] inserts or replaces, promotes to front, then evicts
+    least-recently-used entries until back under capacity. *)
+val add : ('k, 'v) t -> 'k -> ?weight:int -> 'v -> unit
+
+val stats : ('k, 'v) t -> stats
+
+(** Keys from most- to least-recently used (test/debug aid). *)
+val keys_mru : ('k, 'v) t -> 'k list

@@ -1,0 +1,373 @@
+(** Deterministic multi-worker query serving with tiered execution.
+
+    A serving run is one discrete-event cascade over {!Sim}'s virtual
+    clock: queries arrive on a deterministic (seeded) arrival process, wait
+    in an admission queue for one of [workers] execution workers, and run
+    morsel-by-morsel through {!Exec}. Three policies:
+
+    - {b Static}: one fixed back-end; every query pays that back-end's full
+      (modelled) compile time on its worker, then executes. This is the
+      paper's per-back-end compile+execute tradeoff (Table III) replayed as
+      a serving policy.
+    - {b Cached}: the back-end chosen by {!Qcomp_engine.Engine.adaptive_backend},
+      fronted by the fingerprint-keyed {!Code_cache} — a cache hit skips
+      the compile charge entirely.
+    - {b Tiered}: queries start executing immediately on interpreter
+      bytecode while the adaptive ("strong") back-end compiles in the
+      background on a bounded compile pool; at the next morsel boundary
+      after the (simulated) compile completes, the execution hot-swaps to
+      the compiled code. A cache hit on the strong module starts on it
+      outright. This is the Umbra/Ma-et-al. hybrid: interpreter latency to
+      first result, compiled-code throughput for the bulk.
+
+    All durations are deterministic — modelled compile seconds
+    ({!Costmodel}) and emulated execution cycles — so two runs with the
+    same seed produce byte-identical reports. Host wall-clock never enters
+    the virtual timeline. *)
+
+open Qcomp_support
+open Qcomp_engine
+
+type mode =
+  | Static of Qcomp_backend.Backend.t
+  | Cached
+  | Tiered
+
+let mode_name = function
+  | Static b -> "static:" ^ Qcomp_backend.Backend.name b
+  | Cached -> "cached"
+  | Tiered -> "tiered"
+
+type config = {
+  workers : int;  (** execution workers *)
+  compile_slots : int;  (** background compile pool size (Tiered) *)
+  morsel : int;  (** rows per execution quantum *)
+  cache_capacity : int;  (** module-cache entries *)
+  mode : mode;
+  mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
+  seed : int64;  (** drives the arrival process *)
+}
+
+let default_config =
+  {
+    workers = 4;
+    compile_slots = 2;
+    morsel = 512;
+    cache_capacity = 64;
+    mode = Tiered;
+    mean_gap_s = 0.0005;
+    seed = 42L;
+  }
+
+type query_metrics = {
+  qm_name : string;
+  qm_fp : int64;
+  qm_backend : string;  (** back-end that finished the query *)
+  qm_arrival : float;
+  qm_start : float;
+  qm_finish : float;
+  qm_compile_s : float;  (** foreground compile charged on the worker *)
+  qm_cache_hit : bool;  (** strong-tier module came from the cache *)
+  qm_switch_s : float option;  (** virtual time of the hot-swap since start *)
+  qm_quanta_tier0 : int;
+  qm_quanta_tier1 : int;
+  qm_exec_cycles : int;
+  qm_rows : int;
+  qm_checksum : int64;
+}
+
+let qm_latency q = q.qm_finish -. q.qm_arrival
+
+type report = {
+  r_mode : string;
+  r_queries : query_metrics list;  (** completion order *)
+  r_makespan : float;  (** virtual time of the last completion *)
+  r_total_latency : float;  (** sum of per-query latencies *)
+  r_mean_latency : float;
+  r_p50_latency : float;
+  r_p95_latency : float;
+  r_max_latency : float;
+  r_throughput : float;  (** completed queries per virtual second *)
+  r_switchovers : int;
+  r_cache : Lru.stats;
+}
+
+(* ---------------- the event machine ---------------- *)
+
+type qstate = {
+  q_name : string;
+  q_plan : Qcomp_plan.Algebra.t;
+  q_arrival : float;
+  mutable q_start : float;
+  mutable q_compile_s : float;
+  mutable q_cache_hit : bool;
+  mutable q_backend : string;
+  (* a finished background compile parks the strong entry here; the next
+     quantum event applies the swap before running *)
+  mutable q_swap_ready : Code_cache.entry option;
+  mutable q_switch_s : float option;
+  mutable q_started_tier0 : bool;  (** first quantum ran interpreter code *)
+}
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+      let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) idx))
+
+let run ?cache db config stream =
+  if config.workers < 1 then invalid_arg "Server.run: workers must be positive";
+  let sim = Sim.create () in
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Code_cache.create ~capacity:config.cache_capacity
+  in
+  let admission = Queue.create () in
+  let free_workers = ref config.workers in
+  let free_slots = ref (max 1 config.compile_slots) in
+  let compile_jobs = Queue.create () in
+  (* in-flight background compiles: key -> callbacks awaiting the entry *)
+  let pending : (Code_cache.key, (Code_cache.entry -> unit) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let done_q = ref [] in
+  let finish_metrics q (ex : Exec.t) =
+    let r = Exec.result ex in
+    let tier0, tier1 =
+      match Exec.swapped_at ex with
+      | Some at -> (at, Exec.quanta ex - at)
+      | None ->
+          if q.q_started_tier0 then (Exec.quanta ex, 0) else (0, Exec.quanta ex)
+    in
+    (* a tiered run that never swapped finished entirely on the interpreter *)
+    let finished_backend =
+      if q.q_started_tier0 && Exec.swapped_at ex = None then "interpreter"
+      else q.q_backend
+    in
+    done_q :=
+      {
+        qm_name = q.q_name;
+        qm_fp = Fingerprint.plan q.q_plan;
+        qm_backend = finished_backend;
+        qm_arrival = q.q_arrival;
+        qm_start = q.q_start;
+        qm_finish = Sim.now sim;
+        qm_compile_s = q.q_compile_s;
+        qm_cache_hit = q.q_cache_hit;
+        qm_switch_s = q.q_switch_s;
+        qm_quanta_tier0 = tier0;
+        qm_quanta_tier1 = tier1;
+        qm_exec_cycles = r.Engine.exec_cycles;
+        qm_rows = r.Engine.output_count;
+        qm_checksum = Engine.checksum r.Engine.rows;
+      }
+      :: !done_q
+  in
+  (* the compile pool: bounded slots draining a FIFO of jobs; the host
+     compilation runs when the slot is acquired, but the result becomes
+     visible (cache insert + waiter callbacks) only at the simulated
+     completion event *)
+  let rec pump_compiles () =
+    while !free_slots > 0 && not (Queue.is_empty compile_jobs) do
+      decr free_slots;
+      let job = Queue.pop compile_jobs in
+      job ()
+    done
+  and submit_bg_compile ~backend ~name plan (k : Code_cache.key)
+      (on_ready : Code_cache.entry -> unit) =
+    match Hashtbl.find_opt pending k with
+    | Some waiters -> waiters := on_ready :: !waiters
+    | None ->
+        let waiters = ref [ on_ready ] in
+        Hashtbl.replace pending k waiters;
+        Queue.push
+          (fun () ->
+            let e = Code_cache.compile_uncached cache db ~backend ~name plan in
+            Sim.after sim e.Code_cache.ce_compile_s (fun () ->
+                Code_cache.insert cache k e;
+                Hashtbl.remove pending k;
+                List.iter (fun f -> f e) (List.rev !waiters);
+                incr free_slots;
+                pump_compiles ()))
+          compile_jobs;
+        pump_compiles ()
+  in
+  let rec dispatch () =
+    if !free_workers > 0 && not (Queue.is_empty admission) then begin
+      decr free_workers;
+      let q = Queue.pop admission in
+      start_query q;
+      dispatch ()
+    end
+  and start_query q =
+    q.q_start <- Sim.now sim;
+    match config.mode with
+    | Static backend ->
+        (* no cache semantics: charge the full modelled compile every time
+           (the module itself is memoized host-side, which changes no
+           simulated duration — the code is identical) *)
+        let e, _ = Code_cache.get_or_compile cache db ~backend ~name:q.q_name q.q_plan in
+        q.q_backend <- Qcomp_backend.Backend.name backend;
+        q.q_compile_s <- e.Code_cache.ce_compile_s;
+        Sim.after sim e.Code_cache.ce_compile_s (fun () -> begin_exec q e)
+    | Cached ->
+        let bname, backend = Engine.adaptive_backend db q.q_plan in
+        let k = Code_cache.key db ~backend q.q_plan in
+        q.q_backend <- bname;
+        (match Code_cache.find cache k with
+        | Some e ->
+            q.q_cache_hit <- true;
+            begin_exec q e
+        | None ->
+            let e = Code_cache.compile_uncached cache db ~backend ~name:q.q_name q.q_plan in
+            Code_cache.insert cache k e;
+            q.q_compile_s <- e.Code_cache.ce_compile_s;
+            Sim.after sim e.Code_cache.ce_compile_s (fun () -> begin_exec q e))
+    | Tiered -> (
+        let bname, backend = Engine.adaptive_backend db q.q_plan in
+        q.q_backend <- bname;
+        if bname = "interpreter" then begin
+          (* nothing stronger to tier to: serve straight from bytecode *)
+          let e, hit =
+            Code_cache.get_or_compile cache db ~backend:Engine.interpreter
+              ~name:q.q_name q.q_plan
+          in
+          q.q_cache_hit <- hit;
+          q.q_started_tier0 <- true;
+          if hit then begin_exec q e
+          else begin
+            q.q_compile_s <- e.Code_cache.ce_compile_s;
+            Sim.after sim e.Code_cache.ce_compile_s (fun () -> begin_exec q e)
+          end
+        end
+        else
+          let k = Code_cache.key db ~backend q.q_plan in
+          match Code_cache.find cache k with
+          | Some e ->
+              (* strong code already cached: start on it outright *)
+              q.q_cache_hit <- true;
+              begin_exec q e
+          | None ->
+              (* tier 0 now, strong tier in the background *)
+              let ie, ihit =
+                Code_cache.get_or_compile cache db ~backend:Engine.interpreter
+                  ~name:q.q_name q.q_plan
+              in
+              let icost = if ihit then 0.0 else ie.Code_cache.ce_compile_s in
+              q.q_compile_s <- icost;
+              q.q_started_tier0 <- true;
+              submit_bg_compile ~backend ~name:q.q_name q.q_plan k (fun e ->
+                  q.q_swap_ready <- Some e);
+              Sim.after sim icost (fun () -> begin_exec q ie))
+  and begin_exec q (e : Code_cache.entry) =
+    let ex = Exec.start db e.Code_cache.ce_cq e.Code_cache.ce_cm in
+    quantum q ex
+  and quantum q ex =
+    (match q.q_swap_ready with
+    | Some e when not (Exec.finished ex) ->
+        Exec.swap ex e.Code_cache.ce_cm;
+        q.q_switch_s <- Some (Sim.now sim -. q.q_start);
+        q.q_swap_ready <- None
+    | _ -> ());
+    match Exec.step ex ~morsel:config.morsel with
+    | `Done ->
+        finish_metrics q ex;
+        incr free_workers;
+        dispatch ()
+    | `Ran dc -> Sim.after sim (Engine.cycles_to_seconds dc) (fun () -> quantum q ex)
+  in
+  (* deterministic arrival process: exponential gaps from the seeded rng
+     (or a packed burst at t=0 when mean_gap_s = 0) *)
+  let rng = Rng.create config.seed in
+  let t = ref 0.0 in
+  List.iter
+    (fun (name, plan) ->
+      if config.mean_gap_s > 0.0 then
+        t := !t +. (-.config.mean_gap_s *. log (1.0 -. Rng.float rng));
+      let q =
+        {
+          q_name = name;
+          q_plan = plan;
+          q_arrival = !t;
+          q_start = 0.0;
+          q_compile_s = 0.0;
+          q_cache_hit = false;
+          q_backend = "";
+          q_swap_ready = None;
+          q_switch_s = None;
+          q_started_tier0 = false;
+        }
+      in
+      Sim.at sim !t (fun () ->
+          Queue.push q admission;
+          dispatch ()))
+    stream;
+  Sim.run sim;
+  let queries = List.rev !done_q in
+  let lats = Array.of_list (List.map qm_latency queries) in
+  Array.sort compare lats;
+  let n = List.length queries in
+  let makespan = List.fold_left (fun a q -> Float.max a q.qm_finish) 0.0 queries in
+  let total_latency = Array.fold_left ( +. ) 0.0 lats in
+  {
+    r_mode = mode_name config.mode;
+    r_queries = queries;
+    r_makespan = makespan;
+    r_total_latency = total_latency;
+    r_mean_latency = (if n > 0 then total_latency /. float_of_int n else 0.0);
+    r_p50_latency = percentile lats 0.50;
+    r_p95_latency = percentile lats 0.95;
+    r_max_latency = (if Array.length lats > 0 then lats.(Array.length lats - 1) else 0.0);
+    r_throughput = (if makespan > 0.0 then float_of_int n /. makespan else 0.0);
+    r_switchovers =
+      List.length (List.filter (fun q -> q.qm_switch_s <> None) queries);
+    r_cache = Code_cache.stats cache;
+  }
+
+(* ---------------- reporting ---------------- *)
+
+let pp_query fmt q =
+  Format.fprintf fmt
+    "%-8s %-12s lat %9.6fs  compile %9.6fs  %s%s  rows %5d  cycles %9d  sum %016Lx"
+    q.qm_name q.qm_backend (qm_latency q) q.qm_compile_s
+    (if q.qm_cache_hit then "hit " else "miss")
+    (match q.qm_switch_s with
+    | Some s -> Format.asprintf "  swap@%.6fs (%d+%d quanta)" s q.qm_quanta_tier0 q.qm_quanta_tier1
+    | None -> "")
+    q.qm_rows q.qm_exec_cycles q.qm_checksum
+
+let pp_report ?(per_query = false) fmt r =
+  Format.fprintf fmt "mode %-18s queries %d@." r.r_mode (List.length r.r_queries);
+  if per_query then
+    List.iter (fun q -> Format.fprintf fmt "  %a@." pp_query q) r.r_queries;
+  Format.fprintf fmt
+    "  makespan %.6fs  total-latency %.6fs  mean %.6fs  p50 %.6fs  p95 %.6fs  max %.6fs@."
+    r.r_makespan r.r_total_latency r.r_mean_latency r.r_p50_latency
+    r.r_p95_latency r.r_max_latency;
+  Format.fprintf fmt "  throughput %.1f q/s  switchovers %d@." r.r_throughput
+    r.r_switchovers;
+  let s = r.r_cache in
+  Format.fprintf fmt
+    "  cache: hits %d  misses %d  hit-rate %.1f%%  entries %d  evictions %d  bytes %d (evicted %d)@."
+    s.Lru.hits s.Lru.misses
+    (if s.Lru.hits + s.Lru.misses > 0 then
+       100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
+     else 0.0)
+    s.Lru.entries s.Lru.evictions s.Lru.bytes s.Lru.bytes_evicted
+
+(** Deterministic repeated-query stream: [n] draws over [queries] with a
+    seeded bias towards a hot subset, so a serving cache has something to
+    hit. *)
+let make_stream ~seed ~n queries =
+  if queries = [] then []
+  else begin
+    let rng = Rng.create seed in
+    let arr = Array.of_list queries in
+    let hot = max 1 (Array.length arr / 4) in
+    List.init n (fun _ ->
+        (* 70% of traffic over the hot quarter of the plan set *)
+        if Rng.int rng 10 < 7 then arr.(Rng.int rng hot)
+        else arr.(Rng.int rng (Array.length arr)))
+  end

@@ -1,0 +1,80 @@
+(** Deterministic multi-worker query serving with tiered execution.
+
+    Queries arrive on a seeded arrival process, wait in an admission queue
+    for an execution worker, and run morsel-by-morsel. Policies: [Static]
+    (fixed back-end, full compile charge per query), [Cached] (adaptive
+    back-end fronted by the fingerprint-keyed code cache), [Tiered] (start
+    on interpreter bytecode, hot-swap to the adaptively-chosen back-end
+    compiled on a background pool). All durations are deterministic, so
+    same-seed runs produce byte-identical reports. *)
+
+type mode =
+  | Static of Qcomp_backend.Backend.t
+  | Cached
+  | Tiered
+
+val mode_name : mode -> string
+
+type config = {
+  workers : int;  (** execution workers *)
+  compile_slots : int;  (** background compile pool size (Tiered) *)
+  morsel : int;  (** rows per execution quantum *)
+  cache_capacity : int;  (** module-cache entries *)
+  mode : mode;
+  mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
+  seed : int64;  (** drives the arrival process *)
+}
+
+(** Tiered, 4 workers, 2 compile slots, 512-row morsels. *)
+val default_config : config
+
+type query_metrics = {
+  qm_name : string;
+  qm_fp : int64;
+  qm_backend : string;  (** back-end that finished the query *)
+  qm_arrival : float;
+  qm_start : float;
+  qm_finish : float;
+  qm_compile_s : float;  (** foreground compile charged on the worker *)
+  qm_cache_hit : bool;  (** strong-tier module came from the cache *)
+  qm_switch_s : float option;  (** virtual time of the hot-swap since start *)
+  qm_quanta_tier0 : int;
+  qm_quanta_tier1 : int;
+  qm_exec_cycles : int;
+  qm_rows : int;
+  qm_checksum : int64;
+}
+
+val qm_latency : query_metrics -> float
+
+type report = {
+  r_mode : string;
+  r_queries : query_metrics list;  (** completion order *)
+  r_makespan : float;  (** virtual time of the last completion *)
+  r_total_latency : float;  (** sum of per-query latencies *)
+  r_mean_latency : float;
+  r_p50_latency : float;
+  r_p95_latency : float;
+  r_max_latency : float;
+  r_throughput : float;  (** completed queries per virtual second *)
+  r_switchovers : int;
+  r_cache : Lru.stats;
+}
+
+(** Serve [stream] (name, plan pairs in arrival order) against [db].
+    [cache] persists across calls when supplied (a warm serving process);
+    otherwise each run starts cold with [config.cache_capacity] entries. *)
+val run :
+  ?cache:Code_cache.t ->
+  Qcomp_engine.Engine.db ->
+  config ->
+  (string * Qcomp_plan.Algebra.t) list ->
+  report
+
+val pp_query : Format.formatter -> query_metrics -> unit
+val pp_report : ?per_query:bool -> Format.formatter -> report -> unit
+
+(** Deterministic repeated-query stream: [n] seeded draws over [queries],
+    biased towards a hot subset so a cache has something to hit. *)
+val make_stream :
+  seed:int64 -> n:int -> (string * Qcomp_plan.Algebra.t) list -> (string * Qcomp_plan.Algebra.t) list

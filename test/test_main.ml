@@ -28,4 +28,5 @@ let () =
       ("fuzz-plans", Test_fuzz_plans.suite);
       ("props-extra", Test_props_extra.suite);
       ("emu-oracle", Test_emu_oracle.suite);
+      ("server", Test_server.suite);
     ]

@@ -1,0 +1,355 @@
+(* The serving subsystem: LRU cache mechanics, canonical plan
+   fingerprints, the discrete-event scheduler, and — the property that
+   matters — tiered/cached serving reproducing the classic run_plan
+   results exactly, on fixed plans, whole workloads and fuzzed plans. *)
+
+open Qcomp_engine
+open Qcomp_server
+open Qcomp_plan
+open Qcomp_storage
+
+let check = Alcotest.check
+
+(* ---------------- LRU ---------------- *)
+
+let lru_tests =
+  [
+    Alcotest.test_case "lru evicts in least-recently-used order" `Quick (fun () ->
+        let l = Lru.create ~capacity:2 in
+        Lru.add l "a" ~weight:10 1;
+        Lru.add l "b" ~weight:20 2;
+        Lru.add l "c" ~weight:30 3;
+        (* capacity 2: "a" (oldest) is gone *)
+        check Alcotest.(option int) "a evicted" None (Lru.find l "a");
+        (* touch "b", then insert "d": "c" must be the victim *)
+        check Alcotest.(option int) "b live" (Some 2) (Lru.find l "b");
+        Lru.add l "d" ~weight:40 4;
+        check Alcotest.(option int) "c evicted" None (Lru.find l "c");
+        check Alcotest.(option int) "b survives" (Some 2) (Lru.find l "b");
+        check Alcotest.(list string) "mru order" [ "b"; "d" ] (Lru.keys_mru l));
+    Alcotest.test_case "lru byte accounting" `Quick (fun () ->
+        let l = Lru.create ~capacity:2 in
+        Lru.add l "a" ~weight:10 1;
+        Lru.add l "b" ~weight:20 2;
+        check Alcotest.int "bytes" 30 (Lru.stats l).Lru.bytes;
+        Lru.add l "c" ~weight:30 3;
+        let s = Lru.stats l in
+        check Alcotest.int "bytes after eviction" 50 s.Lru.bytes;
+        check Alcotest.int "bytes evicted" 10 s.Lru.bytes_evicted;
+        check Alcotest.int "evictions" 1 s.Lru.evictions;
+        (* replacing re-weights without eviction *)
+        Lru.add l "b" ~weight:5 20;
+        check Alcotest.int "bytes after replace" 35 (Lru.stats l).Lru.bytes;
+        check Alcotest.int "entries" 2 (Lru.stats l).Lru.entries);
+    Alcotest.test_case "lru hit/miss counters" `Quick (fun () ->
+        let l = Lru.create ~capacity:4 in
+        Lru.add l 1 "x";
+        ignore (Lru.find l 1);
+        ignore (Lru.find l 2);
+        ignore (Lru.find l 1);
+        let s = Lru.stats l in
+        check Alcotest.int "hits" 2 s.Lru.hits;
+        check Alcotest.int "misses" 1 s.Lru.misses);
+  ]
+
+(* ---------------- fingerprints ---------------- *)
+
+let plan_a () =
+  Algebra.Group_by
+    {
+      input =
+        Algebra.Filter
+          {
+            input = Algebra.Scan { table = "t"; filter = None };
+            pred = Expr.(col 1 =% int32 2);
+          };
+      keys = [ Expr.col 1 ];
+      aggs = [ Algebra.Count_star; Algebra.Sum (Expr.col 0) ];
+    }
+
+let fingerprint_tests =
+  [
+    Alcotest.test_case "structurally equal plans hash identically" `Quick
+      (fun () ->
+        (* two independently constructed (physically distinct) plan values *)
+        check Alcotest.int64 "equal plans" (Fingerprint.plan (plan_a ()))
+          (Fingerprint.plan (plan_a ())));
+    Alcotest.test_case "any structural difference changes the hash" `Quick
+      (fun () ->
+        let base = Fingerprint.plan (plan_a ()) in
+        let variants =
+          [
+            Algebra.Scan { table = "t"; filter = None };
+            Algebra.Scan { table = "u"; filter = None };
+            Algebra.Filter
+              {
+                input = Algebra.Scan { table = "t"; filter = None };
+                pred = Expr.(col 1 =% int32 3);
+              };
+            Algebra.Group_by
+              {
+                input =
+                  Algebra.Filter
+                    {
+                      input = Algebra.Scan { table = "t"; filter = None };
+                      pred = Expr.(col 1 =% int32 2);
+                    };
+                keys = [ Expr.col 1 ];
+                aggs = [ Algebra.Count_star; Algebra.Min (Expr.col 0) ];
+              };
+          ]
+        in
+        List.iter
+          (fun v ->
+            if Int64.equal base (Fingerprint.plan v) then
+              Alcotest.fail "distinct plan collided with base fingerprint")
+          variants;
+        (* and all variants are mutually distinct *)
+        let fps = List.map Fingerprint.plan variants in
+        check Alcotest.int "all distinct" (List.length fps)
+          (List.length (List.sort_uniq compare fps)));
+    Alcotest.test_case "constant type participates in the hash" `Quick (fun () ->
+        let p ty =
+          Algebra.Filter
+            {
+              input = Algebra.Scan { table = "t"; filter = None };
+              pred = Expr.Cmp (Expr.Eq, Expr.Col 0, Expr.Const_int (ty, 7L));
+            }
+        in
+        if Int64.equal (Fingerprint.plan (p Sqlty.Int32)) (Fingerprint.plan (p Sqlty.Int64))
+        then Alcotest.fail "int32/int64 constants collided");
+  ]
+
+(* ---------------- discrete-event scheduler ---------------- *)
+
+let sim_tests =
+  [
+    Alcotest.test_case "events fire in time order, ties in schedule order" `Quick
+      (fun () ->
+        let sim = Sim.create () in
+        let log = ref [] in
+        Sim.at sim 2.0 (fun () -> log := "c" :: !log);
+        Sim.at sim 1.0 (fun () -> log := "a" :: !log);
+        Sim.at sim 1.0 (fun () -> log := "b" :: !log);
+        (* handlers can schedule more events *)
+        Sim.at sim 0.5 (fun () ->
+            Sim.after sim 0.25 (fun () -> log := "z" :: !log));
+        Sim.run sim;
+        check Alcotest.(list string) "order" [ "z"; "a"; "b"; "c" ]
+          (List.rev !log);
+        check (Alcotest.float 1e-9) "clock at last event" 2.0 (Sim.now sim));
+  ]
+
+(* ---------------- serving vs run_plan (differential) ---------------- *)
+
+let schema =
+  Schema.make "t"
+    [ ("a", Schema.Int64); ("g", Schema.Int32); ("d", Schema.Decimal 2);
+      ("s", Schema.Str) ]
+
+let make_db ?(rows = 64) () =
+  let db = Engine.create_db ~mem_size:(1 lsl 26) Qcomp_vm.Target.x64 in
+  let _ =
+    Engine.add_table db schema ~rows ~seed:123L
+      [| Datagen.Uniform (-50, 50); Datagen.Uniform (0, 5);
+         Datagen.DecimalRange (-300, 300); Datagen.Words (Datagen.word_pool, 1) |]
+  in
+  db
+
+let scan = Algebra.Scan { table = "t"; filter = None }
+
+let fixed_plans =
+  [
+    ("scan", scan);
+    ("filter", Algebra.Filter { input = scan; pred = Expr.(col 1 <% int32 3) });
+    ( "agg",
+      Algebra.Group_by
+        {
+          input = scan;
+          keys = [ Expr.col 1 ];
+          aggs = [ Algebra.Count_star; Algebra.Sum (Expr.col 0); Algebra.Avg (Expr.col 2) ];
+        } );
+    ( "sort",
+      Algebra.Order_by
+        { input = scan; keys = [ (Expr.col 0, Algebra.Desc) ]; limit = Some 10 } );
+    ( "join",
+      Algebra.Hash_join
+        {
+          build = Algebra.Filter { input = scan; pred = Expr.(col 1 =% int32 2) };
+          probe = scan;
+          build_keys = [ Expr.col 1 ];
+          probe_keys = [ Expr.col 1 ];
+        } );
+  ]
+
+(* run one plan through a 1-query tiered stream and return its checksum *)
+let serve_checksum db mode plan =
+  let r =
+    Server.run db
+      { Server.default_config with Server.mode; Server.morsel = 16 }
+      [ ("q", plan) ]
+  in
+  match r.Server.r_queries with
+  | [ q ] -> (q.Server.qm_checksum, q.Server.qm_rows)
+  | _ -> Alcotest.fail "expected exactly one served query"
+
+let runplan_checksum db plan =
+  let timing = Qcomp_support.Timing.create ~enabled:false () in
+  let r, _, _ = Engine.run_plan db ~backend:Engine.interpreter ~timing ~name:"ref" plan in
+  (Engine.checksum r.Engine.rows, r.Engine.output_count)
+
+let differential_tests =
+  List.map
+    (fun (name, plan) ->
+      Alcotest.test_case ("tiered = run_plan: " ^ name) `Quick (fun () ->
+          let expect = runplan_checksum (make_db ()) plan in
+          List.iter
+            (fun mode ->
+              let got = serve_checksum (make_db ()) mode plan in
+              check
+                Alcotest.(pair int64 int)
+                (Server.mode_name mode) expect got)
+            [ Server.Tiered; Server.Cached; Server.Static Engine.cranelift ]))
+    fixed_plans
+
+(* larger table so the tiered path actually switches mid-query: the
+   background directemit compile finishes while interpreter morsels of the
+   4096-row scan are still running *)
+let switchover_test =
+  Alcotest.test_case "hot-swap occurs and result still matches" `Quick (fun () ->
+      let rows = 4096 in
+      let plan =
+        Algebra.Group_by
+          {
+            input = scan;
+            keys = [ Expr.col 1 ];
+            aggs = [ Algebra.Count_star; Algebra.Sum (Expr.col 0) ];
+          }
+      in
+      let expect = runplan_checksum (make_db ~rows ()) plan in
+      let db = make_db ~rows () in
+      let r =
+        Server.run db
+          { Server.default_config with Server.mode = Server.Tiered; Server.morsel = 64 }
+          [ ("q", plan) ]
+      in
+      let q = List.hd r.Server.r_queries in
+      check Alcotest.(pair int64 int) "checksum" expect
+        (q.Server.qm_checksum, q.Server.qm_rows);
+      check Alcotest.bool "switched" true (q.Server.qm_switch_s <> None);
+      check Alcotest.bool "ran both tiers" true
+        (q.Server.qm_quanta_tier0 > 0 && q.Server.qm_quanta_tier1 > 0))
+
+(* repeated stream: cache hits and byte-identical reports *)
+let determinism_test =
+  Alcotest.test_case "same seed => byte-identical report; repeats hit cache" `Quick
+    (fun () ->
+      let stream =
+        Server.make_stream ~seed:7L ~n:12
+          (List.map (fun (n, p) -> (n, p)) fixed_plans)
+      in
+      let run () =
+        let db = make_db ~rows:1024 () in
+        let r = Server.run db { Server.default_config with Server.morsel = 64 } stream in
+        Format.asprintf "%a" (Server.pp_report ~per_query:true) r
+      in
+      let a = run () and b = run () in
+      check Alcotest.string "byte-identical" a b;
+      let db = make_db ~rows:1024 () in
+      let r = Server.run db { Server.default_config with Server.morsel = 64 } stream in
+      check Alcotest.bool "cache hits" true (r.Server.r_cache.Lru.hits > 0))
+
+(* code cache: eviction pressure still serves correct results *)
+let eviction_test =
+  Alcotest.test_case "tiny cache capacity: correct under eviction" `Quick
+    (fun () ->
+      (* enough rows that the adaptive choice leaves the interpreter-only
+         fast path and the cache actually gets exercised *)
+      let db = make_db ~rows:1024 () in
+      let expects = List.map (fun (_, p) -> runplan_checksum (make_db ~rows:1024 ()) p) fixed_plans in
+      let stream =
+        List.concat [ fixed_plans; fixed_plans ]
+        |> List.map (fun (n, p) -> (n, p))
+      in
+      let r =
+        Server.run db
+          { Server.default_config with Server.cache_capacity = 2; Server.morsel = 32 }
+          stream
+      in
+      check Alcotest.bool "evictions happened" true
+        (r.Server.r_cache.Lru.evictions > 0);
+      List.iter
+        (fun (q : Server.query_metrics) ->
+          let i =
+            match List.mapi (fun i (n, _) -> (n, i)) fixed_plans |> List.assoc_opt q.Server.qm_name with
+            | Some i -> i
+            | None -> Alcotest.fail "unknown query in report"
+          in
+          check Alcotest.(pair int64 int) ("evicted-cache " ^ q.Server.qm_name)
+            (List.nth expects i)
+            (q.Server.qm_checksum, q.Server.qm_rows))
+        r.Server.r_queries)
+
+(* morsel-range execute: partial scans compose to the full result *)
+let range_test =
+  Alcotest.test_case "Engine.execute ?from ?upto partial scans" `Quick (fun () ->
+      let db = make_db ~rows:100 () in
+      let plan =
+        Algebra.Group_by
+          { input = scan; keys = []; aggs = [ Algebra.Count_star ] }
+      in
+      let cq = Engine.plan_to_ir db ~name:"range" plan in
+      let timing = Qcomp_support.Timing.create ~enabled:false () in
+      let cm =
+        Qcomp_backend.Backend.compile_module Engine.interpreter ~timing
+          ~emu:db.Engine.emu ~registry:db.Engine.registry ~unwind:db.Engine.unwind
+          cq.Qcomp_codegen.Codegen.modul
+      in
+      let count r =
+        match r.Engine.rows with
+        | [ [| Engine.Int n |] ] -> Int64.to_int n
+        | [] -> 0 (* empty range: the group is never materialized *)
+        | _ -> Alcotest.fail "unexpected shape"
+      in
+      check Alcotest.int "full scan" 100 (count (Engine.execute db cq cm));
+      check Alcotest.int "first half" 50 (count (Engine.execute db ~upto:50 cq cm));
+      check Alcotest.int "second half" 50 (count (Engine.execute db ~from:50 cq cm));
+      check Alcotest.int "empty range" 0
+        (count (Engine.execute db ~from:60 ~upto:40 cq cm));
+      check Alcotest.int "clamped" 100 (count (Engine.execute db ~upto:1000 cq cm)))
+
+(* ---------------- fuzzed plans ---------------- *)
+
+(* reuse the generator and printer from the cross-back-end fuzz suite: the
+   tiered server must agree with run_plan on arbitrary well-typed plans,
+   including error outcomes (overflow, division by zero) *)
+let fuzz_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~print:Test_fuzz_plans.plan_str
+       ~name:"fuzzed plans: tiered serving = run_plan" Test_fuzz_plans.gen_plan
+       (fun plan ->
+         let expect =
+           match runplan_checksum (make_db ()) plan with
+           | cs -> Ok cs
+           | exception Qcomp_runtime.Rt_error.Query_error e -> Error e
+           | exception Expr.Type_error e -> Error ("type: " ^ e)
+         in
+         let got =
+           match serve_checksum (make_db ()) Server.Tiered plan with
+           | cs -> Ok cs
+           | exception Qcomp_runtime.Rt_error.Query_error e -> Error e
+           | exception Expr.Type_error e -> Error ("type: " ^ e)
+         in
+         if expect <> got then
+           QCheck2.Test.fail_reportf "tiered differs: run_plan=%s tiered=%s"
+             (match expect with
+             | Ok (c, n) -> Printf.sprintf "rows(%Lx,%d)" c n
+             | Error e -> "err:" ^ e)
+             (match got with
+             | Ok (c, n) -> Printf.sprintf "rows(%Lx,%d)" c n
+             | Error e -> "err:" ^ e)
+         else true))
+
+let suite =
+  lru_tests @ fingerprint_tests @ sim_tests @ differential_tests
+  @ [ switchover_test; determinism_test; eviction_test; range_test; fuzz_test ]
