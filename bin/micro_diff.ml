@@ -77,12 +77,14 @@ let () =
     (fun (nm, plan) ->
       let db = make_db () in
       let timing = Qcomp_support.Timing.create ~enabled:false () in
-      let r1, _, _ = Engine.run_plan db ~backend:Engine.interpreter ~timing ~name:(nm ^ "_i") plan in
+      let r1, _, cm1 = Engine.run_plan db ~backend:Engine.interpreter ~timing ~name:(nm ^ "_i") plan in
       let c1 = Engine.checksum r1.Engine.rows in
+      Engine.dispose_module db cm1;
       (try
         Printexc.record_backtrace true;
-        let r2, _, _ = Engine.run_plan db ~backend ~timing ~name:(nm ^ "_x") plan in
+        let r2, _, cm2 = Engine.run_plan db ~backend ~timing ~name:(nm ^ "_x") plan in
         let c2 = Engine.checksum r2.Engine.rows in
+        Engine.dispose_module db cm2;
         Printf.printf "%-16s %s (%d vs %d rows)\n%!" nm
           (if Int64.equal c1 c2 then "ok" else "WRONG") r1.Engine.output_count r2.Engine.output_count
       with e ->

@@ -77,32 +77,34 @@ let run_cmd =
       )
     in
     let timing = Qcomp_support.Timing.create () in
-    let result, compile_s, cm, bname =
-      if bname = "adaptive" then Engine.run_plan_adaptive db ~timing ~name:q.Spec.q_name q.Spec.q_plan
+    let bname, backend =
+      if bname = "adaptive" then Engine.adaptive_backend db q.Spec.q_plan
       else
         match backend_of_name bname with
-        | Some b ->
-            let r, c, cm = Engine.run_plan db ~backend:b ~timing ~name:q.Spec.q_name q.Spec.q_plan in
-            (r, c, cm, bname)
+        | Some b -> (bname, b)
         | None -> fail "unknown back-end %s" bname
     in
-    Printf.printf "%s via %s: compiled %d fns (%d B) in %.3f ms; executed in %.3f ms (%d simulated cycles)\n"
-      q.Spec.q_name bname
-      (List.length cm.Qcomp_backend.Backend.cm_functions)
-      cm.Qcomp_backend.Backend.cm_code_size (1000.0 *. compile_s)
-      (1000.0 *. Engine.cycles_to_seconds result.Engine.exec_cycles)
-      result.Engine.exec_cycles;
-    Printf.printf "%d rows (checksum %Lx)\n" result.Engine.output_count
-      (Engine.checksum result.Engine.rows);
-    List.iteri
-      (fun i row ->
-        if i < max_rows then begin
-          Array.iter (fun c -> Format.printf "%a | " Engine.pp_cell c) row;
-          Format.printf "@."
-        end)
-      result.Engine.rows;
-    if result.Engine.output_count > max_rows then
-      Printf.printf "... (%d more rows)\n" (result.Engine.output_count - max_rows);
+    (* with_compiled reclaims the query's code region when we are done *)
+    Engine.with_compiled db ~backend ~timing ~name:q.Spec.q_name q.Spec.q_plan
+      (fun cq cm compile_s ->
+        let result = Engine.execute db cq cm in
+        Printf.printf "%s via %s: compiled %d fns (%d B) in %.3f ms; executed in %.3f ms (%d simulated cycles)\n"
+          q.Spec.q_name bname
+          (List.length cm.Qcomp_backend.Backend.cm_functions)
+          cm.Qcomp_backend.Backend.cm_code_size (1000.0 *. compile_s)
+          (1000.0 *. Engine.cycles_to_seconds result.Engine.exec_cycles)
+          result.Engine.exec_cycles;
+        Printf.printf "%d rows (checksum %Lx)\n" result.Engine.output_count
+          (Engine.checksum result.Engine.rows);
+        List.iteri
+          (fun i row ->
+            if i < max_rows then begin
+              Array.iter (fun c -> Format.printf "%a | " Engine.pp_cell c) row;
+              Format.printf "@."
+            end)
+          result.Engine.rows;
+        if result.Engine.output_count > max_rows then
+          Printf.printf "... (%d more rows)\n" (result.Engine.output_count - max_rows));
     Format.printf "%a" Qcomp_support.Timing.pp_report timing
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute one query.")

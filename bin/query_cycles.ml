@@ -16,7 +16,8 @@ let () =
       let r = Engine.execute db cq cm in
       Printf.printf "%-12s cycles=%10d insts=%10d code=%7d rows=%d\n%!" bname
         r.Engine.exec_cycles (Qcomp_vm.Emu.instructions_executed db.Engine.emu)
-        cm.Qcomp_backend.Backend.cm_code_size r.Engine.output_count)
+        cm.Qcomp_backend.Backend.cm_code_size r.Engine.output_count;
+      Engine.dispose_module db cm)
     [ ("interp", Engine.interpreter); ("directemit", Engine.directemit);
       ("cranelift", Engine.cranelift); ("llvm-cheap", Engine.llvm_cheap);
       ("llvm-opt", Engine.llvm_opt); ("gcc", Engine.gcc) ]

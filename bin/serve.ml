@@ -144,11 +144,11 @@ let () =
           | Some s -> s
           | None ->
               let plan = List.assoc q.Server.qm_name queries in
-              let r, _, _ =
-                Engine.run_plan vdb ~backend:Engine.interpreter ~timing
-                  ~name:q.Server.qm_name plan
+              let s =
+                Engine.with_compiled vdb ~backend:Engine.interpreter ~timing
+                  ~name:q.Server.qm_name plan (fun cq cm _ ->
+                    Engine.checksum (Engine.execute vdb cq cm).Engine.rows)
               in
-              let s = Engine.checksum r.Engine.rows in
               Hashtbl.replace expected q.Server.qm_name s;
               s
         in

@@ -51,13 +51,13 @@ let () =
   in
   let run backend tag =
     let timing = Qcomp_support.Timing.create () in
-    let result, secs, _ =
-      Engine.run_plan db ~backend ~timing ~name:tag plan
-    in
-    Format.printf "%-12s compile %.4f s   exec %8d cycles   rows %d   checksum %Ld@."
-      tag secs result.Engine.exec_cycles result.Engine.output_count
-      (Engine.checksum result.Engine.rows);
-    Engine.checksum result.Engine.rows
+    Engine.with_compiled db ~backend ~timing ~name:tag plan
+      (fun cq cm secs ->
+        let result = Engine.execute db cq cm in
+        Format.printf "%-12s compile %.4f s   exec %8d cycles   rows %d   checksum %Ld@."
+          tag secs result.Engine.exec_cycles result.Engine.output_count
+          (Engine.checksum result.Engine.rows);
+        Engine.checksum result.Engine.rows)
   in
   let c1 = run Engine.interpreter "interp" in
   let c2 = run Engine.directemit "directemit" in

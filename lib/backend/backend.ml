@@ -14,12 +14,34 @@ type compiled_module = {
   cm_functions : (string * int64) list;  (** function name -> address *)
   cm_code_size : int;  (** emitted code bytes (0 for the interpreter) *)
   cm_stats : (string * int) list;  (** back-end specific counters *)
+  cm_regions : Code_region.t list;
+      (** code regions this module owns (empty for the interpreter) *)
+  cm_runtime_slots : int64 list;
+      (** host dispatch slots this module owns (interpreter only) *)
+  mutable cm_disposed : bool;
 }
 
 let find_fn cm name =
   match List.assoc_opt name cm.cm_functions with
   | Some a -> a
   | None -> invalid_arg ("compiled module has no function " ^ name)
+
+(** Release everything the module owns: unwind entries for its regions,
+    the code regions themselves (their address ranges are poisoned and
+    recycled by {!Emu.release_code}), and any host dispatch slots the
+    interpreter registered. Idempotent: a second call is a no-op, so
+    one-shot callers and cache eviction can race benignly. *)
+let dispose ~emu ~unwind cm =
+  if not cm.cm_disposed then begin
+    cm.cm_disposed <- true;
+    List.iter
+      (fun r ->
+        Unwind.deregister_range unwind ~base:(Code_region.base r)
+          ~size:(Code_region.size r);
+        Emu.release_code emu r)
+      cm.cm_regions;
+    List.iter (fun slot -> Emu.remove_runtime emu slot) cm.cm_runtime_slots
+  end
 
 module type S = sig
   val name : string

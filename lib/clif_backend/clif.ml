@@ -62,11 +62,12 @@ let compile_module_with ~features ~timing ~emu ~registry ~unwind
     m.Func.funcs;
   (* Link: copy to executable memory, apply (absolute-only) relocations,
      and register the manually generated CFI *)
-  let code, base =
+  let code, region =
     Timing.scope timing "Link" (fun () ->
         let code = Asm.finish asm in
         (code, Emu.register_code emu code))
   in
+  let base = Code_region.base region in
   Timing.scope timing "Link" (fun () ->
       List.iter
         (fun (_, fr) ->
@@ -80,6 +81,9 @@ let compile_module_with ~features ~timing ~emu ~registry ~unwind
         !fns;
     cm_code_size = Bytes.length code;
     cm_stats = [ ("spilled_bundles", !spills); ("btree_ops", !btree_ops) ];
+    cm_regions = [ region ];
+    cm_runtime_slots = [];
+    cm_disposed = false;
   }
 
 let compile_module ~timing ~emu ~registry ~unwind m =

@@ -94,7 +94,8 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
   let code =
     Timing.scope timing "Finalize" (fun () -> Asm.finish asm)
   in
-  let base = Emu.register_code emu code in
+  let region = Emu.register_code emu code in
+  let base = Code_region.base region in
   (* register CFI now that absolute addresses exist *)
   Timing.scope timing "UnwindInfo" (fun () ->
       List.iter
@@ -106,4 +107,7 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
       List.rev_map (fun (n, start, _, _) -> (n, Int64.of_int (base + start))) !fns;
     cm_code_size = Bytes.length code;
     cm_stats = [];
+    cm_regions = [ region ];
+    cm_runtime_slots = [];
+    cm_disposed = false;
   }

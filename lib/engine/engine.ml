@@ -180,6 +180,28 @@ let run_plan db ~(backend : Qcomp_backend.Backend.t) ~timing ~name plan =
   let result = execute db cq cm in
   (result, compile_seconds, cm)
 
+(** Release the code regions, unwind entries and host dispatch slots owned
+    by [cm]. Safe to call twice (second call is a no-op). After this, any
+    execution through the module's addresses traps. *)
+let dispose_module db cm =
+  Qcomp_backend.Backend.dispose ~emu:db.emu ~unwind:db.unwind cm
+
+(** Compile [plan], hand the compiled query and module to [f], and dispose
+    the module when [f] returns or raises. The bracket for one-shot
+    callers (CLI runs, benchmarks, validation sweeps) that would otherwise
+    leak one code region per query. *)
+let with_compiled db ~(backend : Qcomp_backend.Backend.t) ~timing ~name plan f =
+  let cq = plan_to_ir db ~name plan in
+  let t0 = Timing.now () in
+  let cm =
+    Qcomp_backend.Backend.compile_module backend ~timing ~emu:db.emu
+      ~registry:db.registry ~unwind:db.unwind cq.Qcomp_codegen.Codegen.modul
+  in
+  let compile_seconds = Timing.now () -. t0 in
+  Fun.protect
+    ~finally:(fun () -> dispose_module db cm)
+    (fun () -> f cq cm compile_seconds)
+
 (** Simulated seconds at the nominal clock (2 GHz, as the paper's Xeon). *)
 let cycles_to_seconds c = float_of_int c /. 2.0e9
 

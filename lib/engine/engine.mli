@@ -91,6 +91,30 @@ val run_plan :
   Algebra.t ->
   result * float * Qcomp_backend.Backend.compiled_module
 
+(** Release the code regions, unwind entries and host dispatch slots owned
+    by a compiled module (see {!Qcomp_backend.Backend.dispose}). Safe to
+    call twice. Callers of {!run_plan} own the returned module and should
+    dispose it when the query will not run again; {!with_compiled} does
+    this automatically. *)
+val dispose_module : db -> Qcomp_backend.Backend.compiled_module -> unit
+
+(** [with_compiled db ~backend ~timing ~name plan f] compiles [plan],
+    applies [f] to the compiled query, the back-end module, and the
+    compile wall-time in seconds, then disposes the module (even on
+    exceptions). One-shot callers should prefer this over {!run_plan} so
+    per-query code memory is reclaimed. *)
+val with_compiled :
+  db ->
+  backend:Qcomp_backend.Backend.t ->
+  timing:Timing.t ->
+  name:string ->
+  Algebra.t ->
+  (Qcomp_codegen.Codegen.compiled ->
+  Qcomp_backend.Backend.compiled_module ->
+  float ->
+  'a) ->
+  'a
+
 (** Simulated seconds at the nominal clock (2 GHz, as the paper's Xeon). *)
 val cycles_to_seconds : int -> float
 

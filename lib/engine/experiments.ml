@@ -85,6 +85,8 @@ let run_workload ?(execute = true) ?(timing_enabled = true) db
         end
         else (0, 0, 0L)
       in
+      (* one-shot measurement: reclaim the query's code before the next *)
+      Engine.dispose_module db cm;
       results :=
         {
           qr_name = q.Spec.q_name;

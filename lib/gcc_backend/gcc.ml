@@ -163,4 +163,7 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
     Qcomp_backend.Backend.cm_functions = fns;
     cm_code_size = Bytes.length image;
     cm_stats = [ ("got_slots", linked.Llvm.Jitlink.got_slots) ];
+    cm_regions = [ linked.Llvm.Jitlink.region ];
+    cm_runtime_slots = [];
+    cm_disposed = false;
   }

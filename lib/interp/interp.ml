@@ -338,8 +338,13 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
       let addr = Emu.add_runtime emu ("interp:" ^ f.Func.name) entry in
       fns := (f.Func.name, addr) :: !fns)
     m.Func.funcs;
+  let fns = List.rev !fns in
   {
-    Qcomp_backend.Backend.cm_functions = List.rev !fns;
+    Qcomp_backend.Backend.cm_functions = fns;
     cm_code_size = 0;
     cm_stats = [];
+    cm_regions = [];
+    (* every function is a host dispatch slot; dispose recycles them *)
+    cm_runtime_slots = List.map snd fns;
+    cm_disposed = false;
   }

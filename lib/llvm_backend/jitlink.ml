@@ -18,6 +18,7 @@ type phase_times = {
 
 type linked = {
   base : int;
+  region : Code_region.t;  (** ownership handle for the linked code *)
   fn_addr : (string, int) Hashtbl.t;
   got_slots : int;  (** statistics *)
   times : phase_times;
@@ -62,7 +63,7 @@ let link ~(emu : Emu.t) ~(resolve : string -> int64) (image : bytes) : linked =
     externs;
   let stubs = Asm.finish stub_asm in
   let text = Bytes.cat obj.Elf.o_text stubs in
-  let base = Emu.next_code_addr emu in
+  let base = Emu.next_code_addr emu ~size:(Bytes.length text) in
   times.ph_alloc <- Qcomp_support.Timing.now () -. t0;
   (* phase 2: assign addresses, resolve externals, fill the GOT *)
   let t1 = Qcomp_support.Timing.now () in
@@ -106,8 +107,8 @@ let link ~(emu : Emu.t) ~(resolve : string -> int64) (image : bytes) : linked =
           in
           Bytes.set_int64_le text r.Elf.r_off addr)
     obj.Elf.o_relocs;
-  let actual_base = Emu.register_code emu text in
-  assert (actual_base = base);
+  let region = Emu.register_code emu text in
+  assert (Code_region.base region = base);
   times.ph_apply <- Qcomp_support.Timing.now () -. t2;
   (* phase 4: symbol lookup *)
   let t3 = Qcomp_support.Timing.now () in
@@ -117,4 +118,4 @@ let link ~(emu : Emu.t) ~(resolve : string -> int64) (image : bytes) : linked =
       if s.Elf.s_defined then Hashtbl.replace fn_addr s.Elf.s_name (base + s.Elf.s_off))
     obj.Elf.o_syms;
   times.ph_lookup <- Qcomp_support.Timing.now () -. t3;
-  { base; fn_addr; got_slots = List.length externs; times }
+  { base; region; fn_addr; got_slots = List.length externs; times }

@@ -208,6 +208,9 @@ let compile_module_with (cfg : config) ~timing ~emu ~registry ~unwind
         ("fallback_struct", stats.Flow.fb_struct);
         ("got_slots", linked.Jitlink.got_slots);
       ];
+    cm_regions = [ linked.Jitlink.region ];
+    cm_runtime_slots = [];
+    cm_disposed = false;
   }
 
 (* ---------------- Backend instances ---------------- *)

@@ -12,10 +12,14 @@
       modelled compile cost. This is the bounded, evicting level — machine
       code is the expensive artifact.
 
-    Eviction drops the cache's reference; the underlying emulator's code
-    memory is a bump allocator and is not reclaimed (see ROADMAP open
-    items), so [bytes_evicted] measures what a reclaiming allocator would
-    have freed. *)
+    Eviction releases the module's code regions back to the emulator's
+    region allocator ({!Qcomp_backend.Backend.dispose} →
+    {!Qcomp_vm.Emu.release_code}), so evicted code memory is actually
+    reclaimed and recycled. Entries still referenced by an in-flight query
+    are {e pinned}: their disposal is deferred until the last pin drops, so
+    a query never executes freed code. [bytes_freed] counts what has been
+    returned to the allocator; [Lru.bytes_evicted] remains the gross weight
+    that left the LRU. *)
 
 open Qcomp_engine
 
@@ -30,14 +34,47 @@ type entry = {
   ce_cm : Qcomp_backend.Backend.compiled_module;
   ce_compile_s : float;  (** modelled (simulated) compile seconds *)
   ce_code_bytes : int;
+  ce_dispose : unit -> unit;  (** release the module's code regions *)
+  ce_pins : int ref;  (** in-flight queries holding this entry *)
+  ce_evicted : bool ref;  (** evicted while pinned; free on last unpin *)
 }
 
 type t = {
   plans : (int64 * string, Qcomp_codegen.Codegen.compiled) Hashtbl.t;
   modules : (key, entry) Lru.t;
+  mutable bytes_freed : int;  (** code bytes returned to the allocator *)
+  mutable max_entry_bytes : int;  (** largest module ever compiled here *)
 }
 
-let create ~capacity = { plans = Hashtbl.create 64; modules = Lru.create ~capacity }
+let free t e =
+  t.bytes_freed <- t.bytes_freed + e.ce_code_bytes;
+  e.ce_dispose ()
+
+(* LRU drop: dispose now, or defer until the last in-flight user unpins. *)
+let drop t e = if !(e.ce_pins) > 0 then e.ce_evicted := true else free t e
+
+let create ~capacity =
+  let t =
+    {
+      plans = Hashtbl.create 64;
+      modules = Lru.create ~capacity;
+      bytes_freed = 0;
+      max_entry_bytes = 0;
+    }
+  in
+  Lru.set_on_drop t.modules (fun e -> drop t e);
+  t
+
+(** Pin [e] against disposal while a query holds it. Every pin must be
+    matched by an {!unpin} when the query finishes. *)
+let pin e = incr e.ce_pins
+
+let unpin t e =
+  decr e.ce_pins;
+  if !(e.ce_pins) <= 0 && !(e.ce_evicted) then begin
+    e.ce_evicted := false;
+    free t e
+  end
 
 let key db ~backend plan =
   {
@@ -72,11 +109,16 @@ let compile_uncached t db ~backend ~name plan =
     Qcomp_backend.Backend.compile_module backend ~timing ~emu:db.Engine.emu
       ~registry:db.Engine.registry ~unwind:db.Engine.unwind modul
   in
+  let bytes = cm.Qcomp_backend.Backend.cm_code_size in
+  if bytes > t.max_entry_bytes then t.max_entry_bytes <- bytes;
   {
     ce_cq = cq;
     ce_cm = cm;
     ce_compile_s = Costmodel.compile_seconds ~backend:k.ck_backend modul;
-    ce_code_bytes = cm.Qcomp_backend.Backend.cm_code_size;
+    ce_code_bytes = bytes;
+    ce_dispose = (fun () -> Engine.dispose_module db cm);
+    ce_pins = ref 0;
+    ce_evicted = ref false;
   }
 
 let insert t k e = Lru.add t.modules k ~weight:e.ce_code_bytes e
@@ -96,12 +138,20 @@ let get_or_compile t db ~backend ~name plan =
 
 let stats t = Lru.stats t.modules
 
+type mem_stats = {
+  ms_bytes_freed : int;  (** code bytes returned to the region allocator *)
+  ms_max_entry_bytes : int;  (** largest single module compiled here *)
+}
+
+let mem_stats t =
+  { ms_bytes_freed = t.bytes_freed; ms_max_entry_bytes = t.max_entry_bytes }
+
 let pp_stats fmt t =
   let s = Lru.stats t.modules in
   Format.fprintf fmt
-    "hits %d  misses %d  hit-rate %.1f%%  entries %d  evictions %d  bytes %d  bytes-evicted %d"
+    "hits %d  misses %d  hit-rate %.1f%%  entries %d  evictions %d  bytes %d  bytes-freed %d"
     s.Lru.hits s.Lru.misses
     (if s.Lru.hits + s.Lru.misses > 0 then
        100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
      else 0.0)
-    s.Lru.entries s.Lru.evictions s.Lru.bytes s.Lru.bytes_evicted
+    s.Lru.entries s.Lru.evictions s.Lru.bytes t.bytes_freed

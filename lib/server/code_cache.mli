@@ -3,7 +3,13 @@
     An unbounded codegen memo keyed by [(fingerprint, target)] — shared
     across back-ends so tiers can hot-swap over one state layout — plus a
     bounded LRU of back-end modules keyed by
-    [(fingerprint, backend, target)] with hit/miss/eviction/byte stats. *)
+    [(fingerprint, backend, target)] with hit/miss/eviction/byte stats.
+
+    Eviction {e reclaims} code memory: the dropped module's regions go back
+    to the emulator's region allocator via
+    {!Qcomp_backend.Backend.dispose}. Entries held by in-flight queries
+    must be {!pin}ned; a pinned entry that gets evicted is disposed only
+    when its last {!unpin} arrives, so running code is never freed. *)
 
 type key = {
   ck_fp : int64;  (** canonical plan fingerprint *)
@@ -16,6 +22,9 @@ type entry = {
   ce_cm : Qcomp_backend.Backend.compiled_module;
   ce_compile_s : float;  (** modelled (simulated) compile seconds *)
   ce_code_bytes : int;
+  ce_dispose : unit -> unit;  (** release the module's code regions *)
+  ce_pins : int ref;  (** in-flight queries holding this entry *)
+  ce_evicted : bool ref;  (** evicted while pinned; free on last unpin *)
 }
 
 type t
@@ -59,5 +68,20 @@ val get_or_compile :
   Qcomp_plan.Algebra.t ->
   entry * bool
 
+(** Pin an entry against disposal while a query holds it. Every pin must
+    be matched by an {!unpin}. *)
+val pin : entry -> unit
+
+(** Drop one pin; if the entry was evicted while pinned and this was the
+    last pin, its code regions are released now. *)
+val unpin : t -> entry -> unit
+
 val stats : t -> Lru.stats
+
+type mem_stats = {
+  ms_bytes_freed : int;  (** code bytes returned to the region allocator *)
+  ms_max_entry_bytes : int;  (** largest single module compiled here *)
+}
+
+val mem_stats : t -> mem_stats
 val pp_stats : Format.formatter -> t -> unit

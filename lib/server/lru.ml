@@ -34,6 +34,8 @@ type ('k, 'v) t = {
   mutable evictions : int;
   mutable bytes : int;
   mutable bytes_evicted : int;
+  mutable on_drop : 'v -> unit;
+      (** called whenever a value leaves the map: eviction or replacement *)
 }
 
 let create ~capacity =
@@ -48,7 +50,14 @@ let create ~capacity =
     evictions = 0;
     bytes = 0;
     bytes_evicted = 0;
+    on_drop = ignore;
   }
+
+(** Install the drop callback. It fires for every value that leaves the
+    map — tail eviction and value replacement by {!add} — so owners of
+    out-of-band resources (the code cache's compiled modules) can release
+    them exactly once per residency. *)
+let set_on_drop t f = t.on_drop <- f
 
 let length t = Hashtbl.length t.tbl
 
@@ -91,15 +100,19 @@ let evict_tail t =
       Hashtbl.remove t.tbl n.key;
       t.evictions <- t.evictions + 1;
       t.bytes <- t.bytes - n.weight;
-      t.bytes_evicted <- t.bytes_evicted + n.weight
+      t.bytes_evicted <- t.bytes_evicted + n.weight;
+      t.on_drop n.value
 
 let add t k ?(weight = 0) v =
   (match Hashtbl.find_opt t.tbl k with
   | Some n ->
       t.bytes <- t.bytes - n.weight + weight;
+      let old = n.value in
       n.value <- v;
       n.weight <- weight;
-      promote t n
+      promote t n;
+      (* re-adding the same value must not drop it *)
+      if not (old == v) then t.on_drop old
   | None ->
       let n = { key = k; value = v; weight; prev = None; next = None } in
       Hashtbl.replace t.tbl k n;

@@ -19,6 +19,12 @@ type stats = {
     [Invalid_argument] if [capacity < 1]. *)
 val create : capacity:int -> ('k, 'v) t
 
+(** [set_on_drop t f] installs a callback fired for every value leaving
+    the map — tail eviction and value replacement by {!add} (but not
+    re-adding the physically identical value). Owners of out-of-band
+    resources use it to release them exactly once per residency. *)
+val set_on_drop : ('k, 'v) t -> ('v -> unit) -> unit
+
 val length : ('k, 'v) t -> int
 
 (** [find t k] promotes [k] to most-recently-used and counts a hit; absent

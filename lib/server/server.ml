@@ -90,6 +90,9 @@ type report = {
   r_throughput : float;  (** completed queries per virtual second *)
   r_switchovers : int;
   r_cache : Lru.stats;
+  r_bytes_freed : int;  (** code bytes returned to the region allocator *)
+  r_live_code_bytes : int;  (** resident generated code at end of run *)
+  r_peak_code_bytes : int;  (** high-water mark of resident code *)
 }
 
 (* ---------------- the event machine ---------------- *)
@@ -107,6 +110,11 @@ type qstate = {
   mutable q_swap_ready : Code_cache.entry option;
   mutable q_switch_s : float option;
   mutable q_started_tier0 : bool;  (** first quantum ran interpreter code *)
+  (* every cache entry this query touches is pinned until it finishes, so
+     eviction can never free code that is still executing or parked for a
+     hot-swap *)
+  mutable q_pinned : Code_cache.entry list;
+  mutable q_done : bool;
 }
 
 let percentile sorted p =
@@ -133,7 +141,14 @@ let run ?cache db config stream =
     Hashtbl.create 16
   in
   let done_q = ref [] in
+  let pin_entry q e =
+    Code_cache.pin e;
+    q.q_pinned <- e :: q.q_pinned
+  in
   let finish_metrics q (ex : Exec.t) =
+    q.q_done <- true;
+    List.iter (fun e -> Code_cache.unpin cache e) q.q_pinned;
+    q.q_pinned <- [];
     let r = Exec.result ex in
     let tier0, tier1 =
       match Exec.swapped_at ex with
@@ -209,6 +224,7 @@ let run ?cache db config stream =
            (the module itself is memoized host-side, which changes no
            simulated duration — the code is identical) *)
         let e, _ = Code_cache.get_or_compile cache db ~backend ~name:q.q_name q.q_plan in
+        pin_entry q e;
         q.q_backend <- Qcomp_backend.Backend.name backend;
         q.q_compile_s <- e.Code_cache.ce_compile_s;
         Sim.after sim e.Code_cache.ce_compile_s (fun () -> begin_exec q e)
@@ -218,11 +234,13 @@ let run ?cache db config stream =
         q.q_backend <- bname;
         (match Code_cache.find cache k with
         | Some e ->
+            pin_entry q e;
             q.q_cache_hit <- true;
             begin_exec q e
         | None ->
             let e = Code_cache.compile_uncached cache db ~backend ~name:q.q_name q.q_plan in
             Code_cache.insert cache k e;
+            pin_entry q e;
             q.q_compile_s <- e.Code_cache.ce_compile_s;
             Sim.after sim e.Code_cache.ce_compile_s (fun () -> begin_exec q e))
     | Tiered -> (
@@ -234,6 +252,7 @@ let run ?cache db config stream =
             Code_cache.get_or_compile cache db ~backend:Engine.interpreter
               ~name:q.q_name q.q_plan
           in
+          pin_entry q e;
           q.q_cache_hit <- hit;
           q.q_started_tier0 <- true;
           if hit then begin_exec q e
@@ -247,6 +266,7 @@ let run ?cache db config stream =
           match Code_cache.find cache k with
           | Some e ->
               (* strong code already cached: start on it outright *)
+              pin_entry q e;
               q.q_cache_hit <- true;
               begin_exec q e
           | None ->
@@ -255,11 +275,18 @@ let run ?cache db config stream =
                 Code_cache.get_or_compile cache db ~backend:Engine.interpreter
                   ~name:q.q_name q.q_plan
               in
+              pin_entry q ie;
               let icost = if ihit then 0.0 else ie.Code_cache.ce_compile_s in
               q.q_compile_s <- icost;
               q.q_started_tier0 <- true;
               submit_bg_compile ~backend ~name:q.q_name q.q_plan k (fun e ->
-                  q.q_swap_ready <- Some e);
+                  (* the query may have drained on tier 0 before the strong
+                     compile landed; a done query must not pin (nobody
+                     would unpin) nor park a swap *)
+                  if not q.q_done then begin
+                    pin_entry q e;
+                    q.q_swap_ready <- Some e
+                  end);
               Sim.after sim icost (fun () -> begin_exec q ie))
   and begin_exec q (e : Code_cache.entry) =
     let ex = Exec.start db e.Code_cache.ce_cq e.Code_cache.ce_cm in
@@ -298,6 +325,8 @@ let run ?cache db config stream =
           q_swap_ready = None;
           q_switch_s = None;
           q_started_tier0 = false;
+          q_pinned = [];
+          q_done = false;
         }
       in
       Sim.at sim !t (fun () ->
@@ -324,6 +353,9 @@ let run ?cache db config stream =
     r_switchovers =
       List.length (List.filter (fun q -> q.qm_switch_s <> None) queries);
     r_cache = Code_cache.stats cache;
+    r_bytes_freed = (Code_cache.mem_stats cache).Code_cache.ms_bytes_freed;
+    r_live_code_bytes = Qcomp_vm.Emu.live_code_bytes db.Engine.emu;
+    r_peak_code_bytes = Qcomp_vm.Emu.peak_code_bytes db.Engine.emu;
   }
 
 (* ---------------- reporting ---------------- *)
@@ -355,7 +387,9 @@ let pp_report ?(per_query = false) fmt r =
     (if s.Lru.hits + s.Lru.misses > 0 then
        100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
      else 0.0)
-    s.Lru.entries s.Lru.evictions s.Lru.bytes s.Lru.bytes_evicted
+    s.Lru.entries s.Lru.evictions s.Lru.bytes s.Lru.bytes_evicted;
+  Format.fprintf fmt "  code-mem: live %d  peak %d  freed %d@."
+    r.r_live_code_bytes r.r_peak_code_bytes r.r_bytes_freed
 
 (** Deterministic repeated-query stream: [n] draws over [queries] with a
     seeded bias towards a hot subset, so a serving cache has something to

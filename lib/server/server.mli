@@ -59,6 +59,9 @@ type report = {
   r_throughput : float;  (** completed queries per virtual second *)
   r_switchovers : int;
   r_cache : Lru.stats;
+  r_bytes_freed : int;  (** code bytes returned to the region allocator *)
+  r_live_code_bytes : int;  (** resident generated code at end of run *)
+  r_peak_code_bytes : int;  (** high-water mark of resident code *)
 }
 
 (** Serve [stream] (name, plan pairs in arrival order) against [db].

@@ -1,0 +1,26 @@
+(** First-class handle to a range of executable code memory.
+
+    {!Emu.register_code} returns one of these for every registered blob;
+    the owner of the handle (normally a
+    {!Qcomp_backend.Backend.compiled_module}) must eventually pass it back
+    to {!Emu.release_code}, which unmaps the module, poisons the address
+    range and recycles it through the emulator's size-class free lists.
+    After release the handle is dead ([is_live] = false) and any fetch
+    from the range traps with a "use-after-free code region" error instead
+    of silently executing stale bytes. *)
+
+type t = {
+  cr_base : int;  (** first code address of the region *)
+  cr_size : int;  (** bytes of code actually registered *)
+  cr_span : int;  (** page-aligned bytes reserved (allocation granule) *)
+  mutable cr_live : bool;
+}
+
+let base r = r.cr_base
+let size r = r.cr_size
+let span r = r.cr_span
+let is_live r = r.cr_live
+
+let pp fmt r =
+  Format.fprintf fmt "[0x%x..0x%x) %s" r.cr_base (r.cr_base + r.cr_size)
+    (if r.cr_live then "live" else "freed")

@@ -36,8 +36,14 @@ type t = {
   mutable fuel : int;  (** max instructions per [call]; <0 = unlimited *)
   mutable mods : code_mod list;
   mutable next_code_base : int;
+  free_spans : (int, int list) Hashtbl.t;  (** span size -> free bases *)
+  poisoned : (int, int) Hashtbl.t;  (** freed base -> span, until reused *)
+  mutable live_code : int;  (** bytes of code in live regions *)
+  mutable peak_code : int;  (** high-water mark of [live_code] *)
+  mutable freed_code : int;  (** cumulative bytes released *)
   mutable runtime : (t -> unit) array;
   mutable runtime_names : string array;
+  mutable free_runtime : int list;  (** recyclable runtime slots *)
   mutable last_mod : code_mod option;
 }
 
@@ -56,8 +62,14 @@ let create ?(mem_size = 256 * 1024 * 1024) target =
     fuel = -1;
     mods = [];
     next_code_base = code_base;
+    free_spans = Hashtbl.create 8;
+    poisoned = Hashtbl.create 8;
+    live_code = 0;
+    peak_code = 0;
+    freed_code = 0;
     runtime = [||];
     runtime_names = [||];
+    free_runtime = [];
     last_mod = None;
   }
 
@@ -77,30 +89,114 @@ let set_runtime t fns names =
   t.runtime_names <- names
 
 (** Append a host function (e.g. an interpreted query function) and return
-    its callable address. *)
+    its callable address. Released slots ({!remove_runtime}) are reused
+    before the table grows. *)
 let add_runtime t name fn =
-  let idx = Array.length t.runtime in
-  t.runtime <- Array.append t.runtime [| fn |];
-  t.runtime_names <- Array.append t.runtime_names [| name |];
-  Int64.of_int (runtime_base + (8 * idx))
+  match t.free_runtime with
+  | idx :: rest ->
+      t.free_runtime <- rest;
+      t.runtime.(idx) <- fn;
+      t.runtime_names.(idx) <- name;
+      Int64.of_int (runtime_base + (8 * idx))
+  | [] ->
+      let idx = Array.length t.runtime in
+      t.runtime <- Array.append t.runtime [| fn |];
+      t.runtime_names <- Array.append t.runtime_names [| name |];
+      Int64.of_int (runtime_base + (8 * idx))
 
 let runtime_addr idx = Int64.of_int (runtime_base + (8 * idx))
 
 let is_runtime_addr (a : int) = a >= runtime_base && a < sentinel
 
-(** Address the next registered code blob will get (used by JIT linkers
-    that must know final addresses before applying relocations). *)
-let next_code_addr t = t.next_code_base
+(** Release a host-function slot obtained from {!add_runtime}: the slot is
+    poisoned (calls trap) and recycled by the next [add_runtime]. *)
+let remove_runtime t (addr : int64) =
+  let a = Int64.to_int addr in
+  if not (is_runtime_addr a) then
+    invalid_arg "Emu.remove_runtime: not a runtime address";
+  let idx = (a - runtime_base) / 8 in
+  if idx >= Array.length t.runtime then
+    invalid_arg "Emu.remove_runtime: slot was never allocated";
+  if List.mem idx t.free_runtime then
+    invalid_arg "Emu.remove_runtime: slot already released";
+  t.runtime.(idx) <-
+    (fun _ -> raise (Trap (Printf.sprintf "use-after-free runtime slot %d" idx)));
+  t.runtime_names.(idx) <- "<freed>";
+  t.free_runtime <- idx :: t.free_runtime
 
-(** Register a code blob; returns its base address. *)
+(** Round [n] up to the 4 KiB page granule of the code allocator. Both
+    fresh allocation and free-list recycling reserve whole pages, so two
+    code blobs never share a page and a released span can be handed out
+    again verbatim. *)
+let page_size = 0x1000
+let page_align n = (n + (page_size - 1)) land lnot (page_size - 1)
+
+(* Pop a free span of exactly [span] bytes, if any. *)
+let take_free_span t span =
+  match Hashtbl.find_opt t.free_spans span with
+  | Some (base :: rest) ->
+      if rest = [] then Hashtbl.remove t.free_spans span
+      else Hashtbl.replace t.free_spans span rest;
+      Hashtbl.remove t.poisoned base;
+      Some base
+  | Some [] | None -> None
+
+(** Address the next registered code blob of [size] bytes will get (used by
+    JIT linkers that must know final addresses before applying
+    relocations). With recycling the answer depends on the blob size: a
+    free span of the matching size class is reused before the bump pointer
+    advances. *)
+let next_code_addr t ~size =
+  match Hashtbl.find_opt t.free_spans (page_align size) with
+  | Some (base :: _) -> base
+  | Some [] | None -> t.next_code_base
+
+(** Register a code blob; returns a {!Code_region.t} ownership handle whose
+    [base] is the blob's first address. The address range comes from the
+    size-class free lists when a released span of the same class exists,
+    otherwise from the bump pointer. *)
 let register_code t (code : bytes) =
   let insts, off2idx = Asm.decode_all t.target code in
-  let base = t.next_code_base in
   let size = Bytes.length code in
+  let span = page_align size in
+  let base =
+    match take_free_span t span with
+    | Some base -> base
+    | None ->
+        let base = t.next_code_base in
+        t.next_code_base <- base + span;
+        base
+  in
   let m = { cm_base = base; cm_size = size; cm_insts = insts; cm_off2idx = off2idx } in
-  t.next_code_base <- (base + size + 0xFFF) land lnot 0xFFF;
   t.mods <- m :: t.mods;
-  m.cm_base
+  t.live_code <- t.live_code + size;
+  if t.live_code > t.peak_code then t.peak_code <- t.live_code;
+  { Code_region.cr_base = base; cr_size = size; cr_span = span; cr_live = true }
+
+(** Release a code region: the module disappears from the address space,
+    the span is poisoned (fetches trap with "use-after-free code region")
+    and queued for reuse by same-sized registrations. Raises
+    [Invalid_argument] on double release. *)
+let release_code t (r : Code_region.t) =
+  if not r.Code_region.cr_live then
+    invalid_arg "Emu.release_code: region already released";
+  r.Code_region.cr_live <- false;
+  let base = r.Code_region.cr_base and span = r.Code_region.cr_span in
+  t.mods <- List.filter (fun m -> m.cm_base <> base) t.mods;
+  (match t.last_mod with
+  | Some m when m.cm_base = base -> t.last_mod <- None
+  | _ -> ());
+  t.live_code <- t.live_code - r.Code_region.cr_size;
+  t.freed_code <- t.freed_code + r.Code_region.cr_size;
+  if span > 0 then begin
+    Hashtbl.replace t.poisoned base span;
+    let bases = Option.value ~default:[] (Hashtbl.find_opt t.free_spans span) in
+    Hashtbl.replace t.free_spans span (base :: bases)
+  end
+
+let live_code_bytes t = t.live_code
+let peak_code_bytes t = t.peak_code
+let freed_code_bytes t = t.freed_code
 
 let find_mod t addr =
   match t.last_mod with
@@ -114,7 +210,15 @@ let find_mod t addr =
       | Some m ->
           t.last_mod <- Some m;
           m
-      | None -> raise (Trap (Printf.sprintf "jump to unmapped address 0x%x" addr)))
+      | None ->
+          Hashtbl.iter
+            (fun base span ->
+              if addr >= base && addr < base + span then
+                raise
+                  (Trap
+                     (Printf.sprintf "use-after-free code region at 0x%x" addr)))
+            t.poisoned;
+          raise (Trap (Printf.sprintf "jump to unmapped address 0x%x" addr)))
 
 let idx_of t (m : code_mod) addr =
   let off = addr - m.cm_base in

@@ -36,6 +36,17 @@ let register t ~start ~size ~sync_only rows =
   t.fdes <- fde :: t.fdes;
   t.bytes_written <- t.bytes_written + encoded_size rows
 
+(** Drop every FDE whose function starts inside [\[base, base+size)] —
+    called when the code region owning those functions is released, so the
+    unwind table cannot answer for recycled addresses with stale frame
+    descriptions. [bytes_written] stays cumulative: it models how much
+    unwind data was ever emitted, not what is currently registered. *)
+let deregister_range t ~base ~size =
+  t.fdes <-
+    List.filter
+      (fun f -> not (f.fde_start >= base && f.fde_start < base + size))
+      t.fdes
+
 let find_fde t addr =
   List.find_opt (fun f -> addr >= f.fde_start && addr < f.fde_start + f.fde_size) t.fdes
 

@@ -10,7 +10,7 @@ let run target insts ~args =
   let emu = Emu.create ~mem_size:(1 lsl 20) target in
   let a = Asm.create target in
   List.iter (Asm.emit a) insts;
-  let base = Emu.register_code emu (Asm.finish a) in
+  let base = Code_region.base (Emu.register_code emu (Asm.finish a)) in
   fst (Emu.call emu ~addr:base ~args)
 
 let x64_args = Target.x64.Target.arg_regs
@@ -127,7 +127,7 @@ let suite =
             Minst.Ld { dst = 0; base = x64_args.(0); off = 0; size = 1; sext = true };
             Minst.Ret;
           ];
-        let base = Emu.register_code emu (Asm.finish a) in
+        let base = Code_region.base (Emu.register_code emu (Asm.finish a)) in
         let buf = Memory.alloc (Emu.memory emu) 16 in
         let r, _ = Emu.call emu ~addr:base ~args:[| Int64.of_int buf; 0xFFL |] in
         check Alcotest.int64 "sext byte" (-1L) r);
@@ -155,7 +155,7 @@ let suite =
         Asm.jmp a head;
         Asm.bind a exit;
         Asm.emit a Minst.Ret;
-        let base = Emu.register_code emu (Asm.finish a) in
+        let base = Code_region.base (Emu.register_code emu (Asm.finish a)) in
         let r, _ = Emu.call emu ~addr:base ~args:[| 10L |] in
         check Alcotest.int64 "55" 55L r);
     Alcotest.test_case "runtime dispatch: OCaml function callable" `Quick (fun () ->
@@ -172,7 +172,7 @@ let suite =
             Minst.Call_ind 1;
             Minst.Ret;
           ];
-        let base = Emu.register_code emu (Asm.finish a) in
+        let base = Code_region.base (Emu.register_code emu (Asm.finish a)) in
         let r, _ = Emu.call emu ~addr:base ~args:[| 21L |] in
         check Alcotest.int64 "doubled" 42L r);
     Alcotest.test_case "runtime call balances the stack" `Quick (fun () ->
@@ -189,7 +189,7 @@ let suite =
             Minst.Alu_rr (Minst.Sub, 0, sp);
             Minst.Ret;
           ];
-        let base = Emu.register_code emu (Asm.finish a) in
+        let base = Code_region.base (Emu.register_code emu (Asm.finish a)) in
         let r, _ = Emu.call emu ~addr:base ~args:[||] in
         check Alcotest.int64 "sp preserved" 0L r);
     Alcotest.test_case "brk raises Trap" `Quick (fun () ->
@@ -207,7 +207,7 @@ let suite =
         let emu = Emu.create ~mem_size:(1 lsl 20) Target.x64 in
         let a = Asm.create Target.x64 in
         List.iter (Asm.emit a) [ Minst.Mov_ri (0, 1L); Minst.Ret ];
-        let base = Emu.register_code emu (Asm.finish a) in
+        let base = Code_region.base (Emu.register_code emu (Asm.finish a)) in
         ignore (Emu.call emu ~addr:base ~args:[||]);
         let c1 = Emu.cycles emu in
         ignore (Emu.call emu ~addr:base ~args:[||]);
@@ -245,4 +245,75 @@ let suite =
             ]
         in
         check Alcotest.int64 "roundtrip" 7L r);
+    Alcotest.test_case "page_align boundary sizes" `Quick (fun () ->
+        check Alcotest.int "0" 0 (Emu.page_align 0);
+        check Alcotest.int "1" 4096 (Emu.page_align 1);
+        check Alcotest.int "4096" 4096 (Emu.page_align 4096);
+        check Alcotest.int "4097" 8192 (Emu.page_align 4097));
+    Alcotest.test_case "code region release recycles the address range" `Quick
+      (fun () ->
+        let emu = Emu.create ~mem_size:(1 lsl 20) Target.x64 in
+        let blob v =
+          let a = Asm.create Target.x64 in
+          List.iter (Asm.emit a) [ Minst.Mov_ri (0, v); Minst.Ret ];
+          Asm.finish a
+        in
+        let r1 = Emu.register_code emu (blob 7L) in
+        check Alcotest.bool "live" true (Code_region.is_live r1);
+        check Alcotest.int "accounted" (Code_region.size r1)
+          (Emu.live_code_bytes emu);
+        Emu.release_code emu r1;
+        check Alcotest.bool "dead" false (Code_region.is_live r1);
+        check Alcotest.int "live zero" 0 (Emu.live_code_bytes emu);
+        check Alcotest.int "freed counted" (Code_region.size r1)
+          (Emu.freed_code_bytes emu);
+        (* same-size registration reuses the released span *)
+        let r2 = Emu.register_code emu (blob 9L) in
+        check Alcotest.int "address recycled" (Code_region.base r1)
+          (Code_region.base r2);
+        let v, _ = Emu.call emu ~addr:(Code_region.base r2) ~args:[||] in
+        check Alcotest.int64 "recycled region executes" 9L v;
+        check Alcotest.int "peak is one region"
+          (Code_region.size r1)
+          (Emu.peak_code_bytes emu));
+    Alcotest.test_case "fetch from freed region traps as use-after-free" `Quick
+      (fun () ->
+        let emu = Emu.create ~mem_size:(1 lsl 20) Target.x64 in
+        let a = Asm.create Target.x64 in
+        List.iter (Asm.emit a) [ Minst.Mov_ri (0, 1L); Minst.Ret ];
+        let r = Emu.register_code emu (Asm.finish a) in
+        let base = Code_region.base r in
+        ignore (Emu.call emu ~addr:base ~args:[||]);
+        Emu.release_code emu r;
+        (match Emu.call emu ~addr:base ~args:[||] with
+        | exception Emu.Trap msg ->
+            check Alcotest.bool
+              ("trap names use-after-free: " ^ msg)
+              true
+              (String.length msg >= 14 && String.sub msg 0 14 = "use-after-free")
+        | _ -> Alcotest.fail "expected use-after-free trap");
+        match Emu.release_code emu r with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "expected Invalid_argument on double release");
+    Alcotest.test_case "runtime slots recycle and trap after removal" `Quick
+      (fun () ->
+        let emu = Emu.create ~mem_size:(1 lsl 20) Target.x64 in
+        let a1 = Emu.add_runtime emu "f1" (fun _ -> ()) in
+        Emu.remove_runtime emu a1;
+        (match Emu.call emu ~addr:(Int64.to_int a1) ~args:[||] with
+        | exception Emu.Trap msg ->
+            check Alcotest.bool
+              ("trap names use-after-free: " ^ msg)
+              true
+              (String.length msg >= 14 && String.sub msg 0 14 = "use-after-free")
+        | _ -> Alcotest.fail "expected use-after-free trap");
+        (* freed slot is reused by the next registration and works again *)
+        let a2 = Emu.add_runtime emu "f2" (fun _ -> ()) in
+        check Alcotest.int64 "slot recycled" a1 a2;
+        ignore (Emu.call emu ~addr:(Int64.to_int a2) ~args:[||]);
+        match Emu.remove_runtime emu a2 with
+        | () -> (
+            match Emu.remove_runtime emu a2 with
+            | exception Invalid_argument _ -> ()
+            | () -> Alcotest.fail "expected Invalid_argument on double remove"));
   ]

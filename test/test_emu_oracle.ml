@@ -132,7 +132,7 @@ let run_emu target insts =
   let emu = Emu.create ~mem_size:(1 lsl 18) target in
   let a = Asm.create target in
   List.iter (Asm.emit a) insts;
-  let base = Emu.register_code emu (Asm.finish a) in
+  let base = Code_region.base (Emu.register_code emu (Asm.finish a)) in
   fst (Emu.call emu ~addr:base ~args:[||])
 
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:400 ~name gen f)

@@ -50,6 +50,23 @@ let lru_tests =
         let s = Lru.stats l in
         check Alcotest.int "hits" 2 s.Lru.hits;
         check Alcotest.int "misses" 1 s.Lru.misses);
+    Alcotest.test_case "lru on_drop fires on eviction and replacement" `Quick
+      (fun () ->
+        let l = Lru.create ~capacity:2 in
+        let dropped = ref [] in
+        Lru.set_on_drop l (fun v -> dropped := v :: !dropped);
+        Lru.add l "a" 1;
+        Lru.add l "b" 2;
+        Lru.add l "c" 3;
+        check Alcotest.(list int) "eviction drops the victim" [ 1 ]
+          (List.rev !dropped);
+        Lru.add l "b" 20;
+        check Alcotest.(list int) "replacement drops the old value" [ 1; 2 ]
+          (List.rev !dropped);
+        (* re-adding the physically identical value must not drop it *)
+        Lru.add l "b" 20;
+        check Alcotest.(list int) "identical re-add is not a drop" [ 1; 2 ]
+          (List.rev !dropped));
   ]
 
 (* ---------------- fingerprints ---------------- *)
@@ -290,6 +307,68 @@ let eviction_test =
             (q.Server.qm_checksum, q.Server.qm_rows))
         r.Server.r_queries)
 
+(* code-memory lifecycle under eviction pressure: one warm db + cache
+   serving repeated passes of a fuzzed stream with a tiny capacity must
+   reach a steady state — resident generated code bounded by a
+   capacity-derived limit instead of growing monotonically — while every
+   served result still matches the classic run_plan path, and freed
+   regions keep flowing back to the allocator *)
+let eviction_pressure_test =
+  Alcotest.test_case "eviction pressure: live code bounded, results exact"
+    `Quick (fun () ->
+      let db = make_db ~rows:1024 () in
+      let expects =
+        List.map
+          (fun (n, p) -> (n, runplan_checksum (make_db ~rows:1024 ()) p))
+          fixed_plans
+      in
+      let cfg =
+        { Server.default_config with Server.cache_capacity = 2; Server.morsel = 32 }
+      in
+      let cache = Code_cache.create ~capacity:cfg.Server.cache_capacity in
+      let stream = Server.make_stream ~seed:11L ~n:20 fixed_plans in
+      let prev_freed = ref 0 in
+      for pass = 1 to 3 do
+        let r = Server.run ~cache db cfg stream in
+        List.iter
+          (fun (q : Server.query_metrics) ->
+            check
+              Alcotest.(pair int64 int)
+              (Printf.sprintf "pass %d: %s matches run_plan" pass
+                 q.Server.qm_name)
+              (List.assoc q.Server.qm_name expects)
+              (q.Server.qm_checksum, q.Server.qm_rows))
+          r.Server.r_queries;
+        (* every resident module is in the LRU (<= capacity), pinned by an
+           in-flight query (<= workers) or compiled but not yet visible
+           (<= compile_slots); +1 headroom *)
+        let ms = Code_cache.mem_stats cache in
+        let bound =
+          (cfg.Server.cache_capacity + cfg.Server.workers
+          + cfg.Server.compile_slots + 1)
+          * ms.Code_cache.ms_max_entry_bytes
+        in
+        check Alcotest.bool
+          (Printf.sprintf "pass %d: live %d <= bound %d" pass
+             r.Server.r_live_code_bytes bound)
+          true
+          (r.Server.r_live_code_bytes <= bound);
+        check Alcotest.bool
+          (Printf.sprintf "pass %d: peak %d <= bound %d" pass
+             r.Server.r_peak_code_bytes bound)
+          true
+          (r.Server.r_peak_code_bytes <= bound);
+        check Alcotest.bool
+          (Printf.sprintf "pass %d: eviction keeps freeing code" pass)
+          true
+          (r.Server.r_bytes_freed > !prev_freed);
+        prev_freed := r.Server.r_bytes_freed;
+        check Alcotest.bool
+          (Printf.sprintf "pass %d: evictions happened" pass)
+          true
+          (r.Server.r_cache.Lru.evictions > 0)
+      done)
+
 (* morsel-range execute: partial scans compose to the full result *)
 let range_test =
   Alcotest.test_case "Engine.execute ?from ?upto partial scans" `Quick (fun () ->
@@ -352,4 +431,7 @@ let fuzz_test =
 
 let suite =
   lru_tests @ fingerprint_tests @ sim_tests @ differential_tests
-  @ [ switchover_test; determinism_test; eviction_test; range_test; fuzz_test ]
+  @ [
+      switchover_test; determinism_test; eviction_test;
+      eviction_pressure_test; range_test; fuzz_test;
+    ]
