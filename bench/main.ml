@@ -4,8 +4,8 @@
    for recorded paper-vs-measured results.
 
    Usage:  bench/main.exe [table1|fig2|fig3|table2|fig4|fig5|table3|fig6|
-                           fig7|fallbacks|ablation-struct|ablation-codemodel|
-                           ablation-tm|bechamel|all]
+                           fig7|serve|serve-scaling|fallbacks|ablation-struct|
+                           ablation-codemodel|ablation-tm|bechamel|all]
 
    Scale factors are chosen so the full suite completes in minutes; the
    mapping to the paper's SF10/SF100 is documented in EXPERIMENTS.md. *)
@@ -467,6 +467,56 @@ let serve () =
         (if tiered.Server.r_cache.Lru.hits > 0 then "OK" else "VIOLATION")
   | None -> ())
 
+(* Throughput scaling of the real Domain-based worker pool: the same
+   tiered stream served on 1, 2 and 4 OS-thread domains. Unlike every
+   other experiment here the timings are wall-clock, so only the scaling
+   trend is meaningful — but rows/checksums are asserted identical across
+   domain counts (the pool is exact, only the schedule varies). *)
+let serve_scaling () =
+  header "Serving: Domain-pool throughput scaling (1/2/4 domains, wall-clock)";
+  let open Qcomp_server in
+  let n = 60 in
+  let queries =
+    List.map
+      (fun (q : Qcomp_workloads.Spec.query) ->
+        (q.Qcomp_workloads.Spec.q_name, q.Qcomp_workloads.Spec.q_plan))
+      (Experiments.queries_of Experiments.Tpcds)
+  in
+  let stream = Server.make_stream ~seed:42L ~n queries in
+  let cfg = { Server.default_config with Server.mode = Server.Tiered } in
+  Printf.printf "TPC-DS-like, sf=%d, %d-query tiered stream\n" sf_tpch_small n;
+  Printf.printf
+    "host parallelism: %d (speedup is only observable above 1; on a \
+     single-core host extra domains measure pure overhead)\n\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-10s %12s %14s\n" "domains" "makespan [s]" "queries/s";
+  let multiset r =
+    List.sort compare
+      (List.map
+         (fun (q : Server.query_metrics) ->
+           (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
+         r.Server.r_queries)
+  in
+  let baseline = ref None in
+  List.iter
+    (fun domains ->
+      let db =
+        Experiments.make_db Target.x64 Experiments.Tpcds ~sf:sf_tpch_small
+      in
+      let r = Server.run ~parallel:domains db cfg stream in
+      Printf.printf "%-10d %12.3f %14.1f\n" domains r.Server.r_makespan
+        r.Server.r_throughput;
+      match !baseline with
+      | None -> baseline := Some (multiset r)
+      | Some b ->
+          if b <> multiset r then begin
+            Printf.printf
+              "VIOLATION: %d-domain results differ from 1-domain run\n" domains;
+            exit 1
+          end)
+    [ 1; 2; 4 ];
+  print_endline "results identical across domain counts -> OK"
+
 (* ---------------- Bechamel micro-suite ---------------- *)
 
 (* One Test.make per table/figure: each benchmark runs the compile-time
@@ -534,6 +584,7 @@ let experiments =
     ("fig6", fig6);
     ("fig7", fig7);
     ("serve", serve);
+    ("serve-scaling", serve_scaling);
     ("fallbacks", fallbacks);
     ("ablation-struct", ablation_struct);
     ("ablation-codemodel", ablation_codemodel);

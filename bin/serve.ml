@@ -6,6 +6,8 @@
        --mode tiered|cached|static:<backend>   serving policy (default tiered)
        --queries N      stream length (default 50)
        --workers W      execution workers (default 4)
+       --domains N      serve on N real worker domains instead of the
+                        discrete-event scheduler (timings become wall-clock)
        --slots C        background compile slots (default 2)
        --morsel M       rows per execution quantum (default 512)
        --cache N        module-cache capacity in entries (default 64)
@@ -25,8 +27,8 @@ open Qcomp_server
 let usage () =
   prerr_endline
     "usage: serve [tpch|tpcds] [--mode tiered|cached|static:<backend>] [--queries N]\n\
-    \             [--workers W] [--slots C] [--morsel M] [--cache N] [--sf K]\n\
-    \             [--gap-us G] [--seed S] [--per-query] [--validate]";
+    \             [--workers W] [--domains N] [--slots C] [--morsel M] [--cache N]\n\
+    \             [--sf K] [--gap-us G] [--seed S] [--per-query] [--validate]";
   exit 1
 
 let int_arg name v =
@@ -62,6 +64,7 @@ let () =
   let sf = ref 2 in
   let per_query = ref false in
   let validate = ref false in
+  let domains = ref 0 in
   let rec parse = function
     | [] -> ()
     | "tpch" :: rest ->
@@ -89,6 +92,9 @@ let () =
         parse rest
     | "--workers" :: v :: rest ->
         cfg := { !cfg with Server.workers = pos_arg "--workers" v };
+        parse rest
+    | "--domains" :: v :: rest ->
+        domains := pos_arg "--domains" v;
         parse rest
     | "--slots" :: v :: rest ->
         cfg := { !cfg with Server.compile_slots = int_arg "--slots" v };
@@ -128,8 +134,49 @@ let () =
       (Experiments.queries_of !workload)
   in
   let stream = Server.make_stream ~seed:(!cfg).Server.seed ~n:!n queries in
-  let report = Server.run db !cfg stream in
+  let cache = Code_cache.create ~capacity:(!cfg).Server.cache_capacity in
+  let report =
+    if !domains > 0 then Server.run ~cache ~parallel:!domains db !cfg stream
+    else Server.run ~cache db !cfg stream
+  in
   Format.printf "%a" (Server.pp_report ~per_query:!per_query) report;
+  if !domains > 0 && !validate then begin
+    (* the parallel run must be indistinguishable from the sequential one
+       in everything that is not wall-clock: the multiset of
+       (name, rows, checksum), the final live code bytes, and a fully
+       unpinned, underflow-free cache *)
+    let sdb = Experiments.make_db target !workload ~sf:!sf in
+    let sreport = Server.run sdb !cfg stream in
+    let key (q : Server.query_metrics) =
+      (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum)
+    in
+    let multiset r = List.sort compare (List.map key r.Server.r_queries) in
+    if multiset report <> multiset sreport then begin
+      Printf.printf
+        "PARALLEL MISMATCH: per-query (name, rows, checksum) multiset \
+         differs from the sequential run\n";
+      exit 1
+    end;
+    if report.Server.r_live_code_bytes <> sreport.Server.r_live_code_bytes
+    then begin
+      Printf.printf "PARALLEL MISMATCH: live code bytes %d (sequential %d)\n"
+        report.Server.r_live_code_bytes sreport.Server.r_live_code_bytes;
+      exit 1
+    end;
+    let pins = Code_cache.live_pins cache in
+    let under = (Code_cache.mem_stats cache).Code_cache.ms_pin_underflows in
+    if pins <> 0 || under <> 0 then begin
+      Printf.printf "PARALLEL MISMATCH: %d pins live, %d pin underflows\n"
+        pins under;
+      exit 1
+    end;
+    Printf.printf
+      "validate: parallel run (%d domains) matches sequential: %d results, \
+       live code %d bytes, 0 pins\n"
+      !domains
+      (List.length report.Server.r_queries)
+      report.Server.r_live_code_bytes
+  end;
   if !validate then begin
     (* every distinct plan's serving checksum must match the classic
        run_plan path on a fresh database *)

@@ -30,18 +30,23 @@ let find_fn cm name =
     the code regions themselves (their address ranges are poisoned and
     recycled by {!Emu.release_code}), and any host dispatch slots the
     interpreter registered. Idempotent: a second call is a no-op, so
-    one-shot callers and cache eviction can race benignly. *)
+    one-shot callers and cache eviction can race benignly. The whole
+    sequence runs under the machine's code-layout lock so it is atomic
+    with respect to concurrent link-and-register sequences (which predict
+    blob addresses that disposal would otherwise change under them) and so
+    the disposed-flag test-and-set is race-free. *)
 let dispose ~emu ~unwind cm =
-  if not cm.cm_disposed then begin
-    cm.cm_disposed <- true;
-    List.iter
-      (fun r ->
-        Unwind.deregister_range unwind ~base:(Code_region.base r)
-          ~size:(Code_region.size r);
-        Emu.release_code emu r)
-      cm.cm_regions;
-    List.iter (fun slot -> Emu.remove_runtime emu slot) cm.cm_runtime_slots
-  end
+  Emu.with_layout_lock emu (fun () ->
+      if not cm.cm_disposed then begin
+        cm.cm_disposed <- true;
+        List.iter
+          (fun r ->
+            Unwind.deregister_range unwind ~base:(Code_region.base r)
+              ~size:(Code_region.size r);
+            Emu.release_code emu r)
+          cm.cm_regions;
+        List.iter (fun slot -> Emu.remove_runtime emu slot) cm.cm_runtime_slots
+      end)
 
 module type S = sig
   val name : string

@@ -65,7 +65,9 @@ let compile_module_with ~features ~timing ~emu ~registry ~unwind
   let code, region =
     Timing.scope timing "Link" (fun () ->
         let code = Asm.finish asm in
-        (code, Emu.register_code emu code))
+        (* layout lock: a concurrent JIT linker may be mid
+           predict-link-register; registering would move its prediction *)
+        (code, Emu.with_layout_lock emu (fun () -> Emu.register_code emu code)))
   in
   let base = Code_region.base region in
   Timing.scope timing "Link" (fun () ->

@@ -94,7 +94,11 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
   let code =
     Timing.scope timing "Finalize" (fun () -> Asm.finish asm)
   in
-  let region = Emu.register_code emu code in
+  (* layout lock: a concurrent JIT linker may be mid predict-link-register;
+     registering would move its prediction *)
+  let region =
+    Emu.with_layout_lock emu (fun () -> Emu.register_code emu code)
+  in
   let base = Code_region.base region in
   (* register CFI now that absolute addresses exist *)
   Timing.scope timing "UnwindInfo" (fun () ->

@@ -27,6 +27,10 @@ let create_db ?(mem_size = 256 * 1024 * 1024) target =
 
 let memory db = Emu.memory db.emu
 
+(** Per-domain view: fresh execution context over the same machine, shared
+    catalog/tables/registries. See engine.mli. *)
+let domain_view db = { db with emu = Emu.context db.emu }
+
 (** Create, register and populate a table. *)
 let add_table db (schema : Schema.t) ~rows ~seed gens =
   let table = Table.create (memory db) schema ~rows in

@@ -32,6 +32,14 @@ val create_db : ?mem_size:int -> Target.t -> db
     working set all live here). *)
 val memory : db -> Memory.t
 
+(** A per-domain view of the database: same catalog, tables, memory and
+    code/runtime registries, but a fresh {!Qcomp_vm.Emu.context} with its
+    own registers, flags and cycle counters. Each worker domain of the
+    parallel serving pool executes (and compiles) through its own view so
+    execution state never races; all compiled code lands in the shared
+    registries. *)
+val domain_view : db -> db
+
 (** [add_table db schema ~rows ~seed gens] creates a columnar table, fills
     it deterministically with one generator per column, and registers it in
     the catalog. *)

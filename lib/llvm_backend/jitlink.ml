@@ -63,53 +63,64 @@ let link ~(emu : Emu.t) ~(resolve : string -> int64) (image : bytes) : linked =
     externs;
   let stubs = Asm.finish stub_asm in
   let text = Bytes.cat obj.Elf.o_text stubs in
-  let base = Emu.next_code_addr emu ~size:(Bytes.length text) in
-  times.ph_alloc <- Qcomp_support.Timing.now () -. t0;
-  (* phase 2: assign addresses, resolve externals, fill the GOT *)
-  let t1 = Qcomp_support.Timing.now () in
-  let sym_addr = Hashtbl.create 64 in
-  List.iter
-    (fun (s : Elf.symbol) -> Hashtbl.replace sym_addr s.Elf.s_name (base + s.Elf.s_off))
-    defined;
-  List.iteri
-    (fun k sym ->
-      let addr = resolve sym in
-      Memory.store64 mem (got_base + (8 * k)) addr;
-      Hashtbl.replace sym_addr sym (Int64.to_int addr))
-    externs;
-  Hashtbl.iter
-    (fun plt off -> Hashtbl.replace sym_addr plt (base + off))
-    stub_offsets;
-  times.ph_resolve <- Qcomp_support.Timing.now () -. t1;
-  (* phase 3: apply relocations, copy into executable memory *)
-  let t2 = Qcomp_support.Timing.now () in
-  List.iter
-    (fun (r : Elf.reloc) ->
-      match r.Elf.r_kind with
-      | Elf.Plt32 ->
-          let target_addr =
-            match Hashtbl.find_opt sym_addr r.Elf.r_sym with
-            | Some a -> a
-            | None -> failwith ("jitlink: undefined symbol " ^ r.Elf.r_sym)
-          in
-          let target_off = target_addr - base in
-          if target.Target.arch = Target.X64 then
-            (* field is rel32 relative to the end of the field *)
-            patch_rel32 text r.Elf.r_off (target_off - (r.Elf.r_off + 4))
-          else
-            (* rel24 in words, relative to the instruction start *)
-            patch_rel24_words text r.Elf.r_off (target_off - (r.Elf.r_off - 1))
-      | Elf.Abs64 ->
-          let addr =
-            match Hashtbl.find_opt sym_addr r.Elf.r_sym with
-            | Some a -> Int64.of_int a
-            | None -> resolve r.Elf.r_sym
-          in
-          Bytes.set_int64_le text r.Elf.r_off addr)
-    obj.Elf.o_relocs;
-  let region = Emu.register_code emu text in
-  assert (Code_region.base region = base);
-  times.ph_apply <- Qcomp_support.Timing.now () -. t2;
+  (* Phases 2 and 3 bake the predicted base address into the text, so the
+     predict-resolve-apply-register sequence holds the machine's
+     code-layout lock: no other domain may register or release code (and
+     thereby move the prediction) until this blob is in place. Everything
+     before this point is position-independent and runs unlocked. *)
+  let base, region =
+    Emu.with_layout_lock emu (fun () ->
+        let base = Emu.next_code_addr emu ~size:(Bytes.length text) in
+        times.ph_alloc <- Qcomp_support.Timing.now () -. t0;
+        (* phase 2: assign addresses, resolve externals, fill the GOT *)
+        let t1 = Qcomp_support.Timing.now () in
+        let sym_addr = Hashtbl.create 64 in
+        List.iter
+          (fun (s : Elf.symbol) ->
+            Hashtbl.replace sym_addr s.Elf.s_name (base + s.Elf.s_off))
+          defined;
+        List.iteri
+          (fun k sym ->
+            let addr = resolve sym in
+            Memory.store64 mem (got_base + (8 * k)) addr;
+            Hashtbl.replace sym_addr sym (Int64.to_int addr))
+          externs;
+        Hashtbl.iter
+          (fun plt off -> Hashtbl.replace sym_addr plt (base + off))
+          stub_offsets;
+        times.ph_resolve <- Qcomp_support.Timing.now () -. t1;
+        (* phase 3: apply relocations, copy into executable memory *)
+        let t2 = Qcomp_support.Timing.now () in
+        List.iter
+          (fun (r : Elf.reloc) ->
+            match r.Elf.r_kind with
+            | Elf.Plt32 ->
+                let target_addr =
+                  match Hashtbl.find_opt sym_addr r.Elf.r_sym with
+                  | Some a -> a
+                  | None -> failwith ("jitlink: undefined symbol " ^ r.Elf.r_sym)
+                in
+                let target_off = target_addr - base in
+                if target.Target.arch = Target.X64 then
+                  (* field is rel32 relative to the end of the field *)
+                  patch_rel32 text r.Elf.r_off (target_off - (r.Elf.r_off + 4))
+                else
+                  (* rel24 in words, relative to the instruction start *)
+                  patch_rel24_words text r.Elf.r_off
+                    (target_off - (r.Elf.r_off - 1))
+            | Elf.Abs64 ->
+                let addr =
+                  match Hashtbl.find_opt sym_addr r.Elf.r_sym with
+                  | Some a -> Int64.of_int a
+                  | None -> resolve r.Elf.r_sym
+                in
+                Bytes.set_int64_le text r.Elf.r_off addr)
+          obj.Elf.o_relocs;
+        let region = Emu.register_code emu text in
+        assert (Code_region.base region = base);
+        times.ph_apply <- Qcomp_support.Timing.now () -. t2;
+        (base, region))
+  in
   (* phase 4: symbol lookup *)
   let t3 = Qcomp_support.Timing.now () in
   let fn_addr = Hashtbl.create 32 in

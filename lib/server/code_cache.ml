@@ -19,7 +19,15 @@
     are {e pinned}: their disposal is deferred until the last pin drops, so
     a query never executes freed code. [bytes_freed] counts what has been
     returned to the allocator; [Lru.bytes_evicted] remains the gross weight
-    that left the LRU. *)
+    that left the LRU.
+
+    Every cache operation is serialized by one internal mutex, so the
+    parallel serving pool can share a cache across worker domains. Lock
+    ordering: the cache mutex is taken before the emulator's code-layout
+    lock (disposal from eviction happens with the cache mutex held), never
+    after it. Compilation itself ({!compile_uncached}) runs {e without} the
+    cache mutex so independent plans compile concurrently; only the
+    predict-link-register sequence inside serializes on the layout lock. *)
 
 open Qcomp_engine
 
@@ -40,26 +48,32 @@ type entry = {
 }
 
 type t = {
+  mu : Mutex.t;  (** serializes every access to the fields below *)
   plans : (int64 * string, Qcomp_codegen.Codegen.compiled) Hashtbl.t;
   modules : (key, entry) Lru.t;
   mutable bytes_freed : int;  (** code bytes returned to the allocator *)
   mutable max_entry_bytes : int;  (** largest module ever compiled here *)
+  mutable pin_underflows : int;  (** unbalanced unpins caught and ignored *)
 }
 
+(* Callers hold [t.mu]. *)
 let free t e =
   t.bytes_freed <- t.bytes_freed + e.ce_code_bytes;
   e.ce_dispose ()
 
-(* LRU drop: dispose now, or defer until the last in-flight user unpins. *)
+(* LRU drop: dispose now, or defer until the last in-flight user unpins.
+   Runs under [t.mu] (drops only happen inside locked [Lru.add]). *)
 let drop t e = if !(e.ce_pins) > 0 then e.ce_evicted := true else free t e
 
 let create ~capacity =
   let t =
     {
+      mu = Mutex.create ();
       plans = Hashtbl.create 64;
       modules = Lru.create ~capacity;
       bytes_freed = 0;
       max_entry_bytes = 0;
+      pin_underflows = 0;
     }
   in
   Lru.set_on_drop t.modules (fun e -> drop t e);
@@ -67,14 +81,27 @@ let create ~capacity =
 
 (** Pin [e] against disposal while a query holds it. Every pin must be
     matched by an {!unpin} when the query finishes. *)
-let pin e = incr e.ce_pins
+let pin t e = Mutex.protect t.mu (fun () -> incr e.ce_pins)
 
+(** Drop one pin. An unpin without a matching pin is a caller bug that used
+    to drive the count negative (and could later double-dispose a module a
+    query was still running); it is now clamped at zero, counted in
+    [ms_pin_underflows] and logged on first occurrence. *)
 let unpin t e =
-  decr e.ce_pins;
-  if !(e.ce_pins) <= 0 && !(e.ce_evicted) then begin
-    e.ce_evicted := false;
-    free t e
-  end
+  Mutex.protect t.mu (fun () ->
+      if !(e.ce_pins) <= 0 then begin
+        t.pin_underflows <- t.pin_underflows + 1;
+        if t.pin_underflows = 1 then
+          Printf.eprintf
+            "code_cache: unpin without matching pin (clamped at zero)\n%!"
+      end
+      else begin
+        decr e.ce_pins;
+        if !(e.ce_pins) = 0 && !(e.ce_evicted) then begin
+          e.ce_evicted := false;
+          free t e
+        end
+      end)
 
 let key db ~backend plan =
   {
@@ -84,22 +111,29 @@ let key db ~backend plan =
   }
 
 (** Codegen once per (fingerprint, target); the memo is unbounded because
-    codegen results are small compared to machine code. *)
+    codegen results are small compared to machine code. Atomic: concurrent
+    callers for the same fingerprint get the {e same} codegen result, which
+    the tier hot-swap relies on (one state layout per plan). *)
 let plan_ir t db ~fp ~name plan =
-  let pk = (fp, db.Engine.target.Qcomp_vm.Target.name) in
-  match Hashtbl.find_opt t.plans pk with
-  | Some cq -> cq
-  | None ->
-      let cq = Engine.plan_to_ir db ~name plan in
-      Hashtbl.replace t.plans pk cq;
-      cq
+  Mutex.protect t.mu (fun () ->
+      let pk = (fp, db.Engine.target.Qcomp_vm.Target.name) in
+      match Hashtbl.find_opt t.plans pk with
+      | Some cq -> cq
+      | None ->
+          let cq = Engine.plan_to_ir db ~name plan in
+          Hashtbl.replace t.plans pk cq;
+          cq)
 
-let find t k = Lru.find t.modules k
+let find t k = Mutex.protect t.mu (fun () -> Lru.find t.modules k)
 
 (** Compile without touching the LRU: a background compilation must not
     become visible to other queries before the scheduler says its
     (simulated) compile time has elapsed — the caller {!insert}s the entry
-    at the completion event. *)
+    at the completion event. Neither the cache mutex nor the emulator's
+    layout lock is held during back-end compilation, so independent plans
+    compile concurrently on different domains; only the short
+    predict-link-register window inside each back-end (and every
+    code-registration/disposal) serializes on the layout lock. *)
 let compile_uncached t db ~backend ~name plan =
   let k = key db ~backend plan in
   let cq = plan_ir t db ~fp:k.ck_fp ~name plan in
@@ -110,7 +144,8 @@ let compile_uncached t db ~backend ~name plan =
       ~registry:db.Engine.registry ~unwind:db.Engine.unwind modul
   in
   let bytes = cm.Qcomp_backend.Backend.cm_code_size in
-  if bytes > t.max_entry_bytes then t.max_entry_bytes <- bytes;
+  Mutex.protect t.mu (fun () ->
+      if bytes > t.max_entry_bytes then t.max_entry_bytes <- bytes);
   {
     ce_cq = cq;
     ce_cm = cm;
@@ -121,37 +156,67 @@ let compile_uncached t db ~backend ~name plan =
     ce_evicted = ref false;
   }
 
-let insert t k e = Lru.add t.modules k ~weight:e.ce_code_bytes e
+let insert t k e =
+  Mutex.protect t.mu (fun () -> Lru.add t.modules k ~weight:e.ce_code_bytes e)
 
 (** [get_or_compile t db ~backend ~name plan] is [(entry, hit)]: the cached
     module for the plan under [backend], compiling (and inserting) on miss.
     The returned [ce_compile_s] is the modelled cost — on a hit the caller
-    decides whether to charge it (a serving system does not). *)
+    decides whether to charge it (a serving system does not). Two domains
+    racing on the same miss both compile, but only the first insert wins;
+    the loser's module is disposed and the winner returned, so callers
+    never hold two live modules for one key. (The serving pool additionally
+    dedups in-flight compiles so this race stays rare.) *)
 let get_or_compile t db ~backend ~name plan =
   let k = key db ~backend plan in
-  match Lru.find t.modules k with
+  match find t k with
   | Some e -> (e, true)
-  | None ->
+  | None -> (
       let e = compile_uncached t db ~backend ~name plan in
-      insert t k e;
-      (e, false)
+      let prior =
+        Mutex.protect t.mu (fun () ->
+            match Lru.peek t.modules k with
+            | Some other -> Some other
+            | None ->
+                Lru.add t.modules k ~weight:e.ce_code_bytes e;
+                None)
+      in
+      match prior with
+      | Some other ->
+          e.ce_dispose ();
+          (other, true)
+      | None -> (e, false))
 
-let stats t = Lru.stats t.modules
+let stats t = Mutex.protect t.mu (fun () -> Lru.stats t.modules)
+
+(** Sum of pins across live entries — zero when the server has quiesced. *)
+let live_pins t =
+  Mutex.protect t.mu (fun () ->
+      let n = ref 0 in
+      Lru.iter t.modules (fun e -> n := !n + !(e.ce_pins));
+      !n)
 
 type mem_stats = {
   ms_bytes_freed : int;  (** code bytes returned to the region allocator *)
   ms_max_entry_bytes : int;  (** largest single module compiled here *)
+  ms_pin_underflows : int;  (** unbalanced unpins caught and clamped *)
 }
 
 let mem_stats t =
-  { ms_bytes_freed = t.bytes_freed; ms_max_entry_bytes = t.max_entry_bytes }
+  Mutex.protect t.mu (fun () ->
+      {
+        ms_bytes_freed = t.bytes_freed;
+        ms_max_entry_bytes = t.max_entry_bytes;
+        ms_pin_underflows = t.pin_underflows;
+      })
 
 let pp_stats fmt t =
-  let s = Lru.stats t.modules in
+  let s = stats t in
+  let bytes_freed = (mem_stats t).ms_bytes_freed in
   Format.fprintf fmt
     "hits %d  misses %d  hit-rate %.1f%%  entries %d  evictions %d  bytes %d  bytes-freed %d"
     s.Lru.hits s.Lru.misses
     (if s.Lru.hits + s.Lru.misses > 0 then
        100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
      else 0.0)
-    s.Lru.entries s.Lru.evictions s.Lru.bytes t.bytes_freed
+    s.Lru.entries s.Lru.evictions s.Lru.bytes bytes_freed

@@ -9,7 +9,12 @@
     to the emulator's region allocator via
     {!Qcomp_backend.Backend.dispose}. Entries held by in-flight queries
     must be {!pin}ned; a pinned entry that gets evicted is disposed only
-    when its last {!unpin} arrives, so running code is never freed. *)
+    when its last {!unpin} arrives, so running code is never freed.
+
+    Thread-safe: every operation is serialized by an internal mutex, so the
+    parallel serving pool shares one cache across worker domains.
+    Compilation runs outside that mutex (independent plans compile
+    concurrently) under the emulator's code-layout lock. *)
 
 type key = {
   ck_fp : int64;  (** canonical plan fingerprint *)
@@ -59,7 +64,9 @@ val compile_uncached :
 
 val insert : t -> key -> entry -> unit
 
-(** [(entry, hit)] — compiles and inserts on miss. *)
+(** [(entry, hit)] — compiles and inserts on miss. Two domains racing on
+    the same miss both compile; the insert loser's module is disposed and
+    the winner's entry returned. *)
 val get_or_compile :
   t ->
   Qcomp_engine.Engine.db ->
@@ -70,17 +77,23 @@ val get_or_compile :
 
 (** Pin an entry against disposal while a query holds it. Every pin must
     be matched by an {!unpin}. *)
-val pin : entry -> unit
+val pin : t -> entry -> unit
 
 (** Drop one pin; if the entry was evicted while pinned and this was the
-    last pin, its code regions are released now. *)
+    last pin, its code regions are released now. An unpin without a
+    matching pin is clamped at zero (never negative), counted in
+    [ms_pin_underflows], and logged on first occurrence. *)
 val unpin : t -> entry -> unit
 
 val stats : t -> Lru.stats
 
+(** Sum of pins across live entries — zero once a server run quiesces. *)
+val live_pins : t -> int
+
 type mem_stats = {
   ms_bytes_freed : int;  (** code bytes returned to the region allocator *)
   ms_max_entry_bytes : int;  (** largest single module compiled here *)
+  ms_pin_underflows : int;  (** unbalanced unpins caught and clamped *)
 }
 
 val mem_stats : t -> mem_stats

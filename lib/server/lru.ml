@@ -92,6 +92,9 @@ let find t k =
 (** Peek without touching recency or hit/miss counters. *)
 let mem t k = Hashtbl.mem t.tbl k
 
+(** Value peek without touching recency or the hit/miss counters. *)
+let peek t k = Option.map (fun n -> n.value) (Hashtbl.find_opt t.tbl k)
+
 let evict_tail t =
   match t.tail with
   | None -> ()
@@ -131,6 +134,17 @@ let stats t =
     bytes = t.bytes;
     bytes_evicted = t.bytes_evicted;
   }
+
+(** Apply [f] to every live value, most- to least-recently used, without
+    touching recency or the counters. *)
+let iter t f =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        f n.value;
+        walk n.next
+  in
+  walk t.head
 
 (** Keys from most- to least-recently used (test/debug aid). *)
 let keys_mru t =

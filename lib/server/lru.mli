@@ -34,11 +34,18 @@ val find : ('k, 'v) t -> 'k -> 'v option
 (** Presence test that touches neither recency nor the hit/miss counters. *)
 val mem : ('k, 'v) t -> 'k -> bool
 
+(** Value peek that touches neither recency nor the hit/miss counters. *)
+val peek : ('k, 'v) t -> 'k -> 'v option
+
 (** [add t k ?weight v] inserts or replaces, promotes to front, then evicts
     least-recently-used entries until back under capacity. *)
 val add : ('k, 'v) t -> 'k -> ?weight:int -> 'v -> unit
 
 val stats : ('k, 'v) t -> stats
+
+(** [iter t f] applies [f] to every live value, most- to least-recently
+    used; touches neither recency nor the counters. *)
+val iter : ('k, 'v) t -> ('v -> unit) -> unit
 
 (** Keys from most- to least-recently used (test/debug aid). *)
 val keys_mru : ('k, 'v) t -> 'k list

@@ -1,0 +1,399 @@
+(** Domain-based parallel serving: real OS-thread workers over one shared
+    database, code cache and emulated machine.
+
+    This is the production-shaped counterpart of the discrete-event
+    scheduler in {!Server} (which remains the deterministic test double).
+    Each worker domain owns a {!Qcomp_engine.Engine.domain_view} — a fresh
+    {!Qcomp_vm.Emu.context} over the shared memory and code registries — so
+    query execution is genuinely concurrent: registers, flags and cycle
+    counters are per-domain, while compiled code, the module cache and the
+    runtime dispatch table are shared and mutex-guarded.
+
+    Policies mirror the simulator:
+    - {b Static}: every query runs the fixed back-end, compiling on its
+      worker on a cache miss (the modelled compile charge is still reported
+      per query).
+    - {b Cached}: adaptive back-end fronted by the shared {!Code_cache};
+      misses compile in the foreground, deduplicated across domains so a
+      burst of identical plans compiles once and the rest wait.
+    - {b Tiered}: queries start on interpreter bytecode immediately; the
+      strong back-end compiles on dedicated background compile domains, and
+      at the next morsel boundary after the module lands the execution
+      hot-swaps.
+
+    What stays deterministic under parallelism: per-query rows and
+    checksums (results are independent of allocation addresses and domain
+    interleaving), the set of compiled modules, and the final live-code
+    accounting when the cache does not evict. What becomes wall-clock:
+    arrival/start/finish/latency metrics, cache hit/miss counts under
+    racing misses, and in Tiered mode the swap point (and hence the
+    tier0/tier1 quanta split and exact cycle counts). Differential tests
+    therefore compare the {e multiset} of (name, rows, checksum).
+
+    Lock ordering: the pool mutex is the outermost; {!Code_cache}'s
+    internal mutex and the emulator's layout/registry locks nest inside
+    it. Entries are pinned {e before} they are inserted into the cache
+    (the compiling query's own pin doubles as the creation pin), so an
+    eviction in the insert-to-first-use window can never free in-flight
+    code. *)
+
+open Qcomp_support
+open Qcomp_engine
+
+type mode =
+  | Static of Qcomp_backend.Backend.t
+  | Cached
+  | Tiered
+
+let mode_name = function
+  | Static b -> "static:" ^ Qcomp_backend.Backend.name b
+  | Cached -> "cached"
+  | Tiered -> "tiered"
+
+type config = {
+  workers : int;  (** execution workers *)
+  compile_slots : int;  (** background compile pool size (Tiered) *)
+  morsel : int;  (** rows per execution quantum *)
+  cache_capacity : int;  (** module-cache entries *)
+  mode : mode;
+  mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
+  seed : int64;  (** drives the arrival process *)
+}
+
+let default_config =
+  {
+    workers = 4;
+    compile_slots = 2;
+    morsel = 512;
+    cache_capacity = 64;
+    mode = Tiered;
+    mean_gap_s = 0.0005;
+    seed = 42L;
+  }
+
+type query_metrics = {
+  qm_name : string;
+  qm_fp : int64;
+  qm_backend : string;  (** back-end that finished the query *)
+  qm_arrival : float;
+  qm_start : float;
+  qm_finish : float;
+  qm_compile_s : float;  (** foreground compile charged on the worker *)
+  qm_cache_hit : bool;  (** strong-tier module came from the cache *)
+  qm_switch_s : float option;  (** time of the hot-swap since start *)
+  qm_quanta_tier0 : int;
+  qm_quanta_tier1 : int;
+  qm_exec_cycles : int;
+  qm_rows : int;
+  qm_checksum : int64;
+}
+
+let qm_latency q = q.qm_finish -. q.qm_arrival
+
+type qstate = {
+  q_name : string;
+  q_plan : Qcomp_plan.Algebra.t;
+  mutable q_start : float;
+  mutable q_compile_s : float;
+  mutable q_cache_hit : bool;
+  mutable q_backend : string;
+  (* a finished background compile parks the strong entry here (already
+     pinned for this query, under the pool mutex); the owning worker
+     consumes it at the next quantum boundary *)
+  q_swap : Code_cache.entry option Atomic.t;
+  mutable q_switch_s : float option;
+  mutable q_started_tier0 : bool;
+  (* every cache entry this query touches stays pinned until it finishes *)
+  mutable q_pinned : Code_cache.entry list;
+  mutable q_done : bool;  (** written/read under the pool mutex *)
+}
+
+let run ?cache db ~domains config stream =
+  if domains < 1 then invalid_arg "Pool.run: domains must be positive";
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Code_cache.create ~capacity:config.cache_capacity
+  in
+  let mu = Mutex.create () in
+  let admission = Queue.create () in
+  (* foreground compiles in flight, for cross-domain dedup *)
+  let inflight : (Code_cache.key, unit) Hashtbl.t = Hashtbl.create 16 in
+  let inflight_cv = Condition.create () in
+  (* background (Tiered strong-tier) compiles in flight: key -> waiting
+     queries; doubles as the dedup table for the compile queue *)
+  let pending : (Code_cache.key, qstate list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let compile_jobs : (Engine.db -> unit) Queue.t = Queue.create () in
+  let compile_cv = Condition.create () in
+  let compile_closed = ref false in
+  let done_q = ref [] in
+  let first_error = ref None in
+  let record_error exn =
+    Mutex.protect mu (fun () ->
+        if !first_error = None then first_error := Some exn)
+  in
+  let t0 = Timing.now () in
+  List.iter
+    (fun (name, plan) ->
+      Queue.push
+        {
+          q_name = name;
+          q_plan = plan;
+          q_start = 0.0;
+          q_compile_s = 0.0;
+          q_cache_hit = false;
+          q_backend = "";
+          q_swap = Atomic.make None;
+          q_switch_s = None;
+          q_started_tier0 = false;
+          q_pinned = [];
+          q_done = false;
+        }
+        admission)
+    stream;
+  (* Callers hold [mu]. *)
+  let pin_locked q e =
+    Code_cache.pin cache e;
+    q.q_pinned <- e :: q.q_pinned
+  in
+  let unpin_all_locked q =
+    q.q_done <- true;
+    List.iter (fun e -> Code_cache.unpin cache e) q.q_pinned;
+    q.q_pinned <- []
+  in
+  (* Foreground lookup-or-compile with cross-domain dedup: the first domain
+     to miss compiles (outside the pool mutex); racers wait on the
+     condition variable and pick the entry up from the cache. The pin is
+     taken in the same critical section as the lookup/insert, so eviction
+     can never free the entry first. *)
+  let get_entry q view ~backend ~name plan =
+    let k = Code_cache.key view ~backend plan in
+    Mutex.lock mu;
+    let rec loop () =
+      match Code_cache.find cache k with
+      | Some e ->
+          pin_locked q e;
+          Mutex.unlock mu;
+          (e, true)
+      | None ->
+          if Hashtbl.mem inflight k then begin
+            Condition.wait inflight_cv mu;
+            loop ()
+          end
+          else begin
+            Hashtbl.replace inflight k ();
+            Mutex.unlock mu;
+            let e =
+              try Code_cache.compile_uncached cache view ~backend ~name plan
+              with exn ->
+                Mutex.lock mu;
+                Hashtbl.remove inflight k;
+                Condition.broadcast inflight_cv;
+                Mutex.unlock mu;
+                raise exn
+            in
+            Mutex.lock mu;
+            pin_locked q e;
+            Code_cache.insert cache k e;
+            Hashtbl.remove inflight k;
+            Condition.broadcast inflight_cv;
+            Mutex.unlock mu;
+            (e, false)
+          end
+    in
+    loop ()
+  in
+  (* Background compile body, run on a compile domain. The compiling
+     domain holds a creation pin across the insert so the entry cannot be
+     evicted-and-freed before waiters pin it. *)
+  let bg_compile ~backend ~name plan k view =
+    let e = Code_cache.compile_uncached cache view ~backend ~name plan in
+    Mutex.protect mu (fun () ->
+        Code_cache.pin cache e;
+        Code_cache.insert cache k e;
+        let waiters =
+          match Hashtbl.find_opt pending k with Some w -> !w | None -> []
+        in
+        Hashtbl.remove pending k;
+        List.iter
+          (fun q ->
+            (* a query that drained on tier 0 must not pin (nobody would
+               unpin) nor park a swap *)
+            if not q.q_done then begin
+              pin_locked q e;
+              Atomic.set q.q_swap (Some e)
+            end)
+          waiters;
+        Code_cache.unpin cache e)
+  in
+  let submit_bg q ~backend ~name plan k =
+    Mutex.protect mu (fun () ->
+        match Hashtbl.find_opt pending k with
+        | Some waiters -> waiters := q :: !waiters
+        | None ->
+            Hashtbl.replace pending k (ref [ q ]);
+            Queue.push (bg_compile ~backend ~name plan k) compile_jobs;
+            Condition.signal compile_cv)
+  in
+  (* Execute [q] to completion starting on [e]'s module, hot-swapping at a
+     quantum boundary if a background compile parks a stronger one. *)
+  let run_exec q view (e : Code_cache.entry) =
+    let ex = Exec.start view e.Code_cache.ce_cq e.Code_cache.ce_cm in
+    let rec loop () =
+      (match Atomic.exchange q.q_swap None with
+      | Some se when not (Exec.finished ex) ->
+          Exec.swap ex se.Code_cache.ce_cm;
+          q.q_switch_s <- Some (Timing.now () -. t0 -. q.q_start)
+      | _ -> ());
+      match Exec.step ex ~morsel:config.morsel with
+      | `Done -> ()
+      | `Ran _ -> loop ()
+    in
+    loop ();
+    let r = Exec.result ex in
+    let tier0, tier1 =
+      match Exec.swapped_at ex with
+      | Some at -> (at, Exec.quanta ex - at)
+      | None ->
+          if q.q_started_tier0 then (Exec.quanta ex, 0) else (0, Exec.quanta ex)
+    in
+    let finished_backend =
+      if q.q_started_tier0 && Exec.swapped_at ex = None then "interpreter"
+      else q.q_backend
+    in
+    let qm =
+      {
+        qm_name = q.q_name;
+        qm_fp = Fingerprint.plan q.q_plan;
+        qm_backend = finished_backend;
+        qm_arrival = 0.0;
+        qm_start = q.q_start;
+        qm_finish = Timing.now () -. t0;
+        qm_compile_s = q.q_compile_s;
+        qm_cache_hit = q.q_cache_hit;
+        qm_switch_s = q.q_switch_s;
+        qm_quanta_tier0 = tier0;
+        qm_quanta_tier1 = tier1;
+        qm_exec_cycles = r.Engine.exec_cycles;
+        qm_rows = r.Engine.output_count;
+        qm_checksum = Engine.checksum r.Engine.rows;
+      }
+    in
+    Mutex.protect mu (fun () ->
+        unpin_all_locked q;
+        done_q := qm :: !done_q)
+  in
+  let exec_query q view =
+    q.q_start <- Timing.now () -. t0;
+    match config.mode with
+    | Static backend ->
+        (* no cache semantics: charge the full modelled compile every time
+           (the module itself is memoized host-side) *)
+        let e, _hit = get_entry q view ~backend ~name:q.q_name q.q_plan in
+        q.q_backend <- Qcomp_backend.Backend.name backend;
+        q.q_compile_s <- e.Code_cache.ce_compile_s;
+        run_exec q view e
+    | Cached ->
+        let bname, backend = Engine.adaptive_backend view q.q_plan in
+        q.q_backend <- bname;
+        let e, hit = get_entry q view ~backend ~name:q.q_name q.q_plan in
+        q.q_cache_hit <- hit;
+        if not hit then q.q_compile_s <- e.Code_cache.ce_compile_s;
+        run_exec q view e
+    | Tiered -> (
+        let bname, backend = Engine.adaptive_backend view q.q_plan in
+        q.q_backend <- bname;
+        if bname = "interpreter" then begin
+          (* nothing stronger to tier to: serve straight from bytecode *)
+          let e, hit =
+            get_entry q view ~backend:Engine.interpreter ~name:q.q_name
+              q.q_plan
+          in
+          q.q_cache_hit <- hit;
+          q.q_started_tier0 <- true;
+          if not hit then q.q_compile_s <- e.Code_cache.ce_compile_s;
+          run_exec q view e
+        end
+        else
+          let k = Code_cache.key view ~backend q.q_plan in
+          let strong =
+            Mutex.protect mu (fun () ->
+                match Code_cache.find cache k with
+                | Some e ->
+                    pin_locked q e;
+                    Some e
+                | None -> None)
+          in
+          match strong with
+          | Some e ->
+              (* strong code already cached: start on it outright *)
+              q.q_cache_hit <- true;
+              run_exec q view e
+          | None ->
+              (* tier 0 now, strong tier on the background compile pool *)
+              let ie, ihit =
+                get_entry q view ~backend:Engine.interpreter ~name:q.q_name
+                  q.q_plan
+              in
+              if not ihit then q.q_compile_s <- ie.Code_cache.ce_compile_s;
+              q.q_started_tier0 <- true;
+              submit_bg q ~backend ~name:q.q_name q.q_plan k;
+              run_exec q view ie)
+  in
+  let worker () =
+    let view = Engine.domain_view db in
+    let rec loop () =
+      let next =
+        Mutex.protect mu (fun () ->
+            if Queue.is_empty admission then None
+            else Some (Queue.pop admission))
+      in
+      match next with
+      | None -> ()
+      | Some q ->
+          (try exec_query q view
+           with exn ->
+             record_error exn;
+             Mutex.protect mu (fun () -> unpin_all_locked q));
+          loop ()
+    in
+    loop ()
+  in
+  (* Compile domains drain the background queue to empty even after the
+     workers finish, so a run leaves the cache in the same warmed state the
+     simulator would (every submitted compile lands). *)
+  let compile_worker () =
+    let view = Engine.domain_view db in
+    let rec loop () =
+      Mutex.lock mu;
+      let rec take () =
+        if not (Queue.is_empty compile_jobs) then Some (Queue.pop compile_jobs)
+        else if !compile_closed then None
+        else begin
+          Condition.wait compile_cv mu;
+          take ()
+        end
+      in
+      match take () with
+      | None -> Mutex.unlock mu
+      | Some job ->
+          Mutex.unlock mu;
+          (try job view with exn -> record_error exn);
+          loop ()
+    in
+    loop ()
+  in
+  let n_compile =
+    match config.mode with Tiered -> max 1 config.compile_slots | _ -> 0
+  in
+  let compilers = List.init n_compile (fun _ -> Domain.spawn compile_worker) in
+  let workers = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join workers;
+  Mutex.protect mu (fun () ->
+      compile_closed := true;
+      Condition.broadcast compile_cv);
+  List.iter Domain.join compilers;
+  (match !first_error with Some exn -> raise exn | None -> ());
+  (List.rev !done_q, Timing.now () -. t0)

@@ -1,0 +1,63 @@
+(** Domain-based parallel serving: real OS-thread workers over one shared
+    database, code cache and emulated machine.
+
+    The production-shaped counterpart of the discrete-event scheduler in
+    {!Server} (the deterministic test double). Worker domains execute
+    queries concurrently, each through its own
+    {!Qcomp_engine.Engine.domain_view}; compiled code, the module cache and
+    the runtime dispatch table are shared and lock-guarded. Per-query rows
+    and checksums are deterministic (independent of interleaving); timing
+    metrics are wall-clock. *)
+
+type mode =
+  | Static of Qcomp_backend.Backend.t
+  | Cached
+  | Tiered
+
+val mode_name : mode -> string
+
+type config = {
+  workers : int;  (** execution workers *)
+  compile_slots : int;  (** background compile pool size (Tiered) *)
+  morsel : int;  (** rows per execution quantum *)
+  cache_capacity : int;  (** module-cache entries *)
+  mode : mode;
+  mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
+  seed : int64;  (** drives the arrival process *)
+}
+
+(** Tiered, 4 workers, 2 compile slots, 512-row morsels. *)
+val default_config : config
+
+type query_metrics = {
+  qm_name : string;
+  qm_fp : int64;
+  qm_backend : string;  (** back-end that finished the query *)
+  qm_arrival : float;
+  qm_start : float;
+  qm_finish : float;
+  qm_compile_s : float;  (** foreground compile charged on the worker *)
+  qm_cache_hit : bool;  (** strong-tier module came from the cache *)
+  qm_switch_s : float option;  (** time of the hot-swap since start *)
+  qm_quanta_tier0 : int;
+  qm_quanta_tier1 : int;
+  qm_exec_cycles : int;
+  qm_rows : int;
+  qm_checksum : int64;
+}
+
+val qm_latency : query_metrics -> float
+
+(** [run ?cache db ~domains config stream] serves [stream] on [domains]
+    worker domains (plus [config.compile_slots] background compile domains
+    in Tiered mode) and returns the per-query metrics in completion order
+    together with the wall-clock makespan in seconds. The first exception
+    raised by any query is re-raised after all domains join; completed
+    queries keep their metrics and every pin is released either way. *)
+val run :
+  ?cache:Code_cache.t ->
+  Qcomp_engine.Engine.db ->
+  domains:int ->
+  config ->
+  (string * Qcomp_plan.Algebra.t) list ->
+  query_metrics list * float

@@ -28,17 +28,17 @@
 open Qcomp_support
 open Qcomp_engine
 
-type mode =
+(* The mode/config/metrics types live in {!Pool} (the parallel driver must
+   not depend on this module); re-exported here so callers keep writing
+   [Server.Tiered], [Server.default_config] etc. *)
+type mode = Pool.mode =
   | Static of Qcomp_backend.Backend.t
   | Cached
   | Tiered
 
-let mode_name = function
-  | Static b -> "static:" ^ Qcomp_backend.Backend.name b
-  | Cached -> "cached"
-  | Tiered -> "tiered"
+let mode_name = Pool.mode_name
 
-type config = {
+type config = Pool.config = {
   workers : int;  (** execution workers *)
   compile_slots : int;  (** background compile pool size (Tiered) *)
   morsel : int;  (** rows per execution quantum *)
@@ -48,18 +48,9 @@ type config = {
   seed : int64;  (** drives the arrival process *)
 }
 
-let default_config =
-  {
-    workers = 4;
-    compile_slots = 2;
-    morsel = 512;
-    cache_capacity = 64;
-    mode = Tiered;
-    mean_gap_s = 0.0005;
-    seed = 42L;
-  }
+let default_config = Pool.default_config
 
-type query_metrics = {
+type query_metrics = Pool.query_metrics = {
   qm_name : string;
   qm_fp : int64;
   qm_backend : string;  (** back-end that finished the query *)
@@ -76,7 +67,7 @@ type query_metrics = {
   qm_checksum : int64;
 }
 
-let qm_latency q = q.qm_finish -. q.qm_arrival
+let qm_latency = Pool.qm_latency
 
 type report = {
   r_mode : string;
@@ -124,7 +115,33 @@ let percentile sorted p =
       let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
       sorted.(max 0 (min (n - 1) idx))
 
-let run ?cache db config stream =
+(* Fold completion-order metrics into the report (shared by the
+   discrete-event and parallel drivers). *)
+let assemble_report db cache ~mode ~makespan queries =
+  let lats = Array.of_list (List.map qm_latency queries) in
+  Array.sort compare lats;
+  let n = List.length queries in
+  let total_latency = Array.fold_left ( +. ) 0.0 lats in
+  {
+    r_mode = mode_name mode;
+    r_queries = queries;
+    r_makespan = makespan;
+    r_total_latency = total_latency;
+    r_mean_latency = (if n > 0 then total_latency /. float_of_int n else 0.0);
+    r_p50_latency = percentile lats 0.50;
+    r_p95_latency = percentile lats 0.95;
+    r_max_latency =
+      (if Array.length lats > 0 then lats.(Array.length lats - 1) else 0.0);
+    r_throughput = (if makespan > 0.0 then float_of_int n /. makespan else 0.0);
+    r_switchovers =
+      List.length (List.filter (fun q -> q.qm_switch_s <> None) queries);
+    r_cache = Code_cache.stats cache;
+    r_bytes_freed = (Code_cache.mem_stats cache).Code_cache.ms_bytes_freed;
+    r_live_code_bytes = Qcomp_vm.Emu.live_code_bytes db.Engine.emu;
+    r_peak_code_bytes = Qcomp_vm.Emu.peak_code_bytes db.Engine.emu;
+  }
+
+let run_events ?cache db config stream =
   if config.workers < 1 then invalid_arg "Server.run: workers must be positive";
   let sim = Sim.create () in
   let cache =
@@ -142,7 +159,7 @@ let run ?cache db config stream =
   in
   let done_q = ref [] in
   let pin_entry q e =
-    Code_cache.pin e;
+    Code_cache.pin cache e;
     q.q_pinned <- e :: q.q_pinned
   in
   let finish_metrics q (ex : Exec.t) =
@@ -335,28 +352,26 @@ let run ?cache db config stream =
     stream;
   Sim.run sim;
   let queries = List.rev !done_q in
-  let lats = Array.of_list (List.map qm_latency queries) in
-  Array.sort compare lats;
-  let n = List.length queries in
-  let makespan = List.fold_left (fun a q -> Float.max a q.qm_finish) 0.0 queries in
-  let total_latency = Array.fold_left ( +. ) 0.0 lats in
-  {
-    r_mode = mode_name config.mode;
-    r_queries = queries;
-    r_makespan = makespan;
-    r_total_latency = total_latency;
-    r_mean_latency = (if n > 0 then total_latency /. float_of_int n else 0.0);
-    r_p50_latency = percentile lats 0.50;
-    r_p95_latency = percentile lats 0.95;
-    r_max_latency = (if Array.length lats > 0 then lats.(Array.length lats - 1) else 0.0);
-    r_throughput = (if makespan > 0.0 then float_of_int n /. makespan else 0.0);
-    r_switchovers =
-      List.length (List.filter (fun q -> q.qm_switch_s <> None) queries);
-    r_cache = Code_cache.stats cache;
-    r_bytes_freed = (Code_cache.mem_stats cache).Code_cache.ms_bytes_freed;
-    r_live_code_bytes = Qcomp_vm.Emu.live_code_bytes db.Engine.emu;
-    r_peak_code_bytes = Qcomp_vm.Emu.peak_code_bytes db.Engine.emu;
-  }
+  let makespan =
+    List.fold_left (fun a q -> Float.max a q.qm_finish) 0.0 queries
+  in
+  assemble_report db cache ~mode:config.mode ~makespan queries
+
+(** Serve [stream]. Without [parallel], one deterministic discrete-event
+    cascade over the virtual clock. With [~parallel:domains], the queries
+    run on that many real worker domains ({!Pool.run}): rows/checksums are
+    unchanged, timing metrics become wall-clock. *)
+let run ?cache ?parallel db config stream =
+  match parallel with
+  | None -> run_events ?cache db config stream
+  | Some domains ->
+      let cache =
+        match cache with
+        | Some c -> c
+        | None -> Code_cache.create ~capacity:config.cache_capacity
+      in
+      let queries, makespan = Pool.run ~cache db ~domains config stream in
+      assemble_report db cache ~mode:config.mode ~makespan queries
 
 (* ---------------- reporting ---------------- *)
 

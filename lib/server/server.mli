@@ -8,14 +8,14 @@
     compiled on a background pool). All durations are deterministic, so
     same-seed runs produce byte-identical reports. *)
 
-type mode =
+type mode = Pool.mode =
   | Static of Qcomp_backend.Backend.t
   | Cached
   | Tiered
 
 val mode_name : mode -> string
 
-type config = {
+type config = Pool.config = {
   workers : int;  (** execution workers *)
   compile_slots : int;  (** background compile pool size (Tiered) *)
   morsel : int;  (** rows per execution quantum *)
@@ -28,7 +28,7 @@ type config = {
 (** Tiered, 4 workers, 2 compile slots, 512-row morsels. *)
 val default_config : config
 
-type query_metrics = {
+type query_metrics = Pool.query_metrics = {
   qm_name : string;
   qm_fp : int64;
   qm_backend : string;  (** back-end that finished the query *)
@@ -66,9 +66,16 @@ type report = {
 
 (** Serve [stream] (name, plan pairs in arrival order) against [db].
     [cache] persists across calls when supplied (a warm serving process);
-    otherwise each run starts cold with [config.cache_capacity] entries. *)
+    otherwise each run starts cold with [config.cache_capacity] entries.
+
+    By default this is the deterministic discrete-event run (virtual
+    clock, byte-identical reports per seed). [~parallel:domains] serves on
+    that many real worker domains instead ({!Pool.run}): per-query rows
+    and checksums are identical to the sequential run, but every timing
+    metric is wall-clock and scheduling-dependent. *)
 val run :
   ?cache:Code_cache.t ->
+  ?parallel:int ->
   Qcomp_engine.Engine.db ->
   config ->
   (string * Qcomp_plan.Algebra.t) list ->

@@ -7,36 +7,55 @@ let time f =
 
 type entry = { mutable seconds : float; mutable count : int; order : int }
 
+(* Per-domain open-scope stack: two domains timing their own compilations
+   concurrently must not interleave their path trees. *)
+type local = { mutable stack : string list (* innermost first *) }
+
 type t = {
   enabled : bool;
+  mu : Mutex.t;  (** guards [table], [locals] and [events] *)
   table : (string, entry) Hashtbl.t;
-  mutable stack : string list; (* innermost first *)
+  locals : (int, local) Hashtbl.t;  (** domain id -> open scopes *)
   mutable events : int;
-  mutable clock_cost : float; (* measured cost of one [now] pair *)
+  clock_cost : float; (* measured cost of one [now] pair *)
 }
 
+(* Cost of one scope = one (now, now) pair: time 2n calls, divide by n. *)
 let calibrate () =
-  let t0 = now () in
   let n = 1000 in
+  let t0 = now () in
   for _ = 1 to n do
+    ignore (Sys.opaque_identity (now ()));
     ignore (Sys.opaque_identity (now ()))
   done;
-  (now () -. t0) /. float_of_int n *. 2.0
+  (now () -. t0) /. float_of_int n
 
 let create ?(enabled = true) () =
   {
     enabled;
+    mu = Mutex.create ();
     table = Hashtbl.create 64;
-    stack = [];
+    locals = Hashtbl.create 4;
     events = 0;
     clock_cost = (if enabled then calibrate () else 0.0);
   }
 
 let enabled t = t.enabled
 
-let path_of t name =
-  match t.stack with [] -> name | top :: _ -> top ^ "/" ^ name
+(* Callers hold [t.mu]. *)
+let local t =
+  let id = (Domain.self () :> int) in
+  match Hashtbl.find_opt t.locals id with
+  | Some l -> l
+  | None ->
+      let l = { stack = [] } in
+      Hashtbl.add t.locals id l;
+      l
 
+let path_of l name =
+  match l.stack with [] -> name | top :: _ -> top ^ "/" ^ name
+
+(* Callers hold [t.mu]. *)
 let entry t path =
   match Hashtbl.find_opt t.table path with
   | Some e -> e
@@ -46,28 +65,36 @@ let entry t path =
       e
 
 let add t name secs =
-  if t.enabled then begin
-    let e = entry t (path_of t name) in
-    e.seconds <- e.seconds +. secs;
-    e.count <- e.count + 1;
-    t.events <- t.events + 1
-  end
+  if t.enabled then
+    Mutex.protect t.mu (fun () ->
+        let e = entry t (path_of (local t) name) in
+        e.seconds <- e.seconds +. secs;
+        e.count <- e.count + 1;
+        t.events <- t.events + 1)
 
 let scope t name f =
   if not t.enabled then f ()
   else begin
-    let path = path_of t name in
-    (* register the entry up front so reports list parents before children *)
-    ignore (entry t path);
-    t.stack <- path :: t.stack;
+    let path =
+      Mutex.protect t.mu (fun () ->
+          let l = local t in
+          let path = path_of l name in
+          (* register the entry up front so reports list parents before
+             children *)
+          ignore (entry t path);
+          l.stack <- path :: l.stack;
+          path)
+    in
     let t0 = now () in
     let finish () =
       let dt = now () -. t0 in
-      (match t.stack with [] -> () | _ :: rest -> t.stack <- rest);
-      let e = entry t path in
-      e.seconds <- e.seconds +. dt;
-      e.count <- e.count + 1;
-      t.events <- t.events + 1
+      Mutex.protect t.mu (fun () ->
+          let l = local t in
+          (match l.stack with [] -> () | _ :: rest -> l.stack <- rest);
+          let e = entry t path in
+          e.seconds <- e.seconds +. dt;
+          e.count <- e.count + 1;
+          t.events <- t.events + 1)
     in
     match f () with
     | r ->
@@ -79,17 +106,21 @@ let scope t name f =
   end
 
 let reset t =
-  Hashtbl.reset t.table;
-  t.stack <- [];
-  t.events <- 0
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.reset t.table;
+      Hashtbl.reset t.locals;
+      t.events <- 0)
 
-let event_count t = t.events
-let overhead t = float_of_int t.events *. t.clock_cost
+let event_count t = Mutex.protect t.mu (fun () -> t.events)
+let overhead t = float_of_int (event_count t) *. t.clock_cost
 
 let entries t =
-  Hashtbl.fold (fun path e acc -> (path, e) :: acc) t.table []
-  |> List.sort (fun (_, a) (_, b) -> compare a.order b.order)
-  |> List.map (fun (path, e) -> (path, e.seconds, e.count))
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold
+        (fun path e acc -> (path, e.order, e.seconds, e.count) :: acc)
+        t.table [])
+  |> List.sort (fun (_, a, _, _) (_, b, _, _) -> compare a b)
+  |> List.map (fun (path, _, secs, count) -> (path, secs, count))
 
 let is_top_level path = not (String.contains path '/')
 
@@ -114,6 +145,7 @@ let flat t =
 let pp_report fmt t =
   let es = entries t in
   let tot = total t in
+  let events = event_count t in
   Format.fprintf fmt "%-42s %10s %8s %6s@." "phase" "seconds" "count" "%";
   List.iter
     (fun (path, secs, count) ->
@@ -129,6 +161,6 @@ let pp_report fmt t =
       Format.fprintf fmt "%-42s %10.4f %8d %5.1f%%@." label secs count
         (if tot > 0.0 then 100.0 *. secs /. tot else 0.0))
     es;
-  Format.fprintf fmt "%-42s %10.4f %8d@." "total (top-level)" tot t.events;
-  Format.fprintf fmt "instrumentation: %d events, ~%.4f s overhead@." t.events
+  Format.fprintf fmt "%-42s %10.4f %8d@." "total (top-level)" tot events;
+  Format.fprintf fmt "instrumentation: %d events, ~%.4f s overhead@." events
     (overhead t)

@@ -23,7 +23,31 @@ type code_mod = {
   cm_off2idx : int array;
 }
 
-type t = {
+(** Code + runtime registries shared by every execution context of one
+    virtual machine. All mutation happens under [reg_mu]; the hot read
+    paths ([find_mod], runtime dispatch) read the mutable fields without
+    the lock — they only ever chase addresses that were published to them
+    through a mutex (the caller obtained the module through the code cache
+    or compiled it itself), which establishes the happens-before edge.
+    [code_gen] bumps on every release so per-context [last_mod] caches
+    cannot resurrect a module whose span was recycled by another domain. *)
+type shared = {
+  mutable mods : code_mod list;
+  mutable next_code_base : int;
+  free_spans : (int, int list) Hashtbl.t;  (** span size -> free bases *)
+  poisoned : (int, int) Hashtbl.t;  (** freed base -> span, until reused *)
+  mutable live_code : int;  (** bytes of code in live regions *)
+  mutable peak_code : int;  (** high-water mark of [live_code] *)
+  mutable freed_code : int;  (** cumulative bytes released *)
+  mutable code_gen : int;  (** bumped by every release (cache invalidation) *)
+  mutable runtime : (t -> unit) array;
+  mutable runtime_names : string array;
+  mutable free_runtime : int list;  (** recyclable runtime slots *)
+  reg_mu : Mutex.t;  (** guards every mutation of this record *)
+  layout_mu : Mutex.t;  (** see {!with_layout_lock} *)
+}
+
+and t = {
   target : Target.t;
   mem : Memory.t;
   regs : int64 array;
@@ -34,17 +58,11 @@ type t = {
   mutable cycles : int;
   mutable icount : int;
   mutable fuel : int;  (** max instructions per [call]; <0 = unlimited *)
-  mutable mods : code_mod list;
-  mutable next_code_base : int;
-  free_spans : (int, int list) Hashtbl.t;  (** span size -> free bases *)
-  poisoned : (int, int) Hashtbl.t;  (** freed base -> span, until reused *)
-  mutable live_code : int;  (** bytes of code in live regions *)
-  mutable peak_code : int;  (** high-water mark of [live_code] *)
-  mutable freed_code : int;  (** cumulative bytes released *)
-  mutable runtime : (t -> unit) array;
-  mutable runtime_names : string array;
-  mutable free_runtime : int list;  (** recyclable runtime slots *)
+  stack_top : int;  (** where [call] plants sp — per context, so domains
+                        executing concurrently never share a stack *)
+  shared : shared;
   mutable last_mod : code_mod option;
+  mutable last_gen : int;  (** [shared.code_gen] when [last_mod] was cached *)
 }
 
 let create ?(mem_size = 256 * 1024 * 1024) target =
@@ -60,18 +78,67 @@ let create ?(mem_size = 256 * 1024 * 1024) target =
     cycles = 0;
     icount = 0;
     fuel = -1;
-    mods = [];
-    next_code_base = code_base;
-    free_spans = Hashtbl.create 8;
-    poisoned = Hashtbl.create 8;
-    live_code = 0;
-    peak_code = 0;
-    freed_code = 0;
-    runtime = [||];
-    runtime_names = [||];
-    free_runtime = [];
+    stack_top = mem_size - 64;
+    shared =
+      {
+        mods = [];
+        next_code_base = code_base;
+        free_spans = Hashtbl.create 8;
+        poisoned = Hashtbl.create 8;
+        live_code = 0;
+        peak_code = 0;
+        freed_code = 0;
+        code_gen = 0;
+        runtime = [||];
+        runtime_names = [||];
+        free_runtime = [];
+        reg_mu = Mutex.create ();
+        layout_mu = Mutex.create ();
+      };
     last_mod = None;
+    last_gen = 0;
   }
+
+(** A fresh execution context over the same machine: shares the linear
+    memory and the code/runtime registries, but owns its registers, flags,
+    cycle/instruction counters and fuel. This is what lets one worker
+    domain execute a query while another compiles or executes elsewhere —
+    the virtual machine becomes one "core" per context over shared memory
+    and a shared code segment. *)
+(* Stack carved out of linear memory for each additional context; the
+   primary context keeps the historical top-of-memory stack. *)
+let context_stack_bytes = 256 * 1024
+
+let context t =
+  let base = Memory.alloc t.mem ~align:16 context_stack_bytes in
+  {
+    target = t.target;
+    mem = t.mem;
+    regs = Array.make 33 0L;
+    zf = false;
+    sf = false;
+    cf = false;
+    ovf = false;
+    cycles = 0;
+    icount = 0;
+    fuel = t.fuel;
+    stack_top = base + context_stack_bytes - 64;
+    shared = t.shared;
+    last_mod = None;
+    last_gen = 0;
+  }
+
+(** [with_layout_lock t f] runs [f] holding the machine's code-layout lock.
+    A JIT linker must predict the address a blob will get
+    ({!next_code_addr}) before applying relocations and registering it,
+    while any other registration or disposal moves that prediction — so
+    the predict-link-register window, every bare {!register_code} from a
+    position-independent back-end, and every dispose sequence take this
+    lock to be mutually atomic. Compilation proper (IR, isel, emission)
+    runs outside it, which is what lets worker domains compile
+    concurrently. Individual registry operations take the finer [reg_mu]
+    internally; the two locks never nest the other way around. *)
+let with_layout_lock t f = Mutex.protect t.shared.layout_mu f
 
 let memory t = t.mem
 let target_of t = t.target
@@ -85,24 +152,32 @@ let charge t c = t.cycles <- t.cycles + c
 
 (** Install the runtime function table (index = slot). *)
 let set_runtime t fns names =
-  t.runtime <- fns;
-  t.runtime_names <- names
+  Mutex.protect t.shared.reg_mu (fun () ->
+      t.shared.runtime <- fns;
+      t.shared.runtime_names <- names)
 
 (** Append a host function (e.g. an interpreted query function) and return
     its callable address. Released slots ({!remove_runtime}) are reused
     before the table grows. *)
 let add_runtime t name fn =
-  match t.free_runtime with
-  | idx :: rest ->
-      t.free_runtime <- rest;
-      t.runtime.(idx) <- fn;
-      t.runtime_names.(idx) <- name;
-      Int64.of_int (runtime_base + (8 * idx))
-  | [] ->
-      let idx = Array.length t.runtime in
-      t.runtime <- Array.append t.runtime [| fn |];
-      t.runtime_names <- Array.append t.runtime_names [| name |];
-      Int64.of_int (runtime_base + (8 * idx))
+  let s = t.shared in
+  Mutex.protect s.reg_mu (fun () ->
+      match s.free_runtime with
+      | idx :: rest ->
+          s.free_runtime <- rest;
+          (* copy-on-write: published arrays are never mutated in place, so
+             lock-free dispatch reads a consistent table *)
+          let fns = Array.copy s.runtime and names = Array.copy s.runtime_names in
+          fns.(idx) <- fn;
+          names.(idx) <- name;
+          s.runtime <- fns;
+          s.runtime_names <- names;
+          Int64.of_int (runtime_base + (8 * idx))
+      | [] ->
+          let idx = Array.length s.runtime in
+          s.runtime <- Array.append s.runtime [| fn |];
+          s.runtime_names <- Array.append s.runtime_names [| name |];
+          Int64.of_int (runtime_base + (8 * idx)))
 
 let runtime_addr idx = Int64.of_int (runtime_base + (8 * idx))
 
@@ -115,14 +190,20 @@ let remove_runtime t (addr : int64) =
   if not (is_runtime_addr a) then
     invalid_arg "Emu.remove_runtime: not a runtime address";
   let idx = (a - runtime_base) / 8 in
-  if idx >= Array.length t.runtime then
-    invalid_arg "Emu.remove_runtime: slot was never allocated";
-  if List.mem idx t.free_runtime then
-    invalid_arg "Emu.remove_runtime: slot already released";
-  t.runtime.(idx) <-
-    (fun _ -> raise (Trap (Printf.sprintf "use-after-free runtime slot %d" idx)));
-  t.runtime_names.(idx) <- "<freed>";
-  t.free_runtime <- idx :: t.free_runtime
+  let s = t.shared in
+  Mutex.protect s.reg_mu (fun () ->
+      if idx >= Array.length s.runtime then
+        invalid_arg "Emu.remove_runtime: slot was never allocated";
+      if List.mem idx s.free_runtime then
+        invalid_arg "Emu.remove_runtime: slot already released";
+      let fns = Array.copy s.runtime and names = Array.copy s.runtime_names in
+      fns.(idx) <-
+        (fun _ ->
+          raise (Trap (Printf.sprintf "use-after-free runtime slot %d" idx)));
+      names.(idx) <- "<freed>";
+      s.runtime <- fns;
+      s.runtime_names <- names;
+      s.free_runtime <- idx :: s.free_runtime)
 
 (** Round [n] up to the 4 KiB page granule of the code allocator. Both
     fresh allocation and free-list recycling reserve whole pages, so two
@@ -131,13 +212,13 @@ let remove_runtime t (addr : int64) =
 let page_size = 0x1000
 let page_align n = (n + (page_size - 1)) land lnot (page_size - 1)
 
-(* Pop a free span of exactly [span] bytes, if any. *)
-let take_free_span t span =
-  match Hashtbl.find_opt t.free_spans span with
+(* Pop a free span of exactly [span] bytes, if any. Caller holds [reg_mu]. *)
+let take_free_span s span =
+  match Hashtbl.find_opt s.free_spans span with
   | Some (base :: rest) ->
-      if rest = [] then Hashtbl.remove t.free_spans span
-      else Hashtbl.replace t.free_spans span rest;
-      Hashtbl.remove t.poisoned base;
+      if rest = [] then Hashtbl.remove s.free_spans span
+      else Hashtbl.replace s.free_spans span rest;
+      Hashtbl.remove s.poisoned base;
       Some base
   | Some [] | None -> None
 
@@ -145,11 +226,14 @@ let take_free_span t span =
     JIT linkers that must know final addresses before applying
     relocations). With recycling the answer depends on the blob size: a
     free span of the matching size class is reused before the bump pointer
-    advances. *)
+    advances. Callers that rely on the prediction must hold
+    {!with_layout_lock} across predict-link-register. *)
 let next_code_addr t ~size =
-  match Hashtbl.find_opt t.free_spans (page_align size) with
-  | Some (base :: _) -> base
-  | Some [] | None -> t.next_code_base
+  let s = t.shared in
+  Mutex.protect s.reg_mu (fun () ->
+      match Hashtbl.find_opt s.free_spans (page_align size) with
+      | Some (base :: _) -> base
+      | Some [] | None -> s.next_code_base)
 
 (** Register a code blob; returns a {!Code_region.t} ownership handle whose
     [base] is the blob's first address. The address range comes from the
@@ -159,65 +243,82 @@ let register_code t (code : bytes) =
   let insts, off2idx = Asm.decode_all t.target code in
   let size = Bytes.length code in
   let span = page_align size in
-  let base =
-    match take_free_span t span with
-    | Some base -> base
-    | None ->
-        let base = t.next_code_base in
-        t.next_code_base <- base + span;
-        base
-  in
-  let m = { cm_base = base; cm_size = size; cm_insts = insts; cm_off2idx = off2idx } in
-  t.mods <- m :: t.mods;
-  t.live_code <- t.live_code + size;
-  if t.live_code > t.peak_code then t.peak_code <- t.live_code;
-  { Code_region.cr_base = base; cr_size = size; cr_span = span; cr_live = true }
+  let s = t.shared in
+  Mutex.protect s.reg_mu (fun () ->
+      let base =
+        match take_free_span s span with
+        | Some base -> base
+        | None ->
+            let base = s.next_code_base in
+            s.next_code_base <- base + span;
+            base
+      in
+      let m =
+        { cm_base = base; cm_size = size; cm_insts = insts; cm_off2idx = off2idx }
+      in
+      s.mods <- m :: s.mods;
+      s.live_code <- s.live_code + size;
+      if s.live_code > s.peak_code then s.peak_code <- s.live_code;
+      { Code_region.cr_base = base; cr_size = size; cr_span = span; cr_live = true })
 
 (** Release a code region: the module disappears from the address space,
     the span is poisoned (fetches trap with "use-after-free code region")
     and queued for reuse by same-sized registrations. Raises
     [Invalid_argument] on double release. *)
 let release_code t (r : Code_region.t) =
-  if not r.Code_region.cr_live then
-    invalid_arg "Emu.release_code: region already released";
-  r.Code_region.cr_live <- false;
-  let base = r.Code_region.cr_base and span = r.Code_region.cr_span in
-  t.mods <- List.filter (fun m -> m.cm_base <> base) t.mods;
-  (match t.last_mod with
-  | Some m when m.cm_base = base -> t.last_mod <- None
-  | _ -> ());
-  t.live_code <- t.live_code - r.Code_region.cr_size;
-  t.freed_code <- t.freed_code + r.Code_region.cr_size;
-  if span > 0 then begin
-    Hashtbl.replace t.poisoned base span;
-    let bases = Option.value ~default:[] (Hashtbl.find_opt t.free_spans span) in
-    Hashtbl.replace t.free_spans span (base :: bases)
-  end
+  let s = t.shared in
+  Mutex.protect s.reg_mu (fun () ->
+      if not r.Code_region.cr_live then
+        invalid_arg "Emu.release_code: region already released";
+      r.Code_region.cr_live <- false;
+      let base = r.Code_region.cr_base and span = r.Code_region.cr_span in
+      s.mods <- List.filter (fun m -> m.cm_base <> base) s.mods;
+      (* every context's [last_mod] cache dies with the generation bump *)
+      s.code_gen <- s.code_gen + 1;
+      s.live_code <- s.live_code - r.Code_region.cr_size;
+      s.freed_code <- s.freed_code + r.Code_region.cr_size;
+      if span > 0 then begin
+        Hashtbl.replace s.poisoned base span;
+        let bases =
+          Option.value ~default:[] (Hashtbl.find_opt s.free_spans span)
+        in
+        Hashtbl.replace s.free_spans span (base :: bases)
+      end)
 
-let live_code_bytes t = t.live_code
-let peak_code_bytes t = t.peak_code
-let freed_code_bytes t = t.freed_code
+let live_code_bytes t = t.shared.live_code
+let peak_code_bytes t = t.shared.peak_code
+let freed_code_bytes t = t.shared.freed_code
 
 let find_mod t addr =
+  let s = t.shared in
   match t.last_mod with
-  | Some m when addr >= m.cm_base && addr < m.cm_base + m.cm_size -> m
+  | Some m
+    when t.last_gen = s.code_gen && addr >= m.cm_base
+         && addr < m.cm_base + m.cm_size ->
+      m
   | _ -> (
+      (* snapshot the generation before the walk: a concurrent release
+         invalidates the cache entry we are about to write, not keep it *)
+      let gen = s.code_gen in
       match
         List.find_opt
           (fun m -> addr >= m.cm_base && addr < m.cm_base + m.cm_size)
-          t.mods
+          s.mods
       with
       | Some m ->
           t.last_mod <- Some m;
+          t.last_gen <- gen;
           m
       | None ->
-          Hashtbl.iter
-            (fun base span ->
-              if addr >= base && addr < base + span then
-                raise
-                  (Trap
-                     (Printf.sprintf "use-after-free code region at 0x%x" addr)))
-            t.poisoned;
+          Mutex.protect s.reg_mu (fun () ->
+              Hashtbl.iter
+                (fun base span ->
+                  if addr >= base && addr < base + span then
+                    raise
+                      (Trap
+                         (Printf.sprintf "use-after-free code region at 0x%x"
+                            addr)))
+                s.poisoned);
           raise (Trap (Printf.sprintf "jump to unmapped address 0x%x" addr)))
 
 let idx_of t (m : code_mod) addr =
@@ -583,10 +684,13 @@ let rec run_at t addr =
 
 and dispatch_runtime t addr =
   let idx = (addr - runtime_base) / 8 in
-  if idx < 0 || idx >= Array.length t.runtime then
+  (* snapshot the array: [add_runtime] replaces it wholesale, never mutates
+     a published one, so a plain read is race-free *)
+  let runtime = t.shared.runtime in
+  if idx < 0 || idx >= Array.length runtime then
     raise (Trap (Printf.sprintf "call to bad runtime slot %d" idx));
   t.cycles <- t.cycles + runtime_dispatch_cost;
-  t.runtime.(idx) t
+  runtime.(idx) t
 
 (** Call generated code from the host (or from a runtime function):
     standard calling convention, returns the two return registers. *)
@@ -608,7 +712,7 @@ and call_generated t ~addr ~(args : int64 array) =
 
 (** Top-level entry: sets up a fresh stack then calls [addr]. *)
 let call t ~addr ~args =
-  let sp0 = (Memory.size t.mem - 64) land lnot 15 in
+  let sp0 = t.stack_top land lnot 15 in
   t.regs.(t.target.Target.sp) <- Int64.of_int sp0;
   call_generated t ~addr ~args
 

@@ -12,11 +12,12 @@ type t = {
   data : Bytes.t;
   size : int;
   mutable brk : int;  (** bump pointer for region allocation *)
+  alloc_mu : Mutex.t;  (** serializes [alloc] across domains *)
 }
 
 let create size =
   if size < 16 * page then invalid_arg "Memory.create: too small";
-  { data = Bytes.make size '\000'; size; brk = page }
+  { data = Bytes.make size '\000'; size; brk = page; alloc_mu = Mutex.create () }
 
 let size t = t.size
 
@@ -24,12 +25,16 @@ let check t addr n =
   if addr < page || addr + n > t.size then
     raise (Fault (Printf.sprintf "access of %d bytes at 0x%x" n addr))
 
-(** Carve a fresh region off the bump allocator. *)
+(** Carve a fresh region off the bump allocator. Safe to call from several
+    domains at once; the returned regions are disjoint, which is the
+    discipline that makes unguarded concurrent load/store sound — every
+    allocation is owned by exactly one query/compilation at a time. *)
 let alloc t ?(align = 16) n =
-  let a = (t.brk + align - 1) land lnot (align - 1) in
-  if a + n > t.size then raise (Fault "out of memory");
-  t.brk <- a + n;
-  a
+  Mutex.protect t.alloc_mu (fun () ->
+      let a = (t.brk + align - 1) land lnot (align - 1) in
+      if a + n > t.size then raise (Fault "out of memory");
+      t.brk <- a + n;
+      a)
 
 let load64 t addr =
   check t addr 8;

@@ -21,9 +21,13 @@ type fde = {
   fde_rows : (int * cfa_rule) array;
 }
 
-type t = { mutable fdes : fde list; mutable bytes_written : int }
+type t = {
+  mu : Mutex.t;  (** back-ends on different domains register concurrently *)
+  mutable fdes : fde list;
+  mutable bytes_written : int;
+}
 
-let create () = { fdes = []; bytes_written = 0 }
+let create () = { mu = Mutex.create (); fdes = []; bytes_written = 0 }
 
 (** Size in bytes of the encoded FDE: models the amount of unwind data a
     back-end writes (DirectEmit's synchronous-only tables are smaller). *)
@@ -33,8 +37,9 @@ let encoded_size rows =
 let register t ~start ~size ~sync_only rows =
   let rows = Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) rows) in
   let fde = { fde_start = start; fde_size = size; fde_sync_only = sync_only; fde_rows = rows } in
-  t.fdes <- fde :: t.fdes;
-  t.bytes_written <- t.bytes_written + encoded_size rows
+  Mutex.protect t.mu (fun () ->
+      t.fdes <- fde :: t.fdes;
+      t.bytes_written <- t.bytes_written + encoded_size rows)
 
 (** Drop every FDE whose function starts inside [\[base, base+size)] —
     called when the code region owning those functions is released, so the
@@ -42,13 +47,17 @@ let register t ~start ~size ~sync_only rows =
     descriptions. [bytes_written] stays cumulative: it models how much
     unwind data was ever emitted, not what is currently registered. *)
 let deregister_range t ~base ~size =
-  t.fdes <-
-    List.filter
-      (fun f -> not (f.fde_start >= base && f.fde_start < base + size))
-      t.fdes
+  Mutex.protect t.mu (fun () ->
+      t.fdes <-
+        List.filter
+          (fun f -> not (f.fde_start >= base && f.fde_start < base + size))
+          t.fdes)
 
 let find_fde t addr =
-  List.find_opt (fun f -> addr >= f.fde_start && addr < f.fde_start + f.fde_size) t.fdes
+  Mutex.protect t.mu (fun () ->
+      List.find_opt
+        (fun f -> addr >= f.fde_start && addr < f.fde_start + f.fde_size)
+        t.fdes)
 
 (** The CFA rule in effect at [addr], if registered. *)
 let rule_at t addr =
@@ -62,5 +71,5 @@ let rule_at t addr =
       in
       last None (Array.to_list f.fde_rows)
 
-let num_fdes t = List.length t.fdes
-let bytes_written t = t.bytes_written
+let num_fdes t = Mutex.protect t.mu (fun () -> List.length t.fdes)
+let bytes_written t = Mutex.protect t.mu (fun () -> t.bytes_written)

@@ -316,4 +316,71 @@ let suite =
             match Emu.remove_runtime emu a2 with
             | exception Invalid_argument _ -> ()
             | () -> Alcotest.fail "expected Invalid_argument on double remove"));
+    Alcotest.test_case "two-domain register/release stress" `Quick (fun () ->
+        (* two domains each hammer the shared code registry through their
+           own execution context: register a blob, execute it, release it.
+           Freed spans from one domain get recycled by the other; the
+           shared live/freed gauges must balance exactly at the end. *)
+        let emu = Emu.create ~mem_size:(1 lsl 22) Target.x64 in
+        let iters = 200 in
+        let blob v =
+          let a = Asm.create Target.x64 in
+          List.iter (Asm.emit a) [ Minst.Mov_ri (0, v); Minst.Ret ];
+          Asm.finish a
+        in
+        let registered = Atomic.make 0 in
+        let failure = Atomic.make None in
+        let worker seed () =
+          let ctx = Emu.context emu in
+          for i = 1 to iters do
+            let v = Int64.of_int ((seed * 1_000_000) + i) in
+            let r = Emu.register_code ctx (blob v) in
+            ignore (Atomic.fetch_and_add registered (Code_region.size r));
+            let got, _ = Emu.call ctx ~addr:(Code_region.base r) ~args:[||] in
+            if got <> v then
+              Atomic.set failure
+                (Some (Printf.sprintf "domain %d iter %d: %Ld <> %Ld" seed i got v));
+            Emu.release_code ctx r
+          done
+        in
+        let d1 = Domain.spawn (worker 1) and d2 = Domain.spawn (worker 2) in
+        Domain.join d1;
+        Domain.join d2;
+        (match Atomic.get failure with
+        | Some msg -> Alcotest.fail msg
+        | None -> ());
+        check Alcotest.int "all code released" 0 (Emu.live_code_bytes emu);
+        check Alcotest.int "freed equals registered" (Atomic.get registered)
+          (Emu.freed_code_bytes emu));
+    Alcotest.test_case "contexts: isolated registers and stacks across domains"
+      `Quick (fun () ->
+        (* one shared loop blob, executed simultaneously from two contexts
+           with different arguments: registers, flags and call stacks are
+           per-context, so both must compute their own sums *)
+        let emu = Emu.create ~mem_size:(1 lsl 22) Target.x64 in
+        let a = Asm.create Target.x64 in
+        let head = Asm.new_label a and exit = Asm.new_label a in
+        Asm.emit a (Minst.Mov_ri (0, 0L));
+        Asm.bind a head;
+        Asm.emit a (Minst.Cmp_ri (x64_args.(0), 0L));
+        Asm.jcc a Minst.Sle exit;
+        Asm.emit a (Minst.Alu_rr (Minst.Add, 0, x64_args.(0)));
+        Asm.emit a (Minst.Alu_ri (Minst.Sub, x64_args.(0), 1L));
+        Asm.jmp a head;
+        Asm.bind a exit;
+        Asm.emit a Minst.Ret;
+        let base = Code_region.base (Emu.register_code emu (Asm.finish a)) in
+        let sum n = Int64.of_int (n * (n + 1) / 2) in
+        let bad = Atomic.make 0 in
+        let worker n () =
+          let ctx = Emu.context emu in
+          for _ = 1 to 500 do
+            let r, _ = Emu.call ctx ~addr:base ~args:[| Int64.of_int n |] in
+            if r <> sum n then ignore (Atomic.fetch_and_add bad 1)
+          done
+        in
+        let d1 = Domain.spawn (worker 100) and d2 = Domain.spawn (worker 37) in
+        Domain.join d1;
+        Domain.join d2;
+        check Alcotest.int "no cross-context corruption" 0 (Atomic.get bad));
   ]

@@ -397,6 +397,123 @@ let range_test =
         (count (Engine.execute db ~from:60 ~upto:40 cq cm));
       check Alcotest.int "clamped" 100 (count (Engine.execute db ~upto:1000 cq cm)))
 
+(* unpin-underflow regression: an unbalanced unpin used to drive ce_pins
+   negative, which a later eviction could turn into a double dispose; it
+   is now clamped, counted, and harmless *)
+let unpin_underflow_test =
+  Alcotest.test_case "double unpin is clamped, counted, single-dispose" `Quick
+    (fun () ->
+      let db = make_db ~rows:64 () in
+      let cache = Code_cache.create ~capacity:1 in
+      let e1, _ =
+        Code_cache.get_or_compile cache db ~backend:Engine.cranelift ~name:"q1"
+          scan
+      in
+      Code_cache.pin cache e1;
+      Code_cache.unpin cache e1;
+      (* the bug: this second unpin went to -1 *)
+      Code_cache.unpin cache e1;
+      check Alcotest.int "clamped at zero" 0 (Code_cache.live_pins cache);
+      check Alcotest.int "underflow counted" 1
+        (Code_cache.mem_stats cache).Code_cache.ms_pin_underflows;
+      (* a later eviction must free the module exactly once *)
+      let plan2 =
+        Algebra.Filter { input = scan; pred = Expr.(col 1 <% int32 3) }
+      in
+      let _e2, _ =
+        Code_cache.get_or_compile cache db ~backend:Engine.cranelift ~name:"q2"
+          plan2
+      in
+      check Alcotest.int "evicted module freed exactly once"
+        e1.Code_cache.ce_code_bytes
+        (Code_cache.mem_stats cache).Code_cache.ms_bytes_freed;
+      check Alcotest.int "no further underflows" 1
+        (Code_cache.mem_stats cache).Code_cache.ms_pin_underflows)
+
+(* ---------------- parallel (Domain-pool) serving ---------------- *)
+
+let result_multiset r =
+  List.sort compare
+    (List.map
+       (fun (q : Server.query_metrics) ->
+         (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
+       r.Server.r_queries)
+
+(* the Domain pool must produce the sequential scheduler's per-query
+   results — rows and checksums as a multiset (completion order and every
+   timing metric are wall-clock and excluded) — for all three policies *)
+let parallel_differential_test =
+  Alcotest.test_case
+    "parallel = sequential: result multiset, 3 modes x 2 seeds" `Quick
+    (fun () ->
+      List.iter
+        (fun seed ->
+          let stream = Server.make_stream ~seed ~n:10 fixed_plans in
+          List.iter
+            (fun mode ->
+              let cfg =
+                {
+                  Server.default_config with
+                  Server.mode;
+                  Server.morsel = 64;
+                }
+              in
+              let seq = Server.run (make_db ~rows:1024 ()) cfg stream in
+              let par =
+                Server.run ~parallel:3 (make_db ~rows:1024 ()) cfg stream
+              in
+              check
+                Alcotest.(list (triple string int int64))
+                (Printf.sprintf "%s seed %Ld" (Server.mode_name mode) seed)
+                (result_multiset seq) (result_multiset par);
+              check Alcotest.int
+                (Printf.sprintf "%s seed %Ld: live code bytes"
+                   (Server.mode_name mode) seed)
+                seq.Server.r_live_code_bytes par.Server.r_live_code_bytes)
+            [ Server.Tiered; Server.Cached; Server.Static Engine.cranelift ])
+        [ 3L; 11L ])
+
+(* multiple domains hammering a 2-entry cache: evictions, deferred
+   disposal of pinned entries, background compiles and hot-swaps all race;
+   results must stay exact and the pin accounting must balance *)
+let parallel_eviction_test =
+  Alcotest.test_case "parallel eviction stress: tiny cache, 4 domains" `Quick
+    (fun () ->
+      let db = make_db ~rows:1024 () in
+      let expects =
+        List.map
+          (fun (n, p) -> (n, runplan_checksum (make_db ~rows:1024 ()) p))
+          fixed_plans
+      in
+      let cfg =
+        {
+          Server.default_config with
+          Server.cache_capacity = 2;
+          Server.morsel = 32;
+          Server.mode = Server.Tiered;
+        }
+      in
+      let cache = Code_cache.create ~capacity:cfg.Server.cache_capacity in
+      let stream = Server.make_stream ~seed:13L ~n:24 fixed_plans in
+      let r = Server.run ~cache ~parallel:4 db cfg stream in
+      check Alcotest.int "all queries served" 24
+        (List.length r.Server.r_queries);
+      List.iter
+        (fun (q : Server.query_metrics) ->
+          check
+            Alcotest.(pair int64 int)
+            ("parallel evicted-cache " ^ q.Server.qm_name)
+            (List.assoc q.Server.qm_name expects)
+            (q.Server.qm_checksum, q.Server.qm_rows))
+        r.Server.r_queries;
+      check Alcotest.bool "evictions happened" true
+        (r.Server.r_cache.Lru.evictions > 0);
+      check Alcotest.bool "eviction freed code" true (r.Server.r_bytes_freed > 0);
+      check Alcotest.int "no live pins after quiesce" 0
+        (Code_cache.live_pins cache);
+      check Alcotest.int "no pin underflows" 0
+        (Code_cache.mem_stats cache).Code_cache.ms_pin_underflows)
+
 (* ---------------- fuzzed plans ---------------- *)
 
 (* reuse the generator and printer from the cross-back-end fuzz suite: the
@@ -433,5 +550,6 @@ let suite =
   lru_tests @ fingerprint_tests @ sim_tests @ differential_tests
   @ [
       switchover_test; determinism_test; eviction_test;
-      eviction_pressure_test; range_test; fuzz_test;
+      eviction_pressure_test; range_test; unpin_underflow_test;
+      parallel_differential_test; parallel_eviction_test; fuzz_test;
     ]

@@ -57,4 +57,53 @@ let suite =
         Timing.reset t;
         check Alcotest.int "events" 0 (Timing.event_count t);
         check Alcotest.int "entries" 0 (List.length (Timing.entries t)));
+    Alcotest.test_case "two domains: interleaved scopes keep separate paths"
+      `Quick (fun () ->
+        (* each domain nests under its own open-scope stack; the shared
+           path tree must contain exactly the per-domain hierarchies, never
+           a cross-domain mixture like a/d or c/b *)
+        let t = Timing.create () in
+        let iters = 300 in
+        let worker outer inner () =
+          for _ = 1 to iters do
+            Timing.scope t outer (fun () -> Timing.scope t inner (fun () -> ()))
+          done
+        in
+        let d1 = Domain.spawn (worker "a" "b")
+        and d2 = Domain.spawn (worker "c" "d") in
+        Domain.join d1;
+        Domain.join d2;
+        let paths = List.map (fun (p, _, _) -> p) (Timing.entries t) in
+        List.iter
+          (fun p ->
+            check Alcotest.bool ("legal path " ^ p) true
+              (List.mem p [ "a"; "a/b"; "c"; "c/d" ]))
+          paths;
+        let count path =
+          match
+            List.find_opt (fun (p, _, _) -> p = path) (Timing.entries t)
+          with
+          | Some (_, _, n) -> n
+          | None -> 0
+        in
+        List.iter
+          (fun p -> check Alcotest.int ("count " ^ p) iters (count p))
+          [ "a"; "a/b"; "c"; "c/d" ];
+        check Alcotest.int "events" (4 * iters) (Timing.event_count t));
+    Alcotest.test_case "two domains: add charges under own scope" `Quick
+      (fun () ->
+        let t = Timing.create () in
+        let worker outer () =
+          for _ = 1 to 100 do
+            Timing.scope t outer (fun () -> Timing.add t "leaf" 0.001)
+          done
+        in
+        let d1 = Domain.spawn (worker "x") and d2 = Domain.spawn (worker "y") in
+        Domain.join d1;
+        Domain.join d2;
+        List.iter
+          (fun (p, _, _) ->
+            check Alcotest.bool ("legal path " ^ p) true
+              (List.mem p [ "x"; "x/leaf"; "y"; "y/leaf" ]))
+          (Timing.entries t));
   ]
