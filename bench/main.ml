@@ -4,8 +4,9 @@
    for recorded paper-vs-measured results.
 
    Usage:  bench/main.exe [table1|fig2|fig3|table2|fig4|fig5|table3|fig6|
-                           fig7|serve|serve-scaling|fallbacks|ablation-struct|
-                           ablation-codemodel|ablation-tm|bechamel|all]
+                           fig7|serve|serve-reopt|serve-scaling|fallbacks|
+                           ablation-struct|ablation-codemodel|ablation-tm|
+                           bechamel|all]
 
    Scale factors are chosen so the full suite completes in minutes; the
    mapping to the paper's SF10/SF100 is documented in EXPERIMENTS.md. *)
@@ -467,6 +468,101 @@ let serve () =
         (if tiered.Server.r_cache.Lru.hits > 0 then "OK" else "VIOLATION")
   | None -> ())
 
+(* Static-estimate Tiered vs the observation-driven tier controller
+   (--reopt) on the same stream. At sf=1 several TPC-H-like queries scan so
+   few rows that the pre-execution estimate picks the interpreter and never
+   tiers up — but their join pipelines make the observed cycles-per-row
+   high, so the controller upgrades them mid-flight (and caches the strong
+   module for every later stream occurrence). The comparison metric is
+   total machine seconds (compile charged + execution cycles), which is
+   schedule-independent; rows/checksums must be bit-identical. *)
+let serve_reopt () =
+  header "Serving: static-estimate Tiered vs observation-driven reopt";
+  let open Qcomp_server in
+  let n = 60 in
+  (* sf=1 keeps the fan-out query below adaptive_backend's interpreter
+     threshold — the under-prediction the controller exists to correct *)
+  let sf = 1 in
+  let queries =
+    List.map
+      (fun (q : Qcomp_workloads.Spec.query) ->
+        (q.Qcomp_workloads.Spec.q_name, q.Qcomp_workloads.Spec.q_plan))
+      (Qcomp_workloads.Tpch.deceptive :: Experiments.queries_of Experiments.Tpch)
+  in
+  let stream = Server.make_stream ~seed:42L ~n queries in
+  Printf.printf
+    "TPC-H-like + fan-out query, sf=%d, %d-query stream (%d distinct plans)\n\n"
+    sf n
+    (List.length (List.sort_uniq compare (List.map fst stream)));
+  let run reopt =
+    let db = Experiments.make_db Target.x64 Experiments.Tpch ~sf in
+    let cfg =
+      {
+        Server.default_config with
+        Server.mode = Server.Tiered;
+        reopt;
+        (* morsels small enough that a fan-out probe pipeline spans several
+           quanta — a whole-pipeline morsel would leave the controller no
+           boundary to act on *)
+        morsel = 64;
+      }
+    in
+    let r = Server.run db cfg stream in
+    Format.printf "%a@." (Server.pp_report ~per_query:false) r;
+    (db, r)
+  in
+  let _, static_r = run false in
+  let rdb, reopt_r = run true in
+  let total (r : Server.report) =
+    List.fold_left
+      (fun acc (q : Server.query_metrics) ->
+        acc +. q.Server.qm_compile_s
+        +. Engine.cycles_to_seconds q.Server.qm_exec_cycles)
+      0.0 r.Server.r_queries
+  in
+  (* queries the controller carried past what the static estimate would
+     have picked: the under-prediction cases the reopt mode exists for *)
+  let past_static =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (q : Server.query_metrics) ->
+           let plan = List.assoc q.Server.qm_name queries in
+           let static_pick, _ = Engine.adaptive_backend rdb plan in
+           let stronger = List.map fst (Engine.stronger_than rdb static_pick) in
+           if
+             List.length q.Server.qm_tiers > 1
+             && List.mem q.Server.qm_backend stronger
+           then Some (q.Server.qm_name, static_pick, q.Server.qm_backend)
+           else None)
+         reopt_r.Server.r_queries)
+  in
+  List.iter
+    (fun (nm, static_pick, final) ->
+      Printf.printf
+        "  %-8s static estimate picked %s; observed cycles drove it to %s\n" nm
+        static_pick final)
+    past_static;
+  let multiset (r : Server.report) =
+    List.sort compare
+      (List.map
+         (fun (q : Server.query_metrics) ->
+           (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
+         r.Server.r_queries)
+  in
+  if multiset static_r <> multiset reopt_r then begin
+    Printf.printf "VIOLATION: reopt rows/checksums differ from static Tiered\n";
+    exit 1
+  end;
+  let st, rt = (total static_r, total reopt_r) in
+  Printf.printf
+    "summary: total compile+execute %.6fs (reopt) vs %.6fs (static estimate) \
+     -> %s; %d queries upgraded past their static pick -> %s; results \
+     identical -> OK\n"
+    rt st
+    (if rt <= st then "OK" else "VIOLATION")
+    (List.length past_static)
+    (if past_static <> [] then "OK" else "VIOLATION")
+
 (* Throughput scaling of the real Domain-based worker pool: the same
    tiered stream served on 1, 2 and 4 OS-thread domains. Unlike every
    other experiment here the timings are wall-clock, so only the scaling
@@ -584,6 +680,7 @@ let experiments =
     ("fig6", fig6);
     ("fig7", fig7);
     ("serve", serve);
+    ("serve-reopt", serve_reopt);
     ("serve-scaling", serve_scaling);
     ("fallbacks", fallbacks);
     ("ablation-struct", ablation_struct);

@@ -7,7 +7,10 @@ let () =
   List.iter
     (fun (bname, b) ->
       let db = Experiments.make_db target wl ~sf:2 in
-      let q = List.find (fun (q : Spec.query) -> q.Spec.q_name = qname) (Experiments.queries_of wl) in
+      let q =
+        if qname = "qfan" then Qcomp_workloads.Tpch.deceptive
+        else List.find (fun (q : Spec.query) -> q.Spec.q_name = qname) (Experiments.queries_of wl)
+      in
       let cq = Engine.plan_to_ir db ~name:q.Spec.q_name q.Spec.q_plan in
       let timing = Qcomp_support.Timing.create ~enabled:false () in
       let cm = Qcomp_backend.Backend.compile_module b ~timing ~emu:db.Engine.emu

@@ -18,6 +18,9 @@ type compiled_module = {
       (** code regions this module owns (empty for the interpreter) *)
   cm_runtime_slots : int64 list;
       (** host dispatch slots this module owns (interpreter only) *)
+  cm_data_blocks : (int * int * int) list;
+      (** (addr, size, align) blocks in linear memory this module owns
+          (e.g. a JIT-linked module's GOT); freed with the module *)
   mutable cm_disposed : bool;
 }
 
@@ -28,13 +31,14 @@ let find_fn cm name =
 
 (** Release everything the module owns: unwind entries for its regions,
     the code regions themselves (their address ranges are poisoned and
-    recycled by {!Emu.release_code}), and any host dispatch slots the
-    interpreter registered. Idempotent: a second call is a no-op, so
-    one-shot callers and cache eviction can race benignly. The whole
-    sequence runs under the machine's code-layout lock so it is atomic
-    with respect to concurrent link-and-register sequences (which predict
-    blob addresses that disposal would otherwise change under them) and so
-    the disposed-flag test-and-set is race-free. *)
+    recycled by {!Emu.release_code}), any host dispatch slots the
+    interpreter registered, and the module's linear-memory data blocks
+    (GOTs). Idempotent: a second call is a no-op, so one-shot callers and
+    cache eviction can race benignly. The whole sequence runs under the
+    machine's code-layout lock so it is atomic with respect to concurrent
+    link-and-register sequences (which predict blob addresses that
+    disposal would otherwise change under them) and so the disposed-flag
+    test-and-set is race-free. *)
 let dispose ~emu ~unwind cm =
   Emu.with_layout_lock emu (fun () ->
       if not cm.cm_disposed then begin
@@ -45,7 +49,11 @@ let dispose ~emu ~unwind cm =
               ~size:(Code_region.size r);
             Emu.release_code emu r)
           cm.cm_regions;
-        List.iter (fun slot -> Emu.remove_runtime emu slot) cm.cm_runtime_slots
+        List.iter (fun slot -> Emu.remove_runtime emu slot) cm.cm_runtime_slots;
+        List.iter
+          (fun (addr, size, align) ->
+            Memory.free (Emu.memory emu) ~addr ~size ~align)
+          cm.cm_data_blocks
       end)
 
 module type S = sig

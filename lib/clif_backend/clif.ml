@@ -85,6 +85,7 @@ let compile_module_with ~features ~timing ~emu ~registry ~unwind
     cm_stats = [ ("spilled_bundles", !spills); ("btree_ops", !btree_ops) ];
     cm_regions = [ region ];
     cm_runtime_slots = [];
+    cm_data_blocks = [];
     cm_disposed = false;
   }
 

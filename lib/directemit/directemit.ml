@@ -113,5 +113,6 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
     cm_stats = [];
     cm_regions = [ region ];
     cm_runtime_slots = [];
+    cm_data_blocks = [];
     cm_disposed = false;
   }

@@ -139,32 +139,49 @@ let read_output db (cq : Qcomp_codegen.Codegen.compiled) ~state : cell array lis
 let execute db ?(from = 0) ?upto (cq : Qcomp_codegen.Codegen.compiled)
     (cm : Qcomp_backend.Backend.compiled_module) : result =
   let mem = memory db in
-  let state = Memory.alloc mem ~align:16 cq.Qcomp_codegen.Codegen.state_size in
-  Memory.fill mem ~addr:state ~len:cq.Qcomp_codegen.Codegen.state_size '\000';
-  List.iter
-    (fun (slot, fn) ->
-      Memory.store64 mem (state + slot) (Qcomp_backend.Backend.find_fn cm fn))
-    cq.Qcomp_codegen.Codegen.fn_ptr_fixups;
-  Emu.reset_counters db.emu;
-  List.iter
-    (fun (step : Qcomp_codegen.Codegen.step) ->
-      let addr = Qcomp_backend.Backend.find_fn cm step.Qcomp_codegen.Codegen.fn_name in
-      let lo, hi =
-        match step.Qcomp_codegen.Codegen.range with
-        | `Table t ->
-            let rows = Table.rows (table db t) in
-            let hi = match upto with Some u -> min u rows | None -> rows in
-            (Int64.of_int (min from hi), Int64.of_int hi)
-        | `Whole -> (0L, 0L)
-      in
-      ignore
-        (Emu.call db.emu ~addr:(Int64.to_int addr)
-           ~args:[| Int64.of_int state; lo; hi |]))
-    cq.Qcomp_codegen.Codegen.steps;
-  let exec_cycles = Emu.cycles db.emu in
-  let exec_instructions = Emu.instructions_executed db.emu in
-  let rows = read_output db cq ~state in
-  { rows; exec_cycles; exec_instructions; output_count = List.length rows }
+  (* every per-execution allocation (state block, tuple buffers, hash-table
+     arenas, string bodies) lands in one scope and is recycled once the
+     output rows are materialized, so one-shot runs don't grow the heap *)
+  let scope = Memory.new_scope () in
+  Fun.protect
+    ~finally:(fun () -> Memory.free_scope mem scope)
+    (fun () ->
+      Memory.with_scope scope (fun () ->
+          let state =
+            Memory.alloc mem ~align:16 cq.Qcomp_codegen.Codegen.state_size
+          in
+          Memory.fill mem ~addr:state ~len:cq.Qcomp_codegen.Codegen.state_size
+            '\000';
+          List.iter
+            (fun (slot, fn) ->
+              Memory.store64 mem (state + slot)
+                (Qcomp_backend.Backend.find_fn cm fn))
+            cq.Qcomp_codegen.Codegen.fn_ptr_fixups;
+          Emu.reset_counters db.emu;
+          List.iter
+            (fun (step : Qcomp_codegen.Codegen.step) ->
+              let addr =
+                Qcomp_backend.Backend.find_fn cm
+                  step.Qcomp_codegen.Codegen.fn_name
+              in
+              let lo, hi =
+                match step.Qcomp_codegen.Codegen.range with
+                | `Table t ->
+                    let rows = Table.rows (table db t) in
+                    let hi =
+                      match upto with Some u -> min u rows | None -> rows
+                    in
+                    (Int64.of_int (min from hi), Int64.of_int hi)
+                | `Whole -> (0L, 0L)
+              in
+              ignore
+                (Emu.call db.emu ~addr:(Int64.to_int addr)
+                   ~args:[| Int64.of_int state; lo; hi |]))
+            cq.Qcomp_codegen.Codegen.steps;
+          let exec_cycles = Emu.cycles db.emu in
+          let exec_instructions = Emu.instructions_executed db.emu in
+          let rows = read_output db cq ~state in
+          { rows; exec_cycles; exec_instructions; output_count = List.length rows }))
 
 (** Compile a plan to IR. *)
 let plan_to_ir db ~name plan =
@@ -251,6 +268,27 @@ let adaptive_backend db plan : string * Qcomp_backend.Backend.t =
     if x64 then ("directemit", directemit) else ("cranelift", cranelift)
   else if work < 1_000_000 then ("cranelift", cranelift)
   else ("llvm-opt", llvm_opt)
+
+(** The tiered-serving upgrade ladder, weakest to strongest: each rung
+    costs more to compile and executes no slower than the one before
+    (Fig. 7's compile-vs-execute frontier, restricted to the back-ends a
+    serving tier can hot-swap between). [gcc] and [llvm-cheap] are off the
+    ladder: the first is far too slow to compile for mid-query upgrades,
+    the second is dominated by [cranelift] on both axes. *)
+let tier_ladder db : (string * Qcomp_backend.Backend.t) list =
+  [ ("interpreter", interpreter) ]
+  @ (if db.target.Target.arch = Target.X64 then [ ("directemit", directemit) ]
+     else [])
+  @ [ ("cranelift", cranelift); ("llvm-opt", llvm_opt) ]
+
+(** Rungs strictly stronger than [name], weakest first; empty when [name]
+    is the top of the ladder or not on it (e.g. [gcc]). *)
+let stronger_than db name =
+  let rec drop = function
+    | [] -> []
+    | (n, _) :: rest -> if String.equal n name then rest else drop rest
+  in
+  drop (tier_ladder db)
 
 (** [run_plan] with the back-end chosen adaptively; also returns the name of
     the back-end that ran. *)

@@ -157,6 +157,15 @@ val estimated_work : db -> Algebra.t -> int
     Fig. 7 of the paper). Returns the chosen back-end and its name. *)
 val adaptive_backend : db -> Algebra.t -> string * Qcomp_backend.Backend.t
 
+(** The tiered-serving upgrade ladder for the instance's target, weakest
+    to strongest; every rung compiles slower and executes no slower than
+    the previous. *)
+val tier_ladder : db -> (string * Qcomp_backend.Backend.t) list
+
+(** Rungs strictly stronger than the named one, weakest first; empty for
+    the top rung or a back-end off the ladder. *)
+val stronger_than : db -> string -> (string * Qcomp_backend.Backend.t) list
+
 (** [run_plan] with the back-end chosen adaptively; also returns the name
     of the back-end that ran. *)
 val run_plan_adaptive :

@@ -165,5 +165,7 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
     cm_stats = [ ("got_slots", linked.Llvm.Jitlink.got_slots) ];
     cm_regions = [ linked.Llvm.Jitlink.region ];
     cm_runtime_slots = [];
+    cm_data_blocks =
+      (match linked.Llvm.Jitlink.got_block with Some b -> [ b ] | None -> []);
     cm_disposed = false;
   }

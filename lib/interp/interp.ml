@@ -346,5 +346,6 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
     cm_regions = [];
     (* every function is a host dispatch slot; dispose recycles them *)
     cm_runtime_slots = List.map snd fns;
+    cm_data_blocks = [];
     cm_disposed = false;
   }

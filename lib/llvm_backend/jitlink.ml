@@ -21,6 +21,9 @@ type linked = {
   region : Code_region.t;  (** ownership handle for the linked code *)
   fn_addr : (string, int) Hashtbl.t;
   got_slots : int;  (** statistics *)
+  got_block : (int * int * int) option;
+      (** (addr, size, align) of the module's GOT in linear memory, so
+          disposal can return it to the data allocator *)
   times : phase_times;
 }
 
@@ -48,8 +51,13 @@ let link ~(emu : Emu.t) ~(resolve : string -> int64) (image : bytes) : linked =
     List.sort_uniq compare (List.map (fun (s : Elf.symbol) -> s.Elf.s_name) undefined)
   in
   let mem = Emu.memory emu in
+  (* the GOT belongs to the module, not to whichever query happens to be
+     executing while a background compile links — keep it out of any
+     active allocation scope; Backend.dispose frees it with the module *)
+  let got_bytes = 8 * List.length externs in
   let got_base =
-    if externs = [] then 0 else Memory.alloc mem ~align:8 (8 * List.length externs)
+    if externs = [] then 0
+    else Memory.unscoped (fun () -> Memory.alloc mem ~align:8 got_bytes)
   in
   let stub_asm = Asm.create target in
   let stub_offsets = Hashtbl.create 16 in
@@ -129,4 +137,11 @@ let link ~(emu : Emu.t) ~(resolve : string -> int64) (image : bytes) : linked =
       if s.Elf.s_defined then Hashtbl.replace fn_addr s.Elf.s_name (base + s.Elf.s_off))
     obj.Elf.o_syms;
   times.ph_lookup <- Qcomp_support.Timing.now () -. t3;
-  { base; region; fn_addr; got_slots = List.length externs; times }
+  {
+    base;
+    region;
+    fn_addr;
+    got_slots = List.length externs;
+    got_block = (if externs = [] then None else Some (got_base, got_bytes, 8));
+    times;
+  }

@@ -210,6 +210,8 @@ let compile_module_with (cfg : config) ~timing ~emu ~registry ~unwind
       ];
     cm_regions = [ linked.Jitlink.region ];
     cm_runtime_slots = [];
+    cm_data_blocks =
+      (match linked.Jitlink.got_block with Some b -> [ b ] | None -> []);
     cm_disposed = false;
   }
 

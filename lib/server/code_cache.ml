@@ -126,6 +126,13 @@ let plan_ir t db ~fp ~name plan =
 
 let find t k = Mutex.protect t.mu (fun () -> Lru.find t.modules k)
 
+(** Lookup that touches neither recency nor the hit/miss counters — for
+    policies whose semantics say "no cache" (Static charges the full
+    modelled compile every time, so a hit would be a lie in the printed
+    hit-rate) and for the tier controller probing whether a stronger
+    module is already resident without skewing the serving stats. *)
+let find_nostat t k = Mutex.protect t.mu (fun () -> Lru.peek t.modules k)
+
 (** Compile without touching the LRU: a background compilation must not
     become visible to other queries before the scheduler says its
     (simulated) compile time has elapsed — the caller {!insert}s the entry

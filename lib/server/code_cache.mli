@@ -43,6 +43,11 @@ val key : Qcomp_engine.Engine.db -> backend:Qcomp_backend.Backend.t -> Qcomp_pla
 (** LRU lookup (promotes, counts hit/miss). *)
 val find : t -> key -> entry option
 
+(** LRU lookup that touches neither recency nor the hit/miss counters —
+    for Static mode (whose semantics are "no cache") and for tier-upgrade
+    probes that must not pollute the serving hit-rate. *)
+val find_nostat : t -> key -> entry option
+
 (** Codegen once per (fingerprint, target), memoized. *)
 val plan_ir :
   t ->

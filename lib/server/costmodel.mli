@@ -9,5 +9,50 @@
 val module_size : Qcomp_ir.Func.modul -> int * int
 
 (** Simulated seconds to compile the module with the named back-end.
-    Unknown names get mid-range coefficients. *)
+    @raise Invalid_argument on a name with no coefficient row — a renamed
+    back-end must fail loud, not silently skew every schedule. *)
 val compile_seconds : backend:string -> Qcomp_ir.Func.modul -> float
+
+(** {1 Execution-rate model — what the tier controller prices with} *)
+
+(** Nominal simulated clock (2 GHz). *)
+val clock_hz : float
+
+(** Relative execution throughput of the named back-end's code,
+    interpreter = 1.0; strictly monotone along
+    {!Qcomp_engine.Engine.tier_ladder}.
+    @raise Invalid_argument on an unknown name. *)
+val exec_rate : string -> float
+
+(** Projected seconds to finish [rows_remaining] rows at [cpr] observed
+    cycles per row. *)
+val projected_remaining_s : cpr:float -> rows_remaining:int -> float
+
+(** Projected seconds saved by compiling [next] ([compile_s] of swap
+    delay) and finishing there instead of staying on [cur]:
+    [stay - (compile_s + stay * rate cur / rate next)]. *)
+val upgrade_gain :
+  cur:string ->
+  next:string ->
+  cpr:float ->
+  rows_remaining:int ->
+  compile_s:float ->
+  float
+
+(** Whether {!upgrade_gain} is positive. *)
+val upgrade_pays :
+  cur:string ->
+  next:string ->
+  cpr:float ->
+  rows_remaining:int ->
+  compile_s:float ->
+  bool
+
+(** The [(name, compile_s)] candidate with the largest positive gain;
+    [None] when no upgrade pays. *)
+val best_upgrade :
+  cur:string ->
+  cpr:float ->
+  rows_remaining:int ->
+  (string * float) list ->
+  (string * float) option

@@ -28,13 +28,27 @@ type t = {
   cq : Codegen.compiled;
   mutable cm : Backend.compiled_module;
   state : int;  (** VM address of the per-execution state block *)
+  scope : Memory.scope;
+      (** every linear-memory block this execution allocates (state block
+          plus the runtime's buffers/arenas), recycled by {!dispose} *)
   mutable rest : Codegen.step list;  (** steps not yet finished *)
   mutable cursor : int;  (** next row within the head step, if morsel-driven *)
   mutable cycles : int;  (** simulated cycles consumed so far *)
   mutable instructions : int;
   mutable quanta : int;  (** total step calls issued *)
-  mutable swapped_at : int option;  (** quantum index of the hot-swap, if any *)
+  mutable swapped_at : int option;  (** quantum index of the first hot-swap *)
+  mutable rows_done : int;  (** scan rows consumed by [`Table] quanta *)
+  mutable ewma_cpr : float option;
+      (** EWMA of observed cycles per scan row on the {e current} tier;
+          reset at every {!swap} so the estimate tracks the new code *)
+  mutable disposed : bool;
 }
+
+(* Smoothing for the cycles-per-row observation: heavy enough that one
+   skewed morsel (hash-table growth, a seek into a dense key range) does
+   not whipsaw the tier controller, light enough to follow a phase change
+   (build -> probe) within a few quanta. *)
+let ewma_alpha = 0.3
 
 let apply_fixups db state (cq : Codegen.compiled) cm =
   let mem = Engine.memory db in
@@ -44,7 +58,11 @@ let apply_fixups db state (cq : Codegen.compiled) cm =
 
 let start db (cq : Codegen.compiled) cm =
   let mem = Engine.memory db in
-  let state = Memory.alloc mem ~align:16 cq.Codegen.state_size in
+  let scope = Memory.new_scope () in
+  let state =
+    Memory.with_scope scope (fun () ->
+        Memory.alloc mem ~align:16 cq.Codegen.state_size)
+  in
   Memory.fill mem ~addr:state ~len:cq.Codegen.state_size '\000';
   apply_fixups db state cq cm;
   {
@@ -52,15 +70,29 @@ let start db (cq : Codegen.compiled) cm =
     cq;
     cm;
     state;
+    scope;
     rest = cq.Codegen.steps;
     cursor = 0;
     cycles = 0;
     instructions = 0;
     quanta = 0;
     swapped_at = None;
+    rows_done = 0;
+    ewma_cpr = None;
+    disposed = false;
   }
 
 let finished t = t.rest = []
+
+(** Recycle every linear-memory block this execution allocated (the state
+    block and everything the runtime carved during its quanta). Call once
+    the output rows have been read — the blocks are zeroed and reused, so
+    any later access through the execution is a bug. Idempotent. *)
+let dispose t =
+  if not t.disposed then begin
+    t.disposed <- true;
+    Memory.free_scope (Engine.memory t.db) t.scope
+  end
 
 (** Switch the remaining quanta to [cm] (same codegen result, different
     back-end). Only legal between quanta — the emulator is not running. *)
@@ -68,7 +100,9 @@ let swap t cm =
   if not (finished t) then begin
     t.cm <- cm;
     apply_fixups t.db t.state t.cq cm;
-    t.swapped_at <- Some t.quanta
+    if t.swapped_at = None then t.swapped_at <- Some t.quanta;
+    (* the observation tracked the old tier's code; start afresh *)
+    t.ewma_cpr <- None
   end
 
 (** Run one quantum: the whole head step if [`Whole], else the next
@@ -90,13 +124,26 @@ let step t ~morsel =
       in
       let c0 = Emu.cycles t.db.Engine.emu in
       let i0 = Emu.instructions_executed t.db.Engine.emu in
-      ignore
-        (Emu.call t.db.Engine.emu ~addr:(Int64.to_int addr)
-           ~args:[| Int64.of_int t.state; lo; hi |]);
+      Memory.with_scope t.scope (fun () ->
+          ignore
+            (Emu.call t.db.Engine.emu ~addr:(Int64.to_int addr)
+               ~args:[| Int64.of_int t.state; lo; hi |]));
       let dc = Emu.cycles t.db.Engine.emu - c0 in
       t.cycles <- t.cycles + dc;
       t.instructions <- t.instructions + (Emu.instructions_executed t.db.Engine.emu - i0);
       t.quanta <- t.quanta + 1;
+      (match s.Codegen.range with
+      | `Table _ ->
+          let rows = Int64.to_int hi - Int64.to_int lo in
+          if rows > 0 then begin
+            t.rows_done <- t.rows_done + rows;
+            let sample = float_of_int dc /. float_of_int rows in
+            t.ewma_cpr <-
+              (match t.ewma_cpr with
+              | None -> Some sample
+              | Some e -> Some ((ewma_alpha *. sample) +. ((1.0 -. ewma_alpha) *. e)))
+          end
+      | `Whole -> ());
       if depleted then begin
         t.rest <- rest;
         t.cursor <- 0
@@ -130,3 +177,28 @@ let result t : Engine.result =
 let cycles t = t.cycles
 let quanta t = t.quanta
 let swapped_at t = t.swapped_at
+let rows_done t = t.rows_done
+
+(** Scan rows the remaining [`Table] steps still have to produce — the
+    head step's unconsumed tail plus every untouched scan. [`Whole] steps
+    (prepare, sort, aggregate rescan) contribute nothing; their cost is
+    folded into the cycles-per-row observation instead. *)
+let rows_remaining t =
+  let step_rows cursor (s : Codegen.step) =
+    match s.Codegen.range with
+    | `Whole -> 0
+    | `Table tbl -> max 0 (Table.rows (Engine.table t.db tbl) - cursor)
+  in
+  match t.rest with
+  | [] -> 0
+  | head :: rest ->
+      step_rows t.cursor head
+      + List.fold_left (fun acc s -> acc + step_rows 0 s) 0 rest
+
+(** Smoothed cycles per scan row observed on the current tier; [None]
+    until a row-producing quantum has run since the last {!swap}. *)
+let observed_cpr t = t.ewma_cpr
+
+(** The IR module behind this execution — what a stronger tier would
+    compile, hence what the upgrade estimator prices. *)
+let ir_module t = t.cq.Codegen.modul

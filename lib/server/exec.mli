@@ -37,5 +37,27 @@ val result : t -> Qcomp_engine.Engine.result
 val cycles : t -> int
 val quanta : t -> int
 
-(** Quantum index at which the execution hot-swapped, if it did. *)
+(** Quantum index of the first hot-swap, if any. *)
 val swapped_at : t -> int option
+
+(** {1 Observation — what the tier controller reads} *)
+
+(** Scan rows consumed by [`Table] quanta so far. *)
+val rows_done : t -> int
+
+(** Scan rows the remaining [`Table] steps still have to produce. *)
+val rows_remaining : t -> int
+
+(** Smoothed (EWMA) cycles per scan row observed on the current tier;
+    [None] until a row-producing quantum has run since the last {!swap}. *)
+val observed_cpr : t -> float option
+
+(** The IR module behind this execution (what an upgrade would compile). *)
+val ir_module : t -> Qcomp_ir.Func.modul
+
+(** {1 Reclamation} *)
+
+(** Recycle every linear-memory block this execution allocated (state
+    block, tuple buffers, hash-table arenas, string bodies). Call after
+    the output rows have been read; idempotent. *)
+val dispose : t -> unit

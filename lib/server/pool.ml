@@ -56,6 +56,10 @@ type config = {
   morsel : int;  (** rows per execution quantum *)
   cache_capacity : int;  (** module-cache entries *)
   mode : mode;
+  reopt : bool;
+      (** Tiered only: pick upgrades from observed cycles-per-row at
+          morsel boundaries (including second upgrades) instead of the
+          one-shot pre-execution estimate *)
   mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
   seed : int64;  (** drives the arrival process *)
 }
@@ -67,9 +71,23 @@ let default_config =
     morsel = 512;
     cache_capacity = 64;
     mode = Tiered;
+    reopt = false;
     mean_gap_s = 0.0005;
     seed = 42L;
   }
+
+(** Shared by both drivers so a bad field fails the same way everywhere —
+    previously [workers] raised while [compile_slots] was silently clamped
+    to 1, which masked misconfiguration. *)
+let validate_config ~driver c =
+  let need name v =
+    if v < 1 then
+      invalid_arg (Printf.sprintf "%s: %s must be positive" driver name)
+  in
+  need "workers" c.workers;
+  need "compile_slots" c.compile_slots;
+  need "morsel" c.morsel;
+  need "cache_capacity" c.cache_capacity
 
 type query_metrics = {
   qm_name : string;
@@ -80,9 +98,12 @@ type query_metrics = {
   qm_finish : float;
   qm_compile_s : float;  (** foreground compile charged on the worker *)
   qm_cache_hit : bool;  (** strong-tier module came from the cache *)
-  qm_switch_s : float option;  (** time of the hot-swap since start *)
+  qm_switch_s : float option;  (** time of the first hot-swap since start *)
   qm_quanta_tier0 : int;
   qm_quanta_tier1 : int;
+  qm_tiers : string list;
+      (** back-ends the query executed on, in order (length > 2 means the
+          controller upgraded more than once) *)
   qm_exec_cycles : int;
   qm_rows : int;
   qm_checksum : int64;
@@ -96,11 +117,17 @@ type qstate = {
   mutable q_start : float;
   mutable q_compile_s : float;
   mutable q_cache_hit : bool;
-  mutable q_backend : string;
-  (* a finished background compile parks the strong entry here (already
-     pinned for this query, under the pool mutex); the owning worker
-     consumes it at the next quantum boundary *)
-  q_swap : Code_cache.entry option Atomic.t;
+  (* the back-end currently executing the query's quanta, and the full
+     tier path in reverse; only the owning worker writes these *)
+  mutable q_cur_tier : string;
+  mutable q_tiers : string list;
+  (* an upgrade (background compile or parked swap) is in flight; the
+     controller makes no new decision until the swap is consumed *)
+  mutable q_upgrading : bool;
+  (* a finished background compile parks the (tier name, entry) here
+     (already pinned for this query, under the pool mutex); the owning
+     worker consumes it at the next quantum boundary *)
+  q_swap : (string * Code_cache.entry) option Atomic.t;
   mutable q_switch_s : float option;
   mutable q_started_tier0 : bool;
   (* every cache entry this query touches stays pinned until it finishes *)
@@ -110,6 +137,7 @@ type qstate = {
 
 let run ?cache db ~domains config stream =
   if domains < 1 then invalid_arg "Pool.run: domains must be positive";
+  validate_config ~driver:"Pool.run" config;
   let cache =
     match cache with
     | Some c -> c
@@ -144,7 +172,9 @@ let run ?cache db ~domains config stream =
           q_start = 0.0;
           q_compile_s = 0.0;
           q_cache_hit = false;
-          q_backend = "";
+          q_cur_tier = "";
+          q_tiers = [];
+          q_upgrading = false;
           q_swap = Atomic.make None;
           q_switch_s = None;
           q_started_tier0 = false;
@@ -167,12 +197,14 @@ let run ?cache db ~domains config stream =
      to miss compiles (outside the pool mutex); racers wait on the
      condition variable and pick the entry up from the cache. The pin is
      taken in the same critical section as the lookup/insert, so eviction
-     can never free the entry first. *)
-  let get_entry q view ~backend ~name plan =
+     can never free the entry first. [stats:false] keeps the lookup out of
+     the hit/miss counters (Static mode's semantics are "no cache"). *)
+  let get_entry ?(stats = true) q view ~backend ~name plan =
     let k = Code_cache.key view ~backend plan in
+    let lookup = if stats then Code_cache.find else Code_cache.find_nostat in
     Mutex.lock mu;
     let rec loop () =
-      match Code_cache.find cache k with
+      match lookup cache k with
       | Some e ->
           pin_locked q e;
           Mutex.unlock mu;
@@ -223,7 +255,7 @@ let run ?cache db ~domains config stream =
                unpin) nor park a swap *)
             if not q.q_done then begin
               pin_locked q e;
-              Atomic.set q.q_swap (Some e)
+              Atomic.set q.q_swap (Some (k.Code_cache.ck_backend, e))
             end)
           waiters;
         Code_cache.unpin cache e)
@@ -237,19 +269,76 @@ let run ?cache db ~domains config stream =
             Queue.push (bg_compile ~backend ~name plan k) compile_jobs;
             Condition.signal compile_cv)
   in
+  (* The observation-driven tier controller, consulted after each quantum
+     in reopt mode. One upgrade in flight at a time: the next decision
+     waits until the parked swap is consumed, so a second upgrade (e.g.
+     directemit -> cranelift) only triggers once the first tier's own
+     observed rate still leaves a paying candidate. An already-resident
+     stronger module costs nothing to adopt, so it is priced at zero. *)
+  let consider_upgrade q view ex =
+    if (not q.q_upgrading) && not (Exec.finished ex) then
+      match Exec.observed_cpr ex with
+      | None -> ()
+      | Some cpr -> (
+          let rows_remaining = Exec.rows_remaining ex in
+          if rows_remaining > 0 then
+            let cands =
+              List.map
+                (fun (nm, b) ->
+                  let k = Code_cache.key view ~backend:b q.q_plan in
+                  let compile_s =
+                    match Code_cache.find_nostat cache k with
+                    | Some _ -> 0.0
+                    | None ->
+                        Costmodel.compile_seconds ~backend:nm
+                          (Exec.ir_module ex)
+                  in
+                  (nm, b, k, compile_s))
+                (Engine.stronger_than view q.q_cur_tier)
+            in
+            match
+              Costmodel.best_upgrade ~cur:q.q_cur_tier ~cpr ~rows_remaining
+                (List.map (fun (nm, _, _, c) -> (nm, c)) cands)
+            with
+            | None -> ()
+            | Some (nm, _) ->
+                let _, backend, k, _ =
+                  List.find (fun (n, _, _, _) -> String.equal n nm) cands
+                in
+                q.q_upgrading <- true;
+                let cached =
+                  Mutex.protect mu (fun () ->
+                      match Code_cache.find cache k with
+                      | Some e ->
+                          pin_locked q e;
+                          Some e
+                      | None -> None)
+                in
+                (match cached with
+                | Some e -> Atomic.set q.q_swap (Some (nm, e))
+                | None -> submit_bg q ~backend ~name:q.q_name q.q_plan k))
+  in
   (* Execute [q] to completion starting on [e]'s module, hot-swapping at a
      quantum boundary if a background compile parks a stronger one. *)
   let run_exec q view (e : Code_cache.entry) =
     let ex = Exec.start view e.Code_cache.ce_cq e.Code_cache.ce_cm in
+    Fun.protect ~finally:(fun () -> Exec.dispose ex) @@ fun () ->
+    let reopt = config.reopt && config.mode = Tiered in
     let rec loop () =
       (match Atomic.exchange q.q_swap None with
-      | Some se when not (Exec.finished ex) ->
+      | Some (nm, se) when not (Exec.finished ex) ->
           Exec.swap ex se.Code_cache.ce_cm;
-          q.q_switch_s <- Some (Timing.now () -. t0 -. q.q_start)
+          q.q_cur_tier <- nm;
+          q.q_tiers <- nm :: q.q_tiers;
+          q.q_upgrading <- false;
+          if q.q_switch_s = None then
+            q.q_switch_s <- Some (Timing.now () -. t0 -. q.q_start)
       | _ -> ());
       match Exec.step ex ~morsel:config.morsel with
       | `Done -> ()
-      | `Ran _ -> loop ()
+      | `Ran _ ->
+          if reopt then consider_upgrade q view ex;
+          loop ()
     in
     loop ();
     let r = Exec.result ex in
@@ -259,15 +348,11 @@ let run ?cache db ~domains config stream =
       | None ->
           if q.q_started_tier0 then (Exec.quanta ex, 0) else (0, Exec.quanta ex)
     in
-    let finished_backend =
-      if q.q_started_tier0 && Exec.swapped_at ex = None then "interpreter"
-      else q.q_backend
-    in
     let qm =
       {
         qm_name = q.q_name;
         qm_fp = Fingerprint.plan q.q_plan;
-        qm_backend = finished_backend;
+        qm_backend = q.q_cur_tier;
         qm_arrival = 0.0;
         qm_start = q.q_start;
         qm_finish = Timing.now () -. t0;
@@ -276,6 +361,7 @@ let run ?cache db ~domains config stream =
         qm_switch_s = q.q_switch_s;
         qm_quanta_tier0 = tier0;
         qm_quanta_tier1 = tier1;
+        qm_tiers = List.rev q.q_tiers;
         qm_exec_cycles = r.Engine.exec_cycles;
         qm_rows = r.Engine.output_count;
         qm_checksum = Engine.checksum r.Engine.rows;
@@ -285,26 +371,71 @@ let run ?cache db ~domains config stream =
         unpin_all_locked q;
         done_q := qm :: !done_q)
   in
+  (* Tier-0 start on interpreter bytecode (shared by the static-estimate
+     and observation-driven Tiered paths). *)
+  let start_tier0 q view =
+    let ie, ihit =
+      get_entry q view ~backend:Engine.interpreter ~name:q.q_name q.q_plan
+    in
+    if not ihit then q.q_compile_s <- ie.Code_cache.ce_compile_s;
+    q.q_started_tier0 <- true;
+    q.q_cur_tier <- "interpreter";
+    q.q_tiers <- [ "interpreter" ];
+    ie
+  in
   let exec_query q view =
     q.q_start <- Timing.now () -. t0;
     match config.mode with
     | Static backend ->
         (* no cache semantics: charge the full modelled compile every time
-           (the module itself is memoized host-side) *)
-        let e, _hit = get_entry q view ~backend ~name:q.q_name q.q_plan in
-        q.q_backend <- Qcomp_backend.Backend.name backend;
+           (the module itself is memoized host-side) and keep the lookups
+           out of the hit/miss stats — a printed hit-rate would be a lie *)
+        let e, _hit =
+          get_entry ~stats:false q view ~backend ~name:q.q_name q.q_plan
+        in
+        q.q_cur_tier <- Qcomp_backend.Backend.name backend;
+        q.q_tiers <- [ q.q_cur_tier ];
         q.q_compile_s <- e.Code_cache.ce_compile_s;
         run_exec q view e
     | Cached ->
         let bname, backend = Engine.adaptive_backend view q.q_plan in
-        q.q_backend <- bname;
+        q.q_cur_tier <- bname;
+        q.q_tiers <- [ bname ];
         let e, hit = get_entry q view ~backend ~name:q.q_name q.q_plan in
         q.q_cache_hit <- hit;
         if not hit then q.q_compile_s <- e.Code_cache.ce_compile_s;
         run_exec q view e
+    | Tiered when config.reopt -> (
+        (* observation-driven: no pre-execution estimate. Start on the
+           strongest already-resident rung (free), else on interpreter
+           bytecode; the controller upgrades from observed cycles. The
+           ladder probe is stat-free — scanning every rung per query would
+           otherwise drown the hit-rate in bookkeeping misses. *)
+        let resident =
+          List.find_map
+            (fun (nm, b) ->
+              if String.equal nm "interpreter" then None
+              else
+                let k = Code_cache.key view ~backend:b q.q_plan in
+                Mutex.protect mu (fun () ->
+                    match Code_cache.find_nostat cache k with
+                    | Some e ->
+                        pin_locked q e;
+                        Some (nm, e)
+                    | None -> None))
+            (List.rev (Engine.tier_ladder view))
+        in
+        match resident with
+        | Some (nm, e) ->
+            q.q_cache_hit <- true;
+            q.q_cur_tier <- nm;
+            q.q_tiers <- [ nm ];
+            run_exec q view e
+        | None ->
+            let ie = start_tier0 q view in
+            run_exec q view ie)
     | Tiered -> (
         let bname, backend = Engine.adaptive_backend view q.q_plan in
-        q.q_backend <- bname;
         if bname = "interpreter" then begin
           (* nothing stronger to tier to: serve straight from bytecode *)
           let e, hit =
@@ -313,6 +444,8 @@ let run ?cache db ~domains config stream =
           in
           q.q_cache_hit <- hit;
           q.q_started_tier0 <- true;
+          q.q_cur_tier <- "interpreter";
+          q.q_tiers <- [ "interpreter" ];
           if not hit then q.q_compile_s <- e.Code_cache.ce_compile_s;
           run_exec q view e
         end
@@ -330,15 +463,12 @@ let run ?cache db ~domains config stream =
           | Some e ->
               (* strong code already cached: start on it outright *)
               q.q_cache_hit <- true;
+              q.q_cur_tier <- bname;
+              q.q_tiers <- [ bname ];
               run_exec q view e
           | None ->
               (* tier 0 now, strong tier on the background compile pool *)
-              let ie, ihit =
-                get_entry q view ~backend:Engine.interpreter ~name:q.q_name
-                  q.q_plan
-              in
-              if not ihit then q.q_compile_s <- ie.Code_cache.ce_compile_s;
-              q.q_started_tier0 <- true;
+              let ie = start_tier0 q view in
               submit_bg q ~backend ~name:q.q_name q.q_plan k;
               run_exec q view ie)
   in
@@ -385,9 +515,7 @@ let run ?cache db ~domains config stream =
     in
     loop ()
   in
-  let n_compile =
-    match config.mode with Tiered -> max 1 config.compile_slots | _ -> 0
-  in
+  let n_compile = match config.mode with Tiered -> config.compile_slots | _ -> 0 in
   let compilers = List.init n_compile (fun _ -> Domain.spawn compile_worker) in
   let workers = List.init domains (fun _ -> Domain.spawn worker) in
   List.iter Domain.join workers;

@@ -22,12 +22,22 @@ type config = {
   morsel : int;  (** rows per execution quantum *)
   cache_capacity : int;  (** module-cache entries *)
   mode : mode;
+  reopt : bool;
+      (** Tiered only: pick upgrades from observed cycles-per-row at
+          morsel boundaries (including second upgrades) instead of the
+          one-shot pre-execution estimate *)
   mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
   seed : int64;  (** drives the arrival process *)
 }
 
-(** Tiered, 4 workers, 2 compile slots, 512-row morsels. *)
+(** Tiered (static estimate), 4 workers, 2 compile slots, 512-row morsels. *)
 val default_config : config
+
+(** Raise [Invalid_argument] unless [workers], [compile_slots], [morsel]
+    and [cache_capacity] are all positive; [driver] prefixes the message.
+    Both serving drivers validate with this, so misconfiguration fails the
+    same way everywhere instead of being silently clamped. *)
+val validate_config : driver:string -> config -> unit
 
 type query_metrics = {
   qm_name : string;
@@ -38,9 +48,12 @@ type query_metrics = {
   qm_finish : float;
   qm_compile_s : float;  (** foreground compile charged on the worker *)
   qm_cache_hit : bool;  (** strong-tier module came from the cache *)
-  qm_switch_s : float option;  (** time of the hot-swap since start *)
+  qm_switch_s : float option;  (** time of the first hot-swap since start *)
   qm_quanta_tier0 : int;
   qm_quanta_tier1 : int;
+  qm_tiers : string list;
+      (** back-ends the query executed on, in order (length > 2 means the
+          controller upgraded more than once) *)
   qm_exec_cycles : int;
   qm_rows : int;
   qm_checksum : int64;

@@ -44,6 +44,10 @@ type config = Pool.config = {
   morsel : int;  (** rows per execution quantum *)
   cache_capacity : int;  (** module-cache entries *)
   mode : mode;
+  reopt : bool;
+      (** Tiered only: pick upgrades from observed cycles-per-row at
+          morsel boundaries (including second upgrades) instead of the
+          one-shot pre-execution estimate *)
   mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
   seed : int64;  (** drives the arrival process *)
 }
@@ -59,9 +63,13 @@ type query_metrics = Pool.query_metrics = {
   qm_finish : float;
   qm_compile_s : float;  (** foreground compile charged on the worker *)
   qm_cache_hit : bool;  (** strong-tier module came from the cache *)
-  qm_switch_s : float option;  (** virtual time of the hot-swap since start *)
+  qm_switch_s : float option;
+      (** virtual time of the first hot-swap since start *)
   qm_quanta_tier0 : int;
   qm_quanta_tier1 : int;
+  qm_tiers : string list;
+      (** back-ends the query executed on, in order (length > 2 means the
+          controller upgraded more than once) *)
   qm_exec_cycles : int;
   qm_rows : int;
   qm_checksum : int64;
@@ -84,6 +92,11 @@ type report = {
   r_bytes_freed : int;  (** code bytes returned to the region allocator *)
   r_live_code_bytes : int;  (** resident generated code at end of run *)
   r_peak_code_bytes : int;  (** high-water mark of resident code *)
+  r_live_data_bytes : int;
+      (** linear-memory data bytes still allocated at end of run (tables,
+          stacks, module GOTs — per-query blocks must all be recycled) *)
+  r_peak_data_bytes : int;  (** high-water mark of allocated data bytes *)
+  r_freed_data_bytes : int;  (** cumulative data bytes recycled *)
 }
 
 (* ---------------- the event machine ---------------- *)
@@ -95,10 +108,16 @@ type qstate = {
   mutable q_start : float;
   mutable q_compile_s : float;
   mutable q_cache_hit : bool;
-  mutable q_backend : string;
-  (* a finished background compile parks the strong entry here; the next
-     quantum event applies the swap before running *)
-  mutable q_swap_ready : Code_cache.entry option;
+  (* the back-end currently executing the query's quanta, and the full
+     tier path in reverse *)
+  mutable q_cur_tier : string;
+  mutable q_tiers : string list;
+  (* an upgrade (background compile or parked swap) is in flight; the
+     controller makes no new decision until the swap is consumed *)
+  mutable q_upgrading : bool;
+  (* a finished background compile parks the (tier name, entry) here; the
+     next quantum event applies the swap before running *)
+  mutable q_swap_ready : (string * Code_cache.entry) option;
   mutable q_switch_s : float option;
   mutable q_started_tier0 : bool;  (** first quantum ran interpreter code *)
   (* every cache entry this query touches is pinned until it finishes, so
@@ -139,10 +158,13 @@ let assemble_report db cache ~mode ~makespan queries =
     r_bytes_freed = (Code_cache.mem_stats cache).Code_cache.ms_bytes_freed;
     r_live_code_bytes = Qcomp_vm.Emu.live_code_bytes db.Engine.emu;
     r_peak_code_bytes = Qcomp_vm.Emu.peak_code_bytes db.Engine.emu;
+    r_live_data_bytes = Qcomp_vm.Memory.live_data_bytes (Engine.memory db);
+    r_peak_data_bytes = Qcomp_vm.Memory.peak_data_bytes (Engine.memory db);
+    r_freed_data_bytes = Qcomp_vm.Memory.freed_data_bytes (Engine.memory db);
   }
 
 let run_events ?cache db config stream =
-  if config.workers < 1 then invalid_arg "Server.run: workers must be positive";
+  Pool.validate_config ~driver:"Server.run" config;
   let sim = Sim.create () in
   let cache =
     match cache with
@@ -151,7 +173,7 @@ let run_events ?cache db config stream =
   in
   let admission = Queue.create () in
   let free_workers = ref config.workers in
-  let free_slots = ref (max 1 config.compile_slots) in
+  let free_slots = ref config.compile_slots in
   let compile_jobs = Queue.create () in
   (* in-flight background compiles: key -> callbacks awaiting the entry *)
   let pending : (Code_cache.key, (Code_cache.entry -> unit) list ref) Hashtbl.t =
@@ -167,22 +189,20 @@ let run_events ?cache db config stream =
     List.iter (fun e -> Code_cache.unpin cache e) q.q_pinned;
     q.q_pinned <- [];
     let r = Exec.result ex in
+    (* rows are materialized; recycle the execution's linear-memory blocks
+       (state block, tuple buffers, hash-table arenas) *)
+    Exec.dispose ex;
     let tier0, tier1 =
       match Exec.swapped_at ex with
       | Some at -> (at, Exec.quanta ex - at)
       | None ->
           if q.q_started_tier0 then (Exec.quanta ex, 0) else (0, Exec.quanta ex)
     in
-    (* a tiered run that never swapped finished entirely on the interpreter *)
-    let finished_backend =
-      if q.q_started_tier0 && Exec.swapped_at ex = None then "interpreter"
-      else q.q_backend
-    in
     done_q :=
       {
         qm_name = q.q_name;
         qm_fp = Fingerprint.plan q.q_plan;
-        qm_backend = finished_backend;
+        qm_backend = q.q_cur_tier;
         qm_arrival = q.q_arrival;
         qm_start = q.q_start;
         qm_finish = Sim.now sim;
@@ -191,6 +211,7 @@ let run_events ?cache db config stream =
         qm_switch_s = q.q_switch_s;
         qm_quanta_tier0 = tier0;
         qm_quanta_tier1 = tier1;
+        qm_tiers = List.rev q.q_tiers;
         qm_exec_cycles = r.Engine.exec_cycles;
         qm_rows = r.Engine.output_count;
         qm_checksum = Engine.checksum r.Engine.rows;
@@ -233,22 +254,51 @@ let run_events ?cache db config stream =
       start_query q;
       dispatch ()
     end
+  and start_tier0 q =
+    (* tier-0 start on interpreter bytecode, shared by the static-estimate
+       and observation-driven Tiered paths; returns the entry and the
+       foreground translate charge *)
+    let ie, ihit =
+      Code_cache.get_or_compile cache db ~backend:Engine.interpreter
+        ~name:q.q_name q.q_plan
+    in
+    pin_entry q ie;
+    let icost = if ihit then 0.0 else ie.Code_cache.ce_compile_s in
+    q.q_compile_s <- icost;
+    q.q_started_tier0 <- true;
+    q.q_cur_tier <- "interpreter";
+    q.q_tiers <- [ "interpreter" ];
+    (ie, icost)
   and start_query q =
     q.q_start <- Sim.now sim;
     match config.mode with
     | Static backend ->
         (* no cache semantics: charge the full modelled compile every time
            (the module itself is memoized host-side, which changes no
-           simulated duration — the code is identical) *)
-        let e, _ = Code_cache.get_or_compile cache db ~backend ~name:q.q_name q.q_plan in
+           simulated duration — the code is identical) and keep the lookup
+           out of the hit/miss stats, where a hit would belie the charge *)
+        let k = Code_cache.key db ~backend q.q_plan in
+        let e =
+          match Code_cache.find_nostat cache k with
+          | Some e -> e
+          | None ->
+              let e =
+                Code_cache.compile_uncached cache db ~backend ~name:q.q_name
+                  q.q_plan
+              in
+              Code_cache.insert cache k e;
+              e
+        in
         pin_entry q e;
-        q.q_backend <- Qcomp_backend.Backend.name backend;
+        q.q_cur_tier <- Qcomp_backend.Backend.name backend;
+        q.q_tiers <- [ q.q_cur_tier ];
         q.q_compile_s <- e.Code_cache.ce_compile_s;
         Sim.after sim e.Code_cache.ce_compile_s (fun () -> begin_exec q e)
     | Cached ->
         let bname, backend = Engine.adaptive_backend db q.q_plan in
         let k = Code_cache.key db ~backend q.q_plan in
-        q.q_backend <- bname;
+        q.q_cur_tier <- bname;
+        q.q_tiers <- [ bname ];
         (match Code_cache.find cache k with
         | Some e ->
             pin_entry q e;
@@ -260,9 +310,35 @@ let run_events ?cache db config stream =
             pin_entry q e;
             q.q_compile_s <- e.Code_cache.ce_compile_s;
             Sim.after sim e.Code_cache.ce_compile_s (fun () -> begin_exec q e))
+    | Tiered when config.reopt -> (
+        (* observation-driven: no pre-execution estimate. Start on the
+           strongest already-resident rung (free), else on interpreter
+           bytecode; the controller upgrades from observed cycles. The
+           ladder probe is stat-free. *)
+        let resident =
+          List.find_map
+            (fun (nm, b) ->
+              if String.equal nm "interpreter" then None
+              else
+                let k = Code_cache.key db ~backend:b q.q_plan in
+                match Code_cache.find_nostat cache k with
+                | Some e ->
+                    pin_entry q e;
+                    Some (nm, e)
+                | None -> None)
+            (List.rev (Engine.tier_ladder db))
+        in
+        match resident with
+        | Some (nm, e) ->
+            q.q_cache_hit <- true;
+            q.q_cur_tier <- nm;
+            q.q_tiers <- [ nm ];
+            begin_exec q e
+        | None ->
+            let ie, icost = start_tier0 q in
+            Sim.after sim icost (fun () -> begin_exec q ie))
     | Tiered -> (
         let bname, backend = Engine.adaptive_backend db q.q_plan in
-        q.q_backend <- bname;
         if bname = "interpreter" then begin
           (* nothing stronger to tier to: serve straight from bytecode *)
           let e, hit =
@@ -272,6 +348,8 @@ let run_events ?cache db config stream =
           pin_entry q e;
           q.q_cache_hit <- hit;
           q.q_started_tier0 <- true;
+          q.q_cur_tier <- "interpreter";
+          q.q_tiers <- [ "interpreter" ];
           if hit then begin_exec q e
           else begin
             q.q_compile_s <- e.Code_cache.ce_compile_s;
@@ -285,36 +363,83 @@ let run_events ?cache db config stream =
               (* strong code already cached: start on it outright *)
               pin_entry q e;
               q.q_cache_hit <- true;
+              q.q_cur_tier <- bname;
+              q.q_tiers <- [ bname ];
               begin_exec q e
           | None ->
               (* tier 0 now, strong tier in the background *)
-              let ie, ihit =
-                Code_cache.get_or_compile cache db ~backend:Engine.interpreter
-                  ~name:q.q_name q.q_plan
-              in
-              pin_entry q ie;
-              let icost = if ihit then 0.0 else ie.Code_cache.ce_compile_s in
-              q.q_compile_s <- icost;
-              q.q_started_tier0 <- true;
+              let ie, icost = start_tier0 q in
               submit_bg_compile ~backend ~name:q.q_name q.q_plan k (fun e ->
                   (* the query may have drained on tier 0 before the strong
                      compile landed; a done query must not pin (nobody
                      would unpin) nor park a swap *)
                   if not q.q_done then begin
                     pin_entry q e;
-                    q.q_swap_ready <- Some e
+                    q.q_swap_ready <- Some (k.Code_cache.ck_backend, e)
                   end);
               Sim.after sim icost (fun () -> begin_exec q ie))
   and begin_exec q (e : Code_cache.entry) =
     let ex = Exec.start db e.Code_cache.ce_cq e.Code_cache.ce_cm in
     quantum q ex
+  (* The observation-driven tier controller, consulted at each morsel
+     boundary in reopt mode (the swap, if any, was applied just before, so
+     a fresh tier starts with no observation and sits out one quantum).
+     One upgrade in flight at a time; an already-resident stronger module
+     is priced at zero compile seconds and parks immediately. *)
+  and consider_upgrade q ex =
+    if (not q.q_upgrading) && not (Exec.finished ex) then
+      match Exec.observed_cpr ex with
+      | None -> ()
+      | Some cpr -> (
+          let rows_remaining = Exec.rows_remaining ex in
+          if rows_remaining > 0 then
+            let cands =
+              List.map
+                (fun (nm, b) ->
+                  let k = Code_cache.key db ~backend:b q.q_plan in
+                  let compile_s =
+                    match Code_cache.find_nostat cache k with
+                    | Some _ -> 0.0
+                    | None ->
+                        Costmodel.compile_seconds ~backend:nm
+                          (Exec.ir_module ex)
+                  in
+                  (nm, b, k, compile_s))
+                (Engine.stronger_than db q.q_cur_tier)
+            in
+            match
+              Costmodel.best_upgrade ~cur:q.q_cur_tier ~cpr ~rows_remaining
+                (List.map (fun (nm, _, _, c) -> (nm, c)) cands)
+            with
+            | None -> ()
+            | Some (nm, _) ->
+                let _, backend, k, _ =
+                  List.find (fun (n, _, _, _) -> String.equal n nm) cands
+                in
+                q.q_upgrading <- true;
+                (match Code_cache.find cache k with
+                | Some e ->
+                    pin_entry q e;
+                    q.q_swap_ready <- Some (nm, e)
+                | None ->
+                    submit_bg_compile ~backend ~name:q.q_name q.q_plan k
+                      (fun e ->
+                        if not q.q_done then begin
+                          pin_entry q e;
+                          q.q_swap_ready <- Some (nm, e)
+                        end)))
   and quantum q ex =
     (match q.q_swap_ready with
-    | Some e when not (Exec.finished ex) ->
+    | Some (nm, e) when not (Exec.finished ex) ->
         Exec.swap ex e.Code_cache.ce_cm;
-        q.q_switch_s <- Some (Sim.now sim -. q.q_start);
+        q.q_cur_tier <- nm;
+        q.q_tiers <- nm :: q.q_tiers;
+        q.q_upgrading <- false;
+        if q.q_switch_s = None then
+          q.q_switch_s <- Some (Sim.now sim -. q.q_start);
         q.q_swap_ready <- None
     | _ -> ());
+    if config.reopt && config.mode = Tiered then consider_upgrade q ex;
     match Exec.step ex ~morsel:config.morsel with
     | `Done ->
         finish_metrics q ex;
@@ -338,7 +463,9 @@ let run_events ?cache db config stream =
           q_start = 0.0;
           q_compile_s = 0.0;
           q_cache_hit = false;
-          q_backend = "";
+          q_cur_tier = "";
+          q_tiers = [];
+          q_upgrading = false;
           q_swap_ready = None;
           q_switch_s = None;
           q_started_tier0 = false;
@@ -377,12 +504,15 @@ let run ?cache ?parallel db config stream =
 
 let pp_query fmt q =
   Format.fprintf fmt
-    "%-8s %-12s lat %9.6fs  compile %9.6fs  %s%s  rows %5d  cycles %9d  sum %016Lx"
+    "%-8s %-12s lat %9.6fs  compile %9.6fs  %s%s%s  rows %5d  cycles %9d  sum %016Lx"
     q.qm_name q.qm_backend (qm_latency q) q.qm_compile_s
     (if q.qm_cache_hit then "hit " else "miss")
     (match q.qm_switch_s with
     | Some s -> Format.asprintf "  swap@%.6fs (%d+%d quanta)" s q.qm_quanta_tier0 q.qm_quanta_tier1
     | None -> "")
+    (if List.length q.qm_tiers > 1 then
+       "  tiers " ^ String.concat "->" q.qm_tiers
+     else "")
     q.qm_rows q.qm_exec_cycles q.qm_checksum
 
 let pp_report ?(per_query = false) fmt r =
@@ -404,7 +534,9 @@ let pp_report ?(per_query = false) fmt r =
      else 0.0)
     s.Lru.entries s.Lru.evictions s.Lru.bytes s.Lru.bytes_evicted;
   Format.fprintf fmt "  code-mem: live %d  peak %d  freed %d@."
-    r.r_live_code_bytes r.r_peak_code_bytes r.r_bytes_freed
+    r.r_live_code_bytes r.r_peak_code_bytes r.r_bytes_freed;
+  Format.fprintf fmt "  data-mem: live %d  peak %d  freed %d@."
+    r.r_live_data_bytes r.r_peak_data_bytes r.r_freed_data_bytes
 
 (** Deterministic repeated-query stream: [n] draws over [queries] with a
     seeded bias towards a hot subset, so a serving cache has something to

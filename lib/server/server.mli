@@ -21,6 +21,10 @@ type config = Pool.config = {
   morsel : int;  (** rows per execution quantum *)
   cache_capacity : int;  (** module-cache entries *)
   mode : mode;
+  reopt : bool;
+      (** Tiered only: pick upgrades from observed cycles-per-row at
+          morsel boundaries (including second upgrades) instead of the
+          one-shot pre-execution estimate *)
   mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
   seed : int64;  (** drives the arrival process *)
 }
@@ -37,9 +41,13 @@ type query_metrics = Pool.query_metrics = {
   qm_finish : float;
   qm_compile_s : float;  (** foreground compile charged on the worker *)
   qm_cache_hit : bool;  (** strong-tier module came from the cache *)
-  qm_switch_s : float option;  (** virtual time of the hot-swap since start *)
+  qm_switch_s : float option;
+      (** virtual time of the first hot-swap since start *)
   qm_quanta_tier0 : int;
   qm_quanta_tier1 : int;
+  qm_tiers : string list;
+      (** back-ends the query executed on, in order (length > 2 means the
+          controller upgraded more than once) *)
   qm_exec_cycles : int;
   qm_rows : int;
   qm_checksum : int64;
@@ -62,6 +70,11 @@ type report = {
   r_bytes_freed : int;  (** code bytes returned to the region allocator *)
   r_live_code_bytes : int;  (** resident generated code at end of run *)
   r_peak_code_bytes : int;  (** high-water mark of resident code *)
+  r_live_data_bytes : int;
+      (** linear-memory data bytes still allocated at end of run (tables,
+          stacks, module GOTs — per-query blocks must all be recycled) *)
+  r_peak_data_bytes : int;  (** high-water mark of allocated data bytes *)
+  r_freed_data_bytes : int;  (** cumulative data bytes recycled *)
 }
 
 (** Serve [stream] (name, plan pairs in arrival order) against [db].

@@ -110,7 +110,11 @@ let create ?(mem_size = 256 * 1024 * 1024) target =
 let context_stack_bytes = 256 * 1024
 
 let context t =
-  let base = Memory.alloc t.mem ~align:16 context_stack_bytes in
+  (* the stack outlives any query the context will run, so it must not be
+     recorded into (and later freed by) an active allocation scope *)
+  let base =
+    Memory.unscoped (fun () -> Memory.alloc t.mem ~align:16 context_stack_bytes)
+  in
   {
     target = t.target;
     mem = t.mem;

@@ -12,12 +12,26 @@ type t = {
   data : Bytes.t;
   size : int;
   mutable brk : int;  (** bump pointer for region allocation *)
-  alloc_mu : Mutex.t;  (** serializes [alloc] across domains *)
+  alloc_mu : Mutex.t;  (** serializes [alloc]/[free] across domains *)
+  free_lists : (int * int, int list ref) Hashtbl.t;
+      (** (align, size) -> reusable block addresses *)
+  mutable live_data : int;  (** bytes allocated and not yet freed *)
+  mutable peak_data : int;  (** high-water mark of [live_data] *)
+  mutable freed_data : int;  (** cumulative bytes returned via [free] *)
 }
 
 let create size =
   if size < 16 * page then invalid_arg "Memory.create: too small";
-  { data = Bytes.make size '\000'; size; brk = page; alloc_mu = Mutex.create () }
+  {
+    data = Bytes.make size '\000';
+    size;
+    brk = page;
+    alloc_mu = Mutex.create ();
+    free_lists = Hashtbl.create 64;
+    live_data = 0;
+    peak_data = 0;
+    freed_data = 0;
+  }
 
 let size t = t.size
 
@@ -25,16 +39,92 @@ let check t addr n =
   if addr < page || addr + n > t.size then
     raise (Fault (Printf.sprintf "access of %d bytes at 0x%x" n addr))
 
-(** Carve a fresh region off the bump allocator. Safe to call from several
-    domains at once; the returned regions are disjoint, which is the
-    discipline that makes unguarded concurrent load/store sound — every
-    allocation is owned by exactly one query/compilation at a time. *)
+(* ---------------- allocation scopes ---------------- *)
+
+(** An allocation scope collects every [(addr, size, align)] block a piece
+    of work allocates, so the whole set can be recycled at once when the
+    work retires ({!free_scope}). The active scope is domain-local: a
+    worker domain executing a query quantum records its runtime
+    allocations (tuple buffers, hash-table arenas, string bodies) without
+    threading a handle through the generated code, while compilations on
+    other domains are unaffected. *)
+type scope = (int * int * int) list ref
+
+let scope_key : scope option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let new_scope () : scope = ref []
+
+(** Run [f] with [sc] as the calling domain's active scope. *)
+let with_scope (sc : scope) f =
+  let cell = Domain.DLS.get scope_key in
+  let prev = !cell in
+  cell := Some sc;
+  Fun.protect ~finally:(fun () -> cell := prev) f
+
+(** Run [f] with no active scope — for allocations that must outlive the
+    enclosing scope (per-context VM stacks, module-owned tables). *)
+let unscoped f =
+  let cell = Domain.DLS.get scope_key in
+  let prev = !cell in
+  cell := None;
+  Fun.protect ~finally:(fun () -> cell := prev) f
+
+(** Carve a region off the allocator: an exact-fit recycled block when one
+    is on the [(align, size)] free list, a fresh bump allocation
+    otherwise. Freed blocks are zero-filled before they are listed, so a
+    recycled block is indistinguishable from fresh memory — results never
+    depend on recycling history. Safe to call from several domains at
+    once; the returned regions are disjoint, which is the discipline that
+    makes unguarded concurrent load/store sound — every allocation is
+    owned by exactly one query/compilation at a time. *)
 let alloc t ?(align = 16) n =
-  Mutex.protect t.alloc_mu (fun () ->
-      let a = (t.brk + align - 1) land lnot (align - 1) in
-      if a + n > t.size then raise (Fault "out of memory");
-      t.brk <- a + n;
-      a)
+  let addr =
+    Mutex.protect t.alloc_mu (fun () ->
+        let a =
+          match Hashtbl.find_opt t.free_lists (align, n) with
+          | Some ({ contents = a :: rest } as l) ->
+              l := rest;
+              a
+          | _ ->
+              let a = (t.brk + align - 1) land lnot (align - 1) in
+              if a + n > t.size then raise (Fault "out of memory");
+              t.brk <- a + n;
+              a
+        in
+        t.live_data <- t.live_data + n;
+        if t.live_data > t.peak_data then t.peak_data <- t.live_data;
+        a)
+  in
+  (match !(Domain.DLS.get scope_key) with
+  | Some sc -> sc := (addr, n, align) :: !sc
+  | None -> ());
+  addr
+
+(** Return a block from {!alloc} to the [(align, size)] free list. The
+    block is zero-filled here so the next {!alloc} of the same shape sees
+    the fresh-memory invariant. The caller must own the block and never
+    touch it again — there is no double-free detection. *)
+let free t ~addr ~size ~align =
+  if size > 0 then begin
+    check t addr size;
+    Mutex.protect t.alloc_mu (fun () ->
+        Bytes.fill t.data addr size '\000';
+        (match Hashtbl.find_opt t.free_lists (align, size) with
+        | Some l -> l := addr :: !l
+        | None -> Hashtbl.replace t.free_lists (align, size) (ref [ addr ]));
+        t.live_data <- t.live_data - size;
+        t.freed_data <- t.freed_data + size)
+  end
+
+(** Free every block recorded in [sc] and empty it. *)
+let free_scope t (sc : scope) =
+  List.iter (fun (addr, size, align) -> free t ~addr ~size ~align) !sc;
+  sc := []
+
+let live_data_bytes t = Mutex.protect t.alloc_mu (fun () -> t.live_data)
+let peak_data_bytes t = Mutex.protect t.alloc_mu (fun () -> t.peak_data)
+let freed_data_bytes t = Mutex.protect t.alloc_mu (fun () -> t.freed_data)
 
 let load64 t addr =
   check t addr 8;

@@ -1018,3 +1018,56 @@ let queries : query list =
            });
     };
   ]
+
+(* The row-count heuristic's blind spot, kept as a named query for the
+   serving experiments and tests: every scan is tiny (70 + 280 + 10 rows at
+   sf=1, under [Engine.adaptive_backend]'s interpreter threshold), but the
+   bucketed join keys give each probe row ~1/8 of the part table as build
+   matches, and each of those ~half the suppliers — the join output is
+   orders of magnitude larger than any input. A pre-execution estimate
+   parks this on the interpreter forever; observed cycles-per-row send it
+   up the tier ladder within a few morsels. Not part of [queries]: the
+   paper-replication experiments stay untouched. *)
+let deceptive : query =
+  let bucket e k = e -% (e /% int64 k *% int64 k) in
+  {
+    q_name = "qfan";
+    q_plan =
+      (let j1 =
+         Hash_join
+           {
+             probe = scan "partsupp";
+             build = scan "part";
+             probe_keys = [ bucket (col (ps "ps_partkey")) 8L ];
+             build_keys = [ bucket (col (pa "p_partkey")) 8L ];
+           }
+       in
+       (* partsupp(0-3) ++ part(4-9) *)
+       let j2 =
+         Hash_join
+           {
+             probe = j1;
+             build = scan "supplier";
+             probe_keys = [ bucket (col (ps "ps_suppkey")) 2L ];
+             build_keys = [ bucket (col (su "s_suppkey")) 2L ];
+           }
+       in
+       (* ++ supplier(10-13) *)
+       Project
+         {
+           input =
+             Filter
+               {
+                 input = j2;
+                 pred =
+                   bucket (Cast (col (ps "ps_availqty"), Sqlty.Int64)) 29L
+                   =% int64 0L;
+               };
+           exprs =
+             [
+               col (ps "ps_partkey");
+               col (10 + su "s_suppkey");
+               col (ps "ps_supplycost") *% col (4 + pa "p_retailprice");
+             ];
+         });
+  }

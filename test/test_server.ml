@@ -514,6 +514,264 @@ let parallel_eviction_test =
       check Alcotest.int "no pin underflows" 0
         (Code_cache.mem_stats cache).Code_cache.ms_pin_underflows)
 
+(* ---------------- observation-driven re-optimization ---------------- *)
+
+(* --reopt changes only the schedule (which tier runs which morsel), never
+   the data: per-query rows/checksums must match the static-estimate
+   Tiered baseline in both drivers *)
+let reopt_differential_test =
+  Alcotest.test_case
+    "reopt = static-estimate tiered: result multiset, 2 seeds, both drivers"
+    `Quick
+    (fun () ->
+      List.iter
+        (fun seed ->
+          let stream = Server.make_stream ~seed ~n:10 fixed_plans in
+          let cfg =
+            {
+              Server.default_config with
+              Server.mode = Server.Tiered;
+              Server.morsel = 64;
+            }
+          in
+          let rcfg = { cfg with Server.reopt = true } in
+          let base = Server.run (make_db ~rows:1024 ()) cfg stream in
+          let seq = Server.run (make_db ~rows:1024 ()) rcfg stream in
+          let par = Server.run ~parallel:3 (make_db ~rows:1024 ()) rcfg stream in
+          check
+            Alcotest.(list (triple string int int64))
+            (Printf.sprintf "seed %Ld: reopt sequential" seed)
+            (result_multiset base) (result_multiset seq);
+          check
+            Alcotest.(list (triple string int int64))
+            (Printf.sprintf "seed %Ld: reopt parallel" seed)
+            (result_multiset base) (result_multiset par))
+        [ 5L; 17L ])
+
+(* the misfire the controller exists to correct: every scan of the fan-out
+   query is tiny, so the pre-execution estimate parks it on the
+   interpreter; its join output is ~3 orders of magnitude larger than any
+   input, and the observed cycles-per-row send it up the ladder *)
+let deceptive_upgrade_test =
+  Alcotest.test_case
+    "deceptive fan-out query: upgraded mid-flight past its static pick"
+    `Quick
+    (fun () ->
+      let q = Qcomp_workloads.Tpch.deceptive in
+      let name = q.Qcomp_workloads.Spec.q_name
+      and plan = q.Qcomp_workloads.Spec.q_plan in
+      let expect =
+        runplan_checksum
+          (Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:1)
+          plan
+      in
+      let db = Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:1 in
+      let static_pick, _ = Engine.adaptive_backend db plan in
+      check Alcotest.string "static estimate under-predicts: interpreter pick"
+        "interpreter" static_pick;
+      let r =
+        Server.run db
+          {
+            Server.default_config with
+            Server.mode = Server.Tiered;
+            Server.reopt = true;
+            Server.morsel = 32;
+          }
+          [ (name, plan) ]
+      in
+      let m = List.hd r.Server.r_queries in
+      check
+        Alcotest.(pair int64 int)
+        "checksum matches run_plan" expect
+        (m.Server.qm_checksum, m.Server.qm_rows);
+      check Alcotest.string "starts on the interpreter" "interpreter"
+        (List.hd m.Server.qm_tiers);
+      check Alcotest.bool "upgraded mid-flight" true
+        (List.length m.Server.qm_tiers > 1);
+      check Alcotest.bool "finishes stronger than the static pick" true
+        (List.mem m.Server.qm_backend
+           (List.map fst (Engine.stronger_than db static_pick))))
+
+(* at a larger scale factor the same query keeps looking worse as it runs:
+   the first decision (taken on cheap build-pipeline morsels) buys the
+   cheap rung, the post-swap observations on the probe pipeline justify a
+   second, stronger one *)
+let second_upgrade_test =
+  Alcotest.test_case "observed work keeps growing => second upgrade" `Quick
+    (fun () ->
+      let q = Qcomp_workloads.Tpch.deceptive in
+      let name = q.Qcomp_workloads.Spec.q_name
+      and plan = q.Qcomp_workloads.Spec.q_plan in
+      let expect =
+        runplan_checksum
+          (Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:4)
+          plan
+      in
+      let db = Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:4 in
+      let r =
+        Server.run db
+          {
+            Server.default_config with
+            Server.mode = Server.Tiered;
+            Server.reopt = true;
+            Server.morsel = 64;
+          }
+          [ (name, plan) ]
+      in
+      let m = List.hd r.Server.r_queries in
+      check
+        Alcotest.(pair int64 int)
+        "checksum matches run_plan" expect
+        (m.Server.qm_checksum, m.Server.qm_rows);
+      check Alcotest.bool
+        (Printf.sprintf "two upgrades (tier path: %s)"
+           (String.concat "->" m.Server.qm_tiers))
+        true
+        (List.length m.Server.qm_tiers >= 3))
+
+(* ---------------- serving-memory accounting ---------------- *)
+
+(* pre-fix, every execution leaked its state block, tuple buffers and hash
+   arenas (Memory.alloc was a pure bump allocator): each 60-query pass
+   allocates ~43 MB against a 16 MiB arena, so a single pass used to die
+   of Fault "out of memory" part-way in, and this test serves 10 passes.
+   Live data bytes must be flat across passes and the cumulative freed
+   bytes must exceed the arena size many times over (proof the allocator
+   reuses memory rather than growing). *)
+let soak_test =
+  Alcotest.test_case "bounded-memory soak: long stream recycles data blocks"
+    `Slow
+    (fun () ->
+      let mem_size = 16 * 1024 * 1024 in
+      let db = Engine.create_db ~mem_size Qcomp_vm.Target.x64 in
+      let _ =
+        Engine.add_table db schema ~rows:1024 ~seed:123L
+          [| Datagen.Uniform (-50, 50); Datagen.Uniform (0, 5);
+             Datagen.DecimalRange (-300, 300);
+             Datagen.Words (Datagen.word_pool, 1) |]
+      in
+      let cfg =
+        {
+          Server.default_config with
+          Server.mode = Server.Tiered;
+          Server.cache_capacity = 2;
+          Server.morsel = 64;
+        }
+      in
+      let cache = Code_cache.create ~capacity:cfg.Server.cache_capacity in
+      let stream = Server.make_stream ~seed:9L ~n:60 fixed_plans in
+      let live_after_first = ref 0 in
+      let freed_total = ref 0 in
+      for pass = 1 to 10 do
+        let r = Server.run ~cache db cfg stream in
+        check Alcotest.int
+          (Printf.sprintf "pass %d: all queries served" pass)
+          60
+          (List.length r.Server.r_queries);
+        freed_total := r.Server.r_freed_data_bytes;
+        if pass = 1 then live_after_first := r.Server.r_live_data_bytes
+        else
+          check Alcotest.int
+            (Printf.sprintf "pass %d: live data bytes flat" pass)
+            !live_after_first r.Server.r_live_data_bytes
+      done;
+      check Alcotest.bool "cumulative recycling exceeds the arena" true
+        (!freed_total > mem_size))
+
+(* every registered back-end must have an explicit coefficient row and
+   execution rate; unknown names fail loud instead of silently getting
+   mid-range numbers *)
+let costmodel_coverage_test =
+  Alcotest.test_case "cost model covers every registered back-end" `Quick
+    (fun () ->
+      let db = make_db () in
+      let cq = Engine.plan_to_ir db ~name:"cov" scan in
+      let m = cq.Qcomp_codegen.Codegen.modul in
+      List.iter
+        (fun b ->
+          let nm = Qcomp_backend.Backend.name b in
+          check Alcotest.bool
+            (nm ^ " has a positive compile cost")
+            true
+            (Costmodel.compile_seconds ~backend:nm m > 0.0);
+          check Alcotest.bool
+            (nm ^ " has a positive execution rate")
+            true
+            (Costmodel.exec_rate nm > 0.0))
+        (Engine.all_backends db);
+      let raises f =
+        match f () with
+        | _ -> false
+        | exception Invalid_argument _ -> true
+      in
+      check Alcotest.bool "unknown back-end: compile cost fails loud" true
+        (raises (fun () -> Costmodel.compile_seconds ~backend:"no-such" m));
+      check Alcotest.bool "unknown back-end: exec rate fails loud" true
+        (raises (fun () -> Costmodel.exec_rate "no-such")))
+
+(* both drivers reject non-positive sizing fields identically (no silent
+   max-1 clamps) *)
+let config_validation_test =
+  Alcotest.test_case "config validation: both drivers, every field" `Quick
+    (fun () ->
+      let break field =
+        let c = { Server.default_config with Server.mode = Server.Tiered } in
+        match field with
+        | "workers" -> { c with Server.workers = 0 }
+        | "compile_slots" -> { c with Server.compile_slots = 0 }
+        | "morsel" -> { c with Server.morsel = 0 }
+        | _ -> { c with Server.cache_capacity = 0 }
+      in
+      List.iter
+        (fun field ->
+          let cfg = break field in
+          let raises driver f =
+            match f () with
+            | (_ : Server.report) ->
+                Alcotest.failf "%s accepted %s = 0" driver field
+            | exception Invalid_argument msg ->
+                check Alcotest.bool
+                  (Printf.sprintf "%s names the field (%s)" driver msg)
+                  true
+                  (String.length msg > 0)
+          in
+          raises "Server.run" (fun () ->
+              Server.run (make_db ()) cfg [ ("q", scan) ]);
+          raises "Pool.run" (fun () ->
+              Server.run ~parallel:1 (make_db ()) cfg [ ("q", scan) ]))
+        [ "workers"; "compile_slots"; "morsel"; "cache_capacity" ])
+
+(* Static mode has no cache semantics (the full modelled compile is
+   charged every time), so its lookups must not pollute the hit/miss
+   stats: a report claiming a 90% hit rate next to full compile charges
+   would be meaningless *)
+let static_stat_bypass_test =
+  Alcotest.test_case "static mode bypasses cache hit/miss stats" `Quick
+    (fun () ->
+      let db = make_db ~rows:256 () in
+      let cache = Code_cache.create ~capacity:8 in
+      let cfg =
+        {
+          Server.default_config with
+          Server.mode = Server.Static Engine.cranelift;
+        }
+      in
+      let stream = Server.make_stream ~seed:3L ~n:8 fixed_plans in
+      let r1 = Server.run ~cache db cfg stream in
+      let r2 = Server.run ~cache db cfg stream in
+      List.iter
+        (fun (r : Server.report) ->
+          check Alcotest.int "no hits counted" 0 r.Server.r_cache.Lru.hits;
+          check Alcotest.int "no misses counted" 0 r.Server.r_cache.Lru.misses;
+          List.iter
+            (fun (q : Server.query_metrics) ->
+              check Alcotest.bool
+                (q.Server.qm_name ^ ": full compile charged")
+                true
+                (q.Server.qm_compile_s > 0.0))
+            r.Server.r_queries)
+        [ r1; r2 ])
+
 (* ---------------- fuzzed plans ---------------- *)
 
 (* reuse the generator and printer from the cross-back-end fuzz suite: the
@@ -551,5 +809,8 @@ let suite =
   @ [
       switchover_test; determinism_test; eviction_test;
       eviction_pressure_test; range_test; unpin_underflow_test;
-      parallel_differential_test; parallel_eviction_test; fuzz_test;
+      parallel_differential_test; parallel_eviction_test;
+      reopt_differential_test; deceptive_upgrade_test; second_upgrade_test;
+      soak_test; costmodel_coverage_test; config_validation_test;
+      static_stat_bypass_test; fuzz_test;
     ]
