@@ -4,9 +4,9 @@
    for recorded paper-vs-measured results.
 
    Usage:  bench/main.exe [table1|fig2|fig3|table2|fig4|fig5|table3|fig6|
-                           fig7|serve|serve-reopt|serve-scaling|fallbacks|
-                           ablation-struct|ablation-codemodel|ablation-tm|
-                           bechamel|all]
+                           fig7|serve|serve-reopt|serve-persist|
+                           serve-scaling|fallbacks|ablation-struct|
+                           ablation-codemodel|ablation-tm|bechamel|all]
 
    Scale factors are chosen so the full suite completes in minutes; the
    mapping to the paper's SF10/SF100 is documented in EXPERIMENTS.md. *)
@@ -563,6 +563,71 @@ let serve_reopt () =
     (List.length past_static)
     (if past_static <> [] then "OK" else "VIOLATION")
 
+(* Warm-start serving from a persistent code-cache snapshot: the same
+   Cached-mode stream served twice on fresh databases, first cold (every
+   distinct plan pays its back-end compile in the foreground, then the
+   cache is saved), then warm (the snapshot is loaded and each hit
+   re-links the relocatable artifact in microseconds). The headline
+   number is the foreground compile seconds the snapshot eliminates. *)
+let serve_persist () =
+  header "Serving: cold start vs code-cache snapshot warm start";
+  let open Qcomp_server in
+  let n = 60 in
+  let queries =
+    List.map
+      (fun (q : Qcomp_workloads.Spec.query) ->
+        (q.Qcomp_workloads.Spec.q_name, q.Qcomp_workloads.Spec.q_plan))
+      (Experiments.queries_of Experiments.Tpch)
+  in
+  let stream = Server.make_stream ~seed:42L ~n queries in
+  let config = { Server.default_config with Server.mode = Server.Cached } in
+  let snap = Filename.temp_file "qcomp_snapshot" ".qcss" in
+  let fg_compile (r : Server.report) =
+    List.fold_left
+      (fun a (q : Server.query_metrics) -> a +. q.Server.qm_compile_s)
+      0.0 r.Server.r_queries
+  in
+  let hit_rate (r : Server.report) =
+    let s = r.Server.r_cache in
+    if s.Lru.hits + s.Lru.misses > 0 then
+      100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
+    else 0.0
+  in
+  let multiset (r : Server.report) =
+    List.sort compare
+      (List.map
+         (fun (q : Server.query_metrics) ->
+           (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
+         r.Server.r_queries)
+  in
+  let db = Experiments.make_db Target.x64 Experiments.Tpch ~sf:sf_tpch_small in
+  let cache = Code_cache.create ~capacity:config.Server.cache_capacity in
+  let cold = Server.run ~cache db config stream in
+  Code_cache.save cache snap;
+  Printf.printf "cold start (fresh cache):\n";
+  Format.printf "%a@." (Server.pp_report ~per_query:false) cold;
+  let db2 = Experiments.make_db Target.x64 Experiments.Tpch ~sf:sf_tpch_small in
+  let warm_cache =
+    Code_cache.load ~capacity:config.Server.cache_capacity ~db:db2 snap
+  in
+  let warm = Server.run ~cache:warm_cache db2 config stream in
+  Printf.printf "warm start (snapshot %d bytes):\n"
+    (Unix.stat snap).Unix.st_size;
+  Format.printf "%a@." (Server.pp_report ~per_query:false) warm;
+  Sys.remove snap;
+  if multiset cold <> multiset warm then begin
+    Printf.printf "VIOLATION: warm rows/checksums differ from cold run\n";
+    exit 1
+  end;
+  let cs, ws = (fg_compile cold, fg_compile warm) in
+  Printf.printf
+    "summary: foreground compile %.6fs cold vs %.6fs warm (%.6fs saved) -> \
+     %s; warm hit rate %.1f%% (cold %.1f%%) -> %s; results identical -> OK\n"
+    cs ws (cs -. ws)
+    (if ws = 0.0 && cs > 0.0 then "OK" else "VIOLATION")
+    (hit_rate warm) (hit_rate cold)
+    (if hit_rate warm >= 99.9 then "OK" else "VIOLATION")
+
 (* Throughput scaling of the real Domain-based worker pool: the same
    tiered stream served on 1, 2 and 4 OS-thread domains. Unlike every
    other experiment here the timings are wall-clock, so only the scaling
@@ -681,6 +746,7 @@ let experiments =
     ("fig7", fig7);
     ("serve", serve);
     ("serve-reopt", serve_reopt);
+    ("serve-persist", serve_persist);
     ("serve-scaling", serve_scaling);
     ("fallbacks", fallbacks);
     ("ablation-struct", ablation_struct);

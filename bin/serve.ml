@@ -20,6 +20,11 @@
        --seed S         stream/arrival seed (default 42)
        --per-query      print one line per completed query
        --validate       also check every checksum against Engine.run_plan
+       --save-cache F   snapshot the code cache to F after the run
+       --load-cache F   start from the snapshot in F instead of a cold
+                        cache: every query whose (fingerprint, backend)
+                        is in the snapshot re-links in microseconds
+                        instead of paying back-end compile seconds
 
    Two invocations with the same arguments print byte-identical reports:
    every duration in the virtual timeline is deterministic (modelled
@@ -33,7 +38,7 @@ let usage () =
     "usage: serve [tpch|tpcds] [--mode tiered|cached|static:<backend>] [--reopt]\n\
     \             [--queries N] [--workers W] [--domains N] [--slots C] [--morsel M]\n\
     \             [--cache N] [--sf K] [--gap-us G] [--seed S] [--per-query]\n\
-    \             [--validate]";
+    \             [--validate] [--save-cache FILE] [--load-cache FILE]";
   exit 1
 
 let int_arg name v =
@@ -70,6 +75,8 @@ let () =
   let per_query = ref false in
   let validate = ref false in
   let domains = ref 0 in
+  let save_cache = ref None in
+  let load_cache = ref None in
   let rec parse = function
     | [] -> ()
     | "tpch" :: rest ->
@@ -128,6 +135,12 @@ let () =
     | "--validate" :: rest ->
         validate := true;
         parse rest
+    | "--save-cache" :: f :: rest ->
+        save_cache := Some f;
+        parse rest
+    | "--load-cache" :: f :: rest ->
+        load_cache := Some f;
+        parse rest
     | a :: _ ->
         Printf.eprintf "unknown argument %s\n" a;
         usage ()
@@ -142,12 +155,28 @@ let () =
       (Experiments.queries_of !workload)
   in
   let stream = Server.make_stream ~seed:(!cfg).Server.seed ~n:!n queries in
-  let cache = Code_cache.create ~capacity:(!cfg).Server.cache_capacity in
+  (* load must happen right after the deterministic database build, before
+     any query runs, so the snapshot's baked string constants can claim
+     their original addresses *)
+  let cache =
+    match !load_cache with
+    | Some f ->
+        let c = Code_cache.load ~capacity:(!cfg).Server.cache_capacity ~db f in
+        let s = Code_cache.stats c in
+        Printf.printf "snapshot: loaded %d modules from %s\n" s.Lru.entries f;
+        c
+    | None -> Code_cache.create ~capacity:(!cfg).Server.cache_capacity
+  in
   let report =
     if !domains > 0 then Server.run ~cache ~parallel:!domains db !cfg stream
     else Server.run ~cache db !cfg stream
   in
   Format.printf "%a" (Server.pp_report ~per_query:!per_query) report;
+  (match !save_cache with
+  | Some f ->
+      Code_cache.save cache f;
+      Printf.printf "snapshot: saved code cache to %s\n" f
+  | None -> ());
   if (!cfg).Server.reopt then begin
     (* upgrade trace: which queries the observation-driven controller moved
        off their starting tier, and how far *)

@@ -56,6 +56,199 @@ let dispose ~emu ~unwind cm =
           cm.cm_data_blocks
       end)
 
+(* ---------------- the shared link step ---------------- *)
+
+let patch_rel32 text off value = Bytes.set_int32_le text off (Int32.of_int value)
+
+let patch_rel24_words text off value_bytes =
+  let w = value_bytes asr 2 in
+  Bytes.set text off (Char.chr (w land 0xFF));
+  Bytes.set text (off + 1) (Char.chr ((w asr 8) land 0xFF));
+  Bytes.set text (off + 2) (Char.chr ((w asr 16) land 0xFF))
+
+(** Turn a relocatable {!Artifact.t} into a live {!compiled_module} against
+    a given [Emu] layout: build one PLT+GOT for the artifact's undefined
+    symbols, predict a base address, resolve externals against the live
+    registry, apply relocations into a private copy of the text, and
+    register code and unwind tables. The predict-resolve-apply-register
+    sequence holds the machine's code-layout lock, exactly as
+    [Jitlink.link] does. The artifact itself is never mutated, so the same
+    artifact can be linked any number of times (including into machines
+    the producing process never saw).
+
+    Refuses with [Invalid_argument] when the artifact targets another
+    architecture, references a runtime symbol this process has not
+    installed, or baked an absolute runtime address that differs from the
+    live registry — a snapshot can never be mis-linked into a trap.
+
+    [scope]/[phases]/[unwind_scope] control timing attribution so each
+    back-end's phase breakdown looks exactly as it did when linking was
+    private to it. *)
+let link_artifact ?(scope = Some "Link") ?(phases = false)
+    ?(unwind_scope = "UnwindInfo") ~timing ~emu ~registry ~unwind
+    (art : Artifact.t) : compiled_module =
+  let target = Emu.target_of emu in
+  if not (String.equal art.Artifact.a_target target.Target.name) then
+    invalid_arg
+      (Printf.sprintf
+         "link_artifact: artifact compiled for %s cannot link into a %s \
+          machine"
+         art.Artifact.a_target target.Target.name);
+  let resolve sym =
+    try Registry.addr registry sym
+    with Invalid_argument _ ->
+      invalid_arg
+        ("link_artifact: runtime symbol " ^ sym
+       ^ " is not installed in this process")
+  in
+  List.iter
+    (fun (sym, baked) ->
+      let live = resolve sym in
+      if not (Int64.equal live baked) then
+        invalid_arg
+          (Printf.sprintf
+             "link_artifact: baked address of %s moved (artifact 0x%Lx, \
+              process 0x%Lx)"
+             sym baked live))
+    art.Artifact.a_baked;
+  let run_scoped name f =
+    match name with Some n -> Timing.scope timing n f | None -> f ()
+  in
+  let ph = [| 0.0; 0.0; 0.0; 0.0 |] in
+  let base, region, got_block, fns =
+    run_scoped scope (fun () ->
+        (* phase 1: prune symbols, build PLT stubs, allocate *)
+        let t0 = Timing.now () in
+        let defined =
+          List.filter (fun s -> s.Artifact.s_defined) art.Artifact.a_syms
+        in
+        let undefined =
+          List.filter (fun s -> not s.Artifact.s_defined) art.Artifact.a_syms
+        in
+        let externs =
+          List.sort_uniq compare
+            (List.map (fun s -> s.Artifact.s_name) undefined)
+        in
+        (* fail before allocating anything if an external cannot resolve *)
+        List.iter (fun sym -> ignore (resolve sym)) externs;
+        let mem = Emu.memory emu in
+        (* the GOT belongs to the module, not to whichever query happens
+           to be executing while a background compile links *)
+        let got_bytes = 8 * List.length externs in
+        let got_base =
+          if externs = [] then 0
+          else Memory.unscoped (fun () -> Memory.alloc mem ~align:8 got_bytes)
+        in
+        let stub_asm = Asm.create target in
+        let stub_offsets = Hashtbl.create 16 in
+        let text_len = Bytes.length art.Artifact.a_text in
+        List.iteri
+          (fun k sym ->
+            Hashtbl.replace stub_offsets
+              (sym ^ "@plt")
+              (text_len + Asm.offset stub_asm);
+            Asm.emit stub_asm
+              (Minst.Jmp_mem (Int64.of_int (got_base + (8 * k)))))
+          externs;
+        let stubs = Asm.finish stub_asm in
+        (* a private copy: relocation patching must not touch the artifact *)
+        let text = Bytes.cat art.Artifact.a_text stubs in
+        let base, region =
+          Emu.with_layout_lock emu (fun () ->
+              let base = Emu.next_code_addr emu ~size:(Bytes.length text) in
+              ph.(0) <- Timing.now () -. t0;
+              (* phase 2: assign addresses, resolve, fill the GOT *)
+              let t1 = Timing.now () in
+              let sym_addr = Hashtbl.create 64 in
+              List.iter
+                (fun s ->
+                  Hashtbl.replace sym_addr s.Artifact.s_name
+                    (base + s.Artifact.s_off))
+                defined;
+              List.iteri
+                (fun k sym ->
+                  let addr = resolve sym in
+                  Memory.store64 mem (got_base + (8 * k)) addr;
+                  Hashtbl.replace sym_addr sym (Int64.to_int addr))
+                externs;
+              Hashtbl.iter
+                (fun plt off -> Hashtbl.replace sym_addr plt (base + off))
+                stub_offsets;
+              ph.(1) <- Timing.now () -. t1;
+              (* phase 3: apply relocations, copy into executable memory *)
+              let t2 = Timing.now () in
+              List.iter
+                (fun r ->
+                  match r.Artifact.r_kind with
+                  | Artifact.Plt32 ->
+                      let target_addr =
+                        match Hashtbl.find_opt sym_addr r.Artifact.r_sym with
+                        | Some a -> a
+                        | None ->
+                            invalid_arg
+                              ("link_artifact: undefined symbol "
+                             ^ r.Artifact.r_sym)
+                      in
+                      let target_off = target_addr - base in
+                      if target.Target.arch = Target.X64 then
+                        patch_rel32 text r.Artifact.r_off
+                          (target_off - (r.Artifact.r_off + 4))
+                      else
+                        patch_rel24_words text r.Artifact.r_off
+                          (target_off - (r.Artifact.r_off - 1))
+                  | Artifact.Abs64 ->
+                      let addr =
+                        match Hashtbl.find_opt sym_addr r.Artifact.r_sym with
+                        | Some a -> Int64.of_int a
+                        | None -> resolve r.Artifact.r_sym
+                      in
+                      Bytes.set_int64_le text r.Artifact.r_off addr)
+                art.Artifact.a_relocs;
+              let region = Emu.register_code emu text in
+              assert (Code_region.base region = base);
+              ph.(2) <- Timing.now () -. t2;
+              (base, region))
+        in
+        (* phase 4: symbol lookup *)
+        let t3 = Timing.now () in
+        let fns =
+          List.filter_map
+            (fun s ->
+              if s.Artifact.s_defined then
+                Some (s.Artifact.s_name, Int64.of_int (base + s.Artifact.s_off))
+              else None)
+            art.Artifact.a_syms
+        in
+        ph.(3) <- Timing.now () -. t3;
+        ( base,
+          region,
+          (if externs = [] then None else Some (got_base, got_bytes, 8)),
+          fns ))
+  in
+  if phases then begin
+    Timing.add timing "Link/Phase1-Alloc" ph.(0);
+    Timing.add timing "Link/Phase2-Resolve" ph.(1);
+    Timing.add timing "Link/Phase3-Apply" ph.(2);
+    Timing.add timing "Link/Phase4-Lookup" ph.(3)
+  end;
+  Timing.scope timing unwind_scope (fun () ->
+      List.iter
+        (fun f ->
+          Unwind.register unwind
+            ~start:(base + f.Artifact.uf_start)
+            ~size:f.Artifact.uf_size ~sync_only:f.Artifact.uf_sync_only
+            f.Artifact.uf_rows)
+        art.Artifact.a_unwind);
+  {
+    cm_functions = fns;
+    cm_code_size = art.Artifact.a_code_size;
+    cm_stats = art.Artifact.a_stats;
+    cm_regions = [ region ];
+    cm_runtime_slots = [];
+    cm_data_blocks = (match got_block with Some b -> [ b ] | None -> []);
+    cm_disposed = false;
+  }
+
 module type S = sig
   val name : string
 
@@ -66,6 +259,18 @@ module type S = sig
     unwind:Unwind.t ->
     Qcomp_ir.Func.modul ->
     compiled_module
+
+  val compile_artifact :
+    (timing:Timing.t ->
+    target:Target.t ->
+    registry:Registry.t ->
+    Qcomp_ir.Func.modul ->
+    Artifact.t)
+    option
+  (** Relocatable compilation: produce an {!Artifact.t} that
+      {!link_artifact} (this process or a later one) turns into a live
+      module. [None] for back-ends whose output cannot outlive the
+      process (the interpreter's host dispatch slots). *)
 end
 
 type t = (module S)
@@ -77,3 +282,7 @@ let name (b : t) =
 let compile_module (b : t) ~timing ~emu ~registry ~unwind m =
   let module B = (val b) in
   B.compile_module ~timing ~emu ~registry ~unwind m
+
+let compile_artifact (b : t) =
+  let module B = (val b) in
+  B.compile_artifact

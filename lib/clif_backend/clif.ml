@@ -14,14 +14,22 @@ let name = "cranelift"
 (* Table II feature control (mutable default, overridable per module). *)
 let default_features = ref Frontend.all_features
 
-let compile_module_with ~features ~timing ~emu ~registry ~unwind
-    (m : Func.modul) : Qcomp_backend.Backend.compiled_module =
-  let target = Emu.target_of emu in
+let compile_artifact_with ~features ~timing ~(target : Target.t) ~registry
+    (m : Func.modul) : Qcomp_backend.Artifact.t =
+  (* Cranelift emits no relocations: every runtime/extern address is an
+     absolute immediate. Record each one so a re-link in another process
+     can verify them against its own registry. *)
+  let baked = Hashtbl.create 8 in
+  let record nm =
+    let a = Registry.addr registry nm in
+    Hashtbl.replace baked nm a;
+    a
+  in
   let extern_addr sym =
     let e = Func.extern m sym in
-    Registry.addr registry e.Func.ext_name
+    record e.Func.ext_name
   in
-  let rt_addr nm = Registry.addr registry nm in
+  let rt_addr nm = record nm in
   let asm = Asm.create target in
   let fns = ref [] in
   let spills = ref 0 in
@@ -60,35 +68,56 @@ let compile_module_with ~features ~timing ~emu ~registry ~unwind
       btree_ops := !btree_ops + fr.Cemit.fr_btree_ops;
       fns := (f.Func.name, fr) :: !fns)
     m.Func.funcs;
-  (* Link: copy to executable memory, apply (absolute-only) relocations,
-     and register the manually generated CFI *)
-  let code, region =
-    Timing.scope timing "Link" (fun () ->
-        let code = Asm.finish asm in
-        (* layout lock: a concurrent JIT linker may be mid
-           predict-link-register; registering would move its prediction *)
-        (code, Emu.with_layout_lock emu (fun () -> Emu.register_code emu code)))
-  in
-  let base = Code_region.base region in
-  Timing.scope timing "Link" (fun () ->
-      List.iter
-        (fun (_, fr) ->
-          Unwind.register unwind ~start:(base + fr.Cemit.fr_start)
-            ~size:fr.Cemit.fr_size ~sync_only:false fr.Cemit.fr_rows)
-        !fns);
+  let code = Timing.scope timing "Link" (fun () -> Asm.finish asm) in
   {
-    Qcomp_backend.Backend.cm_functions =
+    Qcomp_backend.Artifact.a_backend = name;
+    a_target = target.Target.name;
+    a_text = code;
+    a_syms =
       List.rev_map
-        (fun (n, fr) -> (n, Int64.of_int (base + fr.Cemit.fr_start)))
+        (fun (n, fr) ->
+          {
+            Qcomp_backend.Artifact.s_name = n;
+            s_off = fr.Cemit.fr_start;
+            s_size = fr.Cemit.fr_size;
+            s_defined = true;
+          })
         !fns;
-    cm_code_size = Bytes.length code;
-    cm_stats = [ ("spilled_bundles", !spills); ("btree_ops", !btree_ops) ];
-    cm_regions = [ region ];
-    cm_runtime_slots = [];
-    cm_data_blocks = [];
-    cm_disposed = false;
+    a_relocs = [];
+    a_unwind =
+      List.rev_map
+        (fun (_, fr) ->
+          {
+            Qcomp_backend.Artifact.uf_start = fr.Cemit.fr_start;
+            uf_size = fr.Cemit.fr_size;
+            uf_sync_only = false;
+            uf_rows = fr.Cemit.fr_rows;
+          })
+        !fns;
+    a_baked =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) baked []);
+    a_stats = [ ("spilled_bundles", !spills); ("btree_ops", !btree_ops) ];
+    a_code_size = Bytes.length code;
   }
+
+let compile_module_with ~features ~timing ~emu ~registry ~unwind
+    (m : Func.modul) : Qcomp_backend.Backend.compiled_module =
+  let art =
+    compile_artifact_with ~features ~timing ~target:(Emu.target_of emu)
+      ~registry m
+  in
+  (* Link: copy to executable memory (under the layout lock: a concurrent
+     JIT linker may be mid predict-link-register) and register the manually
+     generated CFI — both attributed to Link, as in Fig. 4 *)
+  Qcomp_backend.Backend.link_artifact ~unwind_scope:"Link" ~timing ~emu
+    ~registry ~unwind art
 
 let compile_module ~timing ~emu ~registry ~unwind m =
   compile_module_with ~features:!default_features ~timing ~emu ~registry
     ~unwind m
+
+let compile_artifact =
+  Some
+    (fun ~timing ~target ~registry m ->
+      compile_artifact_with ~features:!default_features ~timing ~target
+        ~registry m)

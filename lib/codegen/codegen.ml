@@ -37,6 +37,10 @@ type compiled = {
   output_slot : int;
   output_tys : Sqlty.t array;
   num_pipelines : int;
+  const_strs : (string * int) list;
+      (** string literal -> SSO struct address baked into the module's code
+          as an immediate; code-cache snapshots re-materialize these at the
+          same addresses before re-linking *)
 }
 
 type ctx = {
@@ -1146,6 +1150,9 @@ let compile_query ~mem ~catalog ~tables ~name (plan : Algebra.t) : compiled =
     output_slot;
     output_tys = out_tys;
     num_pipelines = ctx.pipes;
+    const_strs =
+      List.sort compare
+        (Hashtbl.fold (fun s addr acc -> (s, addr) :: acc) ctx.str_consts []);
   }
 
 (** Layout of output rows (for host-side result reading). *)

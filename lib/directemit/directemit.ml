@@ -72,16 +72,24 @@ let compile_func ~asm ~target ~extern_addr ~rt_addr ~timing (f : Func.t) =
       in
       (start, size, rows))
 
-let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
-    Qcomp_backend.Backend.compiled_module =
-  let target = Emu.target_of emu in
+let compile_artifact ~timing ~(target : Target.t) ~registry (m : Func.modul) :
+    Qcomp_backend.Artifact.t =
   if target.Target.arch <> Target.X64 then
     invalid_arg "DirectEmit only supports x86-64 (as in the paper)";
+  (* DirectEmit emits no relocations: every runtime/extern address is an
+     absolute immediate. Record each one so a re-link in another process
+     can verify them against its own registry. *)
+  let baked = Hashtbl.create 8 in
+  let record nm =
+    let a = Registry.addr registry nm in
+    Hashtbl.replace baked nm a;
+    a
+  in
   let extern_addr sym =
     let e = Func.extern m sym in
-    Registry.addr registry e.Func.ext_name
+    record e.Func.ext_name
   in
-  let rt_addr nm = Registry.addr registry nm in
+  let rt_addr nm = record nm in
   let asm = Asm.create target in
   let fns = ref [] in
   Vec.iter
@@ -91,28 +99,45 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
       in
       fns := (f.Func.name, start, size, rows) :: !fns)
     m.Func.funcs;
-  let code =
-    Timing.scope timing "Finalize" (fun () -> Asm.finish asm)
-  in
-  (* layout lock: a concurrent JIT linker may be mid predict-link-register;
-     registering would move its prediction *)
-  let region =
-    Emu.with_layout_lock emu (fun () -> Emu.register_code emu code)
-  in
-  let base = Code_region.base region in
-  (* register CFI now that absolute addresses exist *)
-  Timing.scope timing "UnwindInfo" (fun () ->
-      List.iter
-        (fun (_, start, size, rows) ->
-          Unwind.register unwind ~start:(base + start) ~size ~sync_only:true rows)
-        !fns);
+  let code = Timing.scope timing "Finalize" (fun () -> Asm.finish asm) in
   {
-    Qcomp_backend.Backend.cm_functions =
-      List.rev_map (fun (n, start, _, _) -> (n, Int64.of_int (base + start))) !fns;
-    cm_code_size = Bytes.length code;
-    cm_stats = [];
-    cm_regions = [ region ];
-    cm_runtime_slots = [];
-    cm_data_blocks = [];
-    cm_disposed = false;
+    Qcomp_backend.Artifact.a_backend = name;
+    a_target = target.Target.name;
+    a_text = code;
+    a_syms =
+      List.rev_map
+        (fun (n, start, size, _) ->
+          {
+            Qcomp_backend.Artifact.s_name = n;
+            s_off = start;
+            s_size = size;
+            s_defined = true;
+          })
+        !fns;
+    a_relocs = [];
+    a_unwind =
+      List.rev_map
+        (fun (_, start, size, rows) ->
+          {
+            Qcomp_backend.Artifact.uf_start = start;
+            uf_size = size;
+            uf_sync_only = true;
+            uf_rows = rows;
+          })
+        !fns;
+    a_baked =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) baked []);
+    a_stats = [];
+    a_code_size = Bytes.length code;
   }
+
+let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
+    Qcomp_backend.Backend.compiled_module =
+  let art = compile_artifact ~timing ~target:(Emu.target_of emu) ~registry m in
+  (* registration holds the layout lock inside the shared linker (a
+     concurrent JIT linker may be mid predict-link-register); no timing
+     scope, as before: only Finalize and UnwindInfo are Fig. 5 phases *)
+  Qcomp_backend.Backend.link_artifact ~scope:None ~timing ~emu ~registry
+    ~unwind art
+
+let compile_artifact = Some compile_artifact

@@ -46,6 +46,35 @@ let register_table db (schema : Schema.t) table =
 
 let table db name = List.assoc name db.tables
 
+(** Fingerprint of everything a relocatable artifact's address assumptions
+    depend on besides the runtime registry: the target and the exact
+    column layout of every table (codegen bakes [Table.col_addr] results
+    into scan loops as immediates). Two databases built by the same
+    deterministic [make_db] sequence get the same fingerprint; snapshots
+    refuse to link against anything else. *)
+let layout_fingerprint db =
+  let h = ref 0x1A_70_07L in
+  let mix_int i = h := Hashes.crc32c !h (Int64.of_int i) in
+  let mix_str s =
+    mix_int (String.length s);
+    String.iter (fun c -> h := Hashes.crc32c_byte !h (Char.code c)) s
+  in
+  mix_str db.target.Target.name;
+  let tables =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) db.tables
+  in
+  List.iter
+    (fun (nm, t) ->
+      mix_str nm;
+      mix_int (Table.rows t);
+      let schema = Table.schema t in
+      for c = 0 to Schema.num_cols schema - 1 do
+        mix_str schema.Schema.cols.(c).Schema.col_name;
+        mix_int (Table.col_addr t c)
+      done)
+    tables;
+  Hashes.hash64 !h
+
 (* ---------------- results ---------------- *)
 
 type cell =

@@ -51,6 +51,12 @@ val register_table : db -> Schema.t -> Table.t -> unit
 (** Look up a table by name. Raises [Not_found]. *)
 val table : db -> string -> Table.t
 
+(** Fingerprint of the target name plus every table's row count and exact
+    column addresses — everything codegen bakes into scan code as
+    immediates. Code-cache snapshots store it and refuse to re-link into a
+    database with a different layout. *)
+val layout_fingerprint : db -> int64
+
 (** A materialized output cell. *)
 type cell =
   | Int of int64

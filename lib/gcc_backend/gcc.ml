@@ -37,9 +37,8 @@ let read_file path =
 
 let counter = ref 0
 
-let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
-    Qcomp_backend.Backend.compiled_module =
-  let target = Emu.target_of emu in
+let compile_artifact ~timing ~(target : Target.t) ~registry (m : Func.modul) :
+    Qcomp_backend.Artifact.t =
   incr counter;
   let base_name = Printf.sprintf "qcomp_gcc_%d_%d" (Unix.getpid ()) !counter in
   let c_path = Filename.concat temp_dir (base_name ^ ".c") in
@@ -73,7 +72,14 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
            funcs));
   (* 4. code generation: optimizing selector + greedy allocator, then
         textual assembly output *)
-  let rt_addr nm = Registry.addr registry nm in
+  (* absolute runtime addresses baked as immediates are recorded so a
+     re-link in another process can verify them *)
+  let baked = Hashtbl.create 8 in
+  let rt_addr nm =
+    let a = Registry.addr registry nm in
+    Hashtbl.replace baked nm a;
+    a
+  in
   let externs = Qcomp_support.Vec.to_array m.Func.externs in
   let extern_name s = externs.(s).Func.ext_name in
   let asm_text = Buffer.create 4096 in
@@ -132,40 +138,58 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
         let text = read_file s_path in
         Gasm.assemble target text)
   in
-  (* 6. linker: produce the shared object image *)
+  (* 6. linker: produce the shared object image and read it back (the
+        round-trip is deliberate, measured cost) *)
   let image = Timing.scope timing "Linker" (fun () -> Elf.write obj) in
-  (* 7. dlopen/dlsym *)
-  let linked =
-    Timing.scope timing "Dlopen" (fun () ->
-        Llvm.Jitlink.link ~emu ~resolve:(fun sym -> Registry.addr registry sym) image)
-  in
-  Timing.scope timing "UnwindInfo" (fun () ->
-      List.iter
-        (fun (fname, frame) ->
-          match Hashtbl.find_opt linked.Llvm.Jitlink.fn_addr fname with
-          | Some a ->
-              Unwind.register unwind ~start:a ~size:16 ~sync_only:false
-                [
-                  (0, { Unwind.cfa_offset = 8; saved_regs = [] });
-                  (4, { Unwind.cfa_offset = 8 + frame; saved_regs = [] });
-                ]
-          | None -> ())
-        !fn_frames);
+  let obj = Timing.scope timing "Linker" (fun () -> Elf.parse image) in
   (* leave no temporary files behind *)
   (try Sys.remove c_path with Sys_error _ -> ());
   (try Sys.remove s_path with Sys_error _ -> ());
-  let fns =
-    Hashtbl.fold
-      (fun n a acc -> (n, Int64.of_int a) :: acc)
-      linked.Llvm.Jitlink.fn_addr []
+  let got_slots =
+    List.length
+      (List.sort_uniq compare
+         (List.filter_map
+            (fun (s : Elf.symbol) ->
+              if s.Elf.s_defined then None else Some s.Elf.s_name)
+            obj.Elf.o_syms))
   in
   {
-    Qcomp_backend.Backend.cm_functions = fns;
-    cm_code_size = Bytes.length image;
-    cm_stats = [ ("got_slots", linked.Llvm.Jitlink.got_slots) ];
-    cm_regions = [ linked.Llvm.Jitlink.region ];
-    cm_runtime_slots = [];
-    cm_data_blocks =
-      (match linked.Llvm.Jitlink.got_block with Some b -> [ b ] | None -> []);
-    cm_disposed = false;
+    Qcomp_backend.Artifact.a_backend = name;
+    a_target = target.Target.name;
+    a_text = obj.Elf.o_text;
+    a_syms = obj.Elf.o_syms;
+    a_relocs = obj.Elf.o_relocs;
+    a_unwind =
+      List.filter_map
+        (fun (fname, frame) ->
+          List.find_map
+            (fun (s : Elf.symbol) ->
+              if s.Elf.s_defined && String.equal s.Elf.s_name fname then
+                Some
+                  {
+                    Qcomp_backend.Artifact.uf_start = s.Elf.s_off;
+                    uf_size = 16;
+                    uf_sync_only = false;
+                    uf_rows =
+                      [
+                        (0, { Unwind.cfa_offset = 8; saved_regs = [] });
+                        (4, { Unwind.cfa_offset = 8 + frame; saved_regs = [] });
+                      ];
+                  }
+              else None)
+            obj.Elf.o_syms)
+        (List.rev !fn_frames);
+    a_baked =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) baked []);
+    a_stats = [ ("got_slots", got_slots) ];
+    a_code_size = Bytes.length image;
   }
+
+let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
+    Qcomp_backend.Backend.compiled_module =
+  let art = compile_artifact ~timing ~target:(Emu.target_of emu) ~registry m in
+  (* 7. dlopen/dlsym *)
+  Qcomp_backend.Backend.link_artifact ~scope:(Some "Dlopen") ~timing ~emu
+    ~registry ~unwind art
+
+let compile_artifact = Some compile_artifact

@@ -349,3 +349,7 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
     cm_data_blocks = [];
     cm_disposed = false;
   }
+
+(* Bytecode dispatch closures live in host memory and die with the
+   process: there is nothing relocatable to snapshot. *)
+let compile_artifact = None

@@ -6,11 +6,23 @@
     {!parse} decodes it again; the round-trip is deliberate, measured
     cost. *)
 
-type reloc_kind = Plt32 | Abs64
+(* The object's symbol/relocation types are shared with the relocatable
+   artifact API, so a parsed object slots straight into an
+   [Qcomp_backend.Artifact.t] without copying. *)
+type reloc_kind = Qcomp_backend.Artifact.reloc_kind = Plt32 | Abs64
 
-type reloc = { r_off : int; r_sym : string; r_kind : reloc_kind }
+type reloc = Qcomp_backend.Artifact.reloc = {
+  r_off : int;
+  r_sym : string;
+  r_kind : reloc_kind;
+}
 
-type symbol = { s_name : string; s_off : int; s_size : int; s_defined : bool }
+type symbol = Qcomp_backend.Artifact.symbol = {
+  s_name : string;
+  s_off : int;
+  s_size : int;
+  s_defined : bool;
+}
 
 type obj = {
   o_text : bytes;

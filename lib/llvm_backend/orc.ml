@@ -75,14 +75,20 @@ let get_target_machine ~cache timing target =
 
 (* ---------------- per-module compilation ---------------- *)
 
-let compile_module_with (cfg : config) ~timing ~emu ~registry ~unwind
-    (m : Func.modul) : Qcomp_backend.Backend.compiled_module =
-  let target = Emu.target_of emu in
+let compile_artifact_with (cfg : config) ~backend ~timing ~(target : Target.t)
+    ~registry (m : Func.modul) : Qcomp_backend.Artifact.t =
   let _tm = get_target_machine ~cache:cfg.cache_target_machine timing target in
   let externs = Qcomp_support.Vec.to_array m.Func.externs in
   let lmod = Lir.create_module externs in
   let extern_name s = externs.(s).Func.ext_name in
-  let rt_addr name = Registry.addr registry name in
+  (* absolute runtime addresses baked into the text as immediates are
+     recorded so a re-link in another process can verify them *)
+  let baked = Hashtbl.create 8 in
+  let rt_addr name =
+    let a = Registry.addr registry name in
+    Hashtbl.replace baked name a;
+    a
+  in
   let fcfg =
     { Lfrontend.pairs_as_struct = cfg.pairs_as_struct; debug_info = false }
   in
@@ -163,57 +169,66 @@ let compile_module_with (cfg : config) ~timing ~emu ~registry ~unwind
       in
       fn_frames := (f.Func.name, off, size, frame) :: !fn_frames)
     m.Func.funcs;
-  (* object emission + round-trip *)
+  (* object emission + round-trip: ORC emits a complete object file and the
+     linker parses it right back; both directions are deliberate, measured
+     cost (the parse used to hide inside JITLink's phase 1 — it now sits
+     with emission, where artifact construction happens) *)
   let obj = Timing.scope timing "AsmPrinter" (fun () -> Mc.finish mc) in
   let image = Timing.scope timing "ObjectEmit" (fun () -> Elf.write obj) in
-  (* JIT linking (the four phases of Sec. V-B7) *)
-  let linked =
-    Timing.scope timing "Link" (fun () ->
-        Jitlink.link ~emu ~resolve:(fun sym -> Registry.addr registry sym) image)
-  in
-  Timing.add timing "Link/Phase1-Alloc" linked.Jitlink.times.Jitlink.ph_alloc;
-  Timing.add timing "Link/Phase2-Resolve" linked.Jitlink.times.Jitlink.ph_resolve;
-  Timing.add timing "Link/Phase3-Apply" linked.Jitlink.times.Jitlink.ph_apply;
-  Timing.add timing "Link/Phase4-Lookup" linked.Jitlink.times.Jitlink.ph_lookup;
-  (* unwind registration plug-in *)
-  Timing.scope timing "UnwindInfo" (fun () ->
-      List.iter
-        (fun (_, off, size, frame) ->
-          Unwind.register unwind ~start:(linked.Jitlink.base + off) ~size
-            ~sync_only:false
-            [
-              (0, { Unwind.cfa_offset = 8; saved_regs = [] });
-              (4, { Unwind.cfa_offset = 8 + frame; saved_regs = [] });
-            ])
-        !fn_frames);
+  let obj = Timing.scope timing "ObjectEmit" (fun () -> Elf.parse image) in
   (* destroying the LLVM module is measurably expensive (Sec. V-B1) *)
   Timing.scope timing "DestroyModule" (fun () -> Lir.destroy_module lmod);
-  let fns =
-    List.rev_map
-      (fun (name, _, _, _) ->
-        match Hashtbl.find_opt linked.Jitlink.fn_addr name with
-        | Some a -> (name, Int64.of_int a)
-        | None -> failwith ("llvm: missing symbol " ^ name))
-      !fn_frames
+  let got_slots =
+    List.length
+      (List.sort_uniq compare
+         (List.filter_map
+            (fun (s : Elf.symbol) ->
+              if s.Elf.s_defined then None else Some s.Elf.s_name)
+            obj.Elf.o_syms))
   in
   {
-    Qcomp_backend.Backend.cm_functions = fns;
-    cm_code_size = Bytes.length image;
-    cm_stats =
+    Qcomp_backend.Artifact.a_backend = backend;
+    a_target = target.Target.name;
+    a_text = obj.Elf.o_text;
+    a_syms = obj.Elf.o_syms;
+    a_relocs = obj.Elf.o_relocs;
+    a_unwind =
+      List.rev_map
+        (fun (_, off, size, frame) ->
+          {
+            Qcomp_backend.Artifact.uf_start = off;
+            uf_size = size;
+            uf_sync_only = false;
+            uf_rows =
+              [
+                (0, { Unwind.cfa_offset = 8; saved_regs = [] });
+                (4, { Unwind.cfa_offset = 8 + frame; saved_regs = [] });
+              ];
+          })
+        !fn_frames;
+    a_baked =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) baked []);
+    a_stats =
       [
         ("fallback_intrinsic_or_call", stats.Flow.fb_intrinsic);
         ("fallback_i128", stats.Flow.fb_i128);
         ("fallback_atomic", stats.Flow.fb_atomic);
         ("fallback_bool", stats.Flow.fb_bool);
         ("fallback_struct", stats.Flow.fb_struct);
-        ("got_slots", linked.Jitlink.got_slots);
+        ("got_slots", got_slots);
       ];
-    cm_regions = [ linked.Jitlink.region ];
-    cm_runtime_slots = [];
-    cm_data_blocks =
-      (match linked.Jitlink.got_block with Some b -> [ b ] | None -> []);
-    cm_disposed = false;
+    a_code_size = Bytes.length image;
   }
+
+let compile_module_with (cfg : config) ~backend ~timing ~emu ~registry ~unwind
+    (m : Func.modul) : Qcomp_backend.Backend.compiled_module =
+  let art =
+    compile_artifact_with cfg ~backend ~timing ~target:(Emu.target_of emu)
+      ~registry m
+  in
+  (* JIT linking (the four phases of Sec. V-B7) *)
+  Qcomp_backend.Backend.link_artifact ~phases:true ~timing ~emu ~registry
+    ~unwind art
 
 (* ---------------- Backend instances ---------------- *)
 
@@ -225,7 +240,13 @@ module Cheap = struct
 
   let compile_module ~timing ~emu ~registry ~unwind m =
     let cfg = Option.value ~default:cheap_config !cheap_override in
-    compile_module_with cfg ~timing ~emu ~registry ~unwind m
+    compile_module_with cfg ~backend:name ~timing ~emu ~registry ~unwind m
+
+  let compile_artifact =
+    Some
+      (fun ~timing ~target ~registry m ->
+        let cfg = Option.value ~default:cheap_config !cheap_override in
+        compile_artifact_with cfg ~backend:name ~timing ~target ~registry m)
 end
 
 module Opt = struct
@@ -233,5 +254,11 @@ module Opt = struct
 
   let compile_module ~timing ~emu ~registry ~unwind m =
     let cfg = Option.value ~default:opt_config !opt_override in
-    compile_module_with cfg ~timing ~emu ~registry ~unwind m
+    compile_module_with cfg ~backend:name ~timing ~emu ~registry ~unwind m
+
+  let compile_artifact =
+    Some
+      (fun ~timing ~target ~registry m ->
+        let cfg = Option.value ~default:opt_config !opt_override in
+        compile_artifact_with cfg ~backend:name ~timing ~target ~registry m)
 end

@@ -1,0 +1,356 @@
+(** Binary wire codec for physical plans.
+
+    Code-cache snapshots store each cached query's plan so a warm process
+    can rebuild the IR (state layout, fixups, output schema) without the
+    original workload definition in scope. The format is a strict
+    tag-prefixed pre-order encoding; {!of_string} raises
+    [Invalid_argument] on any truncation, bad tag or trailing garbage. *)
+
+let corrupt what = invalid_arg ("Wire.of_string: " ^ what)
+
+(* ---------------- encoding ---------------- *)
+
+let add_u8 buf v = Buffer.add_uint8 buf v
+
+let add_int buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let add_str buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let add_list buf enc xs =
+  add_int buf (List.length xs);
+  List.iter (enc buf) xs
+
+let add_ty buf (ty : Sqlty.t) =
+  match ty with
+  | Sqlty.Int32 -> add_u8 buf 0
+  | Sqlty.Int64 -> add_u8 buf 1
+  | Sqlty.Date -> add_u8 buf 2
+  | Sqlty.Decimal s ->
+      add_u8 buf 3;
+      add_int buf s
+  | Sqlty.Str -> add_u8 buf 4
+  | Sqlty.Bool -> add_u8 buf 5
+
+let pred_tag = function
+  | Expr.Eq -> 0
+  | Expr.Ne -> 1
+  | Expr.Lt -> 2
+  | Expr.Le -> 3
+  | Expr.Gt -> 4
+  | Expr.Ge -> 5
+
+let rec add_expr buf (e : Expr.t) =
+  match e with
+  | Expr.Col i ->
+      add_u8 buf 0;
+      add_int buf i
+  | Expr.Const_int (ty, v) ->
+      add_u8 buf 1;
+      add_ty buf ty;
+      Buffer.add_int64_le buf v
+  | Expr.Const_str s ->
+      add_u8 buf 2;
+      add_str buf s
+  | Expr.Add (a, b) ->
+      add_u8 buf 3;
+      add_expr buf a;
+      add_expr buf b
+  | Expr.Sub (a, b) ->
+      add_u8 buf 4;
+      add_expr buf a;
+      add_expr buf b
+  | Expr.Mul (a, b) ->
+      add_u8 buf 5;
+      add_expr buf a;
+      add_expr buf b
+  | Expr.Div (a, b) ->
+      add_u8 buf 6;
+      add_expr buf a;
+      add_expr buf b
+  | Expr.Neg a ->
+      add_u8 buf 7;
+      add_expr buf a
+  | Expr.Cmp (p, a, b) ->
+      add_u8 buf 8;
+      add_u8 buf (pred_tag p);
+      add_expr buf a;
+      add_expr buf b
+  | Expr.And (a, b) ->
+      add_u8 buf 9;
+      add_expr buf a;
+      add_expr buf b
+  | Expr.Or (a, b) ->
+      add_u8 buf 10;
+      add_expr buf a;
+      add_expr buf b
+  | Expr.Not a ->
+      add_u8 buf 11;
+      add_expr buf a
+  | Expr.Like (a, pat) ->
+      add_u8 buf 12;
+      add_expr buf a;
+      add_str buf pat
+  | Expr.Between (v, lo, hi) ->
+      add_u8 buf 13;
+      add_expr buf v;
+      add_expr buf lo;
+      add_expr buf hi
+  | Expr.Case (whens, els) ->
+      add_u8 buf 14;
+      add_list buf
+        (fun buf (w, t) ->
+          add_expr buf w;
+          add_expr buf t)
+        whens;
+      add_expr buf els
+  | Expr.Cast (a, ty) ->
+      add_u8 buf 15;
+      add_expr buf a;
+      add_ty buf ty
+
+let add_agg buf (a : Algebra.agg) =
+  match a with
+  | Algebra.Count_star -> add_u8 buf 0
+  | Algebra.Sum e ->
+      add_u8 buf 1;
+      add_expr buf e
+  | Algebra.Min e ->
+      add_u8 buf 2;
+      add_expr buf e
+  | Algebra.Max e ->
+      add_u8 buf 3;
+      add_expr buf e
+  | Algebra.Avg e ->
+      add_u8 buf 4;
+      add_expr buf e
+
+let rec add_plan buf (p : Algebra.t) =
+  match p with
+  | Algebra.Scan { table; filter } ->
+      add_u8 buf 0;
+      add_str buf table;
+      (match filter with
+      | None -> add_u8 buf 0
+      | Some e ->
+          add_u8 buf 1;
+          add_expr buf e)
+  | Algebra.Filter { input; pred } ->
+      add_u8 buf 1;
+      add_plan buf input;
+      add_expr buf pred
+  | Algebra.Project { input; exprs } ->
+      add_u8 buf 2;
+      add_plan buf input;
+      add_list buf add_expr exprs
+  | Algebra.Hash_join { build; probe; build_keys; probe_keys } ->
+      add_u8 buf 3;
+      add_plan buf build;
+      add_plan buf probe;
+      add_list buf add_expr build_keys;
+      add_list buf add_expr probe_keys
+  | Algebra.Group_by { input; keys; aggs } ->
+      add_u8 buf 4;
+      add_plan buf input;
+      add_list buf add_expr keys;
+      add_list buf add_agg aggs
+  | Algebra.Order_by { input; keys; limit } ->
+      add_u8 buf 5;
+      add_plan buf input;
+      add_list buf
+        (fun buf (k, ord) ->
+          add_expr buf k;
+          add_u8 buf (match ord with Algebra.Asc -> 0 | Algebra.Desc -> 1))
+        keys;
+      (match limit with
+      | None -> add_u8 buf 0
+      | Some n ->
+          add_u8 buf 1;
+          add_int buf n)
+  | Algebra.Limit { input; n } ->
+      add_u8 buf 6;
+      add_plan buf input;
+      add_int buf n
+
+let to_string (p : Algebra.t) : string =
+  let buf = Buffer.create 256 in
+  add_plan buf p;
+  Buffer.contents buf
+
+(* ---------------- decoding ---------------- *)
+
+type reader = { src : string; mutable pos : int }
+
+let need r n =
+  if n < 0 || r.pos + n > String.length r.src then corrupt "truncated"
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_i64 r =
+  need r 8;
+  let v = String.get_int64_le r.src r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let get_int r =
+  let v64 = get_i64 r in
+  let v = Int64.to_int v64 in
+  if Int64.of_int v <> v64 then corrupt "integer out of range";
+  v
+
+let get_len r =
+  let v = get_int r in
+  if v < 0 then corrupt "negative length";
+  v
+
+let get_str r =
+  let n = get_len r in
+  need r n;
+  let v = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  v
+
+let get_list r dec =
+  let n = get_len r in
+  (* each element is at least one tag byte *)
+  need r n;
+  List.init n (fun _ -> dec r)
+
+let get_ty r : Sqlty.t =
+  match get_u8 r with
+  | 0 -> Sqlty.Int32
+  | 1 -> Sqlty.Int64
+  | 2 -> Sqlty.Date
+  | 3 -> Sqlty.Decimal (get_int r)
+  | 4 -> Sqlty.Str
+  | 5 -> Sqlty.Bool
+  | _ -> corrupt "bad type tag"
+
+let get_pred r : Expr.pred =
+  match get_u8 r with
+  | 0 -> Expr.Eq
+  | 1 -> Expr.Ne
+  | 2 -> Expr.Lt
+  | 3 -> Expr.Le
+  | 4 -> Expr.Gt
+  | 5 -> Expr.Ge
+  | _ -> corrupt "bad predicate tag"
+
+let rec get_expr r : Expr.t =
+  match get_u8 r with
+  | 0 -> Expr.Col (get_int r)
+  | 1 ->
+      let ty = get_ty r in
+      Expr.Const_int (ty, get_i64 r)
+  | 2 -> Expr.Const_str (get_str r)
+  | 3 ->
+      let a = get_expr r in
+      Expr.Add (a, get_expr r)
+  | 4 ->
+      let a = get_expr r in
+      Expr.Sub (a, get_expr r)
+  | 5 ->
+      let a = get_expr r in
+      Expr.Mul (a, get_expr r)
+  | 6 ->
+      let a = get_expr r in
+      Expr.Div (a, get_expr r)
+  | 7 -> Expr.Neg (get_expr r)
+  | 8 ->
+      let p = get_pred r in
+      let a = get_expr r in
+      Expr.Cmp (p, a, get_expr r)
+  | 9 ->
+      let a = get_expr r in
+      Expr.And (a, get_expr r)
+  | 10 ->
+      let a = get_expr r in
+      Expr.Or (a, get_expr r)
+  | 11 -> Expr.Not (get_expr r)
+  | 12 ->
+      let a = get_expr r in
+      Expr.Like (a, get_str r)
+  | 13 ->
+      let v = get_expr r in
+      let lo = get_expr r in
+      Expr.Between (v, lo, get_expr r)
+  | 14 ->
+      let whens =
+        get_list r (fun r ->
+            let w = get_expr r in
+            (w, get_expr r))
+      in
+      Expr.Case (whens, get_expr r)
+  | 15 ->
+      let a = get_expr r in
+      Expr.Cast (a, get_ty r)
+  | _ -> corrupt "bad expression tag"
+
+let get_agg r : Algebra.agg =
+  match get_u8 r with
+  | 0 -> Algebra.Count_star
+  | 1 -> Algebra.Sum (get_expr r)
+  | 2 -> Algebra.Min (get_expr r)
+  | 3 -> Algebra.Max (get_expr r)
+  | 4 -> Algebra.Avg (get_expr r)
+  | _ -> corrupt "bad aggregate tag"
+
+let rec get_plan r : Algebra.t =
+  match get_u8 r with
+  | 0 ->
+      let table = get_str r in
+      let filter =
+        match get_u8 r with
+        | 0 -> None
+        | 1 -> Some (get_expr r)
+        | _ -> corrupt "bad option tag"
+      in
+      Algebra.Scan { table; filter }
+  | 1 ->
+      let input = get_plan r in
+      Algebra.Filter { input; pred = get_expr r }
+  | 2 ->
+      let input = get_plan r in
+      Algebra.Project { input; exprs = get_list r get_expr }
+  | 3 ->
+      let build = get_plan r in
+      let probe = get_plan r in
+      let build_keys = get_list r get_expr in
+      Algebra.Hash_join { build; probe; build_keys; probe_keys = get_list r get_expr }
+  | 4 ->
+      let input = get_plan r in
+      let keys = get_list r get_expr in
+      Algebra.Group_by { input; keys; aggs = get_list r get_agg }
+  | 5 ->
+      let input = get_plan r in
+      let keys =
+        get_list r (fun r ->
+            let k = get_expr r in
+            ( k,
+              match get_u8 r with
+              | 0 -> Algebra.Asc
+              | 1 -> Algebra.Desc
+              | _ -> corrupt "bad order tag" ))
+      in
+      let limit =
+        match get_u8 r with
+        | 0 -> None
+        | 1 -> Some (get_len r)
+        | _ -> corrupt "bad option tag"
+      in
+      Algebra.Order_by { input; keys; limit }
+  | 6 ->
+      let input = get_plan r in
+      Algebra.Limit { input; n = get_len r }
+  | _ -> corrupt "bad plan tag"
+
+let of_string (s : string) : Algebra.t =
+  let r = { src = s; pos = 0 } in
+  let p = get_plan r in
+  if r.pos <> String.length s then corrupt "trailing bytes";
+  p

@@ -1,4 +1,4 @@
-(** Compiled-code cache: plan fingerprint -> back-end compiled module.
+(** Compiled-code cache: plan fingerprint -> relocatable compiled artifact.
 
     Two levels, mirroring how the compilation pipeline splits:
 
@@ -8,27 +8,38 @@
       what makes hot-swapping tiers possible: every tier's module exposes
       the same function names over the same state layout.
     - an {e LRU module cache} keyed by [(fingerprint, backend, target)]
-      holding the back-end's compiled module, its code size, and its
-      modelled compile cost. This is the bounded, evicting level — machine
-      code is the expensive artifact.
+      holding the back-end's relocatable {!Qcomp_backend.Artifact.t}, its
+      lazily linked live module, its code size and its modelled compile
+      cost. This is the bounded, evicting level — machine code is the
+      expensive artifact.
 
-    Eviction releases the module's code regions back to the emulator's
-    region allocator ({!Qcomp_backend.Backend.dispose} →
-    {!Qcomp_vm.Emu.release_code}), so evicted code memory is actually
-    reclaimed and recycled. Entries still referenced by an in-flight query
-    are {e pinned}: their disposal is deferred until the last pin drops, so
-    a query never executes freed code. [bytes_freed] counts what has been
-    returned to the allocator; [Lru.bytes_evicted] remains the gross weight
-    that left the LRU.
+    Since the redesign around artifacts, the cached unit is the
+    {e relocatable} output of the back-end; the live module is produced by
+    the shared link step ({!Qcomp_backend.Backend.link_artifact}) on first
+    use ({!force}). That split is what {!save}/{!load} exploit: a snapshot
+    stores artifacts (position-independent, address-free), and a freshly
+    started server re-links them lazily against its own [Emu] layout —
+    paying microseconds of linking instead of the back-end's compile
+    seconds.
+
+    Eviction releases a linked module's code regions back to the
+    emulator's region allocator ({!Qcomp_backend.Backend.dispose} →
+    {!Qcomp_vm.Emu.release_code}); never-linked snapshot entries own no
+    code memory, so evicting them frees nothing and counts nothing.
+    Entries still referenced by an in-flight query are {e pinned}: their
+    disposal is deferred until the last pin drops, so a query never
+    executes freed code.
 
     Every cache operation is serialized by one internal mutex, so the
     parallel serving pool can share a cache across worker domains. Lock
     ordering: the cache mutex is taken before the emulator's code-layout
-    lock (disposal from eviction happens with the cache mutex held), never
-    after it. Compilation itself ({!compile_uncached}) runs {e without} the
-    cache mutex so independent plans compile concurrently; only the
-    predict-link-register sequence inside serializes on the layout lock. *)
+    lock (disposal from eviction, and lazy linking in {!force}, happen
+    with the cache mutex held), never after it. Compilation itself
+    ({!compile_uncached}) runs {e without} the cache mutex so independent
+    plans compile concurrently; only the predict-link-register sequence
+    inside serializes on the layout lock. *)
 
+open Qcomp_support
 open Qcomp_engine
 
 type key = {
@@ -38,11 +49,26 @@ type key = {
 }
 
 type entry = {
-  ce_cq : Qcomp_codegen.Codegen.compiled;
-  ce_cm : Qcomp_backend.Backend.compiled_module;
+  ce_name : string;  (** query name (for re-codegen after a {!load}) *)
+  ce_plan : Qcomp_plan.Algebra.t;
+  ce_fp : int64;  (** canonical plan fingerprint (= key's [ck_fp]) *)
+  ce_art : Qcomp_backend.Artifact.t option;
+      (** relocatable artifact; [None] only for back-ends that cannot
+          produce one (interpreter) — those entries are never snapshot *)
+  ce_consts : (string * int * int) list;
+      (** (string, SSO struct address, body address or 0) literals the
+          code generator baked into the artifact as immediates; {!load}
+          re-materializes them at the same addresses *)
+  ce_db_fp : int64;  (** {!Engine.layout_fingerprint} at compile time *)
+  mutable ce_linked :
+    (Qcomp_codegen.Codegen.compiled * Qcomp_backend.Backend.compiled_module)
+    option;
+      (** live module, linked on first {!force}; [Some] from birth for
+          entries created by {!compile_uncached} *)
   ce_compile_s : float;  (** modelled (simulated) compile seconds *)
   ce_code_bytes : int;
-  ce_dispose : unit -> unit;  (** release the module's code regions *)
+  mutable ce_dispose : unit -> unit;
+      (** release the linked module's code regions (no-op until linked) *)
   ce_pins : int ref;  (** in-flight queries holding this entry *)
   ce_evicted : bool ref;  (** evicted while pinned; free on last unpin *)
 }
@@ -56,10 +82,16 @@ type t = {
   mutable pin_underflows : int;  (** unbalanced unpins caught and ignored *)
 }
 
-(* Callers hold [t.mu]. *)
+(* Callers hold [t.mu]. A never-linked entry owns no code regions: freeing
+   it must neither call dispose (there is nothing to release) nor count
+   its bytes as freed — that drift is exactly what the overflow path of
+   [load] used to get wrong. *)
 let free t e =
-  t.bytes_freed <- t.bytes_freed + e.ce_code_bytes;
-  e.ce_dispose ()
+  match e.ce_linked with
+  | None -> ()
+  | Some _ ->
+      t.bytes_freed <- t.bytes_freed + e.ce_code_bytes;
+      e.ce_dispose ()
 
 (* LRU drop: dispose now, or defer until the last in-flight user unpins.
    Runs under [t.mu] (drops only happen inside locked [Lru.add]). *)
@@ -110,19 +142,47 @@ let key db ~backend plan =
     ck_target = db.Engine.target.Qcomp_vm.Target.name;
   }
 
+(* Codegen memo lookup; caller holds [t.mu]. *)
+let plan_ir_locked t db ~fp ~name plan =
+  let pk = (fp, db.Engine.target.Qcomp_vm.Target.name) in
+  match Hashtbl.find_opt t.plans pk with
+  | Some cq -> cq
+  | None ->
+      let cq = Engine.plan_to_ir db ~name plan in
+      Hashtbl.replace t.plans pk cq;
+      cq
+
 (** Codegen once per (fingerprint, target); the memo is unbounded because
     codegen results are small compared to machine code. Atomic: concurrent
     callers for the same fingerprint get the {e same} codegen result, which
     the tier hot-swap relies on (one state layout per plan). *)
 let plan_ir t db ~fp ~name plan =
+  Mutex.protect t.mu (fun () -> plan_ir_locked t db ~fp ~name plan)
+
+(** The live (codegen result, linked module) pair for [e], linking the
+    artifact against [db]'s layout on first use. For entries created by
+    {!compile_uncached} this is a field read; for entries {!load}ed from a
+    snapshot the first call pays the link (microseconds) and re-runs
+    codegen through the shared plan memo — never the back-end compile. *)
+let force t db e =
   Mutex.protect t.mu (fun () ->
-      let pk = (fp, db.Engine.target.Qcomp_vm.Target.name) in
-      match Hashtbl.find_opt t.plans pk with
-      | Some cq -> cq
+      match e.ce_linked with
+      | Some p -> p
       | None ->
-          let cq = Engine.plan_to_ir db ~name plan in
-          Hashtbl.replace t.plans pk cq;
-          cq)
+          let cq = plan_ir_locked t db ~fp:e.ce_fp ~name:e.ce_name e.ce_plan in
+          let art =
+            match e.ce_art with
+            | Some a -> a
+            | None -> invalid_arg "Code_cache.force: entry has no artifact"
+          in
+          let timing = Timing.create ~enabled:false () in
+          let cm =
+            Qcomp_backend.Backend.link_artifact ~timing ~emu:db.Engine.emu
+              ~registry:db.Engine.registry ~unwind:db.Engine.unwind art
+          in
+          e.ce_linked <- Some (cq, cm);
+          e.ce_dispose <- (fun () -> Engine.dispose_module db cm);
+          (cq, cm))
 
 let find t k = Mutex.protect t.mu (fun () -> Lru.find t.modules k)
 
@@ -133,6 +193,21 @@ let find t k = Mutex.protect t.mu (fun () -> Lru.find t.modules k)
     module is already resident without skewing the serving stats. *)
 let find_nostat t k = Mutex.protect t.mu (fun () -> Lru.peek t.modules k)
 
+(* String literals the code generator baked into this plan's code, with
+   the linear-memory addresses codegen allocated for them. Long strings
+   also record the out-of-line body address. *)
+let capture_consts db (cq : Qcomp_codegen.Codegen.compiled) =
+  let mem = Engine.memory db in
+  List.map
+    (fun (s, addr) ->
+      let body =
+        if String.length s > Qcomp_runtime.Sso.inline_max then
+          Int64.to_int (Qcomp_vm.Memory.load64 mem (addr + 8))
+        else 0
+      in
+      (s, addr, body))
+    cq.Qcomp_codegen.Codegen.const_strs
+
 (** Compile without touching the LRU: a background compilation must not
     become visible to other queries before the scheduler says its
     (simulated) compile time has elapsed — the caller {!insert}s the entry
@@ -140,22 +215,43 @@ let find_nostat t k = Mutex.protect t.mu (fun () -> Lru.peek t.modules k)
     layout lock is held during back-end compilation, so independent plans
     compile concurrently on different domains; only the short
     predict-link-register window inside each back-end (and every
-    code-registration/disposal) serializes on the layout lock. *)
+    code-registration/disposal) serializes on the layout lock.
+
+    When the back-end supports relocatable output the artifact is compiled
+    once and linked through the shared {!Backend.link_artifact} step; the
+    artifact is retained on the entry so {!save} can snapshot it. *)
 let compile_uncached t db ~backend ~name plan =
   let k = key db ~backend plan in
   let cq = plan_ir t db ~fp:k.ck_fp ~name plan in
   let modul = cq.Qcomp_codegen.Codegen.modul in
-  let timing = Qcomp_support.Timing.create ~enabled:false () in
-  let cm =
-    Qcomp_backend.Backend.compile_module backend ~timing ~emu:db.Engine.emu
-      ~registry:db.Engine.registry ~unwind:db.Engine.unwind modul
+  let timing = Timing.create ~enabled:false () in
+  let art, cm =
+    match Qcomp_backend.Backend.compile_artifact backend with
+    | Some compile ->
+        let art =
+          compile ~timing ~target:db.Engine.target ~registry:db.Engine.registry
+            modul
+        in
+        ( Some art,
+          Qcomp_backend.Backend.link_artifact ~timing ~emu:db.Engine.emu
+            ~registry:db.Engine.registry ~unwind:db.Engine.unwind art )
+    | None ->
+        ( None,
+          Qcomp_backend.Backend.compile_module backend ~timing
+            ~emu:db.Engine.emu ~registry:db.Engine.registry
+            ~unwind:db.Engine.unwind modul )
   in
   let bytes = cm.Qcomp_backend.Backend.cm_code_size in
   Mutex.protect t.mu (fun () ->
       if bytes > t.max_entry_bytes then t.max_entry_bytes <- bytes);
   {
-    ce_cq = cq;
-    ce_cm = cm;
+    ce_name = name;
+    ce_plan = plan;
+    ce_fp = k.ck_fp;
+    ce_art = art;
+    ce_consts = capture_consts db cq;
+    ce_db_fp = Engine.layout_fingerprint db;
+    ce_linked = Some (cq, cm);
     ce_compile_s = Costmodel.compile_seconds ~backend:k.ck_backend modul;
     ce_code_bytes = bytes;
     ce_dispose = (fun () -> Engine.dispose_module db cm);
@@ -227,3 +323,282 @@ let pp_stats fmt t =
        100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
      else 0.0)
     s.Lru.entries s.Lru.evictions s.Lru.bytes bytes_freed
+
+(* ---------------- persistent snapshots ---------------- *)
+
+(* Snapshot file, format version = Artifact.format_version:
+
+     "QCSS" | u32 version | str target | u32 record count
+            | u32 payload length | payload | i64 crc32c(payload)
+
+   and each payload record:
+
+     i64 key_v | i64 plan fingerprint | str backend | str name
+     | i64 compile-seconds bits | i64 code bytes | i64 db layout fp
+     | str plan (Wire codec) | u32 const count
+     | { str s, i64 struct addr, i64 body addr } * | str artifact
+
+   Records are written LRU-first so a load into any capacity re-creates
+   the same recency order and overflow evicts the coldest entries.
+   Everything malformed — bad magic, other version, other target, length
+   mismatch, checksum mismatch, key mismatch, layout mismatch, artifact
+   corruption — raises [Invalid_argument]; a snapshot is either loaded
+   exactly or not at all. *)
+
+let snap_magic = "QCSS"
+
+let crc_string s =
+  let h = ref 0xC5_C5_C5L in
+  String.iter (fun c -> h := Hashes.crc32c_byte !h (Char.code c)) s;
+  !h
+
+let add_str buf s =
+  Buffer.add_int32_le buf (Int32.of_int (String.length s));
+  Buffer.add_string buf s
+
+(** Snapshot every artifact-bearing entry to [file] (atomically: written
+    to a temp file and renamed). Entries whose back-end produced no
+    relocatable artifact (the interpreter) are skipped — their modelled
+    compile cost is microseconds, there is nothing worth persisting. *)
+let save t file =
+  let records =
+    Mutex.protect t.mu (fun () ->
+        (* LRU-first: keys_mru is most-recent-first *)
+        List.rev
+          (List.filter_map
+             (fun k ->
+               match Lru.peek t.modules k with
+               | Some e when e.ce_art <> None -> Some (k, e)
+               | _ -> None)
+             (Lru.keys_mru t.modules)))
+  in
+  let payload = Buffer.create 65536 in
+  let target = ref "" in
+  List.iter
+    (fun (k, e) ->
+      target := k.ck_target;
+      let art = Option.get e.ce_art in
+      Buffer.add_int64_le payload
+        (Fingerprint.key_v ~version:Qcomp_backend.Artifact.format_version
+           ~backend:k.ck_backend ~target:k.ck_target e.ce_plan);
+      Buffer.add_int64_le payload e.ce_fp;
+      add_str payload k.ck_backend;
+      add_str payload e.ce_name;
+      Buffer.add_int64_le payload (Int64.bits_of_float e.ce_compile_s);
+      Buffer.add_int64_le payload (Int64.of_int e.ce_code_bytes);
+      Buffer.add_int64_le payload e.ce_db_fp;
+      add_str payload (Qcomp_plan.Wire.to_string e.ce_plan);
+      Buffer.add_int32_le payload (Int32.of_int (List.length e.ce_consts));
+      List.iter
+        (fun (s, addr, body) ->
+          add_str payload s;
+          Buffer.add_int64_le payload (Int64.of_int addr);
+          Buffer.add_int64_le payload (Int64.of_int body))
+        e.ce_consts;
+      add_str payload (Qcomp_backend.Artifact.serialize art))
+    records;
+  let payload = Buffer.contents payload in
+  let buf = Buffer.create (String.length payload + 64) in
+  Buffer.add_string buf snap_magic;
+  Buffer.add_int32_le buf (Int32.of_int Qcomp_backend.Artifact.format_version);
+  add_str buf !target;
+  Buffer.add_int32_le buf (Int32.of_int (List.length records));
+  Buffer.add_int32_le buf (Int32.of_int (String.length payload));
+  Buffer.add_string buf payload;
+  Buffer.add_int64_le buf (crc_string payload);
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Sys.rename tmp file
+
+let corrupt what = invalid_arg ("Code_cache.load: " ^ what)
+
+(** Re-materialize a snapshot's baked string literals at their original
+    addresses: the artifacts carry those addresses as immediates, so the
+    bytes must exist before any snapshot module runs. Claims go through
+    {!Memory.claim}, which pins the spans above the current break — the
+    reason loads must happen on a freshly built database (same
+    deterministic [make_db], no queries served yet). The same struct may
+    be named by several records (tiers share one codegen result); claims
+    are deduplicated, and a conflicting duplicate is corruption. *)
+let materialize_consts db claimed consts =
+  let mem = Engine.memory db in
+  List.iter
+    (fun (s, addr, body) ->
+      match Hashtbl.find_opt claimed addr with
+      | Some s' ->
+          if not (String.equal s s') then
+            corrupt "two string constants claim one address"
+      | None ->
+          Qcomp_vm.Memory.claim mem ~addr ~size:Qcomp_runtime.Sso.struct_size
+            ~align:16;
+          let n = String.length s in
+          Qcomp_vm.Memory.store mem ~addr ~size:4 (Int64.of_int n);
+          if n <= Qcomp_runtime.Sso.inline_max then
+            Qcomp_vm.Memory.store_bytes mem (addr + 4) s
+          else begin
+            if body = 0 then corrupt "long string constant without a body";
+            Qcomp_vm.Memory.claim mem ~addr:body ~size:n ~align:8;
+            Qcomp_vm.Memory.store_bytes mem body s;
+            Qcomp_vm.Memory.store_bytes mem (addr + 4) (String.sub s 0 4);
+            Qcomp_vm.Memory.store64 mem (addr + 8) (Int64.of_int body)
+          end;
+          Hashtbl.add claimed addr s)
+    consts
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> corrupt e
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+(** Load a snapshot written by {!save} into a fresh cache of [capacity]
+    entries. [db] must be the same deterministic database build the
+    snapshot was taken against (checked via {!Engine.layout_fingerprint})
+    on the same target with the same runtime registry (checked per record
+    and again by the linker). Entries are inserted coldest-first and
+    {e unlinked}: the first cache hit pays the re-link, so loading is
+    cheap even for snapshots far larger than [capacity] — the overflow
+    simply evicts the coldest records with zero pins and zero spurious
+    byte accounting. All corruption and version/layout mismatches raise
+    [Invalid_argument]. *)
+let load ~capacity ~db file =
+  let s = read_file file in
+  let len = String.length s in
+  let pos = ref 0 in
+  let need n = if n < 0 || !pos + n > len then corrupt "truncated" in
+  let u32 () =
+    need 4;
+    let v = Int32.to_int (String.get_int32_le s !pos) in
+    pos := !pos + 4;
+    if v < 0 then corrupt "negative length";
+    v
+  in
+  let i64 () =
+    need 8;
+    let v = String.get_int64_le s !pos in
+    pos := !pos + 8;
+    v
+  in
+  let str () =
+    let n = u32 () in
+    need n;
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  need 4;
+  if not (String.equal (String.sub s 0 4) snap_magic) then corrupt "bad magic";
+  pos := 4;
+  let version = u32 () in
+  if version <> Qcomp_backend.Artifact.format_version then
+    corrupt
+      (Printf.sprintf
+         "snapshot format version %d, this build reads %d — recompile the \
+          snapshot"
+         version Qcomp_backend.Artifact.format_version);
+  let target = str () in
+  let live_target = db.Engine.target.Qcomp_vm.Target.name in
+  if not (String.equal target live_target) then
+    corrupt
+      (Printf.sprintf "snapshot targets %s, this machine is %s" target
+         live_target);
+  let count = u32 () in
+  let payload_len = u32 () in
+  need (payload_len + 8);
+  let payload = String.sub s !pos payload_len in
+  pos := !pos + payload_len;
+  let crc = i64 () in
+  if !pos <> len then corrupt "trailing bytes";
+  if not (Int64.equal crc (crc_string payload)) then
+    corrupt "checksum mismatch";
+  (* fresh cursor over the verified payload *)
+  let pos = ref 0 in
+  let need n = if n < 0 || !pos + n > payload_len then corrupt "truncated" in
+  let u32 () =
+    need 4;
+    let v = Int32.to_int (String.get_int32_le payload !pos) in
+    pos := !pos + 4;
+    if v < 0 then corrupt "negative length";
+    v
+  in
+  let i64 () =
+    need 8;
+    let v = String.get_int64_le payload !pos in
+    pos := !pos + 8;
+    v
+  in
+  let str () =
+    let n = u32 () in
+    need n;
+    let v = String.sub payload !pos n in
+    pos := !pos + n;
+    v
+  in
+  let t = create ~capacity in
+  let db_fp = Engine.layout_fingerprint db in
+  let claimed = Hashtbl.create 32 in
+  for _ = 1 to count do
+    let kv = i64 () in
+    let fp = i64 () in
+    let backend = str () in
+    let name = str () in
+    let compile_s = Int64.float_of_bits (i64 ()) in
+    let code_bytes = Int64.to_int (i64 ()) in
+    let rec_db_fp = i64 () in
+    let plan = Qcomp_plan.Wire.of_string (str ()) in
+    let nconsts = u32 () in
+    let consts =
+      List.init nconsts (fun _ ->
+          let cs = str () in
+          let addr = Int64.to_int (i64 ()) in
+          let body = Int64.to_int (i64 ()) in
+          (cs, addr, body))
+    in
+    let art = Qcomp_backend.Artifact.deserialize (str ()) in
+    (* the versioned key must reproduce from the decoded plan: any drift
+       in format version, backend, target or plan encoding is structural
+       corruption, not something to link anyway *)
+    if
+      not
+        (Int64.equal kv
+           (Fingerprint.key_v ~version ~backend ~target:live_target plan))
+    then corrupt ("stale or corrupt record for query " ^ name);
+    if not (Int64.equal fp (Fingerprint.plan plan)) then
+      corrupt ("plan fingerprint mismatch for query " ^ name);
+    if
+      not
+        (String.equal art.Qcomp_backend.Artifact.a_backend backend
+        && String.equal art.Qcomp_backend.Artifact.a_target live_target)
+    then corrupt ("artifact provenance mismatch for query " ^ name);
+    if not (Int64.equal rec_db_fp db_fp) then
+      corrupt
+        (Printf.sprintf
+           "database layout changed since the snapshot (query %s): %Lx vs %Lx"
+           name rec_db_fp db_fp);
+    if code_bytes < 0 then corrupt "negative code size";
+    materialize_consts db claimed consts;
+    let e =
+      {
+        ce_name = name;
+        ce_plan = plan;
+        ce_fp = fp;
+        ce_art = Some art;
+        ce_consts = consts;
+        ce_db_fp = rec_db_fp;
+        ce_linked = None;
+        ce_compile_s = compile_s;
+        ce_code_bytes = code_bytes;
+        ce_dispose = (fun () -> ());
+        ce_pins = ref 0;
+        ce_evicted = ref false;
+      }
+    in
+    insert t { ck_fp = fp; ck_backend = backend; ck_target = live_target } e
+  done;
+  if !pos <> payload_len then corrupt "trailing bytes";
+  t

@@ -1,20 +1,28 @@
-(** Compiled-code cache: plan fingerprint -> back-end compiled module.
+(** Compiled-code cache: plan fingerprint -> relocatable compiled artifact.
 
     An unbounded codegen memo keyed by [(fingerprint, target)] — shared
     across back-ends so tiers can hot-swap over one state layout — plus a
-    bounded LRU of back-end modules keyed by
-    [(fingerprint, backend, target)] with hit/miss/eviction/byte stats.
+    bounded LRU keyed by [(fingerprint, backend, target)] holding each
+    back-end's relocatable {!Qcomp_backend.Artifact.t} together with its
+    lazily linked live module, with hit/miss/eviction/byte stats.
 
-    Eviction {e reclaims} code memory: the dropped module's regions go back
+    Because the cached unit is relocatable, a cache can be {!save}d to a
+    snapshot file and {!load}ed by a freshly started server against a
+    database with the same deterministic layout: warm queries then pay a
+    microsecond re-link on first hit instead of back-end compile seconds.
+
+    Eviction {e reclaims} code memory: a linked module's regions go back
     to the emulator's region allocator via
-    {!Qcomp_backend.Backend.dispose}. Entries held by in-flight queries
-    must be {!pin}ned; a pinned entry that gets evicted is disposed only
-    when its last {!unpin} arrives, so running code is never freed.
+    {!Qcomp_backend.Backend.dispose}; never-linked snapshot entries own no
+    code memory and free nothing. Entries held by in-flight queries must
+    be {!pin}ned; a pinned entry that gets evicted is disposed only when
+    its last {!unpin} arrives, so running code is never freed.
 
-    Thread-safe: every operation is serialized by an internal mutex, so the
-    parallel serving pool shares one cache across worker domains.
+    Thread-safe: every operation is serialized by an internal mutex, so
+    the parallel serving pool shares one cache across worker domains.
     Compilation runs outside that mutex (independent plans compile
-    concurrently) under the emulator's code-layout lock. *)
+    concurrently) under the emulator's code-layout lock; the cache mutex
+    is always taken before the layout lock, never after. *)
 
 type key = {
   ck_fp : int64;  (** canonical plan fingerprint *)
@@ -23,11 +31,23 @@ type key = {
 }
 
 type entry = {
-  ce_cq : Qcomp_codegen.Codegen.compiled;
-  ce_cm : Qcomp_backend.Backend.compiled_module;
+  ce_name : string;  (** query name (for re-codegen after a {!load}) *)
+  ce_plan : Qcomp_plan.Algebra.t;
+  ce_fp : int64;  (** canonical plan fingerprint (= key's [ck_fp]) *)
+  ce_art : Qcomp_backend.Artifact.t option;
+      (** relocatable artifact; [None] only for back-ends that cannot
+          produce one (interpreter) — those entries are never snapshot *)
+  ce_consts : (string * int * int) list;
+      (** (string, SSO struct address, body address or 0) literals baked
+          into the artifact as immediates *)
+  ce_db_fp : int64;  (** {!Engine.layout_fingerprint} at compile time *)
+  mutable ce_linked :
+    (Qcomp_codegen.Codegen.compiled * Qcomp_backend.Backend.compiled_module)
+    option;  (** live module; [None] until {!force} links the artifact *)
   ce_compile_s : float;  (** modelled (simulated) compile seconds *)
   ce_code_bytes : int;
-  ce_dispose : unit -> unit;  (** release the module's code regions *)
+  mutable ce_dispose : unit -> unit;
+      (** release the linked module's code regions (no-op until linked) *)
   ce_pins : int ref;  (** in-flight queries holding this entry *)
   ce_evicted : bool ref;  (** evicted while pinned; free on last unpin *)
 }
@@ -48,6 +68,17 @@ val find : t -> key -> entry option
     probes that must not pollute the serving hit-rate. *)
 val find_nostat : t -> key -> entry option
 
+(** The live (codegen result, linked module) pair for an entry, linking
+    its artifact against [db]'s layout on first use. Entries created by
+    {!compile_uncached} are born linked (this is then a field read);
+    {!load}ed entries pay a microsecond re-link — never a back-end
+    compile — on the first call. *)
+val force :
+  t ->
+  Qcomp_engine.Engine.db ->
+  entry ->
+  Qcomp_codegen.Codegen.compiled * Qcomp_backend.Backend.compiled_module
+
 (** Codegen once per (fingerprint, target), memoized. *)
 val plan_ir :
   t ->
@@ -58,7 +89,9 @@ val plan_ir :
   Qcomp_codegen.Codegen.compiled
 
 (** Compile without touching the LRU (for background compilations that
-    become visible only at their simulated completion event). *)
+    become visible only at their simulated completion event). When the
+    back-end supports relocatable output, the entry retains the artifact
+    so {!save} can snapshot it. *)
 val compile_uncached :
   t ->
   Qcomp_engine.Engine.db ->
@@ -103,3 +136,32 @@ type mem_stats = {
 
 val mem_stats : t -> mem_stats
 val pp_stats : Format.formatter -> t -> unit
+
+(** {1 Persistent snapshots}
+
+    A snapshot stores every artifact-bearing entry — relocatable code
+    bytes, symbols, pending fixups, baked string constants and the plan
+    itself — under a CRC-32C-checksummed header carrying the artifact
+    format version and target. Records are keyed by
+    {!Fingerprint.key_v}, so a snapshot from another format version,
+    back-end build or architecture fails key verification loudly instead
+    of ever mis-linking. *)
+
+(** [save t file] snapshots every artifact-bearing entry to [file]
+    (written atomically via a temp file), coldest entry first so {!load}
+    reconstructs the same recency order. Interpreter entries (no
+    artifact) are skipped. *)
+val save : t -> string -> unit
+
+(** [load ~capacity ~db file] is a fresh cache of [capacity] entries
+    holding [file]'s records, unlinked — each entry re-links lazily on
+    its first hit. [db] must be the same deterministic database build the
+    snapshot was taken against (same target, same
+    {!Engine.layout_fingerprint}); loading should happen right after the
+    database is built, before any query runs, so the baked string
+    constants can be re-materialized at their original addresses. If the
+    snapshot holds more than [capacity] records the coldest overflow is
+    evicted cleanly (no pins, no spurious byte accounting). Truncated,
+    bit-flipped, version-mismatched or layout-mismatched snapshots raise
+    [Invalid_argument] with a descriptive message. *)
+val load : capacity:int -> db:Qcomp_engine.Engine.db -> string -> t

@@ -102,3 +102,12 @@ let rec plan_h h (p : Algebra.t) =
   | Algebra.Limit { input; n } -> int (plan_h (tag h 72) input) n
 
 let plan p = plan_h 0x51C0DE_CAFEL p
+
+(** Versioned snapshot key: the plan fingerprint with the snapshot format
+    version, back-end name and target folded into the seed. Any of them
+    changing (an artifact format bump, a different code generator, another
+    architecture) yields a different key, so a stale or foreign snapshot
+    record can never be looked up — rejection is structural, not a
+    comparison someone must remember to write. *)
+let key_v ~version ~backend ~target p =
+  plan_h (str (int (tag 0x51C0DE_CAFEL 80) version) (backend ^ "/" ^ target)) p

@@ -7,3 +7,11 @@
 
 (** Structural 64-bit fingerprint of a physical plan. *)
 val plan : Qcomp_plan.Algebra.t -> int64
+
+(** Versioned snapshot key: {!plan} with the snapshot format [version],
+    the back-end name and the target name folded into the seed. Used as
+    the lookup identity of code-cache snapshot records so that a snapshot
+    written by an older artifact format (or another back-end/architecture)
+    is rejected with a clear error, never mis-linked. *)
+val key_v :
+  version:int -> backend:string -> target:string -> Qcomp_plan.Algebra.t -> int64

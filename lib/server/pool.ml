@@ -89,7 +89,7 @@ let validate_config ~driver c =
   need "morsel" c.morsel;
   need "cache_capacity" c.cache_capacity
 
-type query_metrics = {
+type query_metrics = Report.query_metrics = {
   qm_name : string;
   qm_fp : int64;
   qm_backend : string;  (** back-end that finished the query *)
@@ -109,7 +109,7 @@ type query_metrics = {
   qm_checksum : int64;
 }
 
-let qm_latency q = q.qm_finish -. q.qm_arrival
+let qm_latency = Report.qm_latency
 
 type qstate = {
   q_name : string;
@@ -321,13 +321,15 @@ let run ?cache db ~domains config stream =
   (* Execute [q] to completion starting on [e]'s module, hot-swapping at a
      quantum boundary if a background compile parks a stronger one. *)
   let run_exec q view (e : Code_cache.entry) =
-    let ex = Exec.start view e.Code_cache.ce_cq e.Code_cache.ce_cm in
+    let cq, cm = Code_cache.force cache view e in
+    let ex = Exec.start view cq cm in
     Fun.protect ~finally:(fun () -> Exec.dispose ex) @@ fun () ->
     let reopt = config.reopt && config.mode = Tiered in
     let rec loop () =
       (match Atomic.exchange q.q_swap None with
       | Some (nm, se) when not (Exec.finished ex) ->
-          Exec.swap ex se.Code_cache.ce_cm;
+          let _, scm = Code_cache.force cache view se in
+          Exec.swap ex scm;
           q.q_cur_tier <- nm;
           q.q_tiers <- nm :: q.q_tiers;
           q.q_upgrading <- false;
@@ -524,4 +526,8 @@ let run ?cache db ~domains config stream =
       Condition.broadcast compile_cv);
   List.iter Domain.join compilers;
   (match !first_error with Some exn -> raise exn | None -> ());
-  (List.rev !done_q, Timing.now () -. t0)
+  let queries = List.rev !done_q in
+  Report.assemble db cache
+    ~mode:(mode_name config.mode)
+    ~makespan:(Timing.now () -. t0)
+    queries

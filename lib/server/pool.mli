@@ -39,7 +39,7 @@ val default_config : config
     same way everywhere instead of being silently clamped. *)
 val validate_config : driver:string -> config -> unit
 
-type query_metrics = {
+type query_metrics = Report.query_metrics = {
   qm_name : string;
   qm_fp : int64;
   qm_backend : string;  (** back-end that finished the query *)
@@ -63,14 +63,16 @@ val qm_latency : query_metrics -> float
 
 (** [run ?cache db ~domains config stream] serves [stream] on [domains]
     worker domains (plus [config.compile_slots] background compile domains
-    in Tiered mode) and returns the per-query metrics in completion order
-    together with the wall-clock makespan in seconds. The first exception
-    raised by any query is re-raised after all domains join; completed
-    queries keep their metrics and every pin is released either way. *)
+    in Tiered mode) and returns the full report — per-query metrics in
+    completion order plus the aggregates, assembled by the same
+    {!Report.assemble} the discrete-event driver uses (timing metrics here
+    are wall-clock). The first exception raised by any query is re-raised
+    after all domains join; completed queries keep their metrics and every
+    pin is released either way. *)
 val run :
   ?cache:Code_cache.t ->
   Qcomp_engine.Engine.db ->
   domains:int ->
   config ->
   (string * Qcomp_plan.Algebra.t) list ->
-  query_metrics list * float
+  Report.t

@@ -54,7 +54,7 @@ type config = Pool.config = {
 
 let default_config = Pool.default_config
 
-type query_metrics = Pool.query_metrics = {
+type query_metrics = Report.query_metrics = {
   qm_name : string;
   qm_fp : int64;
   qm_backend : string;  (** back-end that finished the query *)
@@ -75,9 +75,9 @@ type query_metrics = Pool.query_metrics = {
   qm_checksum : int64;
 }
 
-let qm_latency = Pool.qm_latency
+let qm_latency = Report.qm_latency
 
-type report = {
+type report = Report.t = {
   r_mode : string;
   r_queries : query_metrics list;  (** completion order *)
   r_makespan : float;  (** virtual time of the last completion *)
@@ -126,42 +126,6 @@ type qstate = {
   mutable q_pinned : Code_cache.entry list;
   mutable q_done : bool;
 }
-
-let percentile sorted p =
-  match Array.length sorted with
-  | 0 -> 0.0
-  | n ->
-      let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
-      sorted.(max 0 (min (n - 1) idx))
-
-(* Fold completion-order metrics into the report (shared by the
-   discrete-event and parallel drivers). *)
-let assemble_report db cache ~mode ~makespan queries =
-  let lats = Array.of_list (List.map qm_latency queries) in
-  Array.sort compare lats;
-  let n = List.length queries in
-  let total_latency = Array.fold_left ( +. ) 0.0 lats in
-  {
-    r_mode = mode_name mode;
-    r_queries = queries;
-    r_makespan = makespan;
-    r_total_latency = total_latency;
-    r_mean_latency = (if n > 0 then total_latency /. float_of_int n else 0.0);
-    r_p50_latency = percentile lats 0.50;
-    r_p95_latency = percentile lats 0.95;
-    r_max_latency =
-      (if Array.length lats > 0 then lats.(Array.length lats - 1) else 0.0);
-    r_throughput = (if makespan > 0.0 then float_of_int n /. makespan else 0.0);
-    r_switchovers =
-      List.length (List.filter (fun q -> q.qm_switch_s <> None) queries);
-    r_cache = Code_cache.stats cache;
-    r_bytes_freed = (Code_cache.mem_stats cache).Code_cache.ms_bytes_freed;
-    r_live_code_bytes = Qcomp_vm.Emu.live_code_bytes db.Engine.emu;
-    r_peak_code_bytes = Qcomp_vm.Emu.peak_code_bytes db.Engine.emu;
-    r_live_data_bytes = Qcomp_vm.Memory.live_data_bytes (Engine.memory db);
-    r_peak_data_bytes = Qcomp_vm.Memory.peak_data_bytes (Engine.memory db);
-    r_freed_data_bytes = Qcomp_vm.Memory.freed_data_bytes (Engine.memory db);
-  }
 
 let run_events ?cache db config stream =
   Pool.validate_config ~driver:"Server.run" config;
@@ -379,7 +343,8 @@ let run_events ?cache db config stream =
                   end);
               Sim.after sim icost (fun () -> begin_exec q ie))
   and begin_exec q (e : Code_cache.entry) =
-    let ex = Exec.start db e.Code_cache.ce_cq e.Code_cache.ce_cm in
+    let cq, cm = Code_cache.force cache db e in
+    let ex = Exec.start db cq cm in
     quantum q ex
   (* The observation-driven tier controller, consulted at each morsel
      boundary in reopt mode (the swap, if any, was applied just before, so
@@ -431,7 +396,8 @@ let run_events ?cache db config stream =
   and quantum q ex =
     (match q.q_swap_ready with
     | Some (nm, e) when not (Exec.finished ex) ->
-        Exec.swap ex e.Code_cache.ce_cm;
+        let _, cm = Code_cache.force cache db e in
+        Exec.swap ex cm;
         q.q_cur_tier <- nm;
         q.q_tiers <- nm :: q.q_tiers;
         q.q_upgrading <- false;
@@ -482,61 +448,22 @@ let run_events ?cache db config stream =
   let makespan =
     List.fold_left (fun a q -> Float.max a q.qm_finish) 0.0 queries
   in
-  assemble_report db cache ~mode:config.mode ~makespan queries
+  Report.assemble db cache ~mode:(mode_name config.mode) ~makespan queries
 
 (** Serve [stream]. Without [parallel], one deterministic discrete-event
     cascade over the virtual clock. With [~parallel:domains], the queries
     run on that many real worker domains ({!Pool.run}): rows/checksums are
-    unchanged, timing metrics become wall-clock. *)
+    unchanged, timing metrics become wall-clock. Either way the summary is
+    assembled by {!Report.assemble}. *)
 let run ?cache ?parallel db config stream =
   match parallel with
   | None -> run_events ?cache db config stream
-  | Some domains ->
-      let cache =
-        match cache with
-        | Some c -> c
-        | None -> Code_cache.create ~capacity:config.cache_capacity
-      in
-      let queries, makespan = Pool.run ~cache db ~domains config stream in
-      assemble_report db cache ~mode:config.mode ~makespan queries
+  | Some domains -> Pool.run ?cache db ~domains config stream
 
-(* ---------------- reporting ---------------- *)
+(* ---------------- reporting (shared shape lives in {!Report}) ------- *)
 
-let pp_query fmt q =
-  Format.fprintf fmt
-    "%-8s %-12s lat %9.6fs  compile %9.6fs  %s%s%s  rows %5d  cycles %9d  sum %016Lx"
-    q.qm_name q.qm_backend (qm_latency q) q.qm_compile_s
-    (if q.qm_cache_hit then "hit " else "miss")
-    (match q.qm_switch_s with
-    | Some s -> Format.asprintf "  swap@%.6fs (%d+%d quanta)" s q.qm_quanta_tier0 q.qm_quanta_tier1
-    | None -> "")
-    (if List.length q.qm_tiers > 1 then
-       "  tiers " ^ String.concat "->" q.qm_tiers
-     else "")
-    q.qm_rows q.qm_exec_cycles q.qm_checksum
-
-let pp_report ?(per_query = false) fmt r =
-  Format.fprintf fmt "mode %-18s queries %d@." r.r_mode (List.length r.r_queries);
-  if per_query then
-    List.iter (fun q -> Format.fprintf fmt "  %a@." pp_query q) r.r_queries;
-  Format.fprintf fmt
-    "  makespan %.6fs  total-latency %.6fs  mean %.6fs  p50 %.6fs  p95 %.6fs  max %.6fs@."
-    r.r_makespan r.r_total_latency r.r_mean_latency r.r_p50_latency
-    r.r_p95_latency r.r_max_latency;
-  Format.fprintf fmt "  throughput %.1f q/s  switchovers %d@." r.r_throughput
-    r.r_switchovers;
-  let s = r.r_cache in
-  Format.fprintf fmt
-    "  cache: hits %d  misses %d  hit-rate %.1f%%  entries %d  evictions %d  bytes %d (evicted %d)@."
-    s.Lru.hits s.Lru.misses
-    (if s.Lru.hits + s.Lru.misses > 0 then
-       100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
-     else 0.0)
-    s.Lru.entries s.Lru.evictions s.Lru.bytes s.Lru.bytes_evicted;
-  Format.fprintf fmt "  code-mem: live %d  peak %d  freed %d@."
-    r.r_live_code_bytes r.r_peak_code_bytes r.r_bytes_freed;
-  Format.fprintf fmt "  data-mem: live %d  peak %d  freed %d@."
-    r.r_live_data_bytes r.r_peak_data_bytes r.r_freed_data_bytes
+let pp_query = Report.pp_query
+let pp_report = Report.pp
 
 (** Deterministic repeated-query stream: [n] draws over [queries] with a
     seeded bias towards a hot subset, so a serving cache has something to

@@ -32,7 +32,7 @@ type config = Pool.config = {
 (** Tiered, 4 workers, 2 compile slots, 512-row morsels. *)
 val default_config : config
 
-type query_metrics = Pool.query_metrics = {
+type query_metrics = Report.query_metrics = {
   qm_name : string;
   qm_fp : int64;
   qm_backend : string;  (** back-end that finished the query *)
@@ -55,7 +55,7 @@ type query_metrics = Pool.query_metrics = {
 
 val qm_latency : query_metrics -> float
 
-type report = {
+type report = Report.t = {
   r_mode : string;
   r_queries : query_metrics list;  (** completion order *)
   r_makespan : float;  (** virtual time of the last completion *)

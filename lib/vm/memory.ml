@@ -18,6 +18,9 @@ type t = {
   mutable live_data : int;  (** bytes allocated and not yet freed *)
   mutable peak_data : int;  (** high-water mark of [live_data] *)
   mutable freed_data : int;  (** cumulative bytes returned via [free] *)
+  mutable reserved : (int * int) list;
+      (** (addr, size) spans pinned by {!claim}; the bump allocator skips
+          them, and they are never recycled *)
 }
 
 let create size =
@@ -31,6 +34,7 @@ let create size =
     live_data = 0;
     peak_data = 0;
     freed_data = 0;
+    reserved = [];
   }
 
 let size t = t.size
@@ -87,7 +91,18 @@ let alloc t ?(align = 16) n =
               l := rest;
               a
           | _ ->
-              let a = (t.brk + align - 1) land lnot (align - 1) in
+              (* bump, stepping over any claimed spans *)
+              let rec place cand =
+                let a = (cand + align - 1) land lnot (align - 1) in
+                match
+                  List.find_opt
+                    (fun (r0, rn) -> a < r0 + rn && r0 < a + n)
+                    t.reserved
+                with
+                | Some (r0, rn) -> place (r0 + rn)
+                | None -> a
+              in
+              let a = place t.brk in
               if a + n > t.size then raise (Fault "out of memory");
               t.brk <- a + n;
               a
@@ -121,6 +136,40 @@ let free t ~addr ~size ~align =
 let free_scope t (sc : scope) =
   List.iter (fun (addr, size, align) -> free t ~addr ~size ~align) !sc;
   sc := []
+
+(** Pin a specific address range for data whose absolute address is baked
+    into re-linked code (snapshot string constants). The range must sit at
+    or above the current break — i.e. in space no live allocation can
+    already own — so a snapshot produced by a longer-lived process can
+    always be re-materialized into a fresh database image. Claimed spans
+    are skipped by the bump allocator and never enter the free lists; the
+    same span cannot be claimed twice. All violations raise
+    [Invalid_argument] (never a silent overlap). *)
+let claim t ~addr ~size ~align =
+  if size <= 0 then invalid_arg "Memory.claim: size must be positive";
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Memory.claim: alignment must be a power of two";
+  if addr land (align - 1) <> 0 then
+    invalid_arg
+      (Printf.sprintf "Memory.claim: 0x%x is not %d-byte aligned" addr align);
+  if addr < page || addr + size > t.size then
+    invalid_arg (Printf.sprintf "Memory.claim: 0x%x+%d out of range" addr size);
+  Mutex.protect t.alloc_mu (fun () ->
+      if addr < t.brk then
+        invalid_arg
+          (Printf.sprintf
+             "Memory.claim: 0x%x is below the break 0x%x (already in use)" addr
+             t.brk);
+      if
+        List.exists (fun (r0, rn) -> addr < r0 + rn && r0 < addr + size)
+          t.reserved
+      then
+        invalid_arg
+          (Printf.sprintf "Memory.claim: 0x%x+%d overlaps a claimed span" addr
+             size);
+      t.reserved <- (addr, size) :: t.reserved;
+      t.live_data <- t.live_data + size;
+      if t.live_data > t.peak_data then t.peak_data <- t.live_data)
 
 let live_data_bytes t = Mutex.protect t.alloc_mu (fun () -> t.live_data)
 let peak_data_bytes t = Mutex.protect t.alloc_mu (fun () -> t.peak_data)

@@ -383,4 +383,39 @@ let suite =
         Domain.join d1;
         Domain.join d2;
         check Alcotest.int "no cross-context corruption" 0 (Atomic.get bad));
+    Alcotest.test_case "memory claim pins spans above the break" `Quick
+      (fun () ->
+        let m = Memory.create (1 lsl 20) in
+        let raises f =
+          match f () with
+          | _ -> false
+          | exception Invalid_argument _ -> true
+        in
+        let below = Memory.alloc m 64 in
+        (* pin a span well above the break, as a snapshot load would *)
+        let addr = below + 4096 in
+        Memory.claim m ~addr ~size:16 ~align:16;
+        Memory.store64 m addr 0xBEEFL;
+        (* the bump allocator must route around the claimed span *)
+        for _ = 1 to 1024 do
+          let a = Memory.alloc m 64 in
+          if a < addr + 16 && addr < a + 64 then
+            Alcotest.failf "alloc 0x%x overlaps the claimed span 0x%x" a addr
+        done;
+        check Alcotest.int64 "claimed bytes survive the alloc storm" 0xBEEFL
+          (Memory.load64 m addr);
+        (* every invalid claim fails loud *)
+        check Alcotest.bool "below the break" true
+          (raises (fun () -> Memory.claim m ~addr:below ~size:16 ~align:16));
+        check Alcotest.bool "double claim" true
+          (raises (fun () -> Memory.claim m ~addr ~size:16 ~align:16));
+        check Alcotest.bool "overlapping claim" true
+          (raises (fun () -> Memory.claim m ~addr:(addr + 8) ~size:16 ~align:8));
+        check Alcotest.bool "misaligned" true
+          (raises (fun () -> Memory.claim m ~addr:(addr + 33) ~size:8 ~align:8));
+        check Alcotest.bool "zero size" true
+          (raises (fun () -> Memory.claim m ~addr:(addr + 64) ~size:0 ~align:8));
+        check Alcotest.bool "out of range" true
+          (raises (fun () ->
+               Memory.claim m ~addr:((1 lsl 20) - 8) ~size:16 ~align:8)));
   ]

@@ -804,6 +804,286 @@ let fuzz_test =
              | Error e -> "err:" ^ e)
          else true))
 
+(* ---------------- relocatable artifacts & snapshots ---------------- *)
+
+(* exercises string constants on both SSO paths: inline (<= 12 bytes) and
+   out-of-line body, which a snapshot must re-materialize at the exact
+   addresses the artifact baked as immediates *)
+let str_plan =
+  Algebra.Filter
+    {
+      input = scan;
+      pred =
+        Expr.Or
+          ( Expr.(col 3 =% str "fox"),
+            Expr.(col 3 =% str "a-string-far-too-long-for-sso") );
+    }
+
+let raises_invalid f =
+  match f () with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+(* every back-end's relocatable artifact must survive
+   serialize -> deserialize -> link and execute bit-identically to the
+   module the back-end links directly *)
+let artifact_roundtrip_test =
+  Alcotest.test_case
+    "artifact round-trip: serialize/deserialize/link = direct compile" `Quick
+    (fun () ->
+      let db = make_db () in
+      let timing = Qcomp_support.Timing.create ~enabled:false () in
+      let plan = List.assoc "join" fixed_plans in
+      let cq = Engine.plan_to_ir db ~name:"rt" plan in
+      let modul = cq.Qcomp_codegen.Codegen.modul in
+      List.iter
+        (fun b ->
+          match Qcomp_backend.Backend.compile_artifact b with
+          | None -> ()
+          | Some compile ->
+              let name = Qcomp_backend.Backend.name b in
+              let cm_direct =
+                Qcomp_backend.Backend.compile_module b ~timing
+                  ~emu:db.Engine.emu ~registry:db.Engine.registry
+                  ~unwind:db.Engine.unwind modul
+              in
+              let r1 = Engine.execute db cq cm_direct in
+              let art = compile ~timing ~target:db.Engine.target
+                  ~registry:db.Engine.registry modul
+              in
+              let art' =
+                Qcomp_backend.Artifact.deserialize
+                  (Qcomp_backend.Artifact.serialize art)
+              in
+              let cm2 =
+                Qcomp_backend.Backend.link_artifact ~timing ~emu:db.Engine.emu
+                  ~registry:db.Engine.registry ~unwind:db.Engine.unwind art'
+              in
+              let r2 = Engine.execute db cq cm2 in
+              check Alcotest.int (name ^ " rows") r1.Engine.output_count
+                r2.Engine.output_count;
+              check Alcotest.int64 (name ^ " checksum")
+                (Engine.checksum r1.Engine.rows)
+                (Engine.checksum r2.Engine.rows);
+              Engine.dispose_module db cm2;
+              Engine.dispose_module db cm_direct)
+        (Engine.all_backends db))
+
+(* the plan wire codec: strict round-trip on every fixed plan, loud
+   failure on truncation and trailing garbage *)
+let wire_roundtrip_test =
+  Alcotest.test_case "plan wire codec round-trips, rejects corruption" `Quick
+    (fun () ->
+      List.iter
+        (fun (nm, p) ->
+          let s = Wire.to_string p in
+          if Wire.of_string s <> p then Alcotest.failf "%s: decode <> plan" nm;
+          check Alcotest.bool (nm ^ " truncation fails loud") true
+            (raises_invalid (fun () ->
+                 Wire.of_string (String.sub s 0 (String.length s - 1))));
+          check Alcotest.bool (nm ^ " trailing bytes fail loud") true
+            (raises_invalid (fun () -> Wire.of_string (s ^ "\x00"))))
+        (("strings", str_plan) :: fixed_plans))
+
+(* key_v folds format version, back-end and target into the identity, so
+   any of them changing makes a snapshot record unfindable by design *)
+let key_v_test =
+  Alcotest.test_case "key_v separates version/backend/target" `Quick (fun () ->
+      let base =
+        Fingerprint.key_v ~version:1 ~backend:"gcc" ~target:"x86-64" scan
+      in
+      List.iter
+        (fun (what, k) ->
+          if Int64.equal base k then Alcotest.failf "%s does not change key_v" what)
+        [
+          ("version", Fingerprint.key_v ~version:2 ~backend:"gcc" ~target:"x86-64" scan);
+          ("backend", Fingerprint.key_v ~version:1 ~backend:"clif" ~target:"x86-64" scan);
+          ("target", Fingerprint.key_v ~version:1 ~backend:"gcc" ~target:"aarch64" scan);
+          ("plan", Fingerprint.key_v ~version:1 ~backend:"gcc" ~target:"x86-64" str_plan);
+        ])
+
+let snapshot_plans =
+  [
+    ("scan", scan);
+    ("strings", str_plan);
+    ("join", List.assoc "join" fixed_plans);
+    ("agg", List.assoc "agg" fixed_plans);
+  ]
+
+let with_snapshot_file f =
+  let file = Filename.temp_file "qcomp_test_snap" ".qcss" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () -> f file)
+
+(* fill a fresh cache from [plans] on a fresh db, returning per-plan
+   (rows, checksum) via the artifact-linked module *)
+let fill_cache ~capacity ~backend plans =
+  let db = make_db () in
+  let cache = Code_cache.create ~capacity in
+  let sums =
+    List.map
+      (fun (nm, p) ->
+        let e, hit = Code_cache.get_or_compile cache db ~backend ~name:nm p in
+        if hit then Alcotest.failf "%s: cold compile reported as hit" nm;
+        let cq, cm = Code_cache.force cache db e in
+        let r = Engine.execute db cq cm in
+        (nm, r.Engine.output_count, Engine.checksum r.Engine.rows))
+      plans
+  in
+  (db, cache, sums)
+
+(* the tentpole property: save in one process image, load against a fresh
+   identically-built database, and every snapshot query is a cache hit
+   that re-links and reproduces the cold rows/checksums exactly *)
+let snapshot_roundtrip_test =
+  Alcotest.test_case "snapshot save/load: warm hits, identical results" `Quick
+    (fun () ->
+      with_snapshot_file (fun file ->
+          let _db1, cache1, sums =
+            fill_cache ~capacity:8 ~backend:Engine.cranelift snapshot_plans
+          in
+          Code_cache.save cache1 file;
+          let db2 = make_db () in
+          let cache2 = Code_cache.load ~capacity:8 ~db:db2 file in
+          check Alcotest.int "all records loaded"
+            (List.length snapshot_plans)
+            (Code_cache.stats cache2).Lru.entries;
+          List.iter2
+            (fun (nm, p) (nm', rows, sum) ->
+              assert (String.equal nm nm');
+              let e, hit =
+                Code_cache.get_or_compile cache2 db2
+                  ~backend:Engine.cranelift ~name:nm p
+              in
+              check Alcotest.bool (nm ^ " warm lookup is a hit") true hit;
+              let cq, cm = Code_cache.force cache2 db2 e in
+              let r = Engine.execute db2 cq cm in
+              check Alcotest.int (nm ^ " rows") rows r.Engine.output_count;
+              check Alcotest.int64 (nm ^ " checksum") sum
+                (Engine.checksum r.Engine.rows))
+            snapshot_plans sums))
+
+(* loading a snapshot larger than the cache inserts in LRU order and
+   evicts the overflow cleanly: no pin drift, no phantom bytes freed
+   (evicted snapshot entries were never linked, so they owned no code) *)
+let snapshot_overflow_test =
+  Alcotest.test_case "snapshot overflow: clean LRU eviction on load" `Quick
+    (fun () ->
+      with_snapshot_file (fun file ->
+          let _db1, cache1, sums =
+            fill_cache ~capacity:8 ~backend:Engine.cranelift snapshot_plans
+          in
+          Code_cache.save cache1 file;
+          let db2 = make_db () in
+          let cache2 = Code_cache.load ~capacity:2 ~db:db2 file in
+          let s = Code_cache.stats cache2 in
+          check Alcotest.int "entries at capacity" 2 s.Lru.entries;
+          check Alcotest.int "overflow evicted" 2 s.Lru.evictions;
+          check Alcotest.int "no phantom bytes freed" 0
+            (Code_cache.mem_stats cache2).Code_cache.ms_bytes_freed;
+          check Alcotest.int "no pins" 0 (Code_cache.live_pins cache2);
+          (* the two hottest (most recently compiled) plans survive and
+             must still link and reproduce the cold results *)
+          List.iter
+            (fun (nm, rows, sum) ->
+              let p = List.assoc nm snapshot_plans in
+              let e, hit =
+                Code_cache.get_or_compile cache2 db2
+                  ~backend:Engine.cranelift ~name:nm p
+              in
+              check Alcotest.bool (nm ^ " survivor is a hit") true hit;
+              let cq, cm = Code_cache.force cache2 db2 e in
+              let r = Engine.execute db2 cq cm in
+              check Alcotest.int (nm ^ " rows") rows r.Engine.output_count;
+              check Alcotest.int64 (nm ^ " checksum") sum
+                (Engine.checksum r.Engine.rows))
+            (List.filteri (fun i _ -> i >= 2) sums)))
+
+(* corrupted, stale or foreign snapshots must raise Invalid_argument —
+   never produce a bad link or an emulator trap *)
+let snapshot_corruption_test =
+  Alcotest.test_case "snapshot corruption/version/layout fail loud" `Quick
+    (fun () ->
+      with_snapshot_file (fun file ->
+          let _db1, cache1, _ =
+            fill_cache ~capacity:8 ~backend:Engine.cranelift snapshot_plans
+          in
+          Code_cache.save cache1 file;
+          let image =
+            let ic = open_in_bin file in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s
+          in
+          let load_bytes s =
+            with_snapshot_file (fun f2 ->
+                let oc = open_out_bin f2 in
+                output_string oc s;
+                close_out oc;
+                ignore (Code_cache.load ~capacity:8 ~db:(make_db ()) f2))
+          in
+          let mutate i f =
+            let b = Bytes.of_string image in
+            Bytes.set b i (f (Bytes.get b i));
+            Bytes.to_string b
+          in
+          let flip c = Char.chr (Char.code c lxor 0x40) in
+          check Alcotest.bool "truncated file" true
+            (raises_invalid (fun () ->
+                 load_bytes (String.sub image 0 (String.length image / 2))));
+          check Alcotest.bool "empty file" true
+            (raises_invalid (fun () -> load_bytes ""));
+          check Alcotest.bool "bad magic" true
+            (raises_invalid (fun () -> load_bytes (mutate 0 flip)));
+          check Alcotest.bool "format version bump" true
+            (raises_invalid (fun () ->
+                 load_bytes (mutate 4 (fun c -> Char.chr (Char.code c + 1)))));
+          (* flip one payload byte in each quarter: the checksum (or a
+             structural check behind it) must catch every one *)
+          List.iter
+            (fun frac ->
+              let i = String.length image * frac / 8 in
+              let i = max 12 (min i (String.length image - 9)) in
+              check Alcotest.bool
+                (Printf.sprintf "bit flip at byte %d" i)
+                true
+                (raises_invalid (fun () -> load_bytes (mutate i flip))))
+            [ 2; 3; 4; 5; 6; 7 ];
+          (* a database with a different layout (row count) must be
+             rejected: the artifacts bake column addresses *)
+          check Alcotest.bool "layout mismatch" true
+            (raises_invalid (fun () ->
+                 ignore
+                   (Code_cache.load ~capacity:8 ~db:(make_db ~rows:32 ()) file)))))
+
+(* the snapshot path must work for every artifact-producing back-end, not
+   just cranelift: each one's warm module reproduces its cold checksum *)
+let snapshot_all_backends_test =
+  Alcotest.test_case "snapshot round-trip for every back-end" `Quick (fun () ->
+      let db_probe = make_db () in
+      List.iter
+        (fun b ->
+          if Qcomp_backend.Backend.compile_artifact b <> None then
+            with_snapshot_file (fun file ->
+                let _db1, cache1, sums =
+                  fill_cache ~capacity:4 ~backend:b [ ("strings", str_plan) ]
+                in
+                Code_cache.save cache1 file;
+                let db2 = make_db () in
+                let cache2 = Code_cache.load ~capacity:4 ~db:db2 file in
+                let nm = Qcomp_backend.Backend.name b in
+                let e, hit =
+                  Code_cache.get_or_compile cache2 db2 ~backend:b
+                    ~name:"strings" str_plan
+                in
+                check Alcotest.bool (nm ^ " warm hit") true hit;
+                let cq, cm = Code_cache.force cache2 db2 e in
+                let r = Engine.execute db2 cq cm in
+                let _, rows, sum = List.hd sums in
+                check Alcotest.int (nm ^ " rows") rows r.Engine.output_count;
+                check Alcotest.int64 (nm ^ " checksum") sum
+                  (Engine.checksum r.Engine.rows)))
+        (Engine.all_backends db_probe))
+
 let suite =
   lru_tests @ fingerprint_tests @ sim_tests @ differential_tests
   @ [
@@ -813,4 +1093,7 @@ let suite =
       reopt_differential_test; deceptive_upgrade_test; second_upgrade_test;
       soak_test; costmodel_coverage_test; config_validation_test;
       static_stat_bypass_test; fuzz_test;
+      artifact_roundtrip_test; wire_roundtrip_test; key_v_test;
+      snapshot_roundtrip_test; snapshot_overflow_test;
+      snapshot_corruption_test; snapshot_all_backends_test;
     ]
