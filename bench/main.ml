@@ -678,6 +678,173 @@ let serve_scaling () =
     [ 1; 2; 4 ];
   print_endline "results identical across domain counts -> OK"
 
+(* ---------------- copy-and-patch stencil rung ---------------- *)
+
+(* The stencil back-end's pitch is per-query code generation that is an
+   order of magnitude under DirectEmit's encode loop, at execution speed
+   between the interpreter and DirectEmit. This experiment measures
+   exactly that on the TPC-H-like workload and records the result as
+   BENCH_stencil.json (the first entry of the perf trajectory):
+
+   - artifact generation time per back-end (the back-end's own work —
+     blit + patch for stencil, ISel + encode for the others), best of
+     [reps] sweeps over all queries;
+   - end-to-end executed cycles and cycles per produced row;
+   - checksum parity with the interpreter on every query;
+   - the tier ladder's first native rung and cost-model coverage of
+     every rung, which is what the tiered/--reopt drivers act on. *)
+let bench_stencil () =
+  header "Stencil: copy-and-patch vs DirectEmit/Cranelift (TPC-H-like, x86-64)";
+  let module Spec = Qcomp_workloads.Spec in
+  let db = Experiments.make_db Target.x64 Experiments.Tpch ~sf:sf_tpch_small in
+  let modules =
+    List.map
+      (fun (q : Spec.query) ->
+        let cq = Engine.plan_to_ir db ~name:q.Spec.q_name q.Spec.q_plan in
+        (q.Spec.q_name, cq.Qcomp_codegen.Codegen.modul))
+      (Experiments.queries_of Experiments.Tpch)
+  in
+  let contenders =
+    [ ("stencil", Engine.stencil); ("directemit", Engine.directemit);
+      ("cranelift", Engine.cranelift) ]
+  in
+  (* artifact generation only: plan lowering and linking are shared
+     pipeline stages every back-end pays identically *)
+  let reps = 5 in
+  let artifact_s =
+    List.map
+      (fun (name, b) ->
+        let gen =
+          match Qcomp_backend.Backend.compile_artifact b with
+          | Some f -> f
+          | None -> failwith (name ^ " has no artifact path")
+        in
+        let timing = Timing.create ~enabled:false () in
+        let sweep () =
+          let t0 = Timing.now () in
+          List.iter
+            (fun (_, m) ->
+              ignore (gen ~timing ~target:Target.x64 ~registry:db.Engine.registry m))
+            modules;
+          Timing.now () -. t0
+        in
+        ignore (sweep ());
+        (* warm-up *)
+        let best = ref infinity in
+        for _ = 1 to reps do
+          best := Float.min !best (sweep ())
+        done;
+        (name, !best))
+      contenders
+  in
+  let gen_of n = List.assoc n artifact_s in
+  let ratio = gen_of "directemit" /. gen_of "stencil" in
+  (* end-to-end runs: compile+execute, checksums against the interpreter *)
+  let runs =
+    List.map
+      (fun (name, b) ->
+        ( name,
+          Experiments.measure ~execute:true ~timing_enabled:false Target.x64
+            Experiments.Tpch ~sf:sf_tpch_small b ))
+      (("interpreter", Engine.interpreter) :: contenders)
+  in
+  let interp = List.assoc "interpreter" runs in
+  let mismatches =
+    List.concat_map
+      (fun (name, (r : Experiments.workload_result)) ->
+        List.filter_map
+          (fun (q : Experiments.query_result) ->
+            let reference =
+              List.find
+                (fun (iq : Experiments.query_result) ->
+                  iq.Experiments.qr_name = q.Experiments.qr_name)
+                interp.Experiments.wr_queries
+            in
+            if Int64.equal reference.Experiments.qr_checksum q.Experiments.qr_checksum
+            then None
+            else Some (name ^ "/" ^ q.Experiments.qr_name))
+          r.Experiments.wr_queries)
+      (List.remove_assoc "interpreter" runs)
+  in
+  let rows_of (r : Experiments.workload_result) =
+    List.fold_left (fun a q -> a + q.Experiments.qr_rows) 0 r.Experiments.wr_queries
+  in
+  let cpr (r : Experiments.workload_result) =
+    float_of_int r.Experiments.wr_exec_cycles /. float_of_int (max 1 (rows_of r))
+  in
+  (* what the serving drivers will do with the new rung *)
+  let ladder = List.map fst (Engine.tier_ladder db) in
+  let first_native = match ladder with _ :: n :: _ -> n | _ -> "" in
+  let priced =
+    List.for_all
+      (fun name ->
+        match
+          let m = snd (List.hd modules) in
+          ( Qcomp_server.Costmodel.compile_seconds ~backend:name m,
+            Qcomp_server.Costmodel.exec_rate name )
+        with
+        | _ -> true
+        | exception Invalid_argument _ -> false)
+      ladder
+  in
+  Printf.printf "%-12s %16s %12s %14s\n" "back-end" "artifact gen [s]"
+    "exec [s]" "cycles/row";
+  List.iter
+    (fun (name, r) ->
+      Printf.printf "%-12s %16.6f %12.3f %14.1f\n" name
+        (try gen_of name with Not_found -> 0.0)
+        (Experiments.cycles_to_seconds r.Experiments.wr_exec_cycles)
+        (cpr r))
+    runs;
+  Printf.printf
+    "\nstencil artifact generation: %.1fx faster than directemit -> %s\n" ratio
+    (if ratio >= 10.0 then "OK" else "VIOLATION");
+  Printf.printf "checksums vs interpreter: %s\n"
+    (if mismatches = [] then "all match -> OK"
+     else "MISMATCH " ^ String.concat " " mismatches);
+  Printf.printf "tier ladder: %s (first native rung %s -> %s)\n"
+    (String.concat " -> " ladder) first_native
+    (if first_native = "stencil" then "OK" else "VIOLATION");
+  Printf.printf "cost model prices every rung -> %s\n"
+    (if priced then "OK" else "VIOLATION");
+  let exec_interp = float_of_int interp.Experiments.wr_exec_cycles in
+  let exec_stencil =
+    float_of_int (List.assoc "stencil" runs).Experiments.wr_exec_cycles
+  in
+  Printf.printf "stencil executes %.2fx faster than the interpreter -> %s\n"
+    (exec_interp /. exec_stencil)
+    (if exec_stencil < exec_interp then "OK" else "VIOLATION");
+  let oc = open_out "BENCH_stencil.json" in
+  Printf.fprintf oc "{\n  \"workload\": \"tpch\",\n  \"sf\": %d,\n" sf_tpch_small;
+  Printf.fprintf oc "  \"queries\": %d,\n" (List.length modules);
+  Printf.fprintf oc "  \"artifact_generation_s\": {\n%s\n  },\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (n, s) -> Printf.sprintf "    %S: %.6f" n s)
+          artifact_s));
+  Printf.fprintf oc "  \"exec_cycles\": {\n%s\n  },\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (n, (r : Experiments.workload_result)) ->
+            Printf.sprintf "    %S: %d" n r.Experiments.wr_exec_cycles)
+          runs));
+  Printf.fprintf oc "  \"cycles_per_row\": {\n%s\n  },\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (n, r) -> Printf.sprintf "    %S: %.1f" n (cpr r))
+          runs));
+  Printf.fprintf oc "  \"stencil_vs_directemit_compile\": %.2f,\n" ratio;
+  Printf.fprintf oc "  \"checksums_match_interpreter\": %b,\n" (mismatches = []);
+  Printf.fprintf oc "  \"first_native_tier\": %S,\n" first_native;
+  Printf.fprintf oc "  \"ladder_fully_priced\": %b\n}\n" priced;
+  close_out oc;
+  Printf.printf "wrote BENCH_stencil.json\n";
+  if
+    ratio < 10.0 || mismatches <> [] || first_native <> "stencil"
+    || not priced
+    || exec_stencil >= exec_interp
+  then exit 1
+
 (* ---------------- Bechamel micro-suite ---------------- *)
 
 (* One Test.make per table/figure: each benchmark runs the compile-time
@@ -744,6 +911,7 @@ let experiments =
     ("table3", table3);
     ("fig6", fig6);
     ("fig7", fig7);
+    ("stencil", bench_stencil);
     ("serve", serve);
     ("serve-reopt", serve_reopt);
     ("serve-persist", serve_persist);

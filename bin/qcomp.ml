@@ -15,6 +15,7 @@ module Spec = Qcomp_workloads.Spec
 
 let backend_of_name = function
   | "interpreter" -> Some Engine.interpreter
+  | "stencil" -> Some Engine.stencil
   | "directemit" -> Some Engine.directemit
   | "cranelift" -> Some Engine.cranelift
   | "llvm-cheap" -> Some Engine.llvm_cheap
@@ -23,7 +24,8 @@ let backend_of_name = function
   | _ -> None
 
 let all_backend_names =
-  [ "interpreter"; "directemit"; "cranelift"; "llvm-cheap"; "llvm-opt"; "gcc" ]
+  [ "interpreter"; "stencil"; "directemit"; "cranelift"; "llvm-cheap";
+    "llvm-opt"; "gcc" ]
 
 let workload_of_name = function
   | "tpch" -> Some Experiments.Tpch
@@ -46,7 +48,7 @@ let target_arg =
 
 let backend_arg =
   Arg.(value & opt string "llvm-opt" & info [ "b"; "backend" ] ~docv:"BE"
-         ~doc:"Back-end: interpreter|directemit|cranelift|llvm-cheap|llvm-opt|gcc|adaptive|all.")
+         ~doc:"Back-end: interpreter|stencil|directemit|cranelift|llvm-cheap|llvm-opt|gcc|adaptive|all.")
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -118,7 +120,9 @@ let bench_cmd =
     let names =
       if bname = "all" then
         List.filter
-          (fun n -> n <> "directemit" || target.Qcomp_vm.Target.arch = Qcomp_vm.Target.X64)
+          (fun n ->
+            (n <> "directemit" && n <> "stencil")
+            || target.Qcomp_vm.Target.arch = Qcomp_vm.Target.X64)
           all_backend_names
       else [ bname ]
     in
@@ -151,7 +155,10 @@ let validate_cmd =
       List.filter_map
         (fun n ->
           if n = "interpreter" then None
-          else if n = "directemit" && target.Qcomp_vm.Target.arch <> Qcomp_vm.Target.X64 then None
+          else if
+            (n = "directemit" || n = "stencil")
+            && target.Qcomp_vm.Target.arch <> Qcomp_vm.Target.X64
+          then None
           else Option.map (fun b -> (n, b)) (backend_of_name n))
         all_backend_names
     in

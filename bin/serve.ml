@@ -58,6 +58,7 @@ let pos_arg name v =
 
 let backend_of_name = function
   | "interpreter" -> Engine.interpreter
+  | "stencil" -> Engine.stencil
   | "directemit" -> Engine.directemit
   | "cranelift" -> Engine.cranelift
   | "llvm-cheap" -> Engine.llvm_cheap

@@ -27,7 +27,7 @@ let () =
           with e -> Printf.printf "%s %s EXN %s\n%!" bname q.Spec.q_name (Printexc.to_string e))
         queries;
       Printf.printf "%s done\n%!" bname)
-    [ ("directemit", Engine.directemit); ("cranelift", Engine.cranelift);
+    [ ("stencil", Engine.stencil); ("directemit", Engine.directemit); ("cranelift", Engine.cranelift);
       ("llvm-cheap", Engine.llvm_cheap); ("llvm-opt", Engine.llvm_opt); ("gcc", Engine.gcc) ];
   (* serving paths: replay every query (twice, so the second pass exercises
      cache hits) through the deterministic scheduler and compare each served

@@ -16,6 +16,7 @@ let () =
   let backend =
     match backend_name with
     | "interpreter" -> Engine.interpreter
+    | "stencil" -> Engine.stencil
     | "directemit" -> Engine.directemit
     | "cranelift" -> Engine.cranelift
     | "llvm-cheap" -> Engine.llvm_cheap
@@ -23,7 +24,7 @@ let () =
     | "gcc" -> Engine.gcc
     | other ->
         Printf.eprintf
-          "unknown back-end %s (interpreter|directemit|cranelift|llvm-cheap|llvm-opt|gcc)\n"
+          "unknown back-end %s (interpreter|stencil|directemit|cranelift|llvm-cheap|llvm-opt|gcc)\n"
           other;
         exit 1
   in

@@ -23,6 +23,9 @@ let create_db ?(mem_size = 256 * 1024 * 1024) target =
   let emu = Emu.create ~mem_size target in
   let registry = Registry.create target in
   Registry.install registry emu;
+  (* Build the copy-and-patch stencil library at engine start so the first
+     stencil-compiled query pays only for blit + patch. *)
+  if target.Target.arch = Target.X64 then Qcomp_stencil.Stencil.prewarm ();
   { target; emu; registry; unwind = Unwind.create (); catalog = []; tables = [] }
 
 let memory db = Emu.memory db.emu
@@ -256,6 +259,7 @@ let with_compiled db ~(backend : Qcomp_backend.Backend.t) ~timing ~name plan f =
 let cycles_to_seconds c = float_of_int c /. 2.0e9
 
 let interpreter : Qcomp_backend.Backend.t = (module Qcomp_interp.Interp)
+let stencil : Qcomp_backend.Backend.t = (module Qcomp_stencil.Stencil)
 let directemit : Qcomp_backend.Backend.t = (module Qcomp_directemit.Directemit)
 let cranelift : Qcomp_backend.Backend.t = (module Qcomp_clif.Clif)
 let llvm_cheap : Qcomp_backend.Backend.t = (module Qcomp_llvm.Orc.Cheap)
@@ -264,7 +268,8 @@ let gcc : Qcomp_backend.Backend.t = (module Qcomp_gcc.Gcc)
 
 let all_backends db =
   [ interpreter; cranelift; llvm_cheap; llvm_opt; gcc ]
-  @ (if db.target.Target.arch = Target.X64 then [ directemit ] else [])
+  @ (if db.target.Target.arch = Target.X64 then [ stencil; directemit ]
+     else [])
 
 (* ---------------- adaptive back-end selection ---------------- *)
 
@@ -306,7 +311,8 @@ let adaptive_backend db plan : string * Qcomp_backend.Backend.t =
     the second is dominated by [cranelift] on both axes. *)
 let tier_ladder db : (string * Qcomp_backend.Backend.t) list =
   [ ("interpreter", interpreter) ]
-  @ (if db.target.Target.arch = Target.X64 then [ ("directemit", directemit) ]
+  @ (if db.target.Target.arch = Target.X64 then
+       [ ("stencil", stencil); ("directemit", directemit) ]
      else [])
   @ [ ("cranelift", cranelift); ("llvm-opt", llvm_opt) ]
 

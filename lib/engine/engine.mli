@@ -132,9 +132,13 @@ val with_compiled :
 (** Simulated seconds at the nominal clock (2 GHz, as the paper's Xeon). *)
 val cycles_to_seconds : int -> float
 
-(** {1 The six back-ends of the paper} *)
+(** {1 The paper's six back-ends, plus the copy-and-patch stencil rung} *)
 
 val interpreter : Qcomp_backend.Backend.t
+
+(** Copy-and-patch: per-query compilation is memcpy + hole patching from a
+    pre-built stencil library. x86-64 only, like [directemit]. *)
+val stencil : Qcomp_backend.Backend.t
 
 (** x86-64 only, as in Umbra. *)
 val directemit : Qcomp_backend.Backend.t

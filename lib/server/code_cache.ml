@@ -347,6 +347,15 @@ let pp_stats fmt t =
 
 let snap_magic = "QCSS"
 
+(* Back-end code-layout generation folded into each record's key. The
+   stencil back-end's output is a function of its stencil library, so a
+   library bump must invalidate old snapshots (a record patched from set N
+   must never be re-linked by a process with set N+1); other back-ends are
+   self-contained and stay at 0, leaving their keys unchanged. *)
+let backend_code_version = function
+  | "stencil" -> Qcomp_stencil.Stencil.library_version
+  | _ -> 0
+
 let crc_string s =
   let h = ref 0xC5_C5_C5L in
   String.iter (fun c -> h := Hashes.crc32c_byte !h (Char.code c)) s;
@@ -379,7 +388,9 @@ let save t file =
       target := k.ck_target;
       let art = Option.get e.ce_art in
       Buffer.add_int64_le payload
-        (Fingerprint.key_v ~version:Qcomp_backend.Artifact.format_version
+        (Fingerprint.key_v
+           ~backend_version:(backend_code_version k.ck_backend)
+           ~version:Qcomp_backend.Artifact.format_version
            ~backend:k.ck_backend ~target:k.ck_target e.ce_plan);
       Buffer.add_int64_le payload e.ce_fp;
       add_str payload k.ck_backend;
@@ -566,7 +577,9 @@ let load ~capacity ~db file =
     if
       not
         (Int64.equal kv
-           (Fingerprint.key_v ~version ~backend ~target:live_target plan))
+           (Fingerprint.key_v
+              ~backend_version:(backend_code_version backend)
+              ~version ~backend ~target:live_target plan))
     then corrupt ("stale or corrupt record for query " ^ name);
     if not (Int64.equal fp (Fingerprint.plan plan)) then
       corrupt ("plan fingerprint mismatch for query " ^ name);

@@ -22,6 +22,9 @@ type coeff = {
    values because every serving policy is charged from the same table. *)
 let coeffs = function
   | "interpreter" -> { per_module = 1e-6; per_function = 2e-7; per_inst = 2e-8 }
+  (* copy-and-patch: per-query work is blit + hole patching, an order of
+     magnitude under DirectEmit's encode loop (BENCH_stencil.json) *)
+  | "stencil" -> { per_module = 2e-7; per_function = 6e-8; per_inst = 7e-9 }
   | "directemit" -> { per_module = 2e-6; per_function = 6e-7; per_inst = 7e-8 }
   | "cranelift" -> { per_module = 1e-5; per_function = 5e-6; per_inst = 1.5e-6 }
   | "llvm-cheap" -> { per_module = 6e-5; per_function = 1.5e-5; per_inst = 4.5e-6 }
@@ -66,6 +69,9 @@ let clock_hz = 2.0e9
     noise of each other on aggregate. *)
 let exec_rate = function
   | "interpreter" -> 1.0
+  (* stencil code is slot-machine style — every operand round-trips the
+     stack — so it beats the interpreter but not regalloc'd DirectEmit *)
+  | "stencil" -> 1.8
   | "directemit" -> 3.0
   | "cranelift" -> 3.25
   | "llvm-cheap" -> 1.95

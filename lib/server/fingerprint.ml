@@ -108,6 +108,16 @@ let plan p = plan_h 0x51C0DE_CAFEL p
     changing (an artifact format bump, a different code generator, another
     architecture) yields a different key, so a stale or foreign snapshot
     record can never be looked up — rejection is structural, not a
-    comparison someone must remember to write. *)
-let key_v ~version ~backend ~target p =
-  plan_h (str (int (tag 0x51C0DE_CAFEL 80) version) (backend ^ "/" ^ target)) p
+    comparison someone must remember to write.
+
+    [backend_version] is the back-end's own code-layout generation, for
+    back-ends whose output depends on state built outside the query (the
+    stencil back-end's library: a record patched from stencil set N must
+    never be accepted by a process with set N+1). Back-ends without such
+    state use the default 0, keeping their keys unchanged. *)
+let key_v ?(backend_version = 0) ~version ~backend ~target p =
+  plan_h
+    (str
+       (int (int (tag 0x51C0DE_CAFEL 80) version) backend_version)
+       (backend ^ "/" ^ target))
+    p

@@ -14,4 +14,9 @@ val plan : Qcomp_plan.Algebra.t -> int64
     written by an older artifact format (or another back-end/architecture)
     is rejected with a clear error, never mis-linked. *)
 val key_v :
-  version:int -> backend:string -> target:string -> Qcomp_plan.Algebra.t -> int64
+  ?backend_version:int ->
+  version:int ->
+  backend:string ->
+  target:string ->
+  Qcomp_plan.Algebra.t ->
+  int64

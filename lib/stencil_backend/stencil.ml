@@ -1,0 +1,1827 @@
+(** Copy-and-patch back-end: the fastest-compiling native rung on the tier
+    ladder (Xu & Kjolstad, OOPSLA 2021 — see PAPERS.md).
+
+    A stencil library is built once per process: one position-independent
+    code fragment per IR op shape, encoded through the ordinary {!Asm}
+    encoder with typed holes (stack-slot displacements, 64-bit constants,
+    branch targets, runtime-symbol addresses) recorded at fixed byte
+    offsets. Per-query "compilation" walks the lowered module, blits the
+    stencil bytes for each instruction into the code buffer and patches
+    the holes — no instruction selection, no register allocation, no
+    encoding work on the per-query path.
+
+    Value discipline: every IR instruction owns a fixed sp-relative stack
+    slot at a fixed 32-byte stride (value at [32*v], phi staging at
+    [32*v + 16]), so the frame size is a shift of the instruction count,
+    every slot address is a shift of the value id, and no slot-assignment
+    prescan runs at all. Stencils are self-contained:
+    they load their operands from slots into a fixed set of caller-saved
+    registers, compute, and store the result back — registers never
+    survive a stencil boundary, which is exactly what makes every fragment
+    position- and context-independent.
+
+    Runtime addresses are never baked: calls go through [Abs64]
+    relocations resolved at {!Qcomp_backend.Backend.link_artifact} time,
+    so stencil artifacts are fully relocatable and snapshot/restore
+    ([serve --save-cache]/[--load-cache]) works unchanged.
+
+    x86-64 only: the A64 encoder expands wide immediates and large
+    offsets into value-dependent instruction sequences, so holes have no
+    fixed positions there (the same reason DirectEmit is x86-64-only). *)
+
+open Qcomp_support
+open Qcomp_ir
+open Qcomp_vm
+
+let name = "stencil"
+
+(** Version of the stencil library itself. Bump whenever a stencil's byte
+    layout or hole protocol changes: it is folded into the snapshot key
+    ({!Qcomp_server.Fingerprint.key_v}) so a code cache written against an
+    older library is rejected at load instead of mis-patched. *)
+let library_version = 1
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Stencil representation                                              *)
+
+(** A typed hole: byte offset within the stencil, and the index of the
+    value that fills it at instantiation time. *)
+type hole =
+  | H32 of int * int  (** 4-byte LE int at [off], from the ints array *)
+  | H64 of int * int  (** 8-byte LE int at [off], from the i64s array *)
+  | Htgt of int * int  (** rel32 branch field at [off], label index *)
+  | Hsym of int * int  (** abs64 runtime address at [off], symbol index *)
+
+(* The instantiation loop is the hottest code in the back-end, and almost
+   every hole is an [H32], so those are pre-split into a flat int array
+   ([off lsl 3 lor arg]; offsets are tens of bytes and arities <= 7, so
+   the packing is exact) and patched without a per-hole tag dispatch.
+   Everything else stays as structured holes on the slow side. *)
+type stencil = {
+  s_code : Bytes.t;
+      (** padded to >= 64 bytes and to a multiple of 8 so instantiation
+          can copy in branch-free 8-byte words without overreading *)
+  s_len : int;  (** true code length *)
+  s_h32 : int array;
+  s_rest : hole array;
+}
+
+(** One key per op shape. Everything that changes the emitted bytes —
+    opcode, operand width, condition, scale, constant shift amount — is
+    part of the key; everything that only changes an immediate field is a
+    hole. *)
+type key =
+  | Kprologue  (** sub sp, frame(h32) *)
+  | Kepilogue  (** add sp, frame(h32); ret *)
+  | Ktrap  (** call umbra_throwOverflow(hsym); brk 1 *)
+  | Kconst of bool  (** mov imm64(h64) -> slot; [true]: both i128 lanes *)
+  | Kisnull of bool  (** [true] = isnotnull *)
+  | Kalu of Minst.alu * int  (** binop + canonicalization bits (0 = i64) *)
+  | Kalu128 of Minst.alu  (** lane-wise add/adc, sub/sbb, and/or/xor *)
+  | Kmul128
+  | Kshift128 of Minst.alu * int  (** constant amount baked into the key *)
+  | Kdiv of bool * bool * int  (** signed, want-remainder, canon bits *)
+  | Kcmp of Minst.cond * bool  (** [true] = float compare *)
+  | Kcmp128eq of bool  (** [true] = Ne *)
+  | Kcmp128ord of Minst.cond * Minst.cond  (** unsigned-lo, strict-hi *)
+  | Kzext of int * bool  (** source bits, widen-to-i128 *)
+  | Ksext of bool  (** widen-to-i128 *)
+  | Ktrunc of int  (** -1 = to i1 (and 1), else canon bits *)
+  | Kselect of bool  (** i128 *)
+  | Kload of int * bool * bool  (** size, sext, i128 *)
+  | Kstore of int * bool  (** size, i128 *)
+  | Kgep_base
+  | Kgep of int  (** scale 1/2/4/8 -> lea *)
+  | Kgep_mul  (** arbitrary scale: mul + add *)
+  | Kcrc32
+  | Klmf  (** longmulfold *)
+  | Katomic of int  (** size *)
+  | Kldarg of int  (** arg-reg k <- slot(h32), for calls *)
+  | Kstarg of int  (** arg-reg k -> slot(h32), prologue spill *)
+  | Kcall  (** mov r11, sym(hsym); call r11 *)
+  | Kstret of int  (** ret-reg lane -> slot(h32) *)
+  | Kastrap of bool * int  (** saddtrap/ssubtrap: is-sub, canon bits *)
+  | Kastrap128 of bool
+  | Kmultrap of int  (** canon bits (0 = i64) *)
+  | Kmultrap128  (** always the umbra_i128MulFull helper *)
+  | Kjmp
+  | Kcondbr  (** ld cond; cmp 0; jcc eq -> else target *)
+  | Kcondbr2  (** the phi-free fast path: jcc eq -> else; jmp -> then *)
+  | Kcondbrnz  (** inverted: jcc ne -> then target, else falls through *)
+  | Kprologue_args of int
+      (** prologue fused with the spill of [n] scalar register arguments;
+          arg slots are deterministically 0, 8, ..., so the stores need no
+          holes at all *)
+  | Kret of int  (** number of return lanes: 0, 1 or 2 *)
+  | Kunreachable
+  | Kfalu of Minst.falu
+  | Kcvt of bool  (** [true] = si2f, else f2si *)
+  | Kcopy of bool  (** slot-to-slot copy, [true] = 16 bytes *)
+
+(* Fixed stencil registers — all caller-saved on the virtual x64 target,
+   so no save/restore anywhere. Mul_wide and Div implicitly use rax/rdx. *)
+let ra = 0 (* rax *)
+let rc = 1 (* rcx *)
+let rd = 2 (* rdx *)
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+
+(* ------------------------------------------------------------------ *)
+(* Dense key numbering. The per-query compiler resolves stencils through a
+   flat array indexed by this code (see [fetch]) — a hash lookup per
+   emitted stencil would be a meaningful fraction of the whole per-query
+   compile. The strides below just need to keep the ranges disjoint. *)
+
+let alu_idx : Minst.alu -> int = function
+  | Minst.Add -> 0 | Minst.Sub -> 1 | Minst.Adc -> 2 | Minst.Sbb -> 3
+  | Minst.And -> 4 | Minst.Or -> 5 | Minst.Xor -> 6 | Minst.Mul -> 7
+  | Minst.Shl -> 8 | Minst.Shr -> 9 | Minst.Sar -> 10 | Minst.Ror -> 11
+
+let cond_idx : Minst.cond -> int = function
+  | Minst.Eq -> 0 | Minst.Ne -> 1 | Minst.Slt -> 2 | Minst.Sle -> 3
+  | Minst.Sgt -> 4 | Minst.Sge -> 5 | Minst.Ult -> 6 | Minst.Ule -> 7
+  | Minst.Ugt -> 8 | Minst.Uge -> 9 | Minst.Ov -> 10 | Minst.Noov -> 11
+
+let falu_idx : Minst.falu -> int = function
+  | Minst.Fadd -> 0 | Minst.Fsub -> 1 | Minst.Fmul -> 2 | Minst.Fdiv -> 3
+
+(* canonicalization widths {0,1,8,16,32} and access sizes {1,2,4,8} *)
+let bits_idx = function 0 -> 0 | 1 -> 1 | 8 -> 2 | 16 -> 3 | 32 -> 4 | _ -> assert false
+let size_idx = function 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> assert false
+let bit b = if b then 1 else 0
+
+let key_code : key -> int = function
+  | Kprologue -> 0
+  | Kepilogue -> 1
+  | Ktrap -> 2
+  | Kconst b -> 3 + bit b
+  | Kisnull b -> 5 + bit b
+  | Kmul128 -> 7
+  | Kgep_base -> 8
+  | Kgep_mul -> 9
+  | Kcrc32 -> 10
+  | Klmf -> 11
+  | Kcall -> 12
+  | Kjmp -> 13
+  | Kcondbr -> 14
+  | Kcondbr2 -> 15
+  | Kunreachable -> 16
+  | Kmultrap128 -> 17
+  | Ksext b -> 18 + bit b
+  | Kselect b -> 20 + bit b
+  | Kcopy b -> 22 + bit b
+  | Kcvt b -> 24 + bit b
+  | Kcmp128eq b -> 26 + bit b
+  | Kstret lane -> 28 + lane
+  | Kret n -> 30 + n
+  | Kastrap128 b -> 33 + bit b
+  | Ktrunc k -> 35 + (if k = -1 then 0 else 1 + bits_idx k)
+  | Katomic size -> 41 + size_idx size
+  | Kmultrap bits -> 45 + bits_idx bits
+  | Kgep scale -> 50 + size_idx scale
+  | Kldarg k -> 54 + k
+  | Kstarg k -> 70 + k
+  | Kastrap (sub, bits) -> 86 + (5 * bit sub) + bits_idx bits
+  | Kzext (bits, to128) -> 96 + (5 * bit to128) + bits_idx bits
+  | Kload (size, sext, i128) -> 106 + (4 * size_idx size) + (2 * bit sext) + bit i128
+  | Kstore (size, i128) -> 122 + (2 * size_idx size) + bit i128
+  | Kdiv (s, r, bits) -> 130 + (5 * ((2 * bit s) + bit r)) + bits_idx bits
+  | Kalu (op, bits) -> 150 + (5 * alu_idx op) + bits_idx bits
+  | Kalu128 op -> 210 + alu_idx op
+  | Kfalu op -> 222 + falu_idx op
+  | Kcmp (c, fl) -> 226 + (2 * cond_idx c) + bit fl
+  | Kcmp128ord (u, hi) -> 250 + (12 * cond_idx u) + cond_idx hi
+  | Kshift128 (op, amt) -> 394 + (128 * (alu_idx op - 8)) + amt
+  | Kcondbrnz -> 394 + (128 * 3)
+  | Kprologue_args n -> 394 + (128 * 3) + n  (* n in 1..8 *)
+
+let ncodes = 394 + (128 * 3) + 9
+
+let all_alus =
+  Minst.[| Add; Sub; Adc; Sbb; And; Or; Xor; Mul; Shl; Shr; Sar; Ror |]
+
+let all_conds =
+  Minst.[| Eq; Ne; Slt; Sle; Sgt; Sge; Ult; Ule; Ugt; Uge; Ov; Noov |]
+
+let all_bits = [| 0; 1; 8; 16; 32 |]
+let all_sizes = [| 1; 2; 4; 8 |]
+
+(* The per-query walk deals in key codes only: the tables below map each
+   parametric family straight to its code (one small-array probe instead
+   of a [key] allocation plus the [key_code] match per emission), and the
+   [kc_*] constants cover the non-parametric shapes. [key_of_code] is the
+   inverse, consulted only on the cold library-miss path. Everything is
+   derived through [key_code], so the numbering lives in one place. *)
+
+let kalu_tbl =
+  Array.init 60 (fun c -> key_code (Kalu (all_alus.(c / 5), all_bits.(c mod 5))))
+
+let kalu a b = Array.unsafe_get kalu_tbl ((alu_idx a * 5) + bits_idx b)
+let kalu128_tbl = Array.init 12 (fun c -> key_code (Kalu128 all_alus.(c)))
+let kalu128 a = Array.unsafe_get kalu128_tbl (alu_idx a)
+
+let kcmp_tbl =
+  Array.init 24 (fun c -> key_code (Kcmp (all_conds.(c / 2), c land 1 = 1)))
+
+let kcmp c fl = Array.unsafe_get kcmp_tbl ((cond_idx c * 2) + bit fl)
+
+let kcmp128ord_tbl =
+  Array.init 144 (fun c ->
+      key_code (Kcmp128ord (all_conds.(c / 12), all_conds.(c mod 12))))
+
+let kcmp128ord u hi = Array.unsafe_get kcmp128ord_tbl ((cond_idx u * 12) + cond_idx hi)
+let kcmp128eq_tbl = [| key_code (Kcmp128eq false); key_code (Kcmp128eq true) |]
+let kcmp128eq ne = Array.unsafe_get kcmp128eq_tbl (bit ne)
+
+let kzext_tbl =
+  Array.init 10 (fun c -> key_code (Kzext (all_bits.(c mod 5), c >= 5)))
+
+let kzext bits to128 = Array.unsafe_get kzext_tbl ((5 * bit to128) + bits_idx bits)
+
+let ktrunc_tbl =
+  Array.init 6 (fun c -> key_code (Ktrunc (if c = 0 then -1 else all_bits.(c - 1))))
+
+let ktrunc k = Array.unsafe_get ktrunc_tbl (if k = -1 then 0 else 1 + bits_idx k)
+
+let kload_tbl =
+  Array.init 16 (fun c ->
+      key_code (Kload (all_sizes.(c / 4), c land 2 = 2, c land 1 = 1)))
+
+let kload size sext i128 =
+  Array.unsafe_get kload_tbl ((4 * size_idx size) + (2 * bit sext) + bit i128)
+
+let kstore_tbl =
+  Array.init 8 (fun c -> key_code (Kstore (all_sizes.(c / 2), c land 1 = 1)))
+
+let kstore size i128 = Array.unsafe_get kstore_tbl ((2 * size_idx size) + bit i128)
+let kgep_tbl = Array.init 4 (fun c -> key_code (Kgep all_sizes.(c)))
+let kgep scale = Array.unsafe_get kgep_tbl (size_idx scale)
+
+let kdiv_tbl =
+  Array.init 20 (fun c ->
+      key_code (Kdiv (c >= 10, c / 5 land 1 = 1, all_bits.(c mod 5))))
+
+let kdiv signed rem bits =
+  Array.unsafe_get kdiv_tbl ((10 * bit signed) + (5 * bit rem) + bits_idx bits)
+
+let kastrap_tbl =
+  Array.init 10 (fun c -> key_code (Kastrap (c >= 5, all_bits.(c mod 5))))
+
+let kastrap sub bits = Array.unsafe_get kastrap_tbl ((5 * bit sub) + bits_idx bits)
+let kmultrap_tbl = Array.init 5 (fun c -> key_code (Kmultrap all_bits.(c)))
+let kmultrap bits = Array.unsafe_get kmultrap_tbl (bits_idx bits)
+let kldarg_tbl = Array.init 16 (fun k -> key_code (Kldarg k))
+let kldarg k = Array.unsafe_get kldarg_tbl k
+let kstarg_tbl = Array.init 16 (fun k -> key_code (Kstarg k))
+let kstarg k = Array.unsafe_get kstarg_tbl k
+
+let kfalu_tbl =
+  Minst.[| key_code (Kfalu Fadd); key_code (Kfalu Fsub);
+           key_code (Kfalu Fmul); key_code (Kfalu Fdiv) |]
+
+let kfalu op = Array.unsafe_get kfalu_tbl (falu_idx op)
+let kastrap128_tbl = [| key_code (Kastrap128 false); key_code (Kastrap128 true) |]
+let kastrap128 sub = Array.unsafe_get kastrap128_tbl (bit sub)
+let katomic_tbl = Array.init 4 (fun c -> key_code (Katomic all_sizes.(c)))
+let katomic size = Array.unsafe_get katomic_tbl (size_idx size)
+
+let kshift128_tbl =
+  Array.init 384 (fun c ->
+      key_code (Kshift128 (all_alus.(8 + (c / 128)), c mod 128)))
+
+let kshift128 op amt = Array.unsafe_get kshift128_tbl ((128 * (alu_idx op - 8)) + amt)
+
+let kprologue_args_tbl =
+  Array.init 8 (fun i -> key_code (Kprologue_args (i + 1)))
+
+let kprologue_args n = Array.unsafe_get kprologue_args_tbl (n - 1)
+let kc_prologue = key_code Kprologue
+let kc_epilogue = key_code Kepilogue
+let kc_trap = key_code Ktrap
+let kc_const = key_code (Kconst false)
+let kc_const128 = key_code (Kconst true)
+let kc_isnull = key_code (Kisnull false)
+let kc_isnotnull = key_code (Kisnull true)
+let kc_mul128 = key_code Kmul128
+let kc_multrap128 = key_code Kmultrap128
+let kc_sext = key_code (Ksext false)
+let kc_sext128 = key_code (Ksext true)
+let kc_select = key_code (Kselect false)
+let kc_select128 = key_code (Kselect true)
+let kc_copy = key_code (Kcopy false)
+let kc_copy128 = key_code (Kcopy true)
+let kc_cvt_f2i = key_code (Kcvt false)
+let kc_cvt_i2f = key_code (Kcvt true)
+let kc_load128 = key_code (Kload (8, false, true))
+let kc_store128 = key_code (Kstore (8, true))
+let kc_gep_base = key_code Kgep_base
+let kc_gep_mul = key_code Kgep_mul
+let kc_crc32 = key_code Kcrc32
+let kc_lmf = key_code Klmf
+let kc_call = key_code Kcall
+let kc_stret0 = key_code (Kstret 0)
+let kc_stret1 = key_code (Kstret 1)
+let kc_jmp = key_code Kjmp
+let kc_condbr = key_code Kcondbr
+let kc_condbrnz = key_code Kcondbrnz
+let kc_condbr2 = key_code Kcondbr2
+let kc_ret0 = key_code (Kret 0)
+let kc_ret1 = key_code (Kret 1)
+let kc_ret2 = key_code (Kret 2)
+let kc_unreachable = key_code Kunreachable
+
+(* code -> key, for the library-miss path (and for enumerating the full
+   shape population). Every code is covered: the numbering is dense. *)
+let key_of_code : key array =
+  let a = Array.make ncodes Kprologue in
+  let put k = a.(key_code k) <- k in
+  List.iter put
+    [ Kprologue; Kepilogue; Ktrap; Kmul128; Kgep_base; Kgep_mul; Kcrc32;
+      Klmf; Kcall; Kjmp; Kcondbr; Kcondbr2; Kcondbrnz; Kunreachable;
+      Kmultrap128 ];
+  List.iter
+    (fun b ->
+      List.iter put
+        [ Kconst b; Kisnull b; Ksext b; Kselect b; Kcopy b; Kcvt b;
+          Kcmp128eq b; Kastrap128 b ])
+    [ false; true ];
+  put (Kstret 0);
+  put (Kstret 1);
+  for n = 0 to 2 do put (Kret n) done;
+  List.iter (fun k -> put (Ktrunc k)) [ -1; 0; 1; 8; 16; 32 ];
+  Array.iter (fun s -> put (Katomic s)) all_sizes;
+  Array.iter (fun w -> put (Kmultrap w)) all_bits;
+  Array.iter (fun s -> put (Kgep s)) all_sizes;
+  for k = 0 to 15 do
+    put (Kldarg k);
+    put (Kstarg k)
+  done;
+  List.iter
+    (fun sub -> Array.iter (fun w -> put (Kastrap (sub, w))) all_bits)
+    [ false; true ];
+  Array.iter
+    (fun w ->
+      put (Kzext (w, false));
+      put (Kzext (w, true)))
+    all_bits;
+  Array.iter
+    (fun sz ->
+      List.iter
+        (fun sx ->
+          put (Kload (sz, sx, false));
+          put (Kload (sz, sx, true)))
+        [ false; true ];
+      put (Kstore (sz, false));
+      put (Kstore (sz, true)))
+    all_sizes;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun r -> Array.iter (fun w -> put (Kdiv (s, r, w))) all_bits)
+        [ false; true ])
+    [ false; true ];
+  Array.iter
+    (fun op ->
+      Array.iter (fun w -> put (Kalu (op, w))) all_bits;
+      put (Kalu128 op))
+    all_alus;
+  List.iter (fun op -> put (Kfalu op)) Minst.[ Fadd; Fsub; Fmul; Fdiv ];
+  Array.iter
+    (fun c ->
+      put (Kcmp (c, false));
+      put (Kcmp (c, true)))
+    all_conds;
+  Array.iter
+    (fun u -> Array.iter (fun hi -> put (Kcmp128ord (u, hi))) all_conds)
+    all_conds;
+  List.iter
+    (fun op -> for amt = 0 to 127 do put (Kshift128 (op, amt)) done)
+    Minst.[ Shl; Shr; Sar ];
+  for n = 1 to 8 do put (Kprologue_args n) done;
+  a
+
+(* ------------------------------------------------------------------ *)
+(* Building one stencil: drive the ordinary encoder with placeholder
+   immediates chosen to force the widest (fixed-size) encodings, and
+   record each hole's byte offset. *)
+
+type builder = { asm : Asm.t; mutable holes : hole list }
+
+(* placeholders that force the i32 / i64 immediate forms *)
+let wide32 = 0x7FFF_FFFFL
+let wide64 = 0x7FFF_FFFF_FFFF_FFFFL
+
+let build (target : Target.t) key : stencil =
+  let b = { asm = Asm.create target; holes = [] } in
+  let e i = Asm.emit b.asm i in
+  let h x = b.holes <- x :: b.holes in
+  let off () = Asm.offset b.asm in
+  let sp = target.Target.sp in
+  let args = target.Target.arg_regs in
+  let rets = target.Target.ret_regs in
+  (* slot load/store: Ld/St always carry a 4-byte displacement at +2 *)
+  let ld reg a =
+    let o = off () in
+    e (Minst.Ld { dst = reg; base = sp; off = 0; size = 8; sext = false });
+    h (H32 (o + 2, a))
+  in
+  let st reg a =
+    let o = off () in
+    e (Minst.St { src = reg; base = sp; off = 0; size = 8 });
+    h (H32 (o + 2, a))
+  in
+  (* memory access through a pointer register, displacement hole *)
+  let ldm reg base ~size ~sext a =
+    let o = off () in
+    e (Minst.Ld { dst = reg; base; off = 0; size; sext });
+    h (H32 (o + 2, a))
+  in
+  let stm reg base ~size a =
+    let o = off () in
+    e (Minst.St { src = reg; base; off = 0; size });
+    h (H32 (o + 2, a))
+  in
+  let imm64 reg a =
+    let o = off () in
+    e (Minst.Mov_ri (reg, wide64));
+    h (H64 (o + 2, a))
+  in
+  let sym64 reg a =
+    let o = off () in
+    e (Minst.Mov_ri (reg, wide64));
+    h (Hsym (o + 2, a))
+  in
+  let alu32 op reg a =
+    let o = off () in
+    e (Minst.Alu_ri (op, reg, wide32));
+    h (H32 (o + 2, a))
+  in
+  let jmp_t a =
+    let o = off () in
+    e (Minst.Jmp 0);
+    h (Htgt (o + 1, a))
+  in
+  let jcc_t cond a =
+    let o = off () in
+    e (Minst.Jcc (cond, 0));
+    h (Htgt (o + 1, a))
+  in
+  let canon reg bits =
+    if bits <> 0 then e (Minst.Ext { dst = reg; src = reg; bits; signed = true })
+  in
+  let shift_i amt = Int64.of_int amt in
+  (match key with
+  | Kprologue -> alu32 Minst.Sub sp 0
+  | Kprologue_args n ->
+      alu32 Minst.Sub sp 0;
+      (* argument slots sit at the fixed 32-byte stride of the frame layout
+         (see [compile_func]), so the store offsets are baked into the
+         stencil and need no holes *)
+      for k = 0 to n - 1 do
+        e (Minst.St { src = args.(k); base = sp; off = 32 * k; size = 8 })
+      done
+  | Kepilogue ->
+      alu32 Minst.Add sp 0;
+      e Minst.Ret
+  | Ktrap ->
+      sym64 r11 0;
+      e (Minst.Call_ind r11);
+      e (Minst.Brk 1)
+  | Kconst false ->
+      imm64 ra 0;
+      st ra 0
+  | Kconst true ->
+      imm64 ra 0;
+      imm64 rc 1;
+      st ra 0;
+      st rc 1
+  | Kisnull ne ->
+      ld ra 0;
+      e (Minst.Cmp_ri (ra, 0L));
+      e (Minst.Setcc ((if ne then Minst.Ne else Minst.Eq), ra));
+      st ra 1
+  | Kalu (op, bits) ->
+      (* also covers shifts: the register ALU form shares alu_eval with the
+         immediate form, so constant amounts just come from their slot *)
+      ld ra 0;
+      ld rc 1;
+      e (Minst.Alu_rr (op, ra, rc));
+      canon ra bits;
+      st ra 2
+  | Kalu128 op ->
+      ld ra 0;
+      ld rc 1;
+      ld r8 2;
+      ld r9 3;
+      (match op with
+      | Minst.Add ->
+          (* lo then hi back-to-back: the carry flag must survive *)
+          e (Minst.Alu_rr (Minst.Add, ra, rc));
+          e (Minst.Alu_rr (Minst.Adc, r8, r9))
+      | Minst.Sub ->
+          e (Minst.Alu_rr (Minst.Sub, ra, rc));
+          e (Minst.Alu_rr (Minst.Sbb, r8, r9))
+      | op ->
+          e (Minst.Alu_rr (op, ra, rc));
+          e (Minst.Alu_rr (op, r8, r9)));
+      st ra 4;
+      st r8 5
+  | Kmul128 ->
+      (* truncated 128x128 multiply, exactly DirectEmit's sequence:
+         rdx:rax = xlo *u ylo; rdx += xhi*ylo + xlo*yhi *)
+      ld ra 0;
+      ld rc 1;
+      ld r8 2;
+      ld r9 3;
+      e (Minst.Mov_rr (r11, ra));
+      e (Minst.Mul_wide { signed = false; src = rc });
+      e (Minst.Mov_rr (r10, r8));
+      e (Minst.Alu_rr (Minst.Mul, r10, rc));
+      e (Minst.Alu_rr (Minst.Add, rd, r10));
+      e (Minst.Mov_rr (r10, r11));
+      e (Minst.Alu_rr (Minst.Mul, r10, r9));
+      e (Minst.Alu_rr (Minst.Add, rd, r10));
+      st ra 4;
+      st rd 5
+  | Kshift128 (op, amt) ->
+      (* holes: 0 = x.lo, 1 = x.hi, 2 = d.lo, 3 = d.hi *)
+      if amt = 0 then begin
+        ld ra 0;
+        ld rc 1;
+        st ra 2;
+        st rc 3
+      end
+      else if amt >= 64 then begin
+        match op with
+        | Minst.Shr | Minst.Sar ->
+            ld rc 1;
+            e (Minst.Mov_rr (ra, rc));
+            if amt > 64 then e (Minst.Alu_ri (op, ra, shift_i (amt - 64)));
+            (if op = Minst.Shr then e (Minst.Mov_ri (rd, 0L))
+             else begin
+               e (Minst.Mov_rr (rd, rc));
+               e (Minst.Alu_ri (Minst.Sar, rd, 63L))
+             end);
+            st ra 2;
+            st rd 3
+        | Minst.Shl ->
+            ld ra 0;
+            e (Minst.Mov_rr (rd, ra));
+            if amt > 64 then e (Minst.Alu_ri (Minst.Shl, rd, shift_i (amt - 64)));
+            e (Minst.Mov_ri (rc, 0L));
+            st rc 2;
+            st rd 3
+        | _ -> unsupported "i128 rotate"
+      end
+      else begin
+        match op with
+        | Minst.Shr | Minst.Sar ->
+            ld ra 0;
+            ld rc 1;
+            e (Minst.Alu_ri (Minst.Shr, ra, shift_i amt));
+            e (Minst.Mov_rr (r10, rc));
+            e (Minst.Alu_ri (Minst.Shl, r10, shift_i (64 - amt)));
+            e (Minst.Alu_rr (Minst.Or, ra, r10));
+            e (Minst.Mov_rr (rd, rc));
+            e (Minst.Alu_ri (op, rd, shift_i amt));
+            st ra 2;
+            st rd 3
+        | Minst.Shl ->
+            ld ra 0;
+            ld rc 1;
+            e (Minst.Mov_rr (rd, rc));
+            e (Minst.Alu_ri (Minst.Shl, rd, shift_i amt));
+            e (Minst.Mov_rr (r10, ra));
+            e (Minst.Alu_ri (Minst.Shr, r10, shift_i (64 - amt)));
+            e (Minst.Alu_rr (Minst.Or, rd, r10));
+            e (Minst.Alu_ri (Minst.Shl, ra, shift_i amt));
+            st ra 2;
+            st rd 3
+        | _ -> unsupported "i128 rotate"
+      end
+  | Kdiv (signed, rem, bits) ->
+      ld ra 0;
+      ld rc 1;
+      (if signed then begin
+         e (Minst.Mov_rr (rd, ra));
+         e (Minst.Alu_ri (Minst.Sar, rd, 63L))
+       end
+       else e (Minst.Mov_ri (rd, 0L)));
+      e (Minst.Div { signed; src = rc });
+      let res = if rem then rd else ra in
+      canon res bits;
+      st res 2
+  | Kcmp (cond, fl) ->
+      ld ra 0;
+      ld rc 1;
+      e (if fl then Minst.Fcmp_rr (ra, rc) else Minst.Cmp_rr (ra, rc));
+      e (Minst.Setcc (cond, ra));
+      st ra 2
+  | Kcmp128eq ne ->
+      ld ra 0;
+      ld rc 1;
+      ld r8 2;
+      ld r9 3;
+      e (Minst.Cmp_rr (ra, rc));
+      e (Minst.Setcc (Minst.Eq, r10));
+      e (Minst.Cmp_rr (r8, r9));
+      e (Minst.Setcc (Minst.Eq, ra));
+      e (Minst.Alu_rr (Minst.And, ra, r10));
+      if ne then e (Minst.Alu_ri (Minst.Xor, ra, 1L));
+      st ra 4
+  | Kcmp128ord (u, hi) ->
+      (* the hi words decide unless equal; the lo words compare unsigned *)
+      ld ra 0;
+      ld rc 1;
+      ld r8 2;
+      ld r9 3;
+      e (Minst.Cmp_rr (ra, rc));
+      e (Minst.Setcc (u, r10));
+      e (Minst.Cmp_rr (r8, r9));
+      e (Minst.Setcc (hi, ra));
+      e (Minst.Csel { cond = Minst.Ne; dst = ra; a = ra; b = r10 });
+      st ra 4
+  | Kzext (bits, to128) ->
+      ld ra 0;
+      if bits <> 0 then e (Minst.Ext { dst = ra; src = ra; bits; signed = false });
+      st ra 1;
+      if to128 then begin
+        e (Minst.Mov_ri (rc, 0L));
+        st rc 2
+      end
+  | Ksext to128 ->
+      (* sources are canonical (sign-extended): the low lane is a copy *)
+      ld ra 0;
+      st ra 1;
+      if to128 then begin
+        e (Minst.Mov_rr (rc, ra));
+        e (Minst.Alu_ri (Minst.Sar, rc, 63L));
+        st rc 2
+      end
+  | Ktrunc k ->
+      ld ra 0;
+      (match k with
+      | -1 -> e (Minst.Alu_ri (Minst.And, ra, 1L))
+      | 0 -> ()
+      | bits -> canon ra bits);
+      st ra 1
+  | Kselect false ->
+      (* holes: 0 = then-value, 1 = else-value, 2 = condition, 3 = dst *)
+      ld ra 0;
+      ld rc 1;
+      ld rd 2;
+      e (Minst.Cmp_ri (rd, 0L));
+      e (Minst.Csel { cond = Minst.Ne; dst = ra; a = ra; b = rc });
+      st ra 3
+  | Kselect true ->
+      (* cmov does not write flags, so one compare serves both lanes *)
+      ld ra 0;
+      ld rc 1;
+      ld rd 2;
+      ld r8 3;
+      ld r9 4;
+      e (Minst.Cmp_ri (rd, 0L));
+      e (Minst.Csel { cond = Minst.Ne; dst = ra; a = ra; b = rc });
+      e (Minst.Csel { cond = Minst.Ne; dst = r8; a = r8; b = r9 });
+      st ra 5;
+      st r8 6
+  | Kload (size, sext, false) ->
+      ld ra 0;
+      ldm rc ra ~size ~sext 1;
+      st rc 2
+  | Kload (_, _, true) ->
+      ld ra 0;
+      ldm rc ra ~size:8 ~sext:false 1;
+      ldm rd ra ~size:8 ~sext:false 2;
+      st rc 3;
+      st rd 4
+  | Kstore (size, false) ->
+      ld ra 0;
+      ld rc 1;
+      stm rc ra ~size 2
+  | Kstore (_, true) ->
+      ld ra 0;
+      ld rc 1;
+      stm rc ra ~size:8 2;
+      ld rd 3;
+      stm rd ra ~size:8 4
+  | Kgep_base ->
+      ld ra 0;
+      let o = off () in
+      e (Minst.Lea { dst = rc; base = ra; index = -1; scale = 1; off = 0 });
+      h (H32 (o + 4, 1));
+      st rc 2
+  | Kgep scale ->
+      ld ra 0;
+      ld rc 1;
+      let o = off () in
+      e (Minst.Lea { dst = rd; base = ra; index = rc; scale; off = 0 });
+      h (H32 (o + 4, 2));
+      st rd 3
+  | Kgep_mul ->
+      ld ra 0;
+      ld rc 1;
+      alu32 Minst.Mul rc 2;
+      e (Minst.Alu_rr (Minst.Add, rc, ra));
+      alu32 Minst.Add rc 3;
+      st rc 4
+  | Kcrc32 ->
+      ld ra 0;
+      ld rc 1;
+      e (Minst.Crc32_rr (ra, rc));
+      st ra 2
+  | Klmf ->
+      ld ra 0;
+      ld rc 1;
+      e (Minst.Mul_wide { signed = false; src = rc });
+      e (Minst.Alu_rr (Minst.Xor, ra, rd));
+      st ra 2
+  | Katomic size ->
+      ld ra 0;
+      ld rc 1;
+      e (Minst.Ld { dst = rd; base = ra; off = 0; size; sext = size < 8 });
+      e (Minst.Mov_rr (r10, rd));
+      e (Minst.Alu_rr (Minst.Add, r10, rc));
+      e (Minst.St { src = r10; base = ra; off = 0; size });
+      st rd 2
+  | Kldarg k -> ld args.(k) 0
+  | Kstarg k -> st args.(k) 0
+  | Kcall ->
+      sym64 r11 0;
+      e (Minst.Call_ind r11)
+  | Kstret lane -> st rets.(lane) 0
+  | Kastrap (sub, 0) ->
+      ld ra 0;
+      ld rc 1;
+      e (Minst.Alu_rr ((if sub then Minst.Sub else Minst.Add), ra, rc));
+      jcc_t Minst.Ov 0;
+      st ra 2
+  | Kastrap (sub, bits) ->
+      (* narrow: the result must equal its own sign-extension *)
+      ld ra 0;
+      ld rc 1;
+      e (Minst.Alu_rr ((if sub then Minst.Sub else Minst.Add), ra, rc));
+      e (Minst.Ext { dst = r10; src = ra; bits; signed = true });
+      e (Minst.Cmp_rr (r10, ra));
+      jcc_t Minst.Ne 0;
+      st r10 2
+  | Kastrap128 sub ->
+      ld ra 0;
+      ld rc 1;
+      ld r8 2;
+      ld r9 3;
+      (if sub then begin
+         e (Minst.Alu_rr (Minst.Sub, ra, rc));
+         e (Minst.Alu_rr (Minst.Sbb, r8, r9))
+       end
+       else begin
+         e (Minst.Alu_rr (Minst.Add, ra, rc));
+         e (Minst.Alu_rr (Minst.Adc, r8, r9))
+       end);
+      jcc_t Minst.Ov 0;
+      st ra 4;
+      st r8 5
+  | Kmultrap 0 ->
+      ld ra 0;
+      ld rc 1;
+      e (Minst.Alu_rr (Minst.Mul, ra, rc));
+      jcc_t Minst.Ov 0;
+      st ra 2
+  | Kmultrap bits ->
+      ld ra 0;
+      ld rc 1;
+      e (Minst.Alu_rr (Minst.Mul, ra, rc));
+      e (Minst.Ext { dst = r10; src = ra; bits; signed = true });
+      e (Minst.Cmp_rr (r10, ra));
+      jcc_t Minst.Ne 0;
+      st r10 2
+  | Kmultrap128 ->
+      (* the runtime helper computes the full product and raises the same
+         overflow trap DirectEmit's slow path relies on, so going through
+         it unconditionally is result- and trap-equivalent *)
+      ld args.(0) 0;
+      ld args.(1) 1;
+      ld args.(2) 2;
+      ld args.(3) 3;
+      sym64 r11 0;
+      e (Minst.Call_ind r11);
+      st rets.(0) 4;
+      st rets.(1) 5
+  | Kjmp -> jmp_t 0
+  | Kcondbr ->
+      ld ra 0;
+      e (Minst.Cmp_ri (ra, 0L));
+      jcc_t Minst.Eq 0
+  | Kcondbrnz ->
+      ld ra 0;
+      e (Minst.Cmp_ri (ra, 0L));
+      jcc_t Minst.Ne 0
+  | Kcondbr2 ->
+      (* targets: 0 = else, 1 = then *)
+      ld ra 0;
+      e (Minst.Cmp_ri (ra, 0L));
+      jcc_t Minst.Eq 0;
+      jmp_t 1
+  | Kret 0 -> jmp_t 0
+  | Kret 1 ->
+      ld rets.(0) 0;
+      jmp_t 0
+  | Kret _ ->
+      ld rets.(0) 0;
+      ld rets.(1) 1;
+      jmp_t 0
+  | Kunreachable -> e (Minst.Brk 0)
+  | Kfalu op ->
+      ld ra 0;
+      ld rc 1;
+      e (Minst.Falu_rr (op, ra, rc));
+      st ra 2
+  | Kcvt si2f ->
+      ld ra 0;
+      e (if si2f then Minst.Cvt_si2f (rc, ra) else Minst.Cvt_f2si (rc, ra));
+      st rc 1
+  | Kcopy false ->
+      ld r11 0;
+      st r11 1
+  | Kcopy true ->
+      ld r11 0;
+      st r11 1;
+      ld r11 2;
+      st r11 3);
+  let holes = List.rev b.holes in
+  let h32 =
+    List.filter_map (function H32 (o, a) -> Some ((o lsl 3) lor a) | _ -> None) holes
+  in
+  let rest = List.filter (function H32 _ -> false | _ -> true) holes in
+  let code = Asm.finish b.asm in
+  let n = Bytes.length code in
+  let padded = Bytes.make (max 64 ((n + 7) land -8)) '\000' in
+  Bytes.blit code 0 padded 0 n;
+  { s_code = padded; s_len = n; s_h32 = Array.of_list h32; s_rest = Array.of_list rest }
+
+(* ------------------------------------------------------------------ *)
+(* The library: a process-wide memoized table. Parallel serving workers
+   (--domains) compile concurrently, hence the mutex. *)
+
+let table : (key, stencil) Hashtbl.t = Hashtbl.create 256
+let table_mu = Mutex.create ()
+
+let stencil_of target key =
+  Mutex.protect table_mu (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some s -> s
+      | None ->
+          let s = build target key in
+          Hashtbl.add table key s;
+          s)
+
+let library_size () = Mutex.protect table_mu (fun () -> Hashtbl.length table)
+
+let dummy_stencil =
+  { s_code = Bytes.create 64; s_len = 0; s_h32 = [||]; s_rest = [||] }
+
+(* The x64 library as a dense array, filled by [prewarm]. Per-compilation
+   caches start as a copy of this, so steady-state library access is one
+   array probe with no hashing and no lock. *)
+let dense_x64 = Array.make ncodes dummy_stencil
+
+(* The flat library: every prewarmed stencil packed into one contiguous
+   code pool with one metadata int per key code. The per-stencil records
+   above are ~220 scattered heap objects (record, code bytes, hole
+   array); at one stencil instantiation every ~35 ns that working set
+   misses L1 constantly. The flat form is ~20 kB of contiguous data, so
+   the steady-state emit path reads from cache-hot memory only.
+
+   Metadata packing (bit 0 set = present):
+     bits 1-3   H32 hole count (max arity is 7)
+     bit 4      has non-H32 holes (consult [fl_rest])
+     bits 5-15  start index into [fl_h32]
+     bits 16-25 true code length in bytes
+     bits 26-.. byte offset into [fl_pool]
+   Any stencil that does not fit this packing keeps a zero word and goes
+   through the slow record path instead. *)
+type flat = {
+  fl_pool : Bytes.t;  (** concatenated padded stencil code *)
+  fl_meta : int array;  (** key_code -> packed word, 0 = not present *)
+  fl_h32 : int array;  (** packed H32 holes, [off lsl 3 lor arg] *)
+  fl_rest : hole array array;  (** key_code -> non-H32 holes *)
+}
+
+let empty_flat =
+  { fl_pool = Bytes.create 64; fl_meta = Array.make ncodes 0;
+    fl_h32 = [||]; fl_rest = Array.make ncodes [||] }
+
+(* Written once by [prewarm] before any serving domain is spawned (the
+   spawn provides the needed happens-before edge); read-only after. *)
+let flat_x64 = ref empty_flat
+
+let flat_of_table () =
+  let entries =
+    Mutex.protect table_mu (fun () ->
+        Hashtbl.fold (fun k s acc -> (key_code k, s) :: acc) table [])
+  in
+  let pool_len =
+    List.fold_left (fun a (_, s) -> a + Bytes.length s.s_code) 0 entries
+  in
+  let pool = Bytes.create (pool_len + 64) in
+  let meta = Array.make ncodes 0 in
+  let rest = Array.make ncodes [||] in
+  let h32s = ref [] and nh32 = ref 0 in
+  let off = ref 0 in
+  List.iter
+    (fun (c, s) ->
+      let hc = Array.length s.s_h32 and h0 = !nh32 in
+      if s.s_len < 1024 && hc <= 7 && h0 < 2048 then begin
+        Bytes.blit s.s_code 0 pool !off (Bytes.length s.s_code);
+        Array.iter (fun p -> h32s := p :: !h32s; incr nh32) s.s_h32;
+        let has_rest = if Array.length s.s_rest > 0 then 16 else 0 in
+        rest.(c) <- s.s_rest;
+        meta.(c) <-
+          1 lor (hc lsl 1) lor has_rest lor (h0 lsl 5) lor (s.s_len lsl 16)
+          lor (!off lsl 26);
+        off := !off + Bytes.length s.s_code
+      end)
+    entries;
+  {
+    fl_pool = pool;
+    fl_meta = meta;
+    fl_h32 = Array.of_list (List.rev !h32s);
+    fl_rest = rest;
+  }
+
+(** Pre-build the non-parametric population so the first query does not
+    pay for library construction. Idempotent and cheap (each stencil is a
+    few dozen bytes through the encoder). *)
+let prewarm () =
+  let t = Target.x64 in
+  let get k = dense_x64.(key_code k) <- stencil_of t k in
+  List.iter get [ Kprologue; Kepilogue; Ktrap; Kconst false; Kconst true ];
+  List.iter get [ Kisnull false; Kisnull true ];
+  let bits = [ 0; 8; 16; 32 ] in
+  List.iter
+    (fun op -> List.iter (fun w -> get (Kalu (op, w))) bits)
+    Minst.[ Add; Sub; Mul; And; Or; Xor; Shl; Shr; Sar; Ror ];
+  List.iter (fun op -> get (Kalu128 op)) Minst.[ Add; Sub; And; Or; Xor ];
+  get Kmul128;
+  List.iter
+    (fun signed ->
+      List.iter
+        (fun rem -> List.iter (fun w -> get (Kdiv (signed, rem, w))) bits)
+        [ false; true ])
+    [ false; true ];
+  List.iter
+    (fun c ->
+      get (Kcmp (c, false));
+      get (Kcmp (c, true)))
+    Minst.[ Eq; Ne; Slt; Sle; Sgt; Sge; Ult; Ule; Ugt; Uge ];
+  List.iter get [ Kcmp128eq false; Kcmp128eq true ];
+  List.iter
+    (fun (u, hi) -> get (Kcmp128ord (u, hi)))
+    Minst.[ (Ult, Slt); (Ule, Slt); (Ugt, Sgt); (Uge, Sgt);
+            (Ult, Ult); (Ule, Ult); (Ugt, Ugt); (Uge, Ugt) ];
+  List.iter
+    (fun w ->
+      get (Kzext (w, false));
+      get (Kzext (w, true)))
+    [ 0; 1; 8; 16; 32 ];
+  List.iter get [ Ksext false; Ksext true ];
+  List.iter (fun k -> get (Ktrunc k)) [ -1; 0; 8; 16; 32 ];
+  List.iter get [ Kselect false; Kselect true ];
+  List.iter
+    (fun size ->
+      get (Kload (size, size < 8, false));
+      get (Kstore (size, false)))
+    [ 1; 2; 4; 8 ];
+  get (Kload (1, false, false));
+  get (Kload (8, false, true));
+  get (Kstore (8, true));
+  get Kgep_base;
+  List.iter (fun s -> get (Kgep s)) [ 1; 2; 4; 8 ];
+  get Kgep_mul;
+  List.iter get [ Kcrc32; Klmf; Katomic 8; Katomic 4 ];
+  for k = 0 to Array.length Target.x64.Target.arg_regs - 1 do
+    get (Kldarg k);
+    get (Kstarg k)
+  done;
+  List.iter get [ Kcall; Kstret 0; Kstret 1 ];
+  List.iter
+    (fun sub ->
+      List.iter (fun w -> get (Kastrap (sub, w))) bits;
+      get (Kastrap128 sub))
+    [ false; true ];
+  List.iter (fun w -> get (Kmultrap w)) bits;
+  get Kmultrap128;
+  List.iter get
+    [ Kjmp; Kcondbr; Kcondbr2; Kcondbrnz; Kret 0; Kret 1; Kret 2; Kunreachable;
+      Kcvt false; Kcvt true; Kcopy false; Kcopy true ];
+  List.iter (fun op -> get (Kfalu op)) Minst.[ Fadd; Fsub; Fmul; Fdiv ];
+  for n = 1 to min 8 (Array.length Target.x64.Target.arg_regs) do
+    get (Kprologue_args n)
+  done;
+  flat_x64 := flat_of_table ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-query compilation: blit and patch.                              *)
+
+type cbuf = { mutable bytes : Bytes.t; mutable len : int }
+
+let cb_create () = { bytes = Bytes.create 4096; len = 0 }
+
+let cb_reserve cb n =
+  let cap = Bytes.length cb.bytes in
+  if cb.len + n > cap then begin
+    let b = Bytes.create (max (cb.len + n) (2 * cap)) in
+    Bytes.blit cb.bytes 0 b 0 cb.len;
+    cb.bytes <- b
+  end
+
+let cb_u8 cb v =
+  cb_reserve cb 1;
+  Bytes.unsafe_set cb.bytes cb.len (Char.unsafe_chr (v land 0xFF));
+  cb.len <- cb.len + 1
+
+external get64u : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set64u : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+(* Stencils are a few dozen bytes; an inline word copy beats the C-call
+   round trip of [Bytes.blit] at that size. [s_code] is padded, so the
+   common case is a branch-free 64-byte copy with no loop-trip
+   misprediction; longer stencils fall back to a word loop. Both may
+   write up to 63 bytes of tail garbage past [s_len] into reserved
+   slack, which the next emission (or the final [Bytes.sub]) ignores. *)
+let cb_blit cb (s : stencil) =
+  let n = s.s_len in
+  cb_reserve cb (n + 64);
+  let src = s.s_code in
+  let dst = cb.bytes and base = cb.len in
+  if n <= 64 then begin
+    set64u dst base (get64u src 0);
+    set64u dst (base + 8) (get64u src 8);
+    set64u dst (base + 16) (get64u src 16);
+    set64u dst (base + 24) (get64u src 24);
+    set64u dst (base + 32) (get64u src 32);
+    set64u dst (base + 40) (get64u src 40);
+    set64u dst (base + 48) (get64u src 48);
+    set64u dst (base + 56) (get64u src 56)
+  end
+  else begin
+    let m = (n + 7) land -8 in
+    let i = ref 0 in
+    while !i < m do
+      set64u dst (base + !i) (get64u src !i);
+      i := !i + 8
+    done
+  end;
+  cb.len <- base + n
+
+(* all patch positions come from recorded hole offsets inside bytes the
+   buffer just grew by, so the unchecked writes stay in bounds *)
+let[@inline] patch32 cb pos v =
+  let b = cb.bytes in
+  Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((v asr 8) land 0xFF));
+  Bytes.unsafe_set b (pos + 2) (Char.unsafe_chr ((v asr 16) land 0xFF));
+  Bytes.unsafe_set b (pos + 3) (Char.unsafe_chr ((v asr 24) land 0xFF))
+
+let[@inline] patch64 cb pos v = Bytes.set_int64_le cb.bytes pos v
+
+type st = {
+  cb : cbuf;
+  target : Target.t;
+  cache : stencil array;  (** key_code -> stencil, [dummy_stencil] = miss *)
+  flat : flat;  (** the packed prewarmed library, [empty_flat] if none *)
+  mutable relocs : Qcomp_backend.Artifact.reloc list;
+  mutable stencils_used : int;
+  (* shared argument scratch: [inst] patches every hole before returning,
+     so one buffer per argument class serves all emissions without a
+     fresh array per stencil *)
+  ai : int array;
+  at : int array;
+  a64 : int64 array;
+}
+
+(* x64 compilations share [dense_x64] directly: entries are only ever
+   replaced by the identical stencil ([stencil_of] is memoized), so the
+   lock-free shared writes in [fetch] are benign, including across
+   parallel serving domains. *)
+let cache_for (target : Target.t) =
+  if target == Target.x64 then dense_x64
+  else Array.make ncodes dummy_stencil
+
+let flat_for (target : Target.t) =
+  if target == Target.x64 then !flat_x64 else empty_flat
+
+(* Library access on the per-query path: a flat array probe; only shapes
+   missing from the prewarmed set touch the shared table. *)
+let[@inline] fetch st code =
+  let s = Array.unsafe_get st.cache code in
+  if s != dummy_stencil then s
+  else begin
+    let s = stencil_of st.target (Array.unsafe_get key_of_code code) in
+    Array.unsafe_set st.cache code s;
+    s
+  end
+
+let no_ints = [||]
+let no_i64s = [||]
+let no_tgts = [||]
+let no_syms = [||]
+
+(* Per-function label table: block b -> label b, then epilogue, trap,
+   then locally allocated labels (condbr else-stubs). *)
+type labels = {
+  mutable offs : int array;  (** label -> buffer offset, -1 unbound *)
+  mutable n : int;
+  mutable fixups : (int * int) list;  (** rel32 field position, label *)
+}
+
+let new_label ls =
+  let l = ls.n in
+  if l = Array.length ls.offs then begin
+    let a = Array.make (2 * l) (-1) in
+    Array.blit ls.offs 0 a 0 l;
+    ls.offs <- a
+  end;
+  ls.n <- l + 1;
+  l
+
+(* Non-H32 holes and library misses are rare; handling them out of line
+   keeps the hot instantiation path small. *)
+let patch_rest st ls rest base i64s tgts syms =
+  for hi = 0 to Array.length rest - 1 do
+    match Array.unsafe_get rest hi with
+    | H32 _ -> assert false
+    | H64 (o, a) -> patch64 st.cb (base + o) (Array.unsafe_get i64s a)
+    | Htgt (o, a) -> ls.fixups <- (base + o, Array.unsafe_get tgts a) :: ls.fixups
+    | Hsym (o, a) ->
+        st.relocs <-
+          {
+            Qcomp_backend.Artifact.r_off = base + o;
+            r_sym = Array.unsafe_get syms a;
+            r_kind = Qcomp_backend.Artifact.Abs64;
+          }
+          :: st.relocs
+  done
+
+let inst_slow st ls code ints i64s tgts syms =
+  let s = fetch st code in
+  let base = st.cb.len in
+  cb_blit st.cb s;
+  let h32 = s.s_h32 in
+  for hi = 0 to Array.length h32 - 1 do
+    let p = Array.unsafe_get h32 hi in
+    patch32 st.cb (base + (p lsr 3)) (Array.unsafe_get ints (p land 7))
+  done;
+  patch_rest st ls s.s_rest base i64s tgts syms;
+  st.stencils_used <- st.stencils_used + 1
+
+(* Positional on purpose: optional arguments would box a [Some] per call
+   and force a generic apply; this is the hottest function in the
+   back-end (once per emitted stencil). Reads only the flat library in
+   the common case; every access below stays in ~20 kB of contiguous,
+   read-only data. *)
+let inst st ls code ints i64s tgts syms =
+  let fl = st.flat in
+  let w = Array.unsafe_get fl.fl_meta code in
+  if w = 0 then inst_slow st ls code ints i64s tgts syms
+  else begin
+    let n = (w lsr 16) land 0x3FF in
+    let off = w lsr 26 in
+    let cb = st.cb in
+    cb_reserve cb (n + 64);
+    let src = fl.fl_pool in
+    let dst = cb.bytes and base = cb.len in
+    if n <= 64 then begin
+      set64u dst base (get64u src off);
+      set64u dst (base + 8) (get64u src (off + 8));
+      set64u dst (base + 16) (get64u src (off + 16));
+      set64u dst (base + 24) (get64u src (off + 24));
+      set64u dst (base + 32) (get64u src (off + 32));
+      set64u dst (base + 40) (get64u src (off + 40));
+      set64u dst (base + 48) (get64u src (off + 48));
+      set64u dst (base + 56) (get64u src (off + 56))
+    end
+    else begin
+      let m = (n + 7) land -8 in
+      let i = ref 0 in
+      while !i < m do
+        set64u dst (base + !i) (get64u src (off + !i));
+        i := !i + 8
+      done
+    end;
+    cb.len <- base + n;
+    let hc = (w lsr 1) land 7 in
+    if hc <> 0 then begin
+      let hp = fl.fl_h32 in
+      let h0 = (w lsr 5) land 0x7FF in
+      for hi = h0 to h0 + hc - 1 do
+        let p = Array.unsafe_get hp hi in
+        patch32 cb (base + (p lsr 3)) (Array.unsafe_get ints (p land 7))
+      done
+    end;
+    if w land 16 <> 0 then
+      patch_rest st ls (Array.unsafe_get fl.fl_rest code) base i64s tgts syms;
+    st.stencils_used <- st.stencils_used + 1
+  end
+
+(* Arity-specialized emit wrappers. Operands go into the shared scratch
+   arrays in [st] instead of a fresh array per stencil; [inst] consumes
+   its arguments before returning, so the reuse is safe. These live at
+   toplevel on purpose: defining them inside [compile_func] would
+   allocate two dozen closures per compiled function. *)
+let[@inline] emit0 st ls key = inst st ls key no_ints no_i64s no_tgts no_syms
+let[@inline] emits st ls key syms = inst st ls key no_ints no_i64s no_tgts syms
+let[@inline] emitis st ls key ints syms = inst st ls key ints no_i64s no_tgts syms
+
+let[@inline] emiti1 st ls key p0 =
+  let ai = st.ai in
+  Array.unsafe_set ai 0 p0;
+  inst st ls key ai no_i64s no_tgts no_syms
+
+let[@inline] emiti2 st ls key p0 p1 =
+  let ai = st.ai in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set ai 1 p1;
+  inst st ls key ai no_i64s no_tgts no_syms
+
+let[@inline] emiti3 st ls key p0 p1 p2 =
+  let ai = st.ai in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set ai 1 p1;
+  Array.unsafe_set ai 2 p2;
+  inst st ls key ai no_i64s no_tgts no_syms
+
+let[@inline] emiti4 st ls key p0 p1 p2 p3 =
+  let ai = st.ai in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set ai 1 p1;
+  Array.unsafe_set ai 2 p2;
+  Array.unsafe_set ai 3 p3;
+  inst st ls key ai no_i64s no_tgts no_syms
+
+let[@inline] emiti5 st ls key p0 p1 p2 p3 p4 =
+  let ai = st.ai in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set ai 1 p1;
+  Array.unsafe_set ai 2 p2;
+  Array.unsafe_set ai 3 p3;
+  Array.unsafe_set ai 4 p4;
+  inst st ls key ai no_i64s no_tgts no_syms
+
+let[@inline] emiti6 st ls key p0 p1 p2 p3 p4 p5 =
+  let ai = st.ai in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set ai 1 p1;
+  Array.unsafe_set ai 2 p2;
+  Array.unsafe_set ai 3 p3;
+  Array.unsafe_set ai 4 p4;
+  Array.unsafe_set ai 5 p5;
+  inst st ls key ai no_i64s no_tgts no_syms
+
+let[@inline] emiti7 st ls key p0 p1 p2 p3 p4 p5 p6 =
+  let ai = st.ai in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set ai 1 p1;
+  Array.unsafe_set ai 2 p2;
+  Array.unsafe_set ai 3 p3;
+  Array.unsafe_set ai 4 p4;
+  Array.unsafe_set ai 5 p5;
+  Array.unsafe_set ai 6 p6;
+  inst st ls key ai no_i64s no_tgts no_syms
+
+let[@inline] emitc1 st ls key p0 v0 =
+  let ai = st.ai and a64 = st.a64 in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set a64 0 v0;
+  inst st ls key ai a64 no_tgts no_syms
+
+let[@inline] emitc2 st ls key p0 p1 v0 v1 =
+  let ai = st.ai and a64 = st.a64 in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set ai 1 p1;
+  Array.unsafe_set a64 0 v0;
+  Array.unsafe_set a64 1 v1;
+  inst st ls key ai a64 no_tgts no_syms
+
+let[@inline] emitt1 st ls key t0 =
+  let at = st.at in
+  Array.unsafe_set at 0 t0;
+  inst st ls key no_ints no_i64s at no_syms
+
+let[@inline] emit1t1 st ls key p0 t0 =
+  let ai = st.ai and at = st.at in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set at 0 t0;
+  inst st ls key ai no_i64s at no_syms
+
+let[@inline] emit1t2 st ls key p0 t0 t1 =
+  let ai = st.ai and at = st.at in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set at 0 t0;
+  Array.unsafe_set at 1 t1;
+  inst st ls key ai no_i64s at no_syms
+
+let[@inline] emit2t1 st ls key p0 p1 t0 =
+  let ai = st.ai and at = st.at in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set ai 1 p1;
+  Array.unsafe_set at 0 t0;
+  inst st ls key ai no_i64s at no_syms
+
+let[@inline] emit3t1 st ls key p0 p1 p2 t0 =
+  let ai = st.ai and at = st.at in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set ai 1 p1;
+  Array.unsafe_set ai 2 p2;
+  Array.unsafe_set at 0 t0;
+  inst st ls key ai no_i64s at no_syms
+
+let[@inline] emit6t1 st ls key p0 p1 p2 p3 p4 p5 t0 =
+  let ai = st.ai and at = st.at in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set ai 1 p1;
+  Array.unsafe_set ai 2 p2;
+  Array.unsafe_set ai 3 p3;
+  Array.unsafe_set ai 4 p4;
+  Array.unsafe_set ai 5 p5;
+  Array.unsafe_set at 0 t0;
+  inst st ls key ai no_i64s at no_syms
+
+let cmp_to_cond (c : Op.cmp) : Minst.cond =
+  match c with
+  | Op.Eq -> Minst.Eq
+  | Op.Ne -> Minst.Ne
+  | Op.Slt -> Minst.Slt
+  | Op.Sle -> Minst.Sle
+  | Op.Sgt -> Minst.Sgt
+  | Op.Sge -> Minst.Sge
+  | Op.Ult -> Minst.Ult
+  | Op.Ule -> Minst.Ule
+  | Op.Ugt -> Minst.Ugt
+  | Op.Uge -> Minst.Uge
+
+let canon_bits (ty : Ty.t) =
+  match ty with Ty.I8 -> 8 | Ty.I16 -> 16 | Ty.I32 -> 32 | _ -> 0
+
+let alu_of_op (op : Op.t) : Minst.alu =
+  match op with
+  | Op.Add -> Minst.Add
+  | Op.Sub -> Minst.Sub
+  | Op.Mul -> Minst.Mul
+  | Op.And -> Minst.And
+  | Op.Or -> Minst.Or
+  | Op.Xor -> Minst.Xor
+  | Op.Shl -> Minst.Shl
+  | Op.Lshr -> Minst.Shr
+  | Op.Ashr -> Minst.Sar
+  | Op.Rotr -> Minst.Ror
+  | _ -> unsupported "not an ALU op"
+
+let const_of f v =
+  match Func.op f v with
+  | Op.Const -> Some (Func.imm f v)
+  | Op.Sext | Op.Zext -> (
+      match Func.op f (Func.x f v) with
+      | Op.Const -> Some (Func.imm f (Func.x f v))
+      | _ -> None)
+  | _ -> None
+
+let ls_reset ls need =
+  if Array.length ls.offs < need + 8 then ls.offs <- Array.make (need + 8) (-1)
+  else Array.fill ls.offs 0 ls.n (-1);
+  ls.n <- 0;
+  ls.fixups <- []
+
+let compile_func st ls (m : Func.modul) (f : Func.t) =
+  let target = st.target in
+  (* 16-byte function alignment, as DirectEmit does *)
+  while st.cb.len land 15 <> 0 do
+    cb_u8 st.cb 0x00 (* nop *)
+  done;
+  let start = st.cb.len in
+  let nv = Func.num_insts f in
+  let nb = Func.num_blocks f in
+  (* hoisted IR columns: every index below is an instruction id < nv, so
+     the unchecked reads stay inside these arrays *)
+  let ops = f.Func.ops and tys = f.Func.tys in
+  let xs = f.Func.xs and ys = f.Func.ys and zs = f.Func.zs in
+  let nsa = f.Func.ns and imms = f.Func.imms in
+  (* fixed-stride frame layout: value [v] lives at [32*v], its phi staging
+     slot (parallel edge copies) at [32*v + 16].  Wasting the stride on void
+     values trades a little scratch stack (modules peak well under the VM's
+     256 KiB context stack) for skipping the slot-assignment prescan
+     entirely: the frame is a shift of [nv], and [s] is a shift of [v] *)
+  let s v = v lsl 5 in
+  let stage v = (v lsl 5) + 16 in
+  let frame = nv lsl 5 in
+  (* phi presence gates the per-block phi gather below; straight-line
+     expression code (the common case) stops at the first compare *)
+  let has_phi = ref false in
+  let v = ref 0 in
+  while (not !has_phi) && !v < nv do
+    if Array.unsafe_get ops !v == Op.Phi then has_phi := true;
+    incr v
+  done;
+  (* per-block phi lists, gathered once: edge moves consult these instead
+     of rescanning the successor block at every incoming edge *)
+  let blk_phis = Array.make nb [||] in
+  if !has_phi then
+    for b = 0 to nb - 1 do
+      let phis = ref [] in
+      Vec.iter
+        (fun i -> if Array.unsafe_get ops i == Op.Phi then phis := i :: !phis)
+        (Func.block_insts f b);
+      if !phis <> [] then blk_phis.(b) <- Array.of_list (List.rev !phis)
+    done;
+  ls_reset ls (nb + 2);
+  for _ = 0 to nb - 1 do
+    ignore (new_label ls)
+  done;
+  let epilogue = new_label ls in
+  let trap = new_label ls in
+  let trap_used = ref false in
+  let trap_l () =
+    trap_used := true;
+    trap
+  in
+  let bind l = ls.offs.(l) <- st.cb.len in
+  (* prologue + incoming argument spill: arguments arrive in registers and
+     are parked in their slots once, so stencils can treat them like any
+     other value *)
+  let nargs = Func.n_args f in
+  let args_fuse =
+    nargs >= 1 && nargs <= 8
+    && nargs <= Array.length target.Target.arg_regs
+    &&
+    let ok = ref true in
+    for a = 0 to nargs - 1 do
+      let t = Array.unsafe_get tys a in
+      if t == Ty.I128 || t == Ty.Void then ok := false
+    done;
+    !ok
+  in
+  if args_fuse then emiti1 st ls (kprologue_args nargs) frame
+  else begin
+    emiti1 st ls kc_prologue frame;
+    let argk = ref 0 in
+    for a = 0 to nargs - 1 do
+      emiti1 st ls (kstarg !argk) (s a);
+      incr argk;
+      if Array.unsafe_get tys a == Ty.I128 then begin
+        emiti1 st ls (kstarg !argk) (s a + 8);
+        incr argk
+      end
+    done
+  end;
+  let after_prologue = st.cb.len - start in
+  let edge_moves pred target_blk =
+    let moves = ref [] in
+    Array.iter
+      (fun i ->
+        List.iter
+          (fun (blk, v) ->
+            (* a phi fed by itself is a no-op on this edge *)
+            if blk = pred && v <> i then moves := (i, v) :: !moves)
+          (Func.phi_incoming f i))
+      blk_phis.(target_blk);
+    let moves = List.rev !moves in
+    (* staging slots are only needed when a phi target is also a phi
+       source on the same edge (a parallel-move cycle or overlap); the
+       common single-phi edge copies directly *)
+    let overlaps =
+      List.exists
+        (fun (dst, _) -> List.exists (fun (_, src) -> src = dst) moves)
+        moves
+    in
+    if not overlaps then
+      List.iter
+        (fun (dst, src) ->
+          if Array.unsafe_get tys src == Ty.I128 then
+            emiti4 st ls kc_copy128 (s src) (s dst) (s src + 8) (s dst + 8)
+          else emiti2 st ls kc_copy (s src) (s dst))
+        moves
+    else begin
+      List.iter
+        (fun (dst, src) ->
+          if Array.unsafe_get tys src == Ty.I128 then
+            emiti4 st ls kc_copy128 (s src) (stage dst) (s src + 8) (stage dst + 8)
+          else emiti2 st ls kc_copy (s src) (stage dst))
+        moves;
+      List.iter
+        (fun (dst, _) ->
+          if Array.unsafe_get tys dst == Ty.I128 then
+            emiti4 st ls kc_copy128 (stage dst) (s dst) (stage dst + 8) (s dst + 8)
+          else emiti2 st ls kc_copy (stage dst) (s dst))
+        moves
+    end
+  in
+  let emit_inst cur_block i =
+    let ty = Array.unsafe_get tys i in
+    let x = Array.unsafe_get xs i and y = Array.unsafe_get ys i in
+    match Array.unsafe_get ops i with
+    | Op.Nop | Op.Arg | Op.Phi -> ()
+    | Op.Const ->
+        let imm = Array.unsafe_get imms i in
+        if ty == Ty.I128 then
+          emitc2 st ls kc_const128 (s i) (s i + 8) imm (Int64.shift_right imm 63)
+        else emitc1 st ls kc_const (s i) imm
+    | Op.Const128 ->
+        let hi, lo = Func.const128_value f i in
+        emitc2 st ls kc_const128 (s i) (s i + 8) lo hi
+    | Op.Isnull -> emiti2 st ls kc_isnull (s x) (s i)
+    | Op.Isnotnull -> emiti2 st ls kc_isnotnull (s x) (s i)
+    | (Op.Add | Op.Sub | Op.Mul | Op.And | Op.Or | Op.Xor) as op ->
+        if ty == Ty.I128 then
+          let key = if op == Op.Mul then kc_mul128 else kalu128 (alu_of_op op) in
+          emiti6 st ls key (s x) (s y) (s x + 8) (s y + 8) (s i) (s i + 8)
+        else
+          emiti3 st ls (kalu (alu_of_op op) (canon_bits ty)) (s x) (s y) (s i)
+    | (Op.Shl | Op.Lshr | Op.Ashr | Op.Rotr) as op ->
+        if ty == Ty.I128 then begin
+          let amt =
+            match const_of f y with
+            | Some a -> Int64.to_int a land 127
+            | None -> unsupported "dynamic 128-bit shift"
+          in
+          if op == Op.Rotr then unsupported "i128 rotate";
+          emiti4 st ls (kshift128 (alu_of_op op) amt) (s x) (s x + 8) (s i) (s i + 8)
+        end
+        else
+          emiti3 st ls (kalu (alu_of_op op) (canon_bits ty)) (s x) (s y) (s i)
+    | (Op.Saddtrap | Op.Ssubtrap) as op ->
+        let sub = op == Op.Ssubtrap in
+        if ty == Ty.I128 then
+          emit6t1 st ls
+            (kastrap128 sub)
+            (s x) (s y) (s x + 8) (s y + 8) (s i)
+            (s i + 8) (trap_l ())
+        else
+          emit3t1 st ls (kastrap sub (canon_bits ty)) (s x) (s y) (s i) (trap_l ())
+    | Op.Smultrap ->
+        if ty == Ty.I128 then
+          emitis st ls kc_multrap128 [| s x; s x + 8; s y; s y + 8; s i; s i + 8 |] [| "umbra_i128MulFull" |]
+        else
+          emit3t1 st ls (kmultrap (canon_bits ty)) (s x) (s y) (s i) (trap_l ())
+    | (Op.Sdiv | Op.Udiv | Op.Srem | Op.Urem) as op ->
+        if ty == Ty.I128 then
+          unsupported "i128 division must go through the runtime";
+        let signed = op == Op.Sdiv || op == Op.Srem in
+        let rem = op == Op.Srem || op == Op.Urem in
+        emiti3 st ls (kdiv signed rem (canon_bits ty)) (s x) (s y) (s i)
+    | Op.Cmp -> (
+        let pred = Op.cmp_of_int (Array.unsafe_get nsa i) in
+        match Array.unsafe_get tys x with
+        | Ty.I128 -> (
+            match pred with
+            | Op.Eq | Op.Ne ->
+                emiti5 st ls (kcmp128eq (pred == Op.Ne)) (s x) (s y) (s x + 8)
+                  (s y + 8) (s i)
+            | _ ->
+                let u =
+                  match pred with
+                  | Op.Slt | Op.Ult -> Minst.Ult
+                  | Op.Sle | Op.Ule -> Minst.Ule
+                  | Op.Sgt | Op.Ugt -> Minst.Ugt
+                  | _ -> Minst.Uge
+                in
+                let hi =
+                  match pred with
+                  | Op.Slt | Op.Sle -> Minst.Slt
+                  | Op.Sgt | Op.Sge -> Minst.Sgt
+                  | Op.Ult | Op.Ule -> Minst.Ult
+                  | _ -> Minst.Ugt
+                in
+                emiti5 st ls (kcmp128ord u hi) (s x) (s y) (s x + 8) (s y + 8) (s i))
+        | Ty.F64 -> emiti3 st ls (kcmp (cmp_to_cond pred) true) (s x) (s y) (s i)
+        | _ -> emiti3 st ls (kcmp (cmp_to_cond pred) false) (s x) (s y) (s i))
+    | Op.Fcmp ->
+        let pred = Op.cmp_of_int (Array.unsafe_get nsa i) in
+        emiti3 st ls (kcmp (cmp_to_cond pred) true) (s x) (s y) (s i)
+    | Op.Zext ->
+        let bits =
+          match Array.unsafe_get tys x with
+          | Ty.I1 -> 1
+          | Ty.I8 -> 8
+          | Ty.I16 -> 16
+          | Ty.I32 -> 32
+          | _ -> 0
+        in
+        if ty == Ty.I128 then emiti3 st ls (kzext bits true) (s x) (s i) (s i + 8)
+        else emiti2 st ls (kzext bits false) (s x) (s i)
+    | Op.Sext ->
+        if ty == Ty.I128 then emiti3 st ls kc_sext128 (s x) (s i) (s i + 8)
+        else emiti2 st ls kc_sext (s x) (s i)
+    | Op.Trunc ->
+        let k = if ty == Ty.I1 then -1 else canon_bits ty in
+        emiti2 st ls (ktrunc k) (s x) (s i)
+    | Op.Select ->
+        let c = x and a = y and b = Array.unsafe_get zs i in
+        if ty == Ty.I128 then
+          emiti7 st ls kc_select128 (s a) (s b) (s c) (s a + 8) (s b + 8) (s i)
+            (s i + 8)
+        else emiti4 st ls kc_select (s a) (s b) (s c) (s i)
+    | Op.Load ->
+        let off = Int64.to_int (Array.unsafe_get imms i) in
+        if ty == Ty.I128 then
+          emiti5 st ls kc_load128 (s x) off (off + 8) (s i) (s i + 8)
+        else begin
+          let size = max 1 (Ty.size_bytes ty) in
+          let sext = ty != Ty.I1 && size < 8 in
+          emiti3 st ls (kload size sext false) (s x) off (s i)
+        end
+    | Op.Store ->
+        let vty = Array.unsafe_get tys x in
+        let off = Int64.to_int (Array.unsafe_get imms i) in
+        if vty == Ty.I128 then
+          emiti5 st ls kc_store128 (s y) (s x) off (s x + 8) (off + 8)
+        else begin
+          let size = max 1 (Ty.size_bytes vty) in
+          emiti3 st ls (kstore size false) (s y) (s x) off
+        end
+    | Op.Gep ->
+        let off = Int64.to_int (Array.unsafe_get imms i) in
+        if y >= 0 then begin
+          let scale = Array.unsafe_get nsa i in
+          if scale = 1 || scale = 2 || scale = 4 || scale = 8 then
+            emiti4 st ls (kgep scale) (s x) (s y) off (s i)
+          else emiti5 st ls kc_gep_mul (s x) (s y) scale off (s i)
+        end
+        else emiti3 st ls kc_gep_base (s x) off (s i)
+    | Op.Crc32 -> emiti3 st ls kc_crc32 (s x) (s y) (s i)
+    | Op.Longmulfold -> emiti3 st ls kc_lmf (s x) (s y) (s i)
+    | Op.Atomicadd ->
+        let size = max 1 (Ty.size_bytes ty) in
+        emiti3 st ls (katomic size) (s x) (s y) (s i)
+    | Op.Call ->
+        let cargs = Func.call_args f i in
+        let arg_regs = target.Target.arg_regs in
+        let k = ref 0 in
+        List.iter
+          (fun a ->
+            if !k >= Array.length arg_regs then
+              unsupported "call with too many register arguments";
+            emiti1 st ls (kldarg !k) (s a);
+            incr k;
+            if Array.unsafe_get tys a == Ty.I128 then begin
+              if !k >= Array.length arg_regs then
+                unsupported "call with too many register arguments";
+              emiti1 st ls (kldarg !k) (s a + 8);
+              incr k
+            end)
+          cargs;
+        let ext = Func.extern m (Array.unsafe_get zs i) in
+        emits st ls kc_call [| ext.Func.ext_name |];
+        if ty != Ty.Void then begin
+          emiti1 st ls kc_stret0 (s i);
+          if ty == Ty.I128 then emiti1 st ls kc_stret1 (s i + 8)
+        end
+    | Op.Br ->
+        (* a branch to the lexically next block falls through: blocks are
+           emitted in order and [Br] is always the terminator *)
+        edge_moves cur_block x;
+        if x <> cur_block + 1 then emitt1 st ls kc_jmp x
+    | Op.Condbr ->
+        let c = x and tb = y and eb = Array.unsafe_get zs i in
+        if Array.length blk_phis.(tb) = 0 && Array.length blk_phis.(eb) = 0
+        then begin
+          if tb = cur_block + 1 then emit1t1 st ls kc_condbr (s c) eb
+          else if eb = cur_block + 1 then emit1t1 st ls kc_condbrnz (s c) tb
+          else emit1t2 st ls kc_condbr2 (s c) eb tb
+        end
+        else begin
+          let else_stub = new_label ls in
+          emit1t1 st ls kc_condbr (s c) else_stub;
+          edge_moves cur_block tb;
+          emitt1 st ls kc_jmp tb;
+          bind else_stub;
+          edge_moves cur_block eb;
+          if eb <> cur_block + 1 then emitt1 st ls kc_jmp eb
+        end
+    | Op.Ret ->
+        if x < 0 then emitt1 st ls kc_ret0 epilogue
+        else if Array.unsafe_get tys x == Ty.I128 then
+          emit2t1 st ls kc_ret2 (s x) (s x + 8) epilogue
+        else emit1t1 st ls kc_ret1 (s x) epilogue
+    | Op.Unreachable -> emit0 st ls kc_unreachable
+    | (Op.Fadd | Op.Fsub | Op.Fmul | Op.Fdiv) as op ->
+        let fop =
+          match op with
+          | Op.Fadd -> Minst.Fadd
+          | Op.Fsub -> Minst.Fsub
+          | Op.Fmul -> Minst.Fmul
+          | _ -> Minst.Fdiv
+        in
+        emiti3 st ls (kfalu fop) (s x) (s y) (s i)
+    | Op.Sitofp -> emiti2 st ls kc_cvt_i2f (s x) (s i)
+    | Op.Fptosi -> emiti2 st ls kc_cvt_f2i (s x) (s i)
+  in
+  (* body: natural block order — every block ends in an explicit branch,
+     and entry (block 0) follows the argument spill directly *)
+  for b = 0 to nb - 1 do
+    bind b;
+    let insts = Func.block_insts f b in
+    for k = 0 to Vec.length insts - 1 do
+      emit_inst b (Vec.get insts k)
+    done
+  done;
+  bind epilogue;
+  emiti1 st ls kc_epilogue frame;
+  if !trap_used then begin
+    bind trap;
+    emits st ls kc_trap [| "umbra_throwOverflow" |]
+  end;
+  (* resolve intra-function branches *)
+  List.iter
+    (fun (pos, l) ->
+      let target_off = ls.offs.(l) in
+      if target_off < 0 then unsupported "unbound stencil label %d" l;
+      patch32 st.cb pos (target_off - (pos + 4)))
+    ls.fixups;
+  let size = st.cb.len - start in
+  let rows =
+    [
+      (0, { Unwind.cfa_offset = 8; saved_regs = [] });
+      (after_prologue, { Unwind.cfa_offset = 8 + frame; saved_regs = [] });
+    ]
+  in
+  (start, size, rows)
+
+(* Compilation scratch is domain-local: one growable code buffer and one
+   label table per serving domain, reset per module, so the per-query
+   path allocates no fresh buffers. *)
+let scratch_cb = Domain.DLS.new_key cb_create
+
+let scratch_ls =
+  Domain.DLS.new_key (fun () -> { offs = Array.make 64 (-1); n = 0; fixups = [] })
+
+let compile_artifact ~timing ~(target : Target.t) ~registry:_ (m : Func.modul)
+    : Qcomp_backend.Artifact.t =
+  if target.Target.arch <> Target.X64 then
+    invalid_arg
+      "stencil back-end only supports x86-64 (copy-and-patch holes need \
+       fixed-position encodings)";
+  let cb = Domain.DLS.get scratch_cb in
+  cb.len <- 0;
+  let st =
+    { cb; target; cache = cache_for target; flat = flat_for target;
+      relocs = []; stencils_used = 0; ai = Array.make 8 0;
+      at = Array.make 2 0; a64 = Array.make 2 0L }
+  in
+  let ls = Domain.DLS.get scratch_ls in
+  let fns = ref [] in
+  Timing.scope timing "CodeGen" (fun () ->
+      Vec.iter
+        (fun f ->
+          let start, size, rows = compile_func st ls m f in
+          fns := (f.Func.name, start, size, rows) :: !fns)
+        m.Func.funcs);
+  let code =
+    Timing.scope timing "Finalize" (fun () -> Bytes.sub st.cb.bytes 0 st.cb.len)
+  in
+  {
+    Qcomp_backend.Artifact.a_backend = name;
+    a_target = target.Target.name;
+    a_text = code;
+    a_syms =
+      List.rev_map
+        (fun (n, start, size, _) ->
+          {
+            Qcomp_backend.Artifact.s_name = n;
+            s_off = start;
+            s_size = size;
+            s_defined = true;
+          })
+        !fns;
+    (* fully relocatable: all runtime addresses go through Abs64 relocs *)
+    a_relocs = st.relocs;
+    a_unwind =
+      List.rev_map
+        (fun (_, start, size, rows) ->
+          {
+            Qcomp_backend.Artifact.uf_start = start;
+            uf_size = size;
+            uf_sync_only = true;
+            uf_rows = rows;
+          })
+        !fns;
+    a_baked = [];
+    a_stats =
+      [ ("stencils", st.stencils_used); ("stencil_library", library_size ()) ];
+    a_code_size = Bytes.length code;
+  }
+
+let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
+    Qcomp_backend.Backend.compiled_module =
+  let art =
+    compile_artifact ~timing ~target:(Qcomp_vm.Emu.target_of emu) ~registry m
+  in
+  Qcomp_backend.Backend.link_artifact ~scope:None ~timing ~emu ~registry
+    ~unwind art
+
+let compile_artifact = Some compile_artifact

@@ -73,6 +73,7 @@ let run target backend plan =
 
 let backends_x64 =
   [
+    ("stencil", Engine.stencil);
     ("directemit", Engine.directemit);
     ("cranelift", Engine.cranelift);
     ("llvm-cheap", Engine.llvm_cheap);
@@ -80,8 +81,9 @@ let backends_x64 =
     ("gcc", Engine.gcc);
   ]
 
-(* DirectEmit is x86-64-only, exactly like Umbra's *)
-let backends_a64 = List.filter (fun (n, _) -> n <> "directemit") backends_x64
+(* DirectEmit and the stencil back-end are x86-64-only, exactly like Umbra's *)
+let backends_a64 =
+  List.filter (fun (n, _) -> n <> "directemit" && n <> "stencil") backends_x64
 
 let differential target backends =
   List.concat_map

@@ -197,6 +197,7 @@ let run_outcome ?target backend plan =
 
 let backends =
   [
+    ("stencil", Engine.stencil);
     ("directemit", Engine.directemit);
     ("cranelift", Engine.cranelift);
     ("llvm-cheap", Engine.llvm_cheap);
@@ -223,4 +224,4 @@ let suite =
   List.map (fun b -> mk_test b) backends
   @ List.map
       (fun b -> mk_test ~target:Qcomp_vm.Target.a64 ~suffix:" (a64)" b)
-      (List.filter (fun (n, _) -> n <> "directemit") backends)
+      (List.filter (fun (n, _) -> n <> "directemit" && n <> "stencil") backends)

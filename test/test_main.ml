@@ -24,6 +24,7 @@ let () =
       ("cparse", Test_cparse.suite);
       ("lpasses", Test_lpasses.suite);
       ("backends", Test_backends.suite);
+      ("stencil", Test_stencil.suite);
       ("workloads", Test_workloads.suite);
       ("fuzz-plans", Test_fuzz_plans.suite);
       ("props-extra", Test_props_extra.suite);

@@ -1,0 +1,319 @@
+(* Stencil back-end tests: library integrity (dense numbering, hole
+   bounds, flat-pool coherence), artifact provenance and statistics,
+   tier-ladder position, cost-model coverage, snapshot versioning, and a
+   differential check through the parallel serving pool. Cross-back-end
+   result equivalence is covered by test_backends / test_fuzz_plans, and
+   the generic artifact/snapshot round-trips by test_server — stencil is
+   registered in [Engine.all_backends] and rides those for free. *)
+
+open Qcomp_engine
+open Qcomp_plan
+open Qcomp_storage
+open Qcomp_server
+module Stencil = Qcomp_stencil.Stencil
+
+let check = Alcotest.check
+
+let make_db ?(target = Qcomp_vm.Target.x64) () =
+  let db = Engine.create_db ~mem_size:(1 lsl 25) target in
+  let t =
+    Schema.make "t"
+      [ ("id", Schema.Int64); ("grp", Schema.Int32); ("amt", Schema.Decimal 2);
+        ("tag", Schema.Str) ]
+  in
+  let _ =
+    Engine.add_table db t ~rows:200 ~seed:7L
+      [| Datagen.Serial 0; Datagen.Uniform (0, 7);
+         Datagen.DecimalRange (-400, 4000); Datagen.Words (Datagen.word_pool, 2) |]
+  in
+  db
+
+let scan = Algebra.Scan { table = "t"; filter = None }
+
+let plans =
+  [
+    ("filter", Algebra.Filter { input = scan; pred = Expr.(col 1 >% int32 3) });
+    ( "agg",
+      Algebra.Group_by
+        {
+          input = scan;
+          keys = [ Expr.col 1 ];
+          aggs =
+            [ Algebra.Count_star; Algebra.Sum (Expr.col 0);
+              Algebra.Avg (Expr.col 2) ];
+        } );
+    ( "join",
+      Algebra.Hash_join
+        {
+          build = Algebra.Filter { input = scan; pred = Expr.(col 1 =% int32 2) };
+          probe = scan;
+          build_keys = [ Expr.col 1 ];
+          probe_keys = [ Expr.col 1 ];
+        } );
+    ( "sort",
+      Algebra.Order_by
+        { input = scan; keys = [ (Expr.col 0, Algebra.Desc) ]; limit = Some 12 } );
+  ]
+
+(* ---------------- library integrity ---------------- *)
+
+(* the dense numbering and its inverse must agree on every code: a skew
+   here would make the miss path rebuild the wrong stencil *)
+let numbering_test =
+  Alcotest.test_case "key_of_code inverts key_code on every code" `Quick
+    (fun () ->
+      for c = 0 to Stencil.ncodes - 1 do
+        let c' = Stencil.key_code Stencil.key_of_code.(c) in
+        if c' <> c then Alcotest.failf "code %d maps to key with code %d" c c'
+      done)
+
+(* every prewarmed stencil: non-empty, padded for the word-copy loop, and
+   all hole offsets inside the true code length *)
+let holes_test =
+  Alcotest.test_case "per-op stencils: padding and hole bounds" `Quick
+    (fun () ->
+      Stencil.prewarm ();
+      let seen = ref 0 in
+      for c = 0 to Stencil.ncodes - 1 do
+        let s = Stencil.dense_x64.(c) in
+        if s != Stencil.dummy_stencil then begin
+          incr seen;
+          let cap = Bytes.length s.Stencil.s_code in
+          if s.Stencil.s_len <= 0 then Alcotest.failf "code %d: empty stencil" c;
+          if cap < 64 || cap land 7 <> 0 || cap < s.Stencil.s_len then
+            Alcotest.failf "code %d: bad padding (%d for %d)" c cap
+              s.Stencil.s_len;
+          Array.iter
+            (fun p ->
+              let off = p lsr 3 and arg = p land 7 in
+              if off + 4 > s.Stencil.s_len || arg < 0 then
+                Alcotest.failf "code %d: h32 hole at %d out of bounds" c off)
+            s.Stencil.s_h32;
+          Array.iter
+            (fun h ->
+              let last =
+                match h with
+                | Stencil.H32 (o, _) | Stencil.Htgt (o, _) -> o + 4
+                | Stencil.H64 (o, _) | Stencil.Hsym (o, _) -> o + 8
+              in
+              if last > s.Stencil.s_len then
+                Alcotest.failf "code %d: hole past code end" c)
+            s.Stencil.s_rest
+        end
+      done;
+      check Alcotest.bool "prewarm populated a real library" true (!seen > 150))
+
+(* the packed flat library must describe exactly the same bytes and holes
+   as the per-stencil records it was folded from *)
+let flat_coherence_test =
+  Alcotest.test_case "flat library mirrors the stencil records" `Quick
+    (fun () ->
+      Stencil.prewarm ();
+      let fl = !Stencil.flat_x64 in
+      let covered = ref 0 in
+      for c = 0 to Stencil.ncodes - 1 do
+        let w = fl.Stencil.fl_meta.(c) in
+        if w <> 0 then begin
+          incr covered;
+          let s = Stencil.dense_x64.(c) in
+          if s == Stencil.dummy_stencil then
+            Alcotest.failf "code %d: flat entry without a record" c;
+          let n = (w lsr 16) land 0x3FF and off = w lsr 26 in
+          if n <> s.Stencil.s_len then
+            Alcotest.failf "code %d: flat len %d <> %d" c n s.Stencil.s_len;
+          if
+            not
+              (Bytes.equal
+                 (Bytes.sub fl.Stencil.fl_pool off n)
+                 (Bytes.sub s.Stencil.s_code 0 n))
+          then Alcotest.failf "code %d: flat pool bytes differ" c;
+          let hc = (w lsr 1) land 7 and h0 = (w lsr 5) land 0x7FF in
+          if hc <> Array.length s.Stencil.s_h32 then
+            Alcotest.failf "code %d: flat hole count %d <> %d" c hc
+              (Array.length s.Stencil.s_h32);
+          for k = 0 to hc - 1 do
+            if fl.Stencil.fl_h32.(h0 + k) <> s.Stencil.s_h32.(k) then
+              Alcotest.failf "code %d: flat hole %d differs" c k
+          done;
+          let has_rest = Array.length s.Stencil.s_rest > 0 in
+          if w land 16 <> 0 <> has_rest then
+            Alcotest.failf "code %d: rest flag differs" c
+        end
+      done;
+      check Alcotest.bool "flat library covers the prewarmed set" true
+        (!covered > 150))
+
+(* ---------------- artifact provenance ---------------- *)
+
+let artifact_stats_test =
+  Alcotest.test_case "artifact: provenance, stencil stats, determinism"
+    `Quick (fun () ->
+      let db = make_db () in
+      let timing = Qcomp_support.Timing.create ~enabled:false () in
+      let cq = Engine.plan_to_ir db ~name:"q" (List.assoc "join" plans) in
+      let compile =
+        match Qcomp_backend.Backend.compile_artifact Engine.stencil with
+        | Some f -> f
+        | None -> Alcotest.fail "stencil produces no artifact"
+      in
+      let art =
+        compile ~timing ~target:db.Engine.target ~registry:db.Engine.registry
+          cq.Qcomp_codegen.Codegen.modul
+      in
+      check Alcotest.string "backend" "stencil"
+        art.Qcomp_backend.Artifact.a_backend;
+      let stat k = List.assoc_opt k art.Qcomp_backend.Artifact.a_stats in
+      (match stat "stencils" with
+      | Some n when n > 0 -> ()
+      | _ -> Alcotest.fail "no stencil count in artifact stats");
+      (match stat "stencil_library" with
+      | Some n when n > 150 -> ()
+      | _ -> Alcotest.fail "library size missing from artifact stats");
+      (* blit-and-patch is deterministic: same module, same bytes *)
+      let art2 =
+        compile ~timing ~target:db.Engine.target ~registry:db.Engine.registry
+          cq.Qcomp_codegen.Codegen.modul
+      in
+      check Alcotest.bool "byte-identical recompile" true
+        (Bytes.equal art.Qcomp_backend.Artifact.a_text
+           art2.Qcomp_backend.Artifact.a_text))
+
+(* ---------------- tier ladder and cost model ---------------- *)
+
+let ladder_test =
+  Alcotest.test_case "stencil is the first native rung on x64 only" `Quick
+    (fun () ->
+      let names db = List.map fst (Engine.tier_ladder db) in
+      let x64 = names (make_db ()) in
+      (match x64 with
+      | "interpreter" :: "stencil" :: rest ->
+          check Alcotest.bool "directemit still above stencil" true
+            (List.mem "directemit" rest)
+      | _ ->
+          Alcotest.failf "x64 ladder starts %s"
+            (String.concat " -> " x64));
+      let a64 = names (make_db ~target:Qcomp_vm.Target.a64 ()) in
+      check Alcotest.bool "no stencil rung on a64" false
+        (List.mem "stencil" a64))
+
+let costmodel_test =
+  Alcotest.test_case "cost model prices stencil between its neighbours"
+    `Quick (fun () ->
+      let db = make_db () in
+      let cq = Engine.plan_to_ir db ~name:"q" (List.assoc "agg" plans) in
+      let m = cq.Qcomp_codegen.Codegen.modul in
+      let sec b = Costmodel.compile_seconds ~backend:b m in
+      check Alcotest.bool "stencil compile cost positive" true (sec "stencil" > 0.0);
+      check Alcotest.bool "stencil compiles cheaper than directemit" true
+        (sec "stencil" < sec "directemit");
+      check Alcotest.bool "stencil executes faster than the interpreter" true
+        (Costmodel.exec_rate "stencil" > Costmodel.exec_rate "interpreter");
+      check Alcotest.bool "stencil executes slower than directemit" true
+        (Costmodel.exec_rate "stencil" < Costmodel.exec_rate "directemit"))
+
+(* ---------------- snapshot versioning ---------------- *)
+
+(* the stencil-library version is folded into each record's key_v: a
+   record whose key was written by a different library build must be
+   rejected at load, never blitted with the wrong hole protocol. We
+   simulate the skew by rewriting the stored key (and fixing up the
+   payload CRC so only the key check can object). *)
+let snapshot_version_test =
+  Alcotest.test_case "snapshot with a foreign library key fails loud" `Quick
+    (fun () ->
+      let file = Filename.temp_file "qcomp_test_stencil" ".qcss" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove file)
+        (fun () ->
+          let db = make_db () in
+          let cache = Code_cache.create ~capacity:4 in
+          let e, _ =
+            Code_cache.get_or_compile cache db ~backend:Engine.stencil
+              ~name:"q" (List.assoc "agg" plans)
+          in
+          ignore (Code_cache.force cache db e);
+          Code_cache.save cache file;
+          (* sanity: the pristine snapshot loads *)
+          ignore (Code_cache.load ~capacity:4 ~db:(make_db ()) file);
+          let image =
+            let ic = open_in_bin file in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s
+          in
+          let b = Bytes.of_string image in
+          (* header: magic(4) version(4) target(4+len) count(4) paylen(4);
+             the first record leads with its i64 key_v *)
+          let tlen = Int32.to_int (Bytes.get_int32_le b 8) in
+          let payload_off = 20 + tlen in
+          Bytes.set b payload_off
+            (Char.chr (Char.code (Bytes.get b payload_off) lxor 0x5A));
+          let crc = ref 0xC5_C5_C5L in
+          for i = payload_off to Bytes.length b - 9 do
+            crc := Qcomp_support.Hashes.crc32c_byte !crc (Char.code (Bytes.get b i))
+          done;
+          Bytes.set_int64_le b (Bytes.length b - 8) !crc;
+          let oc = open_out_bin file in
+          output_bytes oc b;
+          close_out oc;
+          match Code_cache.load ~capacity:4 ~db:(make_db ()) file with
+          | _ -> Alcotest.fail "foreign record key was accepted"
+          | exception Invalid_argument _ -> ()))
+
+let key_v_library_test =
+  Alcotest.test_case "library version changes the snapshot key" `Quick
+    (fun () ->
+      let k v =
+        Fingerprint.key_v ~backend_version:v ~version:1 ~backend:"stencil"
+          ~target:"x86-64" scan
+      in
+      check Alcotest.bool "v and v+1 differ" false
+        (Int64.equal
+           (k Stencil.library_version)
+           (k (Stencil.library_version + 1)));
+      check Alcotest.bool "versioned differs from unversioned" false
+        (Int64.equal
+           (k Stencil.library_version)
+           (Fingerprint.key_v ~version:1 ~backend:"stencil" ~target:"x86-64"
+              scan)))
+
+(* ---------------- parallel serving differential ---------------- *)
+
+let parallel_test =
+  Alcotest.test_case "static:stencil across 2 domains = interpreter" `Quick
+    (fun () ->
+      let expect =
+        List.map
+          (fun (nm, p) ->
+            let timing = Qcomp_support.Timing.create ~enabled:false () in
+            let r, _, _ =
+              Engine.run_plan (make_db ()) ~backend:Engine.interpreter ~timing
+                ~name:nm p
+            in
+            (nm, (Engine.checksum r.Engine.rows, r.Engine.output_count)))
+          plans
+      in
+      let r =
+        Server.run ~parallel:2 (make_db ())
+          {
+            Server.default_config with
+            Server.mode = Server.Static Engine.stencil;
+            Server.morsel = 32;
+          }
+          plans
+      in
+      List.iter
+        (fun q ->
+          let e = List.assoc q.Server.qm_name expect in
+          check
+            Alcotest.(pair int64 int)
+            q.Server.qm_name e
+            (q.Server.qm_checksum, q.Server.qm_rows))
+        r.Server.r_queries)
+
+let suite =
+  [
+    numbering_test; holes_test; flat_coherence_test; artifact_stats_test;
+    ladder_test; costmodel_test; snapshot_version_test; key_v_library_test;
+    parallel_test;
+  ]
