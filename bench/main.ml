@@ -4,7 +4,7 @@
    for recorded paper-vs-measured results.
 
    Usage:  bench/main.exe [table1|fig2|fig3|table2|fig4|fig5|table3|fig6|
-                           fig7|serve|serve-reopt|serve-persist|
+                           fig7|serve|serve-reopt|serve-persist|serve-param|
                            serve-scaling|fallbacks|ablation-struct|
                            ablation-codemodel|ablation-tm|bechamel|all]
 
@@ -628,6 +628,107 @@ let serve_persist () =
     (hit_rate warm) (hit_rate cold)
     (if hit_rate warm >= 99.9 then "OK" else "VIOLATION")
 
+(* Parameterized-plan specialization on the Zipf-literal workload: the
+   same stream served twice in Cached mode on fresh databases — first
+   with paramization off (the pre-refactor behavior: the cache keys on
+   the whole plan, so every fresh literal is a miss and a full back-end
+   compile), then with paramization on (the cache keys on the shape, so
+   after each shape's single compile every fresh literal re-links the
+   artifact with a new vector in microseconds). The headline is the
+   foreground compile time the shape key eliminates; the gates are the
+   >=5x compile-time reduction, zero recompiles after the first compile
+   of each shape, and byte-identical results. Recorded as
+   BENCH_param.json. *)
+let serve_param () =
+  header
+    "Serving: shape-keyed parameterized cache vs per-query baseline (Zipf \
+     literals)";
+  let open Qcomp_server in
+  let n = 120 in
+  let stream =
+    List.map
+      (fun (q : Qcomp_workloads.Spec.query) ->
+        (q.Qcomp_workloads.Spec.q_name, q.Qcomp_workloads.Spec.q_plan))
+      (Qcomp_workloads.Paramgen.stream ~seed:42L ~n)
+  in
+  let distinct = List.length (List.sort_uniq compare (List.map fst stream)) in
+  let run ~paramize =
+    let db = Experiments.make_db Target.x64 Experiments.Tpch ~sf:4 in
+    let config =
+      {
+        Server.default_config with
+        Server.mode = Server.Cached;
+        Server.paramize;
+      }
+    in
+    Server.run db config stream
+  in
+  let fg_compile (r : Server.report) =
+    List.fold_left
+      (fun a (q : Server.query_metrics) -> a +. q.Server.qm_compile_s)
+      0.0 r.Server.r_queries
+  in
+  let hit_rate (r : Server.report) =
+    let s = r.Server.r_cache in
+    if s.Lru.hits + s.Lru.misses > 0 then
+      100.0 *. float_of_int s.Lru.hits
+      /. float_of_int (s.Lru.hits + s.Lru.misses)
+    else 0.0
+  in
+  let multiset (r : Server.report) =
+    List.sort compare
+      (List.map
+         (fun (q : Server.query_metrics) ->
+           (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
+         r.Server.r_queries)
+  in
+  let base = run ~paramize:false in
+  let param = run ~paramize:true in
+  Printf.printf "per-query-keyed baseline (paramize off):\n";
+  Format.printf "%a@." (Server.pp_report ~per_query:false) base;
+  Printf.printf "shape-keyed (paramize on):\n";
+  Format.printf "%a@." (Server.pp_report ~per_query:false) param;
+  let bs, ps = (fg_compile base, fg_compile param) in
+  let reduction = if ps > 0.0 then bs /. ps else infinity in
+  let identical = multiset base = multiset param in
+  let shapes = Qcomp_workloads.Paramgen.shape_count in
+  (* in Cached mode every miss is a foreground back-end compile; with the
+     shape key there must be at most one per shape *)
+  let no_recompiles = param.Server.r_cache.Lru.misses <= shapes in
+  Printf.printf
+    "summary: %d queries (%d distinct plans, %d shapes)\n\
+    \  foreground compile %.6fs per-query-keyed vs %.6fs shape-keyed \
+     (%.1fx reduction) -> %s\n\
+    \  shape-keyed compiles %d (<= %d shapes) -> %s; shape-hits %d  \
+     exact-hits %d  binds %d\n\
+    \  results identical -> %s\n"
+    n distinct shapes bs ps reduction
+    (if reduction >= 5.0 then "OK" else "VIOLATION")
+    param.Server.r_cache.Lru.misses shapes
+    (if no_recompiles then "OK" else "VIOLATION")
+    param.Server.r_shape_hits param.Server.r_exact_hits param.Server.r_binds
+    (if identical then "OK" else "VIOLATION");
+  let oc = open_out "BENCH_param.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"queries\": %d,\n" n;
+  Printf.fprintf oc "  \"distinct_plans\": %d,\n" distinct;
+  Printf.fprintf oc "  \"shapes\": %d,\n" shapes;
+  Printf.fprintf oc "  \"compile_s_per_query_keyed\": %.6f,\n" bs;
+  Printf.fprintf oc "  \"compile_s_shape_keyed\": %.6f,\n" ps;
+  Printf.fprintf oc "  \"compile_reduction_x\": %.2f,\n" reduction;
+  Printf.fprintf oc "  \"hit_rate_per_query_keyed\": %.1f,\n" (hit_rate base);
+  Printf.fprintf oc "  \"hit_rate_shape_keyed\": %.1f,\n" (hit_rate param);
+  Printf.fprintf oc "  \"shape_keyed_compiles\": %d,\n"
+    param.Server.r_cache.Lru.misses;
+  Printf.fprintf oc "  \"shape_hits\": %d,\n" param.Server.r_shape_hits;
+  Printf.fprintf oc "  \"exact_hits\": %d,\n" param.Server.r_exact_hits;
+  Printf.fprintf oc "  \"binds\": %d,\n" param.Server.r_binds;
+  Printf.fprintf oc "  \"bind_s\": %.6f,\n" param.Server.r_bind_s;
+  Printf.fprintf oc "  \"results_identical\": %b\n}\n" identical;
+  close_out oc;
+  Printf.printf "wrote BENCH_param.json\n";
+  if reduction < 5.0 || (not identical) || not no_recompiles then exit 1
+
 (* Throughput scaling of the real Domain-based worker pool: the same
    tiered stream served on 1, 2 and 4 OS-thread domains. Unlike every
    other experiment here the timings are wall-clock, so only the scaling
@@ -915,6 +1016,7 @@ let experiments =
     ("serve", serve);
     ("serve-reopt", serve_reopt);
     ("serve-persist", serve_persist);
+    ("serve-param", serve_param);
     ("serve-scaling", serve_scaling);
     ("fallbacks", fallbacks);
     ("ablation-struct", ablation_struct);

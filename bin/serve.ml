@@ -2,8 +2,14 @@
    TPC-H/TPC-DS-like workloads through the lib/server scheduler.
 
    Usage:
-     serve [tpch|tpcds] [options]
+     serve [tpch|tpcds|zipf] [options]
+       zipf             serve the Zipf-literal workload (TPC-H shapes with
+                        varying predicate literals) instead of the fixed
+                        query mix — the stream that shows shape-keyed
+                        caching: one compile per shape, then binds
        --mode tiered|cached|static:<backend>   serving policy (default tiered)
+       --no-paramize    disable plan normalization (cache per whole plan,
+                        as before parameterized-plan specialization)
        --reopt          tiered only: observation-driven tier controller —
                         upgrades (possibly more than once) are picked from
                         observed cycles-per-row at morsel boundaries instead
@@ -35,10 +41,11 @@ open Qcomp_server
 
 let usage () =
   prerr_endline
-    "usage: serve [tpch|tpcds] [--mode tiered|cached|static:<backend>] [--reopt]\n\
-    \             [--queries N] [--workers W] [--domains N] [--slots C] [--morsel M]\n\
-    \             [--cache N] [--sf K] [--gap-us G] [--seed S] [--per-query]\n\
-    \             [--validate] [--save-cache FILE] [--load-cache FILE]";
+    "usage: serve [tpch|tpcds|zipf] [--mode tiered|cached|static:<backend>]\n\
+    \             [--reopt] [--no-paramize] [--queries N] [--workers W]\n\
+    \             [--domains N] [--slots C] [--morsel M] [--cache N] [--sf K]\n\
+    \             [--gap-us G] [--seed S] [--per-query] [--validate]\n\
+    \             [--save-cache FILE] [--load-cache FILE]";
   exit 1
 
 let int_arg name v =
@@ -70,6 +77,7 @@ let backend_of_name = function
 
 let () =
   let workload = ref Experiments.Tpch in
+  let zipf = ref false in
   let cfg = ref Server.default_config in
   let n = ref 50 in
   let sf = ref 2 in
@@ -85,6 +93,13 @@ let () =
         parse rest
     | "tpcds" :: rest ->
         workload := Experiments.Tpcds;
+        parse rest
+    | "zipf" :: rest ->
+        zipf := true;
+        workload := Experiments.Tpch;
+        parse rest
+    | "--no-paramize" :: rest ->
+        cfg := { !cfg with Server.paramize = false };
         parse rest
     | "--mode" :: m :: rest ->
         (cfg :=
@@ -149,13 +164,21 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let target = Qcomp_vm.Target.x64 in
   let db = Experiments.make_db target !workload ~sf:!sf in
-  let queries =
+  let pairs qs =
     List.map
       (fun (q : Qcomp_workloads.Spec.query) ->
         (q.Qcomp_workloads.Spec.q_name, q.Qcomp_workloads.Spec.q_plan))
-      (Experiments.queries_of !workload)
+      qs
   in
-  let stream = Server.make_stream ~seed:(!cfg).Server.seed ~n:!n queries in
+  let queries =
+    if !zipf then pairs Qcomp_workloads.Paramgen.queries
+    else pairs (Experiments.queries_of !workload)
+  in
+  let stream =
+    if !zipf then
+      pairs (Qcomp_workloads.Paramgen.stream ~seed:(!cfg).Server.seed ~n:!n)
+    else Server.make_stream ~seed:(!cfg).Server.seed ~n:!n queries
+  in
   (* load must happen right after the deterministic database build, before
      any query runs, so the snapshot's baked string constants can claim
      their original addresses *)

@@ -18,12 +18,31 @@ open Qcomp_vm
 
 (** Bumped whenever the byte format below (or the meaning of any field)
     changes; folded into snapshot keys so stale snapshots are rejected,
-    never mis-linked. *)
-let format_version = 1
+    never mis-linked. Version 2 added parameter holes ([Param]/[Param_hi]
+    relocations plus the [a_params] descriptor). *)
+let format_version = 2
 
-type reloc_kind = Plt32 | Abs64
+type reloc_kind =
+  | Plt32
+  | Abs64
+  | Param of int
+      (** 8-byte hole bound at link time from entry [i] of the query's
+          parameter vector: the raw value for ints, the SSO struct
+          address for strings. [r_sym] is unused (empty). *)
+  | Param_hi of int
+      (** high 64-bit lane of a 128-bit parameter: patched with
+          [value asr 63] (decimals are sign-extended from 64 bits) *)
 
 type reloc = { r_off : int; r_sym : string; r_kind : reloc_kind }
+
+(** What each parameter slot expects; index [i] of this array describes
+    vector entry [i]. *)
+type param_kind = Pk_int | Pk_str
+
+(** A bound parameter value, supplied to [Backend.link_artifact ~params]. *)
+type param_value = Pv_int of int64 | Pv_str of string
+
+let param_kind_of_value = function Pv_int _ -> Pk_int | Pv_str _ -> Pk_str
 
 type symbol = { s_name : string; s_off : int; s_size : int; s_defined : bool }
 
@@ -47,6 +66,9 @@ type t = {
       (** runtime symbols whose absolute dispatch address the back-end
           baked into [a_text] as an immediate; the linker re-checks each
           against the live registry and refuses to link on mismatch *)
+  a_params : param_kind array;
+      (** parameter slots the text's [Param]/[Param_hi] holes draw from;
+          empty for a whole-plan (fully baked) artifact *)
   a_stats : (string * int) list;  (** back-end counters (pre-link) *)
   a_code_size : int;  (** reported code size (may exceed [a_text]) *)
 }
@@ -84,8 +106,18 @@ let serialize (a : t) : string =
     (fun r ->
       str r.r_sym;
       u32 r.r_off;
-      u8 (match r.r_kind with Plt32 -> 0 | Abs64 -> 1))
+      match r.r_kind with
+      | Plt32 -> u8 0
+      | Abs64 -> u8 1
+      | Param i ->
+          u8 2;
+          u32 i
+      | Param_hi i ->
+          u8 3;
+          u32 i)
     a.a_relocs;
+  u32 (Array.length a.a_params);
+  Array.iter (fun k -> u8 (match k with Pk_int -> 0 | Pk_str -> 1)) a.a_params;
   u32 (List.length a.a_unwind);
   List.iter
     (fun f ->
@@ -196,11 +228,20 @@ let deserialize (s : string) : t =
           match u8 () with
           | 0 -> Plt32
           | 1 -> Abs64
+          | 2 -> Param (u32 ())
+          | 3 -> Param_hi (u32 ())
           | _ -> corrupt "bad relocation kind"
         in
         in_text ~what:"relocation" r_off
-          (match r_kind with Plt32 -> 4 | Abs64 -> 8);
+          (match r_kind with Plt32 -> 4 | Abs64 | Param _ | Param_hi _ -> 8);
         { r_off; r_sym; r_kind })
+  in
+  let a_params =
+    Array.init (count ~min_record:1) (fun _ ->
+        match u8 () with
+        | 0 -> Pk_int
+        | 1 -> Pk_str
+        | _ -> corrupt "bad parameter kind")
   in
   let a_unwind =
     List.init (count ~min_record:13) (fun _ ->
@@ -243,6 +284,50 @@ let deserialize (s : string) : t =
     a_relocs;
     a_unwind;
     a_baked;
+    a_params;
     a_stats;
     a_code_size;
   }
+
+(* ---------------- parameter descriptors ---------------- *)
+
+(** Slot descriptor of an IR module's [Op.Param] holes: entry [i] is the
+    kind of parameter [i]. A pointer-typed hole is a string (the slot is
+    patched with an SSO struct address); anything else is an int. Raises
+    [Invalid_argument] when two holes disagree about one slot's kind. *)
+let scan_params_of_module (m : Qcomp_ir.Func.modul) : param_kind array =
+  let tbl = Hashtbl.create 8 in
+  let n = ref 0 in
+  Qcomp_support.Vec.iter
+    (fun f ->
+      for i = 0 to Qcomp_ir.Func.num_insts f - 1 do
+        if Qcomp_ir.Func.op f i = Qcomp_ir.Op.Param then begin
+          let idx = Int64.to_int (Qcomp_ir.Func.imm f i) in
+          let kind =
+            if Qcomp_ir.Func.ty f i = Qcomp_ir.Ty.Ptr then Pk_str else Pk_int
+          in
+          (match Hashtbl.find_opt tbl idx with
+          | Some k when k <> kind ->
+              invalid_arg "Artifact.params_of_module: conflicting hole kinds"
+          | _ -> Hashtbl.replace tbl idx kind);
+          if idx + 1 > !n then n := idx + 1
+        end
+      done)
+    m.Qcomp_ir.Func.funcs;
+  (* a slot with no surviving hole (shouldn't happen with the normalizer's
+     one-hole-per-slot discipline) defaults to int: binding still checks
+     kinds against the vector *)
+  Array.init !n (fun i ->
+      match Hashtbl.find_opt tbl i with Some k -> k | None -> Pk_int)
+
+let params_of_module (m : Qcomp_ir.Func.modul) : param_kind array =
+  (* the declared signature is authoritative: a hole the generator
+     dead-code-eliminated still occupies its slot in the bound vector, so
+     the descriptor must be sized by declaration, not by surviving holes.
+     Hand-built modules with no declaration fall back to scanning the IR. *)
+  let declared = m.Qcomp_ir.Func.param_sig in
+  if Array.length declared > 0 then
+    Array.map
+      (fun ty -> if ty = Qcomp_ir.Ty.Ptr then Pk_str else Pk_int)
+      declared
+  else scan_params_of_module m

@@ -83,10 +83,20 @@ let patch_rel24_words text off value_bytes =
 
     [scope]/[phases]/[unwind_scope] control timing attribution so each
     back-end's phase breakdown looks exactly as it did when linking was
-    private to it. *)
+    private to it.
+
+    [params] binds the artifact's parameter holes: one value per slot of
+    [Artifact.a_params], in order. Int values are patched verbatim into
+    [Param] holes ([Param_hi] holes get the sign word); string values get
+    a fresh 16-byte SSO struct in linear memory — owned by the returned
+    module, freed with it — whose address fills the hole. Binding is a
+    pure link-time patch, so one artifact serves every literal variant of
+    its shape. Refuses when the vector length or a value's kind does not
+    match the artifact's descriptor, or when the artifact has holes and no
+    vector is supplied. *)
 let link_artifact ?(scope = Some "Link") ?(phases = false)
-    ?(unwind_scope = "UnwindInfo") ~timing ~emu ~registry ~unwind
-    (art : Artifact.t) : compiled_module =
+    ?(unwind_scope = "UnwindInfo") ?(params = ([||] : Artifact.param_value array))
+    ~timing ~emu ~registry ~unwind (art : Artifact.t) : compiled_module =
   let target = Emu.target_of emu in
   if not (String.equal art.Artifact.a_target target.Target.name) then
     invalid_arg
@@ -111,6 +121,39 @@ let link_artifact ?(scope = Some "Link") ?(phases = false)
               process 0x%Lx)"
              sym baked live))
     art.Artifact.a_baked;
+  if Array.length params <> Array.length art.Artifact.a_params then
+    invalid_arg
+      (Printf.sprintf
+         "link_artifact: artifact expects %d parameters, %d supplied"
+         (Array.length art.Artifact.a_params)
+         (Array.length params));
+  Array.iteri
+    (fun i v ->
+      if Artifact.param_kind_of_value v <> art.Artifact.a_params.(i) then
+        invalid_arg
+          (Printf.sprintf "link_artifact: parameter %d has the wrong kind" i))
+    params;
+  (* one SSO struct per string parameter, owned by the module like the
+     GOT; inline-only so a single 16-byte block holds the whole value *)
+  let param_blocks = ref [] in
+  let param_word =
+    lazy
+      (let mem = Emu.memory emu in
+       Array.map
+         (function
+           | Artifact.Pv_int v -> v
+           | Artifact.Pv_str s ->
+               if String.length s > Sso.inline_max then
+                 invalid_arg
+                   "link_artifact: string parameter exceeds SSO inline \
+                    capacity";
+               let addr =
+                 Memory.unscoped (fun () -> Sso.alloc mem s)
+               in
+               param_blocks := (addr, Sso.struct_size, 16) :: !param_blocks;
+               Int64.of_int addr)
+         params)
+  in
   let run_scoped name f =
     match name with Some n -> Timing.scope timing n f | None -> f ()
   in
@@ -202,7 +245,13 @@ let link_artifact ?(scope = Some "Link") ?(phases = false)
                         | Some a -> Int64.of_int a
                         | None -> resolve r.Artifact.r_sym
                       in
-                      Bytes.set_int64_le text r.Artifact.r_off addr)
+                      Bytes.set_int64_le text r.Artifact.r_off addr
+                  | Artifact.Param i ->
+                      Bytes.set_int64_le text r.Artifact.r_off
+                        (Lazy.force param_word).(i)
+                  | Artifact.Param_hi i ->
+                      Bytes.set_int64_le text r.Artifact.r_off
+                        (Int64.shift_right (Lazy.force param_word).(i) 63))
                 art.Artifact.a_relocs;
               let region = Emu.register_code emu text in
               assert (Code_region.base region = base);
@@ -245,20 +294,30 @@ let link_artifact ?(scope = Some "Link") ?(phases = false)
     cm_stats = art.Artifact.a_stats;
     cm_regions = [ region ];
     cm_runtime_slots = [];
-    cm_data_blocks = (match got_block with Some b -> [ b ] | None -> []);
+    cm_data_blocks =
+      !param_blocks @ (match got_block with Some b -> [ b ] | None -> []);
     cm_disposed = false;
   }
 
 module type S = sig
   val name : string
 
+  val supports_params : bool
+  (** Whether this back-end compiles {!Qcomp_ir.Op.Param} holes (emitting
+      patchable immediates / baked per-bind constants). Back-ends that
+      don't are given fully-baked whole plans by the serving layer. *)
+
   val compile_module :
+    ?params:Artifact.param_value array ->
     timing:Timing.t ->
     emu:Emu.t ->
     registry:Registry.t ->
     unwind:Unwind.t ->
     Qcomp_ir.Func.modul ->
     compiled_module
+  (** [params] binds the module's parameter holes (required when the IR
+      contains [Op.Param]); back-ends with [supports_params = false]
+      refuse a non-empty vector. *)
 
   val compile_artifact :
     (timing:Timing.t ->
@@ -270,7 +329,8 @@ module type S = sig
   (** Relocatable compilation: produce an {!Artifact.t} that
       {!link_artifact} (this process or a later one) turns into a live
       module. [None] for back-ends whose output cannot outlive the
-      process (the interpreter's host dispatch slots). *)
+      process (the interpreter's host dispatch slots). Parameter holes in
+      the IR become [Param]/[Param_hi] relocations bound at link time. *)
 end
 
 type t = (module S)
@@ -279,9 +339,13 @@ let name (b : t) =
   let module B = (val b) in
   B.name
 
-let compile_module (b : t) ~timing ~emu ~registry ~unwind m =
+let supports_params (b : t) =
   let module B = (val b) in
-  B.compile_module ~timing ~emu ~registry ~unwind m
+  B.supports_params
+
+let compile_module (b : t) ?params ~timing ~emu ~registry ~unwind m =
+  let module B = (val b) in
+  B.compile_module ?params ~timing ~emu ~registry ~unwind m
 
 let compile_artifact (b : t) =
   let module B = (val b) in

@@ -96,6 +96,7 @@ let compile_artifact_with ~features ~timing ~(target : Target.t) ~registry
         !fns;
     a_baked =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) baked []);
+    a_params = [||];
     a_stats = [ ("spilled_bundles", !spills); ("btree_ops", !btree_ops) ];
     a_code_size = Bytes.length code;
   }
@@ -112,7 +113,13 @@ let compile_module_with ~features ~timing ~emu ~registry ~unwind
   Qcomp_backend.Backend.link_artifact ~unwind_scope:"Link" ~timing ~emu
     ~registry ~unwind art
 
-let compile_module ~timing ~emu ~registry ~unwind m =
+(* Cranelift compiles whole plans only: parameterized shapes fall back to
+   a param-capable tier (or whole-plan compilation) in the serving layer. *)
+let supports_params = false
+
+let compile_module ?(params = [||]) ~timing ~emu ~registry ~unwind m =
+  if Array.length params > 0 then
+    invalid_arg "cranelift: parameterized modules are not supported";
   compile_module_with ~features:!default_features ~timing ~emu ~registry
     ~unwind m
 

@@ -228,6 +228,10 @@ let translate ~features ~extern_addr ~rt_addr (src : Func.t) : Cir.func =
         let bind c = Hashtbl.replace ctx.value_map i c in
         match Func.op src i with
         | Op.Nop | Op.Arg | Op.Phi -> ()
+        | Op.Param ->
+            (* cranelift does not opt in to parameter holes; the serving
+               layer hands it fully-baked whole plans only *)
+            failwith "cranelift: Op.Param reached a non-parameterized back-end"
         | Op.Const -> bind (emit ctx ~op:Cir.Iconst ~ty:cty ~imm:(Func.imm src i) ())
         | Op.Const128 ->
             let hi, lo = Func.const128_value src i in

@@ -195,6 +195,10 @@ let rec compile_expr ctx (p : pipe) (env : value option array)
       | _ -> { vty = ty; v = Builder.const b (ir_ty ty) v })
   | Expr.Const_str s ->
       { vty = Sqlty.Str; v = Builder.const_ptr b (Int64.of_int (str_const ctx s)) }
+  | Expr.Param (ty, idx) ->
+      (* same IR types as the Const cases above, so a shape's module is
+         structurally identical to the whole-plan module modulo holes *)
+      { vty = ty; v = Builder.param b (ir_ty ty) idx }
   | Expr.Add (x, y) | Expr.Sub (x, y) | Expr.Mul (x, y) ->
       let vx = recur x and vy = recur y in
       let op_tag =
@@ -1121,6 +1125,7 @@ let compile_query ~mem ~catalog ~tables ~name (plan : Algebra.t) : compiled =
       fn_counter = 0;
     }
   in
+  ctx.modul.Func.param_sig <- Array.map ir_ty (Paramize.param_tys plan);
   let out_tys = Algebra.output_tys catalog plan in
   let out_layout = Layout.of_tys (Array.to_list out_tys) in
   let output_slot = alloc_slot ctx in

@@ -70,7 +70,7 @@ let compile_func ~asm ~target ~extern_addr ~rt_addr ~timing (f : Func.t) =
           (after_prologue, { Unwind.cfa_offset = 8 + frame; saved_regs = [] });
         ]
       in
-      (start, size, rows))
+      (start, size, rows, st.Emit.param_holes))
 
 let compile_artifact ~timing ~(target : Target.t) ~registry (m : Func.modul) :
     Qcomp_backend.Artifact.t =
@@ -92,11 +92,25 @@ let compile_artifact ~timing ~(target : Target.t) ~registry (m : Func.modul) :
   let rt_addr nm = record nm in
   let asm = Asm.create target in
   let fns = ref [] in
+  let relocs = ref [] in
   Vec.iter
     (fun f ->
-      let start, size, rows =
+      let start, size, rows, holes =
         compile_func ~asm ~target ~extern_addr ~rt_addr ~timing f
       in
+      (* hole offsets are absolute in the shared [asm] buffer already *)
+      List.iter
+        (fun (off, idx, is_hi) ->
+          relocs :=
+            {
+              Qcomp_backend.Artifact.r_off = off;
+              r_sym = "";
+              r_kind =
+                (if is_hi then Qcomp_backend.Artifact.Param_hi idx
+                 else Qcomp_backend.Artifact.Param idx);
+            }
+            :: !relocs)
+        holes;
       fns := (f.Func.name, start, size, rows) :: !fns)
     m.Func.funcs;
   let code = Timing.scope timing "Finalize" (fun () -> Asm.finish asm) in
@@ -114,7 +128,7 @@ let compile_artifact ~timing ~(target : Target.t) ~registry (m : Func.modul) :
             s_defined = true;
           })
         !fns;
-    a_relocs = [];
+    a_relocs = !relocs;
     a_unwind =
       List.rev_map
         (fun (_, start, size, rows) ->
@@ -127,17 +141,20 @@ let compile_artifact ~timing ~(target : Target.t) ~registry (m : Func.modul) :
         !fns;
     a_baked =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) baked []);
+    a_params = Qcomp_backend.Artifact.params_of_module m;
     a_stats = [];
     a_code_size = Bytes.length code;
   }
 
-let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
+let supports_params = true
+
+let compile_module ?params ~timing ~emu ~registry ~unwind (m : Func.modul) :
     Qcomp_backend.Backend.compiled_module =
   let art = compile_artifact ~timing ~target:(Emu.target_of emu) ~registry m in
   (* registration holds the layout lock inside the shared linker (a
      concurrent JIT linker may be mid predict-link-register); no timing
      scope, as before: only Finalize and UnwindInfo are Fig. 5 phases *)
-  Qcomp_backend.Backend.link_artifact ~scope:None ~timing ~emu ~registry
-    ~unwind art
+  Qcomp_backend.Backend.link_artifact ~scope:None ?params ~timing ~emu
+    ~registry ~unwind art
 
 let compile_artifact = Some compile_artifact

@@ -40,6 +40,10 @@ type st = {
   mutable trap_label : int;  (** lazily created overflow-trap label, -1 *)
   mutable frame_patch : int;  (** byte position of the prologue frame imm *)
   mutable epilogue_patches : int list;
+  mutable param_holes : (int * int * bool) list;
+      (** (imm byte offset, parameter index, is-high-lane): wide [Mov_ri]
+          immediates left as holes, turned into [Param]/[Param_hi]
+          relocations by the artifact assembler *)
 }
 
 let rax = 0
@@ -67,6 +71,7 @@ let create asm f target an extern_addr rt_addr =
     trap_label = -1;
     frame_patch = -1;
     epilogue_patches = [];
+    param_holes = [];
   }
 
 let emit st i = Asm.emit st.asm i
@@ -348,6 +353,18 @@ let rec emit_inst st i =
       emit st (Minst.Mov_ri (dlo, lo));
       let dhi = def_hi ~avoid:[ dlo ] st i in
       emit st (Minst.Mov_ri (dhi, hi));
+      finish_def st i
+  | Op.Param ->
+      (* like Const, but the immediate stays a forced-wide hole the linker
+         patches per bind; zero keeps unbound text deterministic *)
+      let idx = Int64.to_int (Func.imm f i) in
+      let d = def st i in
+      st.param_holes <- (Asm.emit_mov_ri64 st.asm d 0L, idx, false) :: st.param_holes;
+      if ty = Ty.I128 then begin
+        let dhi = def_hi ~avoid:[ d ] st i in
+        st.param_holes <-
+          (Asm.emit_mov_ri64 st.asm dhi 0L, idx, true) :: st.param_holes
+      end;
       finish_def st i
   | Op.Isnull | Op.Isnotnull ->
       let rx = use st x in

@@ -316,6 +316,23 @@ let tier_ladder db : (string * Qcomp_backend.Backend.t) list =
      else [])
   @ [ ("cranelift", cranelift); ("llvm-opt", llvm_opt) ]
 
+(** Strongest parameter-capable rung at or below [name] on the tier
+    ladder, for routing parameterized shapes: a back-end without parameter
+    holes would have to compile every literal variant from scratch, which
+    defeats shape-keyed caching. Falls back to the interpreter (always
+    capable); a [name] off the ladder clamps to the strongest capable rung
+    overall. *)
+let clamp_param_capable db name =
+  let rec go best = function
+    | [] -> best
+    | (n, b) :: rest ->
+        let best =
+          if Qcomp_backend.Backend.supports_params b then (n, b) else best
+        in
+        if String.equal n name then best else go best rest
+  in
+  go ("interpreter", interpreter) (tier_ladder db)
+
 (** Rungs strictly stronger than [name], weakest first; empty when [name]
     is the top of the ladder or not on it (e.g. [gcc]). *)
 let stronger_than db name =

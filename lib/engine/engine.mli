@@ -176,6 +176,12 @@ val tier_ladder : db -> (string * Qcomp_backend.Backend.t) list
     the top rung or a back-end off the ladder. *)
 val stronger_than : db -> string -> (string * Qcomp_backend.Backend.t) list
 
+(** Strongest parameter-capable rung at or below the named one on the tier
+    ladder (the interpreter when nothing stronger qualifies) — parameterized
+    shapes must only be compiled by back-ends that can emit parameter
+    holes, or shape-keyed caching degenerates to per-query compilation. *)
+val clamp_param_capable : db -> string -> string * Qcomp_backend.Backend.t
+
 (** [run_plan] with the back-end chosen adaptively; also returns the name
     of the back-end that ran. *)
 val run_plan_adaptive :

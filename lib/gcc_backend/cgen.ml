@@ -80,6 +80,10 @@ let gen_func (m : Func.modul) (f : Func.t) (b : Buffer.t) =
         let x = Func.x f i and y = Func.y f i and z = Func.z f i in
         match Func.op f i with
         | Op.Nop | Op.Arg | Op.Phi -> ()
+        | Op.Param ->
+            (* gcc does not opt in to parameter holes; the serving layer
+               hands it fully-baked whole plans only *)
+            failwith "gcc: Op.Param reached a non-parameterized back-end"
         | Op.Const ->
             if ty = Ty.F64 then add "  v%d = __f64(%LdL);\n" i (Func.imm f i)
             else add "  v%d = %LdL;\n" i (Func.imm f i)

@@ -181,12 +181,19 @@ let compile_artifact ~timing ~(target : Target.t) ~registry (m : Func.modul) :
         (List.rev !fn_frames);
     a_baked =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) baked []);
+    a_params = [||];
     a_stats = [ ("got_slots", got_slots) ];
     a_code_size = Bytes.length image;
   }
 
-let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
-    Qcomp_backend.Backend.compiled_module =
+(* gcc compiles whole plans only: parameterized shapes fall back to a
+   param-capable tier (or whole-plan compilation) in the serving layer. *)
+let supports_params = false
+
+let compile_module ?(params = [||]) ~timing ~emu ~registry ~unwind
+    (m : Func.modul) : Qcomp_backend.Backend.compiled_module =
+  if Array.length params > 0 then
+    invalid_arg "gcc: parameterized modules are not supported";
   let art = compile_artifact ~timing ~target:(Emu.target_of emu) ~registry m in
   (* 7. dlopen/dlsym *)
   Qcomp_backend.Backend.link_artifact ~scope:(Some "Dlopen") ~timing ~emu

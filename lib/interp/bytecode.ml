@@ -34,7 +34,11 @@ type fn = {
 
 (* Translation: lay out blocks in order; phis become edge copies. *)
 
-let translate ~(extern_addr : int -> int64) (f : Func.t) : fn =
+(* [params] holds one resolved 64-bit word per parameter hole (the raw
+   value for ints, the SSO struct address for strings); the interpreter
+   has no patchable text, so holes are baked as constants per bound
+   translation instead. *)
+let translate ?(params = [||]) ~(extern_addr : int -> int64) (f : Func.t) : fn =
   let nb = Func.num_blocks f in
   let code = Vec.create ~dummy:Unreachable ()
   and block_pos = Array.make nb (-1) in
@@ -91,6 +95,17 @@ let translate ~(extern_addr : int -> int64) (f : Func.t) : fn =
         | Op.Const128 ->
             let hi, lo = Func.const128_value f i in
             emit (Const128 (i, lo, hi))
+        | Op.Param ->
+            let idx = Int64.to_int (Func.imm f i) in
+            if idx < 0 || idx >= Array.length params then
+              invalid_arg
+                (Printf.sprintf
+                   "Bytecode.translate: unbound parameter hole %d in %s" idx
+                   f.Func.name);
+            let v = params.(idx) in
+            if ty = Ty.I128 then
+              emit (Const128 (i, v, Int64.shift_right v 63))
+            else emit (Const (i, v))
         | Op.Isnull -> emit (Cmp (Op.Eq, Func.ty f x, i, x, -1))
         | Op.Isnotnull -> emit (Cmp (Op.Ne, Func.ty f x, i, x, -1))
         | ( Op.Add | Op.Sub | Op.Mul | Op.Sdiv | Op.Udiv | Op.Srem | Op.Urem

@@ -312,18 +312,44 @@ let run (emu : Emu.t) (fn : Bytecode.fn) (args : int64 array) : int64 * int64 =
 
 let name = "interpreter"
 
-let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
+(* The interpreter binds parameters at translation time: each [Op.Param]
+   becomes an ordinary bytecode constant, so execution is exactly as fast
+   as for a whole-plan translation. Integer parameters are inlined
+   verbatim; string parameters get a fresh inline SSO struct whose address
+   is the constant (recorded in [cm_data_blocks] so dispose frees it). *)
+let supports_params = true
+
+let compile_module ?(params = ([||] : Qcomp_backend.Artifact.param_value array))
+    ~timing ~emu ~registry ~unwind (m : Func.modul) :
     Qcomp_backend.Backend.compiled_module =
   ignore (unwind : Unwind.t);
   let extern_addr sym =
     let e = Func.extern m sym in
     Registry.addr registry e.Func.ext_name
   in
+  let mem = Emu.memory emu in
+  let param_blocks = ref [] in
+  let param_word =
+    Array.map
+      (function
+        | Qcomp_backend.Artifact.Pv_int v -> v
+        | Qcomp_backend.Artifact.Pv_str s ->
+            if String.length s > Sso.inline_max then
+              invalid_arg
+                (Printf.sprintf
+                   "interp: string parameter %S exceeds the inline SSO limit"
+                   s);
+            let addr = Memory.unscoped (fun () -> Sso.alloc mem s) in
+            param_blocks := (addr, Sso.struct_size, 16) :: !param_blocks;
+            Int64.of_int addr)
+      params
+  in
   let fns = ref [] in
   Vec.iter
     (fun f ->
       let bc =
-        Timing.scope timing "Translate" (fun () -> Bytecode.translate ~extern_addr f)
+        Timing.scope timing "Translate" (fun () ->
+            Bytecode.translate ~params:param_word ~extern_addr f)
       in
       let target = Emu.target_of emu in
       let entry (e : Emu.t) =
@@ -346,7 +372,7 @@ let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
     cm_regions = [];
     (* every function is a host dispatch slot; dispose recycles them *)
     cm_runtime_slots = List.map snd fns;
-    cm_data_blocks = [];
+    cm_data_blocks = !param_blocks;
     cm_disposed = false;
   }
 

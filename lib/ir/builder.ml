@@ -45,6 +45,10 @@ let const_i64 b v = const b Ty.I64 v
 let const_bool b v = const b Ty.I1 (if v then 1L else 0L)
 let const_ptr b v = const b Ty.Ptr v
 
+(* link-time hole for entry [idx] of the query's parameter vector; I128
+   holes carry only the low word — the high lane is lo asr 63 at bind *)
+let param b ty idx = emit b ~op:Op.Param ~ty ~imm:(Int64.of_int idx) ()
+
 let const128 b (v : I128.t) =
   let hi_idx = Func.wide_push b.func (I128.shift_right_logical v 64 |> I128.to_int64) in
   emit b ~op:Op.Const128 ~ty:Ty.I128 ~x:hi_idx ~imm:(I128.to_int64 v) ()

@@ -47,6 +47,11 @@ type modul = {
   funcs : t Vec.t;
   externs : extern_fn Vec.t;
   extern_index : (string, int) Hashtbl.t;
+  mutable param_sig : Ty.t array;
+      (** declared parameter-hole signature, indexed by hole slot. Set by
+          codegen from the plan's [Param] nodes; authoritative even when a
+          hole sits in dead code the generator eliminated, so an artifact's
+          parameter descriptor always matches the normalizer's vector. *)
 }
 
 let dummy_block = { bid = -1; insts = Vec.create ~dummy:(-1) () }
@@ -176,7 +181,7 @@ let iter_succs f bid k =
     ids are not visited. *)
 let iter_operands f i k =
   match f.ops.(i) with
-  | Op.Nop | Op.Arg | Op.Const | Op.Const128 | Op.Unreachable | Op.Br -> ()
+  | Op.Nop | Op.Arg | Op.Const | Op.Const128 | Op.Param | Op.Unreachable | Op.Br -> ()
   | Op.Isnull | Op.Isnotnull | Op.Zext | Op.Sext | Op.Trunc | Op.Sitofp
   | Op.Fptosi | Op.Load | Op.Condbr ->
       k f.xs.(i)
@@ -211,7 +216,7 @@ let map_operands f i g =
   let my () = f.ys.(i) <- g f.ys.(i) in
   let mz () = f.zs.(i) <- g f.zs.(i) in
   match f.ops.(i) with
-  | Op.Nop | Op.Arg | Op.Const | Op.Const128 | Op.Unreachable | Op.Br -> ()
+  | Op.Nop | Op.Arg | Op.Const | Op.Const128 | Op.Param | Op.Unreachable | Op.Br -> ()
   | Op.Isnull | Op.Isnotnull | Op.Zext | Op.Sext | Op.Trunc | Op.Sitofp
   | Op.Fptosi | Op.Load | Op.Condbr ->
       mx ()
@@ -274,6 +279,7 @@ let create_module name =
       Vec.create ~dummy:{ ext_name = ""; ext_args = [||]; ext_ret = Ty.Void }
         ();
     extern_index = Hashtbl.create 16;
+    param_sig = [||];
   }
 
 let add_func m f = ignore (Vec.push m.funcs f)

@@ -22,6 +22,10 @@ type t =
   | Arg  (** function parameter; the first [n_args] values of a function *)
   | Const  (** imm = value (sign-extended for narrow types) *)
   | Const128  (** imm = low half, imm2 via extra pool? stored as two consts *)
+  | Param
+      (** imm = parameter-vector index; a link-time hole bound by
+          [Backend.link_artifact ~params]. I128 params derive the high
+          lane as [lo asr 63]; never constant-folded. *)
   | Isnull  (** x -> i1, true when x = 0 *)
   | Isnotnull
   | Add
@@ -151,14 +155,18 @@ let has_side_effect = function
   | Store | Call | Atomicadd | Br | Condbr | Ret | Unreachable | Saddtrap
   | Ssubtrap | Smultrap | Sdiv | Srem | Udiv | Urem ->
       true
-  | Nop | Arg | Const | Const128 | Isnull | Isnotnull | Add | Sub | Mul | And
-  | Or | Xor | Shl | Lshr | Ashr | Rotr | Cmp | Zext | Sext | Trunc | Select
-  | Phi | Load | Gep | Crc32 | Longmulfold | Fadd | Fsub | Fmul | Fdiv | Fcmp
-  | Sitofp | Fptosi ->
+  | Nop | Arg | Const | Const128 | Param | Isnull | Isnotnull | Add | Sub
+  | Mul | And | Or | Xor | Shl | Lshr | Ashr | Rotr | Cmp | Zext | Sext
+  | Trunc | Select | Phi | Load | Gep | Crc32 | Longmulfold | Fadd | Fsub
+  | Fmul | Fdiv | Fcmp | Sitofp | Fptosi ->
       false
 
 (** Pure ops are candidates for CSE/LICM (loads excluded: memory-dependent). *)
 let is_pure = function
+  | Param
+  (* a bound hole is as constant as Const — the value never changes within
+     one linked instance, so CSE/LICM are sound; folding never applies
+     because folds match [Const] positively *)
   | Const | Const128 | Isnull | Isnotnull | Add | Sub | Mul | And | Or | Xor
   | Shl | Lshr | Ashr | Rotr | Cmp | Zext | Sext | Trunc | Select | Gep
   | Crc32 | Longmulfold | Fadd | Fsub | Fmul | Fdiv | Fcmp | Sitofp | Fptosi ->
@@ -172,6 +180,7 @@ let name = function
   | Arg -> "arg"
   | Const -> "const"
   | Const128 -> "const128"
+  | Param -> "param"
   | Isnull -> "isnull"
   | Isnotnull -> "isnotnull"
   | Add -> "add"

@@ -18,6 +18,7 @@ let pp_inst (f : Func.t) fmt i =
   | Op.Const128 ->
       let hi, lo = Func.const128_value f i in
       Format.fprintf fmt "const128 0x%Lx:0x%Lx" hi lo
+  | Op.Param -> Format.fprintf fmt "param %a #%Ld" Ty.pp ty (Func.imm f i)
   | Op.Isnull | Op.Isnotnull ->
       Format.fprintf fmt "%s %a" (Op.name op) pv (Func.x f i)
   | Op.Add | Op.Sub | Op.Mul | Op.Sdiv | Op.Udiv | Op.Srem | Op.Urem

@@ -9,7 +9,11 @@
 (* The object's symbol/relocation types are shared with the relocatable
    artifact API, so a parsed object slots straight into an
    [Qcomp_backend.Artifact.t] without copying. *)
-type reloc_kind = Qcomp_backend.Artifact.reloc_kind = Plt32 | Abs64
+type reloc_kind = Qcomp_backend.Artifact.reloc_kind =
+  | Plt32
+  | Abs64
+  | Param of int
+  | Param_hi of int
 
 type reloc = Qcomp_backend.Artifact.reloc = {
   r_off : int;
@@ -67,7 +71,12 @@ let write (o : obj) : bytes =
     (fun (noff, r) ->
       u32 noff;
       u32 r.r_off;
-      u32 (match r.r_kind with Plt32 -> 0 | Abs64 -> 1))
+      u32
+        (match r.r_kind with
+        | Plt32 -> 0
+        | Abs64 -> 1
+        (* llvm objects never carry parameter holes *)
+        | Param _ | Param_hi _ -> invalid_arg "Elf.write: parameter reloc"))
     relocs;
   u32 (Bytes.length o.o_text);
   Buffer.add_bytes buf o.o_text;

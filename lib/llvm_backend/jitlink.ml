@@ -122,7 +122,9 @@ let link ~(emu : Emu.t) ~(resolve : string -> int64) (image : bytes) : linked =
                   | Some a -> Int64.of_int a
                   | None -> resolve r.Elf.r_sym
                 in
-                Bytes.set_int64_le text r.Elf.r_off addr)
+                Bytes.set_int64_le text r.Elf.r_off addr
+            | Elf.Param _ | Elf.Param_hi _ ->
+                failwith "jitlink: parameter holes are not supported")
           obj.Elf.o_relocs;
         let region = Emu.register_code emu text in
         assert (Code_region.base region = base);

@@ -146,6 +146,10 @@ let translate ~(cfg : config) (m : Lir.modul) (src : Func.t) : Lir.func =
         let u = use ctx in
         match Func.op src i with
         | Op.Nop | Op.Arg | Op.Phi -> ()
+        | Op.Param ->
+            (* llvm does not opt in to parameter holes; the serving layer
+               hands it fully-baked whole plans only *)
+            failwith "llvm: Op.Param reached a non-parameterized back-end"
         | Op.Const -> bind ctx i (vconst ity (Func.imm src i))
         | Op.Const128 ->
             let hi, lo = Func.const128_value src i in

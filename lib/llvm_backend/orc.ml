@@ -208,6 +208,7 @@ let compile_artifact_with (cfg : config) ~backend ~timing ~(target : Target.t)
         !fn_frames;
     a_baked =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) baked []);
+    a_params = [||];
     a_stats =
       [
         ("fallback_intrinsic_or_call", stats.Flow.fb_intrinsic);
@@ -238,7 +239,13 @@ let opt_override : config option ref = ref None
 module Cheap = struct
   let name = "llvm-cheap"
 
-  let compile_module ~timing ~emu ~registry ~unwind m =
+  (* LLVM compiles whole plans only: parameterized shapes fall back to a
+     param-capable tier (or whole-plan compilation) in the serving layer. *)
+  let supports_params = false
+
+  let compile_module ?(params = [||]) ~timing ~emu ~registry ~unwind m =
+    if Array.length params > 0 then
+      invalid_arg "llvm: parameterized modules are not supported";
     let cfg = Option.value ~default:cheap_config !cheap_override in
     compile_module_with cfg ~backend:name ~timing ~emu ~registry ~unwind m
 
@@ -251,8 +258,11 @@ end
 
 module Opt = struct
   let name = "llvm-opt"
+  let supports_params = false
 
-  let compile_module ~timing ~emu ~registry ~unwind m =
+  let compile_module ?(params = [||]) ~timing ~emu ~registry ~unwind m =
+    if Array.length params > 0 then
+      invalid_arg "llvm: parameterized modules are not supported";
     let cfg = Option.value ~default:opt_config !opt_override in
     compile_module_with cfg ~backend:name ~timing ~emu ~registry ~unwind m
 

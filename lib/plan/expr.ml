@@ -9,6 +9,10 @@ type t =
   | Col of int
   | Const_int of Sqlty.t * int64  (** Int32/Int64/Date/Decimal/Bool constant *)
   | Const_str of string
+  | Param of Sqlty.t * int
+      (** Hole for the [i]-th entry of a query's parameter vector; only
+          appears in normalized shapes (see {!Paramize}). String params
+          carry [Sqlty.Str]. *)
   | Add of t * t
   | Sub of t * t
   | Mul of t * t
@@ -74,6 +78,7 @@ let rec type_of (input : Sqlty.t array) (e : t) : Sqlty.t =
       input.(i)
   | Const_int (ty, _) -> ty
   | Const_str _ -> Sqlty.Str
+  | Param (ty, _) -> ty
   | Add (a, b) -> numeric_join `Add (type_of input a) (type_of input b)
   | Sub (a, b) -> numeric_join `Sub (type_of input a) (type_of input b)
   | Mul (a, b) -> numeric_join `Mul (type_of input a) (type_of input b)
@@ -127,7 +132,7 @@ let rec type_of (input : Sqlty.t array) (e : t) : Sqlty.t =
 let rec used_cols e acc =
   match e with
   | Col i -> i :: acc
-  | Const_int _ | Const_str _ -> acc
+  | Const_int _ | Const_str _ | Param _ -> acc
   | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | And (a, b) | Or (a, b)
   | Cmp (_, a, b) ->
       used_cols a (used_cols b acc)
@@ -142,7 +147,7 @@ let rec used_cols e acc =
 let rec map_cols f e =
   match e with
   | Col i -> Col (f i)
-  | Const_int _ | Const_str _ -> e
+  | Const_int _ | Const_str _ | Param _ -> e
   | Add (a, b) -> Add (map_cols f a, map_cols f b)
   | Sub (a, b) -> Sub (map_cols f a, map_cols f b)
   | Mul (a, b) -> Mul (map_cols f a, map_cols f b)

@@ -109,6 +109,10 @@ let rec add_expr buf (e : Expr.t) =
       add_u8 buf 15;
       add_expr buf a;
       add_ty buf ty
+  | Expr.Param (ty, i) ->
+      add_u8 buf 16;
+      add_ty buf ty;
+      add_int buf i
 
 let add_agg buf (a : Algebra.agg) =
   match a with
@@ -289,6 +293,9 @@ let rec get_expr r : Expr.t =
   | 15 ->
       let a = get_expr r in
       Expr.Cast (a, get_ty r)
+  | 16 ->
+      let ty = get_ty r in
+      Expr.Param (ty, get_len r)
   | _ -> corrupt "bad expression tag"
 
 let get_agg r : Algebra.agg =

@@ -13,6 +13,15 @@
       cost. This is the bounded, evicting level — machine code is the
       expensive artifact.
 
+    With parameterized-plan specialization, the cached unit is a {e shape}:
+    a plan whose eligible literals have been replaced by parameter holes
+    ({!Qcomp_plan.Paramize}). The artifact is compiled once per shape with
+    its holes unbound; every literal variant of the shape is served by a
+    cheap bind-link ({!force} with a parameter vector), so the per-query
+    cost after the first compile is microseconds regardless of the
+    literals. Entries keep a short MRU list of bound instances — repeated
+    vectors are exact hits, new vectors shape hits.
+
     Since the redesign around artifacts, the cached unit is the
     {e relocatable} output of the back-end; the live module is produced by
     the shared link step ({!Qcomp_backend.Backend.link_artifact}) on first
@@ -43,34 +52,71 @@ open Qcomp_support
 open Qcomp_engine
 
 type key = {
-  ck_fp : int64;  (** canonical plan fingerprint *)
+  ck_fp : int64;  (** canonical plan (shape) fingerprint *)
   ck_backend : string;
   ck_target : string;
+}
+
+(** One parameter binding of an entry's shape: an immutable linked module
+    whose parameter holes hold exactly [b_params]. Entries keep a short
+    MRU list of these; a repeated literal vector reuses its instance
+    (exact hit), a new vector re-links the artifact (shape hit + bind).
+    Instances are immutable by design — patching a shared module's holes
+    in place would race with a query mid-execution on the same module,
+    even under the sequential driver (execution interleaves at quantum
+    boundaries). *)
+type bound = {
+  b_params : Qcomp_backend.Artifact.param_value array;
+  b_cm : Qcomp_backend.Backend.compiled_module;
+  b_dispose : unit -> unit;
 }
 
 type entry = {
   ce_name : string;  (** query name (for re-codegen after a {!load}) *)
   ce_plan : Qcomp_plan.Algebra.t;
-  ce_fp : int64;  (** canonical plan fingerprint (= key's [ck_fp]) *)
+      (** the {e shape}: for parameterized queries, eligible literals have
+          been replaced by [Expr.Param] holes ({!Qcomp_plan.Paramize}) *)
+  ce_fp : int64;  (** canonical shape fingerprint (= key's [ck_fp]) *)
   ce_art : Qcomp_backend.Artifact.t option;
-      (** relocatable artifact; [None] only for back-ends that cannot
-          produce one (interpreter) — those entries are never snapshot *)
+      (** relocatable artifact (parameter holes unbound); [None] only for
+          back-ends that cannot produce one (interpreter) — those entries
+          are never snapshot *)
+  ce_backend : Qcomp_backend.Backend.t option;
+      (** the compiling back-end, kept so an artifact-less (interpreter)
+          entry can re-translate for a fresh parameter vector; [None] for
+          snapshot-loaded entries, which always carry an artifact *)
   ce_consts : (string * int * int) list;
       (** (string, SSO struct address, body address or 0) literals the
           code generator baked into the artifact as immediates; {!load}
           re-materializes them at the same addresses *)
   ce_db_fp : int64;  (** {!Engine.layout_fingerprint} at compile time *)
-  mutable ce_linked :
-    (Qcomp_codegen.Codegen.compiled * Qcomp_backend.Backend.compiled_module)
-    option;
-      (** live module, linked on first {!force}; [Some] from birth for
-          entries created by {!compile_uncached} *)
+  mutable ce_cq : Qcomp_codegen.Codegen.compiled option;
+      (** shape codegen result, shared by every bound instance; re-derived
+          through the plan memo on first {!force} after a {!load} *)
+  mutable ce_bound : bound list;
+      (** linked instances, most recently used first; one per distinct
+          parameter vector (a single [[||]]-keyed instance for
+          non-parameterized plans) *)
+  mutable ce_fresh : bool;
+      (** entry was just created by {!compile_uncached} and its initial
+          instance not yet claimed — the creator's first {!force} is not a
+          parameter-cache hit *)
   ce_compile_s : float;  (** modelled (simulated) compile seconds *)
-  ce_code_bytes : int;
-  mutable ce_dispose : unit -> unit;
-      (** release the linked module's code regions (no-op until linked) *)
+  ce_code_bytes : int;  (** code bytes of one bound instance *)
   ce_pins : int ref;  (** in-flight queries holding this entry *)
   ce_evicted : bool ref;  (** evicted while pinned; free on last unpin *)
+}
+
+(** Parameter-cache counters, reported next to the LRU hit/miss stats.
+    Only parameterized lookups (non-empty vectors) count here. *)
+type param_stats = {
+  ps_shape_hits : int;
+      (** {!force} found the shape but not the vector: artifact re-linked
+          with fresh holes — the compile was skipped, only a bind paid *)
+  ps_exact_hits : int;
+      (** {!force} found a live instance for the exact vector: no work *)
+  ps_binds : int;  (** parameter bind-links performed (incl. initial) *)
+  ps_bind_host_s : float;  (** host seconds spent in bind-links *)
 }
 
 type t = {
@@ -80,18 +126,49 @@ type t = {
   mutable bytes_freed : int;  (** code bytes returned to the allocator *)
   mutable max_entry_bytes : int;  (** largest module ever compiled here *)
   mutable pin_underflows : int;  (** unbalanced unpins caught and ignored *)
+  mutable shape_hits : int;
+  mutable exact_hits : int;
+  mutable binds : int;
+  mutable bind_host_s : float;
 }
+
+(* Most bound instances a single entry retains. Heavy literal skew (the
+   Zipf workloads) concentrates on few vectors, so a short list holds the
+   hot ones; the cold tail re-binds in microseconds. *)
+let max_bound_instances = 8
 
 (* Callers hold [t.mu]. A never-linked entry owns no code regions: freeing
    it must neither call dispose (there is nothing to release) nor count
    its bytes as freed — that drift is exactly what the overflow path of
-   [load] used to get wrong. *)
+   [load] used to get wrong. Each bound instance owns its own copy of the
+   code, so each counts separately. *)
 let free t e =
-  match e.ce_linked with
-  | None -> ()
-  | Some _ ->
-      t.bytes_freed <- t.bytes_freed + e.ce_code_bytes;
-      e.ce_dispose ()
+  List.iter
+    (fun b ->
+      t.bytes_freed <- t.bytes_freed + b.b_cm.Qcomp_backend.Backend.cm_code_size;
+      b.b_dispose ())
+    e.ce_bound;
+  e.ce_bound <- []
+
+(* Drop instances beyond the retention cap, least recently used first.
+   Callers hold [t.mu] and must ensure no other in-flight query can be
+   executing a trimmed instance: safe when at most the calling query pins
+   the entry (it runs the instance at the head of the list). *)
+let trim t e =
+  let rec cut n = function
+    | [] -> []
+    | rest when n = 0 ->
+        List.iter
+          (fun b ->
+            t.bytes_freed <-
+              t.bytes_freed + b.b_cm.Qcomp_backend.Backend.cm_code_size;
+            b.b_dispose ())
+          rest;
+        []
+    | b :: rest -> b :: cut (n - 1) rest
+  in
+  if List.length e.ce_bound > max_bound_instances then
+    e.ce_bound <- cut max_bound_instances e.ce_bound
 
 (* LRU drop: dispose now, or defer until the last in-flight user unpins.
    Runs under [t.mu] (drops only happen inside locked [Lru.add]). *)
@@ -106,6 +183,10 @@ let create ~capacity =
       bytes_freed = 0;
       max_entry_bytes = 0;
       pin_underflows = 0;
+      shape_hits = 0;
+      exact_hits = 0;
+      binds = 0;
+      bind_host_s = 0.0;
     }
   in
   Lru.set_on_drop t.modules (fun e -> drop t e);
@@ -129,10 +210,12 @@ let unpin t e =
       end
       else begin
         decr e.ce_pins;
-        if !(e.ce_pins) = 0 && !(e.ce_evicted) then begin
-          e.ce_evicted := false;
-          free t e
-        end
+        if !(e.ce_pins) = 0 then
+          if !(e.ce_evicted) then begin
+            e.ce_evicted := false;
+            free t e
+          end
+          else trim t e
       end)
 
 let key db ~backend plan =
@@ -159,30 +242,94 @@ let plan_ir_locked t db ~fp ~name plan =
 let plan_ir t db ~fp ~name plan =
   Mutex.protect t.mu (fun () -> plan_ir_locked t db ~fp ~name plan)
 
-(** The live (codegen result, linked module) pair for [e], linking the
-    artifact against [db]'s layout on first use. For entries created by
-    {!compile_uncached} this is a field read; for entries {!load}ed from a
-    snapshot the first call pays the link (microseconds) and re-runs
-    codegen through the shared plan memo — never the back-end compile. *)
-let force t db e =
+(** The live (codegen result, linked module, fresh-bind) triple for [e]
+    under the parameter vector [params], linking the artifact against
+    [db]'s layout as needed.
+
+    - An instance already bound to exactly [params] is reused (an {e exact
+      hit} — zero work, the caller charges nothing).
+    - Otherwise the shape's artifact is re-linked with [params] patched
+      into its holes (a {e shape hit} — the caller charges
+      {!Costmodel.bind_seconds}, not the back-end compile), or, for
+      artifact-less interpreter entries, the bytecode is re-translated with
+      the constants inlined (same order of cost).
+    - For entries {!load}ed from a snapshot the first call additionally
+      re-runs codegen through the shared plan memo — never the back-end
+      compile.
+
+    The returned [bool] is true when a fresh bind-link was paid. *)
+let force t db ?(params = ([||] : Qcomp_backend.Artifact.param_value array)) e =
+  (* A holeless entry (a whole-plan compile some rung fell back to, with
+     every literal baked) ignores the caller's vector: there is nothing to
+     bind, and linking it is the pre-parameterization lazy link, not a
+     parameter-cache event. *)
+  let params =
+    match e.ce_art with
+    | Some art
+      when Array.length art.Qcomp_backend.Artifact.a_params = 0
+           && Array.length params > 0 ->
+        [||]
+    | _ -> params
+  in
   Mutex.protect t.mu (fun () ->
-      match e.ce_linked with
-      | Some p -> p
+      let cq =
+        match e.ce_cq with
+        | Some cq -> cq
+        | None ->
+            let cq =
+              plan_ir_locked t db ~fp:e.ce_fp ~name:e.ce_name e.ce_plan
+            in
+            e.ce_cq <- Some cq;
+            cq
+      in
+      let parameterized = Array.length params > 0 in
+      match List.find_opt (fun b -> b.b_params = params) e.ce_bound with
+      | Some b ->
+          (* MRU promotion keeps the executing instance at the head, which
+             is what makes [trim] safe for a pins<=1 entry *)
+          e.ce_bound <- b :: List.filter (fun x -> x != b) e.ce_bound;
+          if parameterized then
+            if e.ce_fresh then e.ce_fresh <- false
+            else t.exact_hits <- t.exact_hits + 1;
+          (cq, b.b_cm, false)
       | None ->
-          let cq = plan_ir_locked t db ~fp:e.ce_fp ~name:e.ce_name e.ce_plan in
-          let art =
-            match e.ce_art with
-            | Some a -> a
-            | None -> invalid_arg "Code_cache.force: entry has no artifact"
-          in
           let timing = Timing.create ~enabled:false () in
+          let t0 = Timing.now () in
           let cm =
-            Qcomp_backend.Backend.link_artifact ~timing ~emu:db.Engine.emu
-              ~registry:db.Engine.registry ~unwind:db.Engine.unwind art
+            match e.ce_art with
+            | Some art ->
+                Qcomp_backend.Backend.link_artifact ~params ~timing
+                  ~emu:db.Engine.emu ~registry:db.Engine.registry
+                  ~unwind:db.Engine.unwind art
+            | None -> (
+                match e.ce_backend with
+                | Some backend ->
+                    Qcomp_backend.Backend.compile_module backend ~params
+                      ~timing ~emu:db.Engine.emu ~registry:db.Engine.registry
+                      ~unwind:db.Engine.unwind
+                      cq.Qcomp_codegen.Codegen.modul
+                | None ->
+                    invalid_arg
+                      "Code_cache.force: entry has neither artifact nor \
+                       back-end")
           in
-          e.ce_linked <- Some (cq, cm);
-          e.ce_dispose <- (fun () -> Engine.dispose_module db cm);
-          (cq, cm))
+          e.ce_bound <-
+            {
+              b_params = params;
+              b_cm = cm;
+              b_dispose = (fun () -> Engine.dispose_module db cm);
+            }
+            :: e.ce_bound;
+          e.ce_fresh <- false;
+          if parameterized then begin
+            t.shape_hits <- t.shape_hits + 1;
+            t.binds <- t.binds + 1;
+            t.bind_host_s <- t.bind_host_s +. (Timing.now () -. t0)
+          end;
+          (* the new instance is at the head; with at most the calling
+             query pinned, older instances cannot be mid-execution *)
+          if !(e.ce_pins) <= 1 then trim t e;
+          (cq, cm, true))
 
 let find t k = Mutex.protect t.mu (fun () -> Lru.find t.modules k)
 
@@ -219,8 +366,13 @@ let capture_consts db (cq : Qcomp_codegen.Codegen.compiled) =
 
     When the back-end supports relocatable output the artifact is compiled
     once and linked through the shared {!Backend.link_artifact} step; the
-    artifact is retained on the entry so {!save} can snapshot it. *)
-let compile_uncached t db ~backend ~name plan =
+    artifact is retained on the entry so {!save} can snapshot it.
+
+    For a parameterized shape, [params] is the triggering query's literal
+    vector: the artifact itself stays unbound (holes open), and the entry
+    is born with one bound instance for that vector. *)
+let compile_uncached t db ~backend
+    ?(params = ([||] : Qcomp_backend.Artifact.param_value array)) ~name plan =
   let k = key db ~backend plan in
   let cq = plan_ir t db ~fp:k.ck_fp ~name plan in
   let modul = cq.Qcomp_codegen.Codegen.modul in
@@ -233,28 +385,39 @@ let compile_uncached t db ~backend ~name plan =
             modul
         in
         ( Some art,
-          Qcomp_backend.Backend.link_artifact ~timing ~emu:db.Engine.emu
-            ~registry:db.Engine.registry ~unwind:db.Engine.unwind art )
+          Qcomp_backend.Backend.link_artifact ~params ~timing
+            ~emu:db.Engine.emu ~registry:db.Engine.registry
+            ~unwind:db.Engine.unwind art )
     | None ->
         ( None,
-          Qcomp_backend.Backend.compile_module backend ~timing
+          Qcomp_backend.Backend.compile_module backend ~params ~timing
             ~emu:db.Engine.emu ~registry:db.Engine.registry
             ~unwind:db.Engine.unwind modul )
   in
   let bytes = cm.Qcomp_backend.Backend.cm_code_size in
   Mutex.protect t.mu (fun () ->
-      if bytes > t.max_entry_bytes then t.max_entry_bytes <- bytes);
+      if bytes > t.max_entry_bytes then t.max_entry_bytes <- bytes;
+      if Array.length params > 0 then t.binds <- t.binds + 1);
   {
     ce_name = name;
     ce_plan = plan;
     ce_fp = k.ck_fp;
     ce_art = art;
+    ce_backend = Some backend;
     ce_consts = capture_consts db cq;
     ce_db_fp = Engine.layout_fingerprint db;
-    ce_linked = Some (cq, cm);
+    ce_cq = Some cq;
+    ce_bound =
+      [
+        {
+          b_params = params;
+          b_cm = cm;
+          b_dispose = (fun () -> Engine.dispose_module db cm);
+        };
+      ];
+    ce_fresh = true;
     ce_compile_s = Costmodel.compile_seconds ~backend:k.ck_backend modul;
     ce_code_bytes = bytes;
-    ce_dispose = (fun () -> Engine.dispose_module db cm);
     ce_pins = ref 0;
     ce_evicted = ref false;
   }
@@ -270,12 +433,12 @@ let insert t k e =
     the loser's module is disposed and the winner returned, so callers
     never hold two live modules for one key. (The serving pool additionally
     dedups in-flight compiles so this race stays rare.) *)
-let get_or_compile t db ~backend ~name plan =
+let get_or_compile t db ~backend ?params ~name plan =
   let k = key db ~backend plan in
   match find t k with
   | Some e -> (e, true)
   | None -> (
-      let e = compile_uncached t db ~backend ~name plan in
+      let e = compile_uncached t db ~backend ?params ~name plan in
       let prior =
         Mutex.protect t.mu (fun () ->
             match Lru.peek t.modules k with
@@ -286,11 +449,21 @@ let get_or_compile t db ~backend ~name plan =
       in
       match prior with
       | Some other ->
-          e.ce_dispose ();
+          List.iter (fun b -> b.b_dispose ()) e.ce_bound;
+          e.ce_bound <- [];
           (other, true)
       | None -> (e, false))
 
 let stats t = Mutex.protect t.mu (fun () -> Lru.stats t.modules)
+
+let param_stats t =
+  Mutex.protect t.mu (fun () ->
+      {
+        ps_shape_hits = t.shape_hits;
+        ps_exact_hits = t.exact_hits;
+        ps_binds = t.binds;
+        ps_bind_host_s = t.bind_host_s;
+      })
 
 (** Sum of pins across live entries — zero when the server has quiesced. *)
 let live_pins t =
@@ -322,7 +495,12 @@ let pp_stats fmt t =
     (if s.Lru.hits + s.Lru.misses > 0 then
        100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
      else 0.0)
-    s.Lru.entries s.Lru.evictions s.Lru.bytes bytes_freed
+    s.Lru.entries s.Lru.evictions s.Lru.bytes bytes_freed;
+  let p = param_stats t in
+  if p.ps_binds + p.ps_shape_hits + p.ps_exact_hits > 0 then
+    Format.fprintf fmt
+      "  param: shape-hits %d  exact-hits %d  binds %d  bind-time %.6fs"
+      p.ps_shape_hits p.ps_exact_hits p.ps_binds p.ps_bind_host_s
 
 (* ---------------- persistent snapshots ---------------- *)
 
@@ -390,6 +568,7 @@ let save t file =
       Buffer.add_int64_le payload
         (Fingerprint.key_v
            ~backend_version:(backend_code_version k.ck_backend)
+           ~param_version:Qcomp_plan.Paramize.format_version
            ~version:Qcomp_backend.Artifact.format_version
            ~backend:k.ck_backend ~target:k.ck_target e.ce_plan);
       Buffer.add_int64_le payload e.ce_fp;
@@ -579,7 +758,8 @@ let load ~capacity ~db file =
         (Int64.equal kv
            (Fingerprint.key_v
               ~backend_version:(backend_code_version backend)
-              ~version ~backend ~target:live_target plan))
+              ~param_version:Qcomp_plan.Paramize.format_version ~version
+              ~backend ~target:live_target plan))
     then corrupt ("stale or corrupt record for query " ^ name);
     if not (Int64.equal fp (Fingerprint.plan plan)) then
       corrupt ("plan fingerprint mismatch for query " ^ name);
@@ -601,12 +781,14 @@ let load ~capacity ~db file =
         ce_plan = plan;
         ce_fp = fp;
         ce_art = Some art;
+        ce_backend = None;
         ce_consts = consts;
         ce_db_fp = rec_db_fp;
-        ce_linked = None;
+        ce_cq = None;
+        ce_bound = [];
+        ce_fresh = false;
         ce_compile_s = compile_s;
         ce_code_bytes = code_bytes;
-        ce_dispose = (fun () -> ());
         ce_pins = ref 0;
         ce_evicted = ref false;
       }

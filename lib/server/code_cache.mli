@@ -1,18 +1,28 @@
-(** Compiled-code cache: plan fingerprint -> relocatable compiled artifact.
+(** Compiled-code cache: shape fingerprint -> relocatable compiled artifact.
 
     An unbounded codegen memo keyed by [(fingerprint, target)] — shared
     across back-ends so tiers can hot-swap over one state layout — plus a
     bounded LRU keyed by [(fingerprint, backend, target)] holding each
     back-end's relocatable {!Qcomp_backend.Artifact.t} together with its
-    lazily linked live module, with hit/miss/eviction/byte stats.
+    lazily linked live modules, with hit/miss/eviction/byte stats.
 
-    Because the cached unit is relocatable, a cache can be {!save}d to a
-    snapshot file and {!load}ed by a freshly started server against a
-    database with the same deterministic layout: warm queries then pay a
-    microsecond re-link on first hit instead of back-end compile seconds.
+    With parameterized-plan specialization the cached unit is a {e shape}:
+    a plan whose eligible literals were replaced by parameter holes
+    ({!Qcomp_plan.Paramize}). The artifact is compiled once per shape with
+    holes unbound; every literal variant is served by a cheap bind-link
+    ({!force} with a parameter vector). Entries keep a short MRU list of
+    bound instances — repeated vectors are exact hits, new vectors shape
+    hits — counted in {!param_stats}.
 
-    Eviction {e reclaims} code memory: a linked module's regions go back
-    to the emulator's region allocator via
+    Because the cached unit is relocatable and unbound, a cache can be
+    {!save}d to a snapshot file and {!load}ed by a freshly started server
+    against a database with the same deterministic layout: warm queries
+    then pay a microsecond re-link on first hit instead of back-end
+    compile seconds, and one snapshot record serves every literal variant
+    of its shape.
+
+    Eviction {e reclaims} code memory: each bound instance's regions go
+    back to the emulator's region allocator via
     {!Qcomp_backend.Backend.dispose}; never-linked snapshot entries own no
     code memory and free nothing. Entries held by in-flight queries must
     be {!pin}ned; a pinned entry that gets evicted is disposed only when
@@ -25,31 +35,66 @@
     is always taken before the layout lock, never after. *)
 
 type key = {
-  ck_fp : int64;  (** canonical plan fingerprint *)
+  ck_fp : int64;  (** canonical plan (shape) fingerprint *)
   ck_backend : string;
   ck_target : string;
+}
+
+(** One parameter binding of an entry's shape: an immutable linked module
+    whose parameter holes hold exactly [b_params]. Instances are immutable
+    by design — patching a shared module's holes in place would race with
+    a query mid-execution on the same module. *)
+type bound = {
+  b_params : Qcomp_backend.Artifact.param_value array;
+  b_cm : Qcomp_backend.Backend.compiled_module;
+  b_dispose : unit -> unit;
 }
 
 type entry = {
   ce_name : string;  (** query name (for re-codegen after a {!load}) *)
   ce_plan : Qcomp_plan.Algebra.t;
-  ce_fp : int64;  (** canonical plan fingerprint (= key's [ck_fp]) *)
+      (** the {e shape}: for parameterized queries, eligible literals have
+          been replaced by [Expr.Param] holes ({!Qcomp_plan.Paramize}) *)
+  ce_fp : int64;  (** canonical shape fingerprint (= key's [ck_fp]) *)
   ce_art : Qcomp_backend.Artifact.t option;
-      (** relocatable artifact; [None] only for back-ends that cannot
-          produce one (interpreter) — those entries are never snapshot *)
+      (** relocatable artifact (parameter holes unbound); [None] only for
+          back-ends that cannot produce one (interpreter) — those entries
+          are never snapshot *)
+  ce_backend : Qcomp_backend.Backend.t option;
+      (** the compiling back-end, kept so an artifact-less (interpreter)
+          entry can re-translate for a fresh parameter vector; [None] for
+          snapshot-loaded entries, which always carry an artifact *)
   ce_consts : (string * int * int) list;
       (** (string, SSO struct address, body address or 0) literals baked
           into the artifact as immediates *)
   ce_db_fp : int64;  (** {!Engine.layout_fingerprint} at compile time *)
-  mutable ce_linked :
-    (Qcomp_codegen.Codegen.compiled * Qcomp_backend.Backend.compiled_module)
-    option;  (** live module; [None] until {!force} links the artifact *)
+  mutable ce_cq : Qcomp_codegen.Codegen.compiled option;
+      (** shape codegen result, shared by every bound instance; re-derived
+          through the plan memo on first {!force} after a {!load} *)
+  mutable ce_bound : bound list;
+      (** linked instances, most recently used first; one per distinct
+          parameter vector (a single [[||]]-keyed instance for
+          non-parameterized plans) *)
+  mutable ce_fresh : bool;
+      (** entry was just created by {!compile_uncached} and its initial
+          instance not yet claimed — the creator's first {!force} is not a
+          parameter-cache hit *)
   ce_compile_s : float;  (** modelled (simulated) compile seconds *)
-  ce_code_bytes : int;
-  mutable ce_dispose : unit -> unit;
-      (** release the linked module's code regions (no-op until linked) *)
+  ce_code_bytes : int;  (** code bytes of one bound instance *)
   ce_pins : int ref;  (** in-flight queries holding this entry *)
   ce_evicted : bool ref;  (** evicted while pinned; free on last unpin *)
+}
+
+(** Parameter-cache counters, reported next to the LRU hit/miss stats.
+    Only parameterized lookups (non-empty vectors) count here. *)
+type param_stats = {
+  ps_shape_hits : int;
+      (** {!force} found the shape but not the vector: artifact re-linked
+          with fresh holes — the compile was skipped, only a bind paid *)
+  ps_exact_hits : int;
+      (** {!force} found a live instance for the exact vector: no work *)
+  ps_binds : int;  (** parameter bind-links performed (incl. initial) *)
+  ps_bind_host_s : float;  (** host seconds spent in bind-links *)
 }
 
 type t
@@ -68,16 +113,20 @@ val find : t -> key -> entry option
     probes that must not pollute the serving hit-rate. *)
 val find_nostat : t -> key -> entry option
 
-(** The live (codegen result, linked module) pair for an entry, linking
-    its artifact against [db]'s layout on first use. Entries created by
-    {!compile_uncached} are born linked (this is then a field read);
-    {!load}ed entries pay a microsecond re-link — never a back-end
-    compile — on the first call. *)
+(** The live (codegen result, module) pair for an entry bound to [params],
+    plus whether this call created the instance (a {e fresh} bind the
+    caller should charge {!Costmodel.bind_seconds} for). A matching bound
+    instance is reused and MRU-promoted; otherwise the artifact is
+    re-linked (or the back-end re-translates, for interpreter entries)
+    with [params] in its holes. Entries created by {!compile_uncached}
+    are born with their submitter's instance; {!load}ed entries pay a
+    microsecond re-link — never a back-end compile — on the first call. *)
 val force :
   t ->
   Qcomp_engine.Engine.db ->
+  ?params:Qcomp_backend.Artifact.param_value array ->
   entry ->
-  Qcomp_codegen.Codegen.compiled * Qcomp_backend.Backend.compiled_module
+  Qcomp_codegen.Codegen.compiled * Qcomp_backend.Backend.compiled_module * bool
 
 (** Codegen once per (fingerprint, target), memoized. *)
 val plan_ir :
@@ -91,11 +140,13 @@ val plan_ir :
 (** Compile without touching the LRU (for background compilations that
     become visible only at their simulated completion event). When the
     back-end supports relocatable output, the entry retains the artifact
-    so {!save} can snapshot it. *)
+    so {!save} can snapshot it. [params] binds the submitter's literal
+    vector into the entry's initial instance. *)
 val compile_uncached :
   t ->
   Qcomp_engine.Engine.db ->
   backend:Qcomp_backend.Backend.t ->
+  ?params:Qcomp_backend.Artifact.param_value array ->
   name:string ->
   Qcomp_plan.Algebra.t ->
   entry
@@ -103,12 +154,13 @@ val compile_uncached :
 val insert : t -> key -> entry -> unit
 
 (** [(entry, hit)] — compiles and inserts on miss. Two domains racing on
-    the same miss both compile; the insert loser's module is disposed and
-    the winner's entry returned. *)
+    the same miss both compile; the insert loser's instances are disposed
+    and the winner's entry returned. *)
 val get_or_compile :
   t ->
   Qcomp_engine.Engine.db ->
   backend:Qcomp_backend.Backend.t ->
+  ?params:Qcomp_backend.Artifact.param_value array ->
   name:string ->
   Qcomp_plan.Algebra.t ->
   entry * bool
@@ -125,6 +177,9 @@ val unpin : t -> entry -> unit
 
 val stats : t -> Lru.stats
 
+(** The run's parameter-cache counters. *)
+val param_stats : t -> param_stats
+
 (** Sum of pins across live entries — zero once a server run quiesces. *)
 val live_pins : t -> int
 
@@ -140,12 +195,13 @@ val pp_stats : Format.formatter -> t -> unit
 (** {1 Persistent snapshots}
 
     A snapshot stores every artifact-bearing entry — relocatable code
-    bytes, symbols, pending fixups, baked string constants and the plan
-    itself — under a CRC-32C-checksummed header carrying the artifact
-    format version and target. Records are keyed by
-    {!Fingerprint.key_v}, so a snapshot from another format version,
-    back-end build or architecture fails key verification loudly instead
-    of ever mis-linking. *)
+    bytes, symbols, pending fixups (parameter holes included, unbound),
+    baked string constants and the shape plan itself — under a
+    CRC-32C-checksummed header carrying the artifact format version and
+    target. Records are keyed by {!Fingerprint.key_v} (which also folds
+    the parameter-format version), so a snapshot from another format
+    version, back-end build or architecture fails key verification loudly
+    instead of ever mis-linking. *)
 
 (** [save t file] snapshots every artifact-bearing entry to [file]
     (written atomically via a temp file), coldest entry first so {!load}

@@ -51,6 +51,14 @@ let compile_seconds ~backend (m : Qcomp_ir.Func.modul) =
   +. (c.per_function *. float_of_int funcs)
   +. (c.per_inst *. float_of_int insts)
 
+(** Simulated seconds to bind a parameter vector into an already-compiled
+    shape: a re-link of the artifact that blits the text and patches a
+    handful of 8-byte immediate holes. Three orders of magnitude under the
+    cheapest back-end compile (the stencil generator's per-query work is
+    itself mostly the same blit), so a shape hit is priced as near-free —
+    the whole point of caching per shape instead of per query. *)
+let bind_seconds = 2e-6
+
 (* ---------------- execution-rate model ---------------- *)
 
 (** The nominal clock every simulated duration is quoted at (the paper's

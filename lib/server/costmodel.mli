@@ -13,6 +13,12 @@ val module_size : Qcomp_ir.Func.modul -> int * int
     back-end must fail loud, not silently skew every schedule. *)
 val compile_seconds : backend:string -> Qcomp_ir.Func.modul -> float
 
+(** Simulated seconds to bind a parameter vector into a cached shape
+    artifact (re-link: blit text + patch 8-byte holes) — three orders of
+    magnitude under the cheapest compile, which is the whole point of
+    shape-keyed caching. *)
+val bind_seconds : float
+
 (** {1 Execution-rate model — what the tier controller prices with} *)
 
 (** Nominal simulated clock (2 GHz). *)

@@ -64,6 +64,7 @@ let rec expr h (e : Expr.t) =
       in
       expr (tag h 25) els
   | Expr.Cast (a, ty) -> sqlty (expr (tag h 26) a) ty
+  | Expr.Param (ty, i) -> int (sqlty (tag h 27) ty) i
 
 let exprs h es = List.fold_left expr (int h (List.length es)) es
 
@@ -114,10 +115,19 @@ let plan p = plan_h 0x51C0DE_CAFEL p
     back-ends whose output depends on state built outside the query (the
     stencil back-end's library: a record patched from stencil set N must
     never be accepted by a process with set N+1). Back-ends without such
-    state use the default 0, keeping their keys unchanged. *)
-let key_v ?(backend_version = 0) ~version ~backend ~target p =
+    state use the default 0, keeping their keys unchanged.
+
+    [param_version] is the parameter-extraction format generation
+    ({!Qcomp_plan.Paramize.format_version}): snapshot records store
+    {e shapes} (plans with parameter holes), so a change to which literals
+    are extracted or how holes are numbered silently changes what a stored
+    artifact means — old records must stop matching, not bind garbage. *)
+let key_v ?(backend_version = 0) ?(param_version = 0) ~version ~backend ~target
+    p =
   plan_h
     (str
-       (int (int (tag 0x51C0DE_CAFEL 80) version) backend_version)
+       (int
+          (int (int (tag 0x51C0DE_CAFEL 80) version) backend_version)
+          param_version)
        (backend ^ "/" ^ target))
     p

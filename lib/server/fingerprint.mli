@@ -15,6 +15,7 @@ val plan : Qcomp_plan.Algebra.t -> int64
     is rejected with a clear error, never mis-linked. *)
 val key_v :
   ?backend_version:int ->
+  ?param_version:int ->
   version:int ->
   backend:string ->
   target:string ->

@@ -60,6 +60,11 @@ type config = {
       (** Tiered only: pick upgrades from observed cycles-per-row at
           morsel boundaries (including second upgrades) instead of the
           one-shot pre-execution estimate *)
+  paramize : bool;
+      (** Cached/Tiered: normalize incoming plans into (shape, parameter
+          vector) so every literal variant of a template shares one cache
+          entry; variants after the first pay a microsecond bind instead
+          of a compile. Static mode always stays exact. *)
   mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
   seed : int64;  (** drives the arrival process *)
 }
@@ -72,9 +77,35 @@ let default_config =
     cache_capacity = 64;
     mode = Tiered;
     reopt = false;
+    paramize = true;
     mean_gap_s = 0.0005;
     seed = 42L;
   }
+
+(** Split [plan] into its cache identity: the {e shape} (eligible literals
+    replaced by {!Qcomp_plan.Expr.Param} holes) and the extracted literal
+    vector in the back-ends' binding representation. Static mode and
+    [paramize = false] keep the plan exact; a plan with nothing eligible is
+    its own shape with an empty vector, which downstream degenerates to the
+    pre-parameterization behavior. *)
+let normalize_query config plan =
+  let exact = (plan, ([||] : Qcomp_backend.Artifact.param_value array)) in
+  match config.mode with
+  | Static _ -> exact
+  | Cached | Tiered ->
+      if not config.paramize then exact
+      else
+        let shape, vals = Qcomp_plan.Paramize.normalize plan in
+        if Array.length vals = 0 then exact
+        else
+          ( shape,
+            Array.map
+              (function
+                | Qcomp_plan.Paramize.V_int (_, v) ->
+                    Qcomp_backend.Artifact.Pv_int v
+                | Qcomp_plan.Paramize.V_str s ->
+                    Qcomp_backend.Artifact.Pv_str s)
+              vals )
 
 (** Shared by both drivers so a bad field fails the same way everywhere —
     previously [workers] raised while [compile_slots] was silently clamped
@@ -113,7 +144,12 @@ let qm_latency = Report.qm_latency
 
 type qstate = {
   q_name : string;
-  q_plan : Qcomp_plan.Algebra.t;
+  q_plan : Qcomp_plan.Algebra.t;  (** the shape when parameterized *)
+  q_params : Qcomp_backend.Artifact.param_value array;
+      (** this query's literal vector; [[||]] for exact plans *)
+  q_exact : Qcomp_plan.Algebra.t;
+      (** the original plan with literals in place — what rungs that
+          cannot bind parameter holes compile (whole-plan fallback) *)
   mutable q_start : float;
   mutable q_compile_s : float;
   mutable q_cache_hit : bool;
@@ -165,10 +201,13 @@ let run ?cache db ~domains config stream =
   let t0 = Timing.now () in
   List.iter
     (fun (name, plan) ->
+      let shape, params = normalize_query config plan in
       Queue.push
         {
           q_name = name;
-          q_plan = plan;
+          q_plan = shape;
+          q_params = params;
+          q_exact = plan;
           q_start = 0.0;
           q_compile_s = 0.0;
           q_cache_hit = false;
@@ -218,7 +257,9 @@ let run ?cache db ~domains config stream =
             Hashtbl.replace inflight k ();
             Mutex.unlock mu;
             let e =
-              try Code_cache.compile_uncached cache view ~backend ~name plan
+              try
+                Code_cache.compile_uncached cache view ~backend
+                  ~params:q.q_params ~name plan
               with exn ->
                 Mutex.lock mu;
                 Hashtbl.remove inflight k;
@@ -240,8 +281,10 @@ let run ?cache db ~domains config stream =
   (* Background compile body, run on a compile domain. The compiling
      domain holds a creation pin across the insert so the entry cannot be
      evicted-and-freed before waiters pin it. *)
-  let bg_compile ~backend ~name plan k view =
-    let e = Code_cache.compile_uncached cache view ~backend ~name plan in
+  let bg_compile ~backend ~params ~name plan k view =
+    let e =
+      Code_cache.compile_uncached cache view ~backend ~params ~name plan
+    in
     Mutex.protect mu (fun () ->
         Code_cache.pin cache e;
         Code_cache.insert cache k e;
@@ -260,13 +303,13 @@ let run ?cache db ~domains config stream =
           waiters;
         Code_cache.unpin cache e)
   in
-  let submit_bg q ~backend ~name plan k =
+  let submit_bg q ~backend ~params ~name plan k =
     Mutex.protect mu (fun () ->
         match Hashtbl.find_opt pending k with
         | Some waiters -> waiters := q :: !waiters
         | None ->
             Hashtbl.replace pending k (ref [ q ]);
-            Queue.push (bg_compile ~backend ~name plan k) compile_jobs;
+            Queue.push (bg_compile ~backend ~params ~name plan k) compile_jobs;
             Condition.signal compile_cv)
   in
   (* The observation-driven tier controller, consulted after each quantum
@@ -285,7 +328,18 @@ let run ?cache db ~domains config stream =
             let cands =
               List.map
                 (fun (nm, b) ->
-                  let k = Code_cache.key view ~backend:b q.q_plan in
+                  (* a rung that cannot bind parameter holes falls back to
+                     compiling the exact whole plan (per-query keyed) —
+                     observed work justified spending real compile time, so
+                     the strong back-ends stay reachable *)
+                  let plan, params =
+                    if
+                      Array.length q.q_params > 0
+                      && not (Qcomp_backend.Backend.supports_params b)
+                    then (q.q_exact, [||])
+                    else (q.q_plan, q.q_params)
+                  in
+                  let k = Code_cache.key view ~backend:b plan in
                   let compile_s =
                     match Code_cache.find_nostat cache k with
                     | Some _ -> 0.0
@@ -293,17 +347,17 @@ let run ?cache db ~domains config stream =
                         Costmodel.compile_seconds ~backend:nm
                           (Exec.ir_module ex)
                   in
-                  (nm, b, k, compile_s))
+                  (nm, b, k, plan, params, compile_s))
                 (Engine.stronger_than view q.q_cur_tier)
             in
             match
               Costmodel.best_upgrade ~cur:q.q_cur_tier ~cpr ~rows_remaining
-                (List.map (fun (nm, _, _, c) -> (nm, c)) cands)
+                (List.map (fun (nm, _, _, _, _, c) -> (nm, c)) cands)
             with
             | None -> ()
             | Some (nm, _) ->
-                let _, backend, k, _ =
-                  List.find (fun (n, _, _, _) -> String.equal n nm) cands
+                let _, backend, k, plan, params, _ =
+                  List.find (fun (n, _, _, _, _, _) -> String.equal n nm) cands
                 in
                 q.q_upgrading <- true;
                 let cached =
@@ -316,19 +370,25 @@ let run ?cache db ~domains config stream =
                 in
                 (match cached with
                 | Some e -> Atomic.set q.q_swap (Some (nm, e))
-                | None -> submit_bg q ~backend ~name:q.q_name q.q_plan k))
+                | None -> submit_bg q ~backend ~params ~name:q.q_name plan k))
   in
   (* Execute [q] to completion starting on [e]'s module, hot-swapping at a
      quantum boundary if a background compile parks a stronger one. *)
   let run_exec q view (e : Code_cache.entry) =
-    let cq, cm = Code_cache.force cache view e in
+    let cq, cm, fresh = Code_cache.force cache view ~params:q.q_params e in
+    if fresh && Array.length q.q_params > 0 then
+      q.q_compile_s <- q.q_compile_s +. Costmodel.bind_seconds;
     let ex = Exec.start view cq cm in
     Fun.protect ~finally:(fun () -> Exec.dispose ex) @@ fun () ->
     let reopt = config.reopt && config.mode = Tiered in
     let rec loop () =
       (match Atomic.exchange q.q_swap None with
       | Some (nm, se) when not (Exec.finished ex) ->
-          let _, scm = Code_cache.force cache view se in
+          let _, scm, sfresh =
+            Code_cache.force cache view ~params:q.q_params se
+          in
+          if sfresh && Array.length q.q_params > 0 then
+            q.q_compile_s <- q.q_compile_s +. Costmodel.bind_seconds;
           Exec.swap ex scm;
           q.q_cur_tier <- nm;
           q.q_tiers <- nm :: q.q_tiers;
@@ -401,6 +461,13 @@ let run ?cache db ~domains config stream =
         run_exec q view e
     | Cached ->
         let bname, backend = Engine.adaptive_backend view q.q_plan in
+        let bname, backend =
+          (* parameterized shapes route to the strongest rung that can
+             bind holes; others would recompile per literal vector *)
+          if Array.length q.q_params > 0 then
+            Engine.clamp_param_capable view bname
+          else (bname, backend)
+        in
         q.q_cur_tier <- bname;
         q.q_tiers <- [ bname ];
         let e, hit = get_entry q view ~backend ~name:q.q_name q.q_plan in
@@ -418,7 +485,16 @@ let run ?cache db ~domains config stream =
             (fun (nm, b) ->
               if String.equal nm "interpreter" then None
               else
-                let k = Code_cache.key view ~backend:b q.q_plan in
+                (* non-param rungs cache the whole-plan fallback under the
+                   exact plan's key *)
+                let plan =
+                  if
+                    Array.length q.q_params > 0
+                    && not (Qcomp_backend.Backend.supports_params b)
+                  then q.q_exact
+                  else q.q_plan
+                in
+                let k = Code_cache.key view ~backend:b plan in
                 Mutex.protect mu (fun () ->
                     match Code_cache.find_nostat cache k with
                     | Some e ->
@@ -438,6 +514,11 @@ let run ?cache db ~domains config stream =
             run_exec q view ie)
     | Tiered -> (
         let bname, backend = Engine.adaptive_backend view q.q_plan in
+        let bname, backend =
+          if Array.length q.q_params > 0 then
+            Engine.clamp_param_capable view bname
+          else (bname, backend)
+        in
         if bname = "interpreter" then begin
           (* nothing stronger to tier to: serve straight from bytecode *)
           let e, hit =
@@ -471,7 +552,7 @@ let run ?cache db ~domains config stream =
           | None ->
               (* tier 0 now, strong tier on the background compile pool *)
               let ie = start_tier0 q view in
-              submit_bg q ~backend ~name:q.q_name q.q_plan k;
+              submit_bg q ~backend ~params:q.q_params ~name:q.q_name q.q_plan k;
               run_exec q view ie)
   in
   let worker () =

@@ -26,6 +26,10 @@ type config = {
       (** Tiered only: pick upgrades from observed cycles-per-row at
           morsel boundaries (including second upgrades) instead of the
           one-shot pre-execution estimate *)
+  paramize : bool;
+      (** normalize incoming plans into (shape, literal vector) so the code
+          cache is keyed per shape rather than per query; [Static] mode
+          always serves exact plans regardless *)
   mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
   seed : int64;  (** drives the arrival process *)
 }
@@ -38,6 +42,17 @@ val default_config : config
     Both serving drivers validate with this, so misconfiguration fails the
     same way everywhere instead of being silently clamped. *)
 val validate_config : driver:string -> config -> unit
+
+(** Split an incoming plan into its shape (eligible literals replaced by
+    {!Qcomp_plan.Expr.Param} holes) and the extracted literal vector in the
+    back-ends' binding representation. [Static] mode and
+    [paramize = false] keep the plan exact ([([||])] vector); a plan with
+    nothing eligible is its own shape with an empty vector. Shared by both
+    serving drivers so normalization can never drift between them. *)
+val normalize_query :
+  config ->
+  Qcomp_plan.Algebra.t ->
+  Qcomp_plan.Algebra.t * Qcomp_backend.Artifact.param_value array
 
 type query_metrics = Report.query_metrics = {
   qm_name : string;

@@ -52,6 +52,14 @@ type t = {
           stacks, module GOTs — per-query blocks must all be recycled) *)
   r_peak_data_bytes : int;  (** high-water mark of allocated data bytes *)
   r_freed_data_bytes : int;  (** cumulative data bytes recycled *)
+  r_shape_hits : int;
+      (** parameterized lookups that found the shape's artifact cached but
+          had to bind a new literal vector *)
+  r_exact_hits : int;
+      (** parameterized lookups that found an already-bound instance for the
+          exact literal vector *)
+  r_binds : int;  (** parameter-vector bind (re-link) operations *)
+  r_bind_s : float;  (** modelled seconds spent binding parameter vectors ([r_binds] x {!Costmodel.bind_seconds}, deterministic like every other report duration) *)
 }
 
 (* Nearest-rank percentile over an ascending array. *)
@@ -87,6 +95,14 @@ let assemble db cache ~mode ~makespan queries =
     r_live_data_bytes = Qcomp_vm.Memory.live_data_bytes (Engine.memory db);
     r_peak_data_bytes = Qcomp_vm.Memory.peak_data_bytes (Engine.memory db);
     r_freed_data_bytes = Qcomp_vm.Memory.freed_data_bytes (Engine.memory db);
+    r_shape_hits = (Code_cache.param_stats cache).Code_cache.ps_shape_hits;
+    r_exact_hits = (Code_cache.param_stats cache).Code_cache.ps_exact_hits;
+    r_binds = (Code_cache.param_stats cache).Code_cache.ps_binds;
+    (* modelled, not ps_bind_host_s: report durations must be
+       byte-identical across same-seed runs *)
+    r_bind_s =
+      float_of_int (Code_cache.param_stats cache).Code_cache.ps_binds
+      *. Costmodel.bind_seconds;
   }
 
 let pp_query fmt q =
@@ -123,4 +139,8 @@ let pp ?(per_query = false) fmt r =
   Format.fprintf fmt "  code-mem: live %d  peak %d  freed %d@."
     r.r_live_code_bytes r.r_peak_code_bytes r.r_bytes_freed;
   Format.fprintf fmt "  data-mem: live %d  peak %d  freed %d@."
-    r.r_live_data_bytes r.r_peak_data_bytes r.r_freed_data_bytes
+    r.r_live_data_bytes r.r_peak_data_bytes r.r_freed_data_bytes;
+  if r.r_shape_hits + r.r_exact_hits + r.r_binds > 0 then
+    Format.fprintf fmt
+      "  param: shape-hits %d  exact-hits %d  binds %d  bind-time %.6fs@."
+      r.r_shape_hits r.r_exact_hits r.r_binds r.r_bind_s

@@ -48,6 +48,14 @@ type t = {
           stacks, module GOTs — per-query blocks must all be recycled) *)
   r_peak_data_bytes : int;  (** high-water mark of allocated data bytes *)
   r_freed_data_bytes : int;  (** cumulative data bytes recycled *)
+  r_shape_hits : int;
+      (** parameterized lookups that found the shape's artifact cached but
+          had to bind a new literal vector *)
+  r_exact_hits : int;
+      (** parameterized lookups that found an already-bound instance for the
+          exact literal vector *)
+  r_binds : int;  (** parameter-vector bind (re-link) operations *)
+  r_bind_s : float;  (** modelled seconds spent binding parameter vectors ([r_binds] x {!Costmodel.bind_seconds}, deterministic like every other report duration) *)
 }
 
 (** Fold completion-order metrics plus end-of-run cache and memory state

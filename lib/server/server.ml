@@ -48,6 +48,11 @@ type config = Pool.config = {
       (** Tiered only: pick upgrades from observed cycles-per-row at
           morsel boundaries (including second upgrades) instead of the
           one-shot pre-execution estimate *)
+  paramize : bool;
+      (** Cached/Tiered: normalize incoming plans into (shape, parameter
+          vector) so every literal variant of a template shares one cache
+          entry; variants after the first pay a microsecond bind instead
+          of a compile. Static mode always stays exact. *)
   mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
   seed : int64;  (** drives the arrival process *)
 }
@@ -97,13 +102,26 @@ type report = Report.t = {
           stacks, module GOTs — per-query blocks must all be recycled) *)
   r_peak_data_bytes : int;  (** high-water mark of allocated data bytes *)
   r_freed_data_bytes : int;  (** cumulative data bytes recycled *)
+  r_shape_hits : int;
+      (** parameterized lookups that found the shape's artifact cached but
+          had to bind a new literal vector *)
+  r_exact_hits : int;
+      (** parameterized lookups that found an already-bound instance for the
+          exact literal vector *)
+  r_binds : int;  (** parameter-vector bind (re-link) operations *)
+  r_bind_s : float;  (** host seconds spent binding parameter vectors *)
 }
 
 (* ---------------- the event machine ---------------- *)
 
 type qstate = {
   q_name : string;
-  q_plan : Qcomp_plan.Algebra.t;
+  q_plan : Qcomp_plan.Algebra.t;  (** the shape when parameterized *)
+  q_params : Qcomp_backend.Artifact.param_value array;
+      (** this query's literal vector; [[||]] for exact plans *)
+  q_exact : Qcomp_plan.Algebra.t;
+      (** the original plan with literals in place — what rungs that
+          cannot bind parameter holes compile (whole-plan fallback) *)
   q_arrival : float;
   mutable q_start : float;
   mutable q_compile_s : float;
@@ -192,7 +210,7 @@ let run_events ?cache db config stream =
       let job = Queue.pop compile_jobs in
       job ()
     done
-  and submit_bg_compile ~backend ~name plan (k : Code_cache.key)
+  and submit_bg_compile ~backend ~params ~name plan (k : Code_cache.key)
       (on_ready : Code_cache.entry -> unit) =
     match Hashtbl.find_opt pending k with
     | Some waiters -> waiters := on_ready :: !waiters
@@ -201,7 +219,9 @@ let run_events ?cache db config stream =
         Hashtbl.replace pending k waiters;
         Queue.push
           (fun () ->
-            let e = Code_cache.compile_uncached cache db ~backend ~name plan in
+            let e =
+              Code_cache.compile_uncached cache db ~backend ~params ~name plan
+            in
             Sim.after sim e.Code_cache.ce_compile_s (fun () ->
                 Code_cache.insert cache k e;
                 Hashtbl.remove pending k;
@@ -224,7 +244,7 @@ let run_events ?cache db config stream =
        foreground translate charge *)
     let ie, ihit =
       Code_cache.get_or_compile cache db ~backend:Engine.interpreter
-        ~name:q.q_name q.q_plan
+        ~params:q.q_params ~name:q.q_name q.q_plan
     in
     pin_entry q ie;
     let icost = if ihit then 0.0 else ie.Code_cache.ce_compile_s in
@@ -260,6 +280,13 @@ let run_events ?cache db config stream =
         Sim.after sim e.Code_cache.ce_compile_s (fun () -> begin_exec q e)
     | Cached ->
         let bname, backend = Engine.adaptive_backend db q.q_plan in
+        let bname, backend =
+          (* parameterized shapes route to the strongest rung that can
+             bind holes; others would recompile per literal vector *)
+          if Array.length q.q_params > 0 then
+            Engine.clamp_param_capable db bname
+          else (bname, backend)
+        in
         let k = Code_cache.key db ~backend q.q_plan in
         q.q_cur_tier <- bname;
         q.q_tiers <- [ bname ];
@@ -269,7 +296,10 @@ let run_events ?cache db config stream =
             q.q_cache_hit <- true;
             begin_exec q e
         | None ->
-            let e = Code_cache.compile_uncached cache db ~backend ~name:q.q_name q.q_plan in
+            let e =
+              Code_cache.compile_uncached cache db ~backend ~params:q.q_params
+                ~name:q.q_name q.q_plan
+            in
             Code_cache.insert cache k e;
             pin_entry q e;
             q.q_compile_s <- e.Code_cache.ce_compile_s;
@@ -284,7 +314,16 @@ let run_events ?cache db config stream =
             (fun (nm, b) ->
               if String.equal nm "interpreter" then None
               else
-                let k = Code_cache.key db ~backend:b q.q_plan in
+                (* non-param rungs cache the whole-plan fallback under the
+                   exact plan's key *)
+                let plan =
+                  if
+                    Array.length q.q_params > 0
+                    && not (Qcomp_backend.Backend.supports_params b)
+                  then q.q_exact
+                  else q.q_plan
+                in
+                let k = Code_cache.key db ~backend:b plan in
                 match Code_cache.find_nostat cache k with
                 | Some e ->
                     pin_entry q e;
@@ -303,11 +342,16 @@ let run_events ?cache db config stream =
             Sim.after sim icost (fun () -> begin_exec q ie))
     | Tiered -> (
         let bname, backend = Engine.adaptive_backend db q.q_plan in
+        let bname, backend =
+          if Array.length q.q_params > 0 then
+            Engine.clamp_param_capable db bname
+          else (bname, backend)
+        in
         if bname = "interpreter" then begin
           (* nothing stronger to tier to: serve straight from bytecode *)
           let e, hit =
             Code_cache.get_or_compile cache db ~backend:Engine.interpreter
-              ~name:q.q_name q.q_plan
+              ~params:q.q_params ~name:q.q_name q.q_plan
           in
           pin_entry q e;
           q.q_cache_hit <- hit;
@@ -333,7 +377,8 @@ let run_events ?cache db config stream =
           | None ->
               (* tier 0 now, strong tier in the background *)
               let ie, icost = start_tier0 q in
-              submit_bg_compile ~backend ~name:q.q_name q.q_plan k (fun e ->
+              submit_bg_compile ~backend ~params:q.q_params ~name:q.q_name
+                q.q_plan k (fun e ->
                   (* the query may have drained on tier 0 before the strong
                      compile landed; a done query must not pin (nobody
                      would unpin) nor park a swap *)
@@ -343,9 +388,15 @@ let run_events ?cache db config stream =
                   end);
               Sim.after sim icost (fun () -> begin_exec q ie))
   and begin_exec q (e : Code_cache.entry) =
-    let cq, cm = Code_cache.force cache db e in
+    let cq, cm, fresh = Code_cache.force cache db ~params:q.q_params e in
     let ex = Exec.start db cq cm in
-    quantum q ex
+    if fresh && Array.length q.q_params > 0 then begin
+      (* a fresh parameter bind is charged on the virtual clock, priced
+         near-free next to any back-end compile *)
+      q.q_compile_s <- q.q_compile_s +. Costmodel.bind_seconds;
+      Sim.after sim Costmodel.bind_seconds (fun () -> quantum q ex)
+    end
+    else quantum q ex
   (* The observation-driven tier controller, consulted at each morsel
      boundary in reopt mode (the swap, if any, was applied just before, so
      a fresh tier starts with no observation and sits out one quantum).
@@ -361,7 +412,18 @@ let run_events ?cache db config stream =
             let cands =
               List.map
                 (fun (nm, b) ->
-                  let k = Code_cache.key db ~backend:b q.q_plan in
+                  (* a rung that cannot bind parameter holes falls back to
+                     compiling the exact whole plan (per-query keyed) —
+                     observed work justified spending real compile time, so
+                     the strong back-ends stay reachable *)
+                  let plan, params =
+                    if
+                      Array.length q.q_params > 0
+                      && not (Qcomp_backend.Backend.supports_params b)
+                    then (q.q_exact, [||])
+                    else (q.q_plan, q.q_params)
+                  in
+                  let k = Code_cache.key db ~backend:b plan in
                   let compile_s =
                     match Code_cache.find_nostat cache k with
                     | Some _ -> 0.0
@@ -369,17 +431,17 @@ let run_events ?cache db config stream =
                         Costmodel.compile_seconds ~backend:nm
                           (Exec.ir_module ex)
                   in
-                  (nm, b, k, compile_s))
+                  (nm, b, k, plan, params, compile_s))
                 (Engine.stronger_than db q.q_cur_tier)
             in
             match
               Costmodel.best_upgrade ~cur:q.q_cur_tier ~cpr ~rows_remaining
-                (List.map (fun (nm, _, _, c) -> (nm, c)) cands)
+                (List.map (fun (nm, _, _, _, _, c) -> (nm, c)) cands)
             with
             | None -> ()
             | Some (nm, _) ->
-                let _, backend, k, _ =
-                  List.find (fun (n, _, _, _) -> String.equal n nm) cands
+                let _, backend, k, plan, params, _ =
+                  List.find (fun (n, _, _, _, _, _) -> String.equal n nm) cands
                 in
                 q.q_upgrading <- true;
                 (match Code_cache.find cache k with
@@ -387,7 +449,7 @@ let run_events ?cache db config stream =
                     pin_entry q e;
                     q.q_swap_ready <- Some (nm, e)
                 | None ->
-                    submit_bg_compile ~backend ~name:q.q_name q.q_plan k
+                    submit_bg_compile ~backend ~params ~name:q.q_name plan k
                       (fun e ->
                         if not q.q_done then begin
                           pin_entry q e;
@@ -396,7 +458,9 @@ let run_events ?cache db config stream =
   and quantum q ex =
     (match q.q_swap_ready with
     | Some (nm, e) when not (Exec.finished ex) ->
-        let _, cm = Code_cache.force cache db e in
+        let _, cm, sfresh = Code_cache.force cache db ~params:q.q_params e in
+        if sfresh && Array.length q.q_params > 0 then
+          q.q_compile_s <- q.q_compile_s +. Costmodel.bind_seconds;
         Exec.swap ex cm;
         q.q_cur_tier <- nm;
         q.q_tiers <- nm :: q.q_tiers;
@@ -421,10 +485,13 @@ let run_events ?cache db config stream =
     (fun (name, plan) ->
       if config.mean_gap_s > 0.0 then
         t := !t +. (-.config.mean_gap_s *. log (1.0 -. Rng.float rng));
+      let shape, params = Pool.normalize_query config plan in
       let q =
         {
           q_name = name;
-          q_plan = plan;
+          q_plan = shape;
+          q_params = params;
+          q_exact = plan;
           q_arrival = !t;
           q_start = 0.0;
           q_compile_s = 0.0;

@@ -25,6 +25,10 @@ type config = Pool.config = {
       (** Tiered only: pick upgrades from observed cycles-per-row at
           morsel boundaries (including second upgrades) instead of the
           one-shot pre-execution estimate *)
+  paramize : bool;
+      (** normalize incoming plans into (shape, literal vector) so the code
+          cache is keyed per shape rather than per query; [Static] mode
+          always serves exact plans regardless *)
   mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
   seed : int64;  (** drives the arrival process *)
 }
@@ -75,6 +79,14 @@ type report = Report.t = {
           stacks, module GOTs — per-query blocks must all be recycled) *)
   r_peak_data_bytes : int;  (** high-water mark of allocated data bytes *)
   r_freed_data_bytes : int;  (** cumulative data bytes recycled *)
+  r_shape_hits : int;
+      (** parameterized lookups that found the shape's artifact cached but
+          had to bind a new literal vector *)
+  r_exact_hits : int;
+      (** parameterized lookups that found an already-bound instance for the
+          exact literal vector *)
+  r_binds : int;  (** parameter-vector bind (re-link) operations *)
+  r_bind_s : float;  (** modelled seconds spent binding parameter vectors ([r_binds] x {!Costmodel.bind_seconds}, deterministic like every other report duration) *)
 }
 
 (** Serve [stream] (name, plan pairs in arrival order) against [db].

@@ -1230,6 +1230,53 @@ let inst st ls code ints i64s tgts syms =
     st.stencils_used <- st.stencils_used + 1
   end
 
+(* Parameter holes ride the const stencils: instantiate with a zeroed
+   value, then record a [Param]/[Param_hi] relocation at each H64 hole so
+   {!Qcomp_backend.Backend.link_artifact} patches the bound literal into
+   the copy-and-patch hole. Always out of line — one hole per extracted
+   literal is nowhere near the hot path. *)
+let inst_param st code ints ~idx ~wide =
+  let s = fetch st code in
+  let base = st.cb.len in
+  cb_blit st.cb s;
+  let h32 = s.s_h32 in
+  for hi = 0 to Array.length h32 - 1 do
+    let p = Array.unsafe_get h32 hi in
+    patch32 st.cb (base + (p lsr 3)) (Array.unsafe_get ints (p land 7))
+  done;
+  Array.iter
+    (function
+      | H64 (o, a) ->
+          patch64 st.cb (base + o) 0L;
+          st.relocs <-
+            {
+              Qcomp_backend.Artifact.r_off = base + o;
+              r_sym = "";
+              r_kind =
+                (* const128 stencils order their i64 holes lo (a=0), hi
+                   (a=1); the hi lane re-derives the sign at bind time *)
+                (if wide && a = 1 then Qcomp_backend.Artifact.Param_hi idx
+                 else Qcomp_backend.Artifact.Param idx);
+            }
+            :: st.relocs
+      | H32 _ | Htgt _ | Hsym _ ->
+          (* const stencils carry exactly slot-index H32 holes and value
+             H64 holes *)
+          assert false)
+    s.s_rest;
+  st.stencils_used <- st.stencils_used + 1
+
+let[@inline] emitp1 st key p0 idx =
+  let ai = st.ai in
+  Array.unsafe_set ai 0 p0;
+  inst_param st key ai ~idx ~wide:false
+
+let[@inline] emitp2 st key p0 p1 idx =
+  let ai = st.ai in
+  Array.unsafe_set ai 0 p0;
+  Array.unsafe_set ai 1 p1;
+  inst_param st key ai ~idx ~wide:true
+
 (* Arity-specialized emit wrappers. Operands go into the shared scratch
    arrays in [st] instead of a fresh array per stencil; [inst] consumes
    its arguments before returning, so the reuse is safe. These live at
@@ -1534,6 +1581,10 @@ let compile_func st ls (m : Func.modul) (f : Func.t) =
     | Op.Const128 ->
         let hi, lo = Func.const128_value f i in
         emitc2 st ls kc_const128 (s i) (s i + 8) lo hi
+    | Op.Param ->
+        let idx = Int64.to_int (Array.unsafe_get imms i) in
+        if ty == Ty.I128 then emitp2 st kc_const128 (s i) (s i + 8) idx
+        else emitp1 st kc_const (s i) idx
     | Op.Isnull -> emiti2 st ls kc_isnull (s x) (s i)
     | Op.Isnotnull -> emiti2 st ls kc_isnotnull (s x) (s i)
     | (Op.Add | Op.Sub | Op.Mul | Op.And | Op.Or | Op.Xor) as op ->
@@ -1811,17 +1862,20 @@ let compile_artifact ~timing ~(target : Target.t) ~registry:_ (m : Func.modul)
           })
         !fns;
     a_baked = [];
+    a_params = Qcomp_backend.Artifact.params_of_module m;
     a_stats =
       [ ("stencils", st.stencils_used); ("stencil_library", library_size ()) ];
     a_code_size = Bytes.length code;
   }
 
-let compile_module ~timing ~emu ~registry ~unwind (m : Func.modul) :
+let supports_params = true
+
+let compile_module ?params ~timing ~emu ~registry ~unwind (m : Func.modul) :
     Qcomp_backend.Backend.compiled_module =
   let art =
     compile_artifact ~timing ~target:(Qcomp_vm.Emu.target_of emu) ~registry m
   in
-  Qcomp_backend.Backend.link_artifact ~scope:None ~timing ~emu ~registry
-    ~unwind art
+  Qcomp_backend.Backend.link_artifact ~scope:None ?params ~timing ~emu
+    ~registry ~unwind art
 
 let compile_artifact = Some compile_artifact

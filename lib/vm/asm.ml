@@ -609,6 +609,21 @@ let patch_imm32 t pos v =
   patch_u8 t (pos + 2) (v asr 16);
   patch_u8 t (pos + 3) (v asr 24)
 
+(** Emit a [Mov_ri] in the wide (64-bit-immediate) encoding regardless of
+    the value's range and return the byte offset of its 8-byte immediate
+    field — a patchable hole for link-time parameter binding. X64 only:
+    the A64 pseudo expands to a value-dependent movz/movk sequence with no
+    fixed-width field. *)
+let emit_mov_ri64 t d v =
+  (match t.target.Target.arch with
+  | Target.X64 -> ()
+  | Target.A64 -> enc_fail "emit_mov_ri64 is X64-only");
+  u8 t xop_mov_ri64;
+  u8 t d;
+  let pos = t.len in
+  u64 t v;
+  pos
+
 let finish t =
   List.iter (patch t) t.fixups;
   t.fixups <- [];

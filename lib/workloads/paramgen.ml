@@ -1,0 +1,149 @@
+(** Zipf-literal workload: TPC-H shapes repeated with varying predicate
+    literals.
+
+    Real serving traffic is a handful of plan {e shapes} instantiated with
+    many different literals — the exact pattern parameterized-plan
+    specialization targets. This generator draws from a small set of
+    templates over the {!Tpch} tables; each draw picks a template
+    uniformly and a literal by a Zipf law (heavily skewed towards the
+    first few values, with a long tail), so a shape-keyed cache sees a few
+    exact repeats and a stream of fresh literals per shape, while a
+    per-query-keyed cache sees mostly misses.
+
+    Every (template, literal) variant has a stable distinct name
+    ([zrev_017]), so [serve --validate] can look up each query's expected
+    result by name. All varied literals are {!Qcomp_plan.Paramize}
+    eligible (Int32/Date/Decimal ints and SSO-short strings), so with
+    paramization on, the whole stream compiles [shape_count] modules. *)
+
+open Qcomp_support
+open Qcomp_plan
+open Spec
+open Expr
+open Algebra
+
+let li = Qcomp_storage.Schema.col_index Tpch.lineitem
+let od = Qcomp_storage.Schema.col_index Tpch.orders
+let cu = Qcomp_storage.Schema.col_index Tpch.customer
+let pa = Qcomp_storage.Schema.col_index Tpch.part
+
+let scan t = Scan { table = t; filter = None }
+let scanf t p = Scan { table = t; filter = Some p }
+
+(* disc_price = extendedprice * (1 - discount), as in Q1/Q6 *)
+let disc_price ep disc = ep *% (dec ~scale:2 100 -% disc)
+
+(* Q6-like revenue scan: the date cutoff varies per query instance *)
+let zrev k =
+  Group_by
+    {
+      input =
+        scanf "lineitem"
+          (col (li "l_shipdate") <=% date (600 + (k * 53))
+          &&% (col (li "l_discount") <=% dec ~scale:2 8));
+      keys = [];
+      aggs =
+        [
+          Sum (disc_price (col (li "l_extendedprice")) (col (li "l_discount")));
+          Count_star;
+        ];
+    }
+
+(* Q2-like part probe: the size equality literal varies *)
+let zsize k =
+  Order_by
+    {
+      input =
+        Group_by
+          {
+            input = scanf "part" (col (pa "p_size") =% int32 (1 + (k mod 50)));
+            keys = [ col (pa "p_brand") ];
+            aggs = [ Min (col (pa "p_retailprice")); Count_star ];
+          };
+      keys = [ (col 0, Asc) ];
+      limit = None;
+    }
+
+(* Q3-like join: the order-date cutoff varies *)
+let zord k =
+  Group_by
+    {
+      input =
+        Hash_join
+          {
+            probe = scanf "orders" (col (od "o_orderdate") <% date (500 + (k * 60)));
+            build = scan "customer";
+            probe_keys = [ col (od "o_custkey") ];
+            build_keys = [ col (cu "c_custkey") ];
+          };
+      (* output: orders(0-6) ++ customer(7-11) *)
+      keys = [ col (7 + cu "c_nationkey") ];
+      aggs = [ Sum (col (od "o_totalprice")); Count_star ];
+    }
+
+(* string-literal shape: the market segment (SSO-short) varies *)
+let zseg k =
+  Group_by
+    {
+      input =
+        scanf "customer"
+          (col (cu "c_mktsegment")
+          =% str Tpch.segments.(k mod Array.length Tpch.segments));
+      keys = [ col (cu "c_nationkey") ];
+      aggs = [ Sum (col (cu "c_acctbal")); Count_star ];
+    }
+
+let templates = [| ("zrev", zrev); ("zsize", zsize); ("zord", zord); ("zseg", zseg) |]
+let shape_count = Array.length templates
+
+(** Distinct literal values drawn per template (the [zseg] template has
+    only [Array.length Tpch.segments] distinct plans — several indices
+    alias the same segment, which only makes its exact-hit rate higher). *)
+let literals_per_shape = 32
+
+(* Zipf(s = 1.1) over ranks 1..literals_per_shape: rank r has probability
+   proportional to 1 / r^s. Skewed enough that a few literals dominate,
+   long-tailed enough that fresh literals keep arriving deep into a run. *)
+let zipf_cdf =
+  lazy
+    (let s = 1.1 in
+     let w = Array.init literals_per_shape (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+     let total = Array.fold_left ( +. ) 0.0 w in
+     let acc = ref 0.0 in
+     Array.map
+       (fun x ->
+         acc := !acc +. (x /. total);
+         !acc)
+       w)
+
+let zipf_draw rng =
+  let u = Rng.float rng in
+  let cdf = Lazy.force zipf_cdf in
+  let rec go i = if i >= Array.length cdf - 1 || u < cdf.(i) then i else go (i + 1) in
+  go 0
+
+let variant_name tname k = Printf.sprintf "%s_%03d" tname k
+
+let variant i k =
+  let tname, mk = templates.(i) in
+  { q_name = variant_name tname k; q_plan = mk k }
+
+(** [stream ~seed ~n] is [n] seeded draws in arrival order: template
+    uniform, literal Zipf. Repeated draws of the same (template, literal)
+    produce the identical named query. *)
+let stream ~seed ~n =
+  let rng = Rng.create seed in
+  List.init n (fun _ ->
+      let i = Rng.int rng shape_count in
+      variant i (zipf_draw rng))
+
+(** Every distinct query a {!stream} can emit (any seed), one per
+    (template, literal) pair — the name->plan table [serve --validate]
+    resolves expected results against. *)
+let all_variants =
+  lazy
+    (List.concat_map
+       (fun i -> List.init literals_per_shape (fun k -> variant i k))
+       (List.init shape_count (fun i -> i)))
+
+let queries : query list = Lazy.force all_variants

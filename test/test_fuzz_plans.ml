@@ -145,6 +145,7 @@ let rec expr_str (e : Expr.t) =
         (String.concat " " (List.map (fun (w, t) -> Printf.sprintf "when %s then %s" (expr_str w) (expr_str t)) ws))
         (expr_str e)
   | Expr.Cast (a, ty) -> Printf.sprintf "(cast %s %s)" (expr_str a) (Sqlty.to_string ty)
+  | Expr.Param (ty, i) -> Printf.sprintf "$%d:%s" i (Sqlty.to_string ty)
 
 let agg_str = function
   | Algebra.Count_star -> "count(*)"

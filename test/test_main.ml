@@ -30,4 +30,5 @@ let () =
       ("props-extra", Test_props_extra.suite);
       ("emu-oracle", Test_emu_oracle.suite);
       ("server", Test_server.suite);
+      ("param", Test_param.suite);
     ]

@@ -924,7 +924,7 @@ let fill_cache ~capacity ~backend plans =
       (fun (nm, p) ->
         let e, hit = Code_cache.get_or_compile cache db ~backend ~name:nm p in
         if hit then Alcotest.failf "%s: cold compile reported as hit" nm;
-        let cq, cm = Code_cache.force cache db e in
+        let cq, cm, _ = Code_cache.force cache db e in
         let r = Engine.execute db cq cm in
         (nm, r.Engine.output_count, Engine.checksum r.Engine.rows))
       plans
@@ -955,7 +955,7 @@ let snapshot_roundtrip_test =
                   ~backend:Engine.cranelift ~name:nm p
               in
               check Alcotest.bool (nm ^ " warm lookup is a hit") true hit;
-              let cq, cm = Code_cache.force cache2 db2 e in
+              let cq, cm, _ = Code_cache.force cache2 db2 e in
               let r = Engine.execute db2 cq cm in
               check Alcotest.int (nm ^ " rows") rows r.Engine.output_count;
               check Alcotest.int64 (nm ^ " checksum") sum
@@ -991,7 +991,7 @@ let snapshot_overflow_test =
                   ~backend:Engine.cranelift ~name:nm p
               in
               check Alcotest.bool (nm ^ " survivor is a hit") true hit;
-              let cq, cm = Code_cache.force cache2 db2 e in
+              let cq, cm, _ = Code_cache.force cache2 db2 e in
               let r = Engine.execute db2 cq cm in
               check Alcotest.int (nm ^ " rows") rows r.Engine.output_count;
               check Alcotest.int64 (nm ^ " checksum") sum
@@ -1076,7 +1076,7 @@ let snapshot_all_backends_test =
                     ~name:"strings" str_plan
                 in
                 check Alcotest.bool (nm ^ " warm hit") true hit;
-                let cq, cm = Code_cache.force cache2 db2 e in
+                let cq, cm, _ = Code_cache.force cache2 db2 e in
                 let r = Engine.execute db2 cq cm in
                 let _, rows, sum = List.hd sums in
                 check Alcotest.int (nm ^ " rows") rows r.Engine.output_count;
