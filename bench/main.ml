@@ -999,6 +999,179 @@ let bechamel_suite () =
       | _ -> Printf.printf "  %-34s %14s\n" name "n/a")
     results
 
+(* Serving under load: the same open-loop traffic trace served three ways
+   on the deterministic discrete-event driver — steady (Poisson arrivals,
+   generous admission cap: nothing may shed), overload (bursty arrivals
+   against a tiny cap: sheds are the designed behavior), and the overload
+   trace uncapped (the differential baseline: every query the capped run
+   admitted must produce the identical rows/checksum uncapped) — plus one
+   over-provisioned wall-clock run on the Domain pool. Gates: steady sheds
+   zero; overload sheds > 0 with queue-peak <= cap; p99 >= p95 >= p50 on
+   every run; capped-vs-uncapped admitted results identical; the capped
+   run repeated from the same seed is byte-identical, shed set included.
+   Recorded as BENCH_load.json. *)
+let serve_load () =
+  header
+    "Serving under load: open-loop traffic, admission control, tail latency";
+  let open Qcomp_server in
+  let n = 120 in
+  let tenants = 3 in
+  let queries =
+    List.map
+      (fun (q : Qcomp_workloads.Spec.query) ->
+        (q.Qcomp_workloads.Spec.q_name, q.Qcomp_workloads.Spec.q_plan))
+      (Experiments.queries_of Experiments.Tpch)
+  in
+  let requests arrival =
+    List.map
+      (fun (name, plan, at, tenant) ->
+        { Server.rq_name = name; rq_plan = plan; rq_arrival = at;
+          rq_tenant = tenant })
+      (Qcomp_workloads.Trafficgen.stream ~arrival ~seed:42L ~n ~tenants
+         queries)
+  in
+  let steady_arrival = Qcomp_workloads.Trafficgen.Poisson { qps = 3000.0 } in
+  let burst_arrival =
+    Qcomp_workloads.Trafficgen.Burst
+      { qps = 50_000.0; burst = 16; idle_s = 1e-4 }
+  in
+  let cap = 4 in
+  let run ?parallel ~cap:admission_cap reqs =
+    let db = Experiments.make_db Target.x64 Experiments.Tpch ~sf:sf_tpch_small in
+    let cfg =
+      {
+        Server.default_config with
+        Server.mode = Server.Tiered;
+        Server.admission_cap;
+        Server.tenants;
+        Server.cache_shards = 2;
+      }
+    in
+    Server.run_requests ?parallel db cfg reqs
+  in
+  let steady_reqs = requests steady_arrival in
+  let burst_reqs = requests burst_arrival in
+  let steady = run ~cap:(Some 256) steady_reqs in
+  let overload = run ~cap:(Some cap) burst_reqs in
+  let overload2 = run ~cap:(Some cap) burst_reqs in
+  let uncapped = run ~cap:None burst_reqs in
+  (* wall-clock flavor: over-provisioned pool must admit everything *)
+  let pool = run ~parallel:2 ~cap:(Some (n + 1)) steady_reqs in
+  let show name (r : Server.report) =
+    Printf.printf "%s:\n" name;
+    Format.printf "%a@." (Server.pp_report ~per_query:false) r
+  in
+  show
+    (Printf.sprintf "steady  %s, cap 256, %d tenants"
+       (Qcomp_workloads.Trafficgen.arrival_name steady_arrival) tenants)
+    steady;
+  show
+    (Printf.sprintf "overload  %s, cap %d"
+       (Qcomp_workloads.Trafficgen.arrival_name burst_arrival) cap)
+    overload;
+  show "overload uncapped (differential baseline)" uncapped;
+  show "steady on 2-domain pool (wall-clock), cap n+1" pool;
+  let ordered (r : Server.report) =
+    if r.Server.r_p99_latency >= r.Server.r_p95_latency
+       && r.Server.r_p95_latency >= r.Server.r_p50_latency
+       && r.Server.r_p99_first_row >= r.Server.r_p95_first_row
+       && r.Server.r_p95_first_row >= r.Server.r_p50_first_row
+    then true
+    else false
+  in
+  let percentiles_ok =
+    List.for_all ordered [ steady; overload; uncapped; pool ]
+  in
+  (* every query the capped run admitted must be bit-identical uncapped *)
+  let by_name (r : Server.report) =
+    List.sort compare
+      (List.map
+         (fun (q : Server.query_metrics) ->
+           (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
+         r.Server.r_queries)
+  in
+  let uncapped_set = by_name uncapped in
+  let admitted_identical =
+    List.for_all (fun k -> List.mem k uncapped_set) (by_name overload)
+  in
+  (* same seed, same cap -> byte-identical report, shed set included *)
+  let repeat_identical =
+    by_name overload = by_name overload2
+    && overload.Server.r_sheds = overload2.Server.r_sheds
+    && overload.Server.r_queue_peak = overload2.Server.r_queue_peak
+    && overload.Server.r_makespan = overload2.Server.r_makespan
+  in
+  let sheds r = List.length r.Server.r_sheds in
+  let gate ok = if ok then "OK" else "VIOLATION" in
+  Printf.printf
+    "summary: %d requests, %d tenants\n\
+    \  steady sheds %d (= 0) -> %s; pool sheds %d (= 0) -> %s\n\
+    \  overload sheds %d (> 0) -> %s; queue-peak %d (<= cap %d) -> %s\n\
+    \  uncapped sheds %d (= 0) -> %s; admitted results identical uncapped \
+     -> %s\n\
+    \  p99 >= p95 >= p50 on all runs -> %s; same-seed repeat identical -> \
+     %s\n"
+    n tenants (sheds steady)
+    (gate (sheds steady = 0))
+    (sheds pool)
+    (gate (sheds pool = 0))
+    (sheds overload)
+    (gate (sheds overload > 0))
+    overload.Server.r_queue_peak cap
+    (gate (overload.Server.r_queue_peak <= cap))
+    (sheds uncapped)
+    (gate (sheds uncapped = 0))
+    (gate admitted_identical) (gate percentiles_ok) (gate repeat_identical);
+  let scenario oc name (r : Server.report) =
+    Printf.fprintf oc "  \"%s\": {\n" name;
+    Printf.fprintf oc "    \"completed\": %d,\n"
+      (List.length r.Server.r_queries);
+    Printf.fprintf oc "    \"shed\": %d,\n" (sheds r);
+    Printf.fprintf oc "    \"queue_peak\": %d,\n" r.Server.r_queue_peak;
+    Printf.fprintf oc "    \"p50_s\": %.6f,\n" r.Server.r_p50_latency;
+    Printf.fprintf oc "    \"p95_s\": %.6f,\n" r.Server.r_p95_latency;
+    Printf.fprintf oc "    \"p99_s\": %.6f,\n" r.Server.r_p99_latency;
+    Printf.fprintf oc "    \"max_s\": %.6f,\n" r.Server.r_max_latency;
+    Printf.fprintf oc "    \"mean_s\": %.6f,\n" r.Server.r_mean_latency;
+    Printf.fprintf oc "    \"p50_first_row_s\": %.6f,\n"
+      r.Server.r_p50_first_row;
+    Printf.fprintf oc "    \"p95_first_row_s\": %.6f,\n"
+      r.Server.r_p95_first_row;
+    Printf.fprintf oc "    \"p99_first_row_s\": %.6f,\n"
+      r.Server.r_p99_first_row;
+    Printf.fprintf oc "    \"compile_stall_s\": %.6f,\n"
+      r.Server.r_compile_stall_s;
+    Printf.fprintf oc "    \"hist_samples\": %d\n"
+      (Hist.count r.Server.r_lat_hist);
+    Printf.fprintf oc "  }"
+  in
+  let oc = open_out "BENCH_load.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"requests\": %d,\n" n;
+  Printf.fprintf oc "  \"tenants\": %d,\n" tenants;
+  Printf.fprintf oc "  \"cap\": %d,\n" cap;
+  scenario oc "steady" steady;
+  Printf.fprintf oc ",\n";
+  scenario oc "overload" overload;
+  Printf.fprintf oc ",\n";
+  scenario oc "uncapped" uncapped;
+  Printf.fprintf oc ",\n";
+  scenario oc "pool_steady" pool;
+  Printf.fprintf oc ",\n";
+  Printf.fprintf oc "  \"admitted_identical\": %b,\n" admitted_identical;
+  Printf.fprintf oc "  \"repeat_identical\": %b,\n" repeat_identical;
+  Printf.fprintf oc "  \"percentiles_ordered\": %b\n}\n" percentiles_ok;
+  close_out oc;
+  Printf.printf "wrote BENCH_load.json\n";
+  if
+    sheds steady <> 0 || sheds pool <> 0 || sheds overload = 0
+    || overload.Server.r_queue_peak > cap
+    || sheds uncapped <> 0
+    || (not admitted_identical)
+    || (not percentiles_ok)
+    || not repeat_identical
+  then exit 1
+
 (* ---------------- driver ---------------- *)
 
 let experiments =
@@ -1018,6 +1191,7 @@ let experiments =
     ("serve-persist", serve_persist);
     ("serve-param", serve_param);
     ("serve-scaling", serve_scaling);
+    ("serve-load", serve_load);
     ("fallbacks", fallbacks);
     ("ablation-struct", ablation_struct);
     ("ablation-codemodel", ablation_codemodel);

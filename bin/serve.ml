@@ -21,8 +21,21 @@
        --slots C        background compile slots (default 2)
        --morsel M       rows per execution quantum (default 512)
        --cache N        module-cache capacity in entries (default 64)
+       --cache-shards S hash shards of the code cache (default 1; >1 only
+                        pays under --domains)
        --sf K           scale factor (default 2)
        --gap-us G       mean inter-arrival gap in microseconds (default 500)
+       --arrival poisson|burst   open-loop timed arrivals from the traffic
+                        generator instead of the legacy gap process; the
+                        queue is fed at the trace's stamps regardless of
+                        server progress
+       --qps Q          open-loop target rate (default 2000)
+       --burst B        burst mode: arrivals per burst (default 32)
+       --idle-us I      burst mode: idle gap between bursts (default 5000)
+       --admission-cap N  bound the admission queue at N; arrivals beyond
+                        it are shed (rejected, counted in the report)
+       --tenants T      tag arrivals with T tenants, dequeued fair
+                        round-robin (default 1)
        --seed S         stream/arrival seed (default 42)
        --per-query      print one line per completed query
        --validate       also check every checksum against Engine.run_plan
@@ -32,7 +45,8 @@
                         is in the snapshot re-links in microseconds
                         instead of paying back-end compile seconds
 
-   Two invocations with the same arguments print byte-identical reports:
+   Two invocations with the same arguments print byte-identical reports
+   (shed sets included) when serving on the discrete-event scheduler:
    every duration in the virtual timeline is deterministic (modelled
    compile seconds, emulated execution cycles). *)
 
@@ -43,8 +57,11 @@ let usage () =
   prerr_endline
     "usage: serve [tpch|tpcds|zipf] [--mode tiered|cached|static:<backend>]\n\
     \             [--reopt] [--no-paramize] [--queries N] [--workers W]\n\
-    \             [--domains N] [--slots C] [--morsel M] [--cache N] [--sf K]\n\
-    \             [--gap-us G] [--seed S] [--per-query] [--validate]\n\
+    \             [--domains N] [--slots C] [--morsel M] [--cache N]\n\
+    \             [--cache-shards S] [--sf K] [--gap-us G]\n\
+    \             [--arrival poisson|burst] [--qps Q] [--burst B]\n\
+    \             [--idle-us I] [--admission-cap N] [--tenants T]\n\
+    \             [--seed S] [--per-query] [--validate]\n\
     \             [--save-cache FILE] [--load-cache FILE]";
   exit 1
 
@@ -86,6 +103,10 @@ let () =
   let domains = ref 0 in
   let save_cache = ref None in
   let load_cache = ref None in
+  let arrival_kind = ref None in
+  let qps = ref 2000.0 in
+  let burst = ref 32 in
+  let idle_us = ref 5000.0 in
   let rec parse = function
     | [] -> ()
     | "tpch" :: rest ->
@@ -136,11 +157,37 @@ let () =
     | "--cache" :: v :: rest ->
         cfg := { !cfg with Server.cache_capacity = pos_arg "--cache" v };
         parse rest
+    | "--cache-shards" :: v :: rest ->
+        cfg := { !cfg with Server.cache_shards = pos_arg "--cache-shards" v };
+        parse rest
     | "--sf" :: v :: rest ->
         sf := pos_arg "--sf" v;
         parse rest
     | "--gap-us" :: v :: rest ->
         cfg := { !cfg with Server.mean_gap_s = float_of_string v *. 1e-6 };
+        parse rest
+    | "--arrival" :: v :: rest ->
+        (match v with
+        | "poisson" | "burst" -> arrival_kind := Some v
+        | _ ->
+            Printf.eprintf "--arrival: expected poisson or burst, got %s\n" v;
+            usage ());
+        parse rest
+    | "--qps" :: v :: rest ->
+        qps := float_of_string v;
+        parse rest
+    | "--burst" :: v :: rest ->
+        burst := pos_arg "--burst" v;
+        parse rest
+    | "--idle-us" :: v :: rest ->
+        idle_us := float_of_string v;
+        parse rest
+    | "--admission-cap" :: v :: rest ->
+        cfg :=
+          { !cfg with Server.admission_cap = Some (pos_arg "--admission-cap" v) };
+        parse rest
+    | "--tenants" :: v :: rest ->
+        cfg := { !cfg with Server.tenants = pos_arg "--tenants" v };
         parse rest
     | "--seed" :: v :: rest ->
         cfg := { !cfg with Server.seed = Int64.of_string v };
@@ -174,6 +221,37 @@ let () =
     if !zipf then pairs Qcomp_workloads.Paramgen.queries
     else pairs (Experiments.queries_of !workload)
   in
+  (* the open-loop trace (when --arrival is given): timed, tenant-tagged
+     requests over the workload's query pool *)
+  let requests =
+    match !arrival_kind with
+    | None -> None
+    | Some kind ->
+        let arrival =
+          match kind with
+          | "poisson" -> Qcomp_workloads.Trafficgen.Poisson { qps = !qps }
+          | _ ->
+              Qcomp_workloads.Trafficgen.Burst
+                { qps = !qps; burst = !burst; idle_s = !idle_us *. 1e-6 }
+        in
+        let pool =
+          if !zipf then
+            pairs (Qcomp_workloads.Paramgen.stream ~seed:(!cfg).Server.seed ~n:!n)
+          else queries
+        in
+        Some
+          (List.map
+             (fun (name, plan, at, tenant) ->
+               {
+                 Server.rq_name = name;
+                 rq_plan = plan;
+                 rq_arrival = at;
+                 rq_tenant = tenant;
+               })
+             (Qcomp_workloads.Trafficgen.stream ~arrival
+                ~seed:(!cfg).Server.seed ~n:!n ~tenants:(!cfg).Server.tenants
+                pool))
+  in
   let stream =
     if !zipf then
       pairs (Qcomp_workloads.Paramgen.stream ~seed:(!cfg).Server.seed ~n:!n)
@@ -185,15 +263,25 @@ let () =
   let cache =
     match !load_cache with
     | Some f ->
-        let c = Code_cache.load ~capacity:(!cfg).Server.cache_capacity ~db f in
+        let c =
+          Code_cache.load ~capacity:(!cfg).Server.cache_capacity
+            ~shards:(!cfg).Server.cache_shards ~db f
+        in
         let s = Code_cache.stats c in
         Printf.printf "snapshot: loaded %d modules from %s\n" s.Lru.entries f;
         c
-    | None -> Code_cache.create ~capacity:(!cfg).Server.cache_capacity
+    | None ->
+        Code_cache.create_sharded ~capacity:(!cfg).Server.cache_capacity
+          ~shards:(!cfg).Server.cache_shards
+  in
+  let serve ?parallel sdb scache =
+    match requests with
+    | Some reqs -> Server.run_requests ~cache:scache ?parallel sdb !cfg reqs
+    | None -> Server.run ~cache:scache ?parallel sdb !cfg stream
   in
   let report =
-    if !domains > 0 then Server.run ~cache ~parallel:!domains db !cfg stream
-    else Server.run ~cache db !cfg stream
+    if !domains > 0 then serve ~parallel:!domains db cache
+    else serve db cache
   in
   Format.printf "%a" (Server.pp_report ~per_query:!per_query) report;
   (match !save_cache with
@@ -233,28 +321,54 @@ let () =
        (name, rows, checksum), the final live code bytes, and a fully
        unpinned, underflow-free cache *)
     let sdb = Experiments.make_db target !workload ~sf:!sf in
-    let sreport = Server.run sdb !cfg stream in
-    let key (q : Server.query_metrics) =
-      (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum)
+    let sreport = serve sdb (Code_cache.create_sharded
+                               ~capacity:(!cfg).Server.cache_capacity
+                               ~shards:(!cfg).Server.cache_shards)
     in
-    let multiset r = List.sort compare (List.map key r.Server.r_queries) in
-    if multiset report <> multiset sreport then begin
+    (* under an admission cap, which arrivals get shed is wall-clock on
+       the pool (queue occupancy depends on worker speed) but virtual-time
+       on the event driver, so the completed sets can legitimately differ;
+       the per-name checksum validation below still covers every completed
+       query *)
+    let shed_either =
+      report.Server.r_sheds <> [] || sreport.Server.r_sheds <> []
+    in
+    if shed_either then
       Printf.printf
-        "PARALLEL MISMATCH: per-query (name, rows, checksum) multiset \
-         differs from the sequential run\n";
-      exit 1
-    end;
-    (* under --reopt the set of compiled modules depends on wall-clock
-       quantum timing (which upgrades fire, and when), so live code bytes
-       legitimately differ from the virtual-clock run; rows/checksums are
-       still bit-exact and checked above *)
-    if
-      (not (!cfg).Server.reopt)
-      && report.Server.r_live_code_bytes <> sreport.Server.r_live_code_bytes
-    then begin
-      Printf.printf "PARALLEL MISMATCH: live code bytes %d (sequential %d)\n"
-        report.Server.r_live_code_bytes sreport.Server.r_live_code_bytes;
-      exit 1
+        "validate: sheds occurred (parallel %d, sequential %d) — skipping \
+         multiset comparison, per-result checksums still checked\n"
+        (List.length report.Server.r_sheds)
+        (List.length sreport.Server.r_sheds)
+    else begin
+      let key (q : Server.query_metrics) =
+        (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum)
+      in
+      let multiset r = List.sort compare (List.map key r.Server.r_queries) in
+      if multiset report <> multiset sreport then begin
+        Printf.printf
+          "PARALLEL MISMATCH: per-query (name, rows, checksum) multiset \
+           differs from the sequential run\n";
+        exit 1
+      end;
+      (* under --reopt the set of compiled modules depends on wall-clock
+         quantum timing (which upgrades fire, and when), so live code bytes
+         legitimately differ from the virtual-clock run; likewise Tiered
+         serving of an open-loop trace — queueing delay shifts whether a
+         query is still running when its background compile lands, and a
+         swap that does not happen is a strong-module bind that is never
+         allocated. Rows/checksums are still bit-exact and checked above *)
+      let bytes_nondet =
+        (!cfg).Server.reopt
+        || (requests <> None && (!cfg).Server.mode = Server.Tiered)
+      in
+      if
+        (not bytes_nondet)
+        && report.Server.r_live_code_bytes <> sreport.Server.r_live_code_bytes
+      then begin
+        Printf.printf "PARALLEL MISMATCH: live code bytes %d (sequential %d)\n"
+          report.Server.r_live_code_bytes sreport.Server.r_live_code_bytes;
+        exit 1
+      end
     end;
     let pins = Code_cache.live_pins cache in
     let under = (Code_cache.mem_stats cache).Code_cache.ms_pin_underflows in
@@ -263,12 +377,13 @@ let () =
         pins under;
       exit 1
     end;
-    Printf.printf
-      "validate: parallel run (%d domains) matches sequential: %d results, \
-       live code %d bytes, 0 pins\n"
-      !domains
-      (List.length report.Server.r_queries)
-      report.Server.r_live_code_bytes
+    if not shed_either then
+      Printf.printf
+        "validate: parallel run (%d domains) matches sequential: %d results, \
+         live code %d bytes, 0 pins\n"
+        !domains
+        (List.length report.Server.r_queries)
+        report.Server.r_live_code_bytes
   end;
   if !validate then begin
     (* every distinct plan's serving checksum must match the classic
@@ -277,13 +392,31 @@ let () =
     let timing = Qcomp_support.Timing.create ~enabled:false () in
     let expected = Hashtbl.create 32 in
     let bad = ref 0 in
+    let plan_of name =
+      match List.assoc_opt name queries with
+      | Some p -> Some p
+      | None -> (
+          match requests with
+          | Some reqs ->
+              List.find_map
+                (fun (r : Server.request) ->
+                  if String.equal r.Server.rq_name name then
+                    Some r.Server.rq_plan
+                  else None)
+                reqs
+          | None -> None)
+    in
     List.iter
       (fun (q : Server.query_metrics) ->
         let sum =
           match Hashtbl.find_opt expected q.Server.qm_name with
           | Some s -> s
           | None ->
-              let plan = List.assoc q.Server.qm_name queries in
+              let plan =
+                match plan_of q.Server.qm_name with
+                | Some p -> p
+                | None -> failwith ("no plan for " ^ q.Server.qm_name)
+              in
               let s =
                 Engine.with_compiled vdb ~backend:Engine.interpreter ~timing
                   ~name:q.Server.qm_name plan (fun cq cm _ ->

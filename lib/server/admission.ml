@@ -1,0 +1,84 @@
+(** Bounded multi-tenant admission queue with fair dequeue.
+
+    One FIFO per tenant behind a single occupancy bound: {!offer} rejects
+    (sheds) when the total queued count is at the cap, so a traffic burst
+    can never grow the serving queue — and the per-query state behind it —
+    without limit. {!take} serves tenants deficit-round-robin; since every
+    query costs one admission slot the deficit counters degenerate to
+    plain round-robin over the non-empty tenant queues, resuming after the
+    last served tenant, so one tenant's burst cannot starve another's
+    trickle. Within a tenant, order is FIFO.
+
+    Deliberately {e not} thread-safe: both serving drivers already hold
+    their scheduler lock (the pool mutex, or the single-threaded event
+    loop) around every queue operation, and keeping the structure pure
+    keeps shed decisions deterministic under the discrete-event driver —
+    same seed, same arrivals, same sheds. *)
+
+type 'a t = {
+  cap : int option;  (** total-occupancy bound; [None] = unbounded *)
+  queues : 'a Queue.t array;  (** one FIFO per tenant *)
+  mutable len : int;
+  mutable peak : int;  (** high-water mark of [len] *)
+  mutable cursor : int;  (** next tenant the round-robin scan starts at *)
+  mutable sheds : int;
+  mutable admitted : int;
+}
+
+let create ?cap ~tenants () =
+  if tenants < 1 then invalid_arg "Admission.create: tenants must be positive";
+  (match cap with
+  | Some c when c < 1 -> invalid_arg "Admission.create: cap must be positive"
+  | _ -> ());
+  {
+    cap;
+    queues = Array.init tenants (fun _ -> Queue.create ());
+    len = 0;
+    peak = 0;
+    cursor = 0;
+    sheds = 0;
+    admitted = 0;
+  }
+
+let tenant_slot t tenant =
+  let n = Array.length t.queues in
+  ((tenant mod n) + n) mod n
+
+(** Enqueue for [tenant]; [false] means the queue is at its cap and the
+    item was shed (counted). *)
+let offer t ~tenant x =
+  match t.cap with
+  | Some c when t.len >= c ->
+      t.sheds <- t.sheds + 1;
+      false
+  | _ ->
+      Queue.push x t.queues.(tenant_slot t tenant);
+      t.len <- t.len + 1;
+      if t.len > t.peak then t.peak <- t.len;
+      t.admitted <- t.admitted + 1;
+      true
+
+(** Dequeue the next item round-robin across non-empty tenants, resuming
+    after the tenant served last. *)
+let take t =
+  if t.len = 0 then None
+  else begin
+    let n = Array.length t.queues in
+    let rec go i steps =
+      if steps = n then None
+      else if Queue.is_empty t.queues.(i) then go ((i + 1) mod n) (steps + 1)
+      else begin
+        let x = Queue.pop t.queues.(i) in
+        t.len <- t.len - 1;
+        t.cursor <- (i + 1) mod n;
+        Some x
+      end
+    in
+    go t.cursor 0
+  end
+
+let length t = t.len
+let peak t = t.peak
+let sheds t = t.sheds
+let admitted t = t.admitted
+let tenants t = Array.length t.queues

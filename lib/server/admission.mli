@@ -1,0 +1,34 @@
+(** Bounded multi-tenant admission queue with fair (round-robin)
+    dequeue and shed accounting.
+
+    Not thread-safe by design: both serving drivers hold their scheduler
+    lock around every operation, and a pure structure keeps shed decisions
+    deterministic under the discrete-event driver. *)
+
+type 'a t
+
+(** [create ?cap ~tenants ()] — [cap] bounds {e total} occupancy across
+    all tenants ([None] = unbounded). Raises [Invalid_argument] unless
+    [tenants >= 1] and [cap], when given, is positive. *)
+val create : ?cap:int -> tenants:int -> unit -> 'a t
+
+(** Enqueue for [tenant] (hashed into the tenant slots); [false] means
+    the queue is at its cap and the item was shed (counted). *)
+val offer : 'a t -> tenant:int -> 'a -> bool
+
+(** Dequeue round-robin across non-empty tenant FIFOs, resuming after the
+    tenant served last; [None] iff empty. Unit-cost deficit round-robin:
+    every query costs one slot, so the deficits degenerate to plain
+    round-robin. *)
+val take : 'a t -> 'a option
+
+val length : 'a t -> int
+
+(** High-water mark of total occupancy. *)
+val peak : 'a t -> int
+
+(** Items rejected by {!offer} because the queue was at its cap. *)
+val sheds : 'a t -> int
+
+val admitted : 'a t -> int
+val tenants : 'a t -> int

@@ -20,7 +20,10 @@
     cheap bind-link ({!force} with a parameter vector), so the per-query
     cost after the first compile is microseconds regardless of the
     literals. Entries keep a short MRU list of bound instances — repeated
-    vectors are exact hits, new vectors shape hits.
+    vectors are exact hits, new vectors shape hits. Instances claimed by an
+    in-flight query ({!force} with [~claim:true]) carry a reference count
+    and survive the MRU trim until {!release}d, so one query's literal
+    churn can never dispose a module another query is executing.
 
     Since the redesign around artifacts, the cached unit is the
     {e relocatable} output of the back-end; the live module is produced by
@@ -39,14 +42,28 @@
     disposal is deferred until the last pin drops, so a query never
     executes freed code.
 
-    Every cache operation is serialized by one internal mutex, so the
-    parallel serving pool can share a cache across worker domains. Lock
-    ordering: the cache mutex is taken before the emulator's code-layout
-    lock (disposal from eviction, and lazy linking in {!force}, happen
-    with the cache mutex held), never after it. Compilation itself
-    ({!compile_uncached}) runs {e without} the cache mutex so independent
-    plans compile concurrently; only the predict-link-register sequence
-    inside serializes on the layout lock. *)
+    The module level is {e hash-sharded}: entries are distributed over
+    [shards] independent LRUs (keyed by fingerprint and back-end), each
+    behind its own mutex, so worker domains missing on different plans
+    never contend on one global cache lock — the contention the serving
+    pool measured under load. [shards = 1] (the default, and the only
+    configuration the deterministic discrete-event driver uses) behaves
+    exactly like the previous single-mutex cache, including snapshot byte
+    layout. Stats are aggregated across shards on read.
+
+    Each shard also carries an {e in-flight compile table}: the first
+    domain to miss on a key marks it in flight and compiles outside the
+    lock; domains racing on the same key wait on the shard's condition
+    variable and pick the finished entry up from the LRU instead of
+    burning a redundant back-end compile ({!get_or_compile}). Deduped
+    waits and actual back-end compiles are counted in {!mem_stats}.
+
+    Lock ordering: shard mutex before the plan-memo mutex before the
+    emulator's code-layout lock (disposal from eviction, and lazy linking
+    in {!force}, happen with the shard mutex held), never the reverse.
+    Compilation itself ({!compile_uncached}) runs with {e no} cache lock
+    held so independent plans compile concurrently; only the
+    predict-link-register sequence inside serializes on the layout lock. *)
 
 open Qcomp_support
 open Qcomp_engine
@@ -64,15 +81,19 @@ type key = {
     Instances are immutable by design — patching a shared module's holes
     in place would race with a query mid-execution on the same module,
     even under the sequential driver (execution interleaves at quantum
-    boundaries). *)
+    boundaries). [b_refs] counts in-flight queries executing this
+    instance ({!force} [~claim:true] .. {!release}); the MRU trim skips
+    instances with live references. *)
 type bound = {
   b_params : Qcomp_backend.Artifact.param_value array;
   b_cm : Qcomp_backend.Backend.compiled_module;
   b_dispose : unit -> unit;
+  mutable b_refs : int;
 }
 
 type entry = {
   ce_name : string;  (** query name (for re-codegen after a {!load}) *)
+  ce_key : key;  (** the entry's home key — locates its shard *)
   ce_plan : Qcomp_plan.Algebra.t;
       (** the {e shape}: for parameterized queries, eligible literals have
           been replaced by [Expr.Param] holes ({!Qcomp_plan.Paramize}) *)
@@ -119,92 +140,140 @@ type param_stats = {
   ps_bind_host_s : float;  (** host seconds spent in bind-links *)
 }
 
-type t = {
-  mu : Mutex.t;  (** serializes every access to the fields below *)
-  plans : (int64 * string, Qcomp_codegen.Codegen.compiled) Hashtbl.t;
-  modules : (key, entry) Lru.t;
-  mutable bytes_freed : int;  (** code bytes returned to the allocator *)
-  mutable max_entry_bytes : int;  (** largest module ever compiled here *)
-  mutable pin_underflows : int;  (** unbalanced unpins caught and ignored *)
-  mutable shape_hits : int;
-  mutable exact_hits : int;
-  mutable binds : int;
-  mutable bind_host_s : float;
+(* One hash shard: an independent LRU plus the in-flight compile table,
+   all guarded by [sh_mu]. Counters live per shard (mutated under the
+   shard mutex) and are summed on read. *)
+type shard = {
+  sh_mu : Mutex.t;
+  sh_cv : Condition.t;  (** signalled when an in-flight compile lands *)
+  sh_modules : (key, entry) Lru.t;
+  sh_inflight : (key, unit) Hashtbl.t;
+  mutable sh_bytes_freed : int;  (** code bytes returned to the allocator *)
+  mutable sh_max_entry_bytes : int;  (** largest module ever compiled here *)
+  mutable sh_pin_underflows : int;  (** unbalanced unpins caught, ignored *)
+  mutable sh_shape_hits : int;
+  mutable sh_exact_hits : int;
+  mutable sh_binds : int;
+  mutable sh_bind_host_s : float;
+  mutable sh_compiles : int;  (** back-end compiles actually run *)
+  mutable sh_dedup_waits : int;  (** misses served by waiting on another
+                                     domain's in-flight compile *)
 }
+
+type t = {
+  plans_mu : Mutex.t;  (** guards [plans] only *)
+  plans : (int64 * string, Qcomp_codegen.Codegen.compiled) Hashtbl.t;
+  shards : shard array;
+}
+
+(* Deterministic shard pick: fingerprint xor a structural hash of the
+   back-end name, so one plan's tiers spread across shards too. *)
+let shard_of t (k : key) =
+  let n = Array.length t.shards in
+  if n = 1 then t.shards.(0)
+  else
+    let h = Int64.to_int k.ck_fp lxor Hashtbl.hash k.ck_backend in
+    t.shards.((h land max_int) mod n)
+
+let shard_of_entry t e = shard_of t e.ce_key
 
 (* Most bound instances a single entry retains. Heavy literal skew (the
    Zipf workloads) concentrates on few vectors, so a short list holds the
    hot ones; the cold tail re-binds in microseconds. *)
 let max_bound_instances = 8
 
-(* Callers hold [t.mu]. A never-linked entry owns no code regions: freeing
-   it must neither call dispose (there is nothing to release) nor count
-   its bytes as freed — that drift is exactly what the overflow path of
-   [load] used to get wrong. Each bound instance owns its own copy of the
-   code, so each counts separately. *)
-let free t e =
-  List.iter
-    (fun b ->
-      t.bytes_freed <- t.bytes_freed + b.b_cm.Qcomp_backend.Backend.cm_code_size;
-      b.b_dispose ())
-    e.ce_bound;
+(* Callers hold the shard mutex. A never-linked entry owns no code
+   regions: freeing it must neither call dispose (there is nothing to
+   release) nor count its bytes as freed — that drift is exactly what the
+   overflow path of [load] used to get wrong. Each bound instance owns its
+   own copy of the code, so each counts separately. *)
+let dispose_bound sh b =
+  sh.sh_bytes_freed <-
+    sh.sh_bytes_freed + b.b_cm.Qcomp_backend.Backend.cm_code_size;
+  b.b_dispose ()
+
+let free sh e =
+  List.iter (dispose_bound sh) e.ce_bound;
   e.ce_bound <- []
 
-(* Drop instances beyond the retention cap, least recently used first.
-   Callers hold [t.mu] and must ensure no other in-flight query can be
-   executing a trimmed instance: safe when at most the calling query pins
-   the entry (it runs the instance at the head of the list). *)
-let trim t e =
-  let rec cut n = function
-    | [] -> []
-    | rest when n = 0 ->
-        List.iter
-          (fun b ->
-            t.bytes_freed <-
-              t.bytes_freed + b.b_cm.Qcomp_backend.Backend.cm_code_size;
-            b.b_dispose ())
-          rest;
-        []
-    | b :: rest -> b :: cut (n - 1) rest
-  in
-  if List.length e.ce_bound > max_bound_instances then
+(* Drop instances beyond the retention cap, least recently used first,
+   keeping any instance an in-flight query still references
+   ([b_refs > 0]) regardless of its position — it is disposed by the
+   trim after its {!release} drops the last reference. Every disposal is
+   counted in [sh_bytes_freed]. Callers hold the shard mutex. *)
+let trim sh e =
+  if List.length e.ce_bound > max_bound_instances then begin
+    let rec cut n = function
+      | [] -> []
+      | b :: rest ->
+          if n > 0 then b :: cut (n - 1) rest
+          else if b.b_refs > 0 then b :: cut 0 rest
+          else begin
+            dispose_bound sh b;
+            cut 0 rest
+          end
+    in
     e.ce_bound <- cut max_bound_instances e.ce_bound
+  end
 
 (* LRU drop: dispose now, or defer until the last in-flight user unpins.
-   Runs under [t.mu] (drops only happen inside locked [Lru.add]). *)
-let drop t e = if !(e.ce_pins) > 0 then e.ce_evicted := true else free t e
+   Runs under the shard mutex (drops only happen inside a locked
+   [Lru.add]). *)
+let drop sh e = if !(e.ce_pins) > 0 then e.ce_evicted := true else free sh e
 
-let create ~capacity =
-  let t =
+let make_shard ~capacity =
+  let sh =
     {
-      mu = Mutex.create ();
-      plans = Hashtbl.create 64;
-      modules = Lru.create ~capacity;
-      bytes_freed = 0;
-      max_entry_bytes = 0;
-      pin_underflows = 0;
-      shape_hits = 0;
-      exact_hits = 0;
-      binds = 0;
-      bind_host_s = 0.0;
+      sh_mu = Mutex.create ();
+      sh_cv = Condition.create ();
+      sh_modules = Lru.create ~capacity;
+      sh_inflight = Hashtbl.create 8;
+      sh_bytes_freed = 0;
+      sh_max_entry_bytes = 0;
+      sh_pin_underflows = 0;
+      sh_shape_hits = 0;
+      sh_exact_hits = 0;
+      sh_binds = 0;
+      sh_bind_host_s = 0.0;
+      sh_compiles = 0;
+      sh_dedup_waits = 0;
     }
   in
-  Lru.set_on_drop t.modules (fun e -> drop t e);
-  t
+  Lru.set_on_drop sh.sh_modules (fun e -> drop sh e);
+  sh
+
+let create_sharded ~capacity ~shards =
+  if shards < 1 then
+    invalid_arg "Code_cache.create_sharded: shards must be positive";
+  if capacity < 1 then
+    invalid_arg "Code_cache.create_sharded: capacity must be positive";
+  (* ceil-divide so the aggregate capacity never shrinks below the ask *)
+  let per = max 1 ((capacity + shards - 1) / shards) in
+  {
+    plans_mu = Mutex.create ();
+    plans = Hashtbl.create 64;
+    shards = Array.init shards (fun _ -> make_shard ~capacity:per);
+  }
+
+let create ~capacity = create_sharded ~capacity ~shards:1
+let shard_count t = Array.length t.shards
 
 (** Pin [e] against disposal while a query holds it. Every pin must be
     matched by an {!unpin} when the query finishes. *)
-let pin t e = Mutex.protect t.mu (fun () -> incr e.ce_pins)
+let pin t e =
+  let sh = shard_of_entry t e in
+  Mutex.protect sh.sh_mu (fun () -> incr e.ce_pins)
 
 (** Drop one pin. An unpin without a matching pin is a caller bug that used
     to drive the count negative (and could later double-dispose a module a
     query was still running); it is now clamped at zero, counted in
     [ms_pin_underflows] and logged on first occurrence. *)
 let unpin t e =
-  Mutex.protect t.mu (fun () ->
+  let sh = shard_of_entry t e in
+  Mutex.protect sh.sh_mu (fun () ->
       if !(e.ce_pins) <= 0 then begin
-        t.pin_underflows <- t.pin_underflows + 1;
-        if t.pin_underflows = 1 then
+        sh.sh_pin_underflows <- sh.sh_pin_underflows + 1;
+        if sh.sh_pin_underflows = 1 then
           Printf.eprintf
             "code_cache: unpin without matching pin (clamped at zero)\n%!"
       end
@@ -213,9 +282,9 @@ let unpin t e =
         if !(e.ce_pins) = 0 then
           if !(e.ce_evicted) then begin
             e.ce_evicted := false;
-            free t e
+            free sh e
           end
-          else trim t e
+          else trim sh e
       end)
 
 let key db ~backend plan =
@@ -225,22 +294,20 @@ let key db ~backend plan =
     ck_target = db.Engine.target.Qcomp_vm.Target.name;
   }
 
-(* Codegen memo lookup; caller holds [t.mu]. *)
-let plan_ir_locked t db ~fp ~name plan =
-  let pk = (fp, db.Engine.target.Qcomp_vm.Target.name) in
-  match Hashtbl.find_opt t.plans pk with
-  | Some cq -> cq
-  | None ->
-      let cq = Engine.plan_to_ir db ~name plan in
-      Hashtbl.replace t.plans pk cq;
-      cq
-
 (** Codegen once per (fingerprint, target); the memo is unbounded because
     codegen results are small compared to machine code. Atomic: concurrent
     callers for the same fingerprint get the {e same} codegen result, which
-    the tier hot-swap relies on (one state layout per plan). *)
+    the tier hot-swap relies on (one state layout per plan). Guarded by its
+    own mutex (nested inside a shard mutex when called from {!force}). *)
 let plan_ir t db ~fp ~name plan =
-  Mutex.protect t.mu (fun () -> plan_ir_locked t db ~fp ~name plan)
+  Mutex.protect t.plans_mu (fun () ->
+      let pk = (fp, db.Engine.target.Qcomp_vm.Target.name) in
+      match Hashtbl.find_opt t.plans pk with
+      | Some cq -> cq
+      | None ->
+          let cq = Engine.plan_to_ir db ~name plan in
+          Hashtbl.replace t.plans pk cq;
+          cq)
 
 (** The live (codegen result, linked module, fresh-bind) triple for [e]
     under the parameter vector [params], linking the artifact against
@@ -257,8 +324,15 @@ let plan_ir t db ~fp ~name plan =
       re-runs codegen through the shared plan memo — never the back-end
       compile.
 
+    [~claim:true] additionally takes a reference on the returned instance:
+    it survives the MRU-overflow trim until the matching {!release}, so
+    other queries churning fresh vectors on the same entry can never
+    dispose a module this query is executing. The serving drivers claim
+    every instance they run or park for a hot-swap.
+
     The returned [bool] is true when a fresh bind-link was paid. *)
-let force t db ?(params = ([||] : Qcomp_backend.Artifact.param_value array)) e =
+let force t db ?(params = ([||] : Qcomp_backend.Artifact.param_value array))
+    ?(claim = false) e =
   (* A holeless entry (a whole-plan compile some rung fell back to, with
      every literal baked) ignores the caller's vector: there is nothing to
      bind, and linking it is the pre-parameterization lazy link, not a
@@ -271,26 +345,25 @@ let force t db ?(params = ([||] : Qcomp_backend.Artifact.param_value array)) e =
         [||]
     | _ -> params
   in
-  Mutex.protect t.mu (fun () ->
+  let sh = shard_of_entry t e in
+  Mutex.protect sh.sh_mu (fun () ->
       let cq =
         match e.ce_cq with
         | Some cq -> cq
         | None ->
-            let cq =
-              plan_ir_locked t db ~fp:e.ce_fp ~name:e.ce_name e.ce_plan
-            in
+            let cq = plan_ir t db ~fp:e.ce_fp ~name:e.ce_name e.ce_plan in
             e.ce_cq <- Some cq;
             cq
       in
       let parameterized = Array.length params > 0 in
       match List.find_opt (fun b -> b.b_params = params) e.ce_bound with
       | Some b ->
-          (* MRU promotion keeps the executing instance at the head, which
-             is what makes [trim] safe for a pins<=1 entry *)
+          (* MRU promotion keeps the executing instance at the head *)
           e.ce_bound <- b :: List.filter (fun x -> x != b) e.ce_bound;
+          if claim then b.b_refs <- b.b_refs + 1;
           if parameterized then
             if e.ce_fresh then e.ce_fresh <- false
-            else t.exact_hits <- t.exact_hits + 1;
+            else sh.sh_exact_hits <- sh.sh_exact_hits + 1;
           (cq, b.b_cm, false)
       | None ->
           let timing = Timing.create ~enabled:false () in
@@ -318,27 +391,46 @@ let force t db ?(params = ([||] : Qcomp_backend.Artifact.param_value array)) e =
               b_params = params;
               b_cm = cm;
               b_dispose = (fun () -> Engine.dispose_module db cm);
+              b_refs = (if claim then 1 else 0);
             }
             :: e.ce_bound;
           e.ce_fresh <- false;
           if parameterized then begin
-            t.shape_hits <- t.shape_hits + 1;
-            t.binds <- t.binds + 1;
-            t.bind_host_s <- t.bind_host_s +. (Timing.now () -. t0)
+            sh.sh_shape_hits <- sh.sh_shape_hits + 1;
+            sh.sh_binds <- sh.sh_binds + 1;
+            sh.sh_bind_host_s <- sh.sh_bind_host_s +. (Timing.now () -. t0)
           end;
-          (* the new instance is at the head; with at most the calling
-             query pinned, older instances cannot be mid-execution *)
-          if !(e.ce_pins) <= 1 then trim t e;
+          (* overflow disposes only unreferenced instances; anything a
+             query claimed survives until its release *)
+          trim sh e;
           (cq, cm, true))
 
-let find t k = Mutex.protect t.mu (fun () -> Lru.find t.modules k)
+(** Drop the reference [force ~claim:true] took on the instance whose
+    module is [cm], then re-apply the MRU-overflow trim — the point where
+    an instance that outlived the cap only because a query was executing
+    it is finally disposed (and counted in [ms_bytes_freed]). A module
+    already disposed with its evicted entry is ignored. *)
+let release t e cm =
+  let sh = shard_of_entry t e in
+  Mutex.protect sh.sh_mu (fun () ->
+      match List.find_opt (fun b -> b.b_cm == cm) e.ce_bound with
+      | Some b ->
+          if b.b_refs > 0 then b.b_refs <- b.b_refs - 1;
+          trim sh e
+      | None -> ())
+
+let find t k =
+  let sh = shard_of t k in
+  Mutex.protect sh.sh_mu (fun () -> Lru.find sh.sh_modules k)
 
 (** Lookup that touches neither recency nor the hit/miss counters — for
     policies whose semantics say "no cache" (Static charges the full
     modelled compile every time, so a hit would be a lie in the printed
     hit-rate) and for the tier controller probing whether a stronger
     module is already resident without skewing the serving stats. *)
-let find_nostat t k = Mutex.protect t.mu (fun () -> Lru.peek t.modules k)
+let find_nostat t k =
+  let sh = shard_of t k in
+  Mutex.protect sh.sh_mu (fun () -> Lru.peek sh.sh_modules k)
 
 (* String literals the code generator baked into this plan's code, with
    the linear-memory addresses codegen allocated for them. Long strings
@@ -358,11 +450,11 @@ let capture_consts db (cq : Qcomp_codegen.Codegen.compiled) =
 (** Compile without touching the LRU: a background compilation must not
     become visible to other queries before the scheduler says its
     (simulated) compile time has elapsed — the caller {!insert}s the entry
-    at the completion event. Neither the cache mutex nor the emulator's
-    layout lock is held during back-end compilation, so independent plans
-    compile concurrently on different domains; only the short
-    predict-link-register window inside each back-end (and every
-    code-registration/disposal) serializes on the layout lock.
+    at the completion event. No cache lock is held during back-end
+    compilation, so independent plans compile concurrently on different
+    domains; only the short predict-link-register window inside each
+    back-end (and every code-registration/disposal) serializes on the
+    layout lock.
 
     When the back-end supports relocatable output the artifact is compiled
     once and linked through the shared {!Backend.link_artifact} step; the
@@ -395,11 +487,14 @@ let compile_uncached t db ~backend
             ~unwind:db.Engine.unwind modul )
   in
   let bytes = cm.Qcomp_backend.Backend.cm_code_size in
-  Mutex.protect t.mu (fun () ->
-      if bytes > t.max_entry_bytes then t.max_entry_bytes <- bytes;
-      if Array.length params > 0 then t.binds <- t.binds + 1);
+  let sh = shard_of t k in
+  Mutex.protect sh.sh_mu (fun () ->
+      if bytes > sh.sh_max_entry_bytes then sh.sh_max_entry_bytes <- bytes;
+      sh.sh_compiles <- sh.sh_compiles + 1;
+      if Array.length params > 0 then sh.sh_binds <- sh.sh_binds + 1);
   {
     ce_name = name;
+    ce_key = k;
     ce_plan = plan;
     ce_fp = k.ck_fp;
     ce_art = art;
@@ -413,6 +508,7 @@ let compile_uncached t db ~backend
           b_params = params;
           b_cm = cm;
           b_dispose = (fun () -> Engine.dispose_module db cm);
+          b_refs = 0;
         };
       ];
     ce_fresh = true;
@@ -423,79 +519,157 @@ let compile_uncached t db ~backend
   }
 
 let insert t k e =
-  Mutex.protect t.mu (fun () -> Lru.add t.modules k ~weight:e.ce_code_bytes e)
+  let sh = shard_of t k in
+  Mutex.protect sh.sh_mu (fun () ->
+      Lru.add sh.sh_modules k ~weight:e.ce_code_bytes e)
 
 (** [get_or_compile t db ~backend ~name plan] is [(entry, hit)]: the cached
     module for the plan under [backend], compiling (and inserting) on miss.
     The returned [ce_compile_s] is the modelled cost — on a hit the caller
-    decides whether to charge it (a serving system does not). Two domains
-    racing on the same miss both compile, but only the first insert wins;
-    the loser's module is disposed and the winner returned, so callers
-    never hold two live modules for one key. (The serving pool additionally
-    dedups in-flight compiles so this race stays rare.) *)
-let get_or_compile t db ~backend ?params ~name plan =
-  let k = key db ~backend plan in
-  match find t k with
-  | Some e -> (e, true)
-  | None -> (
-      let e = compile_uncached t db ~backend ?params ~name plan in
-      let prior =
-        Mutex.protect t.mu (fun () ->
-            match Lru.peek t.modules k with
-            | Some other -> Some other
-            | None ->
-                Lru.add t.modules k ~weight:e.ce_code_bytes e;
-                None)
-      in
-      match prior with
-      | Some other ->
-          List.iter (fun b -> b.b_dispose ()) e.ce_bound;
-          e.ce_bound <- [];
-          (other, true)
-      | None -> (e, false))
+    decides whether to charge it (a serving system does not).
 
-let stats t = Mutex.protect t.mu (fun () -> Lru.stats t.modules)
+    Concurrent misses on one key are deduplicated through the shard's
+    in-flight table: the first domain marks the key in flight and compiles
+    outside the lock; racers wait on the shard's condition variable and
+    pick the finished entry up from the LRU (counted in
+    [ms_dedup_waits]) — the redundant back-end compile the old
+    compile-then-lose-the-insert race paid is gone, and with it the
+    disposal drift on the loser's instances.
+
+    [~stats:false] keeps the lookup out of the hit/miss counters (Static
+    mode's semantics are "no cache"). [~pin:true] pins the entry in the
+    same critical section as the lookup/insert, so an eviction in the
+    return window can never free it before the caller runs it. *)
+let get_or_compile t db ~backend ?params ?(stats = true) ?(pin = false) ~name
+    plan =
+  let k = key db ~backend plan in
+  let sh = shard_of t k in
+  let lookup () =
+    if stats then Lru.find sh.sh_modules k else Lru.peek sh.sh_modules k
+  in
+  Mutex.lock sh.sh_mu;
+  let waited = ref false in
+  let rec loop () =
+    match lookup () with
+    | Some e ->
+        if pin then incr e.ce_pins;
+        Mutex.unlock sh.sh_mu;
+        (e, true)
+    | None ->
+        if Hashtbl.mem sh.sh_inflight k then begin
+          if not !waited then begin
+            sh.sh_dedup_waits <- sh.sh_dedup_waits + 1;
+            waited := true
+          end;
+          Condition.wait sh.sh_cv sh.sh_mu;
+          loop ()
+        end
+        else begin
+          Hashtbl.replace sh.sh_inflight k ();
+          Mutex.unlock sh.sh_mu;
+          let e =
+            try compile_uncached t db ~backend ?params ~name plan
+            with exn ->
+              Mutex.lock sh.sh_mu;
+              Hashtbl.remove sh.sh_inflight k;
+              Condition.broadcast sh.sh_cv;
+              Mutex.unlock sh.sh_mu;
+              raise exn
+          in
+          Mutex.lock sh.sh_mu;
+          if pin then incr e.ce_pins;
+          Lru.add sh.sh_modules k ~weight:e.ce_code_bytes e;
+          Hashtbl.remove sh.sh_inflight k;
+          Condition.broadcast sh.sh_cv;
+          Mutex.unlock sh.sh_mu;
+          (e, false)
+        end
+  in
+  loop ()
+
+let fold_shards t init f =
+  Array.fold_left (fun acc sh -> Mutex.protect sh.sh_mu (fun () -> f acc sh)) init t.shards
+
+let stats t =
+  fold_shards t
+    {
+      Lru.hits = 0;
+      misses = 0;
+      evictions = 0;
+      entries = 0;
+      bytes = 0;
+      bytes_evicted = 0;
+    }
+    (fun acc sh ->
+      let s = Lru.stats sh.sh_modules in
+      {
+        Lru.hits = acc.Lru.hits + s.Lru.hits;
+        misses = acc.Lru.misses + s.Lru.misses;
+        evictions = acc.Lru.evictions + s.Lru.evictions;
+        entries = acc.Lru.entries + s.Lru.entries;
+        bytes = acc.Lru.bytes + s.Lru.bytes;
+        bytes_evicted = acc.Lru.bytes_evicted + s.Lru.bytes_evicted;
+      })
 
 let param_stats t =
-  Mutex.protect t.mu (fun () ->
+  fold_shards t
+    { ps_shape_hits = 0; ps_exact_hits = 0; ps_binds = 0; ps_bind_host_s = 0.0 }
+    (fun acc sh ->
       {
-        ps_shape_hits = t.shape_hits;
-        ps_exact_hits = t.exact_hits;
-        ps_binds = t.binds;
-        ps_bind_host_s = t.bind_host_s;
+        ps_shape_hits = acc.ps_shape_hits + sh.sh_shape_hits;
+        ps_exact_hits = acc.ps_exact_hits + sh.sh_exact_hits;
+        ps_binds = acc.ps_binds + sh.sh_binds;
+        ps_bind_host_s = acc.ps_bind_host_s +. sh.sh_bind_host_s;
       })
 
 (** Sum of pins across live entries — zero when the server has quiesced. *)
 let live_pins t =
-  Mutex.protect t.mu (fun () ->
-      let n = ref 0 in
-      Lru.iter t.modules (fun e -> n := !n + !(e.ce_pins));
+  fold_shards t 0 (fun acc sh ->
+      let n = ref acc in
+      Lru.iter sh.sh_modules (fun e -> n := !n + !(e.ce_pins));
       !n)
 
 type mem_stats = {
   ms_bytes_freed : int;  (** code bytes returned to the region allocator *)
   ms_max_entry_bytes : int;  (** largest single module compiled here *)
   ms_pin_underflows : int;  (** unbalanced unpins caught and clamped *)
+  ms_backend_compiles : int;  (** back-end compiles actually run *)
+  ms_dedup_waits : int;
+      (** misses served by waiting on another domain's in-flight compile
+          instead of compiling redundantly *)
 }
 
 let mem_stats t =
-  Mutex.protect t.mu (fun () ->
+  fold_shards t
+    {
+      ms_bytes_freed = 0;
+      ms_max_entry_bytes = 0;
+      ms_pin_underflows = 0;
+      ms_backend_compiles = 0;
+      ms_dedup_waits = 0;
+    }
+    (fun acc sh ->
       {
-        ms_bytes_freed = t.bytes_freed;
-        ms_max_entry_bytes = t.max_entry_bytes;
-        ms_pin_underflows = t.pin_underflows;
+        ms_bytes_freed = acc.ms_bytes_freed + sh.sh_bytes_freed;
+        ms_max_entry_bytes = max acc.ms_max_entry_bytes sh.sh_max_entry_bytes;
+        ms_pin_underflows = acc.ms_pin_underflows + sh.sh_pin_underflows;
+        ms_backend_compiles = acc.ms_backend_compiles + sh.sh_compiles;
+        ms_dedup_waits = acc.ms_dedup_waits + sh.sh_dedup_waits;
       })
 
 let pp_stats fmt t =
   let s = stats t in
-  let bytes_freed = (mem_stats t).ms_bytes_freed in
+  let ms = mem_stats t in
   Format.fprintf fmt
     "hits %d  misses %d  hit-rate %.1f%%  entries %d  evictions %d  bytes %d  bytes-freed %d"
     s.Lru.hits s.Lru.misses
     (if s.Lru.hits + s.Lru.misses > 0 then
        100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
      else 0.0)
-    s.Lru.entries s.Lru.evictions s.Lru.bytes bytes_freed;
+    s.Lru.entries s.Lru.evictions s.Lru.bytes ms.ms_bytes_freed;
+  if shard_count t > 1 || ms.ms_dedup_waits > 0 then
+    Format.fprintf fmt "  shards %d  compiles %d  dedup-waits %d"
+      (shard_count t) ms.ms_backend_compiles ms.ms_dedup_waits;
   let p = param_stats t in
   if p.ps_binds + p.ps_shape_hits + p.ps_exact_hits > 0 then
     Format.fprintf fmt
@@ -517,11 +691,14 @@ let pp_stats fmt t =
      | { str s, i64 struct addr, i64 body addr } * | str artifact
 
    Records are written LRU-first so a load into any capacity re-creates
-   the same recency order and overflow evicts the coldest entries.
-   Everything malformed — bad magic, other version, other target, length
-   mismatch, checksum mismatch, key mismatch, layout mismatch, artifact
-   corruption — raises [Invalid_argument]; a snapshot is either loaded
-   exactly or not at all. *)
+   the same recency order and overflow evicts the coldest entries. A
+   sharded cache writes its shards in index order, each coldest-first —
+   recency is preserved per shard (and exactly overall for the
+   single-shard layout every deterministic run uses). Everything
+   malformed — bad magic, other version, other target, length mismatch,
+   checksum mismatch, key mismatch, layout mismatch, artifact corruption —
+   raises [Invalid_argument]; a snapshot is either loaded exactly or not
+   at all. *)
 
 let snap_magic = "QCSS"
 
@@ -549,15 +726,18 @@ let add_str buf s =
     compile cost is microseconds, there is nothing worth persisting. *)
 let save t file =
   let records =
-    Mutex.protect t.mu (fun () ->
-        (* LRU-first: keys_mru is most-recent-first *)
-        List.rev
-          (List.filter_map
-             (fun k ->
-               match Lru.peek t.modules k with
-               | Some e when e.ce_art <> None -> Some (k, e)
-               | _ -> None)
-             (Lru.keys_mru t.modules)))
+    List.concat_map
+      (fun sh ->
+        Mutex.protect sh.sh_mu (fun () ->
+            (* LRU-first: keys_mru is most-recent-first *)
+            List.rev
+              (List.filter_map
+                 (fun k ->
+                   match Lru.peek sh.sh_modules k with
+                   | Some e when e.ce_art <> None -> Some (k, e)
+                   | _ -> None)
+                 (Lru.keys_mru sh.sh_modules))))
+      (Array.to_list t.shards)
   in
   let payload = Buffer.create 65536 in
   let target = ref "" in
@@ -647,16 +827,16 @@ let read_file path =
       s
 
 (** Load a snapshot written by {!save} into a fresh cache of [capacity]
-    entries. [db] must be the same deterministic database build the
-    snapshot was taken against (checked via {!Engine.layout_fingerprint})
-    on the same target with the same runtime registry (checked per record
-    and again by the linker). Entries are inserted coldest-first and
-    {e unlinked}: the first cache hit pays the re-link, so loading is
-    cheap even for snapshots far larger than [capacity] — the overflow
-    simply evicts the coldest records with zero pins and zero spurious
-    byte accounting. All corruption and version/layout mismatches raise
-    [Invalid_argument]. *)
-let load ~capacity ~db file =
+    entries over [shards] hash shards (default 1). [db] must be the same
+    deterministic database build the snapshot was taken against (checked
+    via {!Engine.layout_fingerprint}) on the same target with the same
+    runtime registry (checked per record and again by the linker). Entries
+    are inserted coldest-first and {e unlinked}: the first cache hit pays
+    the re-link, so loading is cheap even for snapshots far larger than
+    [capacity] — the overflow simply evicts the coldest records with zero
+    pins and zero spurious byte accounting. All corruption and
+    version/layout mismatches raise [Invalid_argument]. *)
+let load ~capacity ?(shards = 1) ~db file =
   let s = read_file file in
   let len = String.length s in
   let pos = ref 0 in
@@ -729,7 +909,7 @@ let load ~capacity ~db file =
     pos := !pos + n;
     v
   in
-  let t = create ~capacity in
+  let t = create_sharded ~capacity ~shards in
   let db_fp = Engine.layout_fingerprint db in
   let claimed = Hashtbl.create 32 in
   for _ = 1 to count do
@@ -775,9 +955,11 @@ let load ~capacity ~db file =
            name rec_db_fp db_fp);
     if code_bytes < 0 then corrupt "negative code size";
     materialize_consts db claimed consts;
+    let k = { ck_fp = fp; ck_backend = backend; ck_target = live_target } in
     let e =
       {
         ce_name = name;
+        ce_key = k;
         ce_plan = plan;
         ce_fp = fp;
         ce_art = Some art;
@@ -793,7 +975,7 @@ let load ~capacity ~db file =
         ce_evicted = ref false;
       }
     in
-    insert t { ck_fp = fp; ck_backend = backend; ck_target = live_target } e
+    insert t k e
   done;
   if !pos <> payload_len then corrupt "trailing bytes";
   t

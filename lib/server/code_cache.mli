@@ -12,7 +12,10 @@
     holes unbound; every literal variant is served by a cheap bind-link
     ({!force} with a parameter vector). Entries keep a short MRU list of
     bound instances — repeated vectors are exact hits, new vectors shape
-    hits — counted in {!param_stats}.
+    hits — counted in {!param_stats}. Instances a query is executing can
+    be {e claimed} ({!force} [~claim:true] .. {!release}): a claimed
+    instance survives the MRU-overflow trim, so literal churn by other
+    queries never disposes a module mid-execution.
 
     Because the cached unit is relocatable and unbound, a cache can be
     {!save}d to a snapshot file and {!load}ed by a freshly started server
@@ -28,11 +31,20 @@
     be {!pin}ned; a pinned entry that gets evicted is disposed only when
     its last {!unpin} arrives, so running code is never freed.
 
-    Thread-safe: every operation is serialized by an internal mutex, so
-    the parallel serving pool shares one cache across worker domains.
-    Compilation runs outside that mutex (independent plans compile
-    concurrently) under the emulator's code-layout lock; the cache mutex
-    is always taken before the layout lock, never after. *)
+    Thread-safe and {e hash-sharded}: entries are distributed over
+    independent LRU shards (keyed by fingerprint and back-end), each
+    behind its own mutex, so worker domains hitting different plans never
+    contend on one global lock. [{!create} ~capacity] is the single-shard
+    configuration — exactly the previous behavior, including snapshot
+    byte layout — and the only one the deterministic discrete-event
+    driver uses; {!create_sharded} spreads the capacity over several
+    shards for the parallel pool. Stats aggregate across shards on read.
+    Concurrent misses on one key are deduplicated: the first domain
+    compiles, racers wait on the shard's condition variable and reuse the
+    result ({!get_or_compile}). Compilation runs outside the shard mutex
+    (independent plans compile concurrently) under the emulator's
+    code-layout lock; a shard mutex is always taken before the layout
+    lock, never after. *)
 
 type key = {
   ck_fp : int64;  (** canonical plan (shape) fingerprint *)
@@ -43,15 +55,19 @@ type key = {
 (** One parameter binding of an entry's shape: an immutable linked module
     whose parameter holes hold exactly [b_params]. Instances are immutable
     by design — patching a shared module's holes in place would race with
-    a query mid-execution on the same module. *)
+    a query mid-execution on the same module. [b_refs] counts in-flight
+    claims ({!force} [~claim:true]); the MRU trim never disposes an
+    instance with live references. *)
 type bound = {
   b_params : Qcomp_backend.Artifact.param_value array;
   b_cm : Qcomp_backend.Backend.compiled_module;
   b_dispose : unit -> unit;
+  mutable b_refs : int;
 }
 
 type entry = {
   ce_name : string;  (** query name (for re-codegen after a {!load}) *)
+  ce_key : key;  (** the entry's home key — locates its shard *)
   ce_plan : Qcomp_plan.Algebra.t;
       (** the {e shape}: for parameterized queries, eligible literals have
           been replaced by [Expr.Param] holes ({!Qcomp_plan.Paramize}) *)
@@ -99,8 +115,17 @@ type param_stats = {
 
 type t
 
-(** [create ~capacity] bounds the module LRU to [capacity] entries. *)
+(** [create ~capacity] bounds the module LRU to [capacity] entries over a
+    single shard — the deterministic configuration. *)
 val create : capacity:int -> t
+
+(** [create_sharded ~capacity ~shards] distributes [capacity] entries
+    (ceil-divided, so the aggregate bound never shrinks) over [shards]
+    hash shards, each with its own lock — for the parallel pool. Raises
+    [Invalid_argument] unless both are positive. *)
+val create_sharded : capacity:int -> shards:int -> t
+
+val shard_count : t -> int
 
 (** Cache key of [plan] compiled by [backend] for [db]'s target. *)
 val key : Qcomp_engine.Engine.db -> backend:Qcomp_backend.Backend.t -> Qcomp_plan.Algebra.t -> key
@@ -120,13 +145,23 @@ val find_nostat : t -> key -> entry option
     re-linked (or the back-end re-translates, for interpreter entries)
     with [params] in its holes. Entries created by {!compile_uncached}
     are born with their submitter's instance; {!load}ed entries pay a
-    microsecond re-link — never a back-end compile — on the first call. *)
+    microsecond re-link — never a back-end compile — on the first call.
+    [~claim:true] takes a reference on the returned instance so the
+    MRU-overflow trim cannot dispose it while the query executes; drop it
+    with {!release}. *)
 val force :
   t ->
   Qcomp_engine.Engine.db ->
   ?params:Qcomp_backend.Artifact.param_value array ->
+  ?claim:bool ->
   entry ->
   Qcomp_codegen.Codegen.compiled * Qcomp_backend.Backend.compiled_module * bool
+
+(** Drop the claim {!force} [~claim:true] took on the instance whose
+    module is [cm], then re-apply the MRU-overflow trim (disposing the
+    instance if it outlived the cap only because of the claim). Ignored
+    for modules already disposed with their evicted entry. *)
+val release : t -> entry -> Qcomp_backend.Backend.compiled_module -> unit
 
 (** Codegen once per (fingerprint, target), memoized. *)
 val plan_ir :
@@ -141,7 +176,8 @@ val plan_ir :
     become visible only at their simulated completion event). When the
     back-end supports relocatable output, the entry retains the artifact
     so {!save} can snapshot it. [params] binds the submitter's literal
-    vector into the entry's initial instance. *)
+    vector into the entry's initial instance. Must not be called with a
+    shard mutex held. *)
 val compile_uncached :
   t ->
   Qcomp_engine.Engine.db ->
@@ -153,14 +189,22 @@ val compile_uncached :
 
 val insert : t -> key -> entry -> unit
 
-(** [(entry, hit)] — compiles and inserts on miss. Two domains racing on
-    the same miss both compile; the insert loser's instances are disposed
-    and the winner's entry returned. *)
+(** [(entry, hit)] — compiles and inserts on miss. Concurrent misses on
+    one key are deduplicated through a per-shard in-flight table: the
+    first domain compiles, racers block on the shard's condition variable
+    and return the finished entry as a hit (counted in
+    [ms_dedup_waits] — no redundant back-end compile is ever run).
+    [~stats:false] keeps the lookup out of the hit/miss counters;
+    [~pin:true] pins the returned entry atomically with the
+    lookup/insert, so an eviction cannot free it before the caller runs
+    it. *)
 val get_or_compile :
   t ->
   Qcomp_engine.Engine.db ->
   backend:Qcomp_backend.Backend.t ->
   ?params:Qcomp_backend.Artifact.param_value array ->
+  ?stats:bool ->
+  ?pin:bool ->
   name:string ->
   Qcomp_plan.Algebra.t ->
   entry * bool
@@ -175,9 +219,10 @@ val pin : t -> entry -> unit
     [ms_pin_underflows], and logged on first occurrence. *)
 val unpin : t -> entry -> unit
 
+(** Aggregated over all shards. *)
 val stats : t -> Lru.stats
 
-(** The run's parameter-cache counters. *)
+(** The run's parameter-cache counters (aggregated over all shards). *)
 val param_stats : t -> param_stats
 
 (** Sum of pins across live entries — zero once a server run quiesces. *)
@@ -187,6 +232,10 @@ type mem_stats = {
   ms_bytes_freed : int;  (** code bytes returned to the region allocator *)
   ms_max_entry_bytes : int;  (** largest single module compiled here *)
   ms_pin_underflows : int;  (** unbalanced unpins caught and clamped *)
+  ms_backend_compiles : int;  (** back-end compiles actually run *)
+  ms_dedup_waits : int;
+      (** misses served by waiting on another domain's in-flight compile
+          instead of compiling redundantly *)
 }
 
 val mem_stats : t -> mem_stats
@@ -205,19 +254,22 @@ val pp_stats : Format.formatter -> t -> unit
 
 (** [save t file] snapshots every artifact-bearing entry to [file]
     (written atomically via a temp file), coldest entry first so {!load}
-    reconstructs the same recency order. Interpreter entries (no
-    artifact) are skipped. *)
+    reconstructs the same recency order (per shard, in shard index order;
+    exactly overall for the single-shard layout deterministic runs use).
+    Interpreter entries (no artifact) are skipped. *)
 val save : t -> string -> unit
 
-(** [load ~capacity ~db file] is a fresh cache of [capacity] entries
-    holding [file]'s records, unlinked — each entry re-links lazily on
-    its first hit. [db] must be the same deterministic database build the
-    snapshot was taken against (same target, same
-    {!Engine.layout_fingerprint}); loading should happen right after the
-    database is built, before any query runs, so the baked string
-    constants can be re-materialized at their original addresses. If the
-    snapshot holds more than [capacity] records the coldest overflow is
-    evicted cleanly (no pins, no spurious byte accounting). Truncated,
-    bit-flipped, version-mismatched or layout-mismatched snapshots raise
-    [Invalid_argument] with a descriptive message. *)
-val load : capacity:int -> db:Qcomp_engine.Engine.db -> string -> t
+(** [load ~capacity ?shards ~db file] is a fresh cache of [capacity]
+    entries over [shards] hash shards (default 1) holding [file]'s
+    records, unlinked — each entry re-links lazily on its first hit. [db]
+    must be the same deterministic database build the snapshot was taken
+    against (same target, same {!Engine.layout_fingerprint}); loading
+    should happen right after the database is built, before any query
+    runs, so the baked string constants can be re-materialized at their
+    original addresses. If the snapshot holds more than [capacity] records
+    the coldest overflow is evicted cleanly (no pins, no spurious byte
+    accounting). Truncated, bit-flipped, version-mismatched or
+    layout-mismatched snapshots raise [Invalid_argument] with a
+    descriptive message. *)
+val load :
+  capacity:int -> ?shards:int -> db:Qcomp_engine.Engine.db -> string -> t

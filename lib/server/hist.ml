@@ -1,0 +1,115 @@
+(** Log-bucketed latency histogram.
+
+    Fixed bucket layout: a floor bucket for everything under one
+    microsecond, then [buckets_per_octave] geometric buckets per factor of
+    two up to ~17 minutes, then one overflow bucket. The layout is static
+    so two histograms (e.g. one per worker domain) merge by adding
+    counters, and the same recorded values always land in the same buckets
+    — a same-seed serving run reproduces the histogram bit-for-bit.
+
+    The histogram is the streaming summary (bounded memory no matter how
+    many queries a run serves); the serving report's headline
+    p50/p95/p99 numbers are computed exactly from the full latency list by
+    {!Report.percentile} and the histogram's {!percentile} (which returns
+    the bucket's upper bound, a <=19% overestimate) is the scalable
+    stand-in the bucket dump in [BENCH_load.json] is checked against. *)
+
+let floor_s = 1e-6
+let buckets_per_octave = 4
+let octaves = 30
+
+(* floor + range + overflow *)
+let nbuckets = 2 + (buckets_per_octave * octaves)
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable max : float;
+}
+
+let create () = { counts = Array.make nbuckets 0; n = 0; sum = 0.0; max = 0.0 }
+
+let bucket_of v =
+  if v < floor_s then 0
+  else
+    let i =
+      1
+      + int_of_float
+          (float_of_int buckets_per_octave *. (Float.log (v /. floor_s) /. Float.log 2.0))
+    in
+    min (nbuckets - 1) (max 1 i)
+
+(* Upper bound of bucket [i]: the floor for bucket 0, then quarter-powers
+   of two. The overflow bucket reports infinity. *)
+let upper i =
+  if i = 0 then floor_s
+  else if i = nbuckets - 1 then infinity
+  else floor_s *. (2.0 ** (float_of_int i /. float_of_int buckets_per_octave))
+
+let lower i = if i = 0 then 0.0 else upper (i - 1)
+
+let add t v =
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max then t.max <- v
+
+let count t = t.n
+let max_value t = t.max
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let merge a b =
+  let m = create () in
+  Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
+  m.n <- a.n + b.n;
+  m.sum <- a.sum +. b.sum;
+  m.max <- Float.max a.max b.max;
+  m
+
+(** Nearest-rank percentile resolved to its bucket's upper bound: an
+    overestimate of at most one bucket width (2^(1/4), <19%), never an
+    underestimate — the conservative direction for a latency objective. *)
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let rank =
+      Stdlib.max 1
+        (Stdlib.min t.n (int_of_float (ceil (p *. float_of_int t.n))))
+    in
+    let acc = ref 0 in
+    let found = ref (nbuckets - 1) in
+    (try
+       Array.iteri
+         (fun i c ->
+           acc := !acc + c;
+           if !acc >= rank then begin
+             found := i;
+             raise Exit
+           end)
+         t.counts
+     with Exit -> ());
+    (* the overflow bucket has no finite upper bound; the recorded max is
+       the tightest true statement about it *)
+    if !found = nbuckets - 1 then t.max else upper !found
+  end
+
+(** Non-empty buckets as [(lower, upper, count)], ascending. *)
+let buckets t =
+  let out = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.counts.(i) > 0 then out := (lower i, upper i, t.counts.(i)) :: !out
+  done;
+  !out
+
+let pp fmt t =
+  if t.n = 0 then Format.fprintf fmt "empty"
+  else begin
+    Format.fprintf fmt "n %d  mean %.6fs  max %.6fs " t.n (mean t) t.max;
+    List.iter
+      (fun (lo, hi, c) ->
+        if hi = infinity then Format.fprintf fmt " [%.2e,inf):%d" lo c
+        else Format.fprintf fmt " [%.2e,%.2e):%d" lo hi c)
+      (buckets t)
+  end

@@ -1,0 +1,31 @@
+(** Log-bucketed latency histogram with a fixed, merge-compatible bucket
+    layout: one floor bucket under a microsecond, four geometric buckets
+    per factor of two up to ~17 minutes, one overflow bucket. Same values
+    always land in the same buckets, so same-seed serving runs reproduce
+    the histogram bit-for-bit and per-domain histograms merge by adding
+    counters. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one value (seconds). *)
+val add : t -> float -> unit
+
+val count : t -> int
+val max_value : t -> float
+val mean : t -> float
+
+(** Counter-wise sum of two histograms (neither input is modified). *)
+val merge : t -> t -> t
+
+(** Nearest-rank percentile resolved to its bucket's upper bound — an
+    overestimate of at most one bucket width (<19%), never an
+    underestimate. [percentile t 0.5] on an empty histogram is 0. *)
+val percentile : t -> float -> float
+
+(** Non-empty buckets as [(lower, upper, count)], ascending; the overflow
+    bucket's upper bound is [infinity]. *)
+val buckets : t -> (float * float * int) list
+
+val pp : Format.formatter -> t -> unit

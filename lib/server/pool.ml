@@ -9,13 +9,23 @@
     counters are per-domain, while compiled code, the module cache and the
     runtime dispatch table are shared and mutex-guarded.
 
+    Traffic is {e open-loop}: a feeder domain releases each request at its
+    arrival timestamp (wall-clock, offset from run start) into a bounded
+    multi-tenant {!Admission} queue — arrivals do not wait for free
+    workers, exactly like clients that keep sending regardless of server
+    load. When the queue is at its [admission_cap] the request is {e shed}
+    (rejected and counted) instead of growing server state without bound.
+    Workers block on a condition variable while the queue is empty — an
+    idle pool burns no host CPU — and dequeue tenant-fair round-robin.
+
     Policies mirror the simulator:
     - {b Static}: every query runs the fixed back-end, compiling on its
       worker on a cache miss (the modelled compile charge is still reported
       per query).
     - {b Cached}: adaptive back-end fronted by the shared {!Code_cache};
-      misses compile in the foreground, deduplicated across domains so a
-      burst of identical plans compiles once and the rest wait.
+      misses compile in the foreground, deduplicated across domains by the
+      cache's per-shard in-flight table so a burst of identical plans
+      compiles once and the rest wait.
     - {b Tiered}: queries start on interpreter bytecode immediately; the
       strong back-end compiles on dedicated background compile domains, and
       at the next morsel boundary after the module lands the execution
@@ -26,16 +36,21 @@
     interleaving), the set of compiled modules, and the final live-code
     accounting when the cache does not evict. What becomes wall-clock:
     arrival/start/finish/latency metrics, cache hit/miss counts under
-    racing misses, and in Tiered mode the swap point (and hence the
-    tier0/tier1 quanta split and exact cycle counts). Differential tests
-    therefore compare the {e multiset} of (name, rows, checksum).
+    racing misses, shed decisions under an admission cap (queue occupancy
+    depends on worker speed), and in Tiered mode the swap point (and hence
+    the tier0/tier1 quanta split and exact cycle counts). Differential
+    tests therefore compare the {e multiset} of (name, rows, checksum),
+    and use a cap at least the stream length when they need zero sheds.
 
-    Lock ordering: the pool mutex is the outermost; {!Code_cache}'s
-    internal mutex and the emulator's layout/registry locks nest inside
-    it. Entries are pinned {e before} they are inserted into the cache
-    (the compiling query's own pin doubles as the creation pin), so an
-    eviction in the insert-to-first-use window can never free in-flight
-    code. *)
+    Lock ordering: the pool mutex is the outermost; {!Code_cache}'s shard
+    mutexes and the emulator's layout/registry locks nest inside it (the
+    cache also takes its shard mutexes with no pool mutex held — the
+    nesting is one-directional, never shard-then-pool). Entries are pinned
+    in the same cache critical section as the lookup or insert, so an
+    eviction in the return window can never free in-flight code; the bound
+    instance a query executes is additionally {e claimed}
+    ({!Code_cache.force} [~claim:true]) so another query's literal churn
+    cannot dispose it mid-execution. *)
 
 open Qcomp_support
 open Qcomp_engine
@@ -67,6 +82,13 @@ type config = {
           of a compile. Static mode always stays exact. *)
   mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
   seed : int64;  (** drives the arrival process *)
+  admission_cap : int option;
+      (** bound on admission-queue occupancy; arrivals beyond it are shed
+          (rejected, counted, reported). [None] = unbounded *)
+  tenants : int;  (** tenant FIFOs in the admission queue (fair dequeue) *)
+  cache_shards : int;
+      (** hash shards of the code cache (when the driver creates it);
+          1 = the deterministic single-lock layout *)
 }
 
 let default_config =
@@ -80,6 +102,9 @@ let default_config =
     paramize = true;
     mean_gap_s = 0.0005;
     seed = 42L;
+    admission_cap = None;
+    tenants = 1;
+    cache_shards = 1;
   }
 
 (** Split [plan] into its cache identity: the {e shape} (eligible literals
@@ -118,7 +143,12 @@ let validate_config ~driver c =
   need "workers" c.workers;
   need "compile_slots" c.compile_slots;
   need "morsel" c.morsel;
-  need "cache_capacity" c.cache_capacity
+  need "cache_capacity" c.cache_capacity;
+  need "tenants" c.tenants;
+  need "cache_shards" c.cache_shards;
+  match c.admission_cap with
+  | Some cap -> need "admission_cap" cap
+  | None -> ()
 
 type query_metrics = Report.query_metrics = {
   qm_name : string;
@@ -138,9 +168,40 @@ type query_metrics = Report.query_metrics = {
   qm_exec_cycles : int;
   qm_rows : int;
   qm_checksum : int64;
+  qm_tenant : int;  (** traffic-generator tenant tag (0 single-tenant) *)
+  qm_first_s : float;
+      (** enqueue -> first-row latency: arrival to the end of the quantum
+          that produced the first morsel of output *)
 }
 
 let qm_latency = Report.qm_latency
+
+(** One timed request of the open-loop workload: release [rq_name]/[rq_plan]
+    at [rq_arrival] seconds after run start, tagged with the submitting
+    tenant. Both drivers consume the same request list, so a traffic trace
+    generated once replays identically against the deterministic scheduler
+    and the wall-clock pool. *)
+type request = {
+  rq_name : string;
+  rq_plan : Qcomp_plan.Algebra.t;
+  rq_arrival : float;  (** seconds after run start *)
+  rq_tenant : int;
+}
+
+(** The legacy closed-list arrival process as a request list: exponential
+    gaps with mean [config.mean_gap_s] drawn from [config.seed] (all at
+    t=0 when the gap is zero), single tenant. Exactly the draws
+    {!Server.run} has always made, so wrapping a plain stream through this
+    changes no deterministic report. *)
+let requests_of_stream config stream =
+  let rng = Rng.create config.seed in
+  let t = ref 0.0 in
+  List.map
+    (fun (name, plan) ->
+      if config.mean_gap_s > 0.0 then
+        t := !t +. (-.config.mean_gap_s *. log (1.0 -. Rng.float rng));
+      { rq_name = name; rq_plan = plan; rq_arrival = !t; rq_tenant = 0 })
+    stream
 
 type qstate = {
   q_name : string;
@@ -150,7 +211,10 @@ type qstate = {
   q_exact : Qcomp_plan.Algebra.t;
       (** the original plan with literals in place — what rungs that
           cannot bind parameter holes compile (whole-plan fallback) *)
+  q_arrival : float;  (** seconds after run start (the request's stamp) *)
+  q_tenant : int;
   mutable q_start : float;
+  mutable q_first_s : float option;  (** enqueue -> first-row, once known *)
   mutable q_compile_s : float;
   mutable q_cache_hit : bool;
   (* the back-end currently executing the query's quanta, and the full
@@ -168,22 +232,32 @@ type qstate = {
   mutable q_started_tier0 : bool;
   (* every cache entry this query touches stays pinned until it finishes *)
   mutable q_pinned : Code_cache.entry list;
+  (* bound instances this query claimed via [force ~claim:true]; released
+     on finish. Only the owning worker touches this list. *)
+  mutable q_claims : (Code_cache.entry * Qcomp_backend.Backend.compiled_module) list;
   mutable q_done : bool;  (** written/read under the pool mutex *)
 }
 
-let run ?cache db ~domains config stream =
+(** [run_requests ?cache db ~domains config requests] serves the timed
+    [requests] open-loop. *)
+let run_requests ?cache db ~domains config requests =
   if domains < 1 then invalid_arg "Pool.run: domains must be positive";
   validate_config ~driver:"Pool.run" config;
   let cache =
     match cache with
     | Some c -> c
-    | None -> Code_cache.create ~capacity:config.cache_capacity
+    | None ->
+        Code_cache.create_sharded ~capacity:config.cache_capacity
+          ~shards:config.cache_shards
   in
   let mu = Mutex.create () in
-  let admission = Queue.create () in
-  (* foreground compiles in flight, for cross-domain dedup *)
-  let inflight : (Code_cache.key, unit) Hashtbl.t = Hashtbl.create 16 in
-  let inflight_cv = Condition.create () in
+  (* work available / feeder finished; workers block here when idle *)
+  let work_cv = Condition.create () in
+  let feeder_done = ref false in
+  let admission : qstate Admission.t =
+    Admission.create ?cap:config.admission_cap ~tenants:config.tenants ()
+  in
+  let sheds = ref [] in
   (* background (Tiered strong-tier) compiles in flight: key -> waiting
      queries; doubles as the dedup table for the compile queue *)
   let pending : (Code_cache.key, qstate list ref) Hashtbl.t =
@@ -199,29 +273,6 @@ let run ?cache db ~domains config stream =
         if !first_error = None then first_error := Some exn)
   in
   let t0 = Timing.now () in
-  List.iter
-    (fun (name, plan) ->
-      let shape, params = normalize_query config plan in
-      Queue.push
-        {
-          q_name = name;
-          q_plan = shape;
-          q_params = params;
-          q_exact = plan;
-          q_start = 0.0;
-          q_compile_s = 0.0;
-          q_cache_hit = false;
-          q_cur_tier = "";
-          q_tiers = [];
-          q_upgrading = false;
-          q_swap = Atomic.make None;
-          q_switch_s = None;
-          q_started_tier0 = false;
-          q_pinned = [];
-          q_done = false;
-        }
-        admission)
-    stream;
   (* Callers hold [mu]. *)
   let pin_locked q e =
     Code_cache.pin cache e;
@@ -229,54 +280,25 @@ let run ?cache db ~domains config stream =
   in
   let unpin_all_locked q =
     q.q_done <- true;
+    (* claims first: release may dispose an over-cap instance, which must
+       happen while its entry is still pinned-or-live *)
+    List.iter (fun (e, cm) -> Code_cache.release cache e cm) q.q_claims;
+    q.q_claims <- [];
     List.iter (fun e -> Code_cache.unpin cache e) q.q_pinned;
     q.q_pinned <- []
   in
-  (* Foreground lookup-or-compile with cross-domain dedup: the first domain
-     to miss compiles (outside the pool mutex); racers wait on the
-     condition variable and pick the entry up from the cache. The pin is
-     taken in the same critical section as the lookup/insert, so eviction
-     can never free the entry first. [stats:false] keeps the lookup out of
-     the hit/miss counters (Static mode's semantics are "no cache"). *)
+  (* Foreground lookup-or-compile. Cross-domain dedup and the
+     pin-with-lookup atomicity both live in the cache now (per-shard
+     in-flight table + [~pin]); the pool just records the pin for the
+     end-of-query unpin. [stats:false] keeps the lookup out of the
+     hit/miss counters (Static mode's semantics are "no cache"). *)
   let get_entry ?(stats = true) q view ~backend ~name plan =
-    let k = Code_cache.key view ~backend plan in
-    let lookup = if stats then Code_cache.find else Code_cache.find_nostat in
-    Mutex.lock mu;
-    let rec loop () =
-      match lookup cache k with
-      | Some e ->
-          pin_locked q e;
-          Mutex.unlock mu;
-          (e, true)
-      | None ->
-          if Hashtbl.mem inflight k then begin
-            Condition.wait inflight_cv mu;
-            loop ()
-          end
-          else begin
-            Hashtbl.replace inflight k ();
-            Mutex.unlock mu;
-            let e =
-              try
-                Code_cache.compile_uncached cache view ~backend
-                  ~params:q.q_params ~name plan
-              with exn ->
-                Mutex.lock mu;
-                Hashtbl.remove inflight k;
-                Condition.broadcast inflight_cv;
-                Mutex.unlock mu;
-                raise exn
-            in
-            Mutex.lock mu;
-            pin_locked q e;
-            Code_cache.insert cache k e;
-            Hashtbl.remove inflight k;
-            Condition.broadcast inflight_cv;
-            Mutex.unlock mu;
-            (e, false)
-          end
+    let e, hit =
+      Code_cache.get_or_compile cache view ~backend ~params:q.q_params ~stats
+        ~pin:true ~name plan
     in
-    loop ()
+    Mutex.protect mu (fun () -> q.q_pinned <- e :: q.q_pinned);
+    (e, hit)
   in
   (* Background compile body, run on a compile domain. The compiling
      domain holds a creation pin across the insert so the entry cannot be
@@ -375,7 +397,10 @@ let run ?cache db ~domains config stream =
   (* Execute [q] to completion starting on [e]'s module, hot-swapping at a
      quantum boundary if a background compile parks a stronger one. *)
   let run_exec q view (e : Code_cache.entry) =
-    let cq, cm, fresh = Code_cache.force cache view ~params:q.q_params e in
+    let cq, cm, fresh =
+      Code_cache.force cache view ~params:q.q_params ~claim:true e
+    in
+    q.q_claims <- (e, cm) :: q.q_claims;
     if fresh && Array.length q.q_params > 0 then
       q.q_compile_s <- q.q_compile_s +. Costmodel.bind_seconds;
     let ex = Exec.start view cq cm in
@@ -385,8 +410,9 @@ let run ?cache db ~domains config stream =
       (match Atomic.exchange q.q_swap None with
       | Some (nm, se) when not (Exec.finished ex) ->
           let _, scm, sfresh =
-            Code_cache.force cache view ~params:q.q_params se
+            Code_cache.force cache view ~params:q.q_params ~claim:true se
           in
+          q.q_claims <- (se, scm) :: q.q_claims;
           if sfresh && Array.length q.q_params > 0 then
             q.q_compile_s <- q.q_compile_s +. Costmodel.bind_seconds;
           Exec.swap ex scm;
@@ -397,8 +423,12 @@ let run ?cache db ~domains config stream =
             q.q_switch_s <- Some (Timing.now () -. t0 -. q.q_start)
       | _ -> ());
       match Exec.step ex ~morsel:config.morsel with
-      | `Done -> ()
+      | `Done ->
+          if q.q_first_s = None then
+            q.q_first_s <- Some (Timing.now () -. t0 -. q.q_arrival)
       | `Ran _ ->
+          if q.q_first_s = None then
+            q.q_first_s <- Some (Timing.now () -. t0 -. q.q_arrival);
           if reopt then consider_upgrade q view ex;
           loop ()
     in
@@ -410,14 +440,15 @@ let run ?cache db ~domains config stream =
       | None ->
           if q.q_started_tier0 then (Exec.quanta ex, 0) else (0, Exec.quanta ex)
     in
+    let finish = Timing.now () -. t0 in
     let qm =
       {
         qm_name = q.q_name;
         qm_fp = Fingerprint.plan q.q_plan;
         qm_backend = q.q_cur_tier;
-        qm_arrival = 0.0;
+        qm_arrival = q.q_arrival;
         qm_start = q.q_start;
-        qm_finish = Timing.now () -. t0;
+        qm_finish = finish;
         qm_compile_s = q.q_compile_s;
         qm_cache_hit = q.q_cache_hit;
         qm_switch_s = q.q_switch_s;
@@ -427,6 +458,11 @@ let run ?cache db ~domains config stream =
         qm_exec_cycles = r.Engine.exec_cycles;
         qm_rows = r.Engine.output_count;
         qm_checksum = Engine.checksum r.Engine.rows;
+        qm_tenant = q.q_tenant;
+        qm_first_s =
+          (match q.q_first_s with
+          | Some s -> s
+          | None -> finish -. q.q_arrival);
       }
     in
     Mutex.protect mu (fun () ->
@@ -555,15 +591,83 @@ let run ?cache db ~domains config stream =
               submit_bg q ~backend ~params:q.q_params ~name:q.q_name q.q_plan k;
               run_exec q view ie)
   in
+  (* The feeder releases requests open-loop at their arrival stamps: shed
+     or admit at the stamp, independent of worker progress. Sleeping
+     between releases (instead of workers polling a pre-filled queue) is
+     what lets idle workers block. *)
+  let feeder () =
+    let ordered =
+      List.stable_sort
+        (fun a b -> compare a.rq_arrival b.rq_arrival)
+        requests
+    in
+    List.iter
+      (fun rq ->
+        let dt = t0 +. rq.rq_arrival -. Timing.now () in
+        if dt > 0.0 then Unix.sleepf dt;
+        let shape, params = normalize_query config rq.rq_plan in
+        let q =
+          {
+            q_name = rq.rq_name;
+            q_plan = shape;
+            q_params = params;
+            q_exact = rq.rq_plan;
+            q_arrival = rq.rq_arrival;
+            q_tenant = rq.rq_tenant;
+            q_start = 0.0;
+            q_first_s = None;
+            q_compile_s = 0.0;
+            q_cache_hit = false;
+            q_cur_tier = "";
+            q_tiers = [];
+            q_upgrading = false;
+            q_swap = Atomic.make None;
+            q_switch_s = None;
+            q_started_tier0 = false;
+            q_pinned = [];
+            q_claims = [];
+            q_done = false;
+          }
+        in
+        Mutex.protect mu (fun () ->
+            if Admission.offer admission ~tenant:rq.rq_tenant q then
+              Condition.signal work_cv
+            else
+              sheds :=
+                {
+                  Report.sh_name = rq.rq_name;
+                  sh_tenant = rq.rq_tenant;
+                  sh_arrival = rq.rq_arrival;
+                }
+                :: !sheds))
+      ordered;
+    Mutex.protect mu (fun () ->
+        feeder_done := true;
+        Condition.broadcast work_cv)
+  in
+  (* Workers block on [work_cv] while the queue is empty — no mutex
+     polling, no spinning: an idle pool burns no host CPU. They exit when
+     the feeder has finished and the queue has drained. *)
   let worker () =
     let view = Engine.domain_view db in
     let rec loop () =
-      let next =
-        Mutex.protect mu (fun () ->
-            if Queue.is_empty admission then None
-            else Some (Queue.pop admission))
+      Mutex.lock mu;
+      let rec next () =
+        match Admission.take admission with
+        | Some q ->
+            Mutex.unlock mu;
+            Some q
+        | None ->
+            if !feeder_done then begin
+              Mutex.unlock mu;
+              None
+            end
+            else begin
+              Condition.wait work_cv mu;
+              next ()
+            end
       in
-      match next with
+      match next () with
       | None -> ()
       | Some q ->
           (try exec_query q view
@@ -600,7 +704,9 @@ let run ?cache db ~domains config stream =
   in
   let n_compile = match config.mode with Tiered -> config.compile_slots | _ -> 0 in
   let compilers = List.init n_compile (fun _ -> Domain.spawn compile_worker) in
+  let feeder_d = Domain.spawn feeder in
   let workers = List.init domains (fun _ -> Domain.spawn worker) in
+  Domain.join feeder_d;
   List.iter Domain.join workers;
   Mutex.protect mu (fun () ->
       compile_closed := true;
@@ -611,4 +717,9 @@ let run ?cache db ~domains config stream =
   Report.assemble db cache
     ~mode:(mode_name config.mode)
     ~makespan:(Timing.now () -. t0)
+    ~sheds:(List.rev !sheds)
+    ~queue_peak:(Admission.peak admission)
     queries
+
+let run ?cache db ~domains config stream =
+  run_requests ?cache db ~domains config (requests_of_stream config stream)

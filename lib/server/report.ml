@@ -28,9 +28,18 @@ type query_metrics = {
   qm_exec_cycles : int;
   qm_rows : int;
   qm_checksum : int64;
+  qm_tenant : int;  (** traffic-generator tenant tag (0 single-tenant) *)
+  qm_first_s : float;
+      (** enqueue -> first-row latency: arrival to the end of the quantum
+          that produced the first morsel of output *)
 }
 
 let qm_latency q = q.qm_finish -. q.qm_arrival
+
+(** A query the admission queue rejected at its cap: name, tenant and
+    arrival time — enough to account for it and (under the deterministic
+    driver) to assert the exact shed set. *)
+type shed = { sh_name : string; sh_tenant : int; sh_arrival : float }
 
 type t = {
   r_mode : string;
@@ -40,9 +49,20 @@ type t = {
   r_mean_latency : float;
   r_p50_latency : float;
   r_p95_latency : float;
+  r_p99_latency : float;
   r_max_latency : float;
+  r_p50_first_row : float;  (** enqueue -> first-row percentiles *)
+  r_p95_first_row : float;
+  r_p99_first_row : float;
+  r_compile_stall_s : float;
+      (** total foreground compile seconds charged on workers — time
+          queries stalled waiting on a compile instead of executing *)
   r_throughput : float;  (** completed queries per second *)
   r_switchovers : int;
+  r_sheds : shed list;  (** rejected at the admission cap, arrival order *)
+  r_queue_peak : int;  (** admission-queue occupancy high-water mark *)
+  r_lat_hist : Hist.t;  (** end-to-end latency histogram *)
+  r_first_hist : Hist.t;  (** first-row latency histogram *)
   r_cache : Lru.stats;
   r_bytes_freed : int;  (** code bytes returned to the region allocator *)
   r_live_code_bytes : int;  (** resident generated code at end of run *)
@@ -70,11 +90,17 @@ let percentile sorted p =
       let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
       sorted.(max 0 (min (n - 1) idx))
 
-let assemble db cache ~mode ~makespan queries =
+let assemble db cache ~mode ~makespan ?(sheds = []) ?(queue_peak = 0) queries =
   let lats = Array.of_list (List.map qm_latency queries) in
   Array.sort compare lats;
+  let firsts = Array.of_list (List.map (fun q -> q.qm_first_s) queries) in
+  Array.sort compare firsts;
   let n = List.length queries in
   let total_latency = Array.fold_left ( +. ) 0.0 lats in
+  let lat_hist = Hist.create () in
+  Array.iter (Hist.add lat_hist) lats;
+  let first_hist = Hist.create () in
+  Array.iter (Hist.add first_hist) firsts;
   {
     r_mode = mode;
     r_queries = queries;
@@ -83,11 +109,21 @@ let assemble db cache ~mode ~makespan queries =
     r_mean_latency = (if n > 0 then total_latency /. float_of_int n else 0.0);
     r_p50_latency = percentile lats 0.50;
     r_p95_latency = percentile lats 0.95;
+    r_p99_latency = percentile lats 0.99;
     r_max_latency =
       (if Array.length lats > 0 then lats.(Array.length lats - 1) else 0.0);
+    r_p50_first_row = percentile firsts 0.50;
+    r_p95_first_row = percentile firsts 0.95;
+    r_p99_first_row = percentile firsts 0.99;
+    r_compile_stall_s =
+      List.fold_left (fun acc q -> acc +. q.qm_compile_s) 0.0 queries;
     r_throughput = (if makespan > 0.0 then float_of_int n /. makespan else 0.0);
     r_switchovers =
       List.length (List.filter (fun q -> q.qm_switch_s <> None) queries);
+    r_sheds = sheds;
+    r_queue_peak = queue_peak;
+    r_lat_hist = lat_hist;
+    r_first_hist = first_hist;
     r_cache = Code_cache.stats cache;
     r_bytes_freed = (Code_cache.mem_stats cache).Code_cache.ms_bytes_freed;
     r_live_code_bytes = Qcomp_vm.Emu.live_code_bytes db.Engine.emu;
@@ -128,6 +164,13 @@ let pp ?(per_query = false) fmt r =
     r.r_p95_latency r.r_max_latency;
   Format.fprintf fmt "  throughput %.1f q/s  switchovers %d@." r.r_throughput
     r.r_switchovers;
+  Format.fprintf fmt
+    "  tail: p99 %.6fs  first-row p50 %.6fs  p95 %.6fs  p99 %.6fs  compile-stall %.6fs@."
+    r.r_p99_latency r.r_p50_first_row r.r_p95_first_row r.r_p99_first_row
+    r.r_compile_stall_s;
+  if r.r_sheds <> [] || r.r_queue_peak > 0 then
+    Format.fprintf fmt "  admission: shed %d  queue-peak %d@."
+      (List.length r.r_sheds) r.r_queue_peak;
   let s = r.r_cache in
   Format.fprintf fmt
     "  cache: hits %d  misses %d  hit-rate %.1f%%  entries %d  evictions %d  bytes %d (evicted %d)@."

@@ -24,9 +24,16 @@ type query_metrics = {
   qm_exec_cycles : int;
   qm_rows : int;
   qm_checksum : int64;
+  qm_tenant : int;  (** traffic-generator tenant tag (0 single-tenant) *)
+  qm_first_s : float;
+      (** enqueue -> first-row latency: arrival to the end of the quantum
+          that produced the first morsel of output *)
 }
 
 val qm_latency : query_metrics -> float
+
+(** A query the admission queue rejected at its cap. *)
+type shed = { sh_name : string; sh_tenant : int; sh_arrival : float }
 
 type t = {
   r_mode : string;
@@ -36,9 +43,20 @@ type t = {
   r_mean_latency : float;
   r_p50_latency : float;
   r_p95_latency : float;
+  r_p99_latency : float;
   r_max_latency : float;
+  r_p50_first_row : float;  (** enqueue -> first-row percentiles *)
+  r_p95_first_row : float;
+  r_p99_first_row : float;
+  r_compile_stall_s : float;
+      (** total foreground compile seconds charged on workers — time
+          queries stalled waiting on a compile instead of executing *)
   r_throughput : float;  (** completed queries per second *)
   r_switchovers : int;
+  r_sheds : shed list;  (** rejected at the admission cap, arrival order *)
+  r_queue_peak : int;  (** admission-queue occupancy high-water mark *)
+  r_lat_hist : Hist.t;  (** end-to-end latency histogram *)
+  r_first_hist : Hist.t;  (** first-row latency histogram *)
   r_cache : Lru.stats;
   r_bytes_freed : int;  (** code bytes returned to the region allocator *)
   r_live_code_bytes : int;  (** resident generated code at end of run *)
@@ -59,12 +77,16 @@ type t = {
 }
 
 (** Fold completion-order metrics plus end-of-run cache and memory state
-    into the summary. [mode] is the display name of the serving policy. *)
+    into the summary. [mode] is the display name of the serving policy;
+    [sheds] (arrival order) and [queue_peak] come from the driver's
+    admission queue. *)
 val assemble :
   Qcomp_engine.Engine.db ->
   Code_cache.t ->
   mode:string ->
   makespan:float ->
+  ?sheds:shed list ->
+  ?queue_peak:int ->
   query_metrics list ->
   t
 

@@ -1,9 +1,12 @@
 (** Deterministic multi-worker query serving with tiered execution.
 
     A serving run is one discrete-event cascade over {!Sim}'s virtual
-    clock: queries arrive on a deterministic (seeded) arrival process, wait
-    in an admission queue for one of [workers] execution workers, and run
-    morsel-by-morsel through {!Exec}. Three policies:
+    clock: queries arrive on a deterministic (seeded) arrival process —
+    or, via {!run_requests}, on an arbitrary pre-generated timed request
+    trace — pass the bounded multi-tenant {!Admission} queue (arrivals
+    beyond the cap are shed, deterministically: shed decisions depend only
+    on virtual-time queue occupancy), wait for one of [workers] execution
+    workers, and run morsel-by-morsel through {!Exec}. Three policies:
 
     - {b Static}: one fixed back-end; every query pays that back-end's full
       (modelled) compile time on its worker, then executes. This is the
@@ -22,8 +25,8 @@
 
     All durations are deterministic — modelled compile seconds
     ({!Costmodel}) and emulated execution cycles — so two runs with the
-    same seed produce byte-identical reports. Host wall-clock never enters
-    the virtual timeline. *)
+    same seed produce byte-identical reports, shed sets included. Host
+    wall-clock never enters the virtual timeline. *)
 
 open Qcomp_support
 open Qcomp_engine
@@ -55,6 +58,14 @@ type config = Pool.config = {
           of a compile. Static mode always stays exact. *)
   mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
   seed : int64;  (** drives the arrival process *)
+  admission_cap : int option;
+      (** bound on admission-queue occupancy; arrivals beyond it are shed
+          (rejected, counted, reported). [None] = unbounded *)
+  tenants : int;  (** tenant FIFOs in the admission queue (fair dequeue) *)
+  cache_shards : int;
+      (** hash shards of the code cache (when the driver creates it);
+          the discrete-event driver always serves from shard layout 1 —
+          sharding only pays under real parallelism *)
 }
 
 let default_config = Pool.default_config
@@ -78,9 +89,20 @@ type query_metrics = Report.query_metrics = {
   qm_exec_cycles : int;
   qm_rows : int;
   qm_checksum : int64;
+  qm_tenant : int;  (** traffic-generator tenant tag (0 single-tenant) *)
+  qm_first_s : float;
+      (** enqueue -> first-row latency: arrival to the end of the quantum
+          that produced the first morsel of output *)
 }
 
 let qm_latency = Report.qm_latency
+
+type request = Pool.request = {
+  rq_name : string;
+  rq_plan : Qcomp_plan.Algebra.t;
+  rq_arrival : float;  (** seconds after run start *)
+  rq_tenant : int;
+}
 
 type report = Report.t = {
   r_mode : string;
@@ -90,9 +112,20 @@ type report = Report.t = {
   r_mean_latency : float;
   r_p50_latency : float;
   r_p95_latency : float;
+  r_p99_latency : float;
   r_max_latency : float;
+  r_p50_first_row : float;  (** enqueue -> first-row percentiles *)
+  r_p95_first_row : float;
+  r_p99_first_row : float;
+  r_compile_stall_s : float;
+      (** total foreground compile seconds charged on workers — time
+          queries stalled waiting on a compile instead of executing *)
   r_throughput : float;  (** completed queries per virtual second *)
   r_switchovers : int;
+  r_sheds : Report.shed list;  (** rejected at the admission cap *)
+  r_queue_peak : int;  (** admission-queue occupancy high-water mark *)
+  r_lat_hist : Hist.t;  (** end-to-end latency histogram *)
+  r_first_hist : Hist.t;  (** first-row latency histogram *)
   r_cache : Lru.stats;
   r_bytes_freed : int;  (** code bytes returned to the region allocator *)
   r_live_code_bytes : int;  (** resident generated code at end of run *)
@@ -123,7 +156,9 @@ type qstate = {
       (** the original plan with literals in place — what rungs that
           cannot bind parameter holes compile (whole-plan fallback) *)
   q_arrival : float;
+  q_tenant : int;
   mutable q_start : float;
+  mutable q_first_s : float option;  (** enqueue -> first-row, once known *)
   mutable q_compile_s : float;
   mutable q_cache_hit : bool;
   (* the back-end currently executing the query's quanta, and the full
@@ -142,10 +177,19 @@ type qstate = {
      eviction can never free code that is still executing or parked for a
      hot-swap *)
   mutable q_pinned : Code_cache.entry list;
+  (* bound instances this query claimed via [force ~claim:true]; released
+     on finish so literal churn by interleaved queries cannot trim away a
+     module mid-execution *)
+  mutable q_claims : (Code_cache.entry * Qcomp_backend.Backend.compiled_module) list;
   mutable q_done : bool;
 }
 
-let run_events ?cache db config stream =
+(** Serve the timed [requests] as one deterministic discrete-event
+    cascade: each request is offered to the admission queue at its virtual
+    arrival time (shed at the cap — deterministically, since occupancy is
+    a pure function of the event history), dequeued tenant-fair, executed
+    morsel-by-morsel. *)
+let run_requests_events ?cache db config requests =
   Pool.validate_config ~driver:"Server.run" config;
   let sim = Sim.create () in
   let cache =
@@ -153,7 +197,10 @@ let run_events ?cache db config stream =
     | Some c -> c
     | None -> Code_cache.create ~capacity:config.cache_capacity
   in
-  let admission = Queue.create () in
+  let admission : qstate Admission.t =
+    Admission.create ?cap:config.admission_cap ~tenants:config.tenants ()
+  in
+  let sheds = ref [] in
   let free_workers = ref config.workers in
   let free_slots = ref config.compile_slots in
   let compile_jobs = Queue.create () in
@@ -168,6 +215,10 @@ let run_events ?cache db config stream =
   in
   let finish_metrics q (ex : Exec.t) =
     q.q_done <- true;
+    (* claims before pins: release may dispose an over-cap instance, which
+       must happen while its entry is still live *)
+    List.iter (fun (e, cm) -> Code_cache.release cache e cm) q.q_claims;
+    q.q_claims <- [];
     List.iter (fun e -> Code_cache.unpin cache e) q.q_pinned;
     q.q_pinned <- [];
     let r = Exec.result ex in
@@ -180,6 +231,7 @@ let run_events ?cache db config stream =
       | None ->
           if q.q_started_tier0 then (Exec.quanta ex, 0) else (0, Exec.quanta ex)
     in
+    let finish = Sim.now sim in
     done_q :=
       {
         qm_name = q.q_name;
@@ -187,7 +239,7 @@ let run_events ?cache db config stream =
         qm_backend = q.q_cur_tier;
         qm_arrival = q.q_arrival;
         qm_start = q.q_start;
-        qm_finish = Sim.now sim;
+        qm_finish = finish;
         qm_compile_s = q.q_compile_s;
         qm_cache_hit = q.q_cache_hit;
         qm_switch_s = q.q_switch_s;
@@ -197,6 +249,11 @@ let run_events ?cache db config stream =
         qm_exec_cycles = r.Engine.exec_cycles;
         qm_rows = r.Engine.output_count;
         qm_checksum = Engine.checksum r.Engine.rows;
+        qm_tenant = q.q_tenant;
+        qm_first_s =
+          (match q.q_first_s with
+          | Some s -> s
+          | None -> finish -. q.q_arrival);
       }
       :: !done_q
   in
@@ -232,12 +289,13 @@ let run_events ?cache db config stream =
         pump_compiles ()
   in
   let rec dispatch () =
-    if !free_workers > 0 && not (Queue.is_empty admission) then begin
-      decr free_workers;
-      let q = Queue.pop admission in
-      start_query q;
-      dispatch ()
-    end
+    if !free_workers > 0 then
+      match Admission.take admission with
+      | None -> ()
+      | Some q ->
+          decr free_workers;
+          start_query q;
+          dispatch ()
   and start_tier0 q =
     (* tier-0 start on interpreter bytecode, shared by the static-estimate
        and observation-driven Tiered paths; returns the entry and the
@@ -388,7 +446,10 @@ let run_events ?cache db config stream =
                   end);
               Sim.after sim icost (fun () -> begin_exec q ie))
   and begin_exec q (e : Code_cache.entry) =
-    let cq, cm, fresh = Code_cache.force cache db ~params:q.q_params e in
+    let cq, cm, fresh =
+      Code_cache.force cache db ~params:q.q_params ~claim:true e
+    in
+    q.q_claims <- (e, cm) :: q.q_claims;
     let ex = Exec.start db cq cm in
     if fresh && Array.length q.q_params > 0 then begin
       (* a fresh parameter bind is charged on the virtual clock, priced
@@ -456,9 +517,16 @@ let run_events ?cache db config stream =
                           q.q_swap_ready <- Some (nm, e)
                         end)))
   and quantum q ex =
+    (* entering a quantum event means the previous quantum just completed:
+       if it was the first, its output morsel marks first-row latency *)
+    if q.q_first_s = None && Exec.quanta ex > 0 then
+      q.q_first_s <- Some (Sim.now sim -. q.q_arrival);
     (match q.q_swap_ready with
     | Some (nm, e) when not (Exec.finished ex) ->
-        let _, cm, sfresh = Code_cache.force cache db ~params:q.q_params e in
+        let _, cm, sfresh =
+          Code_cache.force cache db ~params:q.q_params ~claim:true e
+        in
+        q.q_claims <- (e, cm) :: q.q_claims;
         if sfresh && Array.length q.q_params > 0 then
           q.q_compile_s <- q.q_compile_s +. Costmodel.bind_seconds;
         Exec.swap ex cm;
@@ -477,23 +545,22 @@ let run_events ?cache db config stream =
         dispatch ()
     | `Ran dc -> Sim.after sim (Engine.cycles_to_seconds dc) (fun () -> quantum q ex)
   in
-  (* deterministic arrival process: exponential gaps from the seeded rng
-     (or a packed burst at t=0 when mean_gap_s = 0) *)
-  let rng = Rng.create config.seed in
-  let t = ref 0.0 in
+  (* each request is offered at its virtual arrival time: shed-or-admit
+     depends only on queue occupancy at that instant, so same trace, same
+     cap -> same sheds, byte-identical reports *)
   List.iter
-    (fun (name, plan) ->
-      if config.mean_gap_s > 0.0 then
-        t := !t +. (-.config.mean_gap_s *. log (1.0 -. Rng.float rng));
-      let shape, params = Pool.normalize_query config plan in
+    (fun rq ->
+      let shape, params = Pool.normalize_query config rq.rq_plan in
       let q =
         {
-          q_name = name;
+          q_name = rq.rq_name;
           q_plan = shape;
           q_params = params;
-          q_exact = plan;
-          q_arrival = !t;
+          q_exact = rq.rq_plan;
+          q_arrival = rq.rq_arrival;
+          q_tenant = rq.rq_tenant;
           q_start = 0.0;
+          q_first_s = None;
           q_compile_s = 0.0;
           q_cache_hit = false;
           q_cur_tier = "";
@@ -503,19 +570,42 @@ let run_events ?cache db config stream =
           q_switch_s = None;
           q_started_tier0 = false;
           q_pinned = [];
+          q_claims = [];
           q_done = false;
         }
       in
-      Sim.at sim !t (fun () ->
-          Queue.push q admission;
-          dispatch ()))
-    stream;
+      Sim.at sim rq.rq_arrival (fun () ->
+          if Admission.offer admission ~tenant:rq.rq_tenant q then dispatch ()
+          else
+            sheds :=
+              {
+                Report.sh_name = rq.rq_name;
+                sh_tenant = rq.rq_tenant;
+                sh_arrival = rq.rq_arrival;
+              }
+              :: !sheds))
+    requests;
   Sim.run sim;
   let queries = List.rev !done_q in
   let makespan =
     List.fold_left (fun a q -> Float.max a q.qm_finish) 0.0 queries
   in
-  Report.assemble db cache ~mode:(mode_name config.mode) ~makespan queries
+  Report.assemble db cache ~mode:(mode_name config.mode) ~makespan
+    ~sheds:(List.rev !sheds)
+    ~queue_peak:(Admission.peak admission)
+    queries
+
+let run_events ?cache db config stream =
+  run_requests_events ?cache db config (Pool.requests_of_stream config stream)
+
+(** Serve the timed [requests]. Without [parallel], one deterministic
+    discrete-event cascade over the virtual clock (sheds included). With
+    [~parallel:domains], open-loop wall-clock serving on that many worker
+    domains ({!Pool.run_requests}). *)
+let run_requests ?cache ?parallel db config requests =
+  match parallel with
+  | None -> run_requests_events ?cache db config requests
+  | Some domains -> Pool.run_requests ?cache db ~domains config requests
 
 (** Serve [stream]. Without [parallel], one deterministic discrete-event
     cascade over the virtual clock. With [~parallel:domains], the queries

@@ -1,12 +1,15 @@
 (** Deterministic multi-worker query serving with tiered execution.
 
-    Queries arrive on a seeded arrival process, wait in an admission queue
-    for an execution worker, and run morsel-by-morsel. Policies: [Static]
-    (fixed back-end, full compile charge per query), [Cached] (adaptive
-    back-end fronted by the fingerprint-keyed code cache), [Tiered] (start
-    on interpreter bytecode, hot-swap to the adaptively-chosen back-end
+    Queries arrive on a seeded arrival process (or an arbitrary timed
+    request trace), pass the bounded multi-tenant admission queue —
+    arrivals beyond the cap are shed, deterministically, since occupancy
+    is a pure function of the virtual-time event history — wait for an
+    execution worker, and run morsel-by-morsel. Policies: [Static] (fixed
+    back-end, full compile charge per query), [Cached] (adaptive back-end
+    fronted by the fingerprint-keyed code cache), [Tiered] (start on
+    interpreter bytecode, hot-swap to the adaptively-chosen back-end
     compiled on a background pool). All durations are deterministic, so
-    same-seed runs produce byte-identical reports. *)
+    same-seed runs produce byte-identical reports, shed sets included. *)
 
 type mode = Pool.mode =
   | Static of Qcomp_backend.Backend.t
@@ -31,9 +34,17 @@ type config = Pool.config = {
           always serves exact plans regardless *)
   mean_gap_s : float;  (** mean inter-arrival gap; 0 = all arrive at t=0 *)
   seed : int64;  (** drives the arrival process *)
+  admission_cap : int option;
+      (** bound on admission-queue occupancy; arrivals beyond it are shed
+          (rejected, counted, reported). [None] = unbounded *)
+  tenants : int;  (** tenant FIFOs in the admission queue (fair dequeue) *)
+  cache_shards : int;
+      (** hash shards of the code cache (when the driver creates it);
+          1 = the deterministic single-lock layout *)
 }
 
-(** Tiered, 4 workers, 2 compile slots, 512-row morsels. *)
+(** Tiered, 4 workers, 2 compile slots, 512-row morsels, unbounded
+    admission, 1 tenant, 1 cache shard. *)
 val default_config : config
 
 type query_metrics = Report.query_metrics = {
@@ -55,9 +66,21 @@ type query_metrics = Report.query_metrics = {
   qm_exec_cycles : int;
   qm_rows : int;
   qm_checksum : int64;
+  qm_tenant : int;  (** traffic-generator tenant tag (0 single-tenant) *)
+  qm_first_s : float;
+      (** enqueue -> first-row latency: arrival to the end of the quantum
+          that produced the first morsel of output *)
 }
 
 val qm_latency : query_metrics -> float
+
+(** One timed request of an open-loop workload (see {!Pool.request}). *)
+type request = Pool.request = {
+  rq_name : string;
+  rq_plan : Qcomp_plan.Algebra.t;
+  rq_arrival : float;  (** seconds after run start *)
+  rq_tenant : int;
+}
 
 type report = Report.t = {
   r_mode : string;
@@ -67,9 +90,20 @@ type report = Report.t = {
   r_mean_latency : float;
   r_p50_latency : float;
   r_p95_latency : float;
+  r_p99_latency : float;
   r_max_latency : float;
+  r_p50_first_row : float;  (** enqueue -> first-row percentiles *)
+  r_p95_first_row : float;
+  r_p99_first_row : float;
+  r_compile_stall_s : float;
+      (** total foreground compile seconds charged on workers — time
+          queries stalled waiting on a compile instead of executing *)
   r_throughput : float;  (** completed queries per virtual second *)
   r_switchovers : int;
+  r_sheds : Report.shed list;  (** rejected at the admission cap *)
+  r_queue_peak : int;  (** admission-queue occupancy high-water mark *)
+  r_lat_hist : Hist.t;  (** end-to-end latency histogram *)
+  r_first_hist : Hist.t;  (** first-row latency histogram *)
   r_cache : Lru.stats;
   r_bytes_freed : int;  (** code bytes returned to the region allocator *)
   r_live_code_bytes : int;  (** resident generated code at end of run *)
@@ -104,6 +138,22 @@ val run :
   Qcomp_engine.Engine.db ->
   config ->
   (string * Qcomp_plan.Algebra.t) list ->
+  report
+
+(** Serve a timed open-loop request trace (e.g. from
+    {!Qcomp_workloads.Trafficgen}): each request is offered to the
+    admission queue at its arrival stamp, shed at the cap, dequeued
+    tenant-fair. Without [parallel], deterministic discrete-event serving
+    — same trace, same config, byte-identical report including the shed
+    set. With [~parallel:domains], open-loop wall-clock serving
+    ({!Pool.run_requests}): a feeder domain releases requests at their
+    stamps, idle workers block on a condition variable. *)
+val run_requests :
+  ?cache:Code_cache.t ->
+  ?parallel:int ->
+  Qcomp_engine.Engine.db ->
+  config ->
+  request list ->
   report
 
 val pp_query : Format.formatter -> query_metrics -> unit

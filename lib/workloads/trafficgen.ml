@@ -1,0 +1,90 @@
+(** Open-loop traffic generation: timed, tenant-tagged arrival traces over
+    a query pool.
+
+    A serving benchmark needs traffic that does not wait for the server —
+    an {e open-loop} arrival process releases request [i] at a
+    pre-computed timestamp regardless of how far the server has fallen
+    behind, which is what exposes queueing delay, tail latency and the
+    need for admission control. This module generates such traces
+    deterministically (seeded) so the same trace can be replayed against
+    the discrete-event scheduler (byte-identical reports) and the
+    wall-clock pool.
+
+    Two arrival processes:
+    - {b Poisson}: independent exponential gaps at a target rate — the
+      classic memoryless client population.
+    - {b Burst}: the same exponential gaps, plus an idle pause injected
+      after every [burst] arrivals — a square-wave load that alternates
+      between a rate the server cannot sustain and silence. Under an
+      admission cap this sheds during bursts and drains during pauses.
+
+    Popularity over the pool is Zipf(1.1)-skewed (rank 1 dominates, long
+    tail), matching the skew real plan-cache traffic shows; tenants are
+    drawn uniformly. *)
+
+open Qcomp_support
+
+type arrival =
+  | Poisson of { qps : float }
+      (** exponential inter-arrival gaps with mean [1/qps] *)
+  | Burst of { qps : float; burst : int; idle_s : float }
+      (** exponential gaps at [qps] within a burst of [burst] arrivals,
+          then [idle_s] of silence before the next burst *)
+
+let arrival_name = function
+  | Poisson { qps } -> Printf.sprintf "poisson(%.0f qps)" qps
+  | Burst { qps; burst; idle_s } ->
+      Printf.sprintf "burst(%.0f qps x %d, idle %.3fs)" qps burst idle_s
+
+(* Zipf(s = 1.1) cumulative distribution over ranks 0..n-1 (same law the
+   literal workload uses, but over the whole query pool). *)
+let zipf_cdf n =
+  let s = 1.1 in
+  let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let zipf_draw cdf rng =
+  let u = Rng.float rng in
+  let rec go i = if i >= Array.length cdf - 1 || u < cdf.(i) then i else go (i + 1) in
+  go 0
+
+(* Exponential gap with the given mean; [1.0 -. u] keeps log's argument in
+   (0, 1]. *)
+let exp_gap rng mean = -.mean *. log (1.0 -. Rng.float rng)
+
+(** [stream ~arrival ~seed ~n ?tenants pool] is [n] timed requests in
+    arrival order over the (name, plan) [pool]: arrival times from the
+    seeded [arrival] process, query popularity Zipf(1.1) over the pool's
+    order (earlier entries are hotter), tenants uniform over
+    [0..tenants-1]. Raises [Invalid_argument] on an empty pool, a
+    non-positive rate, or [tenants < 1]. *)
+let stream ~arrival ~seed ~n ?(tenants = 1) pool =
+  if pool = [] then invalid_arg "Trafficgen.stream: empty query pool";
+  if tenants < 1 then invalid_arg "Trafficgen.stream: tenants must be positive";
+  (match arrival with
+  | Poisson { qps } ->
+      if qps <= 0.0 then invalid_arg "Trafficgen.stream: qps must be positive"
+  | Burst { qps; burst; idle_s } ->
+      if qps <= 0.0 then invalid_arg "Trafficgen.stream: qps must be positive";
+      if burst < 1 then invalid_arg "Trafficgen.stream: burst must be positive";
+      if idle_s < 0.0 then
+        invalid_arg "Trafficgen.stream: idle_s must be non-negative");
+  let rng = Rng.create seed in
+  let arr = Array.of_list pool in
+  let cdf = zipf_cdf (Array.length arr) in
+  let t = ref 0.0 in
+  List.init n (fun i ->
+      (match arrival with
+      | Poisson { qps } -> t := !t +. exp_gap rng (1.0 /. qps)
+      | Burst { qps; burst; idle_s } ->
+          if i > 0 && i mod burst = 0 then t := !t +. idle_s;
+          t := !t +. exp_gap rng (1.0 /. qps));
+      let name, plan = arr.(zipf_draw cdf rng) in
+      let tenant = if tenants = 1 then 0 else Rng.int rng tenants in
+      (name, plan, !t, tenant))

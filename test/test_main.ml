@@ -31,4 +31,5 @@ let () =
       ("emu-oracle", Test_emu_oracle.suite);
       ("server", Test_server.suite);
       ("param", Test_param.suite);
+      ("load", Test_load.suite);
     ]
