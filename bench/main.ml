@@ -1172,6 +1172,163 @@ let serve_load () =
     || not repeat_identical
   then exit 1
 
+(* Tagged-probe hash table: cycles per probe on three TPC-H joins —
+   match-heavy (spread keys, every probe finds its order), miss-heavy
+   (build keys offset into a disjoint key space, every probe misses a
+   half-full table) and dense-key (raw serial orderkeys, served by the
+   direct-address layout)
+   — each executed under the Legacy table profile (the pre-tag baseline)
+   and the Tagged profile in one process. Cycle counts come from the
+   runtime's probe statistics, so they measure exactly the table, not the
+   surrounding operators. Gates: >= 25% fewer cycles per probe on the
+   miss-heavy join; the dense-key join actually served by direct
+   addressing; identical sorted result multisets between the profiles on
+   every join and every back-end. Recorded as BENCH_join.json. *)
+let bench_join () =
+  header "Join probes: tagged filtering and direct addressing vs baseline";
+  let module A = Qcomp_plan.Algebra in
+  let module E = Qcomp_plan.Expr in
+  let module Ht = Qcomp_runtime.Htable in
+  let sf = 8 in
+  let li = Qcomp_workloads.Tpch.li and od = Qcomp_workloads.Tpch.od in
+  let orders_scan = A.Scan { table = "orders"; filter = None } in
+  let lineitem_scan = A.Scan { table = "lineitem"; filter = None } in
+  let spread c = E.(c *% int64 131_071L) in
+  let joins =
+    [
+      ( "match_heavy",
+        A.Hash_join
+          {
+            build = orders_scan;
+            probe = lineitem_scan;
+            build_keys = [ spread (E.col (od "o_orderkey")) ];
+            probe_keys = [ spread (E.col (li "l_orderkey")) ];
+          } );
+      ( "miss_heavy",
+        (* build keys offset into a disjoint key space: every probe
+           misses, against a table holding all orders at ~50% load — the
+           no-match path the tag filter exists for *)
+        A.Hash_join
+          {
+            build = orders_scan;
+            probe = lineitem_scan;
+            build_keys = [ E.(spread (col (od "o_orderkey")) +% int64 7L) ];
+            probe_keys = [ spread (E.col (li "l_orderkey")) ];
+          } );
+      ( "dense_key",
+        A.Hash_join
+          {
+            build = orders_scan;
+            probe = lineitem_scan;
+            build_keys = [ E.col (od "o_orderkey") ];
+            probe_keys = [ E.col (li "l_orderkey") ];
+          } );
+    ]
+  in
+  let backends =
+    [
+      ("interpreter", Engine.interpreter); ("stencil", Engine.stencil);
+      ("directemit", Engine.directemit); ("cranelift", Engine.cranelift);
+      ("llvm-opt", Engine.llvm_opt); ("gcc", Engine.gcc);
+    ]
+  in
+  (* sorted-multiset checksum: Direct tables emit rows in insertion order
+     rather than slot order, so profiles agree on the multiset, not
+     necessarily on row order *)
+  let multiset_checksum rows = Engine.checksum (List.sort compare rows) in
+  let measure profile backend name plan =
+    Ht.set_profile profile;
+    let db = Experiments.make_db Target.x64 Experiments.Tpch ~sf in
+    let timing = Timing.create ~enabled:false () in
+    let s0 = Ht.stats () in
+    let r, _, cm = Engine.run_plan db ~backend ~timing ~name plan in
+    let s1 = Ht.stats () in
+    Engine.dispose_module db cm;
+    Ht.set_profile Ht.Tagged;
+    ( multiset_checksum r.Engine.rows,
+      r.Engine.output_count,
+      r.Engine.exec_cycles,
+      s1.Ht.probes - s0.Ht.probes,
+      s1.Ht.probe_cycles - s0.Ht.probe_cycles,
+      s1.Ht.direct_probes - s0.Ht.direct_probes )
+  in
+  let results =
+    List.map
+      (fun (jname, plan) ->
+        (* cycle comparison on the stencil tier; identity on all tiers *)
+        let _, _, _, lp, lc, _ =
+          measure Ht.Legacy Engine.stencil jname plan
+        in
+        let _, _, ec, tp, tc, dp =
+          measure Ht.Tagged Engine.stencil jname plan
+        in
+        let cpp_legacy = float_of_int lc /. float_of_int (max 1 lp) in
+        let cpp_tagged = float_of_int tc /. float_of_int (max 1 tp) in
+        let identical =
+          List.for_all
+            (fun (_, backend) ->
+              let cs_l, n_l, _, _, _, _ =
+                measure Ht.Legacy backend jname plan
+              in
+              let cs_t, n_t, _, _, _, _ =
+                measure Ht.Tagged backend jname plan
+              in
+              cs_l = cs_t && n_l = n_t)
+            backends
+        in
+        Printf.printf
+          "%-12s legacy %.2f cyc/probe (%d probes)  tagged %.2f cyc/probe \
+           (%d probes, %d direct)  %+.1f%%  identical across back-ends: %b\n"
+          jname cpp_legacy lp cpp_tagged tp dp
+          (100.0 *. ((cpp_tagged /. cpp_legacy) -. 1.0))
+          identical;
+        (jname, cpp_legacy, cpp_tagged, lp, tp, dp, ec, identical))
+      joins
+  in
+  let find name =
+    List.find (fun (n, _, _, _, _, _, _, _) -> n = name) results
+  in
+  let _, miss_l, miss_t, _, _, _, _, _ = find "miss_heavy" in
+  let _, _, _, _, dense_probes, dense_direct, _, _ = find "dense_key" in
+  let improvement = 1.0 -. (miss_t /. miss_l) in
+  let all_identical =
+    List.for_all (fun (_, _, _, _, _, _, _, ok) -> ok) results
+  in
+  let direct_served = dense_direct >= dense_probes / 2 in
+  Printf.printf
+    "summary: miss-heavy improvement %.1f%% (>= 25%%) -> %s\n\
+    \  dense-key probes served direct: %d/%d -> %s\n\
+    \  result multisets identical (all joins, all back-ends) -> %s\n"
+    (100.0 *. improvement)
+    (if improvement >= 0.25 then "OK" else "VIOLATION")
+    dense_direct dense_probes
+    (if direct_served then "OK" else "VIOLATION")
+    (if all_identical then "OK" else "VIOLATION");
+  let oc = open_out "BENCH_join.json" in
+  Printf.fprintf oc "{\n  \"workload\": \"tpch\",\n  \"sf\": %d,\n" sf;
+  Printf.fprintf oc "  \"joins\": {\n";
+  List.iteri
+    (fun i (jname, cl, ct, lp, tp, dp, ec, ok) ->
+      Printf.fprintf oc
+        "    \"%s\": {\n\
+        \      \"legacy_cycles_per_probe\": %.3f,\n\
+        \      \"tagged_cycles_per_probe\": %.3f,\n\
+        \      \"legacy_probes\": %d,\n\
+        \      \"tagged_probes\": %d,\n\
+        \      \"direct_probes\": %d,\n\
+        \      \"exec_cycles_tagged\": %d,\n\
+        \      \"identical_across_backends\": %b\n    }%s\n"
+        jname cl ct lp tp dp ec ok
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"miss_heavy_improvement\": %.4f,\n" improvement;
+  Printf.fprintf oc "  \"all_identical\": %b\n}\n" all_identical;
+  close_out oc;
+  Printf.printf "wrote BENCH_join.json\n";
+  if improvement < 0.25 || (not direct_served) || not all_identical then
+    exit 1
+
 (* ---------------- driver ---------------- *)
 
 let experiments =
@@ -1192,6 +1349,7 @@ let experiments =
     ("serve-param", serve_param);
     ("serve-scaling", serve_scaling);
     ("serve-load", serve_load);
+    ("join", bench_join);
     ("fallbacks", fallbacks);
     ("ablation-struct", ablation_struct);
     ("ablation-codemodel", ablation_codemodel);

@@ -21,6 +21,7 @@ let () =
         r.Engine.exec_cycles (Qcomp_vm.Emu.instructions_executed db.Engine.emu)
         cm.Qcomp_backend.Backend.cm_code_size r.Engine.output_count;
       Engine.dispose_module db cm)
-    [ ("interp", Engine.interpreter); ("directemit", Engine.directemit);
+    [ ("interp", Engine.interpreter); ("stencil", Engine.stencil);
+      ("directemit", Engine.directemit);
       ("cranelift", Engine.cranelift); ("llvm-cheap", Engine.llvm_cheap);
       ("llvm-opt", Engine.llvm_opt); ("gcc", Engine.gcc) ]

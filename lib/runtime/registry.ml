@@ -46,15 +46,19 @@ let functions target : (string * (Emu.t -> unit)) list =
         Emu.charge e (20 + (n / 64));
         ret e (Int64.of_int (Memory.alloc (Emu.memory e) n)) );
     (* ---- hash table ---- *)
+    (* The hash-table functions charge whatever the table implementation
+       returns: the cycle model lives in {!Htable} next to the layout it
+       prices (tag-filtered probes, direct addressing, arena zeroing). *)
     ( "umbra_htCreate",
       fun e ->
         let payload = Int64.to_int (arg e 0) in
         let hint = Int64.to_int (arg e 1) in
-        Emu.charge e 200;
-        ret e
-          (Int64.of_int
-             (Htable.create (Emu.memory e) ~payload_size:payload
-                ~capacity_hint:hint)) );
+        let ht, cost =
+          Htable.create (Emu.memory e) ~payload_size:payload
+            ~capacity_hint:hint
+        in
+        Emu.charge e cost;
+        ret e (Int64.of_int ht) );
     ( "umbra_htInsert",
       fun e ->
         let ht = Int64.to_int (arg e 0) in
@@ -68,15 +72,15 @@ let functions target : (string * (Emu.t -> unit)) list =
         let ht = Int64.to_int (arg e 0) in
         (if Sys.getenv_opt "QC_TRACE_HT" <> None then
            Printf.eprintf "htLookup ht=%d hash=%Ld\n%!" ht (arg e 1));
-        let entry, probes = Htable.lookup (Emu.memory e) ht (arg e 1) in
-        Emu.charge e (8 + (4 * probes));
+        let entry, cost = Htable.lookup (Emu.memory e) ht (arg e 1) in
+        Emu.charge e cost;
         ret e (Int64.of_int entry) );
     ( "umbra_htNext",
       fun e ->
         let ht = Int64.to_int (arg e 0) in
         let entry = Int64.to_int (arg e 1) in
-        let next, probes = Htable.next (Emu.memory e) ht entry (arg e 2) in
-        Emu.charge e (6 + (4 * probes));
+        let next, cost = Htable.next (Emu.memory e) ht entry (arg e 2) in
+        Emu.charge e cost;
         ret e (Int64.of_int next) );
     (* ---- tuple buffers ---- *)
     ( "umbra_bufCreate",

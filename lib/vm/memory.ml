@@ -119,7 +119,10 @@ let alloc t ?(align = 16) n =
 (** Return a block from {!alloc} to the [(align, size)] free list. The
     block is zero-filled here so the next {!alloc} of the same shape sees
     the fresh-memory invariant. The caller must own the block and never
-    touch it again — there is no double-free detection. *)
+    touch it again — there is no double-free detection. If the calling
+    domain's active scope recorded the block, the record is dropped, so a
+    runtime structure may retire an arena early (hash-table growth) while
+    the scope still reclaims whatever is left at query teardown. *)
 let free t ~addr ~size ~align =
   if size > 0 then begin
     check t addr size;
@@ -129,7 +132,10 @@ let free t ~addr ~size ~align =
         | Some l -> l := addr :: !l
         | None -> Hashtbl.replace t.free_lists (align, size) (ref [ addr ]));
         t.live_data <- t.live_data - size;
-        t.freed_data <- t.freed_data + size)
+        t.freed_data <- t.freed_data + size);
+    match !(Domain.DLS.get scope_key) with
+    | Some sc -> sc := List.filter (fun (a, _, _) -> a <> addr) !sc
+    | None -> ()
   end
 
 (** Free every block recorded in [sc] and empty it. *)

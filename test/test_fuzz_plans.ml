@@ -116,6 +116,27 @@ let gen_plan =
               probe_keys = [ keys ];
             })
         (oneofl [ Expr.col 0; Expr.col 1 ]);
+      (* spread keys: values span millions, defeating the hash table's
+         direct-address window so the tagged probe path is exercised *)
+      map
+        (fun pred ->
+          Algebra.Hash_join
+            {
+              build = Algebra.Filter { input = scan; pred };
+              probe = scan;
+              build_keys = [ Expr.(col 0 *% int64 131071L) ];
+              probe_keys = [ Expr.(col 0 *% int64 131071L) ];
+            })
+        gen_pred;
+      (* multi-key join: combined hashes, duplicate chains per pair *)
+      return
+        (Algebra.Hash_join
+           {
+             build = Algebra.Filter { input = scan; pred = Expr.(col 0 >% int64 0L) };
+             probe = scan;
+             build_keys = [ Expr.col 0; Expr.col 1 ];
+             probe_keys = [ Expr.col 0; Expr.col 1 ];
+           });
     ]
 
 (* ---- printers for counterexamples ---- *)

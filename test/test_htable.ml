@@ -1,0 +1,397 @@
+(* The tagged-probe / direct-address hash table runtime: layout selection
+   and fallback, duplicate-chain order across growth, tag false-positive
+   bounds, probe-cost calibration, zeroing charges, the stale-address
+   guard, and the grow-leak regression. *)
+
+open Qcomp_vm
+open Qcomp_runtime
+module Hashes = Qcomp_support.Hashes
+
+let check = Alcotest.check
+let fresh_mem () = Memory.create (1 lsl 24)
+
+let with_profile p f =
+  Htable.set_profile p;
+  Fun.protect ~finally:(fun () -> Htable.set_profile Htable.Tagged) f
+
+let unhash =
+  match Hashes.unhash64_opt with
+  | Some f -> f
+  | None -> fun _ -> Alcotest.fail "unhash64 unavailable for these seeds"
+
+(* a spread 64-bit value whose unhash is pseudorandom (combined hashes
+   never unhash to anything dense) *)
+let scrambled i = Hashes.combine (Hashes.hash64 (Int64.of_int i)) 0x5BD1E995L
+
+let mode_cases =
+  [
+    Alcotest.test_case "unhash64 inverts hash64" `Quick (fun () ->
+        List.iter
+          (fun x ->
+            check Alcotest.int64 "roundtrip" x (unhash (Hashes.hash64 x)))
+          [ 0L; 1L; -1L; 42L; Int64.min_int; Int64.max_int; 0xDEADBEEFL ];
+        for i = 0 to 999 do
+          let x = Hashes.hash64 (Int64.of_int (i * 7919)) in
+          check Alcotest.int64 "roundtrip rand" x (unhash (Hashes.hash64 x))
+        done);
+    Alcotest.test_case "dense integer keys select direct addressing" `Quick
+      (fun () ->
+        let m = fresh_mem () in
+        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+        for k = 0 to 999 do
+          let p, _ = Htable.insert m ht (Hashes.hash64 (Int64.of_int k)) in
+          Memory.store64 m p (Int64.of_int (k * 3))
+        done;
+        check Alcotest.bool "direct" true (Htable.mode m ht = `Direct);
+        check Alcotest.int "count" 1000 (Htable.count m ht);
+        for k = 0 to 999 do
+          let e, _ = Htable.lookup m ht (Hashes.hash64 (Int64.of_int k)) in
+          check Alcotest.bool "found" true (e <> 0);
+          check Alcotest.int64 "payload" (Int64.of_int (k * 3))
+            (Memory.load64 m (e + 8))
+        done;
+        (* absent keys: in-range gaps and out-of-range both miss *)
+        let e, c = Htable.lookup m ht (Hashes.hash64 123456789L) in
+        check Alcotest.int "range miss" 0 e;
+        check Alcotest.bool "range miss is cheap" true (c <= 3));
+    Alcotest.test_case "sparse keys fall back to tagged mid-build" `Quick
+      (fun () ->
+        let m = fresh_mem () in
+        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+        let keys =
+          List.init 100 (fun k -> Int64.of_int k) @ [ 10_000_000L ]
+        in
+        List.iteri
+          (fun i k ->
+            let p, _ = Htable.insert m ht (Hashes.hash64 k) in
+            Memory.store64 m p (Int64.of_int i))
+          keys;
+        check Alcotest.bool "tagged after outlier" true
+          (Htable.mode m ht = `Tagged);
+        List.iteri
+          (fun i k ->
+            let e, _ = Htable.lookup m ht (Hashes.hash64 k) in
+            check Alcotest.bool "found" true (e <> 0);
+            check Alcotest.int64 "payload survives migration"
+              (Int64.of_int i)
+              (Memory.load64 m (e + 8)))
+          keys);
+    Alcotest.test_case "direct/tagged/legacy lookup equivalence" `Quick
+      (fun () ->
+        (* same inserts under all three layouts must expose the same
+           per-key payload multisets *)
+        let keys =
+          List.init 200 (fun k -> Int64.of_int (k mod 120))
+          (* dups: 80 keys twice *)
+        in
+        let collect profile extra =
+          with_profile profile (fun () ->
+              let m = fresh_mem () in
+              let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+              List.iteri
+                (fun i k ->
+                  let p, _ = Htable.insert m ht (Hashes.hash64 k) in
+                  Memory.store64 m p (Int64.of_int i))
+                (keys @ extra);
+              List.map
+                (fun k ->
+                  let h = Hashes.hash64 k in
+                  let rec walk e acc =
+                    if e = 0 then List.rev acc
+                    else
+                      let v = Memory.load64 m (e + 8) in
+                      let e', _ = Htable.next m ht e h in
+                      walk e' (v :: acc)
+                  in
+                  let e, _ = Htable.lookup m ht h in
+                  (k, walk e []))
+                (List.sort_uniq compare (keys @ extra)))
+        in
+        let direct = collect Htable.Tagged [] in
+        let fallback = collect Htable.Tagged [ 99_999_999L ] in
+        let legacy = collect Htable.Legacy [] in
+        List.iter2
+          (fun (k, a) (k', b) ->
+            check Alcotest.int64 "same key" k k';
+            check Alcotest.(list int64) "direct = legacy chains" a b)
+          direct legacy;
+        List.iter
+          (fun (k, chain) ->
+            if not (Int64.equal k 99_999_999L) then
+              check Alcotest.(list int64) "fallback chain matches"
+                (List.assoc k direct) chain)
+          fallback);
+  ]
+
+let chain_cases =
+  let dup_chain_test name profile keys =
+    Alcotest.test_case name `Quick (fun () ->
+        with_profile profile (fun () ->
+            let m = fresh_mem () in
+            let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+            (* three duplicates per key, interleaved so several grows land
+               mid-stream; payload encodes (key, dup ordinal) *)
+            List.iter
+              (fun d ->
+                List.iter
+                  (fun k ->
+                    let p, _ = Htable.insert m ht (Hashes.hash64 k) in
+                    Memory.store64 m p Int64.(add (mul k 10L) (of_int d)))
+                  keys)
+              [ 0; 1; 2 ];
+            check Alcotest.bool "grew" true
+              (Htable.capacity m ht > 16 || Htable.count m ht <= 11);
+            List.iter
+              (fun k ->
+                let h = Hashes.hash64 k in
+                let e1, _ = Htable.lookup m ht h in
+                let e2, _ = Htable.next m ht e1 h in
+                let e3, _ = Htable.next m ht e2 h in
+                let e4, _ = Htable.next m ht e3 h in
+                check Alcotest.int "chain exhausted" 0 e4;
+                check
+                  Alcotest.(list int64)
+                  "insertion order preserved across grow"
+                  Int64.[ mul k 10L; add (mul k 10L) 1L; add (mul k 10L) 2L ]
+                  (List.map (fun e -> Memory.load64 m (e + 8)) [ e1; e2; e3 ]))
+              keys))
+  in
+  [
+    dup_chain_test "duplicate chain order across grow (tagged)" Htable.Tagged
+      (List.init 60 (fun i -> Int64.of_int ((i * 131071) + 7)));
+    dup_chain_test "duplicate chain order across grow (direct)" Htable.Tagged
+      (List.init 60 (fun i -> Int64.of_int i));
+    dup_chain_test "duplicate chain order across grow (legacy)" Htable.Legacy
+      (List.init 60 (fun i -> Int64.of_int ((i * 131071) + 7)));
+  ]
+
+let probe_cases =
+  [
+    Alcotest.test_case "tag false-positive rate is bounded" `Quick (fun () ->
+        let m = fresh_mem () in
+        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+        for i = 0 to 4095 do
+          ignore (Htable.insert m ht (scrambled i))
+        done;
+        check Alcotest.bool "tagged" true (Htable.mode m ht = `Tagged);
+        let s0 = Htable.stats () in
+        let misses = 4096 in
+        for i = 0 to misses - 1 do
+          let e, _ = Htable.lookup m ht (scrambled (1_000_000 + i)) in
+          check Alcotest.int "absent" 0 e
+        done;
+        let s1 = Htable.stats () in
+        let hits = s1.Htable.tag_hits - s0.Htable.tag_hits in
+        let words = s1.Htable.tag_words - s0.Htable.tag_words in
+        (* each scanned word covers 4 slots; a 16-bit tag false-positives
+           at ~2^-16 per occupied slot, so even with the forced-nonzero
+           fold the expected count here is < 1. Allow a loose 16. *)
+        check Alcotest.bool
+          (Printf.sprintf "few false positives (%d hits / %d words)" hits
+             words)
+          true
+          (hits <= 16);
+        (* the whole point: a miss probe costs ~7 cycles, not 12+ *)
+        let cycles =
+          s1.Htable.probe_cycles - s0.Htable.probe_cycles
+        in
+        check Alcotest.bool
+          (Printf.sprintf "miss probes are cheap (%d cycles / %d probes)"
+             cycles misses)
+          true
+          (cycles < 9 * misses));
+    Alcotest.test_case "lookup/next probe cost monotone and calibrated"
+      `Quick (fun () ->
+        let walk_costs ?(force_tagged = false) profile k dups =
+          with_profile profile (fun () ->
+              let m = fresh_mem () in
+              let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:64 in
+              (* a single repeated key keeps the direct window at span 0;
+                 two far-apart warm-up keys force the tagged fallback *)
+              if force_tagged then begin
+                ignore (Htable.insert m ht (Hashes.hash64 7L));
+                ignore (Htable.insert m ht (Hashes.hash64 777_777_777L));
+                check Alcotest.bool "fallback forced" true
+                  (Htable.mode m ht <> `Direct)
+              end;
+              let h = Hashes.hash64 k in
+              for _ = 1 to dups do
+                ignore (Htable.insert m ht h)
+              done;
+              let e0, c0 = Htable.lookup m ht h in
+              let rec walk e acc =
+                let e', c = Htable.next m ht e h in
+                if e' = 0 then List.rev (c :: acc) else walk e' (c :: acc)
+              in
+              (c0, walk e0 []))
+          (* per-step costs, last one is the exhausted probe *)
+        in
+        let dups = 12 in
+        let c0, steps =
+          walk_costs ~force_tagged:true Htable.Tagged 987_654_321L dups
+        in
+        check Alcotest.int "chain length" dups (List.length steps);
+        check Alcotest.bool "tagged lookup base" true (c0 >= 6 && c0 <= 14);
+        List.iter
+          (fun c -> check Alcotest.bool "tagged step bounded" true (c >= 4 && c <= 14))
+          steps;
+        (* cumulative cost is strictly monotone in chain position *)
+        let _ =
+          List.fold_left
+            (fun acc c ->
+              let acc' = acc + c in
+              check Alcotest.bool "monotone" true (acc' > acc);
+              acc')
+            c0 steps
+        in
+        let c0d, steps_d = walk_costs Htable.Tagged 5L dups in
+        check Alcotest.bool "direct lookup flat" true (c0d <= 5);
+        List.iter
+          (fun c -> check Alcotest.int "direct step is 3" 3 c)
+          steps_d;
+        let c0l, steps_l = walk_costs Htable.Legacy 987_654_321L dups in
+        check Alcotest.int "legacy lookup base" 8 c0l;
+        (* legacy: consecutive dups sit in adjacent slots: 6 + 4*0 *)
+        List.iter
+          (fun c -> check Alcotest.bool "legacy step" true (c >= 6))
+          steps_l);
+    Alcotest.test_case "legacy profile preserves pre-tag charges" `Quick
+      (fun () ->
+        with_profile Htable.Legacy (fun () ->
+            let m = fresh_mem () in
+            let ht, ccost = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+            check Alcotest.int "create 200" 200 ccost;
+            let _, icost = Htable.insert m ht 0xABCL in
+            check Alcotest.int "insert 10" 10 icost;
+            let e, lcost = Htable.lookup m ht 0xABCL in
+            check Alcotest.bool "found" true (e <> 0);
+            check Alcotest.int "lookup 8" 8 lcost;
+            let _, ncost = Htable.next m ht e 0xABCL in
+            check Alcotest.int "next 6" 6 ncost));
+  ]
+
+let accounting_cases =
+  [
+    Alcotest.test_case "create and growth charge for arena zeroing" `Quick
+      (fun () ->
+        let m = fresh_mem () in
+        let ht, cost = Htable.create m ~payload_size:8 ~capacity_hint:1024 in
+        let esz = Htable.entry_size m ht in
+        check Alcotest.bool
+          (Printf.sprintf "create charges zeroing (%d)" cost)
+          true
+          (cost >= 200 + (1024 * esz / 32));
+        (* force fallback then growth; the growing insert must charge at
+           least the fresh arena's zero cost *)
+        let max_insert = ref 0 in
+        for i = 0 to 2999 do
+          let _, c = Htable.insert m ht (scrambled i) in
+          if c > !max_insert then max_insert := c
+        done;
+        let cap = Htable.capacity m ht in
+        check Alcotest.bool "grew" true (cap * esz > 1024 * esz);
+        check Alcotest.bool
+          (Printf.sprintf "grow insert charged zeroing (max %d)" !max_insert)
+          true
+          (!max_insert >= cap * esz / 32));
+    Alcotest.test_case "grow frees the old arena (leak regression)" `Quick
+      (fun () ->
+        let m = fresh_mem () in
+        let live0 = Memory.live_data_bytes m in
+        let freed0 = Memory.freed_data_bytes m in
+        let ht, _ = Htable.create m ~payload_size:16 ~capacity_hint:16 in
+        for i = 0 to 4999 do
+          ignore (Htable.insert m ht (scrambled i))
+        done;
+        let esz = Htable.entry_size m ht in
+        let cap = Htable.capacity m ht in
+        let live = Memory.live_data_bytes m - live0 in
+        (* live = header + current arena + tag array; every older arena
+           must have been freed *)
+        check Alcotest.bool
+          (Printf.sprintf "no abandoned arenas (live %d, arena %d)" live
+             (cap * esz))
+          true
+          (live <= 64 + (cap * esz) + (cap * 2) + 512);
+        check Alcotest.bool "growth freed bytes" true
+          (Memory.freed_data_bytes m > freed0));
+    Alcotest.test_case "zero net growth across 100 grow cycles" `Quick
+      (fun () ->
+        let m = fresh_mem () in
+        let live0 = Memory.live_data_bytes m in
+        let s0 = Htable.stats () in
+        for _round = 1 to 12 do
+          let scope = Memory.new_scope () in
+          Memory.with_scope scope (fun () ->
+              let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+              (* 3000 sparse keys drive 16 -> 8192: nine grows per round *)
+              for i = 0 to 2999 do
+                ignore (Htable.insert m ht (scrambled i))
+              done);
+          Memory.free_scope m scope;
+          check Alcotest.int "live returns to baseline" live0
+            (Memory.live_data_bytes m)
+        done;
+        let s1 = Htable.stats () in
+        check Alcotest.bool "exercised 100+ grows" true
+          (s1.Htable.grows - s0.Htable.grows >= 100));
+  ]
+
+let guard_cases =
+  [
+    Alcotest.test_case "stale entry address after grow is rejected" `Quick
+      (fun () ->
+        let m = fresh_mem () in
+        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+        let h = scrambled 1 in
+        ignore (Htable.insert m ht h);
+        let e, _ = Htable.lookup m ht h in
+        check Alcotest.bool "found" true (e <> 0);
+        (* grow several times: the old arena is freed and recycled *)
+        for i = 2 to 2000 do
+          ignore (Htable.insert m ht (scrambled i))
+        done;
+        (match Htable.next m ht e h with
+        | exception Qcomp_runtime.Rt_error.Query_error msg ->
+            check Alcotest.bool "mentions staleness" true
+              (String.length msg > 0)
+        | e', _ ->
+            (* only acceptable if the address is coincidentally still a
+               valid slot of the *current* arena — never silent garbage *)
+            Alcotest.failf "stale next returned 0x%x" e');
+        (* a fresh lookup still works *)
+        let e2, _ = Htable.lookup m ht h in
+        check Alcotest.bool "fresh lookup fine" true (e2 <> 0));
+    Alcotest.test_case "zero hash is normalized in every layout" `Quick
+      (fun () ->
+        List.iter
+          (fun profile ->
+            with_profile profile (fun () ->
+                let m = fresh_mem () in
+                let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+                let p, _ = Htable.insert m ht 0L in
+                Memory.store64 m p 9L;
+                let e, _ = Htable.lookup m ht 0L in
+                check Alcotest.bool "found" true (e <> 0);
+                check Alcotest.int64 "payload" 9L (Memory.load64 m (e + 8))))
+          [ Htable.Legacy; Htable.Tagged ]);
+    Alcotest.test_case "iter visits every payload once (direct + tagged)"
+      `Quick (fun () ->
+        List.iter
+          (fun mk ->
+            let m = fresh_mem () in
+            let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+            for i = 1 to 40 do
+              let p, _ = Htable.insert m ht (mk i) in
+              Memory.store64 m p (Int64.of_int i)
+            done;
+            let seen = Hashtbl.create 40 in
+            Htable.iter m ht (fun p ->
+                Hashtbl.replace seen (Memory.load64 m p) ());
+            check Alcotest.int "40 distinct" 40 (Hashtbl.length seen))
+          [ (fun i -> Hashes.hash64 (Int64.of_int i)) (* direct *);
+            (fun i -> scrambled i) (* tagged *) ]);
+  ]
+
+let suite =
+  mode_cases @ chain_cases @ probe_cases @ accounting_cases @ guard_cases

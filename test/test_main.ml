@@ -13,6 +13,7 @@ let () =
       ("asm", Test_asm.suite);
       ("emu", Test_emu.suite);
       ("runtime", Test_runtime.suite);
+      ("htable", Test_htable.suite);
       ("expr", Test_expr.suite);
       ("storage", Test_storage.suite);
       ("codegen", Test_codegen.suite);
