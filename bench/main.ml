@@ -447,25 +447,25 @@ let serve () =
     List.fold_left
       (fun acc r ->
         match acc with
-        | Some (b : Server.report) when b.Server.r_total_latency <= r.Server.r_total_latency -> acc
+        | Some (b : Server.report) when b.Report.r_total_latency <= r.Report.r_total_latency -> acc
         | _ -> Some r)
       None statics
   in
   (match best_static with
   | Some b ->
       let hit_rate =
-        let s = tiered.Server.r_cache in
+        let s = tiered.Report.r_cache in
         if s.Lru.hits + s.Lru.misses > 0 then
           100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
         else 0.0
       in
       Printf.printf
         "summary: tiered total latency %.6fs vs best static (%s) %.6fs -> %s; cache hit rate %.1f%% -> %s\n"
-        tiered.Server.r_total_latency b.Server.r_mode b.Server.r_total_latency
-        (if tiered.Server.r_total_latency <= b.Server.r_total_latency then "OK"
+        tiered.Report.r_total_latency b.Report.r_mode b.Report.r_total_latency
+        (if tiered.Report.r_total_latency <= b.Report.r_total_latency then "OK"
          else "VIOLATION")
         hit_rate
-        (if tiered.Server.r_cache.Lru.hits > 0 then "OK" else "VIOLATION")
+        (if tiered.Report.r_cache.Lru.hits > 0 then "OK" else "VIOLATION")
   | None -> ())
 
 (* Static-estimate Tiered vs the observation-driven tier controller
@@ -516,9 +516,9 @@ let serve_reopt () =
   let total (r : Server.report) =
     List.fold_left
       (fun acc (q : Server.query_metrics) ->
-        acc +. q.Server.qm_compile_s
-        +. Engine.cycles_to_seconds q.Server.qm_exec_cycles)
-      0.0 r.Server.r_queries
+        acc +. q.Report.qm_compile_s
+        +. Engine.cycles_to_seconds q.Report.qm_exec_cycles)
+      0.0 r.Report.r_queries
   in
   (* queries the controller carried past what the static estimate would
      have picked: the under-prediction cases the reopt mode exists for *)
@@ -526,15 +526,15 @@ let serve_reopt () =
     List.sort_uniq compare
       (List.filter_map
          (fun (q : Server.query_metrics) ->
-           let plan = List.assoc q.Server.qm_name queries in
+           let plan = List.assoc q.Report.qm_name queries in
            let static_pick, _ = Engine.adaptive_backend rdb plan in
            let stronger = List.map fst (Engine.stronger_than rdb static_pick) in
            if
-             List.length q.Server.qm_tiers > 1
-             && List.mem q.Server.qm_backend stronger
-           then Some (q.Server.qm_name, static_pick, q.Server.qm_backend)
+             List.length q.Report.qm_tiers > 1
+             && List.mem q.Report.qm_backend stronger
+           then Some (q.Report.qm_name, static_pick, q.Report.qm_backend)
            else None)
-         reopt_r.Server.r_queries)
+         reopt_r.Report.r_queries)
   in
   List.iter
     (fun (nm, static_pick, final) ->
@@ -546,8 +546,8 @@ let serve_reopt () =
     List.sort compare
       (List.map
          (fun (q : Server.query_metrics) ->
-           (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
-         r.Server.r_queries)
+           (q.Report.qm_name, q.Report.qm_rows, q.Report.qm_checksum))
+         r.Report.r_queries)
   in
   if multiset static_r <> multiset reopt_r then begin
     Printf.printf "VIOLATION: reopt rows/checksums differ from static Tiered\n";
@@ -584,11 +584,11 @@ let serve_persist () =
   let snap = Filename.temp_file "qcomp_snapshot" ".qcss" in
   let fg_compile (r : Server.report) =
     List.fold_left
-      (fun a (q : Server.query_metrics) -> a +. q.Server.qm_compile_s)
-      0.0 r.Server.r_queries
+      (fun a (q : Server.query_metrics) -> a +. q.Report.qm_compile_s)
+      0.0 r.Report.r_queries
   in
   let hit_rate (r : Server.report) =
-    let s = r.Server.r_cache in
+    let s = r.Report.r_cache in
     if s.Lru.hits + s.Lru.misses > 0 then
       100.0 *. float_of_int s.Lru.hits /. float_of_int (s.Lru.hits + s.Lru.misses)
     else 0.0
@@ -597,8 +597,8 @@ let serve_persist () =
     List.sort compare
       (List.map
          (fun (q : Server.query_metrics) ->
-           (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
-         r.Server.r_queries)
+           (q.Report.qm_name, q.Report.qm_rows, q.Report.qm_checksum))
+         r.Report.r_queries)
   in
   let db = Experiments.make_db Target.x64 Experiments.Tpch ~sf:sf_tpch_small in
   let cache = Code_cache.create ~capacity:config.Server.cache_capacity in
@@ -665,11 +665,11 @@ let serve_param () =
   in
   let fg_compile (r : Server.report) =
     List.fold_left
-      (fun a (q : Server.query_metrics) -> a +. q.Server.qm_compile_s)
-      0.0 r.Server.r_queries
+      (fun a (q : Server.query_metrics) -> a +. q.Report.qm_compile_s)
+      0.0 r.Report.r_queries
   in
   let hit_rate (r : Server.report) =
-    let s = r.Server.r_cache in
+    let s = r.Report.r_cache in
     if s.Lru.hits + s.Lru.misses > 0 then
       100.0 *. float_of_int s.Lru.hits
       /. float_of_int (s.Lru.hits + s.Lru.misses)
@@ -679,8 +679,8 @@ let serve_param () =
     List.sort compare
       (List.map
          (fun (q : Server.query_metrics) ->
-           (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
-         r.Server.r_queries)
+           (q.Report.qm_name, q.Report.qm_rows, q.Report.qm_checksum))
+         r.Report.r_queries)
   in
   let base = run ~paramize:false in
   let param = run ~paramize:true in
@@ -694,7 +694,7 @@ let serve_param () =
   let shapes = Qcomp_workloads.Paramgen.shape_count in
   (* in Cached mode every miss is a foreground back-end compile; with the
      shape key there must be at most one per shape *)
-  let no_recompiles = param.Server.r_cache.Lru.misses <= shapes in
+  let no_recompiles = param.Report.r_cache.Lru.misses <= shapes in
   Printf.printf
     "summary: %d queries (%d distinct plans, %d shapes)\n\
     \  foreground compile %.6fs per-query-keyed vs %.6fs shape-keyed \
@@ -704,9 +704,9 @@ let serve_param () =
     \  results identical -> %s\n"
     n distinct shapes bs ps reduction
     (if reduction >= 5.0 then "OK" else "VIOLATION")
-    param.Server.r_cache.Lru.misses shapes
+    param.Report.r_cache.Lru.misses shapes
     (if no_recompiles then "OK" else "VIOLATION")
-    param.Server.r_shape_hits param.Server.r_exact_hits param.Server.r_binds
+    param.Report.r_shape_hits param.Report.r_exact_hits param.Report.r_binds
     (if identical then "OK" else "VIOLATION");
   let oc = open_out "BENCH_param.json" in
   Printf.fprintf oc "{\n";
@@ -719,11 +719,11 @@ let serve_param () =
   Printf.fprintf oc "  \"hit_rate_per_query_keyed\": %.1f,\n" (hit_rate base);
   Printf.fprintf oc "  \"hit_rate_shape_keyed\": %.1f,\n" (hit_rate param);
   Printf.fprintf oc "  \"shape_keyed_compiles\": %d,\n"
-    param.Server.r_cache.Lru.misses;
-  Printf.fprintf oc "  \"shape_hits\": %d,\n" param.Server.r_shape_hits;
-  Printf.fprintf oc "  \"exact_hits\": %d,\n" param.Server.r_exact_hits;
-  Printf.fprintf oc "  \"binds\": %d,\n" param.Server.r_binds;
-  Printf.fprintf oc "  \"bind_s\": %.6f,\n" param.Server.r_bind_s;
+    param.Report.r_cache.Lru.misses;
+  Printf.fprintf oc "  \"shape_hits\": %d,\n" param.Report.r_shape_hits;
+  Printf.fprintf oc "  \"exact_hits\": %d,\n" param.Report.r_exact_hits;
+  Printf.fprintf oc "  \"binds\": %d,\n" param.Report.r_binds;
+  Printf.fprintf oc "  \"bind_s\": %.6f,\n" param.Report.r_bind_s;
   Printf.fprintf oc "  \"results_identical\": %b\n}\n" identical;
   close_out oc;
   Printf.printf "wrote BENCH_param.json\n";
@@ -756,8 +756,8 @@ let serve_scaling () =
     List.sort compare
       (List.map
          (fun (q : Server.query_metrics) ->
-           (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
-         r.Server.r_queries)
+           (q.Report.qm_name, q.Report.qm_rows, q.Report.qm_checksum))
+         r.Report.r_queries)
   in
   let baseline = ref None in
   List.iter
@@ -766,8 +766,8 @@ let serve_scaling () =
         Experiments.make_db Target.x64 Experiments.Tpcds ~sf:sf_tpch_small
       in
       let r = Server.run ~parallel:domains db cfg stream in
-      Printf.printf "%-10d %12.3f %14.1f\n" domains r.Server.r_makespan
-        r.Server.r_throughput;
+      Printf.printf "%-10d %12.3f %14.1f\n" domains r.Report.r_makespan
+        r.Report.r_throughput;
       match !baseline with
       | None -> baseline := Some (multiset r)
       | Some b ->
@@ -1072,10 +1072,10 @@ let serve_load () =
   show "overload uncapped (differential baseline)" uncapped;
   show "steady on 2-domain pool (wall-clock), cap n+1" pool;
   let ordered (r : Server.report) =
-    if r.Server.r_p99_latency >= r.Server.r_p95_latency
-       && r.Server.r_p95_latency >= r.Server.r_p50_latency
-       && r.Server.r_p99_first_row >= r.Server.r_p95_first_row
-       && r.Server.r_p95_first_row >= r.Server.r_p50_first_row
+    if r.Report.r_p99_latency >= r.Report.r_p95_latency
+       && r.Report.r_p95_latency >= r.Report.r_p50_latency
+       && r.Report.r_p99_first_row >= r.Report.r_p95_first_row
+       && r.Report.r_p95_first_row >= r.Report.r_p50_first_row
     then true
     else false
   in
@@ -1087,8 +1087,8 @@ let serve_load () =
     List.sort compare
       (List.map
          (fun (q : Server.query_metrics) ->
-           (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
-         r.Server.r_queries)
+           (q.Report.qm_name, q.Report.qm_rows, q.Report.qm_checksum))
+         r.Report.r_queries)
   in
   let uncapped_set = by_name uncapped in
   let admitted_identical =
@@ -1097,11 +1097,11 @@ let serve_load () =
   (* same seed, same cap -> byte-identical report, shed set included *)
   let repeat_identical =
     by_name overload = by_name overload2
-    && overload.Server.r_sheds = overload2.Server.r_sheds
-    && overload.Server.r_queue_peak = overload2.Server.r_queue_peak
-    && overload.Server.r_makespan = overload2.Server.r_makespan
+    && overload.Report.r_sheds = overload2.Report.r_sheds
+    && overload.Report.r_queue_peak = overload2.Report.r_queue_peak
+    && overload.Report.r_makespan = overload2.Report.r_makespan
   in
-  let sheds r = List.length r.Server.r_sheds in
+  let sheds r = List.length r.Report.r_sheds in
   let gate ok = if ok then "OK" else "VIOLATION" in
   Printf.printf
     "summary: %d requests, %d tenants\n\
@@ -1117,32 +1117,32 @@ let serve_load () =
     (gate (sheds pool = 0))
     (sheds overload)
     (gate (sheds overload > 0))
-    overload.Server.r_queue_peak cap
-    (gate (overload.Server.r_queue_peak <= cap))
+    overload.Report.r_queue_peak cap
+    (gate (overload.Report.r_queue_peak <= cap))
     (sheds uncapped)
     (gate (sheds uncapped = 0))
     (gate admitted_identical) (gate percentiles_ok) (gate repeat_identical);
   let scenario oc name (r : Server.report) =
     Printf.fprintf oc "  \"%s\": {\n" name;
     Printf.fprintf oc "    \"completed\": %d,\n"
-      (List.length r.Server.r_queries);
+      (List.length r.Report.r_queries);
     Printf.fprintf oc "    \"shed\": %d,\n" (sheds r);
-    Printf.fprintf oc "    \"queue_peak\": %d,\n" r.Server.r_queue_peak;
-    Printf.fprintf oc "    \"p50_s\": %.6f,\n" r.Server.r_p50_latency;
-    Printf.fprintf oc "    \"p95_s\": %.6f,\n" r.Server.r_p95_latency;
-    Printf.fprintf oc "    \"p99_s\": %.6f,\n" r.Server.r_p99_latency;
-    Printf.fprintf oc "    \"max_s\": %.6f,\n" r.Server.r_max_latency;
-    Printf.fprintf oc "    \"mean_s\": %.6f,\n" r.Server.r_mean_latency;
+    Printf.fprintf oc "    \"queue_peak\": %d,\n" r.Report.r_queue_peak;
+    Printf.fprintf oc "    \"p50_s\": %.6f,\n" r.Report.r_p50_latency;
+    Printf.fprintf oc "    \"p95_s\": %.6f,\n" r.Report.r_p95_latency;
+    Printf.fprintf oc "    \"p99_s\": %.6f,\n" r.Report.r_p99_latency;
+    Printf.fprintf oc "    \"max_s\": %.6f,\n" r.Report.r_max_latency;
+    Printf.fprintf oc "    \"mean_s\": %.6f,\n" r.Report.r_mean_latency;
     Printf.fprintf oc "    \"p50_first_row_s\": %.6f,\n"
-      r.Server.r_p50_first_row;
+      r.Report.r_p50_first_row;
     Printf.fprintf oc "    \"p95_first_row_s\": %.6f,\n"
-      r.Server.r_p95_first_row;
+      r.Report.r_p95_first_row;
     Printf.fprintf oc "    \"p99_first_row_s\": %.6f,\n"
-      r.Server.r_p99_first_row;
+      r.Report.r_p99_first_row;
     Printf.fprintf oc "    \"compile_stall_s\": %.6f,\n"
-      r.Server.r_compile_stall_s;
+      r.Report.r_compile_stall_s;
     Printf.fprintf oc "    \"hist_samples\": %d\n"
-      (Hist.count r.Server.r_lat_hist);
+      (Hist.count r.Report.r_lat_hist);
     Printf.fprintf oc "  }"
   in
   let oc = open_out "BENCH_load.json" in
@@ -1165,7 +1165,7 @@ let serve_load () =
   Printf.printf "wrote BENCH_load.json\n";
   if
     sheds steady <> 0 || sheds pool <> 0 || sheds overload = 0
-    || overload.Server.r_queue_peak > cap
+    || overload.Report.r_queue_peak > cap
     || sheds uncapped <> 0
     || (not admitted_identical)
     || (not percentiles_ok)
@@ -1237,14 +1237,14 @@ let bench_join () =
      necessarily on row order *)
   let multiset_checksum rows = Engine.checksum (List.sort compare rows) in
   let measure profile backend name plan =
-    Ht.set_profile profile;
-    let db = Experiments.make_db Target.x64 Experiments.Tpch ~sf in
+    (* the profile is an instance-creation property now, not a global
+       toggle: build the database under the profile being measured *)
+    let db = Experiments.make_db ~ht_profile:profile Target.x64 Experiments.Tpch ~sf in
     let timing = Timing.create ~enabled:false () in
     let s0 = Ht.stats () in
     let r, _, cm = Engine.run_plan db ~backend ~timing ~name plan in
     let s1 = Ht.stats () in
     Engine.dispose_module db cm;
-    Ht.set_profile Ht.Tagged;
     ( multiset_checksum r.Engine.rows,
       r.Engine.output_count,
       r.Engine.exec_cycles,
@@ -1329,6 +1329,104 @@ let bench_join () =
   if improvement < 0.25 || (not direct_served) || not all_identical then
     exit 1
 
+(* Intra-query morsel-driven parallelism: simulated wall-clock cycles of
+   heavy TPC-H queries at 1/2/4 lanes on one compiled module. Gate: the
+   scan-dominated aggregate (q01) must clear a 1.5x wall-cycle speedup at
+   4 lanes, and every lane count must reproduce the serial multiset.
+   Recorded as BENCH_morsel.json. *)
+let bench_morsel () =
+  let open Qcomp_server in
+  header "Morsel-driven intra-query parallelism: wall cycles vs lanes";
+  let sf = 6 in
+  let db = Experiments.make_db Target.x64 Experiments.Tpch ~sf in
+  let timing = Timing.create ~enabled:false () in
+  let queries =
+    List.filter
+      (fun (q : Qcomp_workloads.Spec.query) ->
+        List.mem q.Qcomp_workloads.Spec.q_name [ "q01"; "q03"; "q06"; "q18" ])
+      (Experiments.queries_of Experiments.Tpch)
+  in
+  let lane_counts = [ 1; 2; 4 ] in
+  let scheds =
+    List.map
+      (fun lanes ->
+        ( lanes,
+          if lanes > 1 then
+            Some (Morsel_sched.create ~parallel:false db ~lanes)
+          else None ))
+      lane_counts
+  in
+  let multiset_checksum rows = Engine.checksum (List.sort compare rows) in
+  let results =
+    List.map
+      (fun (q : Qcomp_workloads.Spec.query) ->
+        let name = q.Qcomp_workloads.Spec.q_name in
+        Engine.with_compiled db ~backend:Engine.stencil ~timing ~name
+          q.Qcomp_workloads.Spec.q_plan (fun cq cm _ ->
+            let runs =
+              List.map
+                (fun (lanes, sched) ->
+                  let ex = Exec.start ?sched db cq cm in
+                  Exec.run_to_end ex ~morsel:512;
+                  let r = Exec.result ex in
+                  let wall = Exec.wall_cycles ex in
+                  Exec.dispose ex;
+                  (lanes, wall, multiset_checksum r.Engine.rows,
+                   r.Engine.output_count))
+                scheds
+            in
+            let _, w1, sum1, _ = List.hd runs in
+            let identical =
+              List.for_all (fun (_, _, s, _) -> Int64.equal s sum1) runs
+            in
+            let _, w4, _, _ = List.nth runs (List.length runs - 1) in
+            let speedup = float_of_int w1 /. float_of_int (max 1 w4) in
+            Printf.printf "%-4s  wall cycles" name;
+            List.iter
+              (fun (lanes, w, _, _) -> Printf.printf "  @%d: %9d" lanes w)
+              runs;
+            Printf.printf "  speedup@4: %.2fx  multisets %s\n" speedup
+              (if identical then "identical" else "DIVERGED");
+            (name, runs, speedup, identical)))
+      queries
+  in
+  let heavy_speedup =
+    match List.find_opt (fun (n, _, _, _) -> n = "q01") results with
+    | Some (_, _, s, _) -> s
+    | None -> 0.0
+  in
+  let all_identical = List.for_all (fun (_, _, _, ok) -> ok) results in
+  line ();
+  Printf.printf
+    "heavy query (q01) wall-cycle speedup at 4 lanes: %.2fx (gate 1.50x) -> \
+     %s\nresult multisets identical at every lane count -> %s\n"
+    heavy_speedup
+    (if heavy_speedup >= 1.5 then "OK" else "VIOLATION")
+    (if all_identical then "OK" else "VIOLATION");
+  let oc = open_out "BENCH_morsel.json" in
+  Printf.fprintf oc "{\n  \"workload\": \"tpch\",\n  \"sf\": %d,\n" sf;
+  Printf.fprintf oc "  \"backend\": \"stencil\",\n  \"queries\": {\n";
+  List.iteri
+    (fun i (name, runs, speedup, identical) ->
+      Printf.fprintf oc "    \"%s\": {\n      \"wall_cycles\": {" name;
+      List.iteri
+        (fun j (lanes, w, _, _) ->
+          Printf.fprintf oc "%s\"%d\": %d"
+            (if j = 0 then "" else ", ")
+            lanes w)
+        runs;
+      Printf.fprintf oc
+        "},\n      \"speedup_at_4\": %.4f,\n      \"identical\": %b\n    }%s\n"
+        speedup identical
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"heavy_speedup_at_4\": %.4f,\n" heavy_speedup;
+  Printf.fprintf oc "  \"all_identical\": %b\n}\n" all_identical;
+  close_out oc;
+  Printf.printf "wrote BENCH_morsel.json\n";
+  if heavy_speedup < 1.5 || not all_identical then exit 1
+
 (* ---------------- driver ---------------- *)
 
 let experiments =
@@ -1350,6 +1448,7 @@ let experiments =
     ("serve-scaling", serve_scaling);
     ("serve-load", serve_load);
     ("join", bench_join);
+    ("morsel", bench_morsel);
     ("fallbacks", fallbacks);
     ("ablation-struct", ablation_struct);
     ("ablation-codemodel", ablation_codemodel);

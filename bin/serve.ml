@@ -20,6 +20,10 @@
                         discrete-event scheduler (timings become wall-clock)
        --slots C        background compile slots (default 2)
        --morsel M       rows per execution quantum (default 512)
+       --intra N        intra-query lanes: parallelizable pipeline bodies
+                        fan each quantum's morsels out over N lanes
+                        (simulated deterministically on the event driver,
+                        real nested domains under --domains; default 1)
        --cache N        module-cache capacity in entries (default 64)
        --cache-shards S hash shards of the code cache (default 1; >1 only
                         pays under --domains)
@@ -57,7 +61,8 @@ let usage () =
   prerr_endline
     "usage: serve [tpch|tpcds|zipf] [--mode tiered|cached|static:<backend>]\n\
     \             [--reopt] [--no-paramize] [--queries N] [--workers W]\n\
-    \             [--domains N] [--slots C] [--morsel M] [--cache N]\n\
+    \             [--domains N] [--slots C] [--morsel M] [--intra N]\n\
+    \             [--cache N]\n\
     \             [--cache-shards S] [--sf K] [--gap-us G]\n\
     \             [--arrival poisson|burst] [--qps Q] [--burst B]\n\
     \             [--idle-us I] [--admission-cap N] [--tenants T]\n\
@@ -153,6 +158,9 @@ let () =
         parse rest
     | "--morsel" :: v :: rest ->
         cfg := { !cfg with Server.morsel = pos_arg "--morsel" v };
+        parse rest
+    | "--intra" :: v :: rest ->
+        cfg := { !cfg with Server.intra = pos_arg "--intra" v };
         parse rest
     | "--cache" :: v :: rest ->
         cfg := { !cfg with Server.cache_capacity = pos_arg "--cache" v };
@@ -294,25 +302,25 @@ let () =
        off their starting tier, and how far *)
     let upgraded =
       List.filter
-        (fun (q : Server.query_metrics) -> List.length q.Server.qm_tiers > 1)
-        report.Server.r_queries
+        (fun (q : Server.query_metrics) -> List.length q.Report.qm_tiers > 1)
+        report.Report.r_queries
     in
     let multi =
       List.filter
-        (fun (q : Server.query_metrics) -> List.length q.Server.qm_tiers > 2)
+        (fun (q : Server.query_metrics) -> List.length q.Report.qm_tiers > 2)
         upgraded
     in
     List.iter
       (fun (q : Server.query_metrics) ->
-        Printf.printf "  reopt %-8s %s%s\n" q.Server.qm_name
-          (String.concat " -> " q.Server.qm_tiers)
-          (match q.Server.qm_switch_s with
+        Printf.printf "  reopt %-8s %s%s\n" q.Report.qm_name
+          (String.concat " -> " q.Report.qm_tiers)
+          (match q.Report.qm_switch_s with
           | Some s -> Printf.sprintf "  (first swap @%.6fs)" s
           | None -> ""))
       upgraded;
     Printf.printf "  reopt: %d/%d queries upgraded mid-flight (%d more than once)\n"
       (List.length upgraded)
-      (List.length report.Server.r_queries)
+      (List.length report.Report.r_queries)
       (List.length multi)
   end;
   if !domains > 0 && !validate then begin
@@ -331,19 +339,19 @@ let () =
        the per-name checksum validation below still covers every completed
        query *)
     let shed_either =
-      report.Server.r_sheds <> [] || sreport.Server.r_sheds <> []
+      report.Report.r_sheds <> [] || sreport.Report.r_sheds <> []
     in
     if shed_either then
       Printf.printf
         "validate: sheds occurred (parallel %d, sequential %d) — skipping \
          multiset comparison, per-result checksums still checked\n"
-        (List.length report.Server.r_sheds)
-        (List.length sreport.Server.r_sheds)
+        (List.length report.Report.r_sheds)
+        (List.length sreport.Report.r_sheds)
     else begin
       let key (q : Server.query_metrics) =
-        (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum)
+        (q.Report.qm_name, q.Report.qm_rows, q.Report.qm_checksum)
       in
-      let multiset r = List.sort compare (List.map key r.Server.r_queries) in
+      let multiset r = List.sort compare (List.map key r.Report.r_queries) in
       if multiset report <> multiset sreport then begin
         Printf.printf
           "PARALLEL MISMATCH: per-query (name, rows, checksum) multiset \
@@ -363,10 +371,10 @@ let () =
       in
       if
         (not bytes_nondet)
-        && report.Server.r_live_code_bytes <> sreport.Server.r_live_code_bytes
+        && report.Report.r_live_code_bytes <> sreport.Report.r_live_code_bytes
       then begin
         Printf.printf "PARALLEL MISMATCH: live code bytes %d (sequential %d)\n"
-          report.Server.r_live_code_bytes sreport.Server.r_live_code_bytes;
+          report.Report.r_live_code_bytes sreport.Report.r_live_code_bytes;
         exit 1
       end
     end;
@@ -382,8 +390,8 @@ let () =
         "validate: parallel run (%d domains) matches sequential: %d results, \
          live code %d bytes, 0 pins\n"
         !domains
-        (List.length report.Server.r_queries)
-        report.Server.r_live_code_bytes
+        (List.length report.Report.r_queries)
+        report.Report.r_live_code_bytes
   end;
   if !validate then begin
     (* every distinct plan's serving checksum must match the classic
@@ -409,30 +417,35 @@ let () =
     List.iter
       (fun (q : Server.query_metrics) ->
         let sum =
-          match Hashtbl.find_opt expected q.Server.qm_name with
+          match Hashtbl.find_opt expected q.Report.qm_name with
           | Some s -> s
           | None ->
               let plan =
-                match plan_of q.Server.qm_name with
+                match plan_of q.Report.qm_name with
                 | Some p -> p
-                | None -> failwith ("no plan for " ^ q.Server.qm_name)
+                | None -> failwith ("no plan for " ^ q.Report.qm_name)
               in
               let s =
                 Engine.with_compiled vdb ~backend:Engine.interpreter ~timing
-                  ~name:q.Server.qm_name plan (fun cq cm _ ->
-                    Engine.checksum (Engine.execute vdb cq cm).Engine.rows)
+                  ~name:q.Report.qm_name plan (fun cq cm _ ->
+                    let rows = (Engine.execute vdb cq cm).Engine.rows in
+                    (* intra-query lanes checksum the sorted multiset
+                       (merge order is lane order); mirror that here *)
+                    if (!cfg).Server.intra > 1 then
+                      Engine.checksum (List.sort compare rows)
+                    else Engine.checksum rows)
               in
-              Hashtbl.replace expected q.Server.qm_name s;
+              Hashtbl.replace expected q.Report.qm_name s;
               s
         in
-        if not (Int64.equal sum q.Server.qm_checksum) then begin
+        if not (Int64.equal sum q.Report.qm_checksum) then begin
           incr bad;
           Printf.printf "MISMATCH %s: served %Lx expected %Lx\n"
-            q.Server.qm_name q.Server.qm_checksum sum
+            q.Report.qm_name q.Report.qm_checksum sum
         end)
-      report.Server.r_queries;
+      report.Report.r_queries;
     if !bad = 0 then
       Printf.printf "validate: all %d served results match run_plan\n"
-        (List.length report.Server.r_queries)
+        (List.length report.Report.r_queries)
     else exit 1
   end

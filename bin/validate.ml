@@ -43,10 +43,10 @@ let () =
       let report = Server.run db { Server.default_config with Server.mode } stream in
       List.iter
         (fun (qm : Server.query_metrics) ->
-          let expect = List.assoc qm.Server.qm_name refsums in
-          if not (Int64.equal qm.Server.qm_checksum expect) then
-            Printf.printf "%s %s WRONG\n%!" (Server.mode_name mode) qm.Server.qm_name)
-        report.Server.r_queries;
+          let expect = List.assoc qm.Report.qm_name refsums in
+          if not (Int64.equal qm.Report.qm_checksum expect) then
+            Printf.printf "%s %s WRONG\n%!" (Server.mode_name mode) qm.Report.qm_name)
+        report.Report.r_queries;
       Printf.printf "%s done (cache hits %d)\n%!" (Server.mode_name mode)
-        report.Server.r_cache.Lru.hits)
+        report.Report.r_cache.Lru.hits)
     [ Server.Cached; Server.Tiered ]

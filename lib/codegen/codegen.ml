@@ -26,7 +26,28 @@ module Schema = Qcomp_storage.Schema
 
 module Int_set = Set.Make (Int)
 
-type step = { fn_name : string; range : [ `Table of string | `Whole ] }
+(** Side effect of a parallel pipeline body, from the host's point of view:
+    which state slot holds the runtime object the body writes into, and how
+    to give each execution lane a private copy that the barrier merges back.
+    [ht_merge] names a generated combine function for aggregate tables
+    (host-side payload blits would be wrong for partial aggregates); join
+    tables and tuple buffers merge host-side. *)
+type sink =
+  | Sink_ht of { ht_slot : int; ht_payload : int; ht_merge : string option }
+  | Sink_buf of { buf_slot : int; buf_row : int }
+
+type step = {
+  fn_name : string;
+  range : [ `Table of string | `Whole ];
+  par_safe : bool;
+      (** body may run on several lanes over disjoint morsels, provided each
+          lane redirects the [sinks] slots to lane-local objects *)
+  sinks : sink list;
+}
+
+(** A pipeline: serial prologue steps (prepare/sort/cleanup/...) followed by
+    an optional morsel-parallel body over a table's row range. *)
+type pipeline = { p_prologue : step list; p_body : step option }
 
 type compiled = {
   modul : Func.modul;
@@ -55,6 +76,12 @@ type ctx = {
   mutable fixups : (int * string) list;
   mutable pipes : int;
   mutable fn_counter : int;
+  mutable cur_sinks : sink list;
+      (** sinks written by the pipeline body currently being emitted;
+          consume callbacks register them as they emit writes *)
+  mutable cur_unsafe : bool;
+      (** set when the current body carries cross-lane mutable state that
+          lane-local sinks cannot capture (e.g. a shared LIMIT counter) *)
 }
 
 (** Per-pipeline state threaded through consume callbacks. *)
@@ -455,7 +482,18 @@ let new_fn ctx name =
   Builder.create ctx.modul ~name ~ret:Ty.Void
     ~args:[| Ty.Ptr; Ty.I64; Ty.I64 |]
 
-let push_step ctx fn_name range = ctx.steps_rev <- { fn_name; range } :: ctx.steps_rev
+let push_step ctx fn_name range =
+  let sinks, par_safe =
+    match range with
+    | `Table _ -> (List.rev ctx.cur_sinks, not ctx.cur_unsafe)
+    | `Whole -> ([], false)
+  in
+  ctx.cur_sinks <- [];
+  ctx.cur_unsafe <- false;
+  ctx.steps_rev <- { fn_name; range; par_safe; sinks } :: ctx.steps_rev
+
+let add_sink ctx s =
+  if not (List.mem s ctx.cur_sinks) then ctx.cur_sinks <- s :: ctx.cur_sinks
 
 (** Small prepare function: create a runtime object and store it in a state
     slot. [mk] receives the builder and returns the object pointer. *)
@@ -560,6 +598,8 @@ let rec produce ctx (op : Algebra.t) ~(needed : Int_set.t)
   | Algebra.Limit { input; n } ->
       let slot = alloc_slot ctx in
       produce ctx input ~needed ~consume:(fun p env ->
+          (* the counter lives in the shared state block: lanes would race *)
+          ctx.cur_unsafe <- true;
           let b = p.b in
           let state = Builder.arg b 0 in
           let cnt = Builder.load b Ty.I64 state ~offset:slot in
@@ -669,6 +709,13 @@ and produce_join ctx ~build ~probe ~build_keys ~probe_keys ~tys ~needed
   (* Build pipeline. *)
   let build_needed = Int_set.union needed_build_out (used_of_exprs build_keys) in
   produce ctx build ~needed:build_needed ~consume:(fun p env ->
+      add_sink ctx
+        (Sink_ht
+           {
+             ht_slot;
+             ht_payload = Layout.size payload_layout;
+             ht_merge = None;
+           });
       let b = p.b in
       let keys =
         List.map (fun k -> compile_expr ctx p env build_tys k) build_keys
@@ -779,7 +826,15 @@ and produce_group_by ctx ~input ~keys ~aggs ~tys ~needed ~consume =
   let input_needed =
     used_of_exprs (keys @ List.filter_map agg_input_expr aggs)
   in
+  let merge_name = fresh_fn_name ctx "aggmerge" in
   produce ctx input ~needed:input_needed ~consume:(fun p env ->
+      add_sink ctx
+        (Sink_ht
+           {
+             ht_slot;
+             ht_payload = Layout.size payload_layout;
+             ht_merge = Some merge_name;
+           });
       let b = p.b in
       let kvs = List.map (fun k -> compile_expr ctx p env in_tys k) keys in
       let avs =
@@ -854,6 +909,8 @@ and produce_group_by ctx ~input ~keys ~aggs ~tys ~needed ~consume =
         states;
       Builder.br b done_;
       Builder.switch_to b done_);
+  emit_agg_merge ctx ~name:merge_name ~ht_slot ~payload_layout ~nk ~states
+    ~agg_field_start;
   (* Scan the hash table: a fresh pipeline. *)
   ctx.pipes <- ctx.pipes + 1;
   let name = fresh_fn_name ctx "aggscan" in
@@ -979,6 +1036,140 @@ and finalize_agg ctx (p : pipe) ~payload ~layout ~fstart (s : agg_state) : value
           (* integer average truncates; count is never zero here *)
           { vty = sum.vty; v = Builder.sdiv b Ty.I64 sum.v cnt.v })
 
+(** Combine one aggregate's partial state at [src] into the group at [dst]
+    (both payload pointers). Mirrors [update_agg], but the increment comes
+    from another partial state instead of a fresh input row. *)
+and merge_agg ctx (p : pipe) ~dst ~src ~layout ~fstart (s : agg_state) =
+  ignore ctx;
+  let b = p.b in
+  let fld k = Layout.field layout (fstart + k) in
+  let add_into k ~trap =
+    let cur = load_field p ~base:dst (fld k) in
+    let inc = load_field p ~base:src (fld k) in
+    let v =
+      if trap then Builder.saddtrap b (ir_ty cur.vty) cur.v inc.v
+      else Builder.add b Ty.I64 cur.v inc.v
+    in
+    store_field p ~base:dst (fld k) { vty = cur.vty; v }
+  in
+  match s.a_kind with
+  | Algebra.Count_star -> add_into 0 ~trap:false
+  | Algebra.Sum _ -> add_into 0 ~trap:true
+  | Algebra.Avg _ ->
+      add_into 0 ~trap:true;
+      add_into 1 ~trap:false
+  | Algebra.Min _ | Algebra.Max _ ->
+      let cur = load_field p ~base:dst (fld 0) in
+      let cand = load_field p ~base:src (fld 0) in
+      let is_min = match s.a_kind with Algebra.Min _ -> true | _ -> false in
+      let pred = if is_min then Op.Slt else Op.Sgt in
+      let better = Builder.cmp b pred cand.v cur.v in
+      let sel = Builder.select b (ir_ty cur.vty) better cand.v cur.v in
+      store_field p ~base:dst (fld 0) { vty = cur.vty; v = sel }
+
+(** Generated barrier function [(state, src_ht, _)]: fold a lane-local
+    aggregate table into the global one at [ht_slot]. Stored hashes are
+    already normalized, so they are reused verbatim for the global lookup;
+    on a key miss the partial payload is copied as the initial group state. *)
+and emit_agg_merge ctx ~name ~ht_slot ~payload_layout ~nk ~states
+    ~agg_field_start =
+  let nfields =
+    nk + List.fold_left (fun n s -> n + List.length s.a_fields) 0 states
+  in
+  let b =
+    Builder.create ctx.modul ~name ~ret:Ty.Void
+      ~args:[| Ty.Ptr; Ty.Ptr; Ty.I64 |]
+  in
+  let state = Builder.arg b 0 in
+  let src = Builder.arg b 1 in
+  let exit_block = Builder.new_block b in
+  let head = Builder.new_block b in
+  let body = Builder.new_block b in
+  let live = Builder.new_block b in
+  let incr = Builder.new_block b in
+  let gl = Builder.load b Ty.Ptr state ~offset:ht_slot in
+  let cap = Builder.load b Ty.I64 src ~offset:0 in
+  let esz = Builder.load b Ty.I64 src ~offset:16 in
+  let entries = Builder.load b Ty.Ptr src ~offset:24 in
+  let zero = Builder.const b Ty.I64 0L in
+  Builder.br b head;
+  Builder.switch_to b head;
+  let i = Builder.phi_placeholder b Ty.I64 ~max_incoming:2 in
+  Builder.add_phi_incoming b i ~block:Func.entry_block ~value:zero;
+  let in_range = Builder.cmp b Op.Slt i cap in
+  Builder.condbr b in_range ~then_:body ~else_:exit_block;
+  Builder.switch_to b body;
+  let off = Builder.mul b Ty.I64 i esz in
+  let entry = Builder.gep b entries ~index:off ~scale:1 0 in
+  let hword = Builder.load b Ty.I64 entry ~offset:0 in
+  let occupied = Builder.cmp b Op.Ne hword zero in
+  Builder.condbr b occupied ~then_:live ~else_:incr;
+  Builder.switch_to b live;
+  let p = { b; exit_block } in
+  let spay = Builder.gep b entry 8 in
+  let kvs =
+    List.init nk (fun k -> load_field p ~base:spay (Layout.field payload_layout k))
+  in
+  let entry0 =
+    call_rt b "umbra_htLookup" [| Ty.Ptr; Ty.I64 |] Ty.Ptr [ gl; hword ]
+  in
+  let from_block = Builder.current_block b in
+  let chead = Builder.new_block b in
+  let check = Builder.new_block b in
+  let upd = Builder.new_block b in
+  let nxt = Builder.new_block b in
+  let ins = Builder.new_block b in
+  let done_ = Builder.new_block b in
+  Builder.br b chead;
+  Builder.switch_to b chead;
+  let ge = Builder.phi_placeholder b Ty.Ptr ~max_incoming:2 in
+  Builder.add_phi_incoming b ge ~block:from_block ~value:entry0;
+  let is_null = Builder.isnull b ge in
+  Builder.condbr b is_null ~then_:ins ~else_:check;
+  Builder.switch_to b check;
+  let gpay = Builder.gep b ge 8 in
+  List.iteri
+    (fun k kv ->
+      let stored = load_field p ~base:gpay (Layout.field payload_layout k) in
+      let eq = compile_cmp ctx p stored kv Expr.Eq in
+      let next_check = Builder.new_block b in
+      Builder.condbr b eq.v ~then_:next_check ~else_:nxt;
+      Builder.switch_to b next_check)
+    kvs;
+  Builder.br b upd;
+  Builder.switch_to b upd;
+  List.iteri
+    (fun k s ->
+      let fstart = List.nth agg_field_start k in
+      merge_agg ctx p ~dst:gpay ~src:spay ~layout:payload_layout ~fstart s)
+    states;
+  Builder.br b done_;
+  Builder.switch_to b nxt;
+  let ge' =
+    call_rt b "umbra_htNext" [| Ty.Ptr; Ty.Ptr; Ty.I64 |] Ty.Ptr
+      [ gl; ge; hword ]
+  in
+  Builder.add_phi_incoming b ge ~block:nxt ~value:ge';
+  Builder.br b chead;
+  Builder.switch_to b ins;
+  let pnew =
+    call_rt b "umbra_htInsert" [| Ty.Ptr; Ty.I64 |] Ty.Ptr [ gl; hword ]
+  in
+  for k = 0 to nfields - 1 do
+    let v = load_field p ~base:spay (Layout.field payload_layout k) in
+    store_field p ~base:pnew (Layout.field payload_layout k) v
+  done;
+  Builder.br b done_;
+  Builder.switch_to b done_;
+  Builder.br b incr;
+  Builder.switch_to b incr;
+  let one = Builder.const b Ty.I64 1L in
+  let i' = Builder.add b Ty.I64 i one in
+  Builder.add_phi_incoming b i ~block:incr ~value:i';
+  Builder.br b head;
+  Builder.switch_to b exit_block;
+  Builder.ret_void b
+
 and produce_order_by ctx ~input ~keys ~limit ~tys ~needed ~consume =
   let in_tys = Algebra.output_tys ctx.catalog input in
   ignore tys;
@@ -1001,6 +1192,8 @@ and produce_order_by ctx ~input ~keys ~limit ~tys ~needed ~consume =
   (* input pipeline: materialize rows *)
   let input_needed = Int_set.union needed (used_of_exprs key_exprs) in
   produce ctx input ~needed:input_needed ~consume:(fun p env ->
+      add_sink ctx
+        (Sink_buf { buf_slot; buf_row = Layout.size row_layout });
       let b = p.b in
       let state = Builder.arg b 0 in
       let buf = Builder.load b Ty.Ptr state ~offset:buf_slot in
@@ -1123,6 +1316,8 @@ let compile_query ~mem ~catalog ~tables ~name (plan : Algebra.t) : compiled =
       fixups = [];
       pipes = 0;
       fn_counter = 0;
+      cur_sinks = [];
+      cur_unsafe = false;
     }
   in
   ctx.modul.Func.param_sig <- Array.map ir_ty (Paramize.param_tys plan);
@@ -1134,6 +1329,8 @@ let compile_query ~mem ~catalog ~tables ~name (plan : Algebra.t) : compiled =
       call_rt b "umbra_bufCreate" [| Ty.I64 |] Ty.Ptr [ sz ]);
   let n_out = Array.length out_tys in
   produce ctx plan ~needed:(all_cols n_out) ~consume:(fun p env ->
+      add_sink ctx
+        (Sink_buf { buf_slot = output_slot; buf_row = Layout.size out_layout });
       let b = p.b in
       let state = Builder.arg b 0 in
       let buf = Builder.load b Ty.Ptr state ~offset:output_slot in
@@ -1162,3 +1359,20 @@ let compile_query ~mem ~catalog ~tables ~name (plan : Algebra.t) : compiled =
 
 (** Layout of output rows (for host-side result reading). *)
 let output_layout (c : compiled) = Layout.of_tys (Array.to_list c.output_tys)
+
+(** Group a compiled query's flat step list into pipelines: each [`Table]
+    step closes a pipeline as its morsel-parallel body; trailing [`Whole]
+    steps form a final body-less pipeline. *)
+let pipelines (c : compiled) : pipeline list =
+  let rec go acc pre = function
+    | [] -> (
+        match pre with
+        | [] -> List.rev acc
+        | _ -> List.rev ({ p_prologue = List.rev pre; p_body = None } :: acc))
+    | (s : step) :: rest -> (
+        match s.range with
+        | `Table _ ->
+            go ({ p_prologue = List.rev pre; p_body = Some s } :: acc) [] rest
+        | `Whole -> go acc (s :: pre) rest)
+  in
+  go [] [] c.steps

@@ -69,10 +69,9 @@ type profile = Legacy | Tagged
    [Tagged] (the default) starts tables as direct-address candidates and
    falls back to the tag-filtered layout; [Legacy] reproduces the
    pre-tag table and its exact cycle charges, kept so the join benchmark
-   can measure before/after in one process. *)
-let profile_ref = Atomic.make Tagged
-let set_profile p = Atomic.set profile_ref p
-let current_profile () = Atomic.get profile_ref
+   can measure before/after in one process. It is a per-table creation
+   argument — there is deliberately no process-wide toggle, so concurrent
+   intra-query builds cannot race on it. *)
 
 (* ---------------- charged-cycle model ----------------
 
@@ -194,10 +193,10 @@ let alloc_zeroed mem bytes =
 (* ---------------- creation ---------------- *)
 
 (** Create a table; returns [(handle, cycles)]. The layout family follows
-    {!current_profile}: under [Tagged] the table starts as a
+    [profile]: under [Tagged] (the default) the table starts as a
     direct-address candidate (when {!Hashes.unhash64_opt} exists) and
     decides on first contact with the keys. *)
-let create mem ~payload_size ~capacity_hint =
+let create mem ?(profile = Tagged) ~payload_size ~capacity_hint () =
   let entry_size = 8 + ((payload_size + 7) land lnot 7) + 8 in
   let cap = pow2_at_least capacity_hint min_capacity in
   let ht = Memory.alloc mem ~align:16 header_size in
@@ -209,7 +208,7 @@ let create mem ~payload_size ~capacity_hint =
   Memory.store64 mem (ht + 48) 0L;
   Memory.store64 mem (ht + 56) 0L;
   let cost =
-    match current_profile () with
+    match profile with
     | Legacy ->
         Memory.store64 mem (ht + 32) mode_legacy;
         Memory.store64 mem (ht + 40) 0L;
@@ -631,3 +630,39 @@ let iter mem ht f =
     let addr = slot_addr mem ht i in
     if not (Int64.equal (Memory.load64 mem addr) 0L) then f (addr + 8)
   done
+
+(* ---------------- parallel-build support ---------------- *)
+
+(** The creation profile a table was built under, recovered from its mode
+    word — lane-local partitions mirror the global table's family. *)
+let profile_of mem ht =
+  if Int64.equal (mode_word mem ht) mode_legacy then Legacy else Tagged
+
+(** Capacity hint for an exact-size build from a known cardinality
+    (Umbra-style): a table created with this hint absorbs [count] inserts
+    without ever triggering {!grow} (the load stays <= 70%), and a Direct
+    arena never doubles. *)
+let exact_capacity count =
+  pow2_at_least (max min_capacity (((10 * (count + 1)) + 6) / 7)) min_capacity
+
+(** Fold every entry of [src] into [dst] by re-inserting under the stored
+    (already normalized) hash and blitting the payload bytes; both tables
+    must share one entry size. Chain order of equal-hash duplicates follows
+    [src]'s scan order. Returns the charged cycles. *)
+let merge_into mem ~dst ~src =
+  let esz = entry_size mem src in
+  if entry_size mem dst <> esz then
+    raise (Rt_error.Query_error "Htable.merge_into: entry size mismatch");
+  let plen = esz - 16 in
+  let cost = ref 0 in
+  let cap = capacity mem src in
+  for i = 0 to cap - 1 do
+    let addr = entries_ptr mem src + (i * esz) in
+    let h = Memory.load64 mem addr in
+    if not (Int64.equal h 0L) then begin
+      let payload, c = insert mem dst h in
+      Memory.blit mem ~src:(addr + 8) ~dst:payload ~len:plen;
+      cost := !cost + c + 2 + (plen / 32)
+    end
+  done;
+  !cost

@@ -44,6 +44,20 @@ let append mem buf =
   Memory.store64 mem buf (Int64.of_int (cnt + 1));
   (data_ptr mem buf + (cnt * rs), 6 + grow_cost)
 
+(** Append all of [src]'s rows to [dst] (one bulk blit per growth window;
+    both buffers must share a row size). Returns cycle cost. *)
+let concat_into mem ~dst ~src =
+  let n = count mem src in
+  let rs = row_size mem dst in
+  if row_size mem src <> rs then invalid_arg "Tuplebuf.concat_into";
+  let cost = ref 0 in
+  for i = 0 to n - 1 do
+    let r, c = append mem dst in
+    Memory.blit mem ~src:(row mem src i) ~dst:r ~len:rs;
+    cost := !cost + c + (rs / 32)
+  done;
+  !cost
+
 (** Swap-free permutation application for sorting: rebuilds the data array
     in [perm] order. Returns cycle cost. *)
 let permute mem buf perm =

@@ -8,8 +8,12 @@
 
 type t
 
-(** Allocate and initialize a fresh execution of [cq] using [cm]'s code. *)
+(** Allocate and initialize a fresh execution of [cq] using [cm]'s code.
+    With [sched] (and more than one lane), parallelizable pipeline bodies
+    fan their morsels out over the scheduler's lanes and merge lane-local
+    sinks at a barrier when the body's scan depletes. *)
 val start :
+  ?sched:Morsel_sched.t ->
   Qcomp_engine.Engine.db ->
   Qcomp_codegen.Codegen.compiled ->
   Qcomp_backend.Backend.compiled_module ->
@@ -21,8 +25,10 @@ val finished : t -> bool
     codegen result. Only legal between quanta. *)
 val swap : t -> Qcomp_backend.Backend.compiled_module -> unit
 
-(** Run one quantum ([`Whole] step, or [morsel] rows of a [`Table] step);
-    returns its simulated cycle cost. *)
+(** Run one quantum ([`Whole] step, [morsel] rows of a serial [`Table]
+    step, or [lanes * morsel] rows of a morsel-parallel body); returns its
+    simulated {e wall-clock} cycle cost (parallel quanta: max over lanes
+    plus the barrier). *)
 val step : t -> morsel:int -> [ `Ran of int | `Done ]
 
 (** Drive to completion; [on_quantum] observes each quantum's cycles. *)
@@ -34,7 +40,14 @@ val rows : t -> Qcomp_engine.Engine.cell array list
 (** Result record matching {!Qcomp_engine.Engine.execute}'s shape. *)
 val result : t -> Qcomp_engine.Engine.result
 
+(** Total simulated work: cycles summed over all lanes (what the query is
+    billed). *)
 val cycles : t -> int
+
+(** Simulated wall-clock cycles: parallel quanta contribute the max over
+    lanes, so [wall_cycles <= cycles] with intra-query parallelism on. *)
+val wall_cycles : t -> int
+
 val quanta : t -> int
 
 (** Quantum index of the first hot-swap, if any. *)

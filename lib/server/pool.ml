@@ -89,6 +89,10 @@ type config = {
   cache_shards : int;
       (** hash shards of the code cache (when the driver creates it);
           1 = the deterministic single-lock layout *)
+  intra : int;
+      (** intra-query lanes per worker: parallelizable pipeline bodies fan
+          each quantum's morsels out over this many execution lanes
+          ({!Morsel_sched}); 1 = serial bodies, the classic behavior *)
 }
 
 let default_config =
@@ -105,6 +109,7 @@ let default_config =
     admission_cap = None;
     tenants = 1;
     cache_shards = 1;
+    intra = 1;
   }
 
 (** Split [plan] into its cache identity: the {e shape} (eligible literals
@@ -146,33 +151,14 @@ let validate_config ~driver c =
   need "cache_capacity" c.cache_capacity;
   need "tenants" c.tenants;
   need "cache_shards" c.cache_shards;
+  need "intra" c.intra;
   match c.admission_cap with
   | Some cap -> need "admission_cap" cap
   | None -> ()
 
-type query_metrics = Report.query_metrics = {
-  qm_name : string;
-  qm_fp : int64;
-  qm_backend : string;  (** back-end that finished the query *)
-  qm_arrival : float;
-  qm_start : float;
-  qm_finish : float;
-  qm_compile_s : float;  (** foreground compile charged on the worker *)
-  qm_cache_hit : bool;  (** strong-tier module came from the cache *)
-  qm_switch_s : float option;  (** time of the first hot-swap since start *)
-  qm_quanta_tier0 : int;
-  qm_quanta_tier1 : int;
-  qm_tiers : string list;
-      (** back-ends the query executed on, in order (length > 2 means the
-          controller upgraded more than once) *)
-  qm_exec_cycles : int;
-  qm_rows : int;
-  qm_checksum : int64;
-  qm_tenant : int;  (** traffic-generator tenant tag (0 single-tenant) *)
-  qm_first_s : float;
-      (** enqueue -> first-row latency: arrival to the end of the quantum
-          that produced the first morsel of output *)
-}
+(* The one canonical declaration of the per-query metric record lives in
+   {!Report}; both drivers only alias it. *)
+type query_metrics = Report.query_metrics
 
 let qm_latency = Report.qm_latency
 
@@ -396,14 +382,14 @@ let run_requests ?cache db ~domains config requests =
   in
   (* Execute [q] to completion starting on [e]'s module, hot-swapping at a
      quantum boundary if a background compile parks a stronger one. *)
-  let run_exec q view (e : Code_cache.entry) =
+  let run_exec q view sched (e : Code_cache.entry) =
     let cq, cm, fresh =
       Code_cache.force cache view ~params:q.q_params ~claim:true e
     in
     q.q_claims <- (e, cm) :: q.q_claims;
     if fresh && Array.length q.q_params > 0 then
       q.q_compile_s <- q.q_compile_s +. Costmodel.bind_seconds;
-    let ex = Exec.start view cq cm in
+    let ex = Exec.start ?sched view cq cm in
     Fun.protect ~finally:(fun () -> Exec.dispose ex) @@ fun () ->
     let reopt = config.reopt && config.mode = Tiered in
     let rec loop () =
@@ -443,7 +429,7 @@ let run_requests ?cache db ~domains config requests =
     let finish = Timing.now () -. t0 in
     let qm =
       {
-        qm_name = q.q_name;
+        Report.qm_name = q.q_name;
         qm_fp = Fingerprint.plan q.q_plan;
         qm_backend = q.q_cur_tier;
         qm_arrival = q.q_arrival;
@@ -457,7 +443,13 @@ let run_requests ?cache db ~domains config requests =
         qm_tiers = List.rev q.q_tiers;
         qm_exec_cycles = r.Engine.exec_cycles;
         qm_rows = r.Engine.output_count;
-        qm_checksum = Engine.checksum r.Engine.rows;
+        qm_checksum =
+          (* with intra-query lanes the barrier merge emits rows in lane
+             order, not sequential insert order: checksum the sorted
+             multiset so the sum is lane-count-invariant *)
+          (if config.intra > 1 then
+             Engine.checksum (List.sort compare r.Engine.rows)
+           else Engine.checksum r.Engine.rows);
         qm_tenant = q.q_tenant;
         qm_first_s =
           (match q.q_first_s with
@@ -481,7 +473,7 @@ let run_requests ?cache db ~domains config requests =
     q.q_tiers <- [ "interpreter" ];
     ie
   in
-  let exec_query q view =
+  let exec_query q view sched =
     q.q_start <- Timing.now () -. t0;
     match config.mode with
     | Static backend ->
@@ -494,7 +486,7 @@ let run_requests ?cache db ~domains config requests =
         q.q_cur_tier <- Qcomp_backend.Backend.name backend;
         q.q_tiers <- [ q.q_cur_tier ];
         q.q_compile_s <- e.Code_cache.ce_compile_s;
-        run_exec q view e
+        run_exec q view sched e
     | Cached ->
         let bname, backend = Engine.adaptive_backend view q.q_plan in
         let bname, backend =
@@ -509,7 +501,7 @@ let run_requests ?cache db ~domains config requests =
         let e, hit = get_entry q view ~backend ~name:q.q_name q.q_plan in
         q.q_cache_hit <- hit;
         if not hit then q.q_compile_s <- e.Code_cache.ce_compile_s;
-        run_exec q view e
+        run_exec q view sched e
     | Tiered when config.reopt -> (
         (* observation-driven: no pre-execution estimate. Start on the
            strongest already-resident rung (free), else on interpreter
@@ -544,10 +536,10 @@ let run_requests ?cache db ~domains config requests =
             q.q_cache_hit <- true;
             q.q_cur_tier <- nm;
             q.q_tiers <- [ nm ];
-            run_exec q view e
+            run_exec q view sched e
         | None ->
             let ie = start_tier0 q view in
-            run_exec q view ie)
+            run_exec q view sched ie)
     | Tiered -> (
         let bname, backend = Engine.adaptive_backend view q.q_plan in
         let bname, backend =
@@ -566,7 +558,7 @@ let run_requests ?cache db ~domains config requests =
           q.q_cur_tier <- "interpreter";
           q.q_tiers <- [ "interpreter" ];
           if not hit then q.q_compile_s <- e.Code_cache.ce_compile_s;
-          run_exec q view e
+          run_exec q view sched e
         end
         else
           let k = Code_cache.key view ~backend q.q_plan in
@@ -584,12 +576,12 @@ let run_requests ?cache db ~domains config requests =
               q.q_cache_hit <- true;
               q.q_cur_tier <- bname;
               q.q_tiers <- [ bname ];
-              run_exec q view e
+              run_exec q view sched e
           | None ->
               (* tier 0 now, strong tier on the background compile pool *)
               let ie = start_tier0 q view in
               submit_bg q ~backend ~params:q.q_params ~name:q.q_name q.q_plan k;
-              run_exec q view ie)
+              run_exec q view sched ie)
   in
   (* The feeder releases requests open-loop at their arrival stamps: shed
      or admit at the stamp, independent of worker progress. Sleeping
@@ -650,6 +642,13 @@ let run_requests ?cache db ~domains config requests =
      the feeder has finished and the queue has drained. *)
   let worker () =
     let view = Engine.domain_view db in
+    (* intra-query lanes nest inside the worker: its queries fan morsels
+       out over [intra] further domains at parallelizable pipeline bodies *)
+    let sched =
+      if config.intra > 1 then
+        Some (Morsel_sched.create ~parallel:true view ~lanes:config.intra)
+      else None
+    in
     let rec loop () =
       Mutex.lock mu;
       let rec next () =
@@ -670,7 +669,7 @@ let run_requests ?cache db ~domains config requests =
       match next () with
       | None -> ()
       | Some q ->
-          (try exec_query q view
+          (try exec_query q view sched
            with exn ->
              record_error exn;
              Mutex.protect mu (fun () -> unpin_all_locked q));

@@ -42,6 +42,10 @@ type config = {
   cache_shards : int;
       (** hash shards of the code cache (when the driver creates it);
           1 = the deterministic single-lock layout *)
+  intra : int;
+      (** intra-query lanes per worker: parallelizable pipeline bodies fan
+          each quantum's morsels out over this many execution lanes
+          ({!Morsel_sched}); 1 = serial bodies, the classic behavior *)
 }
 
 (** Tiered (static estimate), 4 workers, 2 compile slots, 512-row morsels,
@@ -66,29 +70,9 @@ val normalize_query :
   Qcomp_plan.Algebra.t ->
   Qcomp_plan.Algebra.t * Qcomp_backend.Artifact.param_value array
 
-type query_metrics = Report.query_metrics = {
-  qm_name : string;
-  qm_fp : int64;
-  qm_backend : string;  (** back-end that finished the query *)
-  qm_arrival : float;
-  qm_start : float;
-  qm_finish : float;
-  qm_compile_s : float;  (** foreground compile charged on the worker *)
-  qm_cache_hit : bool;  (** strong-tier module came from the cache *)
-  qm_switch_s : float option;  (** time of the first hot-swap since start *)
-  qm_quanta_tier0 : int;
-  qm_quanta_tier1 : int;
-  qm_tiers : string list;
-      (** back-ends the query executed on, in order (length > 2 means the
-          controller upgraded more than once) *)
-  qm_exec_cycles : int;
-  qm_rows : int;
-  qm_checksum : int64;
-  qm_tenant : int;  (** traffic-generator tenant tag (0 single-tenant) *)
-  qm_first_s : float;
-      (** enqueue -> first-row latency: arrival to the end of the quantum
-          that produced the first morsel of output *)
-}
+(** Alias of the one canonical metric record, {!Report.query_metrics};
+    read the fields through {!Report}. *)
+type query_metrics = Report.query_metrics
 
 val qm_latency : query_metrics -> float
 

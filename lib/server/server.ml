@@ -66,34 +66,19 @@ type config = Pool.config = {
       (** hash shards of the code cache (when the driver creates it);
           the discrete-event driver always serves from shard layout 1 —
           sharding only pays under real parallelism *)
+  intra : int;
+      (** intra-query lanes: parallelizable pipeline bodies fan each
+          quantum's morsels out over this many execution lanes. The
+          discrete-event driver models them (lanes run sequentially,
+          virtual time advances by the max over lanes), so speedups are
+          deterministic; 1 = serial bodies *)
 }
 
 let default_config = Pool.default_config
 
-type query_metrics = Report.query_metrics = {
-  qm_name : string;
-  qm_fp : int64;
-  qm_backend : string;  (** back-end that finished the query *)
-  qm_arrival : float;
-  qm_start : float;
-  qm_finish : float;
-  qm_compile_s : float;  (** foreground compile charged on the worker *)
-  qm_cache_hit : bool;  (** strong-tier module came from the cache *)
-  qm_switch_s : float option;
-      (** virtual time of the first hot-swap since start *)
-  qm_quanta_tier0 : int;
-  qm_quanta_tier1 : int;
-  qm_tiers : string list;
-      (** back-ends the query executed on, in order (length > 2 means the
-          controller upgraded more than once) *)
-  qm_exec_cycles : int;
-  qm_rows : int;
-  qm_checksum : int64;
-  qm_tenant : int;  (** traffic-generator tenant tag (0 single-tenant) *)
-  qm_first_s : float;
-      (** enqueue -> first-row latency: arrival to the end of the quantum
-          that produced the first morsel of output *)
-}
+(* The metric and report records have exactly one declaration, in
+   {!Report}; both drivers alias it so the shapes can never drift. *)
+type query_metrics = Report.query_metrics
 
 let qm_latency = Report.qm_latency
 
@@ -104,46 +89,7 @@ type request = Pool.request = {
   rq_tenant : int;
 }
 
-type report = Report.t = {
-  r_mode : string;
-  r_queries : query_metrics list;  (** completion order *)
-  r_makespan : float;  (** virtual time of the last completion *)
-  r_total_latency : float;  (** sum of per-query latencies *)
-  r_mean_latency : float;
-  r_p50_latency : float;
-  r_p95_latency : float;
-  r_p99_latency : float;
-  r_max_latency : float;
-  r_p50_first_row : float;  (** enqueue -> first-row percentiles *)
-  r_p95_first_row : float;
-  r_p99_first_row : float;
-  r_compile_stall_s : float;
-      (** total foreground compile seconds charged on workers — time
-          queries stalled waiting on a compile instead of executing *)
-  r_throughput : float;  (** completed queries per virtual second *)
-  r_switchovers : int;
-  r_sheds : Report.shed list;  (** rejected at the admission cap *)
-  r_queue_peak : int;  (** admission-queue occupancy high-water mark *)
-  r_lat_hist : Hist.t;  (** end-to-end latency histogram *)
-  r_first_hist : Hist.t;  (** first-row latency histogram *)
-  r_cache : Lru.stats;
-  r_bytes_freed : int;  (** code bytes returned to the region allocator *)
-  r_live_code_bytes : int;  (** resident generated code at end of run *)
-  r_peak_code_bytes : int;  (** high-water mark of resident code *)
-  r_live_data_bytes : int;
-      (** linear-memory data bytes still allocated at end of run (tables,
-          stacks, module GOTs — per-query blocks must all be recycled) *)
-  r_peak_data_bytes : int;  (** high-water mark of allocated data bytes *)
-  r_freed_data_bytes : int;  (** cumulative data bytes recycled *)
-  r_shape_hits : int;
-      (** parameterized lookups that found the shape's artifact cached but
-          had to bind a new literal vector *)
-  r_exact_hits : int;
-      (** parameterized lookups that found an already-bound instance for the
-          exact literal vector *)
-  r_binds : int;  (** parameter-vector bind (re-link) operations *)
-  r_bind_s : float;  (** host seconds spent binding parameter vectors *)
-}
+type report = Report.t
 
 (* ---------------- the event machine ---------------- *)
 
@@ -192,6 +138,13 @@ type qstate = {
 let run_requests_events ?cache db config requests =
   Pool.validate_config ~driver:"Server.run" config;
   let sim = Sim.create () in
+  (* one simulated lane pool for the whole run: quanta never overlap in
+     virtual time, so every execution can share the lanes' Emu contexts *)
+  let sched =
+    if config.intra > 1 then
+      Some (Morsel_sched.create ~parallel:false db ~lanes:config.intra)
+    else None
+  in
   let cache =
     match cache with
     | Some c -> c
@@ -234,7 +187,7 @@ let run_requests_events ?cache db config requests =
     let finish = Sim.now sim in
     done_q :=
       {
-        qm_name = q.q_name;
+        Report.qm_name = q.q_name;
         qm_fp = Fingerprint.plan q.q_plan;
         qm_backend = q.q_cur_tier;
         qm_arrival = q.q_arrival;
@@ -248,7 +201,13 @@ let run_requests_events ?cache db config requests =
         qm_tiers = List.rev q.q_tiers;
         qm_exec_cycles = r.Engine.exec_cycles;
         qm_rows = r.Engine.output_count;
-        qm_checksum = Engine.checksum r.Engine.rows;
+        qm_checksum =
+          (* with intra-query lanes the barrier merge emits rows in lane
+             order, not sequential insert order: checksum the sorted
+             multiset so the sum is lane-count-invariant *)
+          (if config.intra > 1 then
+             Engine.checksum (List.sort compare r.Engine.rows)
+           else Engine.checksum r.Engine.rows);
         qm_tenant = q.q_tenant;
         qm_first_s =
           (match q.q_first_s with
@@ -450,7 +409,7 @@ let run_requests_events ?cache db config requests =
       Code_cache.force cache db ~params:q.q_params ~claim:true e
     in
     q.q_claims <- (e, cm) :: q.q_claims;
-    let ex = Exec.start db cq cm in
+    let ex = Exec.start ?sched db cq cm in
     if fresh && Array.length q.q_params > 0 then begin
       (* a fresh parameter bind is charged on the virtual clock, priced
          near-free next to any back-end compile *)
@@ -588,7 +547,7 @@ let run_requests_events ?cache db config requests =
   Sim.run sim;
   let queries = List.rev !done_q in
   let makespan =
-    List.fold_left (fun a q -> Float.max a q.qm_finish) 0.0 queries
+    List.fold_left (fun a q -> Float.max a q.Report.qm_finish) 0.0 queries
   in
   Report.assemble db cache ~mode:(mode_name config.mode) ~makespan
     ~sheds:(List.rev !sheds)

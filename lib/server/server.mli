@@ -41,36 +41,20 @@ type config = Pool.config = {
   cache_shards : int;
       (** hash shards of the code cache (when the driver creates it);
           1 = the deterministic single-lock layout *)
+  intra : int;
+      (** intra-query lanes: parallelizable pipeline bodies fan each
+          quantum's morsels out over this many execution lanes. The
+          discrete-event driver models them deterministically (virtual
+          time advances by the max over lanes); 1 = serial bodies *)
 }
 
 (** Tiered, 4 workers, 2 compile slots, 512-row morsels, unbounded
-    admission, 1 tenant, 1 cache shard. *)
+    admission, 1 tenant, 1 cache shard, serial bodies (intra 1). *)
 val default_config : config
 
-type query_metrics = Report.query_metrics = {
-  qm_name : string;
-  qm_fp : int64;
-  qm_backend : string;  (** back-end that finished the query *)
-  qm_arrival : float;
-  qm_start : float;
-  qm_finish : float;
-  qm_compile_s : float;  (** foreground compile charged on the worker *)
-  qm_cache_hit : bool;  (** strong-tier module came from the cache *)
-  qm_switch_s : float option;
-      (** virtual time of the first hot-swap since start *)
-  qm_quanta_tier0 : int;
-  qm_quanta_tier1 : int;
-  qm_tiers : string list;
-      (** back-ends the query executed on, in order (length > 2 means the
-          controller upgraded more than once) *)
-  qm_exec_cycles : int;
-  qm_rows : int;
-  qm_checksum : int64;
-  qm_tenant : int;  (** traffic-generator tenant tag (0 single-tenant) *)
-  qm_first_s : float;
-      (** enqueue -> first-row latency: arrival to the end of the quantum
-          that produced the first morsel of output *)
-}
+(** Alias of the one canonical metric record, {!Report.query_metrics};
+    read the fields through {!Report}. *)
+type query_metrics = Report.query_metrics
 
 val qm_latency : query_metrics -> float
 
@@ -82,46 +66,8 @@ type request = Pool.request = {
   rq_tenant : int;
 }
 
-type report = Report.t = {
-  r_mode : string;
-  r_queries : query_metrics list;  (** completion order *)
-  r_makespan : float;  (** virtual time of the last completion *)
-  r_total_latency : float;  (** sum of per-query latencies *)
-  r_mean_latency : float;
-  r_p50_latency : float;
-  r_p95_latency : float;
-  r_p99_latency : float;
-  r_max_latency : float;
-  r_p50_first_row : float;  (** enqueue -> first-row percentiles *)
-  r_p95_first_row : float;
-  r_p99_first_row : float;
-  r_compile_stall_s : float;
-      (** total foreground compile seconds charged on workers — time
-          queries stalled waiting on a compile instead of executing *)
-  r_throughput : float;  (** completed queries per virtual second *)
-  r_switchovers : int;
-  r_sheds : Report.shed list;  (** rejected at the admission cap *)
-  r_queue_peak : int;  (** admission-queue occupancy high-water mark *)
-  r_lat_hist : Hist.t;  (** end-to-end latency histogram *)
-  r_first_hist : Hist.t;  (** first-row latency histogram *)
-  r_cache : Lru.stats;
-  r_bytes_freed : int;  (** code bytes returned to the region allocator *)
-  r_live_code_bytes : int;  (** resident generated code at end of run *)
-  r_peak_code_bytes : int;  (** high-water mark of resident code *)
-  r_live_data_bytes : int;
-      (** linear-memory data bytes still allocated at end of run (tables,
-          stacks, module GOTs — per-query blocks must all be recycled) *)
-  r_peak_data_bytes : int;  (** high-water mark of allocated data bytes *)
-  r_freed_data_bytes : int;  (** cumulative data bytes recycled *)
-  r_shape_hits : int;
-      (** parameterized lookups that found the shape's artifact cached but
-          had to bind a new literal vector *)
-  r_exact_hits : int;
-      (** parameterized lookups that found an already-bound instance for the
-          exact literal vector *)
-  r_binds : int;  (** parameter-vector bind (re-link) operations *)
-  r_bind_s : float;  (** modelled seconds spent binding parameter vectors ([r_binds] x {!Costmodel.bind_seconds}, deterministic like every other report duration) *)
-}
+(** Alias of the one canonical summary record, {!Report.t}. *)
+type report = Report.t
 
 (** Serve [stream] (name, plan pairs in arrival order) against [db].
     [cache] persists across calls when supplied (a warm serving process);

@@ -10,9 +10,12 @@ module Hashes = Qcomp_support.Hashes
 let check = Alcotest.check
 let fresh_mem () = Memory.create (1 lsl 24)
 
+(* Creation takes the profile as an explicit argument now (no
+   process-wide toggle); [with_profile] hands the callback a [create]
+   preconfigured with it. *)
 let with_profile p f =
-  Htable.set_profile p;
-  Fun.protect ~finally:(fun () -> Htable.set_profile Htable.Tagged) f
+  f (fun m ~payload_size ~capacity_hint ->
+      Htable.create m ~profile:p ~payload_size ~capacity_hint ())
 
 let unhash =
   match Hashes.unhash64_opt with
@@ -37,7 +40,7 @@ let mode_cases =
     Alcotest.test_case "dense integer keys select direct addressing" `Quick
       (fun () ->
         let m = fresh_mem () in
-        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 () in
         for k = 0 to 999 do
           let p, _ = Htable.insert m ht (Hashes.hash64 (Int64.of_int k)) in
           Memory.store64 m p (Int64.of_int (k * 3))
@@ -57,7 +60,7 @@ let mode_cases =
     Alcotest.test_case "sparse keys fall back to tagged mid-build" `Quick
       (fun () ->
         let m = fresh_mem () in
-        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 () in
         let keys =
           List.init 100 (fun k -> Int64.of_int k) @ [ 10_000_000L ]
         in
@@ -85,9 +88,9 @@ let mode_cases =
           (* dups: 80 keys twice *)
         in
         let collect profile extra =
-          with_profile profile (fun () ->
+          with_profile profile (fun create ->
               let m = fresh_mem () in
-              let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+              let ht, _ = create m ~payload_size:8 ~capacity_hint:4 in
               List.iteri
                 (fun i k ->
                   let p, _ = Htable.insert m ht (Hashes.hash64 k) in
@@ -126,9 +129,9 @@ let mode_cases =
 let chain_cases =
   let dup_chain_test name profile keys =
     Alcotest.test_case name `Quick (fun () ->
-        with_profile profile (fun () ->
+        with_profile profile (fun create ->
             let m = fresh_mem () in
-            let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+            let ht, _ = create m ~payload_size:8 ~capacity_hint:4 in
             (* three duplicates per key, interleaved so several grows land
                mid-stream; payload encodes (key, dup ordinal) *)
             List.iter
@@ -169,7 +172,7 @@ let probe_cases =
   [
     Alcotest.test_case "tag false-positive rate is bounded" `Quick (fun () ->
         let m = fresh_mem () in
-        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 () in
         for i = 0 to 4095 do
           ignore (Htable.insert m ht (scrambled i))
         done;
@@ -203,9 +206,9 @@ let probe_cases =
     Alcotest.test_case "lookup/next probe cost monotone and calibrated"
       `Quick (fun () ->
         let walk_costs ?(force_tagged = false) profile k dups =
-          with_profile profile (fun () ->
+          with_profile profile (fun create ->
               let m = fresh_mem () in
-              let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:64 in
+              let ht, _ = create m ~payload_size:8 ~capacity_hint:64 in
               (* a single repeated key keeps the direct window at span 0;
                  two far-apart warm-up keys force the tagged fallback *)
               if force_tagged then begin
@@ -257,9 +260,9 @@ let probe_cases =
           steps_l);
     Alcotest.test_case "legacy profile preserves pre-tag charges" `Quick
       (fun () ->
-        with_profile Htable.Legacy (fun () ->
+        with_profile Htable.Legacy (fun create ->
             let m = fresh_mem () in
-            let ht, ccost = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+            let ht, ccost = create m ~payload_size:8 ~capacity_hint:16 in
             check Alcotest.int "create 200" 200 ccost;
             let _, icost = Htable.insert m ht 0xABCL in
             check Alcotest.int "insert 10" 10 icost;
@@ -275,7 +278,7 @@ let accounting_cases =
     Alcotest.test_case "create and growth charge for arena zeroing" `Quick
       (fun () ->
         let m = fresh_mem () in
-        let ht, cost = Htable.create m ~payload_size:8 ~capacity_hint:1024 in
+        let ht, cost = Htable.create m ~payload_size:8 ~capacity_hint:1024 () in
         let esz = Htable.entry_size m ht in
         check Alcotest.bool
           (Printf.sprintf "create charges zeroing (%d)" cost)
@@ -299,7 +302,7 @@ let accounting_cases =
         let m = fresh_mem () in
         let live0 = Memory.live_data_bytes m in
         let freed0 = Memory.freed_data_bytes m in
-        let ht, _ = Htable.create m ~payload_size:16 ~capacity_hint:16 in
+        let ht, _ = Htable.create m ~payload_size:16 ~capacity_hint:16 () in
         for i = 0 to 4999 do
           ignore (Htable.insert m ht (scrambled i))
         done;
@@ -323,7 +326,7 @@ let accounting_cases =
         for _round = 1 to 12 do
           let scope = Memory.new_scope () in
           Memory.with_scope scope (fun () ->
-              let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+              let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 () in
               (* 3000 sparse keys drive 16 -> 8192: nine grows per round *)
               for i = 0 to 2999 do
                 ignore (Htable.insert m ht (scrambled i))
@@ -342,7 +345,7 @@ let guard_cases =
     Alcotest.test_case "stale entry address after grow is rejected" `Quick
       (fun () ->
         let m = fresh_mem () in
-        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 in
+        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:16 () in
         let h = scrambled 1 in
         ignore (Htable.insert m ht h);
         let e, _ = Htable.lookup m ht h in
@@ -366,9 +369,9 @@ let guard_cases =
       (fun () ->
         List.iter
           (fun profile ->
-            with_profile profile (fun () ->
+            with_profile profile (fun create ->
                 let m = fresh_mem () in
-                let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+                let ht, _ = create m ~payload_size:8 ~capacity_hint:4 in
                 let p, _ = Htable.insert m ht 0L in
                 Memory.store64 m p 9L;
                 let e, _ = Htable.lookup m ht 0L in
@@ -380,7 +383,7 @@ let guard_cases =
         List.iter
           (fun mk ->
             let m = fresh_mem () in
-            let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:4 in
+            let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:4 () in
             for i = 1 to 40 do
               let p, _ = Htable.insert m ht (mk i) in
               Memory.store64 m p (Int64.of_int i)

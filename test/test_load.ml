@@ -227,14 +227,14 @@ let multiset (r : Server.report) =
   List.sort compare
     (List.map
        (fun (q : Server.query_metrics) ->
-         (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
-       r.Server.r_queries)
+         (q.Report.qm_name, q.Report.qm_rows, q.Report.qm_checksum))
+       r.Report.r_queries)
 
 let percentiles_ordered (r : Server.report) =
-  r.Server.r_p99_latency >= r.Server.r_p95_latency
-  && r.Server.r_p95_latency >= r.Server.r_p50_latency
-  && r.Server.r_p99_first_row >= r.Server.r_p95_first_row
-  && r.Server.r_p95_first_row >= r.Server.r_p50_first_row
+  r.Report.r_p99_latency >= r.Report.r_p95_latency
+  && r.Report.r_p95_latency >= r.Report.r_p50_latency
+  && r.Report.r_p99_first_row >= r.Report.r_p95_first_row
+  && r.Report.r_p95_first_row >= r.Report.r_p50_first_row
 
 (* the overload trace both drivers replay: bursts far above the drain
    rate, so a small cap must shed *)
@@ -274,7 +274,7 @@ let idle_pool_cpu_test =
       let cpu0 = Sys.time () and wall0 = Unix.gettimeofday () in
       let r = Server.run_requests ~parallel:2 db (load_cfg None) reqs in
       let cpu = Sys.time () -. cpu0 and wall = Unix.gettimeofday () -. wall0 in
-      check Alcotest.int "query served" 1 (List.length r.Server.r_queries);
+      check Alcotest.int "query served" 1 (List.length r.Report.r_queries);
       check Alcotest.bool "waited for the arrival" true (wall >= 0.28);
       check Alcotest.bool
         (Printf.sprintf "cpu %.3fs for %.3fs wall" cpu wall)
@@ -362,25 +362,25 @@ let overload_event_test =
       let capped = run (Some 2) and capped2 = run (Some 2) in
       let uncapped = run None in
       check Alcotest.int "uncapped admits everything" 60
-        (List.length uncapped.Server.r_queries);
+        (List.length uncapped.Report.r_queries);
       check Alcotest.(list string) "uncapped sheds none" []
-        (List.map (fun s -> s.Report.sh_name) uncapped.Server.r_sheds);
+        (List.map (fun s -> s.Report.sh_name) uncapped.Report.r_sheds);
       check Alcotest.bool "capped sheds under burst" true
-        (capped.Server.r_sheds <> []);
+        (capped.Report.r_sheds <> []);
       check Alcotest.int "completed + shed = offered" 60
-        (List.length capped.Server.r_queries
-        + List.length capped.Server.r_sheds);
+        (List.length capped.Report.r_queries
+        + List.length capped.Report.r_sheds);
       check Alcotest.bool "queue peak bounded by cap" true
-        (capped.Server.r_queue_peak <= 2);
+        (capped.Report.r_queue_peak <= 2);
       (* every admitted query is bit-identical to its uncapped twin *)
       let unc = multiset uncapped in
       check Alcotest.bool "admitted results identical uncapped" true
         (List.for_all (fun k -> List.mem k unc) (multiset capped));
       (* sheds are part of the deterministic report *)
       check Alcotest.bool "same seed, same sheds" true
-        (capped.Server.r_sheds = capped2.Server.r_sheds
+        (capped.Report.r_sheds = capped2.Report.r_sheds
         && multiset capped = multiset capped2
-        && capped.Server.r_makespan = capped2.Server.r_makespan);
+        && capped.Report.r_makespan = capped2.Report.r_makespan);
       check Alcotest.bool "percentiles ordered (capped)" true
         (percentiles_ordered capped);
       check Alcotest.bool "percentiles ordered (uncapped)" true
@@ -401,7 +401,7 @@ let overload_pool_test =
           (load_cfg (Some 1000)) overload_requests
       in
       check Alcotest.(list string) "roomy cap sheds none" []
-        (List.map (fun s -> s.Report.sh_name) roomy.Server.r_sheds);
+        (List.map (fun s -> s.Report.sh_name) roomy.Report.r_sheds);
       check
         Alcotest.(list (triple string int int64))
         "pool results = event-driver results" uncapped_ref (multiset roomy);
@@ -414,9 +414,9 @@ let overload_pool_test =
           (load_cfg (Some 2)) overload_requests
       in
       check Alcotest.int "completed + shed = offered" 60
-        (List.length tight.Server.r_queries + List.length tight.Server.r_sheds);
+        (List.length tight.Report.r_queries + List.length tight.Report.r_sheds);
       check Alcotest.bool "queue peak bounded by cap" true
-        (tight.Server.r_queue_peak <= 2);
+        (tight.Report.r_queue_peak <= 2);
       check Alcotest.bool "admitted results identical uncapped" true
         (List.for_all (fun k -> List.mem k uncapped_ref) (multiset tight)))
 
@@ -442,9 +442,9 @@ let sharded_cache_test =
         Alcotest.(list (triple string int int64))
         "4 shards = 1 shard" (multiset one) (multiset four);
       check Alcotest.int "same hits"
-        one.Server.r_cache.Lru.hits four.Server.r_cache.Lru.hits;
+        one.Report.r_cache.Lru.hits four.Report.r_cache.Lru.hits;
       check Alcotest.int "same misses"
-        one.Server.r_cache.Lru.misses four.Server.r_cache.Lru.misses;
+        one.Report.r_cache.Lru.misses four.Report.r_cache.Lru.misses;
       (* snapshot from a 4-shard cache reloads into a 2-shard one *)
       let snap = Filename.temp_file "qcss" ".snap" in
       Fun.protect

@@ -33,4 +33,5 @@ let () =
       ("server", Test_server.suite);
       ("param", Test_param.suite);
       ("load", Test_load.suite);
+      ("morsel", Test_morsel.suite);
     ]

@@ -1,0 +1,320 @@
+(* Intra-query morsel-driven parallelism: the pipeline/morsel API surface,
+   the morsel-partitioned differential (every TPC-H query at intra 1/2/4
+   must produce the sequential multiset, across back-ends and both serving
+   drivers), the wall-vs-total cycle accounting, and the two-phase build's
+   exact-size merge under genuinely concurrent lane-local builds. *)
+
+open Qcomp_vm
+open Qcomp_engine
+open Qcomp_server
+module Htable = Qcomp_runtime.Htable
+module Hashes = Qcomp_support.Hashes
+module Spec = Qcomp_workloads.Spec
+
+let check = Alcotest.check
+let timing = Qcomp_support.Timing.create ~enabled:false ()
+
+let tpch_queries =
+  List.map
+    (fun (q : Spec.query) -> (q.Spec.q_name, q.Spec.q_plan))
+    (Experiments.queries_of Experiments.Tpch)
+
+(* Lane merges emit rows in lane order, not sequential insert order, so
+   every comparison here is over the sorted multiset. *)
+let multiset_checksum rows = Engine.checksum (List.sort compare rows)
+
+(* Run [cq]/[cm] to completion, optionally over a lane pool; returns
+   (multiset checksum, row count, total cycles, wall cycles). Lane
+   contexts are permanent, so callers create one scheduler per db and
+   reuse it across queries. *)
+let run_lanes ?sched db cq cm ~morsel =
+  let ex = Exec.start ?sched db cq cm in
+  Fun.protect ~finally:(fun () -> Exec.dispose ex) @@ fun () ->
+  Exec.run_to_end ex ~morsel;
+  let r = Exec.result ex in
+  ( multiset_checksum r.Engine.rows,
+    r.Engine.output_count,
+    Exec.cycles ex,
+    Exec.wall_cycles ex )
+
+(* ---------------- the Morsel/Pipeline API surface ---------------- *)
+
+let api_cases =
+  [
+    Alcotest.test_case "Morsel ranges: clamp, rows, split, chunks" `Quick
+      (fun () ->
+        let m = Engine.Morsel.make ~lo:10 ~hi:110 in
+        check Alcotest.int "rows" 100 (Engine.Morsel.rows m);
+        let c = Engine.Morsel.clamp Engine.Morsel.whole ~rows:42 in
+        check Alcotest.int "whole clamps" 42 (Engine.Morsel.rows c);
+        let parts = Engine.Morsel.split m ~parts:3 in
+        check Alcotest.int "split count" 3 (List.length parts);
+        check Alcotest.int "split covers" 100
+          (List.fold_left (fun a p -> a + Engine.Morsel.rows p) 0 parts);
+        (* contiguous and ordered *)
+        ignore
+          (List.fold_left
+             (fun lo (p : Engine.Morsel.t) ->
+               check Alcotest.int "contiguous" lo p.Engine.Morsel.lo;
+               p.Engine.Morsel.hi)
+             10 parts);
+        let chunks = Engine.Morsel.chunks m ~size:33 in
+        check Alcotest.int "chunk count" 4 (List.length chunks);
+        List.iter
+          (fun p ->
+            check Alcotest.bool "chunk size" true (Engine.Morsel.rows p <= 33))
+          chunks);
+    Alcotest.test_case
+      "pipelines split at breakers; only sinked table bodies parallelize"
+      `Quick (fun () ->
+        let db = Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:1 in
+        List.iter
+          (fun (name, plan) ->
+            let cq = Engine.plan_to_ir db ~name plan in
+            let pipes = Engine.Pipeline.of_compiled cq in
+            check Alcotest.bool (name ^ ": has pipelines") true (pipes <> []);
+            (* pipelines partition the step list in order *)
+            let steps =
+              List.concat_map
+                (fun (p : Engine.Pipeline.t) ->
+                  p.Engine.Pipeline.p_prologue
+                  @ match p.Engine.Pipeline.p_body with
+                    | Some s -> [ s ]
+                    | None -> [])
+                pipes
+            in
+            check Alcotest.int (name ^ ": steps partitioned")
+              (List.length cq.Qcomp_codegen.Codegen.steps)
+              (List.length steps);
+            List.iter
+              (fun (p : Engine.Pipeline.t) ->
+                match p.Engine.Pipeline.p_body with
+                | Some s ->
+                    check Alcotest.bool (name ^ ": body is table-ranged") true
+                      (match s.Engine.Pipeline.range with
+                      | `Table _ -> true
+                      | `Whole -> false);
+                    if Engine.Pipeline.parallelizable p then
+                      check Alcotest.bool (name ^ ": parallel body has sinks")
+                        true
+                        (s.Engine.Pipeline.sinks <> [])
+                | None -> ())
+              pipes)
+          tpch_queries);
+  ]
+
+(* ---------------- morsel-partitioned differential ---------------- *)
+
+(* Every TPC-H query, sequential vs 2 and 4 simulated lanes on the stencil
+   tier: identical multisets, and wall cycles never exceed total work. *)
+let lanes_differential_case =
+  Alcotest.test_case "all TPC-H queries: intra 1/2/4 multisets identical"
+    `Quick (fun () ->
+      let db = Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:1 in
+      let scheds =
+        List.map
+          (fun lanes -> (lanes, Morsel_sched.create ~parallel:false db ~lanes))
+          [ 2; 4 ]
+      in
+      List.iter
+        (fun (name, plan) ->
+          Engine.with_compiled db ~backend:Engine.stencil ~timing ~name plan
+            (fun cq cm _ ->
+              let sum1, n1, c1, w1 = run_lanes db cq cm ~morsel:128 in
+              check Alcotest.int (name ^ ": serial wall = total") c1 w1;
+              List.iter
+                (fun (lanes, sched) ->
+                  let sum, n, c, w = run_lanes ~sched db cq cm ~morsel:128 in
+                  check Alcotest.int
+                    (Printf.sprintf "%s: rows @%d lanes" name lanes)
+                    n1 n;
+                  check Alcotest.int64
+                    (Printf.sprintf "%s: multiset @%d lanes" name lanes)
+                    sum1 sum;
+                  check Alcotest.bool
+                    (Printf.sprintf "%s: wall <= total @%d lanes" name lanes)
+                    true (w <= c))
+                scheds))
+        tpch_queries)
+
+(* A heavy scan-dominated aggregate must actually get faster in modeled
+   wall-clock when its body fans out. *)
+let speedup_case =
+  Alcotest.test_case "scan-heavy aggregate: intra 4 wall < serial wall"
+    `Quick (fun () ->
+      let db = Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:4 in
+      let name, plan =
+        List.find (fun (n, _) -> n = "q01") tpch_queries
+      in
+      let sched = Morsel_sched.create ~parallel:false db ~lanes:4 in
+      Engine.with_compiled db ~backend:Engine.stencil ~timing ~name plan
+        (fun cq cm _ ->
+          let _, _, _, w1 = run_lanes db cq cm ~morsel:256 in
+          let _, _, c4, w4 = run_lanes ~sched db cq cm ~morsel:256 in
+          check Alcotest.bool "wall shrinks" true (w4 < w1);
+          check Alcotest.bool "total work >= wall" true (c4 > w4)))
+
+(* A smaller query subset across every applicable back-end at 4 lanes:
+   each must reproduce its own sequential multiset, and all back-ends must
+   agree with each other. *)
+let backend_matrix_case =
+  Alcotest.test_case "query subset: every back-end at intra 4 agrees" `Quick
+    (fun () ->
+      let db = Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:1 in
+      let sched = Morsel_sched.create ~parallel:false db ~lanes:4 in
+      let subset =
+        List.filter
+          (fun (n, _) -> List.mem n [ "q01"; "q03"; "q06"; "q18" ])
+          tpch_queries
+      in
+      List.iter
+        (fun (name, plan) ->
+          let reference = ref None in
+          List.iter
+            (fun backend ->
+              let bname = Qcomp_backend.Backend.name backend in
+              Engine.with_compiled db ~backend ~timing ~name plan
+                (fun cq cm _ ->
+                  let sum1, n1, _, _ = run_lanes db cq cm ~morsel:97 in
+                  let sum4, n4, _, _ = run_lanes ~sched db cq cm ~morsel:97 in
+                  check Alcotest.int64
+                    (Printf.sprintf "%s/%s: 4 lanes = serial" name bname)
+                    sum1 sum4;
+                  check Alcotest.int
+                    (Printf.sprintf "%s/%s: rows" name bname)
+                    n1 n4;
+                  match !reference with
+                  | None -> reference := Some (sum1, n1)
+                  | Some (rs, rn) ->
+                      check Alcotest.int64
+                        (Printf.sprintf "%s/%s: cross-backend" name bname)
+                        rs sum4;
+                      check Alcotest.int
+                        (Printf.sprintf "%s/%s: cross-backend rows" name bname)
+                        rn n4))
+            (Engine.all_backends db))
+        subset)
+
+(* ---------------- both serving drivers ---------------- *)
+
+let server_intra_case =
+  Alcotest.test_case "event driver at intra 2 reproduces run_plan" `Quick
+    (fun () ->
+      let db = Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:1 in
+      let cfg = { Server.default_config with Server.intra = 2; workers = 2 } in
+      let report = Server.run db cfg tpch_queries in
+      check Alcotest.int "all served"
+        (List.length tpch_queries)
+        (List.length report.Report.r_queries);
+      let vdb = Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:1 in
+      List.iter
+        (fun (q : Report.query_metrics) ->
+          let plan = List.assoc q.Report.qm_name tpch_queries in
+          let expect =
+            Engine.with_compiled vdb ~backend:Engine.interpreter ~timing
+              ~name:q.Report.qm_name plan (fun cq cm _ ->
+                multiset_checksum (Engine.execute vdb cq cm).Engine.rows)
+          in
+          check Alcotest.int64 (q.Report.qm_name ^ ": served checksum") expect
+            q.Report.qm_checksum)
+        report.Report.r_queries)
+
+let pool_intra_case =
+  Alcotest.test_case "domain pool at domains 2 x intra 2 reproduces results"
+    `Quick (fun () ->
+      let stream =
+        List.filter
+          (fun (n, _) -> List.mem n [ "q01"; "q03"; "q06"; "q12"; "q18" ])
+          tpch_queries
+      in
+      let cfg =
+        {
+          Server.default_config with
+          Server.workers = 2;
+          intra = 2;
+          mean_gap_s = 0.0;
+        }
+      in
+      let db = Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:1 in
+      let preport = Pool.run db ~domains:2 cfg stream in
+      let sdb = Experiments.make_db Qcomp_vm.Target.x64 Experiments.Tpch ~sf:1 in
+      let sreport = Server.run sdb cfg stream in
+      let key (q : Report.query_metrics) =
+        (q.Report.qm_name, q.Report.qm_rows, q.Report.qm_checksum)
+      in
+      let multiset (r : Report.t) =
+        List.sort compare (List.map key r.Report.r_queries)
+      in
+      check
+        Alcotest.(list (triple string int int64))
+        "pool = event driver" (multiset sreport) (multiset preport))
+
+(* ---------------- two-phase build machinery ---------------- *)
+
+let exact_capacity_case =
+  Alcotest.test_case "exact_capacity never admits a grow" `Quick (fun () ->
+      let m = Memory.create (1 lsl 24) in
+      List.iter
+        (fun n ->
+          let ht, _ =
+            Htable.create m ~payload_size:8
+              ~capacity_hint:(Htable.exact_capacity n) ()
+          in
+          let cap0 = Htable.capacity m ht in
+          for i = 1 to n do
+            ignore (Htable.insert m ht (Hashes.hash64 (Int64.of_int i)))
+          done;
+          check Alcotest.int
+            (Printf.sprintf "capacity stable at %d" n)
+            cap0 (Htable.capacity m ht);
+          check Alcotest.int (Printf.sprintf "count %d" n) n (Htable.count m ht))
+        [ 0; 1; 7; 100; 1000; 5000 ])
+
+let concurrent_build_merge_case =
+  Alcotest.test_case
+    "grow-under-concurrent-build: lane tables merge exactly" `Quick
+    (fun () ->
+      let m = Memory.create (1 lsl 26) in
+      let lanes = 4 and per_lane = 5000 in
+      (* each domain hammers its own lane-local table in the shared memory
+         — tiny capacity hint forces several grows mid-build on every lane
+         while the others are also allocating *)
+      let build lane () =
+        let ht, _ = Htable.create m ~payload_size:8 ~capacity_hint:4 () in
+        for i = 0 to per_lane - 1 do
+          let key = Int64.of_int ((lane * per_lane) + i) in
+          let p, _ = Htable.insert m ht (Hashes.hash64 key) in
+          Memory.store64 m p key
+        done;
+        ht
+      in
+      let doms = Array.init lanes (fun l -> Domain.spawn (build l)) in
+      let lane_tables = Array.map Domain.join doms in
+      let total = lanes * per_lane in
+      let dst, _ =
+        Htable.create m ~payload_size:8
+          ~capacity_hint:(Htable.exact_capacity total) ()
+      in
+      let cap0 = Htable.capacity m dst in
+      Array.iter (fun src -> ignore (Htable.merge_into m ~dst ~src)) lane_tables;
+      check Alcotest.int "no grow during merge" cap0 (Htable.capacity m dst);
+      check Alcotest.int "all entries merged" total (Htable.count m dst);
+      (* every key is present exactly once with its payload *)
+      for k = 0 to total - 1 do
+        let key = Int64.of_int k in
+        let e, _ = Htable.lookup m dst (Hashes.hash64 key) in
+        if e = 0 then Alcotest.failf "key %d missing after merge" k;
+        if not (Int64.equal (Memory.load64 m (e + 8)) key) then
+          Alcotest.failf "key %d: wrong payload" k;
+        let e', _ = Htable.next m dst e (Hashes.hash64 key) in
+        if e' <> 0 && Int64.equal (Memory.load64 m (e' + 8)) key then
+          Alcotest.failf "key %d merged twice" k
+      done)
+
+let suite =
+  api_cases
+  @ [
+      lanes_differential_case; speedup_case; backend_matrix_case;
+      server_intra_case; pool_intra_case; exact_capacity_case;
+      concurrent_build_merge_case;
+    ]

@@ -268,8 +268,8 @@ let multiset (r : Server.report) =
   List.sort compare
     (List.map
        (fun (q : Server.query_metrics) ->
-         (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
-       r.Server.r_queries)
+         (q.Report.qm_name, q.Report.qm_rows, q.Report.qm_checksum))
+       r.Report.r_queries)
 
 let serving_differential_test =
   Alcotest.test_case
@@ -288,9 +288,9 @@ let serving_differential_test =
         Alcotest.(list (triple string int int64))
         "paramize on = off (event driver)" (multiset off) (multiset on);
       (* shape-keyed caching actually engaged on the paramized run *)
-      if on.Server.r_shape_hits + on.Server.r_exact_hits = 0 then
+      if on.Report.r_shape_hits + on.Report.r_exact_hits = 0 then
         Alcotest.fail "paramized run saw no shape/exact hits";
-      check Alcotest.int "whole-plan run never binds" 0 off.Server.r_binds;
+      check Alcotest.int "whole-plan run never binds" 0 off.Report.r_binds;
       (* the domain-parallel driver serves the same stream identically *)
       let par =
         Server.run ~parallel:2 (mkdb ())
@@ -300,7 +300,7 @@ let serving_differential_test =
       check
         Alcotest.(list (triple string int int64))
         "paramize on (pool driver) = whole-plan" (multiset off) (multiset par);
-      if par.Server.r_shape_hits + par.Server.r_exact_hits = 0 then
+      if par.Report.r_shape_hits + par.Report.r_exact_hits = 0 then
         Alcotest.fail "paramized pool run saw no shape/exact hits")
 
 let suite =

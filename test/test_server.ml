@@ -206,8 +206,8 @@ let serve_checksum db mode plan =
       { Server.default_config with Server.mode; Server.morsel = 16 }
       [ ("q", plan) ]
   in
-  match r.Server.r_queries with
-  | [ q ] -> (q.Server.qm_checksum, q.Server.qm_rows)
+  match r.Report.r_queries with
+  | [ q ] -> (q.Report.qm_checksum, q.Report.qm_rows)
   | _ -> Alcotest.fail "expected exactly one served query"
 
 let runplan_checksum db plan =
@@ -250,12 +250,12 @@ let switchover_test =
           { Server.default_config with Server.mode = Server.Tiered; Server.morsel = 64 }
           [ ("q", plan) ]
       in
-      let q = List.hd r.Server.r_queries in
+      let q = List.hd r.Report.r_queries in
       check Alcotest.(pair int64 int) "checksum" expect
-        (q.Server.qm_checksum, q.Server.qm_rows);
-      check Alcotest.bool "switched" true (q.Server.qm_switch_s <> None);
+        (q.Report.qm_checksum, q.Report.qm_rows);
+      check Alcotest.bool "switched" true (q.Report.qm_switch_s <> None);
       check Alcotest.bool "ran both tiers" true
-        (q.Server.qm_quanta_tier0 > 0 && q.Server.qm_quanta_tier1 > 0))
+        (q.Report.qm_quanta_tier0 > 0 && q.Report.qm_quanta_tier1 > 0))
 
 (* repeated stream: cache hits and byte-identical reports *)
 let determinism_test =
@@ -274,7 +274,7 @@ let determinism_test =
       check Alcotest.string "byte-identical" a b;
       let db = make_db ~rows:1024 () in
       let r = Server.run db { Server.default_config with Server.morsel = 64 } stream in
-      check Alcotest.bool "cache hits" true (r.Server.r_cache.Lru.hits > 0))
+      check Alcotest.bool "cache hits" true (r.Report.r_cache.Lru.hits > 0))
 
 (* code cache: eviction pressure still serves correct results *)
 let eviction_test =
@@ -294,18 +294,18 @@ let eviction_test =
           stream
       in
       check Alcotest.bool "evictions happened" true
-        (r.Server.r_cache.Lru.evictions > 0);
+        (r.Report.r_cache.Lru.evictions > 0);
       List.iter
         (fun (q : Server.query_metrics) ->
           let i =
-            match List.mapi (fun i (n, _) -> (n, i)) fixed_plans |> List.assoc_opt q.Server.qm_name with
+            match List.mapi (fun i (n, _) -> (n, i)) fixed_plans |> List.assoc_opt q.Report.qm_name with
             | Some i -> i
             | None -> Alcotest.fail "unknown query in report"
           in
-          check Alcotest.(pair int64 int) ("evicted-cache " ^ q.Server.qm_name)
+          check Alcotest.(pair int64 int) ("evicted-cache " ^ q.Report.qm_name)
             (List.nth expects i)
-            (q.Server.qm_checksum, q.Server.qm_rows))
-        r.Server.r_queries)
+            (q.Report.qm_checksum, q.Report.qm_rows))
+        r.Report.r_queries)
 
 (* code-memory lifecycle under eviction pressure: one warm db + cache
    serving repeated passes of a fuzzed stream with a tiny capacity must
@@ -335,10 +335,10 @@ let eviction_pressure_test =
             check
               Alcotest.(pair int64 int)
               (Printf.sprintf "pass %d: %s matches run_plan" pass
-                 q.Server.qm_name)
-              (List.assoc q.Server.qm_name expects)
-              (q.Server.qm_checksum, q.Server.qm_rows))
-          r.Server.r_queries;
+                 q.Report.qm_name)
+              (List.assoc q.Report.qm_name expects)
+              (q.Report.qm_checksum, q.Report.qm_rows))
+          r.Report.r_queries;
         (* every resident module is in the LRU (<= capacity), pinned by an
            in-flight query (<= workers) or compiled but not yet visible
            (<= compile_slots); +1 headroom *)
@@ -350,28 +350,28 @@ let eviction_pressure_test =
         in
         check Alcotest.bool
           (Printf.sprintf "pass %d: live %d <= bound %d" pass
-             r.Server.r_live_code_bytes bound)
+             r.Report.r_live_code_bytes bound)
           true
-          (r.Server.r_live_code_bytes <= bound);
+          (r.Report.r_live_code_bytes <= bound);
         check Alcotest.bool
           (Printf.sprintf "pass %d: peak %d <= bound %d" pass
-             r.Server.r_peak_code_bytes bound)
+             r.Report.r_peak_code_bytes bound)
           true
-          (r.Server.r_peak_code_bytes <= bound);
+          (r.Report.r_peak_code_bytes <= bound);
         check Alcotest.bool
           (Printf.sprintf "pass %d: eviction keeps freeing code" pass)
           true
-          (r.Server.r_bytes_freed > !prev_freed);
-        prev_freed := r.Server.r_bytes_freed;
+          (r.Report.r_bytes_freed > !prev_freed);
+        prev_freed := r.Report.r_bytes_freed;
         check Alcotest.bool
           (Printf.sprintf "pass %d: evictions happened" pass)
           true
-          (r.Server.r_cache.Lru.evictions > 0)
+          (r.Report.r_cache.Lru.evictions > 0)
       done)
 
 (* morsel-range execute: partial scans compose to the full result *)
 let range_test =
-  Alcotest.test_case "Engine.execute ?from ?upto partial scans" `Quick (fun () ->
+  Alcotest.test_case "Engine.execute_morsel partial scans" `Quick (fun () ->
       let db = make_db ~rows:100 () in
       let plan =
         Algebra.Group_by
@@ -390,12 +390,26 @@ let range_test =
         | [] -> 0 (* empty range: the group is never materialized *)
         | _ -> Alcotest.fail "unexpected shape"
       in
+      let over m = count (Engine.execute_morsel db cq cm m) in
       check Alcotest.int "full scan" 100 (count (Engine.execute db cq cm));
-      check Alcotest.int "first half" 50 (count (Engine.execute db ~upto:50 cq cm));
-      check Alcotest.int "second half" 50 (count (Engine.execute db ~from:50 cq cm));
+      check Alcotest.int "whole morsel" 100 (over Engine.Morsel.whole);
+      check Alcotest.int "first half" 50 (over (Engine.Morsel.make ~lo:0 ~hi:50));
+      check Alcotest.int "second half" 50
+        (over (Engine.Morsel.make ~lo:50 ~hi:max_int));
       check Alcotest.int "empty range" 0
-        (count (Engine.execute db ~from:60 ~upto:40 cq cm));
-      check Alcotest.int "clamped" 100 (count (Engine.execute db ~upto:1000 cq cm)))
+        (over (Engine.Morsel.make ~lo:60 ~hi:60));
+      check Alcotest.int "clamped" 100 (over (Engine.Morsel.make ~lo:0 ~hi:1000));
+      (* split morsels compose: thirds of the scan sum to the whole *)
+      let parts =
+        Engine.Morsel.split (Engine.Morsel.make ~lo:0 ~hi:100) ~parts:3
+      in
+      check Alcotest.int "split covers" 100
+        (List.fold_left (fun acc m -> acc + over m) 0 parts);
+      check Alcotest.bool "make rejects hi < lo" true
+        (try
+           ignore (Engine.Morsel.make ~lo:60 ~hi:40);
+           false
+         with Invalid_argument _ -> true))
 
 (* unpin-underflow regression: an unbalanced unpin used to drive ce_pins
    negative, which a later eviction could turn into a double dispose; it
@@ -436,8 +450,8 @@ let result_multiset r =
   List.sort compare
     (List.map
        (fun (q : Server.query_metrics) ->
-         (q.Server.qm_name, q.Server.qm_rows, q.Server.qm_checksum))
-       r.Server.r_queries)
+         (q.Report.qm_name, q.Report.qm_rows, q.Report.qm_checksum))
+       r.Report.r_queries)
 
 (* the Domain pool must produce the sequential scheduler's per-query
    results — rows and checksums as a multiset (completion order and every
@@ -469,7 +483,7 @@ let parallel_differential_test =
               check Alcotest.int
                 (Printf.sprintf "%s seed %Ld: live code bytes"
                    (Server.mode_name mode) seed)
-                seq.Server.r_live_code_bytes par.Server.r_live_code_bytes)
+                seq.Report.r_live_code_bytes par.Report.r_live_code_bytes)
             [ Server.Tiered; Server.Cached; Server.Static Engine.cranelift ])
         [ 3L; 11L ])
 
@@ -497,18 +511,18 @@ let parallel_eviction_test =
       let stream = Server.make_stream ~seed:13L ~n:24 fixed_plans in
       let r = Server.run ~cache ~parallel:4 db cfg stream in
       check Alcotest.int "all queries served" 24
-        (List.length r.Server.r_queries);
+        (List.length r.Report.r_queries);
       List.iter
         (fun (q : Server.query_metrics) ->
           check
             Alcotest.(pair int64 int)
-            ("parallel evicted-cache " ^ q.Server.qm_name)
-            (List.assoc q.Server.qm_name expects)
-            (q.Server.qm_checksum, q.Server.qm_rows))
-        r.Server.r_queries;
+            ("parallel evicted-cache " ^ q.Report.qm_name)
+            (List.assoc q.Report.qm_name expects)
+            (q.Report.qm_checksum, q.Report.qm_rows))
+        r.Report.r_queries;
       check Alcotest.bool "evictions happened" true
-        (r.Server.r_cache.Lru.evictions > 0);
-      check Alcotest.bool "eviction freed code" true (r.Server.r_bytes_freed > 0);
+        (r.Report.r_cache.Lru.evictions > 0);
+      check Alcotest.bool "eviction freed code" true (r.Report.r_bytes_freed > 0);
       check Alcotest.int "no live pins after quiesce" 0
         (Code_cache.live_pins cache);
       check Alcotest.int "no pin underflows" 0
@@ -579,17 +593,17 @@ let deceptive_upgrade_test =
           }
           [ (name, plan) ]
       in
-      let m = List.hd r.Server.r_queries in
+      let m = List.hd r.Report.r_queries in
       check
         Alcotest.(pair int64 int)
         "checksum matches run_plan" expect
-        (m.Server.qm_checksum, m.Server.qm_rows);
+        (m.Report.qm_checksum, m.Report.qm_rows);
       check Alcotest.string "starts on the interpreter" "interpreter"
-        (List.hd m.Server.qm_tiers);
+        (List.hd m.Report.qm_tiers);
       check Alcotest.bool "upgraded mid-flight" true
-        (List.length m.Server.qm_tiers > 1);
+        (List.length m.Report.qm_tiers > 1);
       check Alcotest.bool "finishes stronger than the static pick" true
-        (List.mem m.Server.qm_backend
+        (List.mem m.Report.qm_backend
            (List.map fst (Engine.stronger_than db static_pick))))
 
 (* at a larger scale factor the same query keeps looking worse as it runs:
@@ -618,16 +632,16 @@ let second_upgrade_test =
           }
           [ (name, plan) ]
       in
-      let m = List.hd r.Server.r_queries in
+      let m = List.hd r.Report.r_queries in
       check
         Alcotest.(pair int64 int)
         "checksum matches run_plan" expect
-        (m.Server.qm_checksum, m.Server.qm_rows);
+        (m.Report.qm_checksum, m.Report.qm_rows);
       check Alcotest.bool
         (Printf.sprintf "two upgrades (tier path: %s)"
-           (String.concat "->" m.Server.qm_tiers))
+           (String.concat "->" m.Report.qm_tiers))
         true
-        (List.length m.Server.qm_tiers >= 3))
+        (List.length m.Report.qm_tiers >= 3))
 
 (* ---------------- serving-memory accounting ---------------- *)
 
@@ -667,13 +681,13 @@ let soak_test =
         check Alcotest.int
           (Printf.sprintf "pass %d: all queries served" pass)
           60
-          (List.length r.Server.r_queries);
-        freed_total := r.Server.r_freed_data_bytes;
-        if pass = 1 then live_after_first := r.Server.r_live_data_bytes
+          (List.length r.Report.r_queries);
+        freed_total := r.Report.r_freed_data_bytes;
+        if pass = 1 then live_after_first := r.Report.r_live_data_bytes
         else
           check Alcotest.int
             (Printf.sprintf "pass %d: live data bytes flat" pass)
-            !live_after_first r.Server.r_live_data_bytes
+            !live_after_first r.Report.r_live_data_bytes
       done;
       check Alcotest.bool "cumulative recycling exceeds the arena" true
         (!freed_total > mem_size))
@@ -761,15 +775,15 @@ let static_stat_bypass_test =
       let r2 = Server.run ~cache db cfg stream in
       List.iter
         (fun (r : Server.report) ->
-          check Alcotest.int "no hits counted" 0 r.Server.r_cache.Lru.hits;
-          check Alcotest.int "no misses counted" 0 r.Server.r_cache.Lru.misses;
+          check Alcotest.int "no hits counted" 0 r.Report.r_cache.Lru.hits;
+          check Alcotest.int "no misses counted" 0 r.Report.r_cache.Lru.misses;
           List.iter
             (fun (q : Server.query_metrics) ->
               check Alcotest.bool
-                (q.Server.qm_name ^ ": full compile charged")
+                (q.Report.qm_name ^ ": full compile charged")
                 true
-                (q.Server.qm_compile_s > 0.0))
-            r.Server.r_queries)
+                (q.Report.qm_compile_s > 0.0))
+            r.Report.r_queries)
         [ r1; r2 ])
 
 (* ---------------- fuzzed plans ---------------- *)

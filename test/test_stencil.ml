@@ -304,12 +304,12 @@ let parallel_test =
       in
       List.iter
         (fun q ->
-          let e = List.assoc q.Server.qm_name expect in
+          let e = List.assoc q.Report.qm_name expect in
           check
             Alcotest.(pair int64 int)
-            q.Server.qm_name e
-            (q.Server.qm_checksum, q.Server.qm_rows))
-        r.Server.r_queries)
+            q.Report.qm_name e
+            (q.Report.qm_checksum, q.Report.qm_rows))
+        r.Report.r_queries)
 
 let suite =
   [
